@@ -1,0 +1,25 @@
+//! Figure 10 benchmark: view scan vs join algorithm on the TPC-W
+//! micro-benchmark (Customer / Orders / Order_line, 1:10 cardinality).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use tpcw::micro::MicroBench;
+
+fn fig10(c: &mut Criterion) {
+    let bench = MicroBench::build(50).expect("micro benchmark builds");
+    let mut group = c.benchmark_group("fig10_micro");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for (query_index, label) in [(0usize, "q1_customer_orders"), (1, "q2_customer_orders_lines")] {
+        group.bench_function(format!("{label}/view_scan_vs_join"), |b| {
+            b.iter(|| {
+                let measurement = bench.measure(query_index).expect("measurement");
+                black_box(measurement.speedup())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig10);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Figure 11 benchmark: overhead of acquiring and releasing row locks via
+//! checkAndPut on the NoSQL store.
+
+use bench::fig11_lock_overhead;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_lock_overhead");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for locks in [10u64, 100, 1000] {
+        group.bench_function(format!("{locks}_locks"), |b| {
+            b.iter(|| black_box(fig11_lock_overhead(&[locks], 1)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig11);
+criterion_main!(benches);

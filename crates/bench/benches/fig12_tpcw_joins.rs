@@ -1,0 +1,36 @@
+//! Figure 12 benchmark: the eleven TPC-W join queries on each evaluated
+//! system (VoltDB, Synergy, MVCC-A, MVCC-UA, Baseline).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use tpcw::queries::join_queries;
+use tpcw::systems::{build_system, SystemKind};
+use tpcw::{TpcwDataset, TpcwScale};
+
+fn fig12(c: &mut Criterion) {
+    let scale = TpcwScale::new(100);
+    let dataset = TpcwDataset::generate(scale);
+    let mut group = c.benchmark_group("fig12_tpcw_joins");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for kind in SystemKind::all() {
+        let system = build_system(kind, &dataset);
+        group.bench_function(format!("all_joins/{}", system.name()), |b| {
+            b.iter(|| {
+                let mut total_rows = 0usize;
+                for (rep, query) in join_queries().iter().enumerate() {
+                    if let Ok(outcome) =
+                        system.execute(&query.statement(), &query.params(scale, rep as u64))
+                    {
+                        total_rows += outcome.rows;
+                    }
+                }
+                black_box(total_rows)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig12);
+criterion_main!(benches);

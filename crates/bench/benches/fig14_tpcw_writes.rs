@@ -1,0 +1,37 @@
+//! Figure 14 benchmark: the thirteen TPC-W write statements on each
+//! evaluated system.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use tpcw::systems::{build_system, SystemKind};
+use tpcw::writes::write_statements;
+use tpcw::{TpcwDataset, TpcwScale};
+
+fn fig14(c: &mut Criterion) {
+    let scale = TpcwScale::new(100);
+    let dataset = TpcwDataset::generate(scale);
+    let mut group = c.benchmark_group("fig14_tpcw_writes");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for kind in SystemKind::all() {
+        let system = build_system(kind, &dataset);
+        let rep = AtomicU64::new(0);
+        group.bench_function(format!("all_writes/{}", system.name()), |b| {
+            b.iter(|| {
+                // A fresh rep per iteration keeps insert keys unique.
+                let rep = rep.fetch_add(1, Ordering::Relaxed) + 1_000;
+                for write in write_statements() {
+                    let outcome = system
+                        .execute(&write.statement(), &write.params(scale, rep))
+                        .expect("write runs");
+                    black_box(outcome.elapsed);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig14);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Table II benchmark: the full TPC-W statement set (11 joins + 13 writes)
+//! executed end to end on the HBase-backed systems.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use tpcw::queries::join_queries;
+use tpcw::systems::{build_system, SystemKind};
+use tpcw::writes::write_statements;
+use tpcw::{TpcwDataset, TpcwScale};
+
+fn table2(c: &mut Criterion) {
+    let scale = TpcwScale::new(60);
+    let dataset = TpcwDataset::generate(scale);
+    let mut group = c.benchmark_group("table2_full_benchmark");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    // VoltDB is excluded from Table II in the paper because it does not
+    // support every benchmark query.
+    for kind in [
+        SystemKind::Synergy,
+        SystemKind::MvccA,
+        SystemKind::MvccUa,
+        SystemKind::Baseline,
+    ] {
+        let system = build_system(kind, &dataset);
+        let rep = AtomicU64::new(0);
+        group.bench_function(format!("all_statements/{}", system.name()), |b| {
+            b.iter(|| {
+                let rep = rep.fetch_add(1, Ordering::Relaxed) + 5_000;
+                let mut simulated_ms = 0.0;
+                for (i, query) in join_queries().iter().enumerate() {
+                    let outcome = system
+                        .execute(&query.statement(), &query.params(scale, rep + i as u64))
+                        .expect("query runs");
+                    simulated_ms += outcome.elapsed.as_millis_f64();
+                }
+                for write in write_statements() {
+                    let outcome = system
+                        .execute(&write.statement(), &write.params(scale, rep))
+                        .expect("write runs");
+                    simulated_ms += outcome.elapsed.as_millis_f64();
+                }
+                black_box(simulated_ms)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table2);
+criterion_main!(benches);

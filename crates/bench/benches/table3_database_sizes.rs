@@ -1,0 +1,26 @@
+//! Table III benchmark: loading the scaled TPC-W database into each system
+//! and accounting its storage footprint (the quantity behind Table III).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use tpcw::systems::{build_system, SystemKind};
+use tpcw::{TpcwDataset, TpcwScale};
+
+fn table3(c: &mut Criterion) {
+    let dataset = TpcwDataset::generate(TpcwScale::new(50));
+    let mut group = c.benchmark_group("table3_database_sizes");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    for kind in [SystemKind::Synergy, SystemKind::Baseline, SystemKind::VoltDb] {
+        group.bench_function(format!("load_and_measure/{}", kind.name()), |b| {
+            b.iter(|| {
+                let system = build_system(kind, &dataset);
+                black_box(system.database_size_bytes())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table3);
+criterion_main!(benches);

@@ -1,0 +1,454 @@
+//! Experiment harness reproducing every table and figure of the paper's
+//! evaluation (§IX).
+//!
+//! Each `figNN_*` / `tableN_*` function runs one experiment end to end —
+//! building the evaluated systems, loading the scaled TPC-W dataset, running
+//! every statement the configured number of repetitions — and returns the
+//! rows of the corresponding figure or table.  The `report` binary prints
+//! them; the Criterion benches under `benches/` exercise the same harness.
+//!
+//! All response times are **simulated milliseconds** from the shared cost
+//! model (see `DESIGN.md` §7); the paper's absolute numbers came from an EC2
+//! cluster, so only the *shape* (orderings, approximate ratios, crossovers)
+//! is expected to match.
+
+use nosql_store::{Cluster, ClusterConfig};
+use simclock::{Summary, SimDuration};
+use std::collections::BTreeMap;
+use synergy::LockManager;
+use tpcw::micro::MicroBench;
+use tpcw::queries::join_queries;
+use tpcw::systems::{build_system, EvaluatedSystem, SystemKind};
+use tpcw::writes::write_statements;
+use tpcw::{TpcwDataset, TpcwScale};
+
+/// Default number of repetitions per measurement (the paper uses 10).
+pub const DEFAULT_REPS: u64 = 10;
+
+/// Default database scale for the TPC-W experiments (number of customers).
+/// The paper loads 1 M customers on an 8-node EC2 cluster; the default here
+/// keeps the full evaluation runnable in minutes on a laptop while keeping
+/// the paper's ratios (items = 10×, orders = 10×, 3 lines per order).
+pub const DEFAULT_CUSTOMERS: u64 = 500;
+
+// ---------------------------------------------------------------------
+// Figure 10: micro-benchmark (view scan vs join algorithm)
+// ---------------------------------------------------------------------
+
+/// One row of Figure 10.
+#[derive(Debug, Clone)]
+pub struct Fig10Row {
+    /// "Q1" or "Q2".
+    pub query: &'static str,
+    /// Number of customers.
+    pub customers: u64,
+    /// Mean simulated response time of the view scan (ms).
+    pub view_scan_ms: Summary,
+    /// Mean simulated response time of the join algorithm (ms).
+    pub join_ms: Summary,
+    /// join / view-scan speedup.
+    pub speedup: f64,
+}
+
+/// Runs the §IX-B micro-benchmark for every scale in `customer_scales`.
+pub fn fig10_micro(customer_scales: &[u64], reps: u64) -> Vec<Fig10Row> {
+    let mut rows = Vec::new();
+    for &customers in customer_scales {
+        let bench = MicroBench::build(customers).expect("micro benchmark builds");
+        for query_index in 0..2 {
+            let mut view_samples = Vec::new();
+            let mut join_samples = Vec::new();
+            for _ in 0..reps {
+                let m = bench.measure(query_index).expect("measurement succeeds");
+                view_samples.push(m.view_scan.as_millis_f64());
+                join_samples.push(m.join_algorithm.as_millis_f64());
+            }
+            let view = Summary::of(&view_samples);
+            let join = Summary::of(&join_samples);
+            rows.push(Fig10Row {
+                query: if query_index == 0 { "Q1" } else { "Q2" },
+                customers,
+                speedup: join.mean / view.mean.max(f64::EPSILON),
+                view_scan_ms: view,
+                join_ms: join,
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Figure 11: two-phase row-locking overhead
+// ---------------------------------------------------------------------
+
+/// One row of Figure 11.
+#[derive(Debug, Clone)]
+pub struct Fig11Row {
+    /// Number of locks acquired and released.
+    pub locks: u64,
+    /// Mean simulated overhead (ms).
+    pub overhead_ms: Summary,
+}
+
+/// Measures the overhead of acquiring and releasing `n` row locks through a
+/// lock table in the NoSQL store (the paper's §IX-C experiment).
+pub fn fig11_lock_overhead(lock_counts: &[u64], reps: u64) -> Vec<Fig11Row> {
+    let mut rows = Vec::new();
+    for &locks in lock_counts {
+        let mut samples = Vec::new();
+        for _ in 0..reps {
+            let cluster = Cluster::new(ClusterConfig::default());
+            let manager = LockManager::new(cluster.clone());
+            manager.create_lock_table("bench").expect("lock table");
+            for key in 0..locks {
+                manager.ensure_entry("bench", &key.to_string()).expect("entry");
+            }
+            let clock = cluster.clock().clone();
+            let start = clock.now();
+            let mut guards = Vec::with_capacity(locks as usize);
+            for key in 0..locks {
+                guards.push(
+                    manager
+                        .acquire("bench", &key.to_string())
+                        .expect("acquire")
+                        .expect("uncontended"),
+                );
+            }
+            for guard in guards {
+                manager.release(guard).expect("release");
+            }
+            samples.push((clock.now() - start).as_millis_f64());
+        }
+        rows.push(Fig11Row {
+            locks,
+            overhead_ms: Summary::of(&samples),
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Figures 12 & 14 and Table II: the five-system TPC-W comparison
+// ---------------------------------------------------------------------
+
+/// Response time of one statement on one system (or `None` if unsupported).
+pub type CellMs = Option<Summary>;
+
+/// The full per-statement, per-system measurement matrix.
+#[derive(Debug, Clone, Default)]
+pub struct ComparisonMatrix {
+    /// Statement ids in presentation order (Q1..Q11 then W1..W13).
+    pub statements: Vec<String>,
+    /// System names in presentation order.
+    pub systems: Vec<String>,
+    /// `cells[statement][system]` → summary of simulated ms.
+    pub cells: BTreeMap<String, BTreeMap<String, CellMs>>,
+    /// Total stored bytes per system (for Table III).
+    pub database_bytes: BTreeMap<String, u64>,
+}
+
+impl ComparisonMatrix {
+    /// Mean response time of a statement on a system, if supported.
+    pub fn mean_ms(&self, statement: &str, system: &str) -> Option<f64> {
+        self.cells
+            .get(statement)?
+            .get(system)?
+            .as_ref()
+            .map(|s| s.mean)
+    }
+
+    /// Ratio of the two systems' average response times over the statements
+    /// matching `filter` that both systems support (the paper's "on average
+    /// X times faster" numbers compare the per-system averages).
+    pub fn mean_ratio(
+        &self,
+        numerator: &str,
+        denominator: &str,
+        filter: impl Fn(&str) -> bool,
+    ) -> Option<f64> {
+        let mut numerator_total = 0.0;
+        let mut denominator_total = 0.0;
+        let mut count = 0;
+        for statement in self.statements.iter().filter(|s| filter(s)) {
+            if let (Some(n), Some(d)) = (
+                self.mean_ms(statement, numerator),
+                self.mean_ms(statement, denominator),
+            ) {
+                numerator_total += n;
+                denominator_total += d;
+                count += 1;
+            }
+        }
+        if count == 0 || denominator_total <= 0.0 {
+            None
+        } else {
+            Some(numerator_total / denominator_total)
+        }
+    }
+
+    /// Sum of the mean response times of every statement on one system
+    /// (Table II), `None` if the system does not support every statement.
+    pub fn total_ms(&self, system: &str) -> Option<f64> {
+        let mut total = 0.0;
+        for statement in &self.statements {
+            total += self.mean_ms(statement, system)?;
+        }
+        Some(total)
+    }
+}
+
+/// Runs every join query (Fig. 12) and every write statement (Fig. 14) the
+/// requested number of repetitions on all five systems and returns the
+/// measurement matrix used by Figures 12/14 and Tables II/III.
+pub fn comparison_matrix(customers: u64, reps: u64) -> ComparisonMatrix {
+    let scale = TpcwScale::new(customers);
+    let dataset = TpcwDataset::generate(scale);
+    let systems: Vec<Box<dyn EvaluatedSystem>> = SystemKind::all()
+        .iter()
+        .map(|kind| build_system(*kind, &dataset))
+        .collect();
+
+    let mut matrix = ComparisonMatrix {
+        systems: systems.iter().map(|s| s.name().to_string()).collect(),
+        ..ComparisonMatrix::default()
+    };
+    for system in &systems {
+        matrix
+            .database_bytes
+            .insert(system.name().to_string(), system.database_size_bytes());
+    }
+
+    // Join queries Q1..Q11.
+    for query in join_queries() {
+        let statement = query.statement();
+        matrix.statements.push(query.id.to_string());
+        let row = matrix.cells.entry(query.id.to_string()).or_default();
+        for system in &systems {
+            let mut samples = Vec::new();
+            let mut unsupported = false;
+            for rep in 0..reps {
+                match system.execute(&statement, &query.params(scale, rep)) {
+                    Ok(outcome) => samples.push(outcome.elapsed.as_millis_f64()),
+                    Err(_) => {
+                        unsupported = true;
+                        break;
+                    }
+                }
+            }
+            let cell = if unsupported { None } else { Some(Summary::of(&samples)) };
+            row.insert(system.name().to_string(), cell);
+        }
+    }
+
+    // Write statements W1..W13.
+    for write in write_statements() {
+        let statement = write.statement();
+        matrix.statements.push(write.id.to_string());
+        let row = matrix.cells.entry(write.id.to_string()).or_default();
+        for system in &systems {
+            let mut samples = Vec::new();
+            let mut unsupported = false;
+            for rep in 0..reps {
+                match system.execute(&statement, &write.params(scale, rep)) {
+                    Ok(outcome) => samples.push(outcome.elapsed.as_millis_f64()),
+                    Err(_) => {
+                        unsupported = true;
+                        break;
+                    }
+                }
+            }
+            let cell = if unsupported { None } else { Some(Summary::of(&samples)) };
+            row.insert(system.name().to_string(), cell);
+        }
+    }
+    matrix
+}
+
+// ---------------------------------------------------------------------
+// Ablations
+// ---------------------------------------------------------------------
+
+/// Result of the lock-granularity ablation: the same write executed under a
+/// single hierarchical lock vs. per-row locks on every touched row.
+#[derive(Debug, Clone)]
+pub struct LockAblationRow {
+    /// Number of rows the transaction touches.
+    pub rows_touched: u64,
+    /// Simulated time with one hierarchical lock (ms).
+    pub single_lock_ms: f64,
+    /// Simulated time when locking every touched row individually (ms).
+    pub per_row_locks_ms: f64,
+}
+
+/// Quantifies the benefit of the single hierarchical lock (paper §III-2):
+/// lock acquisition/release cost as a function of how many rows a write
+/// transaction would otherwise have to lock.
+pub fn ablation_lock_granularity(rows_touched: &[u64]) -> Vec<LockAblationRow> {
+    let mut out = Vec::new();
+    for &rows in rows_touched {
+        let cluster = Cluster::new(ClusterConfig::default());
+        let manager = LockManager::new(cluster.clone());
+        manager.create_lock_table("ablation").expect("lock table");
+        for key in 0..rows.max(1) {
+            manager.ensure_entry("ablation", &key.to_string()).expect("entry");
+        }
+        let clock = cluster.clock().clone();
+
+        // Single hierarchical lock.
+        let start = clock.now();
+        let guard = manager.acquire("ablation", "0").expect("acquire").expect("free");
+        manager.release(guard).expect("release");
+        let single_lock_ms = (clock.now() - start).as_millis_f64();
+
+        // One lock per touched row.
+        let start = clock.now();
+        let mut guards = Vec::new();
+        for key in 0..rows {
+            guards.push(
+                manager
+                    .acquire("ablation", &key.to_string())
+                    .expect("acquire")
+                    .expect("free"),
+            );
+        }
+        for guard in guards {
+            manager.release(guard).expect("release");
+        }
+        let per_row_locks_ms = (clock.now() - start).as_millis_f64();
+
+        out.push(LockAblationRow {
+            rows_touched: rows,
+            single_lock_ms,
+            per_row_locks_ms,
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Table III and qualitative tables
+// ---------------------------------------------------------------------
+
+/// One row of Table III (database sizes).
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// System name.
+    pub system: String,
+    /// Total stored bytes.
+    pub bytes: u64,
+    /// Size relative to the Baseline system.
+    pub relative_to_baseline: f64,
+}
+
+/// Derives Table III from a comparison matrix.
+pub fn table3_sizes(matrix: &ComparisonMatrix) -> Vec<Table3Row> {
+    let baseline = *matrix.database_bytes.get("Baseline").unwrap_or(&1).max(&1) as f64;
+    let order = ["VoltDB", "Synergy", "MVCC-A", "MVCC-UA", "Baseline"];
+    order
+        .iter()
+        .filter_map(|name| {
+            matrix.database_bytes.get(*name).map(|bytes| Table3Row {
+                system: (*name).to_string(),
+                bytes: *bytes,
+                relative_to_baseline: *bytes as f64 / baseline,
+            })
+        })
+        .collect()
+}
+
+/// The qualitative comparison of Table I, as (system, scalability,
+/// expressiveness, transaction support, disk utilization) tuples.
+pub fn table1_qualitative() -> Vec<[&'static str; 5]> {
+    vec![
+        [
+            "NoSQL (HBase)",
+            "Linear scale out",
+            "SQL",
+            "ACID, snapshot isolation (MVCC)",
+            "Higher than NewSQL",
+        ],
+        [
+            "NewSQL (VoltDB)",
+            "Linear scale out",
+            "SQL with joins limited to partition keys",
+            "ACID, serializable isolation",
+            "Lowest",
+        ],
+        [
+            "Synergy",
+            "Linear scale out",
+            "SQL with views limited to key/foreign-key joins",
+            "ACID, read-committed isolation",
+            "Highest",
+        ],
+    ]
+}
+
+/// The mechanism matrix of Figure 13, as (system, view mechanism,
+/// concurrency mechanism) tuples.
+pub fn fig13_mechanisms() -> Vec<[String; 3]> {
+    SystemKind::all()
+        .iter()
+        .map(|kind| {
+            [
+                kind.name().to_string(),
+                kind.view_mechanism().to_string(),
+                kind.concurrency_mechanism().to_string(),
+            ]
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Formatting helpers
+// ---------------------------------------------------------------------
+
+/// Formats a simulated millisecond summary as `mean ± stderr`.
+pub fn fmt_ms(cell: &CellMs) -> String {
+    match cell {
+        Some(summary) => format!("{:10.1} ±{:6.1}", summary.mean, summary.std_error),
+        None => format!("{:>10} {:>7}", "X", ""),
+    }
+}
+
+/// Formats bytes as mebibytes with two decimals.
+pub fn fmt_mib(bytes: u64) -> String {
+    format!("{:.2} MiB", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Converts a simulated duration to fractional milliseconds (helper for
+/// benches).
+pub fn to_ms(duration: SimDuration) -> f64 {
+    duration.as_millis_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig11_overhead_grows_with_lock_count() {
+        let rows = fig11_lock_overhead(&[10, 100], 2);
+        assert_eq!(rows.len(), 2);
+        assert!(rows[1].overhead_ms.mean > rows[0].overhead_ms.mean * 5.0);
+    }
+
+    #[test]
+    fn ablation_shows_single_lock_is_cheaper() {
+        let rows = ablation_lock_granularity(&[50]);
+        assert!(rows[0].per_row_locks_ms > rows[0].single_lock_ms * 10.0);
+    }
+
+    #[test]
+    fn fig10_speedup_is_positive_and_grows_with_join_depth() {
+        let rows = fig10_micro(&[30], 2);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.speedup > 1.0));
+    }
+
+    #[test]
+    fn qualitative_tables_have_expected_shape() {
+        assert_eq!(table1_qualitative().len(), 3);
+        assert_eq!(fig13_mechanisms().len(), 5);
+    }
+}

@@ -1,0 +1,29 @@
+//! A Tephra-like multi-version concurrency control (MVCC) transaction
+//! manager layered on top of the NoSQL store.
+//!
+//! In the paper, the Baseline, MVCC-A and MVCC-UA systems run the workload
+//! through Phoenix with the Tephra transaction server enabled: every SQL
+//! statement becomes a transaction that (1) contacts the transaction server
+//! to begin and obtain a snapshot, (2) executes its reads against that
+//! snapshot, filtering cell versions, and (3) contacts the server again to
+//! commit, where write-write conflicts are detected.  The paper measures
+//! this machinery at **800–900 ms of overhead per statement** (§IX-D4),
+//! which is the single largest contributor to the Baseline/MVCC systems'
+//! write latencies (Fig. 14) and to their full-benchmark times (Table II).
+//!
+//! This crate reproduces exactly those mechanisms:
+//!
+//! * [`TransactionManager`] — issues transaction ids and snapshots, tracks
+//!   in-flight transactions, detects first-committer-wins write-write
+//!   conflicts, and charges the begin/commit round trips plus per-cell
+//!   version-filtering costs to the shared simulated clock;
+//! * [`Transaction`] — a handle carrying the snapshot timestamp and the
+//!   write set.
+//!
+//! The store itself retains multiple timestamped cell versions (see
+//! `nosql-store`), and readers pass the snapshot timestamp down as a read
+//! bound, so snapshot reads are real, not merely simulated.
+
+mod manager;
+
+pub use manager::{CommitError, Transaction, TransactionManager, TxId};

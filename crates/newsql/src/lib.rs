@@ -1,0 +1,26 @@
+//! A VoltDB-class NewSQL engine: partitioned, in-memory, single-threaded per
+//! partition, with joins restricted to the partitioning columns.
+//!
+//! The paper compares Synergy against VoltDB (§IX-D2): a NewSQL database
+//! that scales out linearly and executes partition-local work entirely in
+//! memory without per-operation RPCs — making it the fastest system in
+//! Fig. 12/14 — but whose tables can only be joined on equality of their
+//! partitioning columns, so fewer than half of the TPC-W join queries are
+//! supported under any single partitioning scheme (Q3, Q7, Q9 and Q10 are
+//! unsupported in the paper's evaluation).
+//!
+//! This crate reproduces both properties:
+//!
+//! * [`NewSqlEngine`] stores each table either *partitioned* on one column
+//!   (rows live on `hash(partition key) % partitions`) or *replicated* on
+//!   every partition;
+//! * statements touching a single partition charge only the in-memory
+//!   dispatch/row costs of the cost model; writes to replicated tables pay a
+//!   broadcast;
+//! * join queries are validated against the partitioning scheme first: every
+//!   pair of partitioned tables must be joined on their partitioning
+//!   columns, otherwise [`NewSqlError::UnsupportedJoin`] is returned.
+
+mod engine;
+
+pub use engine::{NewSqlEngine, NewSqlError, PartitionScheme, TableDistribution};

@@ -1,0 +1,615 @@
+//! The simulated cluster: table administration, request routing, cost
+//! charging and storage accounting.
+//!
+//! A [`Cluster`] plays the role of the paper's HBase layer (HBase + HDFS +
+//! ZooKeeper on eight EC2 nodes).  Tables are split into [`Region`]s hosted
+//! by a configurable number of region servers; every client-visible
+//! operation charges its simulated cost (RPC round trip, server work, WAL
+//! sync, scan streaming) into the shared [`SimClock`].
+
+use crate::cell::Timestamp;
+use crate::error::{StoreError, StoreResult};
+use crate::metrics::{ClusterMetrics, OpCounters, TableMetrics};
+use crate::ops::{CheckAndPut, Delete, Get, Increment, Put, Scan};
+use crate::region::{Region, RegionId, RegionServerId};
+use crate::table::{ResultRow, TableSchema};
+use crate::wal::{WalOp, WriteAheadLog};
+use parking_lot::{Mutex, RwLock};
+use simclock::{CostModel, SimClock, SimDuration};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Configuration of the simulated cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of region servers (the paper uses five slave nodes).
+    pub region_servers: usize,
+    /// A region is split once it exceeds this many bytes.
+    pub region_split_bytes: usize,
+    /// Cost model charged for every operation.
+    pub cost_model: CostModel,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            region_servers: 5,
+            region_split_bytes: 8 * 1024 * 1024,
+            cost_model: CostModel::default(),
+        }
+    }
+}
+
+struct TableState {
+    schema: TableSchema,
+    regions: RwLock<Vec<Region>>,
+}
+
+/// The simulated HBase-class cluster.
+///
+/// Cheap to clone; clones share all state (tables, clock, metrics), mirroring
+/// multiple clients holding connections to the same cluster.
+#[derive(Clone)]
+pub struct Cluster {
+    inner: Arc<ClusterInner>,
+}
+
+struct ClusterInner {
+    config: ClusterConfig,
+    clock: SimClock,
+    tables: RwLock<BTreeMap<String, Arc<TableState>>>,
+    counters: Mutex<OpCounters>,
+    wals: Vec<WriteAheadLog>,
+    next_timestamp: AtomicU64,
+    next_region_id: AtomicU64,
+    next_server: AtomicU64,
+}
+
+impl Cluster {
+    /// Creates a cluster with its own fresh [`SimClock`].
+    pub fn new(config: ClusterConfig) -> Self {
+        Self::with_clock(config, SimClock::new())
+    }
+
+    /// Creates a cluster charging costs into an existing clock (so higher
+    /// layers, e.g. the MVCC transaction server, share the same timeline).
+    pub fn with_clock(config: ClusterConfig, clock: SimClock) -> Self {
+        let servers = config.region_servers.max(1);
+        Cluster {
+            inner: Arc::new(ClusterInner {
+                wals: (0..servers).map(|_| WriteAheadLog::new()).collect(),
+                config,
+                clock,
+                tables: RwLock::new(BTreeMap::new()),
+                counters: Mutex::new(OpCounters::default()),
+                next_timestamp: AtomicU64::new(1),
+                next_region_id: AtomicU64::new(1),
+                next_server: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The clock this cluster charges costs into.
+    pub fn clock(&self) -> &SimClock {
+        &self.inner.clock
+    }
+
+    /// The cost model in effect.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.inner.config.cost_model
+    }
+
+    /// Next logical cell timestamp (monotonically increasing).
+    pub fn next_timestamp(&self) -> Timestamp {
+        self.inner.next_timestamp.fetch_add(1, Ordering::SeqCst)
+    }
+
+    fn charge(&self, cost: SimDuration) {
+        self.inner.clock.charge(cost);
+    }
+
+    fn pick_server(&self) -> RegionServerId {
+        let servers = self.inner.config.region_servers.max(1);
+        RegionServerId(
+            (self.inner.next_server.fetch_add(1, Ordering::Relaxed) as usize) % servers,
+        )
+    }
+
+    fn next_region_id(&self) -> RegionId {
+        RegionId(self.inner.next_region_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Creates a table; fails if it already exists or declares no families.
+    pub fn create_table(&self, schema: TableSchema) -> StoreResult<()> {
+        assert!(
+            !schema.families.is_empty(),
+            "a table must declare at least one column family"
+        );
+        let mut tables = self.inner.tables.write();
+        if tables.contains_key(&schema.name) {
+            return Err(StoreError::TableExists(schema.name));
+        }
+        let region = Region::new(self.next_region_id(), self.pick_server(), Vec::new(), Vec::new());
+        tables.insert(
+            schema.name.clone(),
+            Arc::new(TableState {
+                schema,
+                regions: RwLock::new(vec![region]),
+            }),
+        );
+        Ok(())
+    }
+
+    /// Drops a table and all its data.
+    pub fn drop_table(&self, name: &str) -> StoreResult<()> {
+        self.inner
+            .tables
+            .write()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| StoreError::TableNotFound(name.to_string()))
+    }
+
+    /// True if the named table exists.
+    pub fn table_exists(&self, name: &str) -> bool {
+        self.inner.tables.read().contains_key(name)
+    }
+
+    /// Names of all tables, sorted.
+    pub fn list_tables(&self) -> Vec<String> {
+        self.inner.tables.read().keys().cloned().collect()
+    }
+
+    /// The schema of a table.
+    pub fn table_schema(&self, name: &str) -> StoreResult<TableSchema> {
+        Ok(self.table(name)?.schema.clone())
+    }
+
+    fn table(&self, name: &str) -> StoreResult<Arc<TableState>> {
+        self.inner
+            .tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StoreError::TableNotFound(name.to_string()))
+    }
+
+    fn wal_for(&self, server: RegionServerId) -> &WriteAheadLog {
+        &self.inner.wals[server.0 % self.inner.wals.len()]
+    }
+
+    /// The write-ahead log of one region server (for tests and recovery
+    /// experiments).
+    pub fn wal(&self, server: usize) -> &WriteAheadLog {
+        &self.inner.wals[server % self.inner.wals.len()]
+    }
+
+    fn region_index_for(regions: &[Region], key: &[u8]) -> usize {
+        regions
+            .iter()
+            .position(|r| r.contains(key))
+            .unwrap_or(regions.len().saturating_sub(1))
+    }
+
+    fn maybe_split(&self, table: &TableState, regions: &mut Vec<Region>, idx: usize) {
+        if regions[idx].byte_size() <= self.inner.config.region_split_bytes {
+            return;
+        }
+        let new_id = self.next_region_id();
+        let new_server = self.pick_server();
+        if let Some(upper) = regions[idx].split(new_id, new_server) {
+            regions.insert(idx + 1, upper);
+        }
+        let _ = table;
+    }
+
+    /// Writes one row.  Charges one RPC + server work + WAL sync.
+    pub fn put(&self, table: &str, put: Put) -> StoreResult<()> {
+        let state = self.table(table)?;
+        let cost = self.cost_model().put_cost(put.cell_count());
+        let mut regions = state.regions.write();
+        // Timestamp is drawn under the region lock so that versions written
+        // to one row are ordered consistently with lock acquisition order.
+        let ts = self.next_timestamp();
+        let idx = Self::region_index_for(&regions, &put.row);
+        let server = regions[idx].server;
+        regions[idx].put(&state.schema, &put, ts)?;
+        self.wal_for(server).append(
+            table,
+            WalOp::Put {
+                row: put.row.clone(),
+                cells: put.cell_count(),
+            },
+        );
+        self.wal_for(server).sync();
+        self.maybe_split(&state, &mut regions, idx);
+        drop(regions);
+        self.charge(cost);
+        self.inner.counters.lock().puts += 1;
+        Ok(())
+    }
+
+    /// Bulk-loads rows without charging simulated cost or writing the WAL.
+    ///
+    /// This models the paper's offline database-population phase (which is
+    /// followed by a major compaction and is not part of any measured
+    /// response time).
+    pub fn bulk_load(&self, table: &str, puts: impl IntoIterator<Item = Put>) -> StoreResult<usize> {
+        let state = self.table(table)?;
+        let mut regions = state.regions.write();
+        let mut loaded = 0;
+        for put in puts {
+            let ts = self.next_timestamp();
+            let idx = Self::region_index_for(&regions, &put.row);
+            regions[idx].put(&state.schema, &put, ts)?;
+            self.maybe_split(&state, &mut regions, idx);
+            loaded += 1;
+        }
+        Ok(loaded)
+    }
+
+    /// Reads one row.  Charges one RPC + server work.
+    pub fn get(&self, table: &str, get: Get) -> StoreResult<Option<ResultRow>> {
+        let state = self.table(table)?;
+        self.charge(self.cost_model().get_cost());
+        self.inner.counters.lock().gets += 1;
+        let regions = state.regions.read();
+        let idx = Self::region_index_for(&regions, &get.row);
+        Ok(regions[idx].get(&get))
+    }
+
+    /// Deletes a row or columns of a row.  Charges one RPC + WAL sync.
+    pub fn delete(&self, table: &str, delete: Delete) -> StoreResult<bool> {
+        let state = self.table(table)?;
+        let cost = self.cost_model().delete_cost();
+        let mut regions = state.regions.write();
+        let idx = Self::region_index_for(&regions, &delete.row);
+        let server = regions[idx].server;
+        let removed = regions[idx].delete(&delete)?;
+        self.wal_for(server).append(
+            table,
+            WalOp::Delete {
+                row: delete.row.clone(),
+            },
+        );
+        self.wal_for(server).sync();
+        drop(regions);
+        self.charge(cost);
+        self.inner.counters.lock().deletes += 1;
+        Ok(removed)
+    }
+
+    /// Atomically adds to a counter cell.  Charges like a put.
+    pub fn increment(&self, table: &str, inc: Increment) -> StoreResult<i64> {
+        let state = self.table(table)?;
+        let cost = self.cost_model().put_cost(1);
+        let mut regions = state.regions.write();
+        let ts = self.next_timestamp();
+        let idx = Self::region_index_for(&regions, &inc.row);
+        let server = regions[idx].server;
+        let value = regions[idx].increment(&state.schema, &inc, ts)?;
+        self.wal_for(server).append(
+            table,
+            WalOp::Increment {
+                row: inc.row.clone(),
+                amount: inc.amount,
+            },
+        );
+        self.wal_for(server).sync();
+        drop(regions);
+        self.charge(cost);
+        self.inner.counters.lock().increments += 1;
+        Ok(value)
+    }
+
+    /// Atomic compare-and-set.  Charges one RPC + server work + WAL sync.
+    pub fn check_and_put(&self, table: &str, cap: CheckAndPut) -> StoreResult<bool> {
+        let state = self.table(table)?;
+        let cost = self.cost_model().check_and_put_cost();
+        let mut regions = state.regions.write();
+        let ts = self.next_timestamp();
+        let idx = Self::region_index_for(&regions, &cap.row);
+        let server = regions[idx].server;
+        let applied = regions[idx].check_and_put(
+            &state.schema,
+            &cap.family,
+            &cap.qualifier,
+            &cap.expect,
+            &cap.put,
+            ts,
+        )?;
+        if applied {
+            self.wal_for(server).append(
+                table,
+                WalOp::Put {
+                    row: cap.put.row.clone(),
+                    cells: cap.put.cell_count(),
+                },
+            );
+            self.wal_for(server).sync();
+        }
+        drop(regions);
+        self.charge(cost);
+        self.inner.counters.lock().check_and_puts += 1;
+        Ok(applied)
+    }
+
+    /// Scans rows in key order across all regions intersecting the range.
+    /// Charges scanner-open per region plus per-batch/per-row/per-byte
+    /// streaming costs.
+    pub fn scan(&self, table: &str, scan: Scan) -> StoreResult<Vec<ResultRow>> {
+        let state = self.table(table)?;
+        let regions = state.regions.read();
+        let limit = if scan.limit == 0 { usize::MAX } else { scan.limit };
+        let mut rows = Vec::new();
+        let mut regions_touched = 0u64;
+        for region in regions.iter() {
+            if rows.len() >= limit {
+                break;
+            }
+            // Skip regions entirely outside the scan range.
+            if !scan.stop.is_empty() && !region.start.is_empty() && region.start >= scan.stop {
+                continue;
+            }
+            if !scan.start.is_empty() && !region.end.is_empty() && region.end <= scan.start {
+                continue;
+            }
+            regions_touched += 1;
+            let mut batch = region.scan(&scan, limit - rows.len())?;
+            rows.append(&mut batch);
+        }
+        drop(regions);
+        let bytes: usize = rows.iter().map(ResultRow::byte_size).sum();
+        let model = self.cost_model();
+        let cost = model.scan_open * regions_touched.max(1)
+            + model.scan_cost(rows.len() as u64, bytes as u64)
+            - model.scan_open;
+        self.charge(cost);
+        let mut counters = self.inner.counters.lock();
+        counters.scans += 1;
+        counters.scanned_rows += rows.len() as u64;
+        counters.scanned_bytes += bytes as u64;
+        Ok(rows)
+    }
+
+    /// Number of rows currently stored in a table.
+    pub fn row_count(&self, table: &str) -> StoreResult<u64> {
+        let state = self.table(table)?;
+        let regions = state.regions.read();
+        Ok(regions.iter().map(|r| r.row_count() as u64).sum())
+    }
+
+    /// Major-compacts one table (drops excess cell versions, reclaims space).
+    pub fn major_compact(&self, table: &str) -> StoreResult<()> {
+        let state = self.table(table)?;
+        let mut regions = state.regions.write();
+        for region in regions.iter_mut() {
+            region.major_compact(&state.schema);
+        }
+        Ok(())
+    }
+
+    /// Major-compacts every table, as the paper does after each database
+    /// population.
+    pub fn major_compact_all(&self) {
+        for table in self.list_tables() {
+            let _ = self.major_compact(&table);
+        }
+    }
+
+    /// Snapshot of operation counters and per-table storage statistics.
+    pub fn metrics(&self) -> ClusterMetrics {
+        let mut metrics = ClusterMetrics {
+            ops: self.inner.counters.lock().clone(),
+            tables: BTreeMap::new(),
+        };
+        for (name, state) in self.inner.tables.read().iter() {
+            let regions = state.regions.read();
+            metrics.tables.insert(
+                name.clone(),
+                TableMetrics {
+                    rows: regions.iter().map(|r| r.row_count() as u64).sum(),
+                    bytes: regions.iter().map(|r| r.byte_size() as u64).sum(),
+                    regions: regions.len(),
+                },
+            );
+        }
+        metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::Expectation;
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterConfig::default())
+    }
+
+    fn orders_schema() -> TableSchema {
+        TableSchema::new("orders").with_family("cf")
+    }
+
+    #[test]
+    fn create_and_drop_tables() {
+        let c = cluster();
+        c.create_table(orders_schema()).unwrap();
+        assert!(c.table_exists("orders"));
+        assert!(matches!(
+            c.create_table(orders_schema()),
+            Err(StoreError::TableExists(_))
+        ));
+        c.drop_table("orders").unwrap();
+        assert!(!c.table_exists("orders"));
+        assert!(matches!(
+            c.drop_table("orders"),
+            Err(StoreError::TableNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn put_get_delete_round_trip_and_costs() {
+        let c = cluster();
+        c.create_table(orders_schema()).unwrap();
+        let start = c.clock().now();
+        c.put("orders", Put::new("o1").with("cf", "total", "99")).unwrap();
+        let after_put = c.clock().now();
+        assert!(after_put > start, "puts must charge simulated time");
+        let row = c.get("orders", Get::new("o1")).unwrap().unwrap();
+        assert_eq!(row.value_str("cf", "total").unwrap(), "99");
+        assert!(c.delete("orders", Delete::row("o1")).unwrap());
+        assert!(c.get("orders", Get::new("o1")).unwrap().is_none());
+        let m = c.metrics();
+        assert_eq!(m.ops.puts, 1);
+        assert_eq!(m.ops.gets, 2);
+        assert_eq!(m.ops.deletes, 1);
+    }
+
+    #[test]
+    fn unknown_table_is_an_error() {
+        let c = cluster();
+        assert!(matches!(
+            c.get("nope", Get::new("r")),
+            Err(StoreError::TableNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn scan_spans_region_splits() {
+        let config = ClusterConfig {
+            region_split_bytes: 2_000,
+            ..ClusterConfig::default()
+        };
+        let c = Cluster::new(config);
+        c.create_table(orders_schema()).unwrap();
+        for i in 0..200 {
+            c.bulk_load(
+                "orders",
+                [Put::new(format!("o{i:04}")).with("cf", "v", vec![b'x'; 64])],
+            )
+            .unwrap();
+        }
+        let metrics = c.metrics();
+        assert!(metrics.tables["orders"].regions > 1, "table should have split");
+        let rows = c.scan("orders", Scan::all()).unwrap();
+        assert_eq!(rows.len(), 200);
+        // Rows come back in global key order even across regions.
+        let keys: Vec<String> = rows.iter().map(ResultRow::key_str).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        let ranged = c.scan("orders", Scan::range("o0010", "o0020")).unwrap();
+        assert_eq!(ranged.len(), 10);
+    }
+
+    #[test]
+    fn bulk_load_is_free_but_accounted_in_storage() {
+        let c = cluster();
+        c.create_table(orders_schema()).unwrap();
+        let before = c.clock().now();
+        c.bulk_load(
+            "orders",
+            (0..50).map(|i| Put::new(format!("o{i}")).with("cf", "v", "1")),
+        )
+        .unwrap();
+        assert_eq!(c.clock().now(), before, "bulk load must not charge time");
+        assert_eq!(c.row_count("orders").unwrap(), 50);
+        assert!(c.metrics().tables["orders"].bytes > 0);
+    }
+
+    #[test]
+    fn check_and_put_behaves_like_a_lock() {
+        let c = cluster();
+        c.create_table(TableSchema::new("locks").with_family("l")).unwrap();
+        let acquire = |c: &Cluster| {
+            c.check_and_put(
+                "locks",
+                CheckAndPut::new(
+                    "root#42",
+                    "l",
+                    "held",
+                    Expectation::Absent,
+                    Put::new("root#42").with("l", "held", "1"),
+                ),
+            )
+            .unwrap()
+        };
+        assert!(acquire(&c));
+        assert!(!acquire(&c));
+        // Release.
+        assert!(c
+            .check_and_put(
+                "locks",
+                CheckAndPut::new(
+                    "root#42",
+                    "l",
+                    "held",
+                    Expectation::Equals(b"1".to_vec()),
+                    Put::new("root#42").with("l", "held", ""),
+                ),
+            )
+            .unwrap());
+    }
+
+    #[test]
+    fn increments_are_atomic_across_threads() {
+        let c = cluster();
+        c.create_table(TableSchema::new("counters").with_family("cf")).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        c.increment("counters", Increment::new("hits", "cf", "n", 1)).unwrap();
+                    }
+                });
+            }
+        });
+        let row = c.get("counters", Get::new("hits")).unwrap().unwrap();
+        let value = i64::from_be_bytes(row.value("cf", "n").unwrap().try_into().unwrap());
+        assert_eq!(value, 400);
+    }
+
+    #[test]
+    fn major_compaction_reclaims_old_versions() {
+        let c = cluster();
+        c.create_table(orders_schema()).unwrap();
+        for _ in 0..10 {
+            c.put("orders", Put::new("o1").with("cf", "v", vec![b'x'; 500])).unwrap();
+        }
+        let before = c.metrics().tables["orders"].bytes;
+        c.major_compact_all();
+        let after = c.metrics().tables["orders"].bytes;
+        assert!(after < before);
+    }
+
+    #[test]
+    fn wal_records_mutations() {
+        let c = Cluster::new(ClusterConfig {
+            region_servers: 1,
+            ..ClusterConfig::default()
+        });
+        c.create_table(orders_schema()).unwrap();
+        c.put("orders", Put::new("o1").with("cf", "v", "1")).unwrap();
+        c.delete("orders", Delete::row("o1")).unwrap();
+        let wal = c.wal(0);
+        assert_eq!(wal.len(), 2);
+        assert!(wal.unsynced().is_empty());
+    }
+
+    #[test]
+    fn scan_cost_grows_with_result_size() {
+        let c = cluster();
+        c.create_table(orders_schema()).unwrap();
+        c.bulk_load(
+            "orders",
+            (0..2_000).map(|i| Put::new(format!("o{i:05}")).with("cf", "v", vec![b'x'; 64])),
+        )
+        .unwrap();
+        let (_, small) = c.clock().measure(|| c.scan("orders", Scan::all().with_limit(10)).unwrap());
+        let (_, large) = c.clock().measure(|| c.scan("orders", Scan::all()).unwrap());
+        assert!(large > small * 2, "large={large} small={small}");
+    }
+}

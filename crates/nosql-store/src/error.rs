@@ -1,0 +1,72 @@
+//! Error type shared by every store operation.
+
+use std::fmt;
+
+/// Result alias for store operations.
+pub type StoreResult<T> = Result<T, StoreError>;
+
+/// Errors returned by the cluster API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The named table does not exist.
+    TableNotFound(String),
+    /// A table with this name already exists.
+    TableExists(String),
+    /// The named column family is not declared in the table schema.
+    UnknownColumnFamily {
+        /// Table being accessed.
+        table: String,
+        /// Family that was requested.
+        family: String,
+    },
+    /// A mutation carried no cells.
+    EmptyMutation,
+    /// An increment was applied to a value that is not an 8-byte integer.
+    NotACounter {
+        /// Row key of the offending cell.
+        row: String,
+        /// Qualifier of the offending cell.
+        qualifier: String,
+    },
+    /// A scan requested an invalid key range (start > stop).
+    InvalidRange,
+    /// CheckAndPut condition failed (reported as a distinct error only when
+    /// the caller asked for strict behaviour; normally surfaced as `false`).
+    ConditionFailed,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::TableNotFound(t) => write!(f, "table not found: {t}"),
+            StoreError::TableExists(t) => write!(f, "table already exists: {t}"),
+            StoreError::UnknownColumnFamily { table, family } => {
+                write!(f, "unknown column family {family} in table {table}")
+            }
+            StoreError::EmptyMutation => write!(f, "mutation contains no cells"),
+            StoreError::NotACounter { row, qualifier } => {
+                write!(f, "cell {row}/{qualifier} does not hold a counter value")
+            }
+            StoreError::InvalidRange => write!(f, "scan start key is after stop key"),
+            StoreError::ConditionFailed => write!(f, "checkAndPut condition failed"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_context() {
+        let err = StoreError::UnknownColumnFamily {
+            table: "orders".into(),
+            family: "cf2".into(),
+        };
+        assert!(err.to_string().contains("orders"));
+        assert!(err.to_string().contains("cf2"));
+        assert!(StoreError::TableNotFound("x".into()).to_string().contains('x'));
+    }
+}

@@ -1,0 +1,144 @@
+//! Cluster metrics: operation counters and storage accounting.
+//!
+//! Storage accounting underlies the reproduction of the paper's Table III
+//! (database sizes across evaluated systems); operation counters are used by
+//! tests and the benchmark harness to explain *why* one system is slower
+//! than another (e.g. how many RPCs a join issued).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Counts of each API operation executed by the cluster.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCounters {
+    /// Number of Get operations.
+    pub gets: u64,
+    /// Number of Put operations.
+    pub puts: u64,
+    /// Number of Delete operations.
+    pub deletes: u64,
+    /// Number of Increment operations.
+    pub increments: u64,
+    /// Number of CheckAndPut operations.
+    pub check_and_puts: u64,
+    /// Number of Scan operations.
+    pub scans: u64,
+    /// Total rows returned by scans.
+    pub scanned_rows: u64,
+    /// Total bytes returned by scans.
+    pub scanned_bytes: u64,
+}
+
+impl OpCounters {
+    /// Total number of client-visible operations.
+    pub fn total_ops(&self) -> u64 {
+        self.gets + self.puts + self.deletes + self.increments + self.check_and_puts + self.scans
+    }
+
+    /// Per-field difference `self - earlier`, useful for measuring one
+    /// statement's footprint.
+    pub fn delta_since(&self, earlier: &OpCounters) -> OpCounters {
+        OpCounters {
+            gets: self.gets - earlier.gets,
+            puts: self.puts - earlier.puts,
+            deletes: self.deletes - earlier.deletes,
+            increments: self.increments - earlier.increments,
+            check_and_puts: self.check_and_puts - earlier.check_and_puts,
+            scans: self.scans - earlier.scans,
+            scanned_rows: self.scanned_rows - earlier.scanned_rows,
+            scanned_bytes: self.scanned_bytes - earlier.scanned_bytes,
+        }
+    }
+}
+
+/// Storage statistics for one table.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableMetrics {
+    /// Number of stored rows.
+    pub rows: u64,
+    /// Approximate stored bytes.
+    pub bytes: u64,
+    /// Number of regions the table is split into.
+    pub regions: usize,
+}
+
+/// A snapshot of the whole cluster's metrics.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterMetrics {
+    /// Operation counters since cluster creation.
+    pub ops: OpCounters,
+    /// Per-table storage statistics.
+    pub tables: BTreeMap<String, TableMetrics>,
+}
+
+impl ClusterMetrics {
+    /// Total stored bytes across all tables.
+    pub fn total_bytes(&self) -> u64 {
+        self.tables.values().map(|t| t.bytes).sum()
+    }
+
+    /// Total stored rows across all tables.
+    pub fn total_rows(&self) -> u64 {
+        self.tables.values().map(|t| t.rows).sum()
+    }
+
+    /// Stored bytes for tables whose names satisfy `pred` — used to separate
+    /// base tables from views and view-indexes in Table III.
+    pub fn bytes_where(&self, pred: impl Fn(&str) -> bool) -> u64 {
+        self.tables
+            .iter()
+            .filter(|(name, _)| pred(name))
+            .map(|(_, t)| t.bytes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_aggregate_tables() {
+        let mut m = ClusterMetrics::default();
+        m.tables.insert(
+            "a".into(),
+            TableMetrics {
+                rows: 10,
+                bytes: 100,
+                regions: 1,
+            },
+        );
+        m.tables.insert(
+            "view_a".into(),
+            TableMetrics {
+                rows: 5,
+                bytes: 50,
+                regions: 1,
+            },
+        );
+        assert_eq!(m.total_bytes(), 150);
+        assert_eq!(m.total_rows(), 15);
+        assert_eq!(m.bytes_where(|n| n.starts_with("view_")), 50);
+    }
+
+    #[test]
+    fn op_counter_delta() {
+        let earlier = OpCounters {
+            gets: 5,
+            puts: 2,
+            ..OpCounters::default()
+        };
+        let now = OpCounters {
+            gets: 9,
+            puts: 2,
+            scans: 1,
+            scanned_rows: 100,
+            ..OpCounters::default()
+        };
+        let delta = now.delta_since(&earlier);
+        assert_eq!(delta.gets, 4);
+        assert_eq!(delta.puts, 0);
+        assert_eq!(delta.scans, 1);
+        assert_eq!(now.total_ops(), 12);
+    }
+}

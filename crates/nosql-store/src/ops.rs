@@ -1,0 +1,375 @@
+//! The HBase-style data-manipulation API.
+//!
+//! The store exposes the five primitive operations the paper lists in §II-C
+//! — [`Get`], [`Put`], [`Scan`], [`Delete`] and [`Increment`] — plus the
+//! atomic [`CheckAndPut`] that HBase provides and Synergy's lock tables rely
+//! on (§IX-C).  All single-row operations are atomic with respect to each
+//! other, which is exactly the guarantee the paper builds on.
+
+use crate::cell::{Bytes, Timestamp};
+
+fn to_bytes(v: impl Into<Vec<u8>>) -> Bytes {
+    v.into()
+}
+
+/// A point read of one row (optionally restricted to specific columns).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Get {
+    /// Row key to read.
+    pub row: Bytes,
+    /// If non-empty, only these `(family, qualifier)` columns are returned.
+    pub columns: Vec<(String, String)>,
+    /// Maximum number of versions per cell to return (default 1).
+    pub max_versions: usize,
+    /// If set, only versions with `timestamp <= bound` are visible.
+    pub time_bound: Option<Timestamp>,
+}
+
+impl Get {
+    /// Reads the newest version of every column of `row`.
+    pub fn new(row: impl Into<Vec<u8>>) -> Self {
+        Get {
+            row: to_bytes(row),
+            columns: Vec::new(),
+            max_versions: 1,
+            time_bound: None,
+        }
+    }
+
+    /// Restricts the read to a single column.
+    pub fn column(mut self, family: impl Into<String>, qualifier: impl Into<String>) -> Self {
+        self.columns.push((family.into(), qualifier.into()));
+        self
+    }
+
+    /// Returns up to `n` versions per cell instead of only the newest.
+    pub fn versions(mut self, n: usize) -> Self {
+        self.max_versions = n.max(1);
+        self
+    }
+
+    /// Only returns versions written at or before `ts`.
+    pub fn up_to(mut self, ts: Timestamp) -> Self {
+        self.time_bound = Some(ts);
+        self
+    }
+}
+
+/// A write of one or more cells of a single row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Put {
+    /// Row key being written.
+    pub row: Bytes,
+    /// Cells to write as `(family, qualifier, value)`.
+    pub cells: Vec<(String, String, Bytes)>,
+    /// Explicit timestamp; `None` lets the cluster assign the next sequence
+    /// number (the normal case).
+    pub timestamp: Option<Timestamp>,
+}
+
+impl Put {
+    /// Starts a put against `row`.
+    pub fn new(row: impl Into<Vec<u8>>) -> Self {
+        Put {
+            row: to_bytes(row),
+            cells: Vec::new(),
+            timestamp: None,
+        }
+    }
+
+    /// Adds one cell to the put.
+    pub fn add(
+        &mut self,
+        family: impl Into<String>,
+        qualifier: impl Into<String>,
+        value: impl Into<Vec<u8>>,
+    ) -> &mut Self {
+        self.cells.push((family.into(), qualifier.into(), to_bytes(value)));
+        self
+    }
+
+    /// Builder-style variant of [`Put::add`].
+    pub fn with(
+        mut self,
+        family: impl Into<String>,
+        qualifier: impl Into<String>,
+        value: impl Into<Vec<u8>>,
+    ) -> Self {
+        self.add(family, qualifier, value);
+        self
+    }
+
+    /// Pins every cell in this put to an explicit version timestamp.
+    pub fn at(mut self, ts: Timestamp) -> Self {
+        self.timestamp = Some(ts);
+        self
+    }
+
+    /// Number of cells carried by this put.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+/// Which rows a [`Delete`] removes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeleteScope {
+    /// Remove the whole row.
+    Row,
+    /// Remove only the listed `(family, qualifier)` columns.
+    Columns(Vec<(String, String)>),
+}
+
+/// Removal of a row or of specific columns of a row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delete {
+    /// Row key to delete from.
+    pub row: Bytes,
+    /// What to delete.
+    pub scope: DeleteScope,
+}
+
+impl Delete {
+    /// Deletes the entire row.
+    pub fn row(row: impl Into<Vec<u8>>) -> Self {
+        Delete {
+            row: to_bytes(row),
+            scope: DeleteScope::Row,
+        }
+    }
+
+    /// Deletes a single column of the row.
+    pub fn column(
+        row: impl Into<Vec<u8>>,
+        family: impl Into<String>,
+        qualifier: impl Into<String>,
+    ) -> Self {
+        Delete {
+            row: to_bytes(row),
+            scope: DeleteScope::Columns(vec![(family.into(), qualifier.into())]),
+        }
+    }
+}
+
+/// Atomic add to an 8-byte big-endian counter cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Increment {
+    /// Row key holding the counter.
+    pub row: Bytes,
+    /// Column family of the counter cell.
+    pub family: String,
+    /// Qualifier of the counter cell.
+    pub qualifier: String,
+    /// Signed amount to add.
+    pub amount: i64,
+}
+
+impl Increment {
+    /// Adds `amount` to the counter at `row`/`family`:`qualifier`.
+    pub fn new(
+        row: impl Into<Vec<u8>>,
+        family: impl Into<String>,
+        qualifier: impl Into<String>,
+        amount: i64,
+    ) -> Self {
+        Increment {
+            row: to_bytes(row),
+            family: family.into(),
+            qualifier: qualifier.into(),
+            amount,
+        }
+    }
+}
+
+/// The expected current value in a [`CheckAndPut`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expectation {
+    /// The cell must currently be absent.
+    Absent,
+    /// The cell must currently hold exactly this value.
+    Equals(Bytes),
+}
+
+/// Atomic compare-and-set on a single cell: the `put` is applied only if the
+/// checked cell matches the expectation.  This is the primitive Synergy's
+/// lock tables are built on (paper §IX-C).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckAndPut {
+    /// Row whose cell is checked (must equal the put's row).
+    pub row: Bytes,
+    /// Family of the checked cell.
+    pub family: String,
+    /// Qualifier of the checked cell.
+    pub qualifier: String,
+    /// Expected current state of the checked cell.
+    pub expect: Expectation,
+    /// Mutation applied when the check succeeds.
+    pub put: Put,
+}
+
+impl CheckAndPut {
+    /// Builds a check-and-put; panics if the put targets a different row,
+    /// because HBase only supports single-row atomicity.
+    pub fn new(
+        row: impl Into<Vec<u8>>,
+        family: impl Into<String>,
+        qualifier: impl Into<String>,
+        expect: Expectation,
+        put: Put,
+    ) -> Self {
+        let row = to_bytes(row);
+        assert_eq!(row, put.row, "CheckAndPut is single-row atomic");
+        CheckAndPut {
+            row,
+            family: family.into(),
+            qualifier: qualifier.into(),
+            expect,
+            put,
+        }
+    }
+}
+
+/// A predicate evaluated server-side against the newest version of a column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Filter {
+    /// `family:qualifier == value` (rows missing the column are excluded).
+    ColumnEquals {
+        /// Column family of the filtered column.
+        family: String,
+        /// Qualifier of the filtered column.
+        qualifier: String,
+        /// Value the column must equal.
+        value: Bytes,
+    },
+    /// `family:qualifier != value` (rows missing the column are excluded).
+    ColumnNotEquals {
+        /// Column family of the filtered column.
+        family: String,
+        /// Qualifier of the filtered column.
+        qualifier: String,
+        /// Value the column must differ from.
+        value: Bytes,
+    },
+    /// Row key starts with the given prefix.
+    RowPrefix(Bytes),
+    /// All of the contained filters must pass.
+    And(Vec<Filter>),
+}
+
+/// A range read over a table, in row-key order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Scan {
+    /// Inclusive start key; empty means "from the beginning".
+    pub start: Bytes,
+    /// Exclusive stop key; empty means "to the end".
+    pub stop: Bytes,
+    /// Optional server-side filter.
+    pub filter: Option<Filter>,
+    /// Maximum number of rows to return (`0` = unlimited).
+    pub limit: usize,
+    /// If set, only versions written at or before this timestamp are visible.
+    pub time_bound: Option<Timestamp>,
+}
+
+impl Scan {
+    /// Scans the whole table.
+    pub fn all() -> Self {
+        Scan::default()
+    }
+
+    /// Scans `[start, stop)`.
+    pub fn range(start: impl Into<Vec<u8>>, stop: impl Into<Vec<u8>>) -> Self {
+        Scan {
+            start: to_bytes(start),
+            stop: to_bytes(stop),
+            ..Scan::default()
+        }
+    }
+
+    /// Scans every row whose key starts with `prefix`.
+    pub fn prefix(prefix: impl Into<Vec<u8>>) -> Self {
+        let start: Bytes = to_bytes(prefix);
+        let mut stop = start.clone();
+        // Successor of the prefix: increment the last byte that is not 0xff.
+        while let Some(last) = stop.last_mut() {
+            if *last < 0xff {
+                *last += 1;
+                break;
+            }
+            stop.pop();
+        }
+        Scan {
+            start,
+            stop,
+            ..Scan::default()
+        }
+    }
+
+    /// Adds a server-side filter.
+    pub fn with_filter(mut self, filter: Filter) -> Self {
+        self.filter = Some(match self.filter.take() {
+            Some(existing) => Filter::And(vec![existing, filter]),
+            None => filter,
+        });
+        self
+    }
+
+    /// Caps the number of returned rows.
+    pub fn with_limit(mut self, limit: usize) -> Self {
+        self.limit = limit;
+        self
+    }
+
+    /// Only returns cell versions written at or before `ts`.
+    pub fn up_to(mut self, ts: Timestamp) -> Self {
+        self.time_bound = Some(ts);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_builder_collects_cells() {
+        let put = Put::new("r1").with("cf", "a", "1").with("cf", "b", "2");
+        assert_eq!(put.cell_count(), 2);
+        assert_eq!(put.cells[1].1, "b");
+    }
+
+    #[test]
+    fn prefix_scan_computes_exclusive_stop() {
+        let scan = Scan::prefix("cust#");
+        assert_eq!(scan.start, b"cust#".to_vec());
+        assert_eq!(scan.stop, b"cust$".to_vec());
+    }
+
+    #[test]
+    fn prefix_scan_handles_trailing_ff() {
+        let scan = Scan::prefix(vec![0x61, 0xff]);
+        assert_eq!(scan.stop, vec![0x62]);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-row atomic")]
+    fn check_and_put_rejects_cross_row_mutation() {
+        let put = Put::new("other");
+        let _ = CheckAndPut::new("row", "cf", "lock", Expectation::Absent, put);
+    }
+
+    #[test]
+    fn with_filter_composes_into_and() {
+        let scan = Scan::all()
+            .with_filter(Filter::RowPrefix(b"a".to_vec()))
+            .with_filter(Filter::ColumnEquals {
+                family: "cf".into(),
+                qualifier: "x".into(),
+                value: b"1".to_vec(),
+            });
+        match scan.filter.unwrap() {
+            Filter::And(parts) => assert_eq!(parts.len(), 2),
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,536 @@
+//! Regions: contiguous row-key ranges of a table.
+//!
+//! Like HBase, every table is horizontally partitioned into regions, each
+//! responsible for a half-open key range `[start, end)`.  A region applies
+//! single-row operations atomically (the caller holds the region lock for
+//! the duration of the operation), which is the atomicity unit the paper's
+//! concurrency analysis starts from.
+
+use crate::cell::{Bytes, Cell, Timestamp};
+use crate::error::{StoreError, StoreResult};
+use crate::ops::{Delete, DeleteScope, Expectation, Filter, Get, Increment, Put, Scan};
+use crate::table::{ResultRow, RowData, TableSchema};
+use std::cmp::Reverse;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// Identifier of a region within the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegionId(pub u64);
+
+/// Identifier of a simulated region server (cluster node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegionServerId(pub usize);
+
+/// One contiguous key range of one table.
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// Region identifier.
+    pub id: RegionId,
+    /// Hosting region server.
+    pub server: RegionServerId,
+    /// Inclusive start key (empty = unbounded).
+    pub start: Bytes,
+    /// Exclusive end key (empty = unbounded).
+    pub end: Bytes,
+    rows: BTreeMap<Bytes, RowData>,
+    bytes: usize,
+}
+
+impl Region {
+    /// Creates an empty region covering `[start, end)`.
+    pub fn new(id: RegionId, server: RegionServerId, start: Bytes, end: Bytes) -> Self {
+        Region {
+            id,
+            server,
+            start,
+            end,
+            rows: BTreeMap::new(),
+            bytes: 0,
+        }
+    }
+
+    /// True if `key` falls inside this region's range.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        (self.start.is_empty() || key >= self.start.as_slice())
+            && (self.end.is_empty() || key < self.end.as_slice())
+    }
+
+    /// Number of rows currently stored.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Approximate stored bytes (cells + row keys).
+    pub fn byte_size(&self) -> usize {
+        self.bytes
+    }
+
+    fn recompute_row_bytes(&mut self, key: &[u8], before: usize) {
+        let after = self
+            .rows
+            .get(key)
+            .map(|r| r.heap_size(key.len()))
+            .unwrap_or(0);
+        self.bytes = self.bytes + after - before;
+    }
+
+    fn row_bytes(&self, key: &[u8]) -> usize {
+        self.rows.get(key).map(|r| r.heap_size(key.len())).unwrap_or(0)
+    }
+
+    /// Applies a [`Put`]; returns the number of cells written.
+    pub fn put(&mut self, schema: &TableSchema, put: &Put, ts: Timestamp) -> StoreResult<usize> {
+        if put.cells.is_empty() {
+            return Err(StoreError::EmptyMutation);
+        }
+        for (family, _, _) in &put.cells {
+            if !schema.has_family(family) {
+                return Err(StoreError::UnknownColumnFamily {
+                    table: schema.name.clone(),
+                    family: family.clone(),
+                });
+            }
+        }
+        let before = self.row_bytes(&put.row);
+        let effective_ts = put.timestamp.unwrap_or(ts);
+        let row = self.rows.entry(put.row.clone()).or_default();
+        for (family, qualifier, value) in &put.cells {
+            row.columns
+                .entry((family.clone(), qualifier.clone()))
+                .or_default()
+                .insert(Reverse(effective_ts), value.clone());
+        }
+        let written = put.cells.len();
+        let key = put.row.clone();
+        self.recompute_row_bytes(&key, before);
+        Ok(written)
+    }
+
+    /// Applies a [`Delete`]; returns `true` if any data was removed.
+    pub fn delete(&mut self, delete: &Delete) -> StoreResult<bool> {
+        let before = self.row_bytes(&delete.row);
+        let removed = match &delete.scope {
+            DeleteScope::Row => self.rows.remove(&delete.row).is_some(),
+            DeleteScope::Columns(columns) => {
+                let mut removed = false;
+                if let Some(row) = self.rows.get_mut(&delete.row) {
+                    for (family, qualifier) in columns {
+                        removed |= row
+                            .columns
+                            .remove(&(family.clone(), qualifier.clone()))
+                            .is_some();
+                    }
+                    if row.is_empty() {
+                        self.rows.remove(&delete.row);
+                    }
+                }
+                removed
+            }
+        };
+        let key = delete.row.clone();
+        self.recompute_row_bytes(&key, before);
+        Ok(removed)
+    }
+
+    /// Applies an [`Increment`]; returns the new counter value.
+    pub fn increment(
+        &mut self,
+        schema: &TableSchema,
+        inc: &Increment,
+        ts: Timestamp,
+    ) -> StoreResult<i64> {
+        if !schema.has_family(&inc.family) {
+            return Err(StoreError::UnknownColumnFamily {
+                table: schema.name.clone(),
+                family: inc.family.clone(),
+            });
+        }
+        let before = self.row_bytes(&inc.row);
+        let row = self.rows.entry(inc.row.clone()).or_default();
+        let versions = row
+            .columns
+            .entry((inc.family.clone(), inc.qualifier.clone()))
+            .or_default();
+        let current = match versions.first_key_value() {
+            Some((_, value)) => {
+                let bytes: [u8; 8] = value.as_slice().try_into().map_err(|_| {
+                    StoreError::NotACounter {
+                        row: String::from_utf8_lossy(&inc.row).into_owned(),
+                        qualifier: inc.qualifier.clone(),
+                    }
+                })?;
+                i64::from_be_bytes(bytes)
+            }
+            None => 0,
+        };
+        let next = current + inc.amount;
+        versions.insert(Reverse(ts), next.to_be_bytes().to_vec());
+        let key = inc.row.clone();
+        self.recompute_row_bytes(&key, before);
+        Ok(next)
+    }
+
+    /// Applies a [`crate::ops::CheckAndPut`]; returns whether the put was applied.
+    pub fn check_and_put(
+        &mut self,
+        schema: &TableSchema,
+        family: &str,
+        qualifier: &str,
+        expect: &Expectation,
+        put: &Put,
+        ts: Timestamp,
+    ) -> StoreResult<bool> {
+        let current = self
+            .rows
+            .get(&put.row)
+            .and_then(|row| row.columns.get(&(family.to_string(), qualifier.to_string())))
+            .and_then(|versions| versions.first_key_value())
+            .map(|(_, value)| value.clone());
+        let matches = match (expect, &current) {
+            (Expectation::Absent, None) => true,
+            (Expectation::Absent, Some(_)) => false,
+            (Expectation::Equals(expected), Some(actual)) => expected == actual,
+            (Expectation::Equals(_), None) => false,
+        };
+        if matches {
+            self.put(schema, put, ts)?;
+        }
+        Ok(matches)
+    }
+
+    fn visible_cells(
+        row: &RowData,
+        columns: &[(String, String)],
+        max_versions: usize,
+        time_bound: Option<Timestamp>,
+    ) -> Vec<Cell> {
+        let mut cells = Vec::new();
+        for ((family, qualifier), versions) in &row.columns {
+            if !columns.is_empty()
+                && !columns
+                    .iter()
+                    .any(|(f, q)| f == family && q == qualifier)
+            {
+                continue;
+            }
+            let mut taken = 0;
+            for (Reverse(ts), value) in versions.iter() {
+                if let Some(bound) = time_bound {
+                    if *ts > bound {
+                        continue;
+                    }
+                }
+                cells.push(Cell {
+                    family: family.clone(),
+                    qualifier: qualifier.clone(),
+                    timestamp: *ts,
+                    value: value.clone(),
+                });
+                taken += 1;
+                if taken >= max_versions {
+                    break;
+                }
+            }
+        }
+        cells
+    }
+
+    /// Applies a [`Get`]; returns the row if it exists and has visible cells.
+    pub fn get(&self, get: &Get) -> Option<ResultRow> {
+        let row = self.rows.get(&get.row)?;
+        let cells = Self::visible_cells(row, &get.columns, get.max_versions, get.time_bound);
+        if cells.is_empty() {
+            return None;
+        }
+        Some(ResultRow {
+            key: get.row.clone(),
+            cells,
+        })
+    }
+
+    fn filter_matches(row_key: &[u8], cells: &[Cell], filter: &Filter) -> bool {
+        match filter {
+            Filter::ColumnEquals {
+                family,
+                qualifier,
+                value,
+            } => cells
+                .iter()
+                .filter(|c| &c.family == family && &c.qualifier == qualifier)
+                .max_by_key(|c| c.timestamp)
+                .is_some_and(|c| &c.value == value),
+            Filter::ColumnNotEquals {
+                family,
+                qualifier,
+                value,
+            } => cells
+                .iter()
+                .filter(|c| &c.family == family && &c.qualifier == qualifier)
+                .max_by_key(|c| c.timestamp)
+                .is_some_and(|c| &c.value != value),
+            Filter::RowPrefix(prefix) => row_key.starts_with(prefix),
+            Filter::And(filters) => filters.iter().all(|f| Self::filter_matches(row_key, cells, f)),
+        }
+    }
+
+    /// Applies a [`Scan`] to the portion of the range owned by this region.
+    ///
+    /// `remaining_limit` is the number of rows the overall scan may still
+    /// return (`usize::MAX` when unlimited).
+    pub fn scan(&self, scan: &Scan, remaining_limit: usize) -> StoreResult<Vec<ResultRow>> {
+        if !scan.start.is_empty() && !scan.stop.is_empty() && scan.start > scan.stop {
+            return Err(StoreError::InvalidRange);
+        }
+        let lower: Bound<&Bytes> = if scan.start.is_empty() {
+            Bound::Unbounded
+        } else {
+            Bound::Included(&scan.start)
+        };
+        let upper: Bound<&Bytes> = if scan.stop.is_empty() {
+            Bound::Unbounded
+        } else {
+            Bound::Excluded(&scan.stop)
+        };
+        let mut out = Vec::new();
+        for (key, row) in self.rows.range::<Bytes, _>((lower, upper)) {
+            if out.len() >= remaining_limit {
+                break;
+            }
+            let cells = Self::visible_cells(row, &[], 1, scan.time_bound);
+            if cells.is_empty() {
+                continue;
+            }
+            if let Some(filter) = &scan.filter {
+                if !Self::filter_matches(key, &cells, filter) {
+                    continue;
+                }
+            }
+            out.push(ResultRow {
+                key: key.clone(),
+                cells,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Drops excess cell versions in every row, per the schema's
+    /// `max_versions` settings, and reclaims their space.  Models an HBase
+    /// major compaction (the paper major-compacts after every load).
+    pub fn major_compact(&mut self, schema: &TableSchema) {
+        let mut bytes = 0;
+        for (key, row) in self.rows.iter_mut() {
+            row.compact(|family| {
+                schema
+                    .family(family)
+                    .map(|f| f.max_versions)
+                    .unwrap_or(1)
+            });
+            bytes += row.heap_size(key.len());
+        }
+        self.rows.retain(|_, row| !row.is_empty());
+        self.bytes = bytes;
+    }
+
+    /// Splits this region at its median row key, returning the upper half.
+    /// Returns `None` if the region holds fewer than two rows.
+    pub fn split(&mut self, new_id: RegionId, new_server: RegionServerId) -> Option<Region> {
+        if self.rows.len() < 2 {
+            return None;
+        }
+        let split_key = self.rows.keys().nth(self.rows.len() / 2)?.clone();
+        let upper_rows = self.rows.split_off(&split_key);
+        let mut upper = Region::new(new_id, new_server, split_key.clone(), self.end.clone());
+        upper.rows = upper_rows;
+        upper.bytes = upper
+            .rows
+            .iter()
+            .map(|(k, r)| r.heap_size(k.len()))
+            .sum();
+        self.end = split_key;
+        self.bytes = self
+            .rows
+            .iter()
+            .map(|(k, r)| r.heap_size(k.len()))
+            .sum();
+        Some(upper)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> TableSchema {
+        TableSchema::new("t").with_versioned_family("cf", 4)
+    }
+
+    fn region() -> Region {
+        Region::new(RegionId(1), RegionServerId(0), Vec::new(), Vec::new())
+    }
+
+    #[test]
+    fn put_then_get_round_trips() {
+        let mut r = region();
+        r.put(&schema(), &Put::new("a").with("cf", "x", "1"), 1).unwrap();
+        let row = r.get(&Get::new("a")).unwrap();
+        assert_eq!(row.value("cf", "x").unwrap(), b"1");
+        assert!(r.get(&Get::new("missing")).is_none());
+    }
+
+    #[test]
+    fn put_rejects_unknown_family_and_empty_mutation() {
+        let mut r = region();
+        let err = r
+            .put(&schema(), &Put::new("a").with("bogus", "x", "1"), 1)
+            .unwrap_err();
+        assert!(matches!(err, StoreError::UnknownColumnFamily { .. }));
+        assert!(matches!(
+            r.put(&schema(), &Put::new("a"), 1).unwrap_err(),
+            StoreError::EmptyMutation
+        ));
+    }
+
+    #[test]
+    fn newer_timestamp_wins_and_time_bound_reads_history() {
+        let mut r = region();
+        r.put(&schema(), &Put::new("a").with("cf", "x", "old"), 5).unwrap();
+        r.put(&schema(), &Put::new("a").with("cf", "x", "new"), 9).unwrap();
+        assert_eq!(r.get(&Get::new("a")).unwrap().value("cf", "x").unwrap(), b"new");
+        let historic = r.get(&Get::new("a").up_to(6)).unwrap();
+        assert_eq!(historic.value("cf", "x").unwrap(), b"old");
+    }
+
+    #[test]
+    fn delete_row_and_column() {
+        let mut r = region();
+        r.put(
+            &schema(),
+            &Put::new("a").with("cf", "x", "1").with("cf", "y", "2"),
+            1,
+        )
+        .unwrap();
+        assert!(r.delete(&Delete::column("a", "cf", "x")).unwrap());
+        let row = r.get(&Get::new("a")).unwrap();
+        assert!(row.value("cf", "x").is_none());
+        assert!(r.delete(&Delete::row("a")).unwrap());
+        assert!(r.get(&Get::new("a")).is_none());
+        assert!(!r.delete(&Delete::row("a")).unwrap());
+    }
+
+    #[test]
+    fn increment_creates_and_advances_counter() {
+        let mut r = region();
+        assert_eq!(r.increment(&schema(), &Increment::new("c", "cf", "n", 5), 1).unwrap(), 5);
+        assert_eq!(r.increment(&schema(), &Increment::new("c", "cf", "n", -2), 2).unwrap(), 3);
+    }
+
+    #[test]
+    fn increment_rejects_non_counter_cells() {
+        let mut r = region();
+        r.put(&schema(), &Put::new("c").with("cf", "n", "oops"), 1).unwrap();
+        assert!(matches!(
+            r.increment(&schema(), &Increment::new("c", "cf", "n", 1), 2),
+            Err(StoreError::NotACounter { .. })
+        ));
+    }
+
+    #[test]
+    fn check_and_put_is_conditional() {
+        let mut r = region();
+        let acquire = Put::new("lock1").with("cf", "held", "1");
+        let applied = r
+            .check_and_put(&schema(), "cf", "held", &Expectation::Absent, &acquire, 1)
+            .unwrap();
+        assert!(applied);
+        // Second acquire against the same lock must fail.
+        let applied = r
+            .check_and_put(&schema(), "cf", "held", &Expectation::Absent, &acquire, 2)
+            .unwrap();
+        assert!(!applied);
+        // Release: expect current value "1", write "0".
+        let release = Put::new("lock1").with("cf", "held", "0");
+        let applied = r
+            .check_and_put(
+                &schema(),
+                "cf",
+                "held",
+                &Expectation::Equals(b"1".to_vec()),
+                &release,
+                3,
+            )
+            .unwrap();
+        assert!(applied);
+    }
+
+    #[test]
+    fn scan_respects_range_filter_and_limit() {
+        let mut r = region();
+        for i in 0..10 {
+            r.put(
+                &schema(),
+                &Put::new(format!("row{i:02}")).with("cf", "v", format!("{i}")),
+                i as u64,
+            )
+            .unwrap();
+        }
+        let rows = r.scan(&Scan::range("row02", "row05"), usize::MAX).unwrap();
+        assert_eq!(rows.len(), 3);
+        let rows = r
+            .scan(
+                &Scan::all().with_filter(Filter::ColumnEquals {
+                    family: "cf".into(),
+                    qualifier: "v".into(),
+                    value: b"7".to_vec(),
+                }),
+                usize::MAX,
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].key_str(), "row07");
+        let rows = r.scan(&Scan::all(), 4).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert!(r.scan(&Scan::range("z", "a"), usize::MAX).is_err());
+    }
+
+    #[test]
+    fn compaction_trims_versions_and_size() {
+        let mut r = region();
+        let compact_schema = TableSchema::new("t").with_family("cf"); // 1 version
+        for ts in 1..=20u64 {
+            r.put(&schema(), &Put::new("a").with("cf", "x", vec![0u8; 100]), ts).unwrap();
+        }
+        let before = r.byte_size();
+        r.major_compact(&compact_schema);
+        assert!(r.byte_size() < before);
+        let row = r.get(&Get::new("a").versions(10)).unwrap();
+        assert_eq!(row.cells.len(), 1);
+    }
+
+    #[test]
+    fn split_partitions_rows_and_sizes() {
+        let mut r = region();
+        for i in 0..10 {
+            r.put(
+                &schema(),
+                &Put::new(format!("row{i:02}")).with("cf", "v", "x"),
+                i as u64,
+            )
+            .unwrap();
+        }
+        let total_bytes = r.byte_size();
+        let upper = r.split(RegionId(2), RegionServerId(1)).unwrap();
+        assert_eq!(r.row_count() + upper.row_count(), 10);
+        assert_eq!(r.byte_size() + upper.byte_size(), total_bytes);
+        assert!(r.contains(b"row00"));
+        assert!(!r.contains(upper.start.as_slice()));
+        assert!(upper.contains(b"row09"));
+    }
+
+    #[test]
+    fn tiny_region_refuses_split() {
+        let mut r = region();
+        r.put(&schema(), &Put::new("only").with("cf", "v", "x"), 1).unwrap();
+        assert!(r.split(RegionId(2), RegionServerId(1)).is_none());
+    }
+}

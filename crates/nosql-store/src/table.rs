@@ -1,0 +1,230 @@
+//! Table schemas, column families and result rows.
+
+use crate::cell::{Bytes, Cell, Timestamp};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Declaration of one column family of a table.
+///
+/// HBase stores each column family in its own set of files; the paper's
+/// baseline transformation (§II-D) puts all attributes of a relation into a
+/// single family, which is also the default here.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnFamily {
+    /// Family name.
+    pub name: String,
+    /// Maximum number of cell versions retained after compaction.
+    pub max_versions: usize,
+}
+
+impl ColumnFamily {
+    /// A family retaining a single version per cell (HBase's default).
+    pub fn new(name: impl Into<String>) -> Self {
+        ColumnFamily {
+            name: name.into(),
+            max_versions: 1,
+        }
+    }
+
+    /// Sets the number of retained versions.
+    pub fn with_versions(mut self, versions: usize) -> Self {
+        self.max_versions = versions.max(1);
+        self
+    }
+}
+
+/// Schema of a table: its name and declared column families.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableSchema {
+    /// Table name (unique within the cluster).
+    pub name: String,
+    /// Declared column families.
+    pub families: Vec<ColumnFamily>,
+}
+
+impl TableSchema {
+    /// Creates a schema with no families; add at least one before use.
+    pub fn new(name: impl Into<String>) -> Self {
+        TableSchema {
+            name: name.into(),
+            families: Vec::new(),
+        }
+    }
+
+    /// Adds a single-version column family.
+    pub fn with_family(mut self, name: impl Into<String>) -> Self {
+        self.families.push(ColumnFamily::new(name));
+        self
+    }
+
+    /// Adds a column family retaining `versions` versions per cell.
+    pub fn with_versioned_family(mut self, name: impl Into<String>, versions: usize) -> Self {
+        self.families.push(ColumnFamily::new(name).with_versions(versions));
+        self
+    }
+
+    /// Returns the declared family with the given name, if any.
+    pub fn family(&self, name: &str) -> Option<&ColumnFamily> {
+        self.families.iter().find(|f| f.name == name)
+    }
+
+    /// True if `name` is a declared family.
+    pub fn has_family(&self, name: &str) -> bool {
+        self.family(name).is_some()
+    }
+}
+
+/// Versions of a single column, newest first.
+pub(crate) type VersionMap = BTreeMap<std::cmp::Reverse<Timestamp>, Bytes>;
+
+/// In-memory representation of one stored row: `(family, qualifier)` →
+/// version map.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct RowData {
+    pub(crate) columns: BTreeMap<(String, String), VersionMap>,
+}
+
+impl RowData {
+    /// Approximate byte footprint of the row (excluding the row key, which
+    /// the region accounts separately per cell).
+    pub(crate) fn heap_size(&self, row_key_len: usize) -> usize {
+        self.columns
+            .iter()
+            .map(|((family, qualifier), versions)| {
+                versions
+                    .values()
+                    .map(|value| {
+                        Cell {
+                            family: family.clone(),
+                            qualifier: qualifier.clone(),
+                            timestamp: 0,
+                            value: value.clone(),
+                        }
+                        .heap_size()
+                            + row_key_len
+                    })
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Total number of stored cell versions in the row.
+    #[cfg(test)]
+    pub(crate) fn cell_count(&self) -> usize {
+        self.columns.values().map(|v| v.len()).sum()
+    }
+
+    /// Drops all but the newest `max_versions` versions of every column.
+    pub(crate) fn compact(&mut self, max_versions: impl Fn(&str) -> usize) {
+        for ((family, _), versions) in self.columns.iter_mut() {
+            let keep = max_versions(family).max(1);
+            while versions.len() > keep {
+                versions.pop_last();
+            }
+        }
+        self.columns.retain(|_, versions| !versions.is_empty());
+    }
+
+    /// Is the row empty (no cells at all)?
+    pub(crate) fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+}
+
+/// A row returned from a [`crate::ops::Get`] or [`crate::ops::Scan`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ResultRow {
+    /// Row key of the returned row.
+    pub key: Bytes,
+    /// Returned cells (newest visible version per column unless more
+    /// versions were requested), sorted by family then qualifier.
+    pub cells: Vec<Cell>,
+}
+
+impl ResultRow {
+    /// The newest returned value of `family:qualifier`, if present.
+    pub fn value(&self, family: &str, qualifier: &str) -> Option<&[u8]> {
+        self.cells
+            .iter()
+            .filter(|c| c.family == family && c.qualifier == qualifier)
+            .max_by_key(|c| c.timestamp)
+            .map(|c| c.value.as_slice())
+    }
+
+    /// The newest returned value of `family:qualifier` decoded as UTF-8.
+    pub fn value_str(&self, family: &str, qualifier: &str) -> Option<String> {
+        self.value(family, qualifier)
+            .map(|v| String::from_utf8_lossy(v).into_owned())
+    }
+
+    /// Row key decoded as UTF-8 (lossy).
+    pub fn key_str(&self) -> String {
+        String::from_utf8_lossy(&self.key).into_owned()
+    }
+
+    /// Total serialized size of the returned cells, used for scan-cost
+    /// accounting.
+    pub fn byte_size(&self) -> usize {
+        self.key.len() + self.cells.iter().map(Cell::heap_size).sum::<usize>()
+    }
+
+    /// True if no cells were returned.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Reverse;
+
+    #[test]
+    fn schema_family_lookup() {
+        let schema = TableSchema::new("t").with_family("cf").with_versioned_family("v", 3);
+        assert!(schema.has_family("cf"));
+        assert_eq!(schema.family("v").unwrap().max_versions, 3);
+        assert!(!schema.has_family("missing"));
+    }
+
+    #[test]
+    fn row_data_compaction_keeps_newest_versions() {
+        let mut row = RowData::default();
+        let versions = row.columns.entry(("cf".into(), "a".into())).or_default();
+        for ts in 1..=5u64 {
+            versions.insert(Reverse(ts), vec![ts as u8]);
+        }
+        row.compact(|_| 2);
+        let versions = &row.columns[&("cf".into(), "a".into())];
+        assert_eq!(versions.len(), 2);
+        assert_eq!(versions.first_key_value().unwrap().0 .0, 5);
+        assert_eq!(versions.last_key_value().unwrap().0 .0, 4);
+    }
+
+    #[test]
+    fn result_row_returns_newest_value() {
+        let row = ResultRow {
+            key: b"k".to_vec(),
+            cells: vec![
+                Cell::new("cf", "a", 1, "old"),
+                Cell::new("cf", "a", 9, "new"),
+                Cell::new("cf", "b", 2, "x"),
+            ],
+        };
+        assert_eq!(row.value("cf", "a").unwrap(), b"new");
+        assert_eq!(row.value_str("cf", "b").unwrap(), "x");
+        assert_eq!(row.value("cf", "zzz"), None);
+        assert!(row.byte_size() > 0);
+    }
+
+    #[test]
+    fn row_data_size_accounts_cells() {
+        let mut row = RowData::default();
+        row.columns
+            .entry(("cf".into(), "a".into()))
+            .or_default()
+            .insert(Reverse(1), b"hello".to_vec());
+        assert!(row.heap_size(3) > 5);
+        assert_eq!(row.cell_count(), 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Model-based property tests: the cluster must behave exactly like a simple
+//! in-memory map of `row key → (column → value)` under arbitrary sequences
+//! of puts, deletes, column deletes and scans.
+
+use nosql_store::ops::{Delete, Get, Put, Scan};
+use nosql_store::{Cluster, ClusterConfig, TableSchema};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put { key: u8, column: u8, value: u8 },
+    DeleteRow { key: u8 },
+    DeleteColumn { key: u8, column: u8 },
+    Get { key: u8 },
+    ScanRange { start: u8, len: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), 0u8..4, any::<u8>()).prop_map(|(key, column, value)| Op::Put {
+            key,
+            column,
+            value
+        }),
+        any::<u8>().prop_map(|key| Op::DeleteRow { key }),
+        (any::<u8>(), 0u8..4).prop_map(|(key, column)| Op::DeleteColumn { key, column }),
+        any::<u8>().prop_map(|key| Op::Get { key }),
+        (any::<u8>(), any::<u8>()).prop_map(|(start, len)| Op::ScanRange { start, len }),
+    ]
+}
+
+fn key_str(key: u8) -> String {
+    format!("row{key:03}")
+}
+
+fn col_str(column: u8) -> String {
+    format!("c{column}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cluster_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        // Small region-split threshold so splits happen during the test and
+        // are covered by the model comparison.
+        let cluster = Cluster::new(ClusterConfig {
+            region_split_bytes: 2_000,
+            ..ClusterConfig::default()
+        });
+        cluster.create_table(TableSchema::new("t").with_family("cf")).unwrap();
+        let mut model: BTreeMap<String, BTreeMap<String, u8>> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Put { key, column, value } => {
+                    cluster
+                        .put("t", Put::new(key_str(key)).with("cf", col_str(column), vec![value]))
+                        .unwrap();
+                    model.entry(key_str(key)).or_default().insert(col_str(column), value);
+                }
+                Op::DeleteRow { key } => {
+                    cluster.delete("t", Delete::row(key_str(key))).unwrap();
+                    model.remove(&key_str(key));
+                }
+                Op::DeleteColumn { key, column } => {
+                    cluster
+                        .delete("t", Delete::column(key_str(key), "cf", col_str(column)))
+                        .unwrap();
+                    if let Some(row) = model.get_mut(&key_str(key)) {
+                        row.remove(&col_str(column));
+                        if row.is_empty() {
+                            model.remove(&key_str(key));
+                        }
+                    }
+                }
+                Op::Get { key } => {
+                    let stored = cluster.get("t", Get::new(key_str(key))).unwrap();
+                    match model.get(&key_str(key)) {
+                        None => prop_assert!(stored.is_none()),
+                        Some(expected) => {
+                            let stored = stored.expect("row must exist");
+                            prop_assert_eq!(stored.cells.len(), expected.len());
+                            for (column, value) in expected {
+                                prop_assert_eq!(
+                                    stored.value("cf", column),
+                                    Some(&[*value][..])
+                                );
+                            }
+                        }
+                    }
+                }
+                Op::ScanRange { start, len } => {
+                    let stop = start.saturating_add(len);
+                    let rows = cluster
+                        .scan("t", Scan::range(key_str(start), key_str(stop)))
+                        .unwrap();
+                    let expected: Vec<&String> = model
+                        .range(key_str(start)..key_str(stop))
+                        .map(|(k, _)| k)
+                        .collect();
+                    let actual: Vec<String> = rows.iter().map(|r| r.key_str()).collect();
+                    prop_assert_eq!(actual, expected.into_iter().cloned().collect::<Vec<_>>());
+                }
+            }
+        }
+
+        // Final full-scan comparison: same keys, in order, same cell counts.
+        let rows = cluster.scan("t", Scan::all()).unwrap();
+        prop_assert_eq!(rows.len(), model.len());
+        for (row, (key, columns)) in rows.iter().zip(model.iter()) {
+            prop_assert_eq!(&row.key_str(), key);
+            prop_assert_eq!(row.cells.len(), columns.len());
+        }
+        // Storage accounting never goes negative / inconsistent.
+        let metrics = cluster.metrics();
+        prop_assert_eq!(metrics.tables["t"].rows as usize, model.len());
+    }
+}

@@ -1,0 +1,199 @@
+//! The baseline relational → NoSQL transformation (paper §II-D).
+//!
+//! * **Schema**: every relation `R` becomes a NoSQL table `R'` with the same
+//!   attributes, row key = delimited concatenation of `PK(R)`, all attributes
+//!   in a single column family.  Every index `X(R)` becomes a table keyed on
+//!   `X_tuple(R) ++ PK(R)`.
+//! * **Workload**: every read statement is kept; a write statement is kept
+//!   only if it specifies every key attribute of its target relation in the
+//!   WHERE clause (single-row writes).
+
+use crate::catalog::{Catalog, ColumnType, TableDef, TableKind};
+use crate::result::QueryError;
+use nosql_store::{Cluster, TableSchema};
+use relational::{Relation, Schema};
+use sql::Statement;
+
+/// How column types are assigned when building a catalog from a relational
+/// schema.  The relational model is untyped, so callers provide a typing
+/// function; [`ColumnType::Str`] is used when it returns `None`.
+pub type TypeHint<'a> = &'a dyn Fn(&str, &str) -> Option<ColumnType>;
+
+/// Builds the baseline catalog with all columns typed as strings.
+pub fn baseline_catalog(schema: &Schema) -> Catalog {
+    baseline_catalog_with_types(schema, &|_, _| None)
+}
+
+/// Builds the baseline catalog, consulting `types(relation, column)` for
+/// column types.
+pub fn baseline_catalog_with_types(schema: &Schema, types: TypeHint<'_>) -> Catalog {
+    let mut catalog = Catalog::new();
+    for relation in &schema.relations {
+        catalog.add_table(relation_table_def(relation, types));
+    }
+    for index in &schema.indexes {
+        let relation = schema
+            .relation(&index.relation)
+            .expect("index references a known relation");
+        let mut columns: Vec<(String, ColumnType)> = Vec::new();
+        for column in &index.covered {
+            columns.push((
+                column.clone(),
+                types(&relation.name, column).unwrap_or_default(),
+            ));
+        }
+        // The index key may include PK attributes that are not in the covered
+        // set; make sure they are columns too.
+        let key = index.key_attributes(relation);
+        for k in &key {
+            if !columns.iter().any(|(c, _)| c == k) {
+                columns.push((k.clone(), types(&relation.name, k).unwrap_or_default()));
+            }
+        }
+        catalog.add_table(TableDef::new(
+            index.name.clone(),
+            columns,
+            key,
+            TableKind::Index {
+                of: relation.name.clone(),
+            },
+        ));
+    }
+    catalog
+}
+
+fn relation_table_def(relation: &Relation, types: TypeHint<'_>) -> TableDef {
+    let columns = relation
+        .attributes
+        .iter()
+        .map(|a| (a.clone(), types(&relation.name, a).unwrap_or_default()))
+        .collect();
+    TableDef::new(
+        relation.name.clone(),
+        columns,
+        relation.primary_key.clone(),
+        TableKind::Base,
+    )
+}
+
+/// Creates the physical NoSQL table for every table in the catalog.
+pub fn create_tables(cluster: &Cluster, catalog: &Catalog) -> Result<(), QueryError> {
+    for def in catalog.tables() {
+        if crate::writes::is_physical_kind(&def.kind) && !cluster.table_exists(&def.name) {
+            cluster.create_table(TableSchema::new(def.name.clone()).with_family(super::catalog::FAMILY))?;
+        }
+    }
+    Ok(())
+}
+
+/// The baseline workload transformation: keeps every read statement and every
+/// write statement that specifies all key attributes of its target relation.
+/// Returns the kept statements and the ones that were excluded.
+pub fn baseline_workload(
+    schema: &Schema,
+    workload: &[Statement],
+) -> (Vec<Statement>, Vec<Statement>) {
+    let catalog = baseline_catalog(schema);
+    let mut kept = Vec::new();
+    let mut excluded = Vec::new();
+    for statement in workload {
+        if statement.is_read() {
+            kept.push(statement.clone());
+            continue;
+        }
+        let supported = match statement {
+            Statement::Insert(insert) => catalog
+                .table_ci(&insert.table)
+                .map(|def| {
+                    def.key
+                        .iter()
+                        .all(|k| insert.columns.iter().any(|c| c == k))
+                })
+                .unwrap_or(false),
+            Statement::Update(update) => catalog
+                .table_ci(&update.table)
+                .map(|def| write_specifies_key(def, &update.conditions))
+                .unwrap_or(false),
+            Statement::Delete(delete) => catalog
+                .table_ci(&delete.table)
+                .map(|def| write_specifies_key(def, &delete.conditions))
+                .unwrap_or(false),
+            Statement::Select(_) => true,
+        };
+        if supported {
+            kept.push(statement.clone());
+        } else {
+            excluded.push(statement.clone());
+        }
+    }
+    (kept, excluded)
+}
+
+fn write_specifies_key(def: &TableDef, conditions: &[sql::Condition]) -> bool {
+    def.key.iter().all(|k| {
+        conditions
+            .iter()
+            .any(|c| c.op == sql::Comparison::Eq && c.is_filter() && c.left.column == *k)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relational::company;
+    use sql::parse_statement;
+
+    #[test]
+    fn baseline_catalog_mirrors_schema() {
+        let schema = company::company_schema();
+        let catalog = baseline_catalog(&schema);
+        // 7 relations + 2 indexes.
+        assert_eq!(catalog.len(), 9);
+        let works_on = catalog.table("Works_On").unwrap();
+        assert_eq!(works_on.key, vec!["WO_EID", "WO_PNo"]);
+        assert_eq!(works_on.kind, TableKind::Base);
+        let index = catalog.table("employee_by_dno").unwrap();
+        assert_eq!(index.key, vec!["E_DNo", "EID"]);
+        assert!(matches!(index.kind, TableKind::Index { .. }));
+    }
+
+    #[test]
+    fn type_hints_are_applied() {
+        let schema = company::company_schema();
+        let catalog = baseline_catalog_with_types(&schema, &|relation, column| {
+            (relation == "Employee" && column == "EID").then_some(ColumnType::Int)
+        });
+        let employee = catalog.table("Employee").unwrap();
+        assert_eq!(employee.column_type("EID"), Some(ColumnType::Int));
+        assert_eq!(employee.column_type("EName"), Some(ColumnType::Str));
+    }
+
+    #[test]
+    fn workload_transformation_drops_multi_row_writes() {
+        let schema = company::company_schema();
+        let workload = vec![
+            parse_statement("SELECT * FROM Employee WHERE EID = ?").unwrap(),
+            parse_statement("DELETE FROM Works_On WHERE WO_EID = ? AND WO_PNo = ?").unwrap(),
+            // Affects multiple rows (only part of the composite key) — must be
+            // excluded, like the shopping-cart-line DELETE in the paper.
+            parse_statement("DELETE FROM Works_On WHERE WO_EID = ?").unwrap(),
+            parse_statement("UPDATE Employee SET EName = ? WHERE EID = ?").unwrap(),
+            parse_statement("UPDATE Employee SET EName = ? WHERE EName = ?").unwrap(),
+            parse_statement("INSERT INTO Department (DNo, DName) VALUES (?, ?)").unwrap(),
+            parse_statement("INSERT INTO Department (DName) VALUES (?)").unwrap(),
+        ];
+        let (kept, excluded) = baseline_workload(&schema, &workload);
+        assert_eq!(kept.len(), 4);
+        assert_eq!(excluded.len(), 3);
+    }
+
+    #[test]
+    fn create_tables_is_idempotent() {
+        let schema = company::company_schema();
+        let catalog = baseline_catalog(&schema);
+        let cluster = Cluster::new(nosql_store::ClusterConfig::default());
+        create_tables(&cluster, &catalog).unwrap();
+        create_tables(&cluster, &catalog).unwrap();
+        assert_eq!(cluster.list_tables().len(), 9);
+    }
+}

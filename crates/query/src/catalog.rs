@@ -1,0 +1,353 @@
+//! Catalog: how logical tables (relations, indexes, views, lock tables) are
+//! laid out as NoSQL tables.
+
+use nosql_store::ops::Put;
+use nosql_store::ResultRow;
+use relational::{encode_key, Row, Value};
+use std::collections::BTreeMap;
+
+/// The column family every attribute is stored in (the paper's baseline
+/// transformation assigns all attributes of a relation to a single family).
+pub const FAMILY: &str = "cf";
+
+/// Declared type of a column, used to decode stored cells back into values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ColumnType {
+    /// 64-bit integer.
+    Int,
+    /// Double-precision decimal.
+    Float,
+    /// UTF-8 string (default).
+    #[default]
+    Str,
+}
+
+impl ColumnType {
+    /// Decodes an encoded cell into a [`Value`] of this type.
+    pub fn decode(&self, encoded: &str) -> Value {
+        if encoded.is_empty() {
+            return Value::Null;
+        }
+        match self {
+            ColumnType::Int => encoded.parse().map(Value::Int).unwrap_or(Value::Null),
+            ColumnType::Float => encoded.parse().map(Value::Float).unwrap_or(Value::Null),
+            ColumnType::Str => Value::Str(encoded.to_string()),
+        }
+    }
+}
+
+/// What role a NoSQL table plays.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableKind {
+    /// A base relation from the relational schema.
+    Base,
+    /// A covered index on a base relation or on a view.
+    Index {
+        /// The relation or view the index belongs to.
+        of: String,
+    },
+    /// A materialized view (created by the Synergy layer).
+    View,
+    /// A lock table (one per root relation, created by the Synergy layer).
+    Lock,
+}
+
+/// Layout of one NoSQL table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableDef {
+    /// Table name in the store.
+    pub name: String,
+    /// Columns and their types, in declaration order.
+    pub columns: Vec<(String, ColumnType)>,
+    /// Ordered key attributes; the row key is their delimited concatenation.
+    pub key: Vec<String>,
+    /// Role of the table.
+    pub kind: TableKind,
+}
+
+impl TableDef {
+    /// Creates a table definition.
+    pub fn new(
+        name: impl Into<String>,
+        columns: Vec<(String, ColumnType)>,
+        key: Vec<String>,
+        kind: TableKind,
+    ) -> Self {
+        let def = TableDef {
+            name: name.into(),
+            columns,
+            key,
+            kind,
+        };
+        for k in &def.key {
+            assert!(
+                def.column_type(k).is_some(),
+                "key attribute {k} is not a column of {}",
+                def.name
+            );
+        }
+        def
+    }
+
+    /// The declared type of a column, if it exists.
+    pub fn column_type(&self, column: &str) -> Option<ColumnType> {
+        self.columns
+            .iter()
+            .find(|(name, _)| name == column)
+            .map(|(_, ty)| *ty)
+    }
+
+    /// Column names in declaration order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// True if every key attribute appears in `available` (e.g. the equality
+    /// filters of a WHERE clause).
+    pub fn key_covered_by(&self, available: &[String]) -> bool {
+        self.key.iter().all(|k| available.iter().any(|a| a == k))
+    }
+
+    /// Encodes the row key for a row of this table.  Missing key attributes
+    /// encode as empty components (callers validate beforehand).
+    pub fn encode_row_key(&self, row: &Row) -> String {
+        let values: Vec<Value> = self
+            .key
+            .iter()
+            .map(|k| row.get(k).cloned().unwrap_or(Value::Null))
+            .collect();
+        encode_key(values.iter())
+    }
+
+    /// Encodes the row-key *prefix* formed by the first `n` key attributes.
+    pub fn encode_key_prefix(&self, row: &Row, n: usize) -> String {
+        let values: Vec<Value> = self
+            .key
+            .iter()
+            .take(n)
+            .map(|k| row.get(k).cloned().unwrap_or(Value::Null))
+            .collect();
+        encode_key(values.iter())
+    }
+
+    /// Converts a row into a [`Put`] against this table (all attributes into
+    /// the single column family).
+    pub fn row_to_put(&self, row: &Row) -> Put {
+        let mut put = Put::new(self.encode_row_key(row));
+        for (column, _) in &self.columns {
+            if let Some(value) = row.get(column) {
+                if !value.is_null() {
+                    put.add(FAMILY, column.clone(), value.encode());
+                }
+            }
+        }
+        put
+    }
+
+    /// Decodes a stored [`ResultRow`] back into a relational [`Row`].
+    pub fn decode_row(&self, stored: &ResultRow) -> Row {
+        let mut row = Row::new();
+        for (column, ty) in &self.columns {
+            if let Some(raw) = stored.value(FAMILY, column) {
+                let text = String::from_utf8_lossy(raw);
+                row.set(column.clone(), ty.decode(&text));
+            }
+        }
+        row
+    }
+
+    /// Approximate bytes of one encoded row, for size estimation.
+    pub fn estimate_row_bytes(&self, row: &Row) -> usize {
+        self.encode_row_key(&row.clone()).len() + row.byte_size()
+    }
+}
+
+/// The catalog: every logical table known to the SQL skin.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Catalog {
+    tables: BTreeMap<String, TableDef>,
+    /// Indexes grouped by the table they index (`TableKind::Index.of`).
+    indexes_of: BTreeMap<String, Vec<String>>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Adds (or replaces) a table definition.
+    pub fn add_table(&mut self, def: TableDef) {
+        if let TableKind::Index { of } = &def.kind {
+            self.indexes_of
+                .entry(of.clone())
+                .or_default()
+                .push(def.name.clone());
+        }
+        self.tables.insert(def.name.clone(), def);
+    }
+
+    /// Removes a table definition.
+    pub fn remove_table(&mut self, name: &str) {
+        if let Some(def) = self.tables.remove(name) {
+            if let TableKind::Index { of } = &def.kind {
+                if let Some(list) = self.indexes_of.get_mut(of) {
+                    list.retain(|n| n != name);
+                }
+            }
+        }
+    }
+
+    /// Looks up a table definition.
+    pub fn table(&self, name: &str) -> Option<&TableDef> {
+        self.tables.get(name)
+    }
+
+    /// Looks up a table, ignoring ASCII case (SQL identifiers are case
+    /// insensitive in the TPC-W workload).
+    pub fn table_ci(&self, name: &str) -> Option<&TableDef> {
+        self.tables
+            .get(name)
+            .or_else(|| self.tables.values().find(|t| t.name.eq_ignore_ascii_case(name)))
+    }
+
+    /// Names of index tables defined over `table`.
+    pub fn indexes_of(&self, table: &str) -> Vec<&TableDef> {
+        self.indexes_of
+            .get(table)
+            .map(|names| names.iter().filter_map(|n| self.tables.get(n)).collect())
+            .unwrap_or_default()
+    }
+
+    /// All table definitions, sorted by name.
+    pub fn tables(&self) -> impl Iterator<Item = &TableDef> {
+        self.tables.values()
+    }
+
+    /// All table definitions of a given kind.
+    pub fn tables_of_kind(&self, kind: &TableKind) -> Vec<&TableDef> {
+        self.tables.values().filter(|t| &t.kind == kind).collect()
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True if the catalog has no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn customer_def() -> TableDef {
+        TableDef::new(
+            "Customer",
+            vec![
+                ("c_id".into(), ColumnType::Int),
+                ("c_uname".into(), ColumnType::Str),
+                ("c_discount".into(), ColumnType::Float),
+            ],
+            vec!["c_id".into()],
+            TableKind::Base,
+        )
+    }
+
+    #[test]
+    fn encode_and_decode_round_trip() {
+        let def = customer_def();
+        let row = Row::new()
+            .with("c_id", 42)
+            .with("c_uname", "alice")
+            .with("c_discount", 0.05);
+        let put = def.row_to_put(&row);
+        assert_eq!(put.row, b"42".to_vec());
+        assert_eq!(put.cell_count(), 3);
+        // Simulate a stored row coming back and decode it.
+        let stored = ResultRow {
+            key: put.row.clone(),
+            cells: put
+                .cells
+                .iter()
+                .map(|(f, q, v)| nosql_store::Cell::new(f.clone(), q.clone(), 1, v.clone()))
+                .collect(),
+        };
+        let decoded = def.decode_row(&stored);
+        assert_eq!(decoded.get("c_id"), Some(&Value::Int(42)));
+        assert_eq!(decoded.get("c_uname"), Some(&Value::str("alice")));
+        assert_eq!(decoded.get("c_discount"), Some(&Value::Float(0.05)));
+    }
+
+    #[test]
+    fn null_values_are_not_stored() {
+        let def = customer_def();
+        let row = Row::new().with("c_id", 1).with("c_uname", Value::Null);
+        let put = def.row_to_put(&row);
+        assert_eq!(put.cell_count(), 1);
+    }
+
+    #[test]
+    fn key_cover_check_and_prefix() {
+        let def = TableDef::new(
+            "Works_On",
+            vec![
+                ("WO_EID".into(), ColumnType::Int),
+                ("WO_PNo".into(), ColumnType::Int),
+                ("Hours".into(), ColumnType::Int),
+            ],
+            vec!["WO_EID".into(), "WO_PNo".into()],
+            TableKind::Base,
+        );
+        assert!(def.key_covered_by(&["WO_PNo".into(), "WO_EID".into()]));
+        assert!(!def.key_covered_by(&["WO_EID".into()]));
+        let row = Row::new().with("WO_EID", 7).with("WO_PNo", 3);
+        assert_eq!(def.encode_key_prefix(&row, 1), "7");
+        assert!(def.encode_row_key(&row).starts_with("7"));
+    }
+
+    #[test]
+    #[should_panic(expected = "key attribute")]
+    fn key_must_be_a_column() {
+        let _ = TableDef::new(
+            "Broken",
+            vec![("a".into(), ColumnType::Int)],
+            vec!["missing".into()],
+            TableKind::Base,
+        );
+    }
+
+    #[test]
+    fn catalog_tracks_indexes() {
+        let mut catalog = Catalog::new();
+        catalog.add_table(customer_def());
+        catalog.add_table(TableDef::new(
+            "customer_by_uname",
+            vec![
+                ("c_uname".into(), ColumnType::Str),
+                ("c_id".into(), ColumnType::Int),
+            ],
+            vec!["c_uname".into(), "c_id".into()],
+            TableKind::Index {
+                of: "Customer".into(),
+            },
+        ));
+        assert_eq!(catalog.len(), 2);
+        assert_eq!(catalog.indexes_of("Customer").len(), 1);
+        assert!(catalog.table_ci("CUSTOMER").is_some());
+        catalog.remove_table("customer_by_uname");
+        assert!(catalog.indexes_of("Customer").is_empty());
+    }
+
+    #[test]
+    fn column_type_decoding() {
+        assert_eq!(ColumnType::Int.decode("17"), Value::Int(17));
+        assert_eq!(ColumnType::Float.decode("2.5"), Value::Float(2.5));
+        assert_eq!(ColumnType::Str.decode("x"), Value::str("x"));
+        assert_eq!(ColumnType::Int.decode(""), Value::Null);
+        assert_eq!(ColumnType::Int.decode("garbage"), Value::Null);
+    }
+}

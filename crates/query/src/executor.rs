@@ -1,0 +1,862 @@
+//! Statement execution: access-path selection, client-side hash joins,
+//! aggregation, ordering and projection.
+//!
+//! The executor mirrors how Phoenix evaluates SQL over HBase: single-table
+//! predicates become Gets or range Scans (using covered indexes when one
+//! matches), while joins are executed client-side by scanning each
+//! participating table and hash-joining the streams.  Every operation's cost
+//! is charged through the cluster, and intermediate join rows additionally
+//! pay the shuffle/probe costs of [`simclock::CostModel`] — the data-transfer
+//! latency the paper identifies as the reason joins are slow in a NoSQL
+//! store (§III).
+
+use crate::catalog::{Catalog, TableDef, FAMILY};
+use crate::result::{QueryError, QueryResult};
+use nosql_store::ops::{Get, Scan};
+use nosql_store::Cluster;
+use relational::{encode_key, Row, Value, KEY_DELIMITER};
+use sql::{
+    AggregateFunction, ColumnRef, Comparison, Condition, Expr, SelectItem, SelectStatement,
+    Statement,
+};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Reserved column marking a row as dirty during a Synergy view update.
+pub const DIRTY_MARKER: &str = "_dirty";
+
+/// Maximum number of times a scan is restarted after observing dirty rows.
+/// Restarts are cheap (the marked window is a handful of store operations),
+/// so the limit is generous; it exists only to turn a livelock into an error.
+const DIRTY_RETRY_LIMIT: usize = 4_096;
+
+/// How a single table reference will be accessed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessPath {
+    /// Point Get by full primary key.
+    KeyGet,
+    /// Range scan on a prefix of the row key.
+    KeyPrefixScan,
+    /// Prefix scan of a covered index table.
+    IndexScan {
+        /// Name of the index table used.
+        index: String,
+    },
+    /// Full table scan.
+    FullScan,
+}
+
+/// Executes SQL statements against a [`Cluster`] using a [`Catalog`].
+#[derive(Clone)]
+pub struct Executor {
+    cluster: Cluster,
+    catalog: Arc<Catalog>,
+    dirty_protection: bool,
+    snapshot: Option<nosql_store::Timestamp>,
+}
+
+/// A WHERE conjunct with parameters bound to concrete values.
+#[derive(Debug, Clone)]
+pub(crate) struct BoundCondition {
+    pub left: ColumnRef,
+    pub op: Comparison,
+    pub right: BoundOperand,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum BoundOperand {
+    Value(Value),
+    Column(ColumnRef),
+}
+
+impl Executor {
+    /// Creates an executor over `cluster` with the given catalog.
+    pub fn new(cluster: Cluster, catalog: Catalog) -> Self {
+        Executor {
+            cluster,
+            catalog: Arc::new(catalog),
+            dirty_protection: false,
+            snapshot: None,
+        }
+    }
+
+    /// Enables dirty-row detection: scans that observe a row whose
+    /// [`DIRTY_MARKER`] column equals `"1"` are restarted, implementing the
+    /// read-committed protocol of paper §VIII-C.
+    pub fn with_dirty_read_protection(mut self) -> Self {
+        self.dirty_protection = true;
+        self
+    }
+
+    /// Restricts reads to cell versions written at or before `snapshot`.
+    /// Used by the MVCC layer to give statements a consistent snapshot.
+    pub fn with_snapshot_bound(mut self, snapshot: nosql_store::Timestamp) -> Self {
+        self.snapshot = Some(snapshot);
+        self
+    }
+
+    /// The underlying cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The catalog in use.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Parses and executes a SQL string.
+    pub fn execute_sql(&self, sql_text: &str, params: &[Value]) -> Result<QueryResult, QueryError> {
+        let stmt = sql::parse_statement(sql_text)
+            .map_err(|e| QueryError::Unsupported(e.to_string()))?;
+        self.execute(&stmt, params)
+    }
+
+    /// Executes a parsed statement with positional parameters.
+    pub fn execute(&self, stmt: &Statement, params: &[Value]) -> Result<QueryResult, QueryError> {
+        match stmt {
+            Statement::Select(select) => self.execute_select(select, params),
+            Statement::Insert(insert) => self.execute_insert(insert, params),
+            Statement::Update(update) => self.execute_update(update, params),
+            Statement::Delete(delete) => self.execute_delete(delete, params),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // SELECT
+    // ------------------------------------------------------------------
+
+    fn execute_select(
+        &self,
+        select: &SelectStatement,
+        params: &[Value],
+    ) -> Result<QueryResult, QueryError> {
+        let conditions = bind_conditions(&select.conditions, params)?;
+
+        // Resolve each FROM alias to its table definition.
+        let mut aliases: Vec<(String, TableDef)> = Vec::new();
+        for table_ref in &select.from {
+            let def = self
+                .catalog
+                .table_ci(&table_ref.table)
+                .ok_or_else(|| QueryError::UnknownTable(table_ref.table.clone()))?;
+            aliases.push((table_ref.alias.clone(), def.clone()));
+        }
+
+        // Greedy join order: start with the alias that has the most
+        // selective access path, then repeatedly add an alias connected by a
+        // join condition.
+        let mut remaining: Vec<usize> = (0..aliases.len()).collect();
+        let start = self.pick_start_alias(&aliases, &conditions, select);
+        remaining.retain(|&i| i != start);
+
+        let (alias, def) = &aliases[start];
+        let mut joined_aliases = vec![alias.clone()];
+        let mut intermediate =
+            self.fetch_alias_rows(alias, def, &conditions, select, aliases.len() == 1)?;
+
+        while !remaining.is_empty() {
+            // Find a remaining alias connected to what we have joined so far.
+            let next_pos = remaining
+                .iter()
+                .position(|&i| {
+                    join_conditions_between(&conditions, &aliases[i].0, &joined_aliases)
+                        .next()
+                        .is_some()
+                })
+                .unwrap_or(0);
+            let idx = remaining.remove(next_pos);
+            let (next_alias, next_def) = &aliases[idx];
+            let join_conds: Vec<&BoundCondition> =
+                join_conditions_between(&conditions, next_alias, &joined_aliases).collect();
+            let right_rows = self.fetch_alias_rows(next_alias, next_def, &conditions, select, false)?;
+            intermediate =
+                self.hash_join(intermediate, right_rows, next_alias, &join_conds);
+            joined_aliases.push(next_alias.clone());
+        }
+
+        // Residual conditions: anything not consumed as a single-alias
+        // equality filter or as an equi-join key (e.g. cross-alias `<>`,
+        // range filters) is applied against the joined rows.
+        let rows: Vec<Row> = intermediate
+            .into_iter()
+            .filter(|row| conditions.iter().all(|c| evaluate_condition(row, c)))
+            .collect();
+
+        let rows = self.apply_group_and_aggregates(select, rows)?;
+        let mut rows = apply_order_by(select, rows);
+        if let Some(limit) = select.limit {
+            rows.truncate(limit);
+        }
+        let rows = project(select, rows);
+
+        self.cluster
+            .clock()
+            .charge(self.cluster.cost_model().client_result_cost(rows.len() as u64));
+        Ok(QueryResult::with_rows(rows))
+    }
+
+    /// Chooses the starting alias for the join order: prefer one whose access
+    /// path is a key Get, then an index scan, then the first alias.
+    fn pick_start_alias(
+        &self,
+        aliases: &[(String, TableDef)],
+        conditions: &[BoundCondition],
+        select: &SelectStatement,
+    ) -> usize {
+        let mut best = 0;
+        let mut best_rank = i32::MAX;
+        for (i, (alias, def)) in aliases.iter().enumerate() {
+            let path = self.plan_access(alias, def, conditions, select);
+            let rank = match path {
+                AccessPath::KeyGet => 0,
+                AccessPath::IndexScan { .. } => 1,
+                AccessPath::KeyPrefixScan => 2,
+                AccessPath::FullScan => 3,
+            };
+            if rank < best_rank {
+                best_rank = rank;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Plans how one alias will be accessed given its single-alias equality
+    /// filters.
+    pub(crate) fn plan_access(
+        &self,
+        alias: &str,
+        def: &TableDef,
+        conditions: &[BoundCondition],
+        select: &SelectStatement,
+    ) -> AccessPath {
+        let eq_filters = single_alias_eq_filters(conditions, alias, def, &select.from);
+        if !eq_filters.is_empty() {
+            let filter_columns: Vec<String> = eq_filters.keys().cloned().collect();
+            if def.key_covered_by(&filter_columns) {
+                return AccessPath::KeyGet;
+            }
+            if filter_columns.iter().any(|c| c == &def.key[0]) {
+                return AccessPath::KeyPrefixScan;
+            }
+            for index in self.catalog.indexes_of(&def.name) {
+                if filter_columns.iter().any(|c| c == &index.key[0]) {
+                    return AccessPath::IndexScan {
+                        index: index.name.clone(),
+                    };
+                }
+            }
+        }
+        AccessPath::FullScan
+    }
+
+    /// Fetches the rows of one alias, applying its single-alias filters, and
+    /// returns them with attributes qualified as `alias.column`.
+    fn fetch_alias_rows(
+        &self,
+        alias: &str,
+        def: &TableDef,
+        conditions: &[BoundCondition],
+        select: &SelectStatement,
+        single_table: bool,
+    ) -> Result<Vec<Row>, QueryError> {
+        let eq_filters = single_alias_eq_filters(conditions, alias, def, &select.from);
+        let path = self.plan_access(alias, def, conditions, select);
+        let mut rows = Vec::new();
+        let mut attempts = 0;
+        loop {
+            rows.clear();
+            let mut dirty_seen = false;
+            match &path {
+                AccessPath::KeyGet => {
+                    let key_row = Row::from_pairs(
+                        eq_filters
+                            .iter()
+                            .map(|(k, v)| (k.clone(), v.clone())),
+                    );
+                    let key = def.encode_row_key(&key_row);
+                    if let Some(stored) = self.cluster.get(&def.name, self.bounded_get(key))? {
+                        if self.is_dirty(&stored) {
+                            dirty_seen = true;
+                        }
+                        rows.push(def.decode_row(&stored));
+                    }
+                }
+                AccessPath::KeyPrefixScan => {
+                    let key_row = Row::from_pairs(
+                        eq_filters
+                            .iter()
+                            .map(|(k, v)| (k.clone(), v.clone())),
+                    );
+                    // Use as many leading key components as are bound.
+                    let bound = def
+                        .key
+                        .iter()
+                        .take_while(|k| eq_filters.contains_key(*k))
+                        .count();
+                    let mut prefix = def.encode_key_prefix(&key_row, bound);
+                    if bound < def.key.len() {
+                        // Close the last bound component so that e.g. "42"
+                        // does not also match keys starting with "420".
+                        prefix.push(KEY_DELIMITER);
+                    }
+                    for stored in self.cluster.scan(&def.name, self.bounded_scan(Scan::prefix(prefix)))? {
+                        if self.is_dirty(&stored) {
+                            dirty_seen = true;
+                        }
+                        rows.push(def.decode_row(&stored));
+                    }
+                }
+                AccessPath::IndexScan { index } => {
+                    let index_def = self
+                        .catalog
+                        .table(index)
+                        .ok_or_else(|| QueryError::UnknownTable(index.clone()))?;
+                    let filter_value = eq_filters
+                        .get(&index_def.key[0])
+                        .cloned()
+                        .unwrap_or(Value::Null);
+                    let mut prefix = encode_key([&filter_value]);
+                    if index_def.key.len() > 1 {
+                        // Match only complete values of the indexed column.
+                        prefix.push(KEY_DELIMITER);
+                    }
+                    let needed = needed_columns(select, alias, def);
+                    let covered = needed
+                        .iter()
+                        .all(|c| index_def.column_type(c).is_some());
+                    for stored in self.cluster.scan(&index_def.name, self.bounded_scan(Scan::prefix(prefix)))? {
+                        if self.is_dirty(&stored) {
+                            dirty_seen = true;
+                        }
+                        let index_row = index_def.decode_row(&stored);
+                        if covered {
+                            rows.push(index_row);
+                        } else {
+                            // Fetch the base row by primary key.
+                            let base_key = def.encode_row_key(&index_row);
+                            if let Some(base) = self.cluster.get(&def.name, self.bounded_get(base_key))? {
+                                if self.is_dirty(&base) {
+                                    dirty_seen = true;
+                                }
+                                rows.push(def.decode_row(&base));
+                            }
+                        }
+                    }
+                }
+                AccessPath::FullScan => {
+                    for stored in self.cluster.scan(&def.name, self.bounded_scan(Scan::all()))? {
+                        if self.is_dirty(&stored) {
+                            dirty_seen = true;
+                        }
+                        rows.push(def.decode_row(&stored));
+                    }
+                }
+            }
+            if !dirty_seen || !self.dirty_protection {
+                break;
+            }
+            attempts += 1;
+            if attempts > DIRTY_RETRY_LIMIT {
+                return Err(QueryError::DirtyReadRetriesExhausted);
+            }
+            // Give the in-flight update a chance to finish before restarting.
+            std::thread::yield_now();
+        }
+
+        // Apply every single-alias filter (equality and range) now; residual
+        // multi-alias conditions are applied after the joins.
+        let from = &select.from;
+        let filtered: Vec<Row> = rows
+            .into_iter()
+            .filter(|row| {
+                conditions
+                    .iter()
+                    .filter(|c| condition_is_single_alias(c, alias, def, from))
+                    .all(|c| {
+                        let left = row.get(&c.left.column);
+                        match (&c.right, left) {
+                            (BoundOperand::Value(v), Some(l)) => c.op.evaluate(l, v),
+                            _ => false,
+                        }
+                    })
+            })
+            .collect();
+
+        // Qualify attribute names with the alias (and keep them bare too when
+        // this is a single-table query, which keeps projection simple).
+        let mut qualified = Vec::with_capacity(filtered.len());
+        for row in filtered {
+            let mut out = Row::new();
+            for (k, v) in row.iter() {
+                if k.starts_with('_') {
+                    continue; // reserved bookkeeping columns
+                }
+                out.set(format!("{alias}.{k}"), v.clone());
+                if single_table {
+                    out.set(k.clone(), v.clone());
+                }
+            }
+            qualified.push(out);
+        }
+        Ok(qualified)
+    }
+
+    /// Builds a Get honouring the executor's snapshot bound, if any.
+    fn bounded_get(&self, key: String) -> Get {
+        match self.snapshot {
+            Some(ts) => Get::new(key).up_to(ts),
+            None => Get::new(key),
+        }
+    }
+
+    /// Applies the executor's snapshot bound to a scan, if any.
+    fn bounded_scan(&self, scan: Scan) -> Scan {
+        match self.snapshot {
+            Some(ts) => scan.up_to(ts),
+            None => scan,
+        }
+    }
+
+    fn is_dirty(&self, stored: &nosql_store::ResultRow) -> bool {
+        self.dirty_protection
+            && stored
+                .value(FAMILY, DIRTY_MARKER)
+                .is_some_and(|v| v == b"1")
+    }
+
+    /// Client-side hash join between the current intermediate rows and the
+    /// rows of `right_alias`, on the given equi-join conditions.  Charges
+    /// shuffle cost for every intermediate row and probe cost per probe.
+    fn hash_join(
+        &self,
+        left: Vec<Row>,
+        right: Vec<Row>,
+        right_alias: &str,
+        join_conds: &[&BoundCondition],
+    ) -> Vec<Row> {
+        let model = self.cluster.cost_model();
+        self.cluster
+            .clock()
+            .charge(model.shuffle_cost((left.len() + right.len()) as u64));
+
+        if join_conds.is_empty() {
+            // Cross join (rare; only used when the workload really asks for it).
+            let mut out = Vec::new();
+            for l in &left {
+                for r in &right {
+                    let mut row = l.clone();
+                    for (k, v) in r.iter() {
+                        row.set(k.clone(), v.clone());
+                    }
+                    out.push(row);
+                }
+            }
+            return out;
+        }
+
+        // Build side: hash the right rows on the join attribute values.
+        let mut build: HashMap<Vec<Value>, Vec<&Row>> = HashMap::new();
+        for row in &right {
+            let key: Option<Vec<Value>> = join_conds
+                .iter()
+                .map(|c| {
+                    let col = join_column_for_alias(c, right_alias);
+                    row.get(&format!("{right_alias}.{}", col.column))
+                        .or_else(|| row.get(&col.column))
+                        .cloned()
+                })
+                .collect();
+            if let Some(key) = key {
+                build.entry(key).or_default().push(row);
+            }
+        }
+
+        self.cluster.clock().charge(model.probe_cost(left.len() as u64));
+
+        let mut out = Vec::new();
+        for l in &left {
+            let key: Option<Vec<Value>> = join_conds
+                .iter()
+                .map(|c| {
+                    let col = join_column_other_side(c, right_alias);
+                    l.get(&col.qualified_name()).or_else(|| l.get(&col.column)).cloned()
+                })
+                .collect();
+            let Some(key) = key else { continue };
+            if let Some(matches) = build.get(&key) {
+                for r in matches {
+                    let mut row = l.clone();
+                    for (k, v) in r.iter() {
+                        row.set(k.clone(), v.clone());
+                    }
+                    out.push(row);
+                }
+            }
+        }
+        out
+    }
+
+    fn apply_group_and_aggregates(
+        &self,
+        select: &SelectStatement,
+        rows: Vec<Row>,
+    ) -> Result<Vec<Row>, QueryError> {
+        if !select.has_aggregates() && select.group_by.is_empty() {
+            return Ok(rows);
+        }
+        // Group rows by the GROUP BY key (a single group when absent).
+        let mut groups: BTreeMap<Vec<Value>, Vec<Row>> = BTreeMap::new();
+        for row in rows {
+            let key: Vec<Value> = select
+                .group_by
+                .iter()
+                .map(|c| row.get(&c.qualified_name()).or_else(|| row.get(&c.column)).cloned().unwrap_or(Value::Null))
+                .collect();
+            groups.entry(key).or_default().push(row);
+        }
+        if groups.is_empty() && select.group_by.is_empty() {
+            groups.insert(Vec::new(), Vec::new());
+        }
+
+        let mut out = Vec::new();
+        for (key, members) in groups {
+            let mut row = Row::new();
+            for (i, col) in select.group_by.iter().enumerate() {
+                row.set(col.qualified_name(), key[i].clone());
+                row.set(col.column.clone(), key[i].clone());
+            }
+            for item in &select.items {
+                match item {
+                    SelectItem::Aggregate {
+                        function,
+                        argument,
+                        alias,
+                    } => {
+                        let value = compute_aggregate(*function, argument.as_ref(), &members);
+                        let name = alias.clone().unwrap_or_else(|| match argument {
+                            Some(a) => format!("{function}({})", a.qualified_name()),
+                            None => format!("{function}(*)"),
+                        });
+                        row.set(name, value);
+                    }
+                    SelectItem::Column { column, alias } => {
+                        let value = members
+                            .first()
+                            .and_then(|m| {
+                                m.get(&column.qualified_name()).or_else(|| m.get(&column.column))
+                            })
+                            .cloned()
+                            .unwrap_or(Value::Null);
+                        row.set(column.qualified_name(), value.clone());
+                        if let Some(a) = alias {
+                            row.set(a.clone(), value);
+                        }
+                    }
+                    SelectItem::Wildcard => {
+                        if let Some(first) = members.first() {
+                            for (k, v) in first.iter() {
+                                row.set(k.clone(), v.clone());
+                            }
+                        }
+                    }
+                }
+            }
+            out.push(row);
+        }
+        Ok(out)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Helpers (free functions so they are easy to unit test)
+// ----------------------------------------------------------------------
+
+pub(crate) fn bind_conditions(
+    conditions: &[Condition],
+    params: &[Value],
+) -> Result<Vec<BoundCondition>, QueryError> {
+    conditions
+        .iter()
+        .map(|c| {
+            let right = match &c.right {
+                Expr::Column(col) => BoundOperand::Column(col.clone()),
+                Expr::Literal(v) => BoundOperand::Value(v.clone()),
+                Expr::Parameter(i) => BoundOperand::Value(
+                    params
+                        .get(*i)
+                        .cloned()
+                        .ok_or(QueryError::MissingParameter(*i))?,
+                ),
+            };
+            Ok(BoundCondition {
+                left: c.left.clone(),
+                op: c.op,
+                right,
+            })
+        })
+        .collect()
+}
+
+pub(crate) fn bind_expr(expr: &Expr, params: &[Value]) -> Result<Value, QueryError> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Parameter(i) => params
+            .get(*i)
+            .cloned()
+            .ok_or(QueryError::MissingParameter(*i)),
+        Expr::Column(c) => Err(QueryError::Unsupported(format!(
+            "column reference {c} cannot be used as a scalar value here"
+        ))),
+    }
+}
+
+/// True if the condition only involves the given alias (its left column is a
+/// column of `def` referenced through `alias` or unqualified-and-unambiguous)
+/// and compares against a constant.
+fn condition_is_single_alias(
+    c: &BoundCondition,
+    alias: &str,
+    def: &TableDef,
+    from: &[sql::TableRef],
+) -> bool {
+    if !matches!(c.right, BoundOperand::Value(_)) {
+        return false;
+    }
+    column_belongs_to_alias(&c.left, alias, def, from)
+}
+
+fn column_belongs_to_alias(
+    col: &ColumnRef,
+    alias: &str,
+    def: &TableDef,
+    from: &[sql::TableRef],
+) -> bool {
+    match &col.qualifier {
+        Some(q) => q == alias && def.column_type(&col.column).is_some(),
+        // Unqualified: belongs to this alias when the column exists here and
+        // this is the only FROM entry that declares it (TPC-W queries only
+        // use unqualified names when they are unambiguous).
+        None => def.column_type(&col.column).is_some() && from.len() == 1,
+    }
+}
+
+/// The single-alias equality filters for an alias, as column → value.
+fn single_alias_eq_filters(
+    conditions: &[BoundCondition],
+    alias: &str,
+    def: &TableDef,
+    from: &[sql::TableRef],
+) -> BTreeMap<String, Value> {
+    let mut out = BTreeMap::new();
+    for c in conditions {
+        if c.op == Comparison::Eq && condition_is_single_alias(c, alias, def, from) {
+            if let BoundOperand::Value(v) = &c.right {
+                out.insert(c.left.column.clone(), v.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Columns of `alias` that the query needs (for covered-index decisions).
+fn needed_columns(select: &SelectStatement, alias: &str, def: &TableDef) -> Vec<String> {
+    let mut needed: Vec<String> = Vec::new();
+    let mut add = |col: &ColumnRef| {
+        let belongs = match &col.qualifier {
+            Some(q) => q == alias,
+            None => def.column_type(&col.column).is_some(),
+        };
+        if belongs && !needed.contains(&col.column) {
+            needed.push(col.column.clone());
+        }
+    };
+    for item in &select.items {
+        match item {
+            SelectItem::Wildcard => {
+                return def.column_names().iter().map(|s| s.to_string()).collect()
+            }
+            SelectItem::Column { column, .. } => add(column),
+            SelectItem::Aggregate { argument, .. } => {
+                if let Some(a) = argument {
+                    add(a);
+                }
+            }
+        }
+    }
+    for c in &select.conditions {
+        add(&c.left);
+        if let Expr::Column(col) = &c.right {
+            add(col);
+        }
+    }
+    for c in &select.group_by {
+        add(c);
+    }
+    for k in &select.order_by {
+        add(&k.column);
+    }
+    needed
+}
+
+/// Equi-join conditions connecting `alias` to any of `joined`.
+fn join_conditions_between<'a>(
+    conditions: &'a [BoundCondition],
+    alias: &'a str,
+    joined: &'a [String],
+) -> impl Iterator<Item = &'a BoundCondition> {
+    conditions.iter().filter(move |c| {
+        if c.op != Comparison::Eq {
+            return false;
+        }
+        let BoundOperand::Column(right) = &c.right else {
+            return false;
+        };
+        let lq = c.left.qualifier.as_deref();
+        let rq = right.qualifier.as_deref();
+        match (lq, rq) {
+            (Some(l), Some(r)) => {
+                (l == alias && joined.iter().any(|j| j == r))
+                    || (r == alias && joined.iter().any(|j| j == l))
+            }
+            _ => false,
+        }
+    })
+}
+
+/// The side of a join condition that belongs to `alias`.
+fn join_column_for_alias<'a>(c: &'a BoundCondition, alias: &str) -> &'a ColumnRef {
+    let BoundOperand::Column(right) = &c.right else {
+        return &c.left;
+    };
+    if right.qualifier.as_deref() == Some(alias) {
+        right
+    } else {
+        &c.left
+    }
+}
+
+/// The side of a join condition that does *not* belong to `alias`.
+fn join_column_other_side<'a>(c: &'a BoundCondition, alias: &str) -> &'a ColumnRef {
+    let BoundOperand::Column(right) = &c.right else {
+        return &c.left;
+    };
+    if right.qualifier.as_deref() == Some(alias) {
+        &c.left
+    } else {
+        right
+    }
+}
+
+/// Evaluates any bound condition against a joined row (used for residual
+/// predicates).  Conditions whose columns are absent evaluate to true so that
+/// filters already applied during the per-alias fetch are not re-applied
+/// against rows that legitimately dropped reserved columns.
+fn evaluate_condition(row: &Row, c: &BoundCondition) -> bool {
+    let left = row
+        .get(&c.left.qualified_name())
+        .or_else(|| row.get(&c.left.column));
+    let Some(left) = left else { return true };
+    match &c.right {
+        BoundOperand::Value(v) => c.op.evaluate(left, v),
+        BoundOperand::Column(col) => {
+            let right = row.get(&col.qualified_name()).or_else(|| row.get(&col.column));
+            match right {
+                Some(r) => c.op.evaluate(left, r),
+                None => true,
+            }
+        }
+    }
+}
+
+fn compute_aggregate(
+    function: AggregateFunction,
+    argument: Option<&ColumnRef>,
+    members: &[Row],
+) -> Value {
+    let values: Vec<Value> = match argument {
+        None => return Value::Int(members.len() as i64),
+        Some(col) => members
+            .iter()
+            .filter_map(|m| {
+                m.get(&col.qualified_name())
+                    .or_else(|| m.get(&col.column))
+                    .cloned()
+            })
+            .filter(|v| !v.is_null())
+            .collect(),
+    };
+    match function {
+        AggregateFunction::Count => Value::Int(values.len() as i64),
+        AggregateFunction::Sum => {
+            let sum: f64 = values.iter().filter_map(Value::as_float).sum();
+            if values.iter().all(|v| matches!(v, Value::Int(_))) {
+                Value::Int(sum as i64)
+            } else {
+                Value::Float(sum)
+            }
+        }
+        AggregateFunction::Avg => {
+            if values.is_empty() {
+                Value::Null
+            } else {
+                let sum: f64 = values.iter().filter_map(Value::as_float).sum();
+                Value::Float(sum / values.len() as f64)
+            }
+        }
+        AggregateFunction::Min => values.iter().min().cloned().unwrap_or(Value::Null),
+        AggregateFunction::Max => values.iter().max().cloned().unwrap_or(Value::Null),
+    }
+}
+
+fn apply_order_by(select: &SelectStatement, mut rows: Vec<Row>) -> Vec<Row> {
+    if select.order_by.is_empty() {
+        return rows;
+    }
+    rows.sort_by(|a, b| {
+        for key in &select.order_by {
+            let av = a
+                .get(&key.column.qualified_name())
+                .or_else(|| a.get(&key.column.column))
+                .cloned()
+                .unwrap_or(Value::Null);
+            let bv = b
+                .get(&key.column.qualified_name())
+                .or_else(|| b.get(&key.column.column))
+                .cloned()
+                .unwrap_or(Value::Null);
+            let ord = av.cmp(&bv);
+            let ord = if key.descending { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    rows
+}
+
+fn project(select: &SelectStatement, rows: Vec<Row>) -> Vec<Row> {
+    let wildcard = select.items.iter().any(|i| matches!(i, SelectItem::Wildcard));
+    if wildcard || select.has_aggregates() {
+        return rows;
+    }
+    rows.into_iter()
+        .map(|row| {
+            let mut out = Row::new();
+            for item in &select.items {
+                if let SelectItem::Column { column, alias } = item {
+                    let value = row
+                        .get(&column.qualified_name())
+                        .or_else(|| row.get(&column.column))
+                        .cloned()
+                        .unwrap_or(Value::Null);
+                    let name = alias.clone().unwrap_or_else(|| column.qualified_name());
+                    out.set(name, value);
+                }
+            }
+            out
+        })
+        .collect()
+}

@@ -1,0 +1,51 @@
+//! The SQL skin: planner and executor over the NoSQL store.
+//!
+//! This crate plays the role Apache Phoenix plays in the paper (§II-D): it
+//! maps a relational schema onto NoSQL tables (the *baseline schema
+//! transformation*), compiles SQL statements into sequences of Get / Scan /
+//! Put / Delete operations against [`nosql_store::Cluster`], and executes
+//! joins client-side with hash joins over table scans — which is precisely
+//! why joins are slow on the NoSQL store and why Synergy materializes them.
+//!
+//! The main types are:
+//!
+//! * [`Catalog`] / [`TableDef`] — metadata describing how relations, indexes,
+//!   views and lock tables are laid out as NoSQL tables (row-key composition,
+//!   column types);
+//! * [`Executor`] — executes parsed [`sql::Statement`]s with positional
+//!   parameters and returns [`QueryResult`]s;
+//! * [`baseline`] — the paper's §II-D baseline schema and workload
+//!   transformation.
+//!
+//! ```
+//! use nosql_store::{Cluster, ClusterConfig};
+//! use query::{baseline, ColumnType, Executor};
+//! use relational::{company, Row, Value};
+//! use sql::parse_statement;
+//!
+//! let schema = company::company_schema();
+//! let catalog = baseline::baseline_catalog_with_types(&schema, &|_, column| {
+//!     (column == "DNo").then_some(ColumnType::Int)
+//! });
+//! let cluster = Cluster::new(ClusterConfig::default());
+//! baseline::create_tables(&cluster, &catalog).unwrap();
+//!
+//! let exec = Executor::new(cluster, catalog);
+//! exec.insert_row("Department", &Row::new().with("DNo", 1).with("DName", "Research")).unwrap();
+//!
+//! let result = exec
+//!     .execute(&parse_statement("SELECT * FROM Department WHERE DNo = 1").unwrap(), &[])
+//!     .unwrap();
+//! assert_eq!(result.rows.len(), 1);
+//! assert_eq!(result.rows[0].get("DName").unwrap(), &Value::str("Research"));
+//! ```
+
+pub mod baseline;
+mod catalog;
+mod executor;
+mod result;
+mod writes;
+
+pub use catalog::{Catalog, ColumnType, TableDef, TableKind, FAMILY};
+pub use executor::{AccessPath, Executor, DIRTY_MARKER};
+pub use result::{QueryError, QueryResult};

@@ -1,0 +1,117 @@
+//! Query results and errors.
+
+use relational::Row;
+use std::fmt;
+
+/// The result of executing one SQL statement.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryResult {
+    /// Result rows (empty for write statements).
+    pub rows: Vec<Row>,
+    /// Number of rows affected by a write statement.
+    pub rows_affected: usize,
+}
+
+impl QueryResult {
+    /// A result carrying rows from a SELECT.
+    pub fn with_rows(rows: Vec<Row>) -> Self {
+        QueryResult {
+            rows,
+            rows_affected: 0,
+        }
+    }
+
+    /// A result for a write affecting `n` rows.
+    pub fn affected(n: usize) -> Self {
+        QueryResult {
+            rows: Vec::new(),
+            rows_affected: n,
+        }
+    }
+
+    /// Number of result rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the result carries no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Errors raised while planning or executing a statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// The statement referenced a table the catalog does not know.
+    UnknownTable(String),
+    /// The statement referenced a column not present in any bound table.
+    UnknownColumn(String),
+    /// A `?` parameter had no bound value.
+    MissingParameter(usize),
+    /// The statement shape is not supported by this engine.
+    Unsupported(String),
+    /// A write statement did not specify every key attribute.
+    IncompleteKey {
+        /// The table being written.
+        table: String,
+        /// The missing key attribute.
+        missing: String,
+    },
+    /// The underlying store failed.
+    Store(String),
+    /// A concurrent-update marker forced too many scan restarts.
+    DirtyReadRetriesExhausted,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnknownTable(t) => write!(f, "unknown table {t}"),
+            QueryError::UnknownColumn(c) => write!(f, "unknown column {c}"),
+            QueryError::MissingParameter(i) => write!(f, "no value bound for parameter {i}"),
+            QueryError::Unsupported(s) => write!(f, "unsupported statement: {s}"),
+            QueryError::IncompleteKey { table, missing } => {
+                write!(f, "write to {table} does not specify key attribute {missing}")
+            }
+            QueryError::Store(s) => write!(f, "store error: {s}"),
+            QueryError::DirtyReadRetriesExhausted => {
+                write!(f, "scan kept observing dirty rows; retries exhausted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<nosql_store::StoreError> for QueryError {
+    fn from(e: nosql_store::StoreError) -> Self {
+        QueryError::Store(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let r = QueryResult::with_rows(vec![Row::new().with("a", 1)]);
+        assert_eq!(r.len(), 1);
+        assert!(!r.is_empty());
+        let w = QueryResult::affected(3);
+        assert_eq!(w.rows_affected, 3);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(QueryError::UnknownTable("t".into()).to_string().contains('t'));
+        assert!(QueryError::IncompleteKey {
+            table: "Orders".into(),
+            missing: "o_id".into()
+        }
+        .to_string()
+        .contains("o_id"));
+    }
+}

@@ -1,0 +1,242 @@
+//! Write-statement execution (INSERT / UPDATE / DELETE) and index
+//! maintenance, plus the bulk-load path used to populate databases.
+//!
+//! As in Phoenix, secondary indexes are maintained synchronously with the
+//! base-table write: every index table of the written relation receives the
+//! corresponding put/delete, and each of those is a separately charged store
+//! operation.
+
+use crate::catalog::{TableDef, TableKind};
+use crate::executor::{bind_expr, Executor};
+use crate::result::{QueryError, QueryResult};
+use nosql_store::ops::{Delete, Get, Put};
+use relational::{Row, Value};
+use sql::{Comparison, DeleteStatement, Expr, InsertStatement, UpdateStatement};
+use std::collections::BTreeMap;
+
+impl Executor {
+    // ------------------------------------------------------------------
+    // Public load helpers
+    // ------------------------------------------------------------------
+
+    /// Inserts one relational row into a table (and all of its index tables),
+    /// charging normal per-operation costs.  This is the path the write
+    /// statements of every evaluated system ultimately use.
+    pub fn insert_row(&self, table: &str, row: &Row) -> Result<(), QueryError> {
+        let def = self
+            .catalog()
+            .table_ci(table)
+            .ok_or_else(|| QueryError::UnknownTable(table.to_string()))?
+            .clone();
+        self.check_key_present(&def, row)?;
+        self.cluster().put(&def.name, def.row_to_put(row))?;
+        for index in self.catalog().indexes_of(&def.name) {
+            self.cluster().put(&index.name, index.row_to_put(row))?;
+        }
+        Ok(())
+    }
+
+    /// Bulk-loads rows into a table and its indexes without charging
+    /// simulated time (the offline population phase of the paper's
+    /// experiments).
+    pub fn bulk_load_rows<'a>(
+        &self,
+        table: &str,
+        rows: impl IntoIterator<Item = &'a Row>,
+    ) -> Result<usize, QueryError> {
+        let def = self
+            .catalog()
+            .table_ci(table)
+            .ok_or_else(|| QueryError::UnknownTable(table.to_string()))?
+            .clone();
+        let indexes: Vec<TableDef> = self
+            .catalog()
+            .indexes_of(&def.name)
+            .into_iter()
+            .cloned()
+            .collect();
+        let mut count = 0;
+        let mut base_puts = Vec::new();
+        let mut index_puts: Vec<Vec<Put>> = vec![Vec::new(); indexes.len()];
+        for row in rows {
+            base_puts.push(def.row_to_put(row));
+            for (i, index) in indexes.iter().enumerate() {
+                index_puts[i].push(index.row_to_put(row));
+            }
+            count += 1;
+        }
+        self.cluster().bulk_load(&def.name, base_puts)?;
+        for (i, index) in indexes.iter().enumerate() {
+            self.cluster().bulk_load(&index.name, std::mem::take(&mut index_puts[i]))?;
+        }
+        Ok(count)
+    }
+
+    /// Reads one row of a table by its full primary key values.
+    pub fn get_row_by_key(&self, table: &str, key: &Row) -> Result<Option<Row>, QueryError> {
+        let def = self
+            .catalog()
+            .table_ci(table)
+            .ok_or_else(|| QueryError::UnknownTable(table.to_string()))?;
+        let row_key = def.encode_row_key(key);
+        Ok(self
+            .cluster()
+            .get(&def.name, Get::new(row_key))?
+            .map(|stored| def.decode_row(&stored)))
+    }
+
+    /// Deletes one row of a table (and its index entries) by primary key.
+    pub fn delete_row_by_key(&self, table: &str, key: &Row) -> Result<bool, QueryError> {
+        let def = self
+            .catalog()
+            .table_ci(table)
+            .ok_or_else(|| QueryError::UnknownTable(table.to_string()))?
+            .clone();
+        let existing = self.get_row_by_key(&def.name, key)?;
+        let row_key = def.encode_row_key(key);
+        let removed = self.cluster().delete(&def.name, Delete::row(row_key))?;
+        if let Some(existing) = existing {
+            for index in self.catalog().indexes_of(&def.name) {
+                let index_key = index.encode_row_key(&existing);
+                self.cluster().delete(&index.name, Delete::row(index_key))?;
+            }
+        }
+        Ok(removed)
+    }
+
+    fn check_key_present(&self, def: &TableDef, row: &Row) -> Result<(), QueryError> {
+        for k in &def.key {
+            if row.get(k).map(Value::is_null).unwrap_or(true) {
+                return Err(QueryError::IncompleteKey {
+                    table: def.name.clone(),
+                    missing: k.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Statement execution
+    // ------------------------------------------------------------------
+
+    pub(crate) fn execute_insert(
+        &self,
+        insert: &InsertStatement,
+        params: &[Value],
+    ) -> Result<QueryResult, QueryError> {
+        let def = self
+            .catalog()
+            .table_ci(&insert.table)
+            .ok_or_else(|| QueryError::UnknownTable(insert.table.clone()))?
+            .clone();
+        let mut row = Row::new();
+        for (column, expr) in insert.columns.iter().zip(&insert.values) {
+            if def.column_type(column).is_none() {
+                return Err(QueryError::UnknownColumn(format!(
+                    "{}.{}",
+                    def.name, column
+                )));
+            }
+            row.set(column.clone(), bind_expr(expr, params)?);
+        }
+        self.insert_row(&def.name, &row)?;
+        Ok(QueryResult::affected(1))
+    }
+
+    /// Extracts the primary-key values from the equality filters of a write
+    /// statement's WHERE clause; errors if any key attribute is missing
+    /// (paper §IV: unsupported write shapes are excluded from the workload).
+    pub(crate) fn key_from_conditions(
+        &self,
+        def: &TableDef,
+        conditions: &[sql::Condition],
+        params: &[Value],
+    ) -> Result<Row, QueryError> {
+        let mut filters: BTreeMap<String, Value> = BTreeMap::new();
+        for c in conditions {
+            if c.op == Comparison::Eq {
+                if let Expr::Column(_) = c.right {
+                    continue;
+                }
+                filters.insert(c.left.column.clone(), bind_expr(&c.right, params)?);
+            }
+        }
+        let mut key = Row::new();
+        for k in &def.key {
+            match filters.get(k) {
+                Some(v) => {
+                    key.set(k.clone(), v.clone());
+                }
+                None => {
+                    return Err(QueryError::IncompleteKey {
+                        table: def.name.clone(),
+                        missing: k.clone(),
+                    })
+                }
+            }
+        }
+        Ok(key)
+    }
+
+    pub(crate) fn execute_update(
+        &self,
+        update: &UpdateStatement,
+        params: &[Value],
+    ) -> Result<QueryResult, QueryError> {
+        let def = self
+            .catalog()
+            .table_ci(&update.table)
+            .ok_or_else(|| QueryError::UnknownTable(update.table.clone()))?
+            .clone();
+        let key = self.key_from_conditions(&def, &update.conditions, params)?;
+        let Some(existing) = self.get_row_by_key(&def.name, &key)? else {
+            return Ok(QueryResult::affected(0));
+        };
+        let mut updated = existing.clone();
+        for (column, expr) in &update.assignments {
+            if def.column_type(column).is_none() {
+                return Err(QueryError::UnknownColumn(format!(
+                    "{}.{}",
+                    def.name, column
+                )));
+            }
+            updated.set(column.clone(), bind_expr(expr, params)?);
+        }
+        self.cluster().put(&def.name, def.row_to_put(&updated))?;
+        // Index maintenance: rewrite every index entry whose key or covered
+        // columns may have changed.
+        for index in self.catalog().indexes_of(&def.name) {
+            let old_key = index.encode_row_key(&existing);
+            let new_key = index.encode_row_key(&updated);
+            if old_key != new_key {
+                self.cluster().delete(&index.name, Delete::row(old_key))?;
+            }
+            self.cluster().put(&index.name, index.row_to_put(&updated))?;
+        }
+        Ok(QueryResult::affected(1))
+    }
+
+    pub(crate) fn execute_delete(
+        &self,
+        delete: &DeleteStatement,
+        params: &[Value],
+    ) -> Result<QueryResult, QueryError> {
+        let def = self
+            .catalog()
+            .table_ci(&delete.table)
+            .ok_or_else(|| QueryError::UnknownTable(delete.table.clone()))?
+            .clone();
+        let key = self.key_from_conditions(&def, &delete.conditions, params)?;
+        let removed = self.delete_row_by_key(&def.name, &key)?;
+        Ok(QueryResult::affected(usize::from(removed)))
+    }
+}
+
+// Re-exported for the baseline module's table creation helper.
+pub(crate) fn is_physical_kind(kind: &TableKind) -> bool {
+    matches!(
+        kind,
+        TableKind::Base | TableKind::Index { .. } | TableKind::View | TableKind::Lock
+    )
+}

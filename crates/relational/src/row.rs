@@ -1,0 +1,179 @@
+//! Named tuples (rows) flowing through the query layers.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A row: an ordered mapping from attribute name to [`Value`].
+///
+/// Attribute names are stored fully qualified or bare depending on context;
+/// [`Row::get`] falls back to suffix matching (`"e.EID"` matches `"EID"`) so
+/// join outputs that prefix attributes with their relation alias remain easy
+/// to consume.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Row {
+    values: BTreeMap<String, Value>,
+}
+
+impl Row {
+    /// Creates an empty row.
+    pub fn new() -> Row {
+        Row::default()
+    }
+
+    /// Builds a row from `(attribute, value)` pairs.
+    pub fn from_pairs<I, K, V>(pairs: I) -> Row
+    where
+        I: IntoIterator<Item = (K, V)>,
+        K: Into<String>,
+        V: Into<Value>,
+    {
+        let mut row = Row::new();
+        for (k, v) in pairs {
+            row.set(k, v);
+        }
+        row
+    }
+
+    /// Sets an attribute value, replacing any previous value.
+    pub fn set(&mut self, attribute: impl Into<String>, value: impl Into<Value>) -> &mut Self {
+        self.values.insert(attribute.into(), value.into());
+        self
+    }
+
+    /// Builder-style [`Row::set`].
+    pub fn with(mut self, attribute: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.set(attribute, value);
+        self
+    }
+
+    /// Looks up an attribute, first exactly and then by unqualified suffix.
+    pub fn get(&self, attribute: &str) -> Option<&Value> {
+        if let Some(v) = self.values.get(attribute) {
+            return Some(v);
+        }
+        // Fall back to suffix match on the unqualified name, e.g. asking for
+        // "EID" when the row holds "e.EID", or vice versa.
+        let bare = attribute.rsplit('.').next().unwrap_or(attribute);
+        self.values
+            .iter()
+            .find(|(k, _)| k.rsplit('.').next().unwrap_or(k) == bare)
+            .map(|(_, v)| v)
+    }
+
+    /// True if the row has an exact or suffix match for the attribute.
+    pub fn contains(&self, attribute: &str) -> bool {
+        self.get(attribute).is_some()
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the row holds no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over `(attribute, value)` pairs in attribute order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.values.iter()
+    }
+
+    /// Attribute names in order.
+    pub fn attributes(&self) -> impl Iterator<Item = &String> {
+        self.values.keys()
+    }
+
+    /// Merges another row into this one, prefixing its attributes with
+    /// `prefix.` — used when concatenating join operands.
+    pub fn merge_prefixed(&mut self, prefix: &str, other: &Row) {
+        for (k, v) in other.iter() {
+            let bare = k.rsplit('.').next().unwrap_or(k);
+            self.values.insert(format!("{prefix}.{bare}"), v.clone());
+        }
+    }
+
+    /// Returns a copy whose attribute names are stripped of any qualifier.
+    pub fn unqualified(&self) -> Row {
+        let mut row = Row::new();
+        for (k, v) in self.iter() {
+            let bare = k.rsplit('.').next().unwrap_or(k).to_string();
+            row.values.insert(bare, v.clone());
+        }
+        row
+    }
+
+    /// Approximate serialized size, used for storage/transfer accounting.
+    pub fn byte_size(&self) -> usize {
+        self.values
+            .iter()
+            .map(|(k, v)| k.len() + v.byte_size())
+            .sum()
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (k, v)) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}={v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl<K: Into<String>, V: Into<Value>> FromIterator<(K, V)> for Row {
+    fn from_iter<T: IntoIterator<Item = (K, V)>>(iter: T) -> Self {
+        Row::from_pairs(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_and_suffix_match() {
+        let row = Row::new().with("e.EID", 7).with("EName", "alice");
+        assert_eq!(row.get("e.EID").unwrap().as_int(), Some(7));
+        assert_eq!(row.get("EID").unwrap().as_int(), Some(7));
+        assert_eq!(row.get("e.EName").unwrap().as_str(), Some("alice"));
+        assert!(row.get("missing").is_none());
+        assert!(row.contains("EName"));
+        assert_eq!(row.len(), 2);
+    }
+
+    #[test]
+    fn merge_prefixed_namespaces_attributes() {
+        let left = Row::new().with("EID", 1);
+        let right = Row::new().with("AID", 9).with("City", "Nashville");
+        let mut joined = Row::new();
+        joined.merge_prefixed("e", &left);
+        joined.merge_prefixed("a", &right);
+        assert_eq!(joined.len(), 3);
+        assert_eq!(joined.get("a.City").unwrap().as_str(), Some("Nashville"));
+        assert_eq!(joined.get("e.EID").unwrap().as_int(), Some(1));
+    }
+
+    #[test]
+    fn unqualified_strips_prefixes() {
+        let row = Row::new().with("c.C_ID", 1).with("o.O_ID", 2);
+        let bare = row.unqualified();
+        assert!(bare.contains("C_ID"));
+        assert!(bare.contains("O_ID"));
+        assert_eq!(bare.len(), 2);
+    }
+
+    #[test]
+    fn display_and_size() {
+        let row = Row::new().with("a", 1).with("b", "xy");
+        assert_eq!(row.to_string(), "{a=1, b='xy'}");
+        assert_eq!(row.byte_size(), 1 + 8 + 1 + 2);
+    }
+}

@@ -1,0 +1,38 @@
+//! Deterministic virtual time and cluster cost model.
+//!
+//! The original Synergy evaluation (Tapdiya et al., CLUSTER 2017) ran on an
+//! eight node Amazon EC2 cluster with HBase/HDFS/ZooKeeper as the storage
+//! substrate.  This reproduction replaces the physical cluster with a
+//! simulated one: every storage, network and transaction primitive charges a
+//! deterministic cost into a [`SimClock`], and all reported "response times"
+//! are simulated durations.
+//!
+//! The cost model is intentionally simple and structural: it captures the
+//! *causes* of the paper's performance results (per-RPC network latency,
+//! sequential scan throughput, MVCC transaction-server round trips, lock
+//! acquisition RPCs, single-threaded partition execution) rather than any
+//! absolute hardware numbers.  The shape of each figure — which system wins,
+//! by roughly what factor, and where crossovers fall — is therefore a
+//! consequence of the same mechanisms the paper identifies.
+//!
+//! # Example
+//!
+//! ```
+//! use simclock::{CostModel, SimClock};
+//!
+//! let clock = SimClock::new();
+//! let model = CostModel::default();
+//! let start = clock.now();
+//! clock.charge(model.rpc_round_trip());           // one Get
+//! clock.charge(model.scan_cost(1_000, 128));      // scan 1000 rows of 128 B
+//! let elapsed = clock.now() - start;
+//! assert!(elapsed.as_micros() > 0);
+//! ```
+
+mod clock;
+mod cost;
+mod stats;
+
+pub use clock::{SimClock, SimDuration, SimInstant};
+pub use cost::{CostModel, StorageMedium};
+pub use stats::{mean, std_error, Summary};

@@ -1,0 +1,287 @@
+//! A hand-written SQL lexer.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are recognized case-insensitively by
+    /// the parser; the original spelling is preserved here).
+    Ident(String),
+    /// Quoted string literal (quotes stripped, `''` unescaped).
+    String(String),
+    /// Integer literal.
+    Integer(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// `?` positional parameter.
+    Question,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::String(s) => write!(f, "'{s}'"),
+            Token::Integer(v) => write!(f, "{v}"),
+            Token::Float(v) => write!(f, "{v}"),
+            Token::Question => write!(f, "?"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Star => write!(f, "*"),
+            Token::Eq => write!(f, "="),
+            Token::NotEq => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::LtEq => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::GtEq => write!(f, ">="),
+        }
+    }
+}
+
+/// A lexing error with byte position context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset in the input where the error occurred.
+    pub position: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes a SQL string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '?' => {
+                tokens.push(Token::Question);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        message: "expected '=' after '!'".into(),
+                        position: i,
+                    });
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::LtEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut value = String::new();
+                let start = i;
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(LexError {
+                            message: "unterminated string literal".into(),
+                            position: start,
+                        });
+                    }
+                    if bytes[i] == b'\'' {
+                        // '' escapes a single quote.
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            value.push('\'');
+                            i += 2;
+                            continue;
+                        }
+                        i += 1;
+                        break;
+                    }
+                    value.push(bytes[i] as char);
+                    i += 1;
+                }
+                tokens.push(Token::String(value));
+            }
+            c if c.is_ascii_digit() || (c == '-' && starts_number(bytes, i)) => {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                }
+                let mut is_float = false;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_digit()
+                        || (bytes[i] == b'.' && !is_float && next_is_digit(bytes, i)))
+                {
+                    if bytes[i] == b'.' {
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                let text = &input[start..i];
+                if is_float {
+                    tokens.push(Token::Float(text.parse().map_err(|_| LexError {
+                        message: format!("invalid float literal {text}"),
+                        position: start,
+                    })?));
+                } else {
+                    tokens.push(Token::Integer(text.parse().map_err(|_| LexError {
+                        message: format!("invalid integer literal {text}"),
+                        position: start,
+                    })?));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character '{other}'"),
+                    position: i,
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn next_is_digit(bytes: &[u8], i: usize) -> bool {
+    i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit()
+}
+
+/// A '-' starts a number only when followed by a digit (we do not support
+/// arithmetic expressions, so this is unambiguous).
+fn starts_number(bytes: &[u8], i: usize) -> bool {
+    next_is_digit(bytes, i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_a_simple_select() {
+        let tokens = tokenize("SELECT * FROM t WHERE a = 5").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Ident("SELECT".into()),
+                Token::Star,
+                Token::Ident("FROM".into()),
+                Token::Ident("t".into()),
+                Token::Ident("WHERE".into()),
+                Token::Ident("a".into()),
+                Token::Eq,
+                Token::Integer(5),
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_operators_strings_and_params() {
+        let tokens = tokenize("a <> 'it''s' AND b >= ? AND c <= -2.5").unwrap();
+        assert!(tokens.contains(&Token::NotEq));
+        assert!(tokens.contains(&Token::String("it's".into())));
+        assert!(tokens.contains(&Token::Question));
+        assert!(tokens.contains(&Token::GtEq));
+        assert!(tokens.contains(&Token::LtEq));
+        assert!(tokens.contains(&Token::Float(-2.5)));
+    }
+
+    #[test]
+    fn reports_unterminated_string() {
+        let err = tokenize("SELECT 'oops").unwrap_err();
+        assert!(err.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn reports_unexpected_character() {
+        let err = tokenize("SELECT #").unwrap_err();
+        assert!(err.message.contains('#'));
+    }
+
+    #[test]
+    fn qualified_names_and_bang_equals() {
+        let tokens = tokenize("o.ol_i_id != i.i_id").unwrap();
+        assert_eq!(tokens[1], Token::Dot);
+        assert!(tokens.contains(&Token::NotEq));
+    }
+}

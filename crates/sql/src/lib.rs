@@ -1,0 +1,39 @@
+//! SQL front end: lexer, abstract syntax tree and parser.
+//!
+//! The paper models a database workload as a set of SQL statements (§II-B)
+//! and ships TPC-W's servlets' SQL through a SQL skin (Apache Phoenix) onto
+//! the NoSQL store.  This crate provides the equivalent front end for the
+//! reproduction: it parses the subset of SQL that the TPC-W workload, the
+//! Company example and Synergy's rewritten queries need —
+//!
+//! * `SELECT` with multi-table equi-joins (comma syntax with aliases,
+//!   including self-joins), filters, `GROUP BY`, `ORDER BY` and `LIMIT`,
+//!   aggregates (`COUNT`/`SUM`/`AVG`/`MIN`/`MAX`);
+//! * `INSERT INTO ... (cols) VALUES (...)`;
+//! * `UPDATE ... SET ... WHERE ...`;
+//! * `DELETE FROM ... WHERE ...`;
+//! * `?` parameter placeholders, bound at execution time.
+//!
+//! ```
+//! use sql::parse_statement;
+//!
+//! let stmt = parse_statement(
+//!     "SELECT * FROM Customer AS c, Orders AS o \
+//!      WHERE c.c_id = o.o_c_id AND c.c_uname = ?",
+//! ).unwrap();
+//! let select = stmt.as_select().unwrap();
+//! assert_eq!(select.from.len(), 2);
+//! assert_eq!(select.join_conditions().len(), 1);
+//! assert_eq!(select.filter_conditions().len(), 1);
+//! ```
+
+mod ast;
+mod lexer;
+mod parser;
+
+pub use ast::{
+    AggregateFunction, ColumnRef, Comparison, Condition, DeleteStatement, Expr, InsertStatement,
+    OrderKey, SelectItem, SelectStatement, Statement, TableRef, UpdateStatement,
+};
+pub use lexer::{tokenize, LexError, Token};
+pub use parser::{parse_statement, parse_workload, ParseError};

@@ -1,0 +1,546 @@
+//! Recursive-descent parser producing the [`crate::ast`] types.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, LexError, Token};
+use relational::Value;
+use std::fmt;
+
+/// A parse error (including lexing errors).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    fn new(message: impl Into<String>) -> Self {
+        ParseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::new(e.to_string())
+    }
+}
+
+/// Parses a single SQL statement.
+pub fn parse_statement(input: &str) -> Result<Statement, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        params: 0,
+    };
+    let statement = parser.parse_statement()?;
+    if !parser.at_end() {
+        return Err(ParseError::new(format!(
+            "unexpected trailing token {:?}",
+            parser.peek()
+        )));
+    }
+    Ok(statement)
+}
+
+/// Parses every statement of a workload (one statement per input string).
+pub fn parse_workload<'a>(
+    statements: impl IntoIterator<Item = &'a str>,
+) -> Result<Vec<Statement>, ParseError> {
+    statements.into_iter().map(parse_statement).collect()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    params: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let token = self.tokens.get(self.pos).cloned();
+        self.pos += 1;
+        token
+    }
+
+    fn peek_keyword(&self, keyword: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(keyword))
+    }
+
+    fn eat_keyword(&mut self, keyword: &str) -> bool {
+        if self.peek_keyword(keyword) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, keyword: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(keyword) {
+            Ok(())
+        } else {
+            Err(ParseError::new(format!(
+                "expected keyword {keyword}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn eat(&mut self, token: &Token) -> bool {
+        if self.peek() == Some(token) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &Token) -> Result<(), ParseError> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            Err(ParseError::new(format!(
+                "expected {token:?}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn expect_identifier(&mut self) -> Result<String, ParseError> {
+        match self.advance() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(ParseError::new(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn parse_statement(&mut self) -> Result<Statement, ParseError> {
+        if self.peek_keyword("SELECT") {
+            Ok(Statement::Select(self.parse_select()?))
+        } else if self.peek_keyword("INSERT") {
+            Ok(Statement::Insert(self.parse_insert()?))
+        } else if self.peek_keyword("UPDATE") {
+            Ok(Statement::Update(self.parse_update()?))
+        } else if self.peek_keyword("DELETE") {
+            Ok(Statement::Delete(self.parse_delete()?))
+        } else {
+            Err(ParseError::new(format!(
+                "expected SELECT/INSERT/UPDATE/DELETE, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn parse_select(&mut self) -> Result<SelectStatement, ParseError> {
+        self.expect_keyword("SELECT")?;
+        let mut items = vec![self.parse_select_item()?];
+        while self.eat(&Token::Comma) {
+            items.push(self.parse_select_item()?);
+        }
+        self.expect_keyword("FROM")?;
+        let mut from = vec![self.parse_table_ref()?];
+        while self.eat(&Token::Comma) {
+            from.push(self.parse_table_ref()?);
+        }
+        let mut conditions = Vec::new();
+        if self.eat_keyword("WHERE") {
+            conditions.push(self.parse_condition()?);
+            while self.eat_keyword("AND") {
+                conditions.push(self.parse_condition()?);
+            }
+        }
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            group_by.push(self.parse_column_ref()?);
+            while self.eat(&Token::Comma) {
+                group_by.push(self.parse_column_ref()?);
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let column = self.parse_column_ref()?;
+                let descending = if self.eat_keyword("DESC") {
+                    true
+                } else {
+                    self.eat_keyword("ASC");
+                    false
+                };
+                order_by.push(OrderKey { column, descending });
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut limit = None;
+        if self.eat_keyword("LIMIT") {
+            match self.advance() {
+                Some(Token::Integer(n)) if n >= 0 => limit = Some(n as usize),
+                other => {
+                    return Err(ParseError::new(format!(
+                        "expected non-negative integer after LIMIT, found {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(SelectStatement {
+            items,
+            from,
+            conditions,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+
+    fn aggregate_function(name: &str) -> Option<AggregateFunction> {
+        match name.to_ascii_uppercase().as_str() {
+            "COUNT" => Some(AggregateFunction::Count),
+            "SUM" => Some(AggregateFunction::Sum),
+            "AVG" => Some(AggregateFunction::Avg),
+            "MIN" => Some(AggregateFunction::Min),
+            "MAX" => Some(AggregateFunction::Max),
+            _ => None,
+        }
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem, ParseError> {
+        if self.eat(&Token::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // Aggregate: IDENT '(' ...
+        if let (Some(Token::Ident(name)), Some(Token::LParen)) =
+            (self.peek().cloned(), self.tokens.get(self.pos + 1))
+        {
+            if let Some(function) = Self::aggregate_function(&name) {
+                self.pos += 2; // consume name and '('
+                let argument = if self.eat(&Token::Star) {
+                    None
+                } else {
+                    Some(self.parse_column_ref()?)
+                };
+                self.expect(&Token::RParen)?;
+                let alias = self.parse_optional_alias()?;
+                return Ok(SelectItem::Aggregate {
+                    function,
+                    argument,
+                    alias,
+                });
+            }
+        }
+        let column = self.parse_column_ref()?;
+        let alias = self.parse_optional_alias()?;
+        Ok(SelectItem::Column { column, alias })
+    }
+
+    fn parse_optional_alias(&mut self) -> Result<Option<String>, ParseError> {
+        if self.eat_keyword("AS") {
+            Ok(Some(self.expect_identifier()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn parse_table_ref(&mut self) -> Result<TableRef, ParseError> {
+        let table = self.expect_identifier()?;
+        // Alias: either `AS alias` or a bare identifier that is not a clause
+        // keyword.
+        if self.eat_keyword("AS") {
+            let alias = self.expect_identifier()?;
+            return Ok(TableRef::aliased(table, alias));
+        }
+        if let Some(Token::Ident(next)) = self.peek() {
+            const CLAUSE_KEYWORDS: [&str; 7] =
+                ["WHERE", "GROUP", "ORDER", "LIMIT", "ON", "AND", "AS"];
+            if !CLAUSE_KEYWORDS
+                .iter()
+                .any(|k| next.eq_ignore_ascii_case(k))
+            {
+                let alias = next.clone();
+                self.pos += 1;
+                return Ok(TableRef::aliased(table, alias));
+            }
+        }
+        Ok(TableRef::named(table))
+    }
+
+    fn parse_column_ref(&mut self) -> Result<ColumnRef, ParseError> {
+        let first = self.expect_identifier()?;
+        if self.eat(&Token::Dot) {
+            let column = self.expect_identifier()?;
+            Ok(ColumnRef::qualified(first, column))
+        } else {
+            Ok(ColumnRef::bare(first))
+        }
+    }
+
+    fn parse_condition(&mut self) -> Result<Condition, ParseError> {
+        let left = self.parse_column_ref()?;
+        let op = match self.advance() {
+            Some(Token::Eq) => Comparison::Eq,
+            Some(Token::NotEq) => Comparison::NotEq,
+            Some(Token::Lt) => Comparison::Lt,
+            Some(Token::LtEq) => Comparison::LtEq,
+            Some(Token::Gt) => Comparison::Gt,
+            Some(Token::GtEq) => Comparison::GtEq,
+            other => {
+                return Err(ParseError::new(format!(
+                    "expected comparison operator, found {other:?}"
+                )))
+            }
+        };
+        let right = self.parse_expr()?;
+        Ok(Condition { left, op, right })
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().cloned() {
+            Some(Token::Question) => {
+                self.pos += 1;
+                let index = self.params;
+                self.params += 1;
+                Ok(Expr::Parameter(index))
+            }
+            Some(Token::Integer(v)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Int(v)))
+            }
+            Some(Token::Float(v)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Float(v)))
+            }
+            Some(Token::String(s)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Str(s)))
+            }
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("NULL") => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Null))
+            }
+            Some(Token::Ident(_)) => Ok(Expr::Column(self.parse_column_ref()?)),
+            other => Err(ParseError::new(format!("expected expression, found {other:?}"))),
+        }
+    }
+
+    fn parse_insert(&mut self) -> Result<InsertStatement, ParseError> {
+        self.expect_keyword("INSERT")?;
+        self.expect_keyword("INTO")?;
+        let table = self.expect_identifier()?;
+        self.expect(&Token::LParen)?;
+        let mut columns = vec![self.expect_identifier()?];
+        while self.eat(&Token::Comma) {
+            columns.push(self.expect_identifier()?);
+        }
+        self.expect(&Token::RParen)?;
+        self.expect_keyword("VALUES")?;
+        self.expect(&Token::LParen)?;
+        let mut values = vec![self.parse_expr()?];
+        while self.eat(&Token::Comma) {
+            values.push(self.parse_expr()?);
+        }
+        self.expect(&Token::RParen)?;
+        if columns.len() != values.len() {
+            return Err(ParseError::new(format!(
+                "INSERT into {table}: {} columns but {} values",
+                columns.len(),
+                values.len()
+            )));
+        }
+        Ok(InsertStatement {
+            table,
+            columns,
+            values,
+        })
+    }
+
+    fn parse_update(&mut self) -> Result<UpdateStatement, ParseError> {
+        self.expect_keyword("UPDATE")?;
+        let table = self.expect_identifier()?;
+        self.expect_keyword("SET")?;
+        let mut assignments = Vec::new();
+        loop {
+            let column = self.expect_identifier()?;
+            self.expect(&Token::Eq)?;
+            let value = self.parse_expr()?;
+            assignments.push((column, value));
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        let mut conditions = Vec::new();
+        if self.eat_keyword("WHERE") {
+            conditions.push(self.parse_condition()?);
+            while self.eat_keyword("AND") {
+                conditions.push(self.parse_condition()?);
+            }
+        }
+        Ok(UpdateStatement {
+            table,
+            assignments,
+            conditions,
+        })
+    }
+
+    fn parse_delete(&mut self) -> Result<DeleteStatement, ParseError> {
+        self.expect_keyword("DELETE")?;
+        self.expect_keyword("FROM")?;
+        let table = self.expect_identifier()?;
+        let mut conditions = Vec::new();
+        if self.eat_keyword("WHERE") {
+            conditions.push(self.parse_condition()?);
+            while self.eat_keyword("AND") {
+                conditions.push(self.parse_condition()?);
+            }
+        }
+        Ok(DeleteStatement { table, conditions })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_micro_benchmark_join() {
+        let stmt = parse_statement(
+            "SELECT * FROM Customer as c, Orders as o, Order_line as ol \
+             WHERE c.c_id = o.o_c_id and o.o_id = ol.ol_o_id",
+        )
+        .unwrap();
+        let select = stmt.as_select().unwrap();
+        assert_eq!(select.from.len(), 3);
+        assert_eq!(select.join_conditions().len(), 2);
+        assert!(select.filter_conditions().is_empty());
+        assert_eq!(select.resolve_alias("ol"), Some("Order_line"));
+    }
+
+    #[test]
+    fn parses_filters_order_group_limit() {
+        let stmt = parse_statement(
+            "SELECT i.i_id, SUM(ol.ol_qty) AS qty FROM Item i, Order_line ol \
+             WHERE i.i_id = ol.ol_i_id AND i.i_subject = ? AND ol.ol_qty >= 2 \
+             GROUP BY i.i_id ORDER BY qty DESC, i.i_id LIMIT 50",
+        )
+        .unwrap();
+        let select = stmt.as_select().unwrap();
+        assert!(select.has_aggregates());
+        assert_eq!(select.group_by.len(), 1);
+        assert_eq!(select.order_by.len(), 2);
+        assert!(select.order_by[0].descending);
+        assert!(!select.order_by[1].descending);
+        assert_eq!(select.limit, Some(50));
+        assert_eq!(select.filter_conditions().len(), 2);
+    }
+
+    #[test]
+    fn parses_self_join_with_not_equals() {
+        let stmt = parse_statement(
+            "SELECT * FROM Order_line as ol, Order_line as ol2 \
+             WHERE ol.ol_o_id = ol2.ol_o_id AND ol.ol_i_id <> ol2.ol_i_id",
+        )
+        .unwrap();
+        let select = stmt.as_select().unwrap();
+        assert_eq!(select.from[0].table, "Order_line");
+        assert_eq!(select.from[1].alias, "ol2");
+        assert_eq!(select.join_conditions().len(), 1);
+        let not_eq = &select.conditions[1];
+        assert_eq!(not_eq.op, Comparison::NotEq);
+    }
+
+    #[test]
+    fn parses_insert_update_delete() {
+        let insert = parse_statement(
+            "INSERT INTO Customer (c_id, c_uname, c_discount) VALUES (?, ?, 0.05)",
+        )
+        .unwrap();
+        match insert {
+            Statement::Insert(i) => {
+                assert_eq!(i.table, "Customer");
+                assert_eq!(i.columns.len(), 3);
+                assert_eq!(i.values[2], Expr::Literal(Value::Float(0.05)));
+            }
+            other => panic!("expected insert, got {other:?}"),
+        }
+
+        let update =
+            parse_statement("UPDATE Item SET i_cost = ?, i_pub_date = ? WHERE i_id = ?").unwrap();
+        match update {
+            Statement::Update(u) => {
+                assert_eq!(u.assignments.len(), 2);
+                assert_eq!(u.conditions.len(), 1);
+                // Parameters are numbered in textual order.
+                assert_eq!(u.assignments[0].1, Expr::Parameter(0));
+                assert_eq!(u.conditions[0].right, Expr::Parameter(2));
+            }
+            other => panic!("expected update, got {other:?}"),
+        }
+
+        let delete = parse_statement(
+            "DELETE FROM Shopping_cart_line WHERE scl_sc_id = ? AND scl_i_id = ?",
+        )
+        .unwrap();
+        match delete {
+            Statement::Delete(d) => assert_eq!(d.conditions.len(), 2),
+            other => panic!("expected delete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_statements() {
+        assert!(parse_statement("SELECT FROM t").is_err());
+        assert!(parse_statement("INSERT INTO t (a, b) VALUES (1)").is_err());
+        assert!(parse_statement("UPDATE t SET").is_err());
+        assert!(parse_statement("DROP TABLE t").is_err());
+        assert!(parse_statement("SELECT * FROM t WHERE a = 1 extra garbage =").is_err());
+        assert!(parse_statement("SELECT * FROM t LIMIT -3").is_err());
+    }
+
+    #[test]
+    fn workload_parser_collects_statements() {
+        let workload = parse_workload([
+            "SELECT * FROM Item",
+            "INSERT INTO Orders (o_id) VALUES (?)",
+        ])
+        .unwrap();
+        assert_eq!(workload.len(), 2);
+        assert!(workload[0].is_read());
+        assert!(workload[1].is_write());
+    }
+
+    #[test]
+    fn display_of_parsed_statement_reparses_identically() {
+        let sql = "SELECT c.c_id, o.o_id FROM Customer AS c, Orders AS o \
+                   WHERE c.c_id = o.o_c_id AND c.c_uname = ? ORDER BY o.o_date DESC LIMIT 1";
+        let stmt = parse_statement(sql).unwrap();
+        let reparsed = parse_statement(&stmt.to_string()).unwrap();
+        assert_eq!(stmt, reparsed);
+    }
+
+    #[test]
+    fn null_literal_parses() {
+        let stmt = parse_statement("UPDATE t SET a = NULL WHERE k = 1").unwrap();
+        match stmt {
+            Statement::Update(u) => assert_eq!(u.assignments[0].1, Expr::Literal(Value::Null)),
+            other => panic!("expected update, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! View maintenance (paper §VII): applicability tests and tuple construction
+//! for keeping materialized views and view-indexes consistent with base-table
+//! inserts, deletes and updates.
+
+use crate::selection::ViewIndexDefinition;
+use crate::viewgen::ViewDefinition;
+use nosql_store::ops::{Put, Scan};
+use query::{Executor, QueryError, FAMILY};
+use relational::{encode_key, Row, Schema, Value, KEY_DELIMITER};
+
+/// Re-export of the dirty-marker column name used by the executor's
+/// read-committed scan-restart protocol.
+pub use query::DIRTY_MARKER;
+
+/// Maintains the selected views of a Synergy deployment.
+#[derive(Clone)]
+pub struct ViewMaintainer {
+    executor: Executor,
+    schema: Schema,
+    views: Vec<ViewDefinition>,
+    view_indexes: Vec<ViewIndexDefinition>,
+}
+
+impl ViewMaintainer {
+    /// Creates a maintainer; `executor`'s catalog must already contain the
+    /// view and view-index tables.
+    pub fn new(
+        executor: Executor,
+        schema: Schema,
+        views: Vec<ViewDefinition>,
+        view_indexes: Vec<ViewIndexDefinition>,
+    ) -> Self {
+        ViewMaintainer {
+            executor,
+            schema,
+            views,
+            view_indexes,
+        }
+    }
+
+    /// All maintained views.
+    pub fn views(&self) -> &[ViewDefinition] {
+        &self.views
+    }
+
+    // ------------------------------------------------------------------
+    // Applicability tests (§VII-A/B/C, step 1)
+    // ------------------------------------------------------------------
+
+    /// Views to which an insert into `relation` applies: those whose *last*
+    /// relation is `relation`.
+    pub fn views_for_insert(&self, relation: &str) -> Vec<&ViewDefinition> {
+        self.views
+            .iter()
+            .filter(|v| v.last_relation().eq_ignore_ascii_case(relation))
+            .collect()
+    }
+
+    /// Views to which a delete from `relation` applies (same test as insert).
+    pub fn views_for_delete(&self, relation: &str) -> Vec<&ViewDefinition> {
+        self.views_for_insert(relation)
+    }
+
+    /// Views to which an update of `relation` applies: those containing
+    /// `relation` anywhere in their sequence.
+    pub fn views_for_update(&self, relation: &str) -> Vec<&ViewDefinition> {
+        self.views
+            .iter()
+            .filter(|v| v.relations.iter().any(|r| r.eq_ignore_ascii_case(relation)))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Insert (§VII-A)
+    // ------------------------------------------------------------------
+
+    /// Constructs the view tuple for a base-table insert into the view's
+    /// last relation, by walking the key/foreign-key chain upwards and
+    /// reading one related tuple per ancestor relation (k−1 reads for a view
+    /// of k relations).  Returns `None` when an ancestor row is missing
+    /// (foreign-key constraints are not enforced, §IV).
+    pub fn construct_insert_tuple(
+        &self,
+        view: &ViewDefinition,
+        inserted: &Row,
+    ) -> Result<Option<Row>, QueryError> {
+        let mut combined = inserted.unqualified();
+        let mut current = inserted.unqualified();
+        // Walk edges from the last relation up to the first.
+        for edge in view.edges.iter().rev() {
+            // The child row (`current`) holds FK attributes referencing the
+            // parent's PK; read the parent row by primary key.
+            let mut parent_key = Row::new();
+            for (pk_attr, fk_attr) in edge.pk.iter().zip(edge.fk.iter()) {
+                match current.get(fk_attr) {
+                    Some(value) if !value.is_null() => {
+                        parent_key.set(pk_attr.clone(), value.clone());
+                    }
+                    _ => return Ok(None),
+                }
+            }
+            let Some(parent) = self.executor.get_row_by_key(&edge.from, &parent_key)? else {
+                return Ok(None);
+            };
+            for (attribute, value) in parent.iter() {
+                if combined.get(attribute).is_none() {
+                    combined.set(attribute.clone(), value.clone());
+                }
+            }
+            current = parent;
+        }
+        Ok(Some(combined))
+    }
+
+    /// Applies a base-table insert to every applicable view (and the views'
+    /// indexes, which the executor maintains automatically).  Returns the
+    /// number of view rows written.
+    pub fn apply_insert(&self, relation: &str, inserted: &Row) -> Result<usize, QueryError> {
+        let mut written = 0;
+        for view in self.views_for_insert(relation) {
+            if let Some(view_row) = self.construct_insert_tuple(view, inserted)? {
+                self.executor.insert_row(&view.table_name(), &view_row)?;
+                written += 1;
+            }
+        }
+        Ok(written)
+    }
+
+    // ------------------------------------------------------------------
+    // Delete (§VII-B)
+    // ------------------------------------------------------------------
+
+    /// Applies a base-table delete to every applicable view.  The view key
+    /// equals the base key; the view row is read first so that view-index
+    /// keys can be constructed (§VII-B2).  Returns the number of view rows
+    /// removed.
+    pub fn apply_delete(&self, relation: &str, base_key: &Row) -> Result<usize, QueryError> {
+        let mut removed = 0;
+        for view in self.views_for_delete(relation) {
+            if self.executor.delete_row_by_key(&view.table_name(), base_key)? {
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+
+    // ------------------------------------------------------------------
+    // Update (§VII-C)
+    // ------------------------------------------------------------------
+
+    /// Locates the view rows affected by an update of `relation` (identified
+    /// by its primary-key values).  Uses the view key directly when
+    /// `relation` is the view's last relation, a maintenance view-index when
+    /// one exists, and a full view scan otherwise.
+    pub fn find_affected_view_rows(
+        &self,
+        view: &ViewDefinition,
+        relation: &str,
+        relation_key: &Row,
+    ) -> Result<Vec<Row>, QueryError> {
+        let view_table = view.table_name();
+        let relation_pk = self
+            .schema
+            .relation(relation)
+            .map(|r| r.primary_key.clone())
+            .unwrap_or_default();
+
+        if view.last_relation().eq_ignore_ascii_case(relation) {
+            return Ok(self
+                .executor
+                .get_row_by_key(&view_table, relation_key)?
+                .into_iter()
+                .collect());
+        }
+
+        // Prefer a maintenance index keyed on the relation's primary key.
+        let index = self.view_indexes.iter().find(|i| {
+            i.view == view_table && i.indexed_on == relation_pk
+        });
+        if let Some(index) = index {
+            let prefix_values: Vec<Value> = relation_pk
+                .iter()
+                .map(|a| relation_key.get(a).cloned().unwrap_or(Value::Null))
+                .collect();
+            let mut prefix = encode_key(prefix_values.iter());
+            let index_def = self
+                .executor
+                .catalog()
+                .table(&index.name)
+                .ok_or_else(|| QueryError::UnknownTable(index.name.clone()))?;
+            if index_def.key.len() > relation_pk.len() {
+                // Close the last component so item "42" does not also match
+                // view rows of items 420, 421, ...
+                prefix.push(KEY_DELIMITER);
+            }
+            let stored = self
+                .executor
+                .cluster()
+                .scan(&index.name, Scan::prefix(prefix))?;
+            let mut out = Vec::new();
+            for entry in stored {
+                let index_row = index_def.decode_row(&entry);
+                if let Some(view_row) = self.executor.get_row_by_key(&view_table, &index_row)? {
+                    out.push(view_row);
+                }
+            }
+            return Ok(out);
+        }
+
+        // Fall back to scanning the whole view and filtering client-side.
+        let view_def = self
+            .executor
+            .catalog()
+            .table(&view_table)
+            .ok_or_else(|| QueryError::UnknownTable(view_table.clone()))?;
+        let stored = self.executor.cluster().scan(&view_table, Scan::all())?;
+        Ok(stored
+            .iter()
+            .map(|s| view_def.decode_row(s))
+            .filter(|row| {
+                relation_pk.iter().all(|a| {
+                    match (row.get(a), relation_key.get(a)) {
+                        (Some(x), Some(y)) => x == y,
+                        _ => false,
+                    }
+                })
+            })
+            .collect())
+    }
+
+    /// Marks a view row dirty (step 3 of the update transaction, §VIII-B).
+    pub fn mark_dirty(&self, view: &ViewDefinition, view_row: &Row) -> Result<(), QueryError> {
+        self.set_marker(view, view_row, "1")
+    }
+
+    /// Clears the dirty marker (step 5 of the update transaction).
+    pub fn unmark_dirty(&self, view: &ViewDefinition, view_row: &Row) -> Result<(), QueryError> {
+        self.set_marker(view, view_row, "0")
+    }
+
+    fn set_marker(
+        &self,
+        view: &ViewDefinition,
+        view_row: &Row,
+        value: &str,
+    ) -> Result<(), QueryError> {
+        let view_table = view.table_name();
+        let def = self
+            .executor
+            .catalog()
+            .table(&view_table)
+            .ok_or_else(|| QueryError::UnknownTable(view_table.clone()))?;
+        let key = def.encode_row_key(view_row);
+        self.executor.cluster().put(
+            &view_table,
+            Put::new(key).with(FAMILY, DIRTY_MARKER, value),
+        )?;
+        Ok(())
+    }
+
+    /// Applies an update to a located view row: merges the updated base
+    /// attributes into the view row and rewrites it (the executor keeps the
+    /// view's indexes in sync).  Returns the updated view row.
+    pub fn apply_update_to_view_row(
+        &self,
+        view: &ViewDefinition,
+        view_row: &Row,
+        updated_base: &Row,
+    ) -> Result<Row, QueryError> {
+        let mut merged = view_row.clone();
+        for (attribute, value) in updated_base.iter() {
+            // Only attributes that exist in the view are propagated.
+            if view.attributes(&self.schema).iter().any(|a| a == attribute) {
+                merged.set(attribute.clone(), value.clone());
+            }
+        }
+        // Drop view-index entries whose key changes (e.g. an index on an
+        // updated attribute), then re-insert through the executor so every
+        // view-index reflects the new values.
+        for index in self.executor.catalog().indexes_of(&view.table_name()) {
+            let old_key = index.encode_row_key(view_row);
+            let new_key = index.encode_row_key(&merged);
+            if old_key != new_key {
+                self.executor
+                    .cluster()
+                    .delete(&index.name, nosql_store::ops::Delete::row(old_key))?;
+            }
+        }
+        self.executor.insert_row(&view.table_name(), &merged)?;
+        Ok(merged)
+    }
+}

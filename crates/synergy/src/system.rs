@@ -1,0 +1,409 @@
+//! The assembled Synergy system (paper Figure 3 and Figure 7).
+//!
+//! [`SynergySystem::build`] runs the whole offline pipeline — baseline
+//! transformation, candidate view generation, view selection, query
+//! rewriting, view-index addition, table and lock-table creation — and the
+//! resulting object executes the online workload: reads go straight to the
+//! store through the rewritten queries (with dirty-read protection), writes
+//! go through the transaction layer's single-lock procedures.
+
+use crate::lock::LockManager;
+use crate::maintenance::ViewMaintainer;
+use crate::rewrite::{rewrite_query, rewrite_statement};
+use crate::selection::{select_views, select_views_for_query, SelectionOutcome, ViewIndexDefinition};
+use crate::txn::{TransactionLayer, TxnError, WritePlan};
+use crate::viewgen::{generate_candidate_views, CandidateViews, ViewDefinition};
+use nosql_store::Cluster;
+use query::baseline::{baseline_catalog_with_types, create_tables, TypeHint};
+use query::{Catalog, ColumnType, Executor, QueryError, QueryResult, TableDef, TableKind};
+use relational::{Row, Schema, Value};
+use sql::Statement;
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+/// Configuration for building a [`SynergySystem`].
+pub struct SynergyConfig<'a> {
+    /// The relational schema.
+    pub schema: Schema,
+    /// The workload (used to drive view selection and query rewriting).
+    pub workload: Vec<Statement>,
+    /// The roots set Q (provided by the database designer, §V-A).
+    pub roots: Vec<String>,
+    /// Column-type hints for the baseline transformation.
+    pub types: TypeHint<'a>,
+    /// Overrides the candidate views (skipping §V's generation mechanism).
+    /// Used to build the comparison systems: the Baseline system passes an
+    /// empty candidate set (no views) and MVCC-UA passes the advisor's
+    /// schema-oblivious views.
+    pub candidate_override: Option<CandidateViews>,
+    /// When false, write transactions skip the hierarchical lock.  The
+    /// MVCC-based comparison systems disable it because their concurrency
+    /// control is the MVCC transaction server, not Synergy's locks.
+    pub hierarchical_locking: bool,
+}
+
+impl<'a> SynergyConfig<'a> {
+    /// A standard Synergy configuration (candidate generation from `roots`,
+    /// hierarchical locking enabled).
+    pub fn new(
+        schema: Schema,
+        workload: Vec<Statement>,
+        roots: Vec<String>,
+        types: TypeHint<'a>,
+    ) -> Self {
+        SynergyConfig {
+            schema,
+            workload,
+            roots,
+            types,
+            candidate_override: None,
+            hierarchical_locking: true,
+        }
+    }
+
+    /// Uses the given candidate views instead of running §V's generation.
+    pub fn with_candidate_override(mut self, candidates: CandidateViews) -> Self {
+        self.candidate_override = Some(candidates);
+        self
+    }
+
+    /// Disables the hierarchical single-lock protocol (the MVCC comparison
+    /// systems rely on their transaction server instead).
+    pub fn without_hierarchical_locking(mut self) -> Self {
+        self.hierarchical_locking = false;
+        self
+    }
+}
+
+/// A fully assembled Synergy deployment over a NoSQL cluster.
+#[derive(Clone)]
+pub struct SynergySystem {
+    schema: Schema,
+    workload: Vec<Statement>,
+    candidates: CandidateViews,
+    selection: SelectionOutcome,
+    executor: Executor,
+    txn: TransactionLayer,
+    locks: LockManager,
+    rewritten_by_sql: BTreeMap<String, Statement>,
+    hierarchical_locking: bool,
+}
+
+impl SynergySystem {
+    /// Runs the offline pipeline and creates every table (base, index, view,
+    /// view-index, lock) in the cluster.
+    pub fn build(cluster: Cluster, config: SynergyConfig<'_>) -> Result<Self, QueryError> {
+        let SynergyConfig {
+            schema,
+            workload,
+            roots,
+            types,
+            candidate_override,
+            hierarchical_locking,
+        } = config;
+
+        // 1. Baseline schema transformation.
+        let mut catalog = baseline_catalog_with_types(&schema, types);
+
+        // 2–3. Candidate view generation + workload-driven selection.
+        let candidates = candidate_override
+            .unwrap_or_else(|| generate_candidate_views(&schema, &workload, &roots));
+        let selection = select_views(&schema, &candidates, &workload);
+
+        // 4. Extend the catalog with views and view-indexes.
+        for view in &selection.views {
+            catalog.add_table(view_table_def(view, &schema, &catalog));
+        }
+        for index in &selection.view_indexes {
+            catalog.add_table(view_index_table_def(index, &selection, &schema, &catalog));
+        }
+
+        // 5. Create all physical tables, plus one lock table per rooted tree.
+        create_tables(&cluster, &catalog)?;
+        let locks = LockManager::new(cluster.clone());
+        if hierarchical_locking {
+            for tree in &candidates.trees {
+                locks.create_lock_table(&tree.root)?;
+            }
+        }
+
+        // Reads restart when they observe a dirty marker (§VIII-C).
+        let executor = Executor::new(cluster, catalog).with_dirty_read_protection();
+        let maintainer = ViewMaintainer::new(
+            executor.clone(),
+            schema.clone(),
+            selection.views.clone(),
+            selection.view_indexes.clone(),
+        );
+        let txn = TransactionLayer::new(
+            executor.clone(),
+            schema.clone(),
+            candidates.clone(),
+            locks.clone(),
+            maintainer,
+        )
+        .with_hierarchical_locking(hierarchical_locking);
+
+        // 6. Pre-compute the rewritten form of every workload query.
+        let mut rewritten_by_sql = BTreeMap::new();
+        for (idx, statement) in workload.iter().enumerate() {
+            let rewritten = rewrite_statement(statement, selection.per_query.get(&idx));
+            rewritten_by_sql.insert(statement.to_string(), rewritten);
+        }
+
+        Ok(SynergySystem {
+            schema,
+            workload,
+            candidates,
+            selection,
+            executor,
+            txn,
+            locks,
+            rewritten_by_sql,
+            hierarchical_locking,
+        })
+    }
+
+    /// The underlying cluster.
+    pub fn cluster(&self) -> &Cluster {
+        self.executor.cluster()
+    }
+
+    /// The relational schema this deployment was built from.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The workload the views were selected for.
+    pub fn workload(&self) -> &[Statement] {
+        &self.workload
+    }
+
+    /// The catalog (base tables, indexes, views, view-indexes).
+    pub fn catalog(&self) -> &Catalog {
+        self.executor.catalog()
+    }
+
+    /// The executor used for reads (dirty-read protection enabled).
+    pub fn executor(&self) -> &Executor {
+        &self.executor
+    }
+
+    /// The rooted trees produced by candidate view generation.
+    pub fn candidates(&self) -> &CandidateViews {
+        &self.candidates
+    }
+
+    /// The selected views and view-indexes.
+    pub fn selection(&self) -> &SelectionOutcome {
+        &self.selection
+    }
+
+    /// The hierarchical lock manager.
+    pub fn locks(&self) -> &LockManager {
+        &self.locks
+    }
+
+    /// The transaction layer (exposed for plan inspection).
+    pub fn transaction_layer(&self) -> &TransactionLayer {
+        &self.txn
+    }
+
+    /// Rewrites a statement over the selected views: cached for workload
+    /// statements, computed on the fly otherwise.
+    pub fn rewrite(&self, statement: &Statement) -> Statement {
+        if let Some(rewritten) = self.rewritten_by_sql.get(&statement.to_string()) {
+            return rewritten.clone();
+        }
+        match statement {
+            Statement::Select(select) => {
+                let views = select_views_for_query(&self.candidates, select, &self.workload);
+                Statement::Select(rewrite_query(select, &views))
+            }
+            other => other.clone(),
+        }
+    }
+
+    /// The plan the transaction layer would execute for a write statement.
+    pub fn plan_write(&self, statement: &Statement) -> Result<WritePlan, TxnError> {
+        self.txn.plan(statement)
+    }
+
+    /// Executes one workload statement: reads are rewritten over views and
+    /// run directly against the store; writes run as single-lock
+    /// transactions in the transaction layer.
+    pub fn execute(&self, statement: &Statement, params: &[Value]) -> Result<QueryResult, TxnError> {
+        if statement.is_read() {
+            let rewritten = self.rewrite(statement);
+            Ok(self.executor.execute(&rewritten, params)?)
+        } else {
+            self.txn.execute_write(statement, params)
+        }
+    }
+
+    /// Parses and executes a SQL string.
+    pub fn execute_sql(&self, sql_text: &str, params: &[Value]) -> Result<QueryResult, TxnError> {
+        let statement = sql::parse_statement(sql_text)
+            .map_err(|e| TxnError::Unsupported(e.to_string()))?;
+        self.execute(&statement, params)
+    }
+
+    /// Bulk-loads base rows (offline population; no simulated cost).  Lock
+    /// table entries are created for root-relation rows.
+    pub fn bulk_load(&self, relation: &str, rows: &[Row]) -> Result<usize, TxnError> {
+        let loaded = self.executor.bulk_load_rows(relation, rows)?;
+        if self.hierarchical_locking && self.candidates.tree_for_root(relation).is_some() {
+            let def = self
+                .executor
+                .catalog()
+                .table_ci(relation)
+                .ok_or_else(|| QueryError::UnknownTable(relation.to_string()))?;
+            let puts: Vec<nosql_store::ops::Put> = rows
+                .iter()
+                .map(|row| {
+                    nosql_store::ops::Put::new(def.encode_row_key(row)).with(
+                        crate::lock::LOCK_FAMILY,
+                        crate::lock::LOCK_COLUMN,
+                        "0",
+                    )
+                })
+                .collect();
+            self.cluster()
+                .bulk_load(&crate::lock::lock_table_name(relation), puts)
+                .map_err(QueryError::from)?;
+        }
+        Ok(loaded)
+    }
+
+    /// Computes the contents of every selected view from the already loaded
+    /// base tables and bulk-loads them (the offline view-population step that
+    /// precedes the paper's measurements).  Returns the total number of view
+    /// rows materialized.
+    pub fn materialize_views(&self) -> Result<usize, TxnError> {
+        let mut total = 0;
+        for view in &self.selection.views {
+            total += self.materialize_view(view)?;
+        }
+        Ok(total)
+    }
+
+    fn materialize_view(&self, view: &ViewDefinition) -> Result<usize, TxnError> {
+        // Load each participating relation into memory once.
+        let mut relation_rows: HashMap<String, Vec<Row>> = HashMap::new();
+        for relation in &view.relations {
+            let def = self
+                .executor
+                .catalog()
+                .table_ci(relation)
+                .ok_or_else(|| QueryError::UnknownTable(relation.clone()))?;
+            let stored = self
+                .cluster()
+                .scan(&def.name, nosql_store::ops::Scan::all())
+                .map_err(QueryError::from)?;
+            relation_rows.insert(
+                relation.clone(),
+                stored.iter().map(|s| def.decode_row(s)).collect(),
+            );
+        }
+
+        // Join along the path: parent → child on (pk = fk).
+        let mut combined: Vec<Row> = relation_rows[&view.relations[0]].clone();
+        for edge in &view.edges {
+            let children = &relation_rows[&edge.to];
+            // Hash children by their FK tuple.
+            let mut by_fk: HashMap<Vec<Value>, Vec<&Row>> = HashMap::new();
+            for child in children {
+                let fk: Option<Vec<Value>> =
+                    edge.fk.iter().map(|a| child.get(a).cloned()).collect();
+                if let Some(fk) = fk {
+                    by_fk.entry(fk).or_default().push(child);
+                }
+            }
+            let mut next = Vec::new();
+            for row in &combined {
+                let pk: Option<Vec<Value>> = edge.pk.iter().map(|a| row.get(a).cloned()).collect();
+                let Some(pk) = pk else { continue };
+                if let Some(matches) = by_fk.get(&pk) {
+                    for child in matches {
+                        let mut merged = row.clone();
+                        for (k, v) in child.iter() {
+                            merged.set(k.clone(), v.clone());
+                        }
+                        next.push(merged);
+                    }
+                }
+            }
+            combined = next;
+        }
+
+        self.executor.bulk_load_rows(&view.table_name(), &combined)?;
+        Ok(combined.len())
+    }
+
+    /// Total stored bytes across every table of this deployment (base,
+    /// index, view, view-index, lock) — the quantity behind the paper's
+    /// Table III.
+    pub fn database_size_bytes(&self) -> u64 {
+        self.cluster().metrics().total_bytes()
+    }
+}
+
+/// Builds the physical table definition of a view: columns are the union of
+/// the participating relations' attributes (typed from the base catalog),
+/// the key is the key of the last relation.
+fn view_table_def(view: &ViewDefinition, schema: &Schema, base_catalog: &Catalog) -> TableDef {
+    let mut columns: Vec<(String, ColumnType)> = Vec::new();
+    for attribute in view.attributes(schema) {
+        let ty = column_type_from_base(view, &attribute, base_catalog);
+        columns.push((attribute, ty));
+    }
+    TableDef::new(
+        view.table_name(),
+        columns,
+        view.key_attributes(schema),
+        TableKind::View,
+    )
+}
+
+/// Builds the physical table definition of a view-index: a covered index
+/// over all view columns, keyed on `indexed_on ++ view key`.
+fn view_index_table_def(
+    index: &ViewIndexDefinition,
+    selection: &SelectionOutcome,
+    schema: &Schema,
+    base_catalog: &Catalog,
+) -> TableDef {
+    let view = selection
+        .view_by_table_name(&index.view)
+        .expect("view-index references a selected view");
+    let mut columns: Vec<(String, ColumnType)> = Vec::new();
+    for attribute in view.attributes(schema) {
+        let ty = column_type_from_base(view, &attribute, base_catalog);
+        columns.push((attribute, ty));
+    }
+    let mut key = index.indexed_on.clone();
+    for k in view.key_attributes(schema) {
+        if !key.contains(&k) {
+            key.push(k);
+        }
+    }
+    TableDef::new(
+        index.name.clone(),
+        columns,
+        key,
+        TableKind::Index {
+            of: index.view.clone(),
+        },
+    )
+}
+
+fn column_type_from_base(view: &ViewDefinition, attribute: &str, catalog: &Catalog) -> ColumnType {
+    for relation in &view.relations {
+        if let Some(def) = catalog.table_ci(relation) {
+            if let Some(ty) = def.column_type(attribute) {
+                return ty;
+            }
+        }
+    }
+    ColumnType::Str
+}

@@ -1,0 +1,450 @@
+//! The Synergy transaction layer (paper §VIII): write-ahead logging, the
+//! plan generator, and the write transaction procedures that atomically
+//! update base tables, views and indexes under a single hierarchical lock.
+
+use crate::lock::LockManager;
+use crate::maintenance::ViewMaintainer;
+use crate::viewgen::CandidateViews;
+use nosql_store::{WalOp, WriteAheadLog};
+use query::{Executor, QueryError, QueryResult};
+use relational::{encode_key, Row, Schema, Value};
+use sql::Statement;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Errors raised by the transaction layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TxnError {
+    /// The underlying query/store layer failed.
+    Query(QueryError),
+    /// The hierarchical lock could not be acquired (contention timeout).
+    LockTimeout {
+        /// Root relation whose lock was requested.
+        root: String,
+        /// Root-row key.
+        key: String,
+    },
+    /// The statement shape is not supported by the Synergy system (§IV).
+    Unsupported(String),
+}
+
+impl fmt::Display for TxnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxnError::Query(e) => write!(f, "{e}"),
+            TxnError::LockTimeout { root, key } => {
+                write!(f, "could not acquire lock on {root}/{key}")
+            }
+            TxnError::Unsupported(s) => write!(f, "unsupported statement: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for TxnError {}
+
+impl From<QueryError> for TxnError {
+    fn from(e: QueryError) -> Self {
+        TxnError::Query(e)
+    }
+}
+
+impl From<nosql_store::StoreError> for TxnError {
+    fn from(e: nosql_store::StoreError) -> Self {
+        TxnError::Query(QueryError::Store(e.to_string()))
+    }
+}
+
+/// The execution plan the plan generator produces for one write transaction
+/// (paper Figure 7, "Plan Generator").  Exposed for inspection in tests and
+/// examples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WritePlan {
+    /// Base relation being written.
+    pub relation: String,
+    /// The root relation whose lock is taken, if the relation belongs to a
+    /// rooted tree.
+    pub lock_root: Option<String>,
+    /// Views that must be maintained by this transaction.
+    pub affected_views: Vec<String>,
+    /// Whether the update path (mark → update → unmark) is needed.
+    pub uses_dirty_marking: bool,
+}
+
+/// The Synergy transaction layer: one logical slave node with its
+/// write-ahead log, plus the plan generator and transaction procedures.
+#[derive(Clone)]
+pub struct TransactionLayer {
+    executor: Executor,
+    schema: Schema,
+    candidates: CandidateViews,
+    locks: LockManager,
+    maintainer: ViewMaintainer,
+    wal: WriteAheadLog,
+    next_txn: Arc<AtomicU64>,
+    locking_enabled: bool,
+}
+
+impl TransactionLayer {
+    /// Assembles the transaction layer.
+    pub fn new(
+        executor: Executor,
+        schema: Schema,
+        candidates: CandidateViews,
+        locks: LockManager,
+        maintainer: ViewMaintainer,
+    ) -> Self {
+        TransactionLayer {
+            executor,
+            schema,
+            candidates,
+            locks,
+            maintainer,
+            wal: WriteAheadLog::new(),
+            next_txn: Arc::new(AtomicU64::new(1)),
+            locking_enabled: true,
+        }
+    }
+
+    /// Enables or disables the hierarchical single-lock protocol.  The MVCC
+    /// comparison systems disable it; Synergy keeps it on.
+    pub fn with_hierarchical_locking(mut self, enabled: bool) -> Self {
+        self.locking_enabled = enabled;
+        self
+    }
+
+    /// The statement-level write-ahead log (stored in HDFS in the paper).
+    pub fn wal(&self) -> &WriteAheadLog {
+        &self.wal
+    }
+
+    /// The relational schema the transaction layer operates over.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Generates the execution plan for a write statement.
+    pub fn plan(&self, statement: &Statement) -> Result<WritePlan, TxnError> {
+        let relation = statement
+            .write_target()
+            .ok_or_else(|| TxnError::Unsupported("read statements are executed directly".into()))?
+            .to_string();
+        let lock_root = self
+            .candidates
+            .tree_containing(&relation)
+            .map(|t| t.root.clone());
+        let (affected_views, uses_dirty_marking) = match statement {
+            Statement::Insert(_) | Statement::Delete(_) => (
+                self.maintainer
+                    .views_for_insert(&relation)
+                    .iter()
+                    .map(|v| v.display_name())
+                    .collect(),
+                false,
+            ),
+            Statement::Update(_) => (
+                self.maintainer
+                    .views_for_update(&relation)
+                    .iter()
+                    .map(|v| v.display_name())
+                    .collect(),
+                true,
+            ),
+            Statement::Select(_) => (Vec::new(), false),
+        };
+        Ok(WritePlan {
+            relation,
+            lock_root,
+            affected_views,
+            uses_dirty_marking,
+        })
+    }
+
+    /// Executes a write statement as a Synergy transaction: assign an id,
+    /// log it, acquire the single hierarchical lock, update base table +
+    /// views + indexes, release the lock.
+    pub fn execute_write(
+        &self,
+        statement: &Statement,
+        params: &[Value],
+    ) -> Result<QueryResult, TxnError> {
+        let txn_id = self.next_txn.fetch_add(1, Ordering::SeqCst);
+        // The slave's transaction manager appends the statement to its WAL
+        // (one durable append per transaction) before executing it.
+        self.wal.append(
+            format!("txn-{txn_id}"),
+            WalOp::Logical {
+                payload: statement.to_string(),
+            },
+        );
+        self.wal.sync();
+        let model = self.executor.cluster().cost_model().clone();
+        self.executor
+            .cluster()
+            .clock()
+            .charge(model.rpc_latency + model.effective_wal_sync());
+
+        match statement {
+            Statement::Insert(insert) => self.run_insert(insert, params),
+            Statement::Delete(delete) => self.run_delete(delete, params),
+            Statement::Update(update) => self.run_update(update, params),
+            Statement::Select(_) => Err(TxnError::Unsupported(
+                "SELECT statements are executed outside the transaction layer".into(),
+            )),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Root-key resolution
+    // ------------------------------------------------------------------
+
+    /// Resolves the root-row key associated with a row of `relation` by
+    /// walking the rooted-tree path upwards through foreign keys, reading at
+    /// most one ancestor row per level (the plan generator's lookups).
+    fn resolve_root_key(&self, relation: &str, row: &Row) -> Result<Option<(String, String)>, TxnError> {
+        let Some(tree) = self.candidates.tree_containing(relation) else {
+            return Ok(None);
+        };
+        let root = tree.root.clone();
+        if root.eq_ignore_ascii_case(relation) {
+            let def = self
+                .executor
+                .catalog()
+                .table_ci(relation)
+                .ok_or_else(|| QueryError::UnknownTable(relation.to_string()))?;
+            return Ok(Some((root, def.encode_row_key(row))));
+        }
+        let path = tree
+            .path_from_root(relation)
+            .ok_or_else(|| TxnError::Unsupported(format!("{relation} not reachable from {root}")))?;
+        // Walk from the relation up to the root.
+        let mut current = row.clone();
+        for edge in path.iter().rev() {
+            let parent_key_values: Vec<Value> = edge
+                .fk
+                .iter()
+                .map(|fk| current.get(fk).cloned().unwrap_or(Value::Null))
+                .collect();
+            if parent_key_values.iter().any(Value::is_null) {
+                return Ok(None); // dangling reference: nothing to lock above
+            }
+            if edge.from.eq_ignore_ascii_case(&root) {
+                return Ok(Some((root, encode_key(parent_key_values.iter()))));
+            }
+            let mut parent_key = Row::new();
+            for (pk, value) in edge.pk.iter().zip(parent_key_values.iter()) {
+                parent_key.set(pk.clone(), value.clone());
+            }
+            match self.executor.get_row_by_key(&edge.from, &parent_key)? {
+                Some(parent) => current = parent,
+                None => return Ok(None),
+            }
+        }
+        Ok(None)
+    }
+
+    fn acquire(&self, root_key: &Option<(String, String)>) -> Result<Option<crate::lock::LockGuard>, TxnError> {
+        if !self.locking_enabled {
+            return Ok(None);
+        }
+        match root_key {
+            None => Ok(None),
+            Some((root, key)) => match self.locks.acquire(root, key)? {
+                Some(guard) => Ok(Some(guard)),
+                None => Err(TxnError::LockTimeout {
+                    root: root.clone(),
+                    key: key.clone(),
+                }),
+            },
+        }
+    }
+
+    fn release(&self, guard: Option<crate::lock::LockGuard>) -> Result<(), TxnError> {
+        if let Some(guard) = guard {
+            self.locks.release(guard)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Transaction procedures (§VIII-B)
+    // ------------------------------------------------------------------
+
+    fn run_insert(
+        &self,
+        insert: &sql::InsertStatement,
+        params: &[Value],
+    ) -> Result<QueryResult, TxnError> {
+        let def = self
+            .executor
+            .catalog()
+            .table_ci(&insert.table)
+            .ok_or_else(|| QueryError::UnknownTable(insert.table.clone()))?
+            .clone();
+        let mut row = Row::new();
+        for (column, expr) in insert.columns.iter().zip(&insert.values) {
+            row.set(column.clone(), bind(expr, params)?);
+        }
+        let root_key = if self.locking_enabled {
+            self.resolve_root_key(&def.name, &row)?
+        } else {
+            None
+        };
+        let guard = self.acquire(&root_key)?;
+
+        let result = (|| -> Result<QueryResult, TxnError> {
+            self.executor.insert_row(&def.name, &row)?;
+            // Inserting into a root relation creates its lock-table entry.
+            if self.locking_enabled && self.candidates.tree_for_root(&def.name).is_some() {
+                self.locks.create_lock_table(&def.name)?;
+                self.locks.ensure_entry(&def.name, &def.encode_row_key(&row))?;
+            }
+            self.maintainer.apply_insert(&def.name, &row)?;
+            Ok(QueryResult::affected(1))
+        })();
+        self.release(guard)?;
+        result
+    }
+
+    fn run_delete(
+        &self,
+        delete: &sql::DeleteStatement,
+        params: &[Value],
+    ) -> Result<QueryResult, TxnError> {
+        let def = self
+            .executor
+            .catalog()
+            .table_ci(&delete.table)
+            .ok_or_else(|| QueryError::UnknownTable(delete.table.clone()))?
+            .clone();
+        let key = key_from_eq_filters(&def.key, &delete.conditions, params)?;
+        let Some(existing) = self.executor.get_row_by_key(&def.name, &key)? else {
+            return Ok(QueryResult::affected(0));
+        };
+        let root_key = if self.locking_enabled {
+            self.resolve_root_key(&def.name, &existing)?
+        } else {
+            None
+        };
+        let guard = self.acquire(&root_key)?;
+        let result = (|| -> Result<QueryResult, TxnError> {
+            self.maintainer.apply_delete(&def.name, &key)?;
+            let removed = self.executor.delete_row_by_key(&def.name, &key)?;
+            Ok(QueryResult::affected(usize::from(removed)))
+        })();
+        self.release(guard)?;
+        result
+    }
+
+    fn run_update(
+        &self,
+        update: &sql::UpdateStatement,
+        params: &[Value],
+    ) -> Result<QueryResult, TxnError> {
+        let def = self
+            .executor
+            .catalog()
+            .table_ci(&update.table)
+            .ok_or_else(|| QueryError::UnknownTable(update.table.clone()))?
+            .clone();
+        let key = key_from_eq_filters(&def.key, &update.conditions, params)?;
+        let Some(existing) = self.executor.get_row_by_key(&def.name, &key)? else {
+            return Ok(QueryResult::affected(0));
+        };
+        let mut updated = existing.clone();
+        for (column, expr) in &update.assignments {
+            updated.set(column.clone(), bind(expr, params)?);
+        }
+
+        // Step 1: acquire the single hierarchical lock.
+        let root_key = if self.locking_enabled {
+            self.resolve_root_key(&def.name, &existing)?
+        } else {
+            None
+        };
+        let guard = self.acquire(&root_key)?;
+
+        let result = (|| -> Result<QueryResult, TxnError> {
+            // Step 2: read all the view rows that need to be updated.
+            let views: Vec<_> = self
+                .maintainer
+                .views_for_update(&def.name)
+                .into_iter()
+                .cloned()
+                .collect();
+            let mut affected: Vec<(crate::viewgen::ViewDefinition, Vec<Row>)> = Vec::new();
+            for view in views {
+                let rows = self
+                    .maintainer
+                    .find_affected_view_rows(&view, &def.name, &key)?;
+                affected.push((view, rows));
+            }
+            // Step 3: mark all rows that need to be updated.
+            for (view, rows) in &affected {
+                for row in rows {
+                    self.maintainer.mark_dirty(view, row)?;
+                }
+            }
+            // Step 4: issue the updates (base row first, then view rows).
+            self.executor.execute(&Statement::Update(update.clone()), params)?;
+            for (view, rows) in &affected {
+                for row in rows {
+                    self.maintainer.apply_update_to_view_row(view, row, &updated)?;
+                }
+            }
+            // Step 5: un-mark all updated rows.
+            for (view, rows) in &affected {
+                for row in rows {
+                    self.maintainer.unmark_dirty(view, row)?;
+                }
+            }
+            Ok(QueryResult::affected(1))
+        })();
+        // Step 6: release the lock.
+        self.release(guard)?;
+        result
+    }
+}
+
+fn bind(expr: &sql::Expr, params: &[Value]) -> Result<Value, QueryError> {
+    match expr {
+        sql::Expr::Literal(v) => Ok(v.clone()),
+        sql::Expr::Parameter(i) => params
+            .get(*i)
+            .cloned()
+            .ok_or(QueryError::MissingParameter(*i)),
+        sql::Expr::Column(c) => Err(QueryError::Unsupported(format!(
+            "column {c} cannot be used as a scalar value"
+        ))),
+    }
+}
+
+/// Extracts the primary-key row from the equality filters of a write
+/// statement (Synergy requires writes to specify every key attribute, §IV).
+fn key_from_eq_filters(
+    key_attributes: &[String],
+    conditions: &[sql::Condition],
+    params: &[Value],
+) -> Result<Row, TxnError> {
+    let mut key = Row::new();
+    for attribute in key_attributes {
+        let value = conditions
+            .iter()
+            .find(|c| {
+                c.op == sql::Comparison::Eq && c.is_filter() && c.left.column == *attribute
+            })
+            .map(|c| bind(&c.right, params))
+            .transpose()?;
+        match value {
+            Some(v) => {
+                key.set(attribute.clone(), v);
+            }
+            None => {
+                return Err(TxnError::Unsupported(format!(
+                    "write statement must specify key attribute {attribute}"
+                )))
+            }
+        }
+    }
+    Ok(key)
+}

@@ -1,0 +1,34 @@
+//! TPC-W benchmark infrastructure and the five evaluated systems.
+//!
+//! The paper evaluates Synergy with the TPC-W transactional web benchmark
+//! (§IX-D): the SQL statements extracted from the 14 TPC-W servlets form the
+//! workload — eleven join queries (the paper's Figure 15, here [`queries`])
+//! and thirteen write statements (Figure 16, here [`writes`]) — over a
+//! database whose size is controlled by the number of customers
+//! (`NUM_ITEMS = 10 × NUM_CUST`, Customer:Orders cardinality 1:10).
+//!
+//! This crate provides:
+//!
+//! * [`schema`] — the TPC-W relational schema, its base-table indexes and
+//!   column-type hints;
+//! * [`datagen`] — a deterministic, scale-parameterised data generator;
+//! * [`queries`] / [`writes`] — the join queries Q1–Q11 and write statements
+//!   W1–W13 with parameter generators;
+//! * [`micro`] — the §IX-B micro-benchmark (Customer/Orders/Order_line,
+//!   view scan vs. join algorithm);
+//! * [`systems`] — harnesses that stand up each of the five evaluated
+//!   systems (VoltDB-class NewSQL, Synergy, MVCC-A, MVCC-UA, Baseline) over
+//!   the same dataset and measure per-statement response times on the
+//!   simulated clock.
+
+pub mod datagen;
+pub mod micro;
+pub mod queries;
+pub mod schema;
+pub mod systems;
+pub mod writes;
+
+pub use datagen::{TpcwDataset, TpcwScale};
+pub use queries::{join_queries, JoinQuery};
+pub use systems::{EvaluatedSystem, ExecOutcome, SystemKind};
+pub use writes::{write_statements, WriteStatement};

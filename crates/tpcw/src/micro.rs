@@ -1,0 +1,229 @@
+//! The TPC-W micro-benchmark of paper §IX-B: view scan vs. join algorithm.
+//!
+//! The schema is the three-relation subset Customer → Orders → Order_line
+//! with a 1:10 cardinality between consecutive relations.  The workload is
+//! two foreign-key equi-joins: Q1 = Customer⋈Orders and Q2 =
+//! Customer⋈Orders⋈Order_line, each evaluated both with the HBase join
+//! algorithm (base tables) and as a scan of the corresponding materialized
+//! view — reproducing the paper's Figure 10.
+
+use nosql_store::{Cluster, ClusterConfig};
+use query::{ColumnType, QueryResult};
+use relational::{Relation, Row, Schema};
+use simclock::SimDuration;
+use sql::{parse_statement, Statement};
+use synergy::{SynergyConfig, SynergySystem, TxnError};
+
+/// The micro-benchmark schema (Customer, Orders, Order_line).
+pub fn micro_schema() -> Schema {
+    let customer = Relation::new("Customer")
+        .attributes(["c_id", "c_uname", "c_fname", "c_lname", "c_discount"])
+        .primary_key(["c_id"])
+        .build();
+    let orders = Relation::new("Orders")
+        .attributes(["o_id", "o_c_id", "o_date", "o_total"])
+        .primary_key(["o_id"])
+        .foreign_key("o_c_id", "Customer", "c_id")
+        .build();
+    let order_line = Relation::new("Order_line")
+        .attributes(["ol_o_id", "ol_id", "ol_i_id", "ol_qty"])
+        .primary_key(["ol_o_id", "ol_id"])
+        .foreign_key("ol_o_id", "Orders", "o_id")
+        .build();
+    Schema::new()
+        .with_relation(customer)
+        .with_relation(orders)
+        .with_relation(order_line)
+}
+
+/// Column types for the micro-benchmark schema.
+pub fn micro_types(_relation: &str, column: &str) -> Option<ColumnType> {
+    match column {
+        "c_id" | "o_id" | "o_c_id" | "ol_o_id" | "ol_id" | "ol_i_id" | "ol_qty" => {
+            Some(ColumnType::Int)
+        }
+        "c_discount" | "o_total" => Some(ColumnType::Float),
+        _ => Some(ColumnType::Str),
+    }
+}
+
+/// The micro-benchmark workload: Q1 (two-way join) and Q2 (three-way join).
+pub fn micro_queries() -> Vec<Statement> {
+    vec![
+        parse_statement(
+            "SELECT * FROM Customer AS c, Orders AS o WHERE c.c_id = o.o_c_id",
+        )
+        .expect("Q1 parses"),
+        parse_statement(
+            "SELECT * FROM Customer AS c, Orders AS o, Order_line AS ol \
+             WHERE c.c_id = o.o_c_id AND o.o_id = ol.ol_o_id",
+        )
+        .expect("Q2 parses"),
+    ]
+}
+
+/// One measurement of the micro-benchmark: the same query answered through
+/// the materialized view and through the join algorithm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MicroMeasurement {
+    /// "Q1" or "Q2".
+    pub query: &'static str,
+    /// Number of customers in the database.
+    pub customers: u64,
+    /// Simulated response time of the view scan.
+    pub view_scan: SimDuration,
+    /// Simulated response time of the join algorithm over base tables.
+    pub join_algorithm: SimDuration,
+    /// Number of result rows (identical for both evaluation strategies).
+    pub result_rows: usize,
+}
+
+impl MicroMeasurement {
+    /// How many times faster the view scan is.
+    pub fn speedup(&self) -> f64 {
+        self.join_algorithm.as_nanos() as f64 / self.view_scan.as_nanos().max(1) as f64
+    }
+}
+
+/// A populated micro-benchmark deployment.
+pub struct MicroBench {
+    system: SynergySystem,
+    customers: u64,
+}
+
+impl MicroBench {
+    /// Builds the deployment and populates it with `customers` customers,
+    /// 10 orders per customer and 10 order lines per order (cardinality
+    /// ratio 1:10 as in §IX-B2), then major-compacts, as the paper does.
+    pub fn build(customers: u64) -> Result<MicroBench, TxnError> {
+        let schema = micro_schema();
+        let workload = micro_queries();
+        let cluster = Cluster::new(ClusterConfig::default());
+        let system = SynergySystem::build(
+            cluster,
+            SynergyConfig::new(
+                schema,
+                workload,
+                vec!["Customer".to_string()],
+                &micro_types,
+            ),
+        )?;
+
+        let customer_rows: Vec<Row> = (1..=customers as i64)
+            .map(|c_id| {
+                Row::new()
+                    .with("c_id", c_id)
+                    .with("c_uname", format!("UNAME{c_id:08}"))
+                    .with("c_fname", format!("First{c_id}"))
+                    .with("c_lname", format!("Last{c_id}"))
+                    .with("c_discount", (c_id % 50) as f64 / 100.0)
+            })
+            .collect();
+        system.bulk_load("Customer", &customer_rows)?;
+
+        let mut order_rows = Vec::with_capacity(customers as usize * 10);
+        let mut line_rows = Vec::with_capacity(customers as usize * 100);
+        let mut o_id = 0i64;
+        for c_id in 1..=customers as i64 {
+            for _ in 0..10 {
+                o_id += 1;
+                order_rows.push(
+                    Row::new()
+                        .with("o_id", o_id)
+                        .with("o_c_id", c_id)
+                        .with("o_date", format!("2017-{:02}-01", (o_id % 12) + 1))
+                        .with("o_total", 100.0 + (o_id % 100) as f64),
+                );
+                for ol_id in 1..=10i64 {
+                    line_rows.push(
+                        Row::new()
+                            .with("ol_o_id", o_id)
+                            .with("ol_id", ol_id)
+                            .with("ol_i_id", (o_id * 10 + ol_id) % 1000 + 1)
+                            .with("ol_qty", (ol_id % 5) + 1),
+                    );
+                }
+            }
+        }
+        system.bulk_load("Orders", &order_rows)?;
+        system.bulk_load("Order_line", &line_rows)?;
+        system.materialize_views()?;
+        system.cluster().major_compact_all();
+        Ok(MicroBench { system, customers })
+    }
+
+    /// The underlying Synergy deployment (exposed for inspection).
+    pub fn system(&self) -> &SynergySystem {
+        &self.system
+    }
+
+    /// Measures one micro-benchmark query (0 = Q1, 1 = Q2) through the view
+    /// and through the join algorithm.
+    pub fn measure(&self, query_index: usize) -> Result<MicroMeasurement, TxnError> {
+        let queries = micro_queries();
+        let statement = &queries[query_index];
+        let clock = self.system.cluster().clock().clone();
+
+        // View scan: the rewritten query is a single-table scan of the view.
+        let (view_result, view_scan): (Result<QueryResult, TxnError>, SimDuration) =
+            clock.measure(|| self.system.execute(statement, &[]));
+        let view_result = view_result?;
+
+        // Join algorithm: the original query against base tables only.
+        let (join_result, join_algorithm): (Result<QueryResult, _>, SimDuration) =
+            clock.measure(|| self.system.executor().execute(statement, &[]));
+        let join_result = join_result?;
+
+        assert_eq!(
+            view_result.len(),
+            join_result.len(),
+            "view scan and join must agree on the result"
+        );
+        Ok(MicroMeasurement {
+            query: if query_index == 0 { "Q1" } else { "Q2" },
+            customers: self.customers,
+            view_scan,
+            join_algorithm,
+            result_rows: view_result.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_views_are_the_paper_views() {
+        let bench = MicroBench::build(20).unwrap();
+        let names: Vec<String> = bench
+            .system()
+            .selection()
+            .views
+            .iter()
+            .map(|v| v.display_name())
+            .collect();
+        assert!(names.contains(&"Customer-Orders".to_string()));
+        assert!(names.contains(&"Customer-Orders-Order_line".to_string()));
+    }
+
+    #[test]
+    fn view_scan_beats_join_for_both_queries() {
+        let bench = MicroBench::build(50).unwrap();
+        let q1 = bench.measure(0).unwrap();
+        let q2 = bench.measure(1).unwrap();
+        assert_eq!(q1.result_rows, 500);
+        assert_eq!(q2.result_rows, 5_000);
+        assert!(q1.speedup() > 1.0, "Q1 speedup {}", q1.speedup());
+        assert!(q2.speedup() > 1.0, "Q2 speedup {}", q2.speedup());
+        // The deeper join benefits more from materialization (Fig. 10 shape).
+        assert!(q2.speedup() > q1.speedup());
+    }
+
+    #[test]
+    fn results_agree_between_view_and_join() {
+        let bench = MicroBench::build(10).unwrap();
+        let q1 = bench.measure(0).unwrap();
+        assert_eq!(q1.result_rows, 100);
+    }
+}

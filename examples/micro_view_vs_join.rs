@@ -1,0 +1,30 @@
+//! The §IX-B micro-benchmark as a standalone program: scans of the
+//! Customer-Orders and Customer-Orders-Order_line materialized views versus
+//! the HBase join algorithm, across database scales (the paper's Figure 10).
+//!
+//! ```text
+//! cargo run --release --example micro_view_vs_join
+//! ```
+
+use tpcw::micro::MicroBench;
+
+fn main() {
+    println!("{:<10} {:<6} {:>12} {:>16} {:>16} {:>10}",
+        "customers", "query", "result rows", "view scan (ms)", "join algo (ms)", "speedup");
+    for customers in [50u64, 200, 800] {
+        let bench = MicroBench::build(customers).expect("micro benchmark builds");
+        for query_index in 0..2 {
+            let measurement = bench.measure(query_index).expect("measurement");
+            println!(
+                "{:<10} {:<6} {:>12} {:>16.1} {:>16.1} {:>9.1}x",
+                customers,
+                measurement.query,
+                measurement.result_rows,
+                measurement.view_scan.as_millis_f64(),
+                measurement.join_algorithm.as_millis_f64(),
+                measurement.speedup()
+            );
+        }
+    }
+    println!("\npaper (Figure 10, 50k customers): view scan 6x (Q1) and 11.7x (Q2) faster than the join algorithm");
+}

@@ -1,0 +1,144 @@
+//! Workspace-level integration tests: the five evaluated systems must agree
+//! on query answers over the same TPC-W dataset, and remain consistent after
+//! running the write workload.
+
+use relational::Value;
+use tpcw::queries::join_queries;
+use tpcw::systems::{build_system, SystemKind};
+use tpcw::writes::write_statements;
+use tpcw::{TpcwDataset, TpcwScale};
+
+fn dataset() -> (TpcwScale, TpcwDataset) {
+    let scale = TpcwScale::new(30);
+    (scale, TpcwDataset::generate(scale))
+}
+
+#[test]
+fn synergy_and_baseline_agree_on_every_join_query() {
+    let (scale, dataset) = dataset();
+    let synergy = build_system(SystemKind::Synergy, &dataset);
+    let baseline = build_system(SystemKind::Baseline, &dataset);
+    for query in join_queries() {
+        let statement = query.statement();
+        for rep in 0..3 {
+            let params = query.params(scale, rep);
+            let synergy_rows = synergy.execute(&statement, &params).unwrap().rows;
+            let baseline_rows = baseline.execute(&statement, &params).unwrap().rows;
+            assert_eq!(
+                synergy_rows, baseline_rows,
+                "{} rep {rep}: Synergy answered {synergy_rows} rows but Baseline {baseline_rows}",
+                query.id
+            );
+        }
+    }
+}
+
+#[test]
+fn mvcc_variants_agree_with_baseline_on_join_queries() {
+    let (scale, dataset) = dataset();
+    let baseline = build_system(SystemKind::Baseline, &dataset);
+    let mvcc_a = build_system(SystemKind::MvccA, &dataset);
+    let mvcc_ua = build_system(SystemKind::MvccUa, &dataset);
+    for query in join_queries() {
+        let statement = query.statement();
+        let params = query.params(scale, 2);
+        let expected = baseline.execute(&statement, &params).unwrap().rows;
+        assert_eq!(mvcc_a.execute(&statement, &params).unwrap().rows, expected, "{}", query.id);
+        assert_eq!(mvcc_ua.execute(&statement, &params).unwrap().rows, expected, "{}", query.id);
+    }
+}
+
+#[test]
+fn voltdb_agrees_on_the_queries_it_supports() {
+    let (scale, dataset) = dataset();
+    let baseline = build_system(SystemKind::Baseline, &dataset);
+    let voltdb = build_system(SystemKind::VoltDb, &dataset);
+    for query in join_queries().iter().filter(|q| q.supported_on_voltdb) {
+        let statement = query.statement();
+        let params = query.params(scale, 1);
+        let expected = baseline.execute(&statement, &params).unwrap().rows;
+        let actual = voltdb.execute(&statement, &params).unwrap().rows;
+        assert_eq!(actual, expected, "{} row count", query.id);
+    }
+}
+
+#[test]
+fn writes_are_visible_to_subsequent_reads_on_every_system() {
+    let (scale, dataset) = dataset();
+    for kind in SystemKind::all() {
+        let system = build_system(kind, &dataset);
+        // W4 inserts a new customer; the insert must be visible afterwards.
+        let w4 = write_statements().into_iter().find(|w| w.id == "W4").unwrap();
+        let params = w4.params(scale, 9);
+        system.execute(&w4.statement(), &params).unwrap();
+        let uname = params[1].clone();
+        let lookup = sql::parse_statement("SELECT * FROM Customer WHERE c_uname = ?").unwrap();
+        let rows = system.execute(&lookup, &[uname]).unwrap().rows;
+        assert_eq!(rows, 1, "{}: inserted customer must be readable", kind.name());
+
+        // W13 updates an existing customer's balance; the new value must be
+        // visible through a key lookup.
+        let w13 = write_statements().into_iter().find(|w| w.id == "W13").unwrap();
+        let params = w13.params(scale, 3);
+        system.execute(&w13.statement(), &params).unwrap();
+        let c_id = params[3].clone();
+        let lookup = sql::parse_statement("SELECT * FROM Customer WHERE c_id = ?").unwrap();
+        let rows = system.execute(&lookup, &[c_id]).unwrap().rows;
+        assert_eq!(rows, 1, "{}: updated customer must be readable", kind.name());
+    }
+}
+
+#[test]
+fn view_maintenance_keeps_synergy_consistent_after_the_write_workload() {
+    let (scale, dataset) = dataset();
+    let synergy = build_system(SystemKind::Synergy, &dataset);
+    let baseline = build_system(SystemKind::Baseline, &dataset);
+    // Run the whole write workload on both systems.
+    for write in write_statements() {
+        let params = write.params(scale, 5);
+        synergy.execute(&write.statement(), &params).unwrap();
+        baseline.execute(&write.statement(), &params).unwrap();
+    }
+    // Afterwards, the view-backed answers must still match the base-table
+    // answers for every join query.
+    for query in join_queries() {
+        let statement = query.statement();
+        let params = query.params(scale, 4);
+        assert_eq!(
+            synergy.execute(&statement, &params).unwrap().rows,
+            baseline.execute(&statement, &params).unwrap().rows,
+            "{} after write workload",
+            query.id
+        );
+    }
+}
+
+#[test]
+fn deleted_rows_disappear_from_views() {
+    let (scale, dataset) = dataset();
+    let synergy = build_system(SystemKind::Synergy, &dataset);
+    // Insert then delete a shopping-cart line, checking Q8 (cart contents)
+    // before and after.
+    let cart = Value::Int(1);
+    let q8 = join_queries().into_iter().find(|q| q.id == "Q8").unwrap();
+    let before = synergy.execute(&q8.statement(), &[cart.clone()]).unwrap().rows;
+
+    let insert = sql::parse_statement(
+        "INSERT INTO Shopping_cart_line (scl_sc_id, scl_i_id, scl_qty) VALUES (?, ?, ?)",
+    )
+    .unwrap();
+    let new_item = Value::Int(scale.items() as i64); // an item not already in cart 1
+    synergy
+        .execute(&insert, &[cart.clone(), new_item.clone(), Value::Int(2)])
+        .unwrap();
+    let after_insert = synergy.execute(&q8.statement(), &[cart.clone()]).unwrap().rows;
+    assert_eq!(after_insert, before + 1);
+
+    let delete = sql::parse_statement(
+        "DELETE FROM Shopping_cart_line WHERE scl_sc_id = ? AND scl_i_id = ?",
+    )
+    .unwrap();
+    synergy.execute(&delete, &[cart.clone(), new_item]).unwrap();
+    let after_delete = synergy.execute(&q8.statement(), &[cart]).unwrap().rows;
+    assert_eq!(after_delete, before);
+}
