@@ -100,8 +100,8 @@ fn main() {
 fn print_table1() {
     println!("--- Table I: qualitative comparison ---");
     println!(
-        "{:<16} {:<18} {:<48} {:<36} {}",
-        "System", "Scalability", "Query expressiveness", "Transaction support", "Disk utilization"
+        "{:<16} {:<18} {:<48} {:<36} Disk utilization",
+        "System", "Scalability", "Query expressiveness", "Transaction support"
     );
     for row in table1_qualitative() {
         println!("{:<16} {:<18} {:<48} {:<36} {}", row[0], row[1], row[2], row[3], row[4]);
@@ -226,7 +226,7 @@ fn print_table3(matrix: &ComparisonMatrix) {
 
 fn print_fig13() {
     println!("--- Figure 13: mechanisms per evaluated system ---");
-    println!("{:<10} {:<34} {}", "system", "view selection", "concurrency control");
+    println!("{:<10} {:<34} concurrency control", "system", "view selection");
     for row in fig13_mechanisms() {
         println!("{:<10} {:<34} {}", row[0], row[1], row[2]);
     }

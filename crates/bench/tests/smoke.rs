@@ -1,0 +1,98 @@
+//! Smoke tests for the experiment harness: run the report pipeline's entry
+//! points at tiny scale so CI exercises the same code paths as the Criterion
+//! benches and the `report` binary, in seconds instead of minutes.
+
+use bench::{
+    ablation_lock_granularity, comparison_matrix, fig10_micro, fig11_lock_overhead,
+    fig13_mechanisms, table1_qualitative, table3_sizes,
+};
+
+#[test]
+fn fig10_micro_runs_and_views_beat_joins() {
+    let rows = fig10_micro(&[25], 2);
+    assert_eq!(rows.len(), 2, "one row per micro query");
+    for row in &rows {
+        assert!(row.view_scan_ms.mean > 0.0, "{}: view scan measured", row.query);
+        assert!(row.join_ms.mean > 0.0, "{}: join measured", row.query);
+        // The paper's central micro-result: scanning the materialized view is
+        // faster than the client-side join at every scale.
+        assert!(
+            row.speedup > 1.0,
+            "{}: view scan should beat the join (speedup {})",
+            row.query,
+            row.speedup
+        );
+    }
+}
+
+#[test]
+fn fig11_lock_overhead_grows_with_lock_count() {
+    let rows = fig11_lock_overhead(&[1, 8], 2);
+    assert_eq!(rows.len(), 2);
+    assert!(
+        rows[1].overhead_ms.mean > rows[0].overhead_ms.mean,
+        "locking 8 rows must cost more than locking 1 ({} vs {})",
+        rows[1].overhead_ms.mean,
+        rows[0].overhead_ms.mean
+    );
+}
+
+#[test]
+fn comparison_matrix_and_table3_at_tiny_scale() {
+    // Backs Fig. 12, Fig. 14, Table II and Table III.
+    let matrix = comparison_matrix(20, 1);
+    assert_eq!(matrix.statements.len(), 24, "11 joins + 13 writes");
+    assert!(matrix.systems.len() >= 4, "all evaluated systems present");
+
+    // Table II: every HBase-backed system supports the full statement set.
+    for system in ["Synergy", "MVCC-A", "MVCC-UA", "Baseline"] {
+        let total = matrix
+            .total_ms(system)
+            .unwrap_or_else(|| panic!("{system} should support every statement"));
+        assert!(total > 0.0);
+    }
+
+    // The headline result: Synergy's full benchmark is faster than Baseline's.
+    let synergy = matrix.total_ms("Synergy").unwrap();
+    let baseline = matrix.total_ms("Baseline").unwrap();
+    assert!(
+        synergy < baseline,
+        "Synergy ({synergy} ms) should beat Baseline ({baseline} ms)"
+    );
+
+    // Table III: sizes derive from the same matrix; views cost extra space.
+    let sizes = table3_sizes(&matrix);
+    assert!(!sizes.is_empty());
+    let relative = |name: &str| {
+        sizes
+            .iter()
+            .find(|r| r.system == name)
+            .map(|r| r.relative_to_baseline)
+            .unwrap_or_else(|| panic!("{name} missing from Table III"))
+    };
+    assert!((relative("Baseline") - 1.0).abs() < 1e-9);
+    assert!(
+        relative("Synergy") > 1.0,
+        "materialized views must add storage over Baseline"
+    );
+}
+
+#[test]
+fn ablation_single_lock_beats_per_row_locks() {
+    let rows = ablation_lock_granularity(&[1, 16]);
+    assert_eq!(rows.len(), 2);
+    let many = &rows[1];
+    assert!(
+        many.single_lock_ms < many.per_row_locks_ms,
+        "one hierarchical lock ({} ms) must be cheaper than {} row locks ({} ms)",
+        many.single_lock_ms,
+        many.rows_touched,
+        many.per_row_locks_ms
+    );
+}
+
+#[test]
+fn qualitative_tables_are_populated() {
+    assert!(!table1_qualitative().is_empty());
+    assert!(!fig13_mechanisms().is_empty());
+}

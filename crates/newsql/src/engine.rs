@@ -123,14 +123,13 @@ impl NewSqlEngine {
     /// Creates an engine with `partitions` partitions (the paper uses a five
     /// node VoltDB cluster) charging costs into `clock`.
     pub fn new(partitions: usize, clock: SimClock, model: CostModel, scheme: &PartitionScheme) -> Self {
-        let engine = NewSqlEngine {
+        NewSqlEngine {
             clock,
             model,
             meta: Arc::new(Mutex::new(BTreeMap::new())),
             partitions: Arc::new((0..partitions.max(1)).map(|_| Mutex::new(Partition::default())).collect()),
             scheme_name: scheme.name.clone(),
-        };
-        engine
+        }
     }
 
     /// The partitioning-scheme name this engine was built with.

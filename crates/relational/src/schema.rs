@@ -44,6 +44,9 @@ pub struct Relation {
 
 impl Relation {
     /// Starts building a relation.
+    // Returning the builder from `new` is the crate's established entry
+    // point (`Relation::new("R").attribute(..).build()`), not a constructor.
+    #[allow(clippy::new_ret_no_self)]
     pub fn new(name: impl Into<String>) -> RelationBuilder {
         RelationBuilder {
             relation: Relation {

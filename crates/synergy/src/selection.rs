@@ -90,10 +90,7 @@ pub fn select_views_for_query(
     let mut selected = Vec::new();
     for tree in &candidates.trees {
         let mut marks = mark_tree(tree, select);
-        loop {
-            let Some(path) = choose_marked_path(tree, &marks, workload) else {
-                break;
-            };
+        while let Some(path) = choose_marked_path(tree, &marks, workload) {
             // Un-mark the participating relations and the outgoing edges of
             // those relations.
             let on_path: BTreeSet<String> = path

@@ -262,7 +262,7 @@ fn advisor_candidates(
             .take(64)
             .map(|r| r.byte_size() as u64)
             .sum::<u64>()
-            / rows.len().min(64).max(1) as u64;
+            / rows.len().clamp(1, 64) as u64;
         stats.set(table.clone(), rows.len() as u64, avg.max(1));
         total_bytes += rows.len() as u64 * avg.max(1);
     }

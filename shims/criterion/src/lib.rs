@@ -1,0 +1,149 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements exactly the surface the `bench` crate's seven bench targets
+//! use — `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, measurement_time, bench_function, finish}`
+//! and `Bencher::iter` — with a simple wall-clock measurement loop instead of
+//! Criterion's statistical machinery.  Each benchmark warms up once, runs
+//! `sample_size` timed samples (stopping early once `measurement_time` is
+//! spent), and prints `name  time: [mean ± spread]` in a Criterion-like line.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers work too.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Entry point handed to every registered bench function.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+    default_measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+            default_measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        let name = name.to_string();
+        println!("\n== group: {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (sample_size, measurement_time) =
+            (self.default_sample_size, self.default_measurement_time);
+        run_benchmark(&id.to_string(), sample_size, measurement_time, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing sample/measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, self.sample_size, self.measurement_time, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F>(name: &str, sample_size: usize, measurement_time: Duration, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+    };
+    // Warm-up sample, discarded.
+    f(&mut bencher);
+    bencher.samples.clear();
+
+    let budget_start = Instant::now();
+    for _ in 0..sample_size {
+        f(&mut bencher);
+        if budget_start.elapsed() > measurement_time {
+            break;
+        }
+    }
+
+    let n = bencher.samples.len().max(1);
+    let mean = bencher.samples.iter().sum::<Duration>() / n as u32;
+    let min = bencher.samples.iter().min().copied().unwrap_or_default();
+    let max = bencher.samples.iter().max().copied().unwrap_or_default();
+    println!("{name:<60} time: [{min:?} {mean:?} {max:?}]  samples: {n}");
+}
+
+/// Passed to the closure given to `bench_function`; `iter` times one sample.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        std_black_box(routine());
+        self.samples.push(start.elapsed());
+    }
+}
+
+/// Mirrors `criterion::criterion_group!`: defines a function running each
+/// bench with a default `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: a `main` invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! This environment has no access to a crates registry, so the workspace
+//! vendors the smallest possible surface the seed code touches: the
+//! `Serialize` / `Deserialize` derive macros.  Nothing in the repo actually
+//! serializes data yet (no `serde_json` call sites), so the derives expand to
+//! nothing.  If a future PR needs real serialization, replace this shim with
+//! the published crate or grow it into a trait + impl generator.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,20 @@
+//! Umbrella crate for the Synergy reproduction (Tapdiya, Xue, Fabbri —
+//! CLUSTER 2017).
+//!
+//! The real code lives in the workspace crates under `crates/`; this root
+//! package exists to host the repo-level integration tests (`tests/`) and
+//! runnable examples (`examples/`), and re-exports the member crates so those
+//! targets can reach everything through one dependency graph.
+
+// `::bench` disambiguates the workspace crate from the built-in `#[bench]`
+// attribute macro, which otherwise wins name resolution here.
+pub use ::bench;
+pub use mvcc;
+pub use newsql;
+pub use nosql_store;
+pub use query;
+pub use relational;
+pub use simclock;
+pub use sql;
+pub use synergy;
+pub use tpcw;

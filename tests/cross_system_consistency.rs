@@ -121,7 +121,7 @@ fn deleted_rows_disappear_from_views() {
     // before and after.
     let cart = Value::Int(1);
     let q8 = join_queries().into_iter().find(|q| q.id == "Q8").unwrap();
-    let before = synergy.execute(&q8.statement(), &[cart.clone()]).unwrap().rows;
+    let before = synergy.execute(&q8.statement(), std::slice::from_ref(&cart)).unwrap().rows;
 
     let insert = sql::parse_statement(
         "INSERT INTO Shopping_cart_line (scl_sc_id, scl_i_id, scl_qty) VALUES (?, ?, ?)",
@@ -131,7 +131,7 @@ fn deleted_rows_disappear_from_views() {
     synergy
         .execute(&insert, &[cart.clone(), new_item.clone(), Value::Int(2)])
         .unwrap();
-    let after_insert = synergy.execute(&q8.statement(), &[cart.clone()]).unwrap().rows;
+    let after_insert = synergy.execute(&q8.statement(), std::slice::from_ref(&cart)).unwrap().rows;
     assert_eq!(after_insert, before + 1);
 
     let delete = sql::parse_statement(
