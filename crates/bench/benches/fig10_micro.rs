@@ -1,7 +1,7 @@
 //! Figure 10 benchmark: view scan vs join algorithm on the TPC-W
 //! micro-benchmark (Customer / Orders / Order_line, 1:10 cardinality).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use std::time::Duration;
 use tpcw::micro::MicroBench;
@@ -11,6 +11,10 @@ fn fig10(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10_micro");
     group.sample_size(10).measurement_time(Duration::from_secs(2));
     for (query_index, label) in [(0usize, "q1_customer_orders"), (1, "q2_customer_orders_lines")] {
+        // One sample answers the query twice (view scan + join algorithm);
+        // report throughput over the rows both evaluations return.
+        let result_rows = bench.measure(query_index).expect("measurement").result_rows as u64;
+        group.throughput(Throughput::Elements(2 * result_rows));
         group.bench_function(format!("{label}/view_scan_vs_join"), |b| {
             b.iter(|| {
                 let measurement = bench.measure(query_index).expect("measurement");

@@ -4,21 +4,30 @@
 //! ```text
 //! cargo run --release -p bench --bin report -- all
 //! cargo run --release -p bench --bin report -- fig12 --customers 500 --reps 10
+//! cargo run --release -p bench --bin report -- all --json
 //! ```
 //!
 //! Available artifacts: `fig10`, `fig11`, `fig12`, `fig13`, `fig14`,
 //! `table1`, `table2`, `table3`, `ablation`, `all`.
+//!
+//! With `--json`, the run additionally writes `BENCH_report.json` containing,
+//! per figure, both the **simulated** milliseconds of the cost model (the
+//! paper's metric) and the **wall-clock** milliseconds this process spent
+//! producing the figure (the reproduction's own perf trajectory).
 
+use bench::json::Json;
 use bench::{
     ablation_lock_granularity, comparison_matrix, fig10_micro, fig11_lock_overhead,
     fig13_mechanisms, fmt_mib, fmt_ms, table1_qualitative, table3_sizes, ComparisonMatrix,
-    DEFAULT_CUSTOMERS, DEFAULT_REPS,
+    Fig10Row, Fig11Row, LockAblationRow, DEFAULT_CUSTOMERS, DEFAULT_REPS,
 };
+use std::time::Instant;
 
 struct Options {
     artifact: String,
     customers: u64,
     reps: u64,
+    json: bool,
 }
 
 fn parse_args() -> Options {
@@ -26,6 +35,7 @@ fn parse_args() -> Options {
         artifact: "all".to_string(),
         customers: DEFAULT_CUSTOMERS,
         reps: DEFAULT_REPS,
+        json: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -39,12 +49,20 @@ fn parse_args() -> Options {
                 i += 1;
                 options.reps = args[i].parse().expect("--reps takes a number");
             }
+            "--json" => options.json = true,
             other if !other.starts_with("--") => options.artifact = other.to_string(),
             other => panic!("unknown flag {other}"),
         }
         i += 1;
     }
     options
+}
+
+/// The customer scales of the Figure 10 sweep (the paper scales ×10 per
+/// step; the sweep here is ×4 anchored at a laptop-friendly base).
+fn fig10_scales(customers: u64) -> [u64; 3] {
+    let base = (customers / 4).clamp(25, 250);
+    [base, base * 4, base * 16]
 }
 
 fn main() {
@@ -60,42 +78,212 @@ fn main() {
     );
     println!("all response times are simulated milliseconds (see DESIGN.md §7)\n");
 
+    // `figures` collects the per-figure JSON fragments in run order.
+    let mut figures: Vec<(String, Json)> = Vec::new();
+
     let needs_matrix = matches!(artifact, "fig12" | "fig14" | "table2" | "table3" | "all");
     let matrix = needs_matrix.then(|| {
         println!("building the five evaluated systems and loading the dataset ...\n");
-        comparison_matrix(options.customers, options.reps)
+        let start = Instant::now();
+        let matrix = comparison_matrix(options.customers, options.reps);
+        (matrix, wall_ms(start))
     });
 
     if matches!(artifact, "table1" | "all") {
         print_table1();
     }
     if matches!(artifact, "fig10" | "all") {
-        print_fig10(options.reps, options.customers);
+        let start = Instant::now();
+        let rows = fig10_micro(&fig10_scales(options.customers), options.reps);
+        let elapsed = wall_ms(start);
+        print_fig10(&rows);
+        figures.push(("fig10".into(), fig10_json(&rows, elapsed)));
     }
     if matches!(artifact, "fig11" | "all") {
-        print_fig11(options.reps);
+        let start = Instant::now();
+        let rows = fig11_lock_overhead(&[10, 100, 1000], options.reps);
+        let elapsed = wall_ms(start);
+        print_fig11(&rows);
+        figures.push(("fig11".into(), fig11_json(&rows, elapsed)));
     }
     if matches!(artifact, "fig13" | "all") {
         print_fig13();
     }
-    if let Some(matrix) = &matrix {
+    if let Some((matrix, matrix_wall_ms)) = &matrix {
+        // The matrix is built once and shared by fig12/fig14/table2/table3;
+        // its wall time is reported once under its own key so per-figure
+        // numbers are not cross-contaminated.
+        figures.push((
+            "comparison_matrix".into(),
+            Json::obj([("wall_ms", Json::Num(*matrix_wall_ms))]),
+        ));
         if matches!(artifact, "fig12" | "all") {
             print_fig12(matrix);
+            figures.push(("fig12".into(), matrix_json(matrix, 'Q')));
         }
         if matches!(artifact, "fig14" | "all") {
             print_fig14(matrix);
+            figures.push(("fig14".into(), matrix_json(matrix, 'W')));
         }
         if matches!(artifact, "table2" | "all") {
             print_table2(matrix);
+            figures.push(("table2".into(), table2_json(matrix)));
         }
         if matches!(artifact, "table3" | "all") {
             print_table3(matrix);
+            figures.push(("table3".into(), table3_json(matrix)));
         }
     }
     if matches!(artifact, "ablation" | "all") {
-        print_ablation();
+        let start = Instant::now();
+        let rows = ablation_lock_granularity(&[1, 10, 100, 1000]);
+        let elapsed = wall_ms(start);
+        print_ablation(&rows);
+        figures.push(("ablation".into(), ablation_json(&rows, elapsed)));
+    }
+
+    if options.json {
+        let doc = Json::obj([
+            ("schema_version", Json::Int(1)),
+            ("artifact", Json::str(artifact)),
+            ("customers", Json::Int(options.customers as i64)),
+            ("reps", Json::Int(options.reps as i64)),
+            ("figures", Json::Obj(figures)),
+        ]);
+        let path = "BENCH_report.json";
+        std::fs::write(path, doc.render() + "\n").expect("write BENCH_report.json");
+        println!("wrote {path}");
     }
 }
+
+fn wall_ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1_000.0
+}
+
+// ----------------------------------------------------------------------
+// JSON fragments
+// ----------------------------------------------------------------------
+
+fn fig10_json(rows: &[Fig10Row], elapsed_ms: f64) -> Json {
+    Json::obj([
+        ("wall_ms", Json::Num(elapsed_ms)),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("query", Json::str(r.query)),
+                            ("customers", Json::Int(r.customers as i64)),
+                            ("view_sim_ms", Json::Num(r.view_scan_ms.mean)),
+                            ("join_sim_ms", Json::Num(r.join_ms.mean)),
+                            ("view_wall_ms", Json::Num(r.view_scan_wall_ms.mean)),
+                            ("join_wall_ms", Json::Num(r.join_wall_ms.mean)),
+                            ("sim_speedup", Json::Num(r.speedup)),
+                            ("wall_speedup", Json::Num(r.wall_speedup)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn fig11_json(rows: &[Fig11Row], elapsed_ms: f64) -> Json {
+    Json::obj([
+        ("wall_ms", Json::Num(elapsed_ms)),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("locks", Json::Int(r.locks as i64)),
+                            ("sim_ms", Json::Num(r.overhead_ms.mean)),
+                            ("wall_ms", Json::Num(r.overhead_wall_ms.mean)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn matrix_json(matrix: &ComparisonMatrix, prefix: char) -> Json {
+    let rows = matrix
+        .statements
+        .iter()
+        .filter(|s| s.starts_with(prefix))
+        .map(|statement| {
+            let cells = matrix
+                .systems
+                .iter()
+                .map(|system| {
+                    let mean = matrix.mean_ms(statement, system);
+                    (system.clone(), mean.map(Json::Num).unwrap_or(Json::Null))
+                })
+                .collect::<Vec<_>>();
+            let mut pairs = vec![("statement".to_string(), Json::str(statement.clone()))];
+            pairs.extend(cells.into_iter().map(|(k, v)| (format!("{k}_sim_ms"), v)));
+            Json::Obj(pairs)
+        })
+        .collect();
+    Json::obj([("rows", Json::Arr(rows))])
+}
+
+fn table2_json(matrix: &ComparisonMatrix) -> Json {
+    let rows = ["Synergy", "MVCC-A", "MVCC-UA", "Baseline"]
+        .iter()
+        .map(|system| {
+            Json::obj([
+                ("system", Json::str(*system)),
+                (
+                    "total_sim_ms",
+                    matrix.total_ms(system).map(Json::Num).unwrap_or(Json::Null),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj([("rows", Json::Arr(rows))])
+}
+
+fn table3_json(matrix: &ComparisonMatrix) -> Json {
+    let rows = table3_sizes(matrix)
+        .into_iter()
+        .map(|r| {
+            Json::obj([
+                ("system", Json::str(r.system)),
+                ("bytes", Json::Int(r.bytes as i64)),
+                ("relative_to_baseline", Json::Num(r.relative_to_baseline)),
+            ])
+        })
+        .collect();
+    Json::obj([("rows", Json::Arr(rows))])
+}
+
+fn ablation_json(rows: &[LockAblationRow], elapsed_ms: f64) -> Json {
+    Json::obj([
+        ("wall_ms", Json::Num(elapsed_ms)),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("rows_touched", Json::Int(r.rows_touched as i64)),
+                            ("single_lock_sim_ms", Json::Num(r.single_lock_ms)),
+                            ("per_row_locks_sim_ms", Json::Num(r.per_row_locks_ms)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+// ----------------------------------------------------------------------
+// Human-readable printing
+// ----------------------------------------------------------------------
 
 fn print_table1() {
     println!("--- Table I: qualitative comparison ---");
@@ -109,40 +297,36 @@ fn print_table1() {
     println!();
 }
 
-fn print_fig10(reps: u64, customers: u64) {
+fn print_fig10(rows: &[Fig10Row]) {
     println!("--- Figure 10: micro-benchmark, view scan vs join algorithm ---");
-    // The paper scales the micro-benchmark 500 → 5k → 50k customers (×10
-    // steps); the same growth sweep is kept here, anchored at a
-    // laptop-friendly base scale.
-    let base = (customers / 4).clamp(25, 250);
-    let scales = [base, base * 4, base * 16];
-    let rows = fig10_micro(&scales, reps);
     println!(
-        "{:<6} {:>10} {:>20} {:>20} {:>10}",
-        "query", "customers", "view scan (ms)", "join algo (ms)", "speedup"
+        "{:<6} {:>10} {:>20} {:>20} {:>10} {:>16} {:>16}",
+        "query", "customers", "view scan (ms)", "join algo (ms)", "speedup", "view wall (ms)", "join wall (ms)"
     );
     for row in rows {
         println!(
-            "{:<6} {:>10} {:>20} {:>20} {:>9.1}x",
+            "{:<6} {:>10} {:>20} {:>20} {:>9.1}x {:>16} {:>16}",
             row.query,
             row.customers,
             format!("{:.1} ±{:.1}", row.view_scan_ms.mean, row.view_scan_ms.std_error),
             format!("{:.1} ±{:.1}", row.join_ms.mean, row.join_ms.std_error),
-            row.speedup
+            row.speedup,
+            format!("{:.2}", row.view_scan_wall_ms.mean),
+            format!("{:.2}", row.join_wall_ms.mean),
         );
     }
     println!("(paper: view scan 6x / 11.7x faster than the join at 50k customers)\n");
 }
 
-fn print_fig11(reps: u64) {
+fn print_fig11(rows: &[Fig11Row]) {
     println!("--- Figure 11: two-phase row locking overhead ---");
-    let rows = fig11_lock_overhead(&[10, 100, 1000], reps);
-    println!("{:>12} {:>20}", "locks", "overhead (ms)");
+    println!("{:>12} {:>20} {:>16}", "locks", "overhead (ms)", "wall (ms)");
     for row in rows {
         println!(
-            "{:>12} {:>20}",
+            "{:>12} {:>20} {:>16}",
             row.locks,
-            format!("{:.1} ±{:.1}", row.overhead_ms.mean, row.overhead_ms.std_error)
+            format!("{:.1} ±{:.1}", row.overhead_ms.mean, row.overhead_ms.std_error),
+            format!("{:.2}", row.overhead_wall_ms.mean),
         );
     }
     println!("(paper: 342 / 571 / 2182 ms for 10 / 100 / 1000 locks)\n");
@@ -233,9 +417,8 @@ fn print_fig13() {
     println!();
 }
 
-fn print_ablation() {
+fn print_ablation(rows: &[LockAblationRow]) {
     println!("--- Ablation: single hierarchical lock vs per-row locks ---");
-    let rows = ablation_lock_granularity(&[1, 10, 100, 1000]);
     println!(
         "{:>12} {:>22} {:>22}",
         "rows touched", "single lock (ms)", "per-row locks (ms)"

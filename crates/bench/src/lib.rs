@@ -12,6 +12,8 @@
 //! cluster, so only the *shape* (orderings, approximate ratios, crossovers)
 //! is expected to match.
 
+pub mod json;
+
 use nosql_store::{Cluster, ClusterConfig};
 use simclock::{Summary, SimDuration};
 use std::collections::BTreeMap;
@@ -46,8 +48,14 @@ pub struct Fig10Row {
     pub view_scan_ms: Summary,
     /// Mean simulated response time of the join algorithm (ms).
     pub join_ms: Summary,
-    /// join / view-scan speedup.
+    /// Mean wall-clock time of the view scan (ms).
+    pub view_scan_wall_ms: Summary,
+    /// Mean wall-clock time of the join algorithm (ms).
+    pub join_wall_ms: Summary,
+    /// join / view-scan speedup in simulated time.
     pub speedup: f64,
+    /// join / view-scan speedup in wall-clock time.
+    pub wall_speedup: f64,
 }
 
 /// Runs the §IX-B micro-benchmark for every scale in `customer_scales`.
@@ -58,19 +66,28 @@ pub fn fig10_micro(customer_scales: &[u64], reps: u64) -> Vec<Fig10Row> {
         for query_index in 0..2 {
             let mut view_samples = Vec::new();
             let mut join_samples = Vec::new();
+            let mut view_wall_samples = Vec::new();
+            let mut join_wall_samples = Vec::new();
             for _ in 0..reps {
                 let m = bench.measure(query_index).expect("measurement succeeds");
                 view_samples.push(m.view_scan.as_millis_f64());
                 join_samples.push(m.join_algorithm.as_millis_f64());
+                view_wall_samples.push(m.view_scan_wall.as_secs_f64() * 1_000.0);
+                join_wall_samples.push(m.join_wall.as_secs_f64() * 1_000.0);
             }
             let view = Summary::of(&view_samples);
             let join = Summary::of(&join_samples);
+            let view_wall = Summary::of(&view_wall_samples);
+            let join_wall = Summary::of(&join_wall_samples);
             rows.push(Fig10Row {
                 query: if query_index == 0 { "Q1" } else { "Q2" },
                 customers,
                 speedup: join.mean / view.mean.max(f64::EPSILON),
+                wall_speedup: join_wall.mean / view_wall.mean.max(f64::EPSILON),
                 view_scan_ms: view,
                 join_ms: join,
+                view_scan_wall_ms: view_wall,
+                join_wall_ms: join_wall,
             });
         }
     }
@@ -88,6 +105,8 @@ pub struct Fig11Row {
     pub locks: u64,
     /// Mean simulated overhead (ms).
     pub overhead_ms: Summary,
+    /// Mean wall-clock overhead (ms).
+    pub overhead_wall_ms: Summary,
 }
 
 /// Measures the overhead of acquiring and releasing `n` row locks through a
@@ -96,6 +115,7 @@ pub fn fig11_lock_overhead(lock_counts: &[u64], reps: u64) -> Vec<Fig11Row> {
     let mut rows = Vec::new();
     for &locks in lock_counts {
         let mut samples = Vec::new();
+        let mut wall_samples = Vec::new();
         for _ in 0..reps {
             let cluster = Cluster::new(ClusterConfig::default());
             let manager = LockManager::new(cluster.clone());
@@ -105,6 +125,7 @@ pub fn fig11_lock_overhead(lock_counts: &[u64], reps: u64) -> Vec<Fig11Row> {
             }
             let clock = cluster.clock().clone();
             let start = clock.now();
+            let wall_start = std::time::Instant::now();
             let mut guards = Vec::with_capacity(locks as usize);
             for key in 0..locks {
                 guards.push(
@@ -118,10 +139,12 @@ pub fn fig11_lock_overhead(lock_counts: &[u64], reps: u64) -> Vec<Fig11Row> {
                 manager.release(guard).expect("release");
             }
             samples.push((clock.now() - start).as_millis_f64());
+            wall_samples.push(wall_start.elapsed().as_secs_f64() * 1_000.0);
         }
         rows.push(Fig11Row {
             locks,
             overhead_ms: Summary::of(&samples),
+            overhead_wall_ms: Summary::of(&wall_samples),
         });
     }
     rows

@@ -521,7 +521,7 @@ impl NewSqlEngine {
                 for (k, v) in row.iter() {
                     out.set(format!("{}.{k}", table_ref.alias), v.clone());
                     if single {
-                        out.set(k.clone(), v.clone());
+                        out.set(k, v.clone());
                     }
                 }
                 qualified.push(out);
@@ -601,7 +601,7 @@ impl NewSqlEngine {
                     for r in &rows {
                         let mut merged = row.clone();
                         for (k, v) in r.iter() {
-                            merged.set(k.clone(), v.clone());
+                            merged.set(k, v.clone());
                         }
                         next.push(merged);
                     }
@@ -609,7 +609,7 @@ impl NewSqlEngine {
                     for r in matches {
                         let mut merged = row.clone();
                         for (k, v) in r.iter() {
-                            merged.set(k.clone(), v.clone());
+                            merged.set(k, v.clone());
                         }
                         next.push(merged);
                     }
@@ -695,7 +695,7 @@ impl NewSqlEngine {
                             SelectItem::Wildcard => {
                                 if let Some(first) = members.first() {
                                     for (k, v) in first.iter() {
-                                        row.set(k.clone(), v.clone());
+                                        row.set(k, v.clone());
                                     }
                                 }
                             }

@@ -8,6 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// Uninterpreted byte string used for row keys, qualifiers and values.
 pub type Bytes = Vec<u8>;
@@ -33,42 +34,51 @@ pub struct CellCoord {
 }
 
 /// One versioned value of one column of one row.
+///
+/// The family and qualifier are shared `Arc<str>` handles interned by the
+/// store (see [`crate::intern`]): materializing a cell for a read clones a
+/// pointer, not the name characters.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Cell {
     /// Column family name.
-    pub family: String,
+    pub family: Arc<str>,
     /// Column qualifier.
-    pub qualifier: String,
+    pub qualifier: Arc<str>,
     /// Version timestamp (larger = newer).
     pub timestamp: Timestamp,
-    /// The stored value.
-    pub value: Bytes,
+    /// The stored value, shared with the store's in-memory version map so
+    /// reads never copy value bytes.
+    pub value: Arc<[u8]>,
 }
 
 impl Cell {
+    /// Per-cell coordinate overhead modeled after HBase's storage format
+    /// (length prefixes + timestamp + type tag).
+    pub const PER_CELL_OVERHEAD: usize = 24;
+
     /// Creates a cell; mostly useful in tests.
     pub fn new(
-        family: impl Into<String>,
-        qualifier: impl Into<String>,
+        family: impl Into<Arc<str>>,
+        qualifier: impl Into<Arc<str>>,
         timestamp: Timestamp,
         value: impl Into<Bytes>,
     ) -> Self {
+        let value: Bytes = value.into();
         Cell {
             family: family.into(),
             qualifier: qualifier.into(),
             timestamp,
-            value: value.into(),
+            value: Arc::from(value),
         }
     }
 
     /// Approximate on-disk footprint of this cell, in bytes.
     ///
-    /// HBase stores the full coordinate with every cell; the constant models
-    /// that per-cell key overhead and is what the storage accounting for the
-    /// paper's Table III is built on.
+    /// HBase stores the full coordinate with every cell;
+    /// [`Cell::PER_CELL_OVERHEAD`] models that per-cell key overhead and is
+    /// what the storage accounting for the paper's Table III is built on.
     pub fn heap_size(&self) -> usize {
-        const PER_CELL_OVERHEAD: usize = 24; // length prefixes + timestamp + type tag
-        self.family.len() + self.qualifier.len() + self.value.len() + PER_CELL_OVERHEAD
+        self.family.len() + self.qualifier.len() + self.value.len() + Self::PER_CELL_OVERHEAD
     }
 }
 

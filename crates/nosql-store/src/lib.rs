@@ -41,6 +41,7 @@
 mod cell;
 mod cluster;
 mod error;
+pub mod intern;
 mod metrics;
 pub mod ops;
 mod region;

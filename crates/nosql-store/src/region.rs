@@ -9,10 +9,11 @@
 use crate::cell::{Bytes, Cell, Timestamp};
 use crate::error::{StoreError, StoreResult};
 use crate::ops::{Delete, DeleteScope, Expectation, Filter, Get, Increment, Put, Scan};
-use crate::table::{ResultRow, RowData, TableSchema};
+use crate::table::{ColKey, ResultRow, RowData, TableSchema};
 use std::cmp::Reverse;
 use std::collections::BTreeMap;
 use std::ops::Bound;
+use std::sync::Arc;
 
 /// Identifier of a region within the cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -66,20 +67,12 @@ impl Region {
         self.bytes
     }
 
-    fn recompute_row_bytes(&mut self, key: &[u8], before: usize) {
-        let after = self
-            .rows
-            .get(key)
-            .map(|r| r.heap_size(key.len()))
-            .unwrap_or(0);
-        self.bytes = self.bytes + after - before;
-    }
-
-    fn row_bytes(&self, key: &[u8]) -> usize {
-        self.rows.get(key).map(|r| r.heap_size(key.len())).unwrap_or(0)
-    }
-
     /// Applies a [`Put`]; returns the number of cells written.
+    ///
+    /// Byte accounting is incremental: each written cell adjusts the
+    /// region's size by its own footprint (or by the value-length delta when
+    /// it replaces an existing version) instead of re-walking — and
+    /// re-materializing the column names of — the whole row per mutation.
     pub fn put(&mut self, schema: &TableSchema, put: &Put, ts: Timestamp) -> StoreResult<usize> {
         if put.cells.is_empty() {
             return Err(StoreError::EmptyMutation);
@@ -92,34 +85,49 @@ impl Region {
                 });
             }
         }
-        let before = self.row_bytes(&put.row);
         let effective_ts = put.timestamp.unwrap_or(ts);
+        let key_len = put.row.len();
         let row = self.rows.entry(put.row.clone()).or_default();
+        let mut delta = 0isize;
         for (family, qualifier, value) in &put.cells {
-            row.columns
-                .entry((family.clone(), qualifier.clone()))
-                .or_default()
-                .insert(Reverse(effective_ts), value.clone());
+            let col = ColKey::new(family, qualifier);
+            let cell_size = col.cell_heap_size(value.len()) + key_len;
+            let versions = row.columns.entry(col).or_default();
+            match versions.insert(Reverse(effective_ts), Arc::from(&value[..])) {
+                Some(old) => delta += value.len() as isize - old.len() as isize,
+                None => delta += cell_size as isize,
+            }
         }
-        let written = put.cells.len();
-        let key = put.row.clone();
-        self.recompute_row_bytes(&key, before);
-        Ok(written)
+        self.bytes = (self.bytes as isize + delta) as usize;
+        Ok(put.cells.len())
     }
 
     /// Applies a [`Delete`]; returns `true` if any data was removed.
     pub fn delete(&mut self, delete: &Delete) -> StoreResult<bool> {
-        let before = self.row_bytes(&delete.row);
+        let key_len = delete.row.len();
+        let mut freed = 0usize;
         let removed = match &delete.scope {
-            DeleteScope::Row => self.rows.remove(&delete.row).is_some(),
+            DeleteScope::Row => match self.rows.remove(&delete.row) {
+                Some(row) => {
+                    freed = row.heap_size(key_len);
+                    true
+                }
+                None => false,
+            },
             DeleteScope::Columns(columns) => {
                 let mut removed = false;
                 if let Some(row) = self.rows.get_mut(&delete.row) {
                     for (family, qualifier) in columns {
-                        removed |= row
-                            .columns
-                            .remove(&(family.clone(), qualifier.clone()))
-                            .is_some();
+                        let Some(col) = ColKey::lookup(family, qualifier) else {
+                            continue; // names never seen → column cannot exist
+                        };
+                        if let Some(versions) = row.columns.remove(&col) {
+                            freed += versions
+                                .values()
+                                .map(|v| col.cell_heap_size(v.len()) + key_len)
+                                .sum::<usize>();
+                            removed = true;
+                        }
                     }
                     if row.is_empty() {
                         self.rows.remove(&delete.row);
@@ -128,8 +136,7 @@ impl Region {
                 removed
             }
         };
-        let key = delete.row.clone();
-        self.recompute_row_bytes(&key, before);
+        self.bytes -= freed;
         Ok(removed)
     }
 
@@ -146,15 +153,14 @@ impl Region {
                 family: inc.family.clone(),
             });
         }
-        let before = self.row_bytes(&inc.row);
+        let key_len = inc.row.len();
+        let col = ColKey::new(&inc.family, &inc.qualifier);
+        let cell_size = col.cell_heap_size(8) + key_len;
         let row = self.rows.entry(inc.row.clone()).or_default();
-        let versions = row
-            .columns
-            .entry((inc.family.clone(), inc.qualifier.clone()))
-            .or_default();
+        let versions = row.columns.entry(col).or_default();
         let current = match versions.first_key_value() {
             Some((_, value)) => {
-                let bytes: [u8; 8] = value.as_slice().try_into().map_err(|_| {
+                let bytes: [u8; 8] = value[..].try_into().map_err(|_| {
                     StoreError::NotACounter {
                         row: String::from_utf8_lossy(&inc.row).into_owned(),
                         qualifier: inc.qualifier.clone(),
@@ -165,9 +171,11 @@ impl Region {
             None => 0,
         };
         let next = current + inc.amount;
-        versions.insert(Reverse(ts), next.to_be_bytes().to_vec());
-        let key = inc.row.clone();
-        self.recompute_row_bytes(&key, before);
+        let delta = match versions.insert(Reverse(ts), Arc::from(&next.to_be_bytes()[..])) {
+            Some(old) => 8isize - old.len() as isize,
+            None => cell_size as isize,
+        };
+        self.bytes = (self.bytes as isize + delta) as usize;
         Ok(next)
     }
 
@@ -184,13 +192,16 @@ impl Region {
         let current = self
             .rows
             .get(&put.row)
-            .and_then(|row| row.columns.get(&(family.to_string(), qualifier.to_string())))
+            .and_then(|row| {
+                let col = ColKey::lookup(family, qualifier)?;
+                row.columns.get(&col)
+            })
             .and_then(|versions| versions.first_key_value())
             .map(|(_, value)| value.clone());
         let matches = match (expect, &current) {
             (Expectation::Absent, None) => true,
             (Expectation::Absent, Some(_)) => false,
-            (Expectation::Equals(expected), Some(actual)) => expected == actual,
+            (Expectation::Equals(expected), Some(actual)) => expected[..] == actual[..],
             (Expectation::Equals(_), None) => false,
         };
         if matches {
@@ -205,12 +216,12 @@ impl Region {
         max_versions: usize,
         time_bound: Option<Timestamp>,
     ) -> Vec<Cell> {
-        let mut cells = Vec::new();
-        for ((family, qualifier), versions) in &row.columns {
+        let mut cells = Vec::with_capacity(row.columns.len());
+        for (col, versions) in &row.columns {
             if !columns.is_empty()
                 && !columns
                     .iter()
-                    .any(|(f, q)| f == family && q == qualifier)
+                    .any(|(f, q)| f.as_str() == &*col.family && q.as_str() == &*col.qualifier)
             {
                 continue;
             }
@@ -222,8 +233,8 @@ impl Region {
                     }
                 }
                 cells.push(Cell {
-                    family: family.clone(),
-                    qualifier: qualifier.clone(),
+                    family: Arc::clone(&col.family),
+                    qualifier: Arc::clone(&col.qualifier),
                     timestamp: *ts,
                     value: value.clone(),
                 });
@@ -257,18 +268,18 @@ impl Region {
                 value,
             } => cells
                 .iter()
-                .filter(|c| &c.family == family && &c.qualifier == qualifier)
+                .filter(|c| &*c.family == family.as_str() && &*c.qualifier == qualifier.as_str())
                 .max_by_key(|c| c.timestamp)
-                .is_some_and(|c| &c.value == value),
+                .is_some_and(|c| c.value[..] == value[..]),
             Filter::ColumnNotEquals {
                 family,
                 qualifier,
                 value,
             } => cells
                 .iter()
-                .filter(|c| &c.family == family && &c.qualifier == qualifier)
+                .filter(|c| &*c.family == family.as_str() && &*c.qualifier == qualifier.as_str())
                 .max_by_key(|c| c.timestamp)
-                .is_some_and(|c| &c.value != value),
+                .is_some_and(|c| c.value[..] != value[..]),
             Filter::RowPrefix(prefix) => row_key.starts_with(prefix),
             Filter::And(filters) => filters.iter().all(|f| Self::filter_matches(row_key, cells, f)),
         }

@@ -1,8 +1,11 @@
 //! Table schemas, column families and result rows.
 
 use crate::cell::{Bytes, Cell, Timestamp};
+use crate::intern::{intern_name, lookup_name};
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Declaration of one column family of a table.
 ///
@@ -74,14 +77,67 @@ impl TableSchema {
     }
 }
 
-/// Versions of a single column, newest first.
-pub(crate) type VersionMap = BTreeMap<std::cmp::Reverse<Timestamp>, Bytes>;
+/// Versions of a single column, newest first.  Values are shared with the
+/// cells returned by reads, so materializing a scan result never copies
+/// value bytes.
+pub(crate) type VersionMap = BTreeMap<std::cmp::Reverse<Timestamp>, Arc<[u8]>>;
+
+/// Interned `(family, qualifier)` coordinate of a column within a row.
+///
+/// The name strings are shared `Arc<str>` handles from [`crate::intern`]:
+/// constructing a key for an existing column clones two pointers instead of
+/// two `String`s.  Ordering follows `(family, qualifier)` string order so
+/// iteration (and therefore returned cells) stays sorted exactly as the
+/// former `BTreeMap<(String, String), _>` was.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ColKey {
+    pub(crate) family: Arc<str>,
+    pub(crate) qualifier: Arc<str>,
+}
+
+impl ColKey {
+    /// Builds a key, interning both names.
+    pub(crate) fn new(family: &str, qualifier: &str) -> ColKey {
+        ColKey {
+            family: intern_name(family),
+            qualifier: intern_name(qualifier),
+        }
+    }
+
+    /// Builds a key without interning; `None` means at least one name has
+    /// never been seen, so no stored column can match.  Used by probe-only
+    /// paths to keep data-derived lookups from growing the interner.
+    pub(crate) fn lookup(family: &str, qualifier: &str) -> Option<ColKey> {
+        Some(ColKey {
+            family: lookup_name(family)?,
+            qualifier: lookup_name(qualifier)?,
+        })
+    }
+
+    /// Byte footprint of one stored version of this column (excluding the
+    /// row key, which the region accounts separately).
+    pub(crate) fn cell_heap_size(&self, value_len: usize) -> usize {
+        self.family.len() + self.qualifier.len() + value_len + Cell::PER_CELL_OVERHEAD
+    }
+}
+
+impl PartialOrd for ColKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ColKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (&*self.family, &*self.qualifier).cmp(&(&*other.family, &*other.qualifier))
+    }
+}
 
 /// In-memory representation of one stored row: `(family, qualifier)` →
 /// version map.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub(crate) struct RowData {
-    pub(crate) columns: BTreeMap<(String, String), VersionMap>,
+    pub(crate) columns: BTreeMap<ColKey, VersionMap>,
 }
 
 impl RowData {
@@ -90,19 +146,10 @@ impl RowData {
     pub(crate) fn heap_size(&self, row_key_len: usize) -> usize {
         self.columns
             .iter()
-            .map(|((family, qualifier), versions)| {
+            .map(|(key, versions)| {
                 versions
                     .values()
-                    .map(|value| {
-                        Cell {
-                            family: family.clone(),
-                            qualifier: qualifier.clone(),
-                            timestamp: 0,
-                            value: value.clone(),
-                        }
-                        .heap_size()
-                            + row_key_len
-                    })
+                    .map(|value| key.cell_heap_size(value.len()) + row_key_len)
                     .sum::<usize>()
             })
             .sum()
@@ -116,8 +163,8 @@ impl RowData {
 
     /// Drops all but the newest `max_versions` versions of every column.
     pub(crate) fn compact(&mut self, max_versions: impl Fn(&str) -> usize) {
-        for ((family, _), versions) in self.columns.iter_mut() {
-            let keep = max_versions(family).max(1);
+        for (key, versions) in self.columns.iter_mut() {
+            let keep = max_versions(&key.family).max(1);
             while versions.len() > keep {
                 versions.pop_last();
             }
@@ -146,9 +193,9 @@ impl ResultRow {
     pub fn value(&self, family: &str, qualifier: &str) -> Option<&[u8]> {
         self.cells
             .iter()
-            .filter(|c| c.family == family && c.qualifier == qualifier)
+            .filter(|c| &*c.family == family && &*c.qualifier == qualifier)
             .max_by_key(|c| c.timestamp)
-            .map(|c| c.value.as_slice())
+            .map(|c| &c.value[..])
     }
 
     /// The newest returned value of `family:qualifier` decoded as UTF-8.
@@ -190,12 +237,12 @@ mod tests {
     #[test]
     fn row_data_compaction_keeps_newest_versions() {
         let mut row = RowData::default();
-        let versions = row.columns.entry(("cf".into(), "a".into())).or_default();
+        let versions = row.columns.entry(ColKey::new("cf", "a")).or_default();
         for ts in 1..=5u64 {
-            versions.insert(Reverse(ts), vec![ts as u8]);
+            versions.insert(Reverse(ts), Arc::from(vec![ts as u8]));
         }
         row.compact(|_| 2);
-        let versions = &row.columns[&("cf".into(), "a".into())];
+        let versions = &row.columns[&ColKey::new("cf", "a")];
         assert_eq!(versions.len(), 2);
         assert_eq!(versions.first_key_value().unwrap().0 .0, 5);
         assert_eq!(versions.last_key_value().unwrap().0 .0, 4);
@@ -221,9 +268,9 @@ mod tests {
     fn row_data_size_accounts_cells() {
         let mut row = RowData::default();
         row.columns
-            .entry(("cf".into(), "a".into()))
+            .entry(ColKey::new("cf", "a"))
             .or_default()
-            .insert(Reverse(1), b"hello".to_vec());
+            .insert(Reverse(1), Arc::from(&b"hello"[..]));
         assert!(row.heap_size(3) > 5);
         assert_eq!(row.cell_count(), 1);
     }

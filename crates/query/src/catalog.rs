@@ -3,8 +3,8 @@
 
 use nosql_store::ops::Put;
 use nosql_store::ResultRow;
-use relational::{encode_key, Row, Value};
-use std::collections::BTreeMap;
+use relational::{encode_key, intern, Row, Symbol, Value};
+use std::collections::{BTreeMap, HashMap};
 
 /// The column family every attribute is stored in (the paper's baseline
 /// transformation assigns all attributes of a relation to a single family).
@@ -53,7 +53,11 @@ pub enum TableKind {
 }
 
 /// Layout of one NoSQL table.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Construction pre-interns every column name and resolves the key
+/// attributes to column indices, so row encoding/decoding on the read path
+/// never re-hashes or re-allocates a column name.
+#[derive(Debug, Clone)]
 pub struct TableDef {
     /// Table name in the store.
     pub name: String,
@@ -63,7 +67,25 @@ pub struct TableDef {
     pub key: Vec<String>,
     /// Role of the table.
     pub kind: TableKind,
+    /// Interned symbol of every column, in declaration order.
+    col_syms: Vec<Symbol>,
+    /// Column name → index into `columns`.
+    col_index: HashMap<String, usize>,
+    /// Indices of the key attributes within `columns`.
+    key_cols: Vec<usize>,
 }
+
+impl PartialEq for TableDef {
+    fn eq(&self, other: &Self) -> bool {
+        // The cached symbol/index tables derive from the logical fields.
+        self.name == other.name
+            && self.columns == other.columns
+            && self.key == other.key
+            && self.kind == other.kind
+    }
+}
+
+static NULL_VALUE: Value = Value::Null;
 
 impl TableDef {
     /// Creates a table definition.
@@ -73,28 +95,46 @@ impl TableDef {
         key: Vec<String>,
         kind: TableKind,
     ) -> Self {
+        let col_syms: Vec<Symbol> = columns.iter().map(|(n, _)| intern::intern(n)).collect();
+        let col_index: HashMap<String, usize> = columns
+            .iter()
+            .enumerate()
+            .map(|(i, (n, _))| (n.clone(), i))
+            .collect();
         let def = TableDef {
             name: name.into(),
             columns,
             key,
             kind,
+            col_syms,
+            col_index,
+            key_cols: Vec::new(),
         };
-        for k in &def.key {
-            assert!(
-                def.column_type(k).is_some(),
-                "key attribute {k} is not a column of {}",
-                def.name
-            );
-        }
-        def
+        let key_cols: Vec<usize> = def
+            .key
+            .iter()
+            .map(|k| {
+                *def.col_index.get(k).unwrap_or_else(|| {
+                    panic!("key attribute {k} is not a column of {}", def.name)
+                })
+            })
+            .collect();
+        TableDef { key_cols, ..def }
+    }
+
+    /// The interned symbols of the columns, in declaration order.
+    pub fn column_symbols(&self) -> &[Symbol] {
+        &self.col_syms
+    }
+
+    /// Index of a column within [`TableDef::columns`], if it exists.
+    pub fn column_position(&self, column: &str) -> Option<usize> {
+        self.col_index.get(column).copied()
     }
 
     /// The declared type of a column, if it exists.
     pub fn column_type(&self, column: &str) -> Option<ColumnType> {
-        self.columns
-            .iter()
-            .find(|(name, _)| name == column)
-            .map(|(_, ty)| *ty)
+        self.col_index.get(column).map(|&i| self.columns[i].1)
     }
 
     /// Column names in declaration order.
@@ -111,31 +151,29 @@ impl TableDef {
     /// Encodes the row key for a row of this table.  Missing key attributes
     /// encode as empty components (callers validate beforehand).
     pub fn encode_row_key(&self, row: &Row) -> String {
-        let values: Vec<Value> = self
-            .key
-            .iter()
-            .map(|k| row.get(k).cloned().unwrap_or(Value::Null))
-            .collect();
-        encode_key(values.iter())
+        encode_key(
+            self.key_cols
+                .iter()
+                .map(|&i| row.get_interned(&self.col_syms[i]).unwrap_or(&NULL_VALUE)),
+        )
     }
 
     /// Encodes the row-key *prefix* formed by the first `n` key attributes.
     pub fn encode_key_prefix(&self, row: &Row, n: usize) -> String {
-        let values: Vec<Value> = self
-            .key
-            .iter()
-            .take(n)
-            .map(|k| row.get(k).cloned().unwrap_or(Value::Null))
-            .collect();
-        encode_key(values.iter())
+        encode_key(
+            self.key_cols
+                .iter()
+                .take(n)
+                .map(|&i| row.get_interned(&self.col_syms[i]).unwrap_or(&NULL_VALUE)),
+        )
     }
 
     /// Converts a row into a [`Put`] against this table (all attributes into
     /// the single column family).
     pub fn row_to_put(&self, row: &Row) -> Put {
         let mut put = Put::new(self.encode_row_key(row));
-        for (column, _) in &self.columns {
-            if let Some(value) = row.get(column) {
+        for (i, (column, _)) in self.columns.iter().enumerate() {
+            if let Some(value) = row.get_interned(&self.col_syms[i]) {
                 if !value.is_null() {
                     put.add(FAMILY, column.clone(), value.encode());
                 }
@@ -146,19 +184,84 @@ impl TableDef {
 
     /// Decodes a stored [`ResultRow`] back into a relational [`Row`].
     pub fn decode_row(&self, stored: &ResultRow) -> Row {
-        let mut row = Row::new();
-        for (column, ty) in &self.columns {
-            if let Some(raw) = stored.value(FAMILY, column) {
-                let text = String::from_utf8_lossy(raw);
-                row.set(column.clone(), ty.decode(&text));
+        self.decode_cells(stored, None, None)
+    }
+
+    /// [`TableDef::decode_row`] restricted to the columns whose index is set
+    /// in `mask` (projection pushdown: skip decoding unneeded columns).
+    pub fn decode_row_projected(&self, stored: &ResultRow, mask: &[bool]) -> Row {
+        self.decode_cells(stored, Some(mask), None)
+    }
+
+    /// Decodes a stored row directly into alias-qualified attribute names:
+    /// `qualified[i]` is the output symbol for column `i` (typically
+    /// `"alias.column"`), so the executor produces join-ready rows in a
+    /// single pass without an intermediate bare-named row.
+    pub fn decode_row_qualified(
+        &self,
+        stored: &ResultRow,
+        qualified: &[Symbol],
+        mask: Option<&[bool]>,
+    ) -> Row {
+        self.decode_cells(stored, mask, Some(qualified))
+    }
+
+    /// Single-pass cell-walk decoder.  Walks the returned cells once (they
+    /// arrive sorted by family and qualifier) instead of scanning the cell
+    /// list per declared column; adjacent duplicate versions of a column
+    /// keep the newest timestamp, matching [`ResultRow::value`].
+    fn decode_cells(
+        &self,
+        stored: &ResultRow,
+        mask: Option<&[bool]>,
+        qualified: Option<&[Symbol]>,
+    ) -> Row {
+        let mut row = Row::with_capacity(stored.cells.len().min(self.columns.len()));
+        let mut last: Option<(usize, nosql_store::Timestamp)> = None;
+        // Store-produced rows arrive sorted by (family, qualifier), so each
+        // entry appends in O(1) via `push_sorted`; the gate falls back to
+        // `set_interned` for hand-built unsorted inputs.
+        let mut last_sym: Option<Symbol> = None;
+        for cell in &stored.cells {
+            if &*cell.family != FAMILY {
+                continue;
             }
+            let Some(&idx) = self.col_index.get(&*cell.qualifier) else {
+                continue;
+            };
+            if let Some(mask) = mask {
+                if !mask[idx] {
+                    continue;
+                }
+            }
+            if let Some((last_idx, last_ts)) = last {
+                if last_idx == idx && cell.timestamp <= last_ts {
+                    continue; // older version of the column just decoded
+                }
+            }
+            let text = String::from_utf8_lossy(&cell.value);
+            let value = self.columns[idx].1.decode(&text);
+            let sym = match qualified {
+                Some(syms) => &syms[idx],
+                None => &self.col_syms[idx],
+            };
+            let in_order = last_sym
+                .as_ref()
+                .is_none_or(|prev| prev.name() <= sym.name());
+            if in_order {
+                row.push_sorted(sym.clone(), value);
+                last_sym = Some(sym.clone());
+            } else {
+                row.set_interned(sym.clone(), value);
+            }
+            last = Some((idx, cell.timestamp));
         }
         row
     }
 
     /// Approximate bytes of one encoded row, for size estimation.
     pub fn estimate_row_bytes(&self, row: &Row) -> usize {
-        self.encode_row_key(&row.clone()).len() + row.byte_size()
+        self.encode_row_key(row).len() + row.byte_size()
     }
 }
 

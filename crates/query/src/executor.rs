@@ -9,12 +9,22 @@
 //! pay the shuffle/probe costs of [`simclock::CostModel`] — the data-transfer
 //! latency the paper identifies as the reason joins are slow in a NoSQL
 //! store (§III).
+//!
+//! # Allocation discipline
+//!
+//! The read path resolves every column reference to an interned
+//! [`Symbol`] **once per statement**: per-alias qualified-name tables are
+//! precomputed before rows are fetched, join keys and residual predicates
+//! compare pre-resolved symbols, and the hash join emits rows whose left and
+//! right halves are shared `Arc` slices ([`Row::join_concat`]) instead of
+//! deep clones.  Projection is pushed into the decoder so unneeded columns
+//! are never materialized.
 
 use crate::catalog::{Catalog, TableDef, FAMILY};
 use crate::result::{QueryError, QueryResult};
 use nosql_store::ops::{Get, Scan};
 use nosql_store::Cluster;
-use relational::{encode_key, Row, Value, KEY_DELIMITER};
+use relational::{encode_key, intern, Row, Symbol, Value, KEY_DELIMITER};
 use sql::{
     AggregateFunction, ColumnRef, Comparison, Condition, Expr, SelectItem, SelectStatement,
     Statement,
@@ -55,10 +65,15 @@ pub struct Executor {
     snapshot: Option<nosql_store::Timestamp>,
 }
 
-/// A WHERE conjunct with parameters bound to concrete values.
+/// A WHERE conjunct with parameters bound to concrete values and its column
+/// references resolved to interned symbols (once per statement, not per row).
 #[derive(Debug, Clone)]
 pub(crate) struct BoundCondition {
     pub left: ColumnRef,
+    /// `intern(left.qualified_name())`; exact-then-suffix lookup through
+    /// this symbol is equivalent to the former
+    /// `get(qualified).or_else(|| get(bare))` chain.
+    pub left_sym: Symbol,
     pub op: Comparison,
     pub right: BoundOperand,
 }
@@ -66,7 +81,40 @@ pub(crate) struct BoundCondition {
 #[derive(Debug, Clone)]
 pub(crate) enum BoundOperand {
     Value(Value),
-    Column(ColumnRef),
+    Column(ColumnRef, Symbol),
+}
+
+/// A hash-join key borrowed from a row; the single-condition case (all of
+/// TPC-W's joins) carries the value reference inline instead of allocating a
+/// per-row vector.
+#[derive(PartialEq, Eq, Hash)]
+enum JoinKey<'a> {
+    One(&'a Value),
+    Many(Vec<&'a Value>),
+}
+
+impl<'a> JoinKey<'a> {
+    /// Extracts the join key of `row`; `None` if any key column is absent.
+    fn of(row: &'a Row, syms: &[Symbol]) -> Option<JoinKey<'a>> {
+        match syms {
+            [sym] => row.get_interned(sym).map(JoinKey::One),
+            _ => syms
+                .iter()
+                .map(|sym| row.get_interned(sym))
+                .collect::<Option<Vec<&Value>>>()
+                .map(JoinKey::Many),
+        }
+    }
+}
+
+/// Resolves a column reference for per-row lookup: the qualified name is
+/// interned once, and [`Row::get_interned`]'s suffix fallback covers the
+/// bare-name alternative (both names share the same bare suffix).
+fn resolve_col(col: &ColumnRef) -> Symbol {
+    match &col.qualifier {
+        Some(q) => intern::intern(&format!("{q}.{}", col.column)),
+        None => intern::intern(&col.column),
+    }
 }
 
 impl Executor {
@@ -143,6 +191,20 @@ impl Executor {
             aliases.push((table_ref.alias.clone(), def.clone()));
         }
 
+        // Track which conditions are fully enforced before the residual
+        // pass: every single-alias filter is applied during its alias fetch,
+        // and every equi-join condition is enforced exactly by the hash join
+        // that consumes it.  Whatever remains (cross-alias `<>`, range
+        // predicates over joined columns, ...) is evaluated per joined row.
+        let mut consumed = vec![false; conditions.len()];
+        for (alias, def) in &aliases {
+            for (i, c) in conditions.iter().enumerate() {
+                if condition_is_single_alias(c, alias, def, &select.from) {
+                    consumed[i] = true;
+                }
+            }
+        }
+
         // Greedy join order: start with the alias that has the most
         // selective access path, then repeatedly add an alias connected by a
         // join condition.
@@ -168,20 +230,33 @@ impl Executor {
             let idx = remaining.remove(next_pos);
             let (next_alias, next_def) = &aliases[idx];
             let join_conds: Vec<&BoundCondition> =
-                join_conditions_between(&conditions, next_alias, &joined_aliases).collect();
+                join_conditions_between(&conditions, next_alias, &joined_aliases)
+                    .map(|(i, c)| {
+                        consumed[i] = true;
+                        c
+                    })
+                    .collect();
             let right_rows = self.fetch_alias_rows(next_alias, next_def, &conditions, select, false)?;
             intermediate =
                 self.hash_join(intermediate, right_rows, next_alias, &join_conds);
             joined_aliases.push(next_alias.clone());
         }
 
-        // Residual conditions: anything not consumed as a single-alias
-        // equality filter or as an equi-join key (e.g. cross-alias `<>`,
-        // range filters) is applied against the joined rows.
-        let rows: Vec<Row> = intermediate
-            .into_iter()
-            .filter(|row| conditions.iter().all(|c| evaluate_condition(row, c)))
+        // Residual conditions: anything not consumed above.
+        let residual: Vec<&BoundCondition> = conditions
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !consumed[*i])
+            .map(|(_, c)| c)
             .collect();
+        let rows: Vec<Row> = if residual.is_empty() {
+            intermediate
+        } else {
+            intermediate
+                .into_iter()
+                .filter(|row| residual.iter().all(|c| evaluate_condition(row, c)))
+                .collect()
+        };
 
         let rows = self.apply_group_and_aggregates(select, rows)?;
         let mut rows = apply_order_by(select, rows);
@@ -252,7 +327,11 @@ impl Executor {
     }
 
     /// Fetches the rows of one alias, applying its single-alias filters, and
-    /// returns them with attributes qualified as `alias.column`.
+    /// returns them with attributes qualified as `alias.column` (bare names
+    /// when this is a single-table statement: [`Row::get`]'s suffix matching
+    /// makes qualified lookups work either way, so the extra qualification
+    /// pass — and the former duplicate bare+qualified entries — are skipped
+    /// entirely).
     fn fetch_alias_rows(
         &self,
         alias: &str,
@@ -263,6 +342,28 @@ impl Executor {
     ) -> Result<Vec<Row>, QueryError> {
         let eq_filters = single_alias_eq_filters(conditions, alias, def, &select.from);
         let path = self.plan_access(alias, def, conditions, select);
+
+        // Projection pushdown: decode only the columns the statement can
+        // observe (`None` = all of them, e.g. under a wildcard).
+        let needed = needed_columns(select, alias, def);
+        let mask = column_mask(def, &needed);
+        // Per-alias qualified-name table, interned once per statement.
+        let qual_syms: Option<Vec<Symbol>> = (!single_table).then(|| {
+            def.columns
+                .iter()
+                .map(|(name, _)| intern::intern(&format!("{alias}.{name}")))
+                .collect()
+        });
+        let decode = |stored: &nosql_store::ResultRow| -> Row {
+            match &qual_syms {
+                Some(syms) => def.decode_row_qualified(stored, syms, mask.as_deref()),
+                None => match &mask {
+                    Some(mask) => def.decode_row_projected(stored, mask),
+                    None => def.decode_row(stored),
+                },
+            }
+        };
+
         let mut rows = Vec::new();
         let mut attempts = 0;
         loop {
@@ -271,23 +372,19 @@ impl Executor {
             match &path {
                 AccessPath::KeyGet => {
                     let key_row = Row::from_pairs(
-                        eq_filters
-                            .iter()
-                            .map(|(k, v)| (k.clone(), v.clone())),
+                        eq_filters.iter().map(|(k, v)| (k.as_str(), v.clone())),
                     );
                     let key = def.encode_row_key(&key_row);
                     if let Some(stored) = self.cluster.get(&def.name, self.bounded_get(key))? {
                         if self.is_dirty(&stored) {
                             dirty_seen = true;
                         }
-                        rows.push(def.decode_row(&stored));
+                        rows.push(decode(&stored));
                     }
                 }
                 AccessPath::KeyPrefixScan => {
                     let key_row = Row::from_pairs(
-                        eq_filters
-                            .iter()
-                            .map(|(k, v)| (k.clone(), v.clone())),
+                        eq_filters.iter().map(|(k, v)| (k.as_str(), v.clone())),
                     );
                     // Use as many leading key components as are bound.
                     let bound = def
@@ -305,7 +402,7 @@ impl Executor {
                         if self.is_dirty(&stored) {
                             dirty_seen = true;
                         }
-                        rows.push(def.decode_row(&stored));
+                        rows.push(decode(&stored));
                     }
                 }
                 AccessPath::IndexScan { index } => {
@@ -322,25 +419,52 @@ impl Executor {
                         // Match only complete values of the indexed column.
                         prefix.push(KEY_DELIMITER);
                     }
-                    let needed = needed_columns(select, alias, def);
                     let covered = needed
-                        .iter()
-                        .all(|c| index_def.column_type(c).is_some());
+                        .as_ref()
+                        .map(|needed| needed.iter().all(|c| index_def.column_type(c).is_some()))
+                        .unwrap_or_else(|| {
+                            def.columns
+                                .iter()
+                                .all(|(c, _)| index_def.column_type(c).is_some())
+                        });
+                    // The index table shares column names with the base
+                    // table, so the same qualified-name table applies; its
+                    // symbols are indexed by the *index* def's column order.
+                    let index_qual_syms: Option<Vec<Symbol>> = (!single_table).then(|| {
+                        index_def
+                            .columns
+                            .iter()
+                            .map(|(name, _)| intern::intern(&format!("{alias}.{name}")))
+                            .collect()
+                    });
+                    let index_mask = covered.then(|| column_mask(index_def, &needed)).flatten();
                     for stored in self.cluster.scan(&index_def.name, self.bounded_scan(Scan::prefix(prefix)))? {
                         if self.is_dirty(&stored) {
                             dirty_seen = true;
                         }
-                        let index_row = index_def.decode_row(&stored);
                         if covered {
-                            rows.push(index_row);
+                            rows.push(match &index_qual_syms {
+                                Some(syms) => index_def.decode_row_qualified(
+                                    &stored,
+                                    syms,
+                                    index_mask.as_deref(),
+                                ),
+                                None => match &index_mask {
+                                    Some(mask) => index_def.decode_row_projected(&stored, mask),
+                                    None => index_def.decode_row(&stored),
+                                },
+                            });
                         } else {
-                            // Fetch the base row by primary key.
+                            // Fetch the base row by primary key; the index
+                            // row is decoded bare (it only feeds key
+                            // encoding).
+                            let index_row = index_def.decode_row(&stored);
                             let base_key = def.encode_row_key(&index_row);
                             if let Some(base) = self.cluster.get(&def.name, self.bounded_get(base_key))? {
                                 if self.is_dirty(&base) {
                                     dirty_seen = true;
                                 }
-                                rows.push(def.decode_row(&base));
+                                rows.push(decode(&base));
                             }
                         }
                     }
@@ -350,7 +474,7 @@ impl Executor {
                         if self.is_dirty(&stored) {
                             dirty_seen = true;
                         }
-                        rows.push(def.decode_row(&stored));
+                        rows.push(decode(&stored));
                     }
                 }
             }
@@ -368,39 +492,23 @@ impl Executor {
         // Apply every single-alias filter (equality and range) now; residual
         // multi-alias conditions are applied after the joins.
         let from = &select.from;
+        let single_alias_conds: Vec<&BoundCondition> = conditions
+            .iter()
+            .filter(|c| condition_is_single_alias(c, alias, def, from))
+            .collect();
         let filtered: Vec<Row> = rows
             .into_iter()
             .filter(|row| {
-                conditions
-                    .iter()
-                    .filter(|c| condition_is_single_alias(c, alias, def, from))
-                    .all(|c| {
-                        let left = row.get(&c.left.column);
-                        match (&c.right, left) {
-                            (BoundOperand::Value(v), Some(l)) => c.op.evaluate(l, v),
-                            _ => false,
-                        }
-                    })
+                single_alias_conds.iter().all(|c| {
+                    let left = row.get_interned(&c.left_sym);
+                    match (&c.right, left) {
+                        (BoundOperand::Value(v), Some(l)) => c.op.evaluate(l, v),
+                        _ => false,
+                    }
+                })
             })
             .collect();
-
-        // Qualify attribute names with the alias (and keep them bare too when
-        // this is a single-table query, which keeps projection simple).
-        let mut qualified = Vec::with_capacity(filtered.len());
-        for row in filtered {
-            let mut out = Row::new();
-            for (k, v) in row.iter() {
-                if k.starts_with('_') {
-                    continue; // reserved bookkeeping columns
-                }
-                out.set(format!("{alias}.{k}"), v.clone());
-                if single_table {
-                    out.set(k.clone(), v.clone());
-                }
-            }
-            qualified.push(out);
-        }
-        Ok(qualified)
+        Ok(filtered)
     }
 
     /// Builds a Get honouring the executor's snapshot bound, if any.
@@ -429,10 +537,14 @@ impl Executor {
     /// Client-side hash join between the current intermediate rows and the
     /// rows of `right_alias`, on the given equi-join conditions.  Charges
     /// shuffle cost for every intermediate row and probe cost per probe.
+    ///
+    /// Both inputs are frozen first, so every emitted row shares its left
+    /// and right halves as `Arc` slices with the input rows (and with every
+    /// other output row built from them) instead of deep-cloning the entries.
     fn hash_join(
         &self,
-        left: Vec<Row>,
-        right: Vec<Row>,
+        mut left: Vec<Row>,
+        mut right: Vec<Row>,
         right_alias: &str,
         join_conds: &[&BoundCondition],
     ) -> Vec<Row> {
@@ -441,35 +553,45 @@ impl Executor {
             .clock()
             .charge(model.shuffle_cost((left.len() + right.len()) as u64));
 
+        for row in &mut left {
+            row.freeze();
+        }
+        for row in &mut right {
+            row.freeze();
+        }
+
         if join_conds.is_empty() {
             // Cross join (rare; only used when the workload really asks for it).
-            let mut out = Vec::new();
+            let mut out = Vec::with_capacity(left.len() * right.len());
             for l in &left {
                 for r in &right {
-                    let mut row = l.clone();
-                    for (k, v) in r.iter() {
-                        row.set(k.clone(), v.clone());
-                    }
-                    out.push(row);
+                    out.push(l.join_concat(r));
                 }
             }
             return out;
         }
 
-        // Build side: hash the right rows on the join attribute values.
-        let mut build: HashMap<Vec<Value>, Vec<&Row>> = HashMap::new();
-        for row in &right {
-            let key: Option<Vec<Value>> = join_conds
-                .iter()
-                .map(|c| {
-                    let col = join_column_for_alias(c, right_alias);
-                    row.get(&format!("{right_alias}.{}", col.column))
-                        .or_else(|| row.get(&col.column))
-                        .cloned()
-                })
-                .collect();
-            if let Some(key) = key {
-                build.entry(key).or_default().push(row);
+        // Join-key symbols, resolved once per join instead of one
+        // `format!("{alias}.{column}")` per row per condition.
+        let right_syms: Vec<Symbol> = join_conds
+            .iter()
+            .map(|c| {
+                let col = join_column_for_alias(c, right_alias);
+                intern::intern(&format!("{right_alias}.{}", col.column))
+            })
+            .collect();
+        let left_syms: Vec<Symbol> = join_conds
+            .iter()
+            .map(|c| resolve_col(join_column_other_side(c, right_alias)))
+            .collect();
+
+        // Build side: hash the right rows on the join attribute values
+        // (borrowed, not cloned; the common single-condition join avoids the
+        // per-row key vector entirely).
+        let mut build: HashMap<JoinKey<'_>, Vec<usize>> = HashMap::with_capacity(right.len());
+        for (i, row) in right.iter().enumerate() {
+            if let Some(key) = JoinKey::of(row, &right_syms) {
+                build.entry(key).or_default().push(i);
             }
         }
 
@@ -477,21 +599,12 @@ impl Executor {
 
         let mut out = Vec::new();
         for l in &left {
-            let key: Option<Vec<Value>> = join_conds
-                .iter()
-                .map(|c| {
-                    let col = join_column_other_side(c, right_alias);
-                    l.get(&col.qualified_name()).or_else(|| l.get(&col.column)).cloned()
-                })
-                .collect();
-            let Some(key) = key else { continue };
+            let Some(key) = JoinKey::of(l, &left_syms) else {
+                continue;
+            };
             if let Some(matches) = build.get(&key) {
-                for r in matches {
-                    let mut row = l.clone();
-                    for (k, v) in r.iter() {
-                        row.set(k.clone(), v.clone());
-                    }
-                    out.push(row);
+                for &i in matches {
+                    out.push(l.join_concat(&right[i]));
                 }
             }
         }
@@ -506,13 +619,19 @@ impl Executor {
         if !select.has_aggregates() && select.group_by.is_empty() {
             return Ok(rows);
         }
+        // Resolve GROUP BY and item columns once.
+        let group_syms: Vec<(Symbol, Symbol)> = select
+            .group_by
+            .iter()
+            .map(|c| (resolve_col(c), intern::intern(&c.column)))
+            .collect();
+
         // Group rows by the GROUP BY key (a single group when absent).
         let mut groups: BTreeMap<Vec<Value>, Vec<Row>> = BTreeMap::new();
         for row in rows {
-            let key: Vec<Value> = select
-                .group_by
+            let key: Vec<Value> = group_syms
                 .iter()
-                .map(|c| row.get(&c.qualified_name()).or_else(|| row.get(&c.column)).cloned().unwrap_or(Value::Null))
+                .map(|(sym, _)| row.get_interned(sym).cloned().unwrap_or(Value::Null))
                 .collect();
             groups.entry(key).or_default().push(row);
         }
@@ -520,44 +639,80 @@ impl Executor {
             groups.insert(Vec::new(), Vec::new());
         }
 
+        // Resolve the SELECT items once.
+        enum ItemPlan {
+            Aggregate {
+                function: AggregateFunction,
+                argument: Option<Symbol>,
+                name: Symbol,
+            },
+            Column {
+                lookup: Symbol,
+                out: Symbol,
+                alias: Option<Symbol>,
+            },
+            Wildcard,
+        }
+        let plans: Vec<ItemPlan> = select
+            .items
+            .iter()
+            .map(|item| match item {
+                SelectItem::Aggregate {
+                    function,
+                    argument,
+                    alias,
+                } => {
+                    let name = alias.clone().unwrap_or_else(|| match argument {
+                        Some(a) => format!("{function}({})", a.qualified_name()),
+                        None => format!("{function}(*)"),
+                    });
+                    ItemPlan::Aggregate {
+                        function: *function,
+                        argument: argument.as_ref().map(resolve_col),
+                        name: intern::intern(&name),
+                    }
+                }
+                SelectItem::Column { column, alias } => ItemPlan::Column {
+                    lookup: resolve_col(column),
+                    out: intern::intern(&column.qualified_name()),
+                    alias: alias.as_deref().map(intern::intern),
+                },
+                SelectItem::Wildcard => ItemPlan::Wildcard,
+            })
+            .collect();
+
         let mut out = Vec::new();
         for (key, members) in groups {
             let mut row = Row::new();
-            for (i, col) in select.group_by.iter().enumerate() {
-                row.set(col.qualified_name(), key[i].clone());
-                row.set(col.column.clone(), key[i].clone());
+            for (i, (qualified, bare)) in group_syms.iter().enumerate() {
+                row.set_interned(qualified.clone(), key[i].clone());
+                row.set_interned(bare.clone(), key[i].clone());
             }
-            for item in &select.items {
-                match item {
-                    SelectItem::Aggregate {
+            for plan in &plans {
+                match plan {
+                    ItemPlan::Aggregate {
                         function,
                         argument,
-                        alias,
+                        name,
                     } => {
                         let value = compute_aggregate(*function, argument.as_ref(), &members);
-                        let name = alias.clone().unwrap_or_else(|| match argument {
-                            Some(a) => format!("{function}({})", a.qualified_name()),
-                            None => format!("{function}(*)"),
-                        });
-                        row.set(name, value);
+                        row.set_interned(name.clone(), value);
                     }
-                    SelectItem::Column { column, alias } => {
+                    ItemPlan::Column { lookup, out, alias } => {
                         let value = members
                             .first()
-                            .and_then(|m| {
-                                m.get(&column.qualified_name()).or_else(|| m.get(&column.column))
-                            })
+                            .and_then(|m| m.get_interned(lookup))
                             .cloned()
                             .unwrap_or(Value::Null);
-                        row.set(column.qualified_name(), value.clone());
+                        row.set_interned(out.clone(), value.clone());
                         if let Some(a) = alias {
-                            row.set(a.clone(), value);
+                            row.set_interned(a.clone(), value);
                         }
                     }
-                    SelectItem::Wildcard => {
+                    ItemPlan::Wildcard => {
                         if let Some(first) = members.first() {
-                            for (k, v) in first.iter() {
-                                row.set(k.clone(), v.clone());
+                            for (sym, v) in first.iter_interned() {
+                                row.set_interned(sym.clone(), v.clone());
                             }
                         }
                     }
@@ -581,7 +736,7 @@ pub(crate) fn bind_conditions(
         .iter()
         .map(|c| {
             let right = match &c.right {
-                Expr::Column(col) => BoundOperand::Column(col.clone()),
+                Expr::Column(col) => BoundOperand::Column(col.clone(), resolve_col(col)),
                 Expr::Literal(v) => BoundOperand::Value(v.clone()),
                 Expr::Parameter(i) => BoundOperand::Value(
                     params
@@ -592,6 +747,7 @@ pub(crate) fn bind_conditions(
             };
             Ok(BoundCondition {
                 left: c.left.clone(),
+                left_sym: resolve_col(&c.left),
                 op: c.op,
                 right,
             })
@@ -660,8 +816,9 @@ fn single_alias_eq_filters(
     out
 }
 
-/// Columns of `alias` that the query needs (for covered-index decisions).
-fn needed_columns(select: &SelectStatement, alias: &str, def: &TableDef) -> Vec<String> {
+/// Columns of `alias` that the query needs (for covered-index decisions and
+/// projection pushdown); `None` means "all of them" (wildcard).
+fn needed_columns(select: &SelectStatement, alias: &str, def: &TableDef) -> Option<Vec<String>> {
     let mut needed: Vec<String> = Vec::new();
     let mut add = |col: &ColumnRef| {
         let belongs = match &col.qualifier {
@@ -674,9 +831,7 @@ fn needed_columns(select: &SelectStatement, alias: &str, def: &TableDef) -> Vec<
     };
     for item in &select.items {
         match item {
-            SelectItem::Wildcard => {
-                return def.column_names().iter().map(|s| s.to_string()).collect()
-            }
+            SelectItem::Wildcard => return None,
             SelectItem::Column { column, .. } => add(column),
             SelectItem::Aggregate { argument, .. } => {
                 if let Some(a) = argument {
@@ -697,20 +852,39 @@ fn needed_columns(select: &SelectStatement, alias: &str, def: &TableDef) -> Vec<
     for k in &select.order_by {
         add(&k.column);
     }
-    needed
+    Some(needed)
 }
 
-/// Equi-join conditions connecting `alias` to any of `joined`.
+/// Builds the per-column decode mask for `needed` columns (`None` = decode
+/// everything, also used when every column is needed anyway).
+fn column_mask(def: &TableDef, needed: &Option<Vec<String>>) -> Option<Vec<bool>> {
+    let needed = needed.as_ref()?;
+    let mut mask = vec![false; def.columns.len()];
+    let mut all = true;
+    for (i, (name, _)) in def.columns.iter().enumerate() {
+        let keep = needed.iter().any(|n| n == name);
+        mask[i] = keep;
+        all &= keep;
+    }
+    if all {
+        None
+    } else {
+        Some(mask)
+    }
+}
+
+/// Equi-join conditions connecting `alias` to any of `joined`, with their
+/// index in the bound-condition list.
 fn join_conditions_between<'a>(
     conditions: &'a [BoundCondition],
     alias: &'a str,
     joined: &'a [String],
-) -> impl Iterator<Item = &'a BoundCondition> {
-    conditions.iter().filter(move |c| {
+) -> impl Iterator<Item = (usize, &'a BoundCondition)> {
+    conditions.iter().enumerate().filter(move |(_, c)| {
         if c.op != Comparison::Eq {
             return false;
         }
-        let BoundOperand::Column(right) = &c.right else {
+        let BoundOperand::Column(right, _) = &c.right else {
             return false;
         };
         let lq = c.left.qualifier.as_deref();
@@ -727,7 +901,7 @@ fn join_conditions_between<'a>(
 
 /// The side of a join condition that belongs to `alias`.
 fn join_column_for_alias<'a>(c: &'a BoundCondition, alias: &str) -> &'a ColumnRef {
-    let BoundOperand::Column(right) = &c.right else {
+    let BoundOperand::Column(right, _) = &c.right else {
         return &c.left;
     };
     if right.qualifier.as_deref() == Some(alias) {
@@ -739,7 +913,7 @@ fn join_column_for_alias<'a>(c: &'a BoundCondition, alias: &str) -> &'a ColumnRe
 
 /// The side of a join condition that does *not* belong to `alias`.
 fn join_column_other_side<'a>(c: &'a BoundCondition, alias: &str) -> &'a ColumnRef {
-    let BoundOperand::Column(right) = &c.right else {
+    let BoundOperand::Column(right, _) = &c.right else {
         return &c.left;
     };
     if right.qualifier.as_deref() == Some(alias) {
@@ -754,43 +928,35 @@ fn join_column_other_side<'a>(c: &'a BoundCondition, alias: &str) -> &'a ColumnR
 /// filters already applied during the per-alias fetch are not re-applied
 /// against rows that legitimately dropped reserved columns.
 fn evaluate_condition(row: &Row, c: &BoundCondition) -> bool {
-    let left = row
-        .get(&c.left.qualified_name())
-        .or_else(|| row.get(&c.left.column));
-    let Some(left) = left else { return true };
+    let Some(left) = row.get_interned(&c.left_sym) else {
+        return true;
+    };
     match &c.right {
         BoundOperand::Value(v) => c.op.evaluate(left, v),
-        BoundOperand::Column(col) => {
-            let right = row.get(&col.qualified_name()).or_else(|| row.get(&col.column));
-            match right {
-                Some(r) => c.op.evaluate(left, r),
-                None => true,
-            }
-        }
+        BoundOperand::Column(_, sym) => match row.get_interned(sym) {
+            Some(r) => c.op.evaluate(left, r),
+            None => true,
+        },
     }
 }
 
 fn compute_aggregate(
     function: AggregateFunction,
-    argument: Option<&ColumnRef>,
+    argument: Option<&Symbol>,
     members: &[Row],
 ) -> Value {
-    let values: Vec<Value> = match argument {
+    let values: Vec<&Value> = match argument {
         None => return Value::Int(members.len() as i64),
-        Some(col) => members
+        Some(sym) => members
             .iter()
-            .filter_map(|m| {
-                m.get(&col.qualified_name())
-                    .or_else(|| m.get(&col.column))
-                    .cloned()
-            })
+            .filter_map(|m| m.get_interned(sym))
             .filter(|v| !v.is_null())
             .collect(),
     };
     match function {
         AggregateFunction::Count => Value::Int(values.len() as i64),
         AggregateFunction::Sum => {
-            let sum: f64 = values.iter().filter_map(Value::as_float).sum();
+            let sum: f64 = values.iter().filter_map(|v| v.as_float()).sum();
             if values.iter().all(|v| matches!(v, Value::Int(_))) {
                 Value::Int(sum as i64)
             } else {
@@ -801,12 +967,12 @@ fn compute_aggregate(
             if values.is_empty() {
                 Value::Null
             } else {
-                let sum: f64 = values.iter().filter_map(Value::as_float).sum();
+                let sum: f64 = values.iter().filter_map(|v| v.as_float()).sum();
                 Value::Float(sum / values.len() as f64)
             }
         }
-        AggregateFunction::Min => values.iter().min().cloned().unwrap_or(Value::Null),
-        AggregateFunction::Max => values.iter().max().cloned().unwrap_or(Value::Null),
+        AggregateFunction::Min => values.iter().min().copied().cloned().unwrap_or(Value::Null),
+        AggregateFunction::Max => values.iter().max().copied().cloned().unwrap_or(Value::Null),
     }
 }
 
@@ -814,20 +980,24 @@ fn apply_order_by(select: &SelectStatement, mut rows: Vec<Row>) -> Vec<Row> {
     if select.order_by.is_empty() {
         return rows;
     }
+    // Resolve the sort keys once; the comparator then runs without
+    // allocating or cloning values.
+    let keys: Vec<(Symbol, bool)> = select
+        .order_by
+        .iter()
+        .map(|key| (resolve_col(&key.column), key.descending))
+        .collect();
     rows.sort_by(|a, b| {
-        for key in &select.order_by {
-            let av = a
-                .get(&key.column.qualified_name())
-                .or_else(|| a.get(&key.column.column))
-                .cloned()
-                .unwrap_or(Value::Null);
-            let bv = b
-                .get(&key.column.qualified_name())
-                .or_else(|| b.get(&key.column.column))
-                .cloned()
-                .unwrap_or(Value::Null);
-            let ord = av.cmp(&bv);
-            let ord = if key.descending { ord.reverse() } else { ord };
+        for (sym, descending) in &keys {
+            let av = a.get_interned(sym);
+            let bv = b.get_interned(sym);
+            let ord = match (av, bv) {
+                (Some(a), Some(b)) => a.cmp(b),
+                (Some(a), None) => a.cmp(&Value::Null),
+                (None, Some(b)) => Value::Null.cmp(b),
+                (None, None) => std::cmp::Ordering::Equal,
+            };
+            let ord = if *descending { ord.reverse() } else { ord };
             if ord != std::cmp::Ordering::Equal {
                 return ord;
             }
@@ -842,19 +1012,27 @@ fn project(select: &SelectStatement, rows: Vec<Row>) -> Vec<Row> {
     if wildcard || select.has_aggregates() {
         return rows;
     }
+    // Resolve lookup and output symbols once per statement.
+    let cols: Vec<(Symbol, Symbol)> = select
+        .items
+        .iter()
+        .filter_map(|item| {
+            let SelectItem::Column { column, alias } = item else {
+                return None;
+            };
+            let out = match alias {
+                Some(a) => intern::intern(a),
+                None => intern::intern(&column.qualified_name()),
+            };
+            Some((resolve_col(column), out))
+        })
+        .collect();
     rows.into_iter()
         .map(|row| {
-            let mut out = Row::new();
-            for item in &select.items {
-                if let SelectItem::Column { column, alias } = item {
-                    let value = row
-                        .get(&column.qualified_name())
-                        .or_else(|| row.get(&column.column))
-                        .cloned()
-                        .unwrap_or(Value::Null);
-                    let name = alias.clone().unwrap_or_else(|| column.qualified_name());
-                    out.set(name, value);
-                }
+            let mut out = Row::with_capacity(cols.len());
+            for (lookup, name) in &cols {
+                let value = row.get_interned(lookup).cloned().unwrap_or(Value::Null);
+                out.set_interned(name.clone(), value);
             }
             out
         })

@@ -16,12 +16,14 @@
 
 pub mod company;
 mod graph;
+pub mod intern;
 mod keys;
 mod row;
 mod schema;
 mod value;
 
 pub use graph::{GraphEdge, SchemaGraph};
+pub use intern::Symbol;
 pub use keys::{decode_key, encode_key, KEY_DELIMITER};
 pub use row::Row;
 pub use schema::{ForeignKey, Index, Relation, Schema};

@@ -1,0 +1,171 @@
+//! Model-based property tests: the interned, segment-sharing [`Row`] must be
+//! observably equivalent to the original `BTreeMap<String, Value>`
+//! representation — set/get/suffix semantics, iteration order, display,
+//! length and byte accounting — including after `freeze`/`join_concat`
+//! introduce shared segments.
+
+use proptest::prelude::*;
+use relational::{Row, Value};
+use std::collections::BTreeMap;
+
+/// The reference implementation: exactly the pre-interning `Row` semantics.
+#[derive(Default, Clone)]
+struct ModelRow {
+    values: BTreeMap<String, Value>,
+}
+
+impl ModelRow {
+    fn set(&mut self, attribute: &str, value: Value) {
+        self.values.insert(attribute.to_string(), value);
+    }
+
+    fn get(&self, attribute: &str) -> Option<&Value> {
+        if let Some(v) = self.values.get(attribute) {
+            return Some(v);
+        }
+        let bare = attribute.rsplit('.').next().unwrap_or(attribute);
+        self.values
+            .iter()
+            .find(|(k, _)| k.rsplit('.').next().unwrap_or(k) == bare)
+            .map(|(_, v)| v)
+    }
+
+    fn display(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.values.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{k}={v}"));
+        }
+        out.push('}');
+        out
+    }
+
+    fn byte_size(&self) -> usize {
+        self.values
+            .iter()
+            .map(|(k, v)| k.len() + v.byte_size())
+            .sum()
+    }
+}
+
+/// A small, collision-rich attribute-name pool: bare names plus qualified
+/// variants sharing the same bare suffixes.
+fn name(index: usize) -> String {
+    const ALIASES: [&str; 3] = ["a", "b", "zz"];
+    const BARES: [&str; 4] = ["X", "Y", "Col", "n1"];
+    let bare = BARES[index % BARES.len()];
+    match (index / BARES.len()) % (ALIASES.len() + 1) {
+        0 => bare.to_string(),
+        q => format!("{}.{}", ALIASES[q - 1], bare),
+    }
+}
+
+fn value(raw: u8) -> Value {
+    match raw % 4 {
+        0 => Value::Null,
+        1 => Value::Int(raw as i64),
+        2 => Value::Float(raw as f64 / 2.0),
+        _ => Value::Str(format!("s{raw}")),
+    }
+}
+
+fn assert_equivalent(row: &Row, model: &ModelRow) {
+    assert_eq!(row.len(), model.values.len());
+    // Iteration order and content.
+    let actual: Vec<(String, Value)> = row
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.clone()))
+        .collect();
+    let expected: Vec<(String, Value)> = model
+        .values
+        .iter()
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect();
+    assert_eq!(actual, expected, "iteration must follow attribute order");
+    assert_eq!(row.to_string(), model.display());
+    assert_eq!(row.byte_size(), model.byte_size());
+    // Lookups: every pool name (exact and suffix paths) plus unseen names.
+    for i in 0..16 {
+        let probe = name(i);
+        assert_eq!(
+            row.get(&probe),
+            model.get(&probe),
+            "get({probe:?}) diverged from the map model"
+        );
+    }
+    assert_eq!(row.get("never.interned.attr"), None);
+    // Unseen qualifier over a known bare suffix still suffix-matches.
+    assert_eq!(row.get("qq.X"), model.get("qq.X"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary set sequences: the interned row and the map model stay
+    /// observably identical.
+    #[test]
+    fn interned_row_matches_map_model(
+        ops in proptest::collection::vec((0usize..16, proptest::prelude::any::<u8>()), 0..24)
+    ) {
+        let mut row = Row::new();
+        let mut model = ModelRow::default();
+        for (name_index, raw) in &ops {
+            let attribute = name(*name_index);
+            let v = value(*raw);
+            row.set(&attribute, v.clone());
+            model.set(&attribute, v);
+        }
+        assert_equivalent(&row, &model);
+
+        // Freezing must not change any observable behaviour, only sharing.
+        let mut frozen = row.clone();
+        frozen.freeze();
+        assert_equivalent(&frozen, &model);
+        prop_assert!(frozen == row);
+
+        // `unqualified` matches stripping + last-wins map insertion.
+        let mut bare_model = ModelRow::default();
+        for (k, v) in &model.values {
+            bare_model.set(k.rsplit('.').next().unwrap_or(k), v.clone());
+        }
+        assert_equivalent(&row.unqualified(), &bare_model);
+    }
+
+    /// `join_concat` over disjoint halves behaves exactly like inserting
+    /// both halves into one map, and writing through shared segments
+    /// un-shares without losing attributes.
+    #[test]
+    fn join_concat_matches_merged_map(
+        left_ops in proptest::collection::vec((0usize..8, proptest::prelude::any::<u8>()), 0..10),
+        right_ops in proptest::collection::vec((0usize..8, proptest::prelude::any::<u8>()), 0..10),
+        overwrite in proptest::prelude::any::<u8>(),
+    ) {
+        // Left uses alias pool indices as-is; right shifts names into a
+        // disjoint "r." namespace.
+        let mut left = Row::new();
+        let mut model = ModelRow::default();
+        for (i, raw) in &left_ops {
+            let attribute = format!("l.{}", name(*i));
+            left.set(&attribute, value(*raw));
+            model.set(&attribute, value(*raw));
+        }
+        let mut right = Row::new();
+        for (i, raw) in &right_ops {
+            let attribute = format!("r.{}", name(*i));
+            right.set(&attribute, value(*raw));
+            model.set(&attribute, value(*raw));
+        }
+        left.freeze();
+        right.freeze();
+        let mut joined = left.join_concat(&right);
+        assert_equivalent(&joined, &model);
+
+        // A set() through the shared representation keeps map semantics.
+        let target = format!("l.{}", name(0));
+        joined.set(&target, value(overwrite));
+        model.set(&target, value(overwrite));
+        assert_equivalent(&joined, &model);
+    }
+}

@@ -104,7 +104,7 @@ impl ViewMaintainer {
             };
             for (attribute, value) in parent.iter() {
                 if combined.get(attribute).is_none() {
-                    combined.set(attribute.clone(), value.clone());
+                    combined.set(attribute, value.clone());
                 }
             }
             current = parent;
@@ -271,7 +271,7 @@ impl ViewMaintainer {
         for (attribute, value) in updated_base.iter() {
             // Only attributes that exist in the view are propagated.
             if view.attributes(&self.schema).iter().any(|a| a == attribute) {
-                merged.set(attribute.clone(), value.clone());
+                merged.set(attribute, value.clone());
             }
         }
         // Drop view-index entries whose key changes (e.g. an index on an

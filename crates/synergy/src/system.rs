@@ -327,7 +327,7 @@ impl SynergySystem {
                     for child in matches {
                         let mut merged = row.clone();
                         for (k, v) in child.iter() {
-                            merged.set(k.clone(), v.clone());
+                            merged.set(k, v.clone());
                         }
                         next.push(merged);
                     }

@@ -12,6 +12,20 @@ use std::fmt::Display;
 use std::hint::black_box as std_black_box;
 use std::time::{Duration, Instant};
 
+/// Declared per-iteration work, used to report throughput alongside time.
+///
+/// Mirrors `criterion::Throughput`: a group that declares
+/// `Throughput::Elements(n)` has every benchmark line annotated with
+/// `n / mean_sample_time` rows per second (or bytes per second for
+/// [`Throughput::Bytes`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Each sample processes this many elements (e.g. rows).
+    Elements(u64),
+    /// Each sample processes this many bytes.
+    Bytes(u64),
+}
+
 /// Re-export so `criterion::black_box` callers work too.
 pub fn black_box<T>(x: T) -> T {
     std_black_box(x)
@@ -42,6 +56,7 @@ impl Criterion {
             name,
             sample_size: 10,
             measurement_time: Duration::from_secs(2),
+            throughput: None,
         }
     }
 
@@ -51,7 +66,7 @@ impl Criterion {
     {
         let (sample_size, measurement_time) =
             (self.default_sample_size, self.default_measurement_time);
-        run_benchmark(&id.to_string(), sample_size, measurement_time, f);
+        run_benchmark(&id.to_string(), sample_size, measurement_time, None, f);
         self
     }
 }
@@ -62,6 +77,7 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
     measurement_time: Duration,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -75,20 +91,32 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Declares how much work one sample performs; subsequent
+    /// `bench_function` lines report it as a rate (rows/s or bytes/s).
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
     pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{}", self.name, id);
-        run_benchmark(&full, self.sample_size, self.measurement_time, f);
+        run_benchmark(&full, self.sample_size, self.measurement_time, self.throughput, f);
         self
     }
 
     pub fn finish(self) {}
 }
 
-fn run_benchmark<F>(name: &str, sample_size: usize, measurement_time: Duration, mut f: F)
-where
+fn run_benchmark<F>(
+    name: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
     F: FnMut(&mut Bencher),
 {
     let mut bencher = Bencher {
@@ -110,7 +138,17 @@ where
     let mean = bencher.samples.iter().sum::<Duration>() / n as u32;
     let min = bencher.samples.iter().min().copied().unwrap_or_default();
     let max = bencher.samples.iter().max().copied().unwrap_or_default();
-    println!("{name:<60} time: [{min:?} {mean:?} {max:?}]  samples: {n}");
+    let rate = throughput.map(|t| {
+        let secs = mean.as_secs_f64().max(f64::MIN_POSITIVE);
+        match t {
+            Throughput::Elements(e) => format!("  thrpt: {:.0} elem/s", e as f64 / secs),
+            Throughput::Bytes(b) => format!("  thrpt: {:.0} B/s", b as f64 / secs),
+        }
+    });
+    println!(
+        "{name:<60} time: [{min:?} {mean:?} {max:?}]  samples: {n}{}",
+        rate.unwrap_or_default()
+    );
 }
 
 /// Passed to the closure given to `bench_function`; `iter` times one sample.
