@@ -1,0 +1,138 @@
+//! `bench_diff` — compares two `BENCH_report.json` files figure by figure
+//! and fails on wall-clock regressions.
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_diff -- BENCH_report_tiny.json BENCH_report.json
+//! ```
+//!
+//! For every figure present in both reports, the per-figure `wall_ms` (and
+//! `limit_wall_ms` where present) is compared and the delta printed, also
+//! appended as a Markdown table to `$GITHUB_STEP_SUMMARY` when set.  The
+//! process exits non-zero when any figure regresses by more than
+//! `BENCH_DIFF_MAX_RATIO` (default 2.0×) **and** more than
+//! `BENCH_DIFF_MIN_DELTA_MS` (default 250 ms) — the absolute floor keeps
+//! noisy sub-millisecond figures from tripping the gate on slow runners.
+
+use bench::json::Json;
+use std::fmt::Write as _;
+
+struct DiffRow {
+    figure: String,
+    old_ms: f64,
+    new_ms: f64,
+}
+
+impl DiffRow {
+    fn ratio(&self) -> f64 {
+        self.new_ms / self.old_ms.max(f64::EPSILON)
+    }
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    Json::parse(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [old_path, new_path] = args.as_slice() else {
+        eprintln!("usage: bench_diff <committed-report.json> <fresh-report.json>");
+        std::process::exit(2);
+    };
+    let max_ratio: f64 = std::env::var("BENCH_DIFF_MAX_RATIO")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0);
+    let min_delta_ms: f64 = std::env::var("BENCH_DIFF_MIN_DELTA_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(250.0);
+
+    let old = load(old_path);
+    let new = load(new_path);
+    let (Some(Json::Obj(old_figures)), Some(Json::Obj(new_figures))) =
+        (old.get("figures"), new.get("figures"))
+    else {
+        panic!("both reports must carry a top-level \"figures\" object");
+    };
+
+    let mut rows: Vec<DiffRow> = Vec::new();
+    // A figure present in the committed report but absent from the fresh
+    // one is itself a regression (it would otherwise silently escape the
+    // gate); a figure only in the fresh report is new and informational.
+    let mut vanished: Vec<String> = Vec::new();
+    for (figure, new_value) in new_figures {
+        let Some(old_value) = old_figures.iter().find(|(k, _)| k == figure).map(|(_, v)| v)
+        else {
+            println!("note: figure \"{figure}\" is new (not in {old_path}); skipping");
+            continue;
+        };
+        for wall_key in ["wall_ms", "limit_wall_ms"] {
+            let suffix = if wall_key == "wall_ms" { "" } else { " (limit)" };
+            match (
+                old_value.get(wall_key).and_then(Json::as_f64),
+                new_value.get(wall_key).and_then(Json::as_f64),
+            ) {
+                (Some(old_ms), Some(new_ms)) => rows.push(DiffRow {
+                    figure: format!("{figure}{suffix}"),
+                    old_ms,
+                    new_ms,
+                }),
+                // A metric the committed report tracked that the fresh one
+                // no longer emits drops a wall-clock series from coverage.
+                (Some(_), None) => vanished.push(format!("{figure}{suffix}")),
+                _ => {}
+            }
+        }
+    }
+    for (figure, old_value) in old_figures {
+        let timed = old_value.get("wall_ms").is_some();
+        let missing = !new_figures.iter().any(|(k, _)| k == figure);
+        if timed && missing {
+            vanished.push(figure.clone());
+        }
+    }
+    assert!(!rows.is_empty(), "no comparable wall_ms figures found");
+
+    let mut summary = String::new();
+    let _ = writeln!(summary, "### Bench wall-clock deltas ({old_path} → {new_path})\n");
+    let _ = writeln!(summary, "| figure | committed (ms) | fresh (ms) | delta | ratio |");
+    let _ = writeln!(summary, "|---|---:|---:|---:|---:|");
+    let mut regressions = Vec::new();
+    for row in &rows {
+        let delta = row.new_ms - row.old_ms;
+        let regressed = row.ratio() > max_ratio && delta > min_delta_ms;
+        let marker = if regressed { " ⚠️" } else { "" };
+        let _ = writeln!(
+            summary,
+            "| {}{marker} | {:.1} | {:.1} | {:+.1} | {:.2}x |",
+            row.figure, row.old_ms, row.new_ms, delta, row.ratio()
+        );
+        if regressed {
+            regressions.push(row.figure.clone());
+        }
+    }
+    for figure in &vanished {
+        let _ = writeln!(summary, "| {figure} ⚠️ missing | — | — | — | — |");
+        regressions.push(format!("{figure} (missing from fresh report)"));
+    }
+    let _ = writeln!(
+        summary,
+        "\nGate: ratio > {max_ratio:.1}x **and** delta > {min_delta_ms:.0} ms; \
+         figures vanishing from the fresh report also fail."
+    );
+    println!("{summary}");
+    if let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") {
+        use std::io::Write;
+        if let Ok(mut file) = std::fs::OpenOptions::new().append(true).create(true).open(path) {
+            let _ = file.write_all(summary.as_bytes());
+        }
+    }
+
+    if !regressions.is_empty() {
+        eprintln!("wall-clock regression in: {}", regressions.join(", "));
+        std::process::exit(1);
+    }
+    println!("no wall-clock regressions beyond the gate.");
+}

@@ -17,11 +17,14 @@
 
 use bench::json::Json;
 use bench::{
-    ablation_lock_granularity, comparison_matrix, fig10_micro, fig11_lock_overhead,
+    ablation_lock_granularity, comparison_matrix, fig10_limit, fig10_micro, fig11_lock_overhead,
     fig13_mechanisms, fmt_mib, fmt_ms, table1_qualitative, table3_sizes, ComparisonMatrix,
-    Fig10Row, Fig11Row, LockAblationRow, DEFAULT_CUSTOMERS, DEFAULT_REPS,
+    Fig10LimitRow, Fig10Row, Fig11Row, LockAblationRow, DEFAULT_CUSTOMERS, DEFAULT_REPS,
 };
 use std::time::Instant;
+
+/// The `k` of the Figure 10 LIMIT companion query.
+const FIG10_LIMIT: usize = 50;
 
 struct Options {
     artifact: String,
@@ -97,7 +100,16 @@ fn main() {
         let rows = fig10_micro(&fig10_scales(options.customers), options.reps);
         let elapsed = wall_ms(start);
         print_fig10(&rows);
-        figures.push(("fig10".into(), fig10_json(&rows, elapsed)));
+        // The LIMIT companion is timed separately so `fig10.wall_ms` stays
+        // comparable across report versions.
+        let limit_start = Instant::now();
+        let limit_rows = fig10_limit(&fig10_scales(options.customers), FIG10_LIMIT, options.reps);
+        let limit_elapsed = wall_ms(limit_start);
+        print_fig10_limit(&limit_rows);
+        figures.push((
+            "fig10".into(),
+            fig10_json(&rows, elapsed, &limit_rows, limit_elapsed),
+        ));
     }
     if matches!(artifact, "fig11" | "all") {
         let start = Instant::now();
@@ -164,7 +176,12 @@ fn wall_ms(start: Instant) -> f64 {
 // JSON fragments
 // ----------------------------------------------------------------------
 
-fn fig10_json(rows: &[Fig10Row], elapsed_ms: f64) -> Json {
+fn fig10_json(
+    rows: &[Fig10Row],
+    elapsed_ms: f64,
+    limit_rows: &[Fig10LimitRow],
+    limit_elapsed_ms: f64,
+) -> Json {
     Json::obj([
         ("wall_ms", Json::Num(elapsed_ms)),
         (
@@ -181,6 +198,30 @@ fn fig10_json(rows: &[Fig10Row], elapsed_ms: f64) -> Json {
                             ("join_wall_ms", Json::Num(r.join_wall_ms.mean)),
                             ("sim_speedup", Json::Num(r.speedup)),
                             ("wall_speedup", Json::Num(r.wall_speedup)),
+                            ("view_peak_rows_resident", Json::Int(r.view_peak_rows as i64)),
+                            ("join_peak_rows_resident", Json::Int(r.join_peak_rows as i64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("limit_wall_ms", Json::Num(limit_elapsed_ms)),
+        (
+            "limit_rows",
+            Json::Arr(
+                limit_rows
+                    .iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("customers", Json::Int(r.customers as i64)),
+                            ("limit", Json::Int(r.limit as i64)),
+                            ("store_rows_scanned", Json::Int(r.store_rows_scanned as i64)),
+                            (
+                                "peak_rows_resident",
+                                Json::Int(r.peak_rows_resident as i64),
+                            ),
+                            ("view_sim_ms", Json::Num(r.view_scan_ms.mean)),
+                            ("view_wall_ms", Json::Num(r.view_scan_wall_ms.mean)),
                         ])
                     })
                     .collect(),
@@ -316,6 +357,26 @@ fn print_fig10(rows: &[Fig10Row]) {
         );
     }
     println!("(paper: view scan 6x / 11.7x faster than the join at 50k customers)\n");
+}
+
+fn print_fig10_limit(rows: &[Fig10LimitRow]) {
+    println!("--- Figure 10 companion: Q1 view scan with LIMIT (streaming pushdown) ---");
+    println!(
+        "{:>10} {:>7} {:>20} {:>18} {:>16} {:>12}",
+        "customers", "limit", "store rows scanned", "peak rows resident", "view scan (ms)", "wall (ms)"
+    );
+    for row in rows {
+        println!(
+            "{:>10} {:>7} {:>20} {:>18} {:>16} {:>12}",
+            row.customers,
+            row.limit,
+            row.store_rows_scanned,
+            row.peak_rows_resident,
+            format!("{:.2}", row.view_scan_ms.mean),
+            format!("{:.2}", row.view_scan_wall_ms.mean),
+        );
+    }
+    println!("(store rows scanned must stay at the limit while the database grows)\n");
 }
 
 fn print_fig11(rows: &[Fig11Row]) {

@@ -56,6 +56,11 @@ pub struct Fig10Row {
     pub speedup: f64,
     /// join / view-scan speedup in wall-clock time.
     pub wall_speedup: f64,
+    /// Peak rows the executor held materialized during the view scan
+    /// (max across repetitions).
+    pub view_peak_rows: u64,
+    /// Peak rows the executor held materialized during the join.
+    pub join_peak_rows: u64,
 }
 
 /// Runs the §IX-B micro-benchmark for every scale in `customer_scales`.
@@ -68,12 +73,16 @@ pub fn fig10_micro(customer_scales: &[u64], reps: u64) -> Vec<Fig10Row> {
             let mut join_samples = Vec::new();
             let mut view_wall_samples = Vec::new();
             let mut join_wall_samples = Vec::new();
+            let mut view_peak_rows = 0u64;
+            let mut join_peak_rows = 0u64;
             for _ in 0..reps {
                 let m = bench.measure(query_index).expect("measurement succeeds");
                 view_samples.push(m.view_scan.as_millis_f64());
                 join_samples.push(m.join_algorithm.as_millis_f64());
                 view_wall_samples.push(m.view_scan_wall.as_secs_f64() * 1_000.0);
                 join_wall_samples.push(m.join_wall.as_secs_f64() * 1_000.0);
+                view_peak_rows = view_peak_rows.max(m.view_peak_rows as u64);
+                join_peak_rows = join_peak_rows.max(m.join_peak_rows as u64);
             }
             let view = Summary::of(&view_samples);
             let join = Summary::of(&join_samples);
@@ -88,8 +97,58 @@ pub fn fig10_micro(customer_scales: &[u64], reps: u64) -> Vec<Fig10Row> {
                 join_ms: join,
                 view_scan_wall_ms: view_wall,
                 join_wall_ms: join_wall,
+                view_peak_rows,
+                join_peak_rows,
             });
         }
+    }
+    rows
+}
+
+/// One row of the Figure 10 LIMIT companion: Q1 with `LIMIT k` through the
+/// view-backed read path, with the store rows the scan actually touched.
+#[derive(Debug, Clone)]
+pub struct Fig10LimitRow {
+    /// Number of customers.
+    pub customers: u64,
+    /// The `k` of `LIMIT k`.
+    pub limit: usize,
+    /// Store rows touched by the scan — O(k), customer-count independent.
+    pub store_rows_scanned: u64,
+    /// Peak rows the executor held materialized (max across repetitions).
+    pub peak_rows_resident: u64,
+    /// Mean simulated response time (ms).
+    pub view_scan_ms: Summary,
+    /// Mean wall-clock response time (ms).
+    pub view_scan_wall_ms: Summary,
+}
+
+/// Runs the LIMIT-bearing micro-query at every scale: demonstrates that the
+/// streaming pipeline makes `LIMIT k` response independent of database size
+/// (store rows scanned stays at `k` while the database grows).
+pub fn fig10_limit(customer_scales: &[u64], limit: usize, reps: u64) -> Vec<Fig10LimitRow> {
+    let mut rows = Vec::new();
+    for &customers in customer_scales {
+        let bench = MicroBench::build(customers).expect("micro benchmark builds");
+        let mut sim_samples = Vec::new();
+        let mut wall_samples = Vec::new();
+        let mut store_rows_scanned = 0u64;
+        let mut peak_rows_resident = 0u64;
+        for _ in 0..reps {
+            let m = bench.measure_limit(limit).expect("limit measurement succeeds");
+            sim_samples.push(m.view_scan.as_millis_f64());
+            wall_samples.push(m.view_scan_wall.as_secs_f64() * 1_000.0);
+            store_rows_scanned = store_rows_scanned.max(m.store_rows_scanned);
+            peak_rows_resident = peak_rows_resident.max(m.peak_rows_resident as u64);
+        }
+        rows.push(Fig10LimitRow {
+            customers,
+            limit,
+            store_rows_scanned,
+            peak_rows_resident,
+            view_scan_ms: Summary::of(&sim_samples),
+            view_scan_wall_ms: Summary::of(&wall_samples),
+        });
     }
     rows
 }
@@ -467,6 +526,15 @@ mod tests {
         let rows = fig10_micro(&[30], 2);
         assert_eq!(rows.len(), 2);
         assert!(rows.iter().all(|r| r.speedup > 1.0));
+        assert!(rows.iter().all(|r| r.view_peak_rows > 0 && r.join_peak_rows > 0));
+    }
+
+    #[test]
+    fn fig10_limit_scan_rows_are_scale_independent() {
+        let rows = fig10_limit(&[25, 100], 8, 1);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.store_rows_scanned == 8));
+        assert_eq!(rows[0].store_rows_scanned, rows[1].store_rows_scanned);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! benches and the `report` binary, in seconds instead of minutes.
 
 use bench::{
-    ablation_lock_granularity, comparison_matrix, fig10_micro, fig11_lock_overhead,
+    ablation_lock_granularity, comparison_matrix, fig10_limit, fig10_micro, fig11_lock_overhead,
     fig13_mechanisms, table1_qualitative, table3_sizes,
 };
 
@@ -22,6 +22,15 @@ fn fig10_micro_runs_and_views_beat_joins() {
             row.query,
             row.speedup
         );
+    }
+}
+
+#[test]
+fn fig10_limit_companion_is_o_of_k() {
+    let rows = fig10_limit(&[25, 50], 10, 1);
+    assert_eq!(rows.len(), 2);
+    for row in &rows {
+        assert_eq!(row.store_rows_scanned, 10, "{} customers", row.customers);
     }
 }
 

@@ -41,9 +41,9 @@ impl Default for ClusterConfig {
     }
 }
 
-struct TableState {
-    schema: TableSchema,
-    regions: RwLock<Vec<Region>>,
+pub(crate) struct TableState {
+    pub(crate) schema: TableSchema,
+    pub(crate) regions: RwLock<Vec<Region>>,
 }
 
 /// The simulated HBase-class cluster.
@@ -105,8 +105,21 @@ impl Cluster {
         self.inner.next_timestamp.fetch_add(1, Ordering::SeqCst)
     }
 
-    fn charge(&self, cost: SimDuration) {
+    pub(crate) fn charge(&self, cost: SimDuration) {
         self.inner.clock.charge(cost);
+    }
+
+    /// Records one page of streamed scan rows in the operation counters
+    /// (the per-scan `scans` count is bumped once, at cursor creation).
+    pub(crate) fn record_scan_page(&self, rows: u64, bytes: u64) {
+        let mut counters = self.inner.counters.lock();
+        counters.scanned_rows += rows;
+        counters.scanned_bytes += bytes;
+    }
+
+    /// Bumps the scan counter (one per opened cursor).
+    pub(crate) fn record_scan_open(&self) {
+        self.inner.counters.lock().scans += 1;
     }
 
     fn pick_server(&self) -> RegionServerId {
@@ -166,7 +179,7 @@ impl Cluster {
         Ok(self.table(name)?.schema.clone())
     }
 
-    fn table(&self, name: &str) -> StoreResult<Arc<TableState>> {
+    pub(crate) fn table(&self, name: &str) -> StoreResult<Arc<TableState>> {
         self.inner
             .tables
             .read()
@@ -338,39 +351,13 @@ impl Cluster {
     /// Scans rows in key order across all regions intersecting the range.
     /// Charges scanner-open per region plus per-batch/per-row/per-byte
     /// streaming costs.
+    ///
+    /// This is a thin collect wrapper over [`Cluster::scan_stream`]; callers
+    /// that do not need the whole result materialized should pull the cursor
+    /// directly.  Like an HBase scanner, the stream is row-atomic but pages
+    /// through the table without holding a table-wide lock.
     pub fn scan(&self, table: &str, scan: Scan) -> StoreResult<Vec<ResultRow>> {
-        let state = self.table(table)?;
-        let regions = state.regions.read();
-        let limit = if scan.limit == 0 { usize::MAX } else { scan.limit };
-        let mut rows = Vec::new();
-        let mut regions_touched = 0u64;
-        for region in regions.iter() {
-            if rows.len() >= limit {
-                break;
-            }
-            // Skip regions entirely outside the scan range.
-            if !scan.stop.is_empty() && !region.start.is_empty() && region.start >= scan.stop {
-                continue;
-            }
-            if !scan.start.is_empty() && !region.end.is_empty() && region.end <= scan.start {
-                continue;
-            }
-            regions_touched += 1;
-            let mut batch = region.scan(&scan, limit - rows.len())?;
-            rows.append(&mut batch);
-        }
-        drop(regions);
-        let bytes: usize = rows.iter().map(ResultRow::byte_size).sum();
-        let model = self.cost_model();
-        let cost = model.scan_open * regions_touched.max(1)
-            + model.scan_cost(rows.len() as u64, bytes as u64)
-            - model.scan_open;
-        self.charge(cost);
-        let mut counters = self.inner.counters.lock();
-        counters.scans += 1;
-        counters.scanned_rows += rows.len() as u64;
-        counters.scanned_bytes += bytes as u64;
-        Ok(rows)
+        Ok(self.scan_stream(table, scan)?.collect())
     }
 
     /// Number of rows currently stored in a table.

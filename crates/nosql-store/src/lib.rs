@@ -40,6 +40,7 @@
 
 mod cell;
 mod cluster;
+mod cursor;
 mod error;
 pub mod intern;
 mod metrics;
@@ -50,6 +51,7 @@ mod wal;
 
 pub use cell::{Bytes, Cell, CellCoord, Timestamp};
 pub use cluster::{Cluster, ClusterConfig};
+pub use cursor::{ScanCursor, SCAN_PAGE_ROWS};
 pub use error::{StoreError, StoreResult};
 pub use metrics::{ClusterMetrics, OpCounters, TableMetrics};
 pub use region::{Region, RegionId, RegionServerId};

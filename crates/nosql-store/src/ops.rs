@@ -269,6 +269,11 @@ pub struct Scan {
     pub limit: usize,
     /// If set, only versions written at or before this timestamp are visible.
     pub time_bound: Option<Timestamp>,
+    /// If non-empty, only these `(family, qualifier)` columns are returned
+    /// (server-side projection pushed into the region walk).  Filters still
+    /// see the whole row; rows with none of the requested columns are
+    /// skipped, mirroring [`Get::columns`].
+    pub columns: Vec<(String, String)>,
 }
 
 impl Scan {
@@ -317,6 +322,19 @@ impl Scan {
     /// Caps the number of returned rows.
     pub fn with_limit(mut self, limit: usize) -> Self {
         self.limit = limit;
+        self
+    }
+
+    /// Restricts the returned cells to a single column (may be chained).
+    pub fn column(mut self, family: impl Into<String>, qualifier: impl Into<String>) -> Self {
+        self.columns.push((family.into(), qualifier.into()));
+        self
+    }
+
+    /// Restricts the returned cells to the given `(family, qualifier)`
+    /// columns (replacing any previous projection; empty = all columns).
+    pub fn with_columns(mut self, columns: Vec<(String, String)>) -> Self {
+        self.columns = columns;
         self
     }
 

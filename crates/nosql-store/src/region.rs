@@ -210,20 +210,40 @@ impl Region {
         Ok(matches)
     }
 
+    /// Resolves a `(family, qualifier)` projection to interned column keys
+    /// once per call site, so the per-cell membership check is two pointer
+    /// compares instead of string comparisons.  `None` = no projection.
+    /// Names never interned cannot match any stored column and are dropped
+    /// (an all-unknown projection still projects to nothing, it does not
+    /// fall back to "everything").
+    pub(crate) fn resolve_projection(columns: &[(String, String)]) -> Option<Vec<ColKey>> {
+        if columns.is_empty() {
+            return None;
+        }
+        Some(
+            columns
+                .iter()
+                .filter_map(|(f, q)| ColKey::lookup(f, q))
+                .collect(),
+        )
+    }
+
     fn visible_cells(
         row: &RowData,
-        columns: &[(String, String)],
+        projection: Option<&[ColKey]>,
         max_versions: usize,
         time_bound: Option<Timestamp>,
     ) -> Vec<Cell> {
         let mut cells = Vec::with_capacity(row.columns.len());
         for (col, versions) in &row.columns {
-            if !columns.is_empty()
-                && !columns
-                    .iter()
-                    .any(|(f, q)| f.as_str() == &*col.family && q.as_str() == &*col.qualifier)
-            {
-                continue;
+            if let Some(cols) = projection {
+                // Interned names are unique, so pointer equality suffices.
+                if !cols.iter().any(|c| {
+                    Arc::ptr_eq(&c.family, &col.family)
+                        && Arc::ptr_eq(&c.qualifier, &col.qualifier)
+                }) {
+                    continue;
+                }
             }
             let mut taken = 0;
             for (Reverse(ts), value) in versions.iter() {
@@ -250,7 +270,9 @@ impl Region {
     /// Applies a [`Get`]; returns the row if it exists and has visible cells.
     pub fn get(&self, get: &Get) -> Option<ResultRow> {
         let row = self.rows.get(&get.row)?;
-        let cells = Self::visible_cells(row, &get.columns, get.max_versions, get.time_bound);
+        let projection = Self::resolve_projection(&get.columns);
+        let cells =
+            Self::visible_cells(row, projection.as_deref(), get.max_versions, get.time_bound);
         if cells.is_empty() {
             return None;
         }
@@ -260,28 +282,50 @@ impl Region {
         })
     }
 
-    fn filter_matches(row_key: &[u8], cells: &[Cell], filter: &Filter) -> bool {
+    /// Newest version of one column visible at or before `bound`
+    /// (`None` bound = newest overall).
+    fn newest_visible<'a>(
+        row: &'a RowData,
+        family: &str,
+        qualifier: &str,
+        bound: Option<Timestamp>,
+    ) -> Option<&'a Arc<[u8]>> {
+        let col = ColKey::lookup(family, qualifier)?;
+        let versions = row.columns.get(&col)?;
+        match bound {
+            None => versions.first_key_value().map(|(_, v)| v),
+            // Keys sort by `Reverse(ts)`, so `Reverse(bound)..` walks the
+            // versions with `ts <= bound`, newest first.
+            Some(bound) => versions.range(Reverse(bound)..).next().map(|(_, v)| v),
+        }
+    }
+
+    /// Evaluates a scan filter against the stored row itself (not the
+    /// returned cells), so a column projection never hides the filtered
+    /// column from the filter.
+    fn filter_matches(
+        row_key: &[u8],
+        row: &RowData,
+        filter: &Filter,
+        bound: Option<Timestamp>,
+    ) -> bool {
         match filter {
             Filter::ColumnEquals {
                 family,
                 qualifier,
                 value,
-            } => cells
-                .iter()
-                .filter(|c| &*c.family == family.as_str() && &*c.qualifier == qualifier.as_str())
-                .max_by_key(|c| c.timestamp)
-                .is_some_and(|c| c.value[..] == value[..]),
+            } => Self::newest_visible(row, family, qualifier, bound)
+                .is_some_and(|v| v[..] == value[..]),
             Filter::ColumnNotEquals {
                 family,
                 qualifier,
                 value,
-            } => cells
-                .iter()
-                .filter(|c| &*c.family == family.as_str() && &*c.qualifier == qualifier.as_str())
-                .max_by_key(|c| c.timestamp)
-                .is_some_and(|c| c.value[..] != value[..]),
+            } => Self::newest_visible(row, family, qualifier, bound)
+                .is_some_and(|v| v[..] != value[..]),
             Filter::RowPrefix(prefix) => row_key.starts_with(prefix),
-            Filter::And(filters) => filters.iter().all(|f| Self::filter_matches(row_key, cells, f)),
+            Filter::And(filters) => filters
+                .iter()
+                .all(|f| Self::filter_matches(row_key, row, f, bound)),
         }
     }
 
@@ -290,30 +334,54 @@ impl Region {
     /// `remaining_limit` is the number of rows the overall scan may still
     /// return (`usize::MAX` when unlimited).
     pub fn scan(&self, scan: &Scan, remaining_limit: usize) -> StoreResult<Vec<ResultRow>> {
+        let projection = Self::resolve_projection(&scan.columns);
+        let mut out = Vec::new();
+        self.scan_page(scan, projection.as_deref(), None, remaining_limit, &mut out)?;
+        Ok(out)
+    }
+
+    /// One page of a [`Scan`]: appends up to `max_rows` matching rows whose
+    /// key is strictly greater than `resume_after` (when given) to `out`.
+    /// `projection` is the scan's column projection pre-resolved by
+    /// [`Region::resolve_projection`] (once per cursor, not per page).
+    ///
+    /// This is the primitive [`crate::ScanCursor`] pulls on: the cursor
+    /// re-locates the right region per page via the resume key, so scans
+    /// survive region splits between pages without rescanning.
+    pub(crate) fn scan_page(
+        &self,
+        scan: &Scan,
+        projection: Option<&[ColKey]>,
+        resume_after: Option<&[u8]>,
+        max_rows: usize,
+        out: &mut Vec<ResultRow>,
+    ) -> StoreResult<()> {
         if !scan.start.is_empty() && !scan.stop.is_empty() && scan.start > scan.stop {
             return Err(StoreError::InvalidRange);
         }
-        let lower: Bound<&Bytes> = if scan.start.is_empty() {
+        let lower: Bound<&[u8]> = match resume_after {
+            Some(after) if scan.start.is_empty() || after >= scan.start.as_slice() => {
+                Bound::Excluded(after)
+            }
+            _ if scan.start.is_empty() => Bound::Unbounded,
+            _ => Bound::Included(scan.start.as_slice()),
+        };
+        let upper: Bound<&[u8]> = if scan.stop.is_empty() {
             Bound::Unbounded
         } else {
-            Bound::Included(&scan.start)
+            Bound::Excluded(scan.stop.as_slice())
         };
-        let upper: Bound<&Bytes> = if scan.stop.is_empty() {
-            Bound::Unbounded
-        } else {
-            Bound::Excluded(&scan.stop)
-        };
-        let mut out = Vec::new();
-        for (key, row) in self.rows.range::<Bytes, _>((lower, upper)) {
-            if out.len() >= remaining_limit {
+        let mut taken = 0;
+        for (key, row) in self.rows.range::<[u8], _>((lower, upper)) {
+            if taken >= max_rows {
                 break;
             }
-            let cells = Self::visible_cells(row, &[], 1, scan.time_bound);
+            let cells = Self::visible_cells(row, projection, 1, scan.time_bound);
             if cells.is_empty() {
                 continue;
             }
             if let Some(filter) = &scan.filter {
-                if !Self::filter_matches(key, &cells, filter) {
+                if !Self::filter_matches(key, row, filter, scan.time_bound) {
                     continue;
                 }
             }
@@ -321,8 +389,9 @@ impl Region {
                 key: key.clone(),
                 cells,
             });
+            taken += 1;
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Drops excess cell versions in every row, per the schema's

@@ -10,6 +10,19 @@
 //! latency the paper identifies as the reason joins are slow in a NoSQL
 //! store (§III).
 //!
+//! # Streaming execution
+//!
+//! A SELECT is evaluated as a **pull-based operator tree** over lazy
+//! [`RowStream`]s: store scans are [`nosql_store::ScanCursor`]s that page
+//! through regions on demand, decode (with projection pushed into both the
+//! store scan and the decoder), filtering, and hash-join probing all wrap
+//! the upstream iterator, and only the operators that fundamentally need
+//! state — hash-join build sides, GROUP BY, ORDER BY — materialize rows.
+//! ORDER BY + LIMIT uses a bounded top-k heap, and a `LIMIT k` statement
+//! stops pulling its source after `k` output rows, so it decodes
+//! O(k + build-side) rows instead of the whole database.  Row limits with
+//! no downstream filtering are pushed all the way into the store scan.
+//!
 //! # Allocation discipline
 //!
 //! The read path resolves every column reference to an interned
@@ -22,6 +35,7 @@
 
 use crate::catalog::{Catalog, TableDef, FAMILY};
 use crate::result::{QueryError, QueryResult};
+use crate::stream::{collect_stream, top_k, Residency, RowStream};
 use nosql_store::ops::{Get, Scan};
 use nosql_store::Cluster;
 use relational::{encode_key, intern, Row, Symbol, Value, KEY_DELIMITER};
@@ -29,6 +43,7 @@ use sql::{
     AggregateFunction, ColumnRef, Comparison, Condition, Expr, SelectItem, SelectStatement,
     Statement,
 };
+use std::cmp::Ordering;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
@@ -84,25 +99,48 @@ pub(crate) enum BoundOperand {
     Column(ColumnRef, Symbol),
 }
 
-/// A hash-join key borrowed from a row; the single-condition case (all of
-/// TPC-W's joins) carries the value reference inline instead of allocating a
-/// per-row vector.
-#[derive(PartialEq, Eq, Hash)]
-enum JoinKey<'a> {
-    One(&'a Value),
-    Many(Vec<&'a Value>),
+/// A hash-join key; the single-condition case (all of TPC-W's joins)
+/// carries the value inline instead of allocating a per-row vector.  Keys
+/// own their values so the build map can outlive the probe stream's
+/// borrows; TPC-W join keys are integers, so the clone is a copy.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum JoinKey {
+    One(Value),
+    Many(Vec<Value>),
 }
 
-impl<'a> JoinKey<'a> {
+impl JoinKey {
     /// Extracts the join key of `row`; `None` if any key column is absent.
-    fn of(row: &'a Row, syms: &[Symbol]) -> Option<JoinKey<'a>> {
+    fn of(row: &Row, syms: &[Symbol]) -> Option<JoinKey> {
         match syms {
-            [sym] => row.get_interned(sym).map(JoinKey::One),
+            [sym] => row.get_interned(sym).cloned().map(JoinKey::One),
             _ => syms
                 .iter()
-                .map(|sym| row.get_interned(sym))
-                .collect::<Option<Vec<&Value>>>()
+                .map(|sym| row.get_interned(sym).cloned())
+                .collect::<Option<Vec<Value>>>()
                 .map(JoinKey::Many),
+        }
+    }
+}
+
+/// Everything needed to decode one alias's stored rows into relational
+/// rows, resolved once per statement and moved into the scan stream's
+/// closure: the projection mask and (for multi-table statements) the
+/// alias-qualified output symbols.
+struct DecodePlan<'a> {
+    def: &'a TableDef,
+    qual_syms: Option<Vec<Symbol>>,
+    mask: Option<Vec<bool>>,
+}
+
+impl DecodePlan<'_> {
+    fn decode(&self, stored: &nosql_store::ResultRow) -> Row {
+        match &self.qual_syms {
+            Some(syms) => self.def.decode_row_qualified(stored, syms, self.mask.as_deref()),
+            None => match &self.mask {
+                Some(mask) => self.def.decode_row_projected(stored, mask),
+                None => self.def.decode_row(stored),
+            },
         }
     }
 }
@@ -174,7 +212,37 @@ impl Executor {
     // SELECT
     // ------------------------------------------------------------------
 
+    /// Retry shell around [`Executor::stream_select`]: a streamed scan that
+    /// observes a dirty marker aborts the whole pipeline with
+    /// [`QueryError::DirtyRestart`] (nothing has been emitted yet — results
+    /// only leave the pipeline at the end), and the statement restarts,
+    /// implementing the read-committed protocol of paper §VIII-C.
     fn execute_select(
+        &self,
+        select: &SelectStatement,
+        params: &[Value],
+    ) -> Result<QueryResult, QueryError> {
+        let mut attempts = 0;
+        loop {
+            match self.stream_select(select, params) {
+                Err(QueryError::DirtyRestart) => {
+                    attempts += 1;
+                    if attempts > DIRTY_RETRY_LIMIT {
+                        return Err(QueryError::DirtyReadRetriesExhausted);
+                    }
+                    // Give the in-flight update a chance to finish.
+                    std::thread::yield_now();
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Plans and runs one SELECT as a pull-based operator pipeline:
+    /// scan → projected decode → filter → hash joins (build side
+    /// materialized, probe side streamed) → residual filter → aggregate /
+    /// top-k / take → project.
+    fn stream_select(
         &self,
         select: &SelectStatement,
         params: &[Value],
@@ -191,9 +259,9 @@ impl Executor {
             aliases.push((table_ref.alias.clone(), def.clone()));
         }
 
-        // Track which conditions are fully enforced before the residual
-        // pass: every single-alias filter is applied during its alias fetch,
-        // and every equi-join condition is enforced exactly by the hash join
+        // Track which conditions are fully enforced inside the pipeline:
+        // every single-alias filter is applied on its alias's stream, and
+        // every equi-join condition is enforced exactly by the hash join
         // that consumes it.  Whatever remains (cross-alias `<>`, range
         // predicates over joined columns, ...) is evaluated per joined row.
         let mut consumed = vec![false; conditions.len()];
@@ -205,18 +273,14 @@ impl Executor {
             }
         }
 
-        // Greedy join order: start with the alias that has the most
-        // selective access path, then repeatedly add an alias connected by a
-        // join condition.
+        // Greedy join order, planned up front (before any stream exists):
+        // start with the alias that has the most selective access path, then
+        // repeatedly add an alias connected by a join condition.
         let mut remaining: Vec<usize> = (0..aliases.len()).collect();
         let start = self.pick_start_alias(&aliases, &conditions, select);
         remaining.retain(|&i| i != start);
-
-        let (alias, def) = &aliases[start];
-        let mut joined_aliases = vec![alias.clone()];
-        let mut intermediate =
-            self.fetch_alias_rows(alias, def, &conditions, select, aliases.len() == 1)?;
-
+        let mut joined_aliases = vec![aliases[start].0.clone()];
+        let mut join_steps: Vec<(usize, Vec<usize>)> = Vec::new();
         while !remaining.is_empty() {
             // Find a remaining alias connected to what we have joined so far.
             let next_pos = remaining
@@ -228,18 +292,15 @@ impl Executor {
                 })
                 .unwrap_or(0);
             let idx = remaining.remove(next_pos);
-            let (next_alias, next_def) = &aliases[idx];
-            let join_conds: Vec<&BoundCondition> =
-                join_conditions_between(&conditions, next_alias, &joined_aliases)
-                    .map(|(i, c)| {
-                        consumed[i] = true;
-                        c
-                    })
+            let cond_idxs: Vec<usize> =
+                join_conditions_between(&conditions, &aliases[idx].0, &joined_aliases)
+                    .map(|(i, _)| i)
                     .collect();
-            let right_rows = self.fetch_alias_rows(next_alias, next_def, &conditions, select, false)?;
-            intermediate =
-                self.hash_join(intermediate, right_rows, next_alias, &join_conds);
-            joined_aliases.push(next_alias.clone());
+            for &i in &cond_idxs {
+                consumed[i] = true;
+            }
+            joined_aliases.push(aliases[idx].0.clone());
+            join_steps.push((idx, cond_idxs));
         }
 
         // Residual conditions: anything not consumed above.
@@ -249,26 +310,92 @@ impl Executor {
             .filter(|(i, _)| !consumed[*i])
             .map(|(_, c)| c)
             .collect();
-        let rows: Vec<Row> = if residual.is_empty() {
-            intermediate
+
+        let meter = Residency::default();
+        let single_table = aliases.len() == 1;
+        let has_group = select.has_aggregates() || !select.group_by.is_empty();
+        // Store-level LIMIT pushdown: safe only when no downstream operator
+        // can drop or reorder rows, i.e. a bare single-table `LIMIT k`.
+        // Every other shape still benefits from stream laziness (the source
+        // stops being pulled after `k` output rows).
+        let store_limit = if single_table
+            && conditions.is_empty()
+            && residual.is_empty()
+            && select.order_by.is_empty()
+            && !has_group
+        {
+            select.limit.unwrap_or(0)
         } else {
-            intermediate
-                .into_iter()
-                .filter(|row| residual.iter().all(|c| evaluate_condition(row, c)))
-                .collect()
+            0
         };
 
-        let rows = self.apply_group_and_aggregates(select, rows)?;
-        let mut rows = apply_order_by(select, rows);
-        if let Some(limit) = select.limit {
-            rows.truncate(limit);
-        }
-        let rows = project(select, rows);
+        // Source: the start alias's scan/get stream.
+        let (start_alias, start_def) = &aliases[start];
+        let mut stream: RowStream<'_> =
+            self.alias_stream(start_alias, start_def, &conditions, select, single_table, store_limit)?;
 
+        // Hash joins: each step materializes its build side (the newly
+        // joined alias) and streams the probe side through it.
+        for (idx, cond_idxs) in &join_steps {
+            let (next_alias, next_def) = &aliases[*idx];
+            let join_conds: Vec<&BoundCondition> =
+                cond_idxs.iter().map(|&i| &conditions[i]).collect();
+            let right_stream =
+                self.alias_stream(next_alias, next_def, &conditions, select, false, 0)?;
+            let right_rows = collect_stream(right_stream, &meter)?;
+            stream = self.hash_join_stream(stream, right_rows, next_alias, join_conds);
+        }
+
+        if !residual.is_empty() {
+            stream = Box::new(stream.filter(move |row| match row {
+                Ok(row) => residual.iter().all(|c| evaluate_condition(row, c)),
+                Err(_) => true,
+            }));
+        }
+
+        let rows: Vec<Row> = if has_group {
+            // Aggregation needs the whole input; ORDER BY + LIMIT then act
+            // on the (small) per-group output.
+            let input = collect_stream(stream, &meter)?;
+            let mut rows = self.apply_group_and_aggregates(select, input)?;
+            rows = apply_order_by(select, rows);
+            if let Some(limit) = select.limit {
+                rows.truncate(limit);
+            }
+            rows
+        } else if !select.order_by.is_empty() {
+            let cmp = order_comparator(select);
+            match select.limit {
+                // Bounded top-k heap: k rows resident instead of the full
+                // input, and the heap short-circuits nothing upstream only
+                // because ORDER BY inherently needs every input row.
+                Some(limit) => top_k(stream, limit, cmp, &meter)?,
+                None => {
+                    let mut rows = collect_stream(stream, &meter)?;
+                    rows.sort_by(|a, b| cmp(a, b));
+                    rows
+                }
+            }
+        } else if let Some(limit) = select.limit {
+            // Plain LIMIT: stop pulling the pipeline after `limit` rows.
+            // The bound is checked *before* each pull — pulling one row past
+            // the limit could fetch (and charge) a whole extra store page.
+            let mut rows = Vec::with_capacity(limit.min(1_024));
+            while rows.len() < limit {
+                let Some(row) = stream.next() else { break };
+                rows.push(row?);
+                meter.add(1);
+            }
+            rows
+        } else {
+            collect_stream(stream, &meter)?
+        };
+
+        let rows = project(select, rows);
         self.cluster
             .clock()
             .charge(self.cluster.cost_model().client_result_cost(rows.len() as u64));
-        Ok(QueryResult::with_rows(rows))
+        Ok(QueryResult::with_rows(rows).with_peak_rows_resident(meter.peak()))
     }
 
     /// Chooses the starting alias for the join order: prefer one whose access
@@ -326,20 +453,26 @@ impl Executor {
         AccessPath::FullScan
     }
 
-    /// Fetches the rows of one alias, applying its single-alias filters, and
-    /// returns them with attributes qualified as `alias.column` (bare names
-    /// when this is a single-table statement: [`Row::get`]'s suffix matching
-    /// makes qualified lookups work either way, so the extra qualification
-    /// pass — and the former duplicate bare+qualified entries — are skipped
-    /// entirely).
-    fn fetch_alias_rows(
-        &self,
+    /// Opens the stream of one alias's rows: the access path's scan cursor
+    /// (or point Get), mapped through dirty detection and projected decode,
+    /// filtered by the alias's single-alias conditions.  Attributes are
+    /// qualified as `alias.column` (bare names when this is a single-table
+    /// statement: [`Row::get`]'s suffix matching makes qualified lookups
+    /// work either way).
+    ///
+    /// A dirty marker observed anywhere in the stream surfaces as
+    /// [`QueryError::DirtyRestart`], which restarts the whole statement.
+    /// `store_limit` (0 = none) is pushed into the store scan when the
+    /// caller has proven no downstream operator drops rows.
+    fn alias_stream<'a>(
+        &'a self,
         alias: &str,
-        def: &TableDef,
-        conditions: &[BoundCondition],
-        select: &SelectStatement,
+        def: &'a TableDef,
+        conditions: &'a [BoundCondition],
+        select: &'a SelectStatement,
         single_table: bool,
-    ) -> Result<Vec<Row>, QueryError> {
+        store_limit: usize,
+    ) -> Result<RowStream<'a>, QueryError> {
         let eq_filters = single_alias_eq_filters(conditions, alias, def, &select.from);
         let path = self.plan_access(alias, def, conditions, select);
 
@@ -354,79 +487,74 @@ impl Executor {
                 .map(|(name, _)| intern::intern(&format!("{alias}.{name}")))
                 .collect()
         });
-        let decode = |stored: &nosql_store::ResultRow| -> Row {
-            match &qual_syms {
-                Some(syms) => def.decode_row_qualified(stored, syms, mask.as_deref()),
-                None => match &mask {
-                    Some(mask) => def.decode_row_projected(stored, mask),
-                    None => def.decode_row(stored),
-                },
-            }
-        };
+        let plan = DecodePlan { def, qual_syms, mask };
 
-        let mut rows = Vec::new();
-        let mut attempts = 0;
-        loop {
-            rows.clear();
-            let mut dirty_seen = false;
-            match &path {
-                AccessPath::KeyGet => {
-                    let key_row = Row::from_pairs(
-                        eq_filters.iter().map(|(k, v)| (k.as_str(), v.clone())),
-                    );
-                    let key = def.encode_row_key(&key_row);
-                    if let Some(stored) = self.cluster.get(&def.name, self.bounded_get(key))? {
+        let base: RowStream<'a> = match path {
+            AccessPath::KeyGet => {
+                let key_row = Row::from_pairs(
+                    eq_filters.iter().map(|(k, v)| (k.as_str(), v.clone())),
+                );
+                let key = def.encode_row_key(&key_row);
+                let row = match self.cluster.get(&def.name, self.bounded_get(key))? {
+                    Some(stored) => {
                         if self.is_dirty(&stored) {
-                            dirty_seen = true;
+                            return Err(QueryError::DirtyRestart);
                         }
-                        rows.push(decode(&stored));
+                        Some(plan.decode(&stored))
                     }
+                    None => None,
+                };
+                Box::new(row.into_iter().map(Ok))
+            }
+            AccessPath::KeyPrefixScan => {
+                let key_row = Row::from_pairs(
+                    eq_filters.iter().map(|(k, v)| (k.as_str(), v.clone())),
+                );
+                // Use as many leading key components as are bound.
+                let bound = def
+                    .key
+                    .iter()
+                    .take_while(|k| eq_filters.contains_key(*k))
+                    .count();
+                let mut prefix = def.encode_key_prefix(&key_row, bound);
+                if bound < def.key.len() {
+                    // Close the last bound component so that e.g. "42"
+                    // does not also match keys starting with "420".
+                    prefix.push(KEY_DELIMITER);
                 }
-                AccessPath::KeyPrefixScan => {
-                    let key_row = Row::from_pairs(
-                        eq_filters.iter().map(|(k, v)| (k.as_str(), v.clone())),
-                    );
-                    // Use as many leading key components as are bound.
-                    let bound = def
-                        .key
-                        .iter()
-                        .take_while(|k| eq_filters.contains_key(*k))
-                        .count();
-                    let mut prefix = def.encode_key_prefix(&key_row, bound);
-                    if bound < def.key.len() {
-                        // Close the last bound component so that e.g. "42"
-                        // does not also match keys starting with "420".
-                        prefix.push(KEY_DELIMITER);
+                let scan = Scan::prefix(prefix)
+                    .with_columns(self.scan_projection(def, plan.mask.as_deref()));
+                let cursor = self.cluster.scan_stream(&def.name, self.bounded_scan(scan))?;
+                Box::new(cursor.map(move |stored| {
+                    if self.is_dirty(&stored) {
+                        return Err(QueryError::DirtyRestart);
                     }
-                    for stored in self.cluster.scan(&def.name, self.bounded_scan(Scan::prefix(prefix)))? {
-                        if self.is_dirty(&stored) {
-                            dirty_seen = true;
-                        }
-                        rows.push(decode(&stored));
-                    }
+                    Ok(plan.decode(&stored))
+                }))
+            }
+            AccessPath::IndexScan { index } => {
+                let index_def = self
+                    .catalog
+                    .table(&index)
+                    .ok_or_else(|| QueryError::UnknownTable(index.clone()))?;
+                let filter_value = eq_filters
+                    .get(&index_def.key[0])
+                    .cloned()
+                    .unwrap_or(Value::Null);
+                let mut prefix = encode_key([&filter_value]);
+                if index_def.key.len() > 1 {
+                    // Match only complete values of the indexed column.
+                    prefix.push(KEY_DELIMITER);
                 }
-                AccessPath::IndexScan { index } => {
-                    let index_def = self
-                        .catalog
-                        .table(index)
-                        .ok_or_else(|| QueryError::UnknownTable(index.clone()))?;
-                    let filter_value = eq_filters
-                        .get(&index_def.key[0])
-                        .cloned()
-                        .unwrap_or(Value::Null);
-                    let mut prefix = encode_key([&filter_value]);
-                    if index_def.key.len() > 1 {
-                        // Match only complete values of the indexed column.
-                        prefix.push(KEY_DELIMITER);
-                    }
-                    let covered = needed
-                        .as_ref()
-                        .map(|needed| needed.iter().all(|c| index_def.column_type(c).is_some()))
-                        .unwrap_or_else(|| {
-                            def.columns
-                                .iter()
-                                .all(|(c, _)| index_def.column_type(c).is_some())
-                        });
+                let covered = needed
+                    .as_ref()
+                    .map(|needed| needed.iter().all(|c| index_def.column_type(c).is_some()))
+                    .unwrap_or_else(|| {
+                        def.columns
+                            .iter()
+                            .all(|(c, _)| index_def.column_type(c).is_some())
+                    });
+                if covered {
                     // The index table shares column names with the base
                     // table, so the same qualified-name table applies; its
                     // symbols are indexed by the *index* def's column order.
@@ -437,78 +565,103 @@ impl Executor {
                             .map(|(name, _)| intern::intern(&format!("{alias}.{name}")))
                             .collect()
                     });
-                    let index_mask = covered.then(|| column_mask(index_def, &needed)).flatten();
-                    for stored in self.cluster.scan(&index_def.name, self.bounded_scan(Scan::prefix(prefix)))? {
+                    let index_plan = DecodePlan {
+                        def: index_def,
+                        qual_syms: index_qual_syms,
+                        mask: column_mask(index_def, &needed),
+                    };
+                    let scan = Scan::prefix(prefix)
+                        .with_columns(self.scan_projection(index_def, index_plan.mask.as_deref()));
+                    let cursor =
+                        self.cluster.scan_stream(&index_def.name, self.bounded_scan(scan))?;
+                    Box::new(cursor.map(move |stored| {
                         if self.is_dirty(&stored) {
-                            dirty_seen = true;
+                            return Err(QueryError::DirtyRestart);
                         }
-                        if covered {
-                            rows.push(match &index_qual_syms {
-                                Some(syms) => index_def.decode_row_qualified(
-                                    &stored,
-                                    syms,
-                                    index_mask.as_deref(),
-                                ),
-                                None => match &index_mask {
-                                    Some(mask) => index_def.decode_row_projected(&stored, mask),
-                                    None => index_def.decode_row(&stored),
-                                },
-                            });
-                        } else {
-                            // Fetch the base row by primary key; the index
-                            // row is decoded bare (it only feeds key
-                            // encoding).
-                            let index_row = index_def.decode_row(&stored);
-                            let base_key = def.encode_row_key(&index_row);
-                            if let Some(base) = self.cluster.get(&def.name, self.bounded_get(base_key))? {
-                                if self.is_dirty(&base) {
-                                    dirty_seen = true;
+                        Ok(index_plan.decode(&stored))
+                    }))
+                } else {
+                    // Stream the index entries and look up each base row by
+                    // primary key as it is pulled; the index row is decoded
+                    // bare (it only feeds key encoding).
+                    let cursor = self
+                        .cluster
+                        .scan_stream(&index_def.name, self.bounded_scan(Scan::prefix(prefix)))?;
+                    Box::new(
+                        cursor
+                            .map(move |stored| -> Result<Option<Row>, QueryError> {
+                                if self.is_dirty(&stored) {
+                                    return Err(QueryError::DirtyRestart);
                                 }
-                                rows.push(decode(&base));
-                            }
-                        }
-                    }
+                                let index_row = index_def.decode_row(&stored);
+                                let base_key = def.encode_row_key(&index_row);
+                                match self.cluster.get(&def.name, self.bounded_get(base_key))? {
+                                    Some(base) => {
+                                        if self.is_dirty(&base) {
+                                            return Err(QueryError::DirtyRestart);
+                                        }
+                                        Ok(Some(plan.decode(&base)))
+                                    }
+                                    None => Ok(None),
+                                }
+                            })
+                            .filter_map(Result::transpose),
+                    )
                 }
-                AccessPath::FullScan => {
-                    for stored in self.cluster.scan(&def.name, self.bounded_scan(Scan::all()))? {
-                        if self.is_dirty(&stored) {
-                            dirty_seen = true;
-                        }
-                        rows.push(decode(&stored));
+            }
+            AccessPath::FullScan => {
+                let scan = Scan::all()
+                    .with_limit(store_limit)
+                    .with_columns(self.scan_projection(def, plan.mask.as_deref()));
+                let cursor = self.cluster.scan_stream(&def.name, self.bounded_scan(scan))?;
+                Box::new(cursor.map(move |stored| {
+                    if self.is_dirty(&stored) {
+                        return Err(QueryError::DirtyRestart);
                     }
-                }
+                    Ok(plan.decode(&stored))
+                }))
             }
-            if !dirty_seen || !self.dirty_protection {
-                break;
-            }
-            attempts += 1;
-            if attempts > DIRTY_RETRY_LIMIT {
-                return Err(QueryError::DirtyReadRetriesExhausted);
-            }
-            // Give the in-flight update a chance to finish before restarting.
-            std::thread::yield_now();
-        }
+        };
 
-        // Apply every single-alias filter (equality and range) now; residual
-        // multi-alias conditions are applied after the joins.
-        let from = &select.from;
+        // Apply every single-alias filter (equality and range) on the
+        // stream; residual multi-alias conditions are applied after joins.
         let single_alias_conds: Vec<&BoundCondition> = conditions
             .iter()
-            .filter(|c| condition_is_single_alias(c, alias, def, from))
+            .filter(|c| condition_is_single_alias(c, alias, def, &select.from))
             .collect();
-        let filtered: Vec<Row> = rows
-            .into_iter()
-            .filter(|row| {
-                single_alias_conds.iter().all(|c| {
-                    let left = row.get_interned(&c.left_sym);
-                    match (&c.right, left) {
-                        (BoundOperand::Value(v), Some(l)) => c.op.evaluate(l, v),
-                        _ => false,
-                    }
-                })
-            })
-            .collect();
-        Ok(filtered)
+        if single_alias_conds.is_empty() {
+            return Ok(base);
+        }
+        Ok(Box::new(base.filter(move |row| match row {
+            Ok(row) => single_alias_conds.iter().all(|c| {
+                let left = row.get_interned(&c.left_sym);
+                match (&c.right, left) {
+                    (BoundOperand::Value(v), Some(l)) => c.op.evaluate(l, v),
+                    _ => false,
+                }
+            }),
+            Err(_) => true,
+        })))
+    }
+
+    /// Pushes the statement's column projection into the store scan: only
+    /// the masked-in columns, the key columns (never null, so a projected
+    /// row is never empty at the store) and — under dirty protection — the
+    /// dirty marker are streamed back.  Empty = no projection (all columns).
+    fn scan_projection(&self, def: &TableDef, mask: Option<&[bool]>) -> Vec<(String, String)> {
+        let Some(mask) = mask else {
+            return Vec::new();
+        };
+        let mut columns: Vec<(String, String)> = Vec::new();
+        for (i, (name, _)) in def.columns.iter().enumerate() {
+            if mask[i] || def.key.iter().any(|k| k == name) {
+                columns.push((FAMILY.to_string(), name.clone()));
+            }
+        }
+        if self.dirty_protection {
+            columns.push((FAMILY.to_string(), DIRTY_MARKER.to_string()));
+        }
+        columns
     }
 
     /// Builds a Get honouring the executor's snapshot bound, if any.
@@ -519,8 +672,10 @@ impl Executor {
         }
     }
 
-    /// Applies the executor's snapshot bound to a scan, if any.
-    fn bounded_scan(&self, scan: Scan) -> Scan {
+    /// Applies the executor's snapshot bound to a scan, if any.  Public so
+    /// higher layers (e.g. Synergy view maintenance) can issue store scans
+    /// that cannot observe rows newer than the statement's snapshot.
+    pub fn bounded_scan(&self, scan: Scan) -> Scan {
         match self.snapshot {
             Some(ts) => scan.up_to(ts),
             None => scan,
@@ -534,41 +689,43 @@ impl Executor {
                 .is_some_and(|v| v == b"1")
     }
 
-    /// Client-side hash join between the current intermediate rows and the
-    /// rows of `right_alias`, on the given equi-join conditions.  Charges
-    /// shuffle cost for every intermediate row and probe cost per probe.
+    /// Client-side hash join: the build side (`right`, the newly joined
+    /// alias) is materialized and hashed; the probe side streams through it
+    /// row by row, so the intermediate result is never buffered.  Charges
+    /// shuffle cost per row on both sides and probe cost per probe —
+    /// identical totals to the former materialized join when the stream is
+    /// fully consumed, and strictly less when a LIMIT stops it early.
     ///
-    /// Both inputs are frozen first, so every emitted row shares its left
-    /// and right halves as `Arc` slices with the input rows (and with every
-    /// other output row built from them) instead of deep-cloning the entries.
-    fn hash_join(
-        &self,
-        mut left: Vec<Row>,
+    /// Both sides are frozen, so every emitted row shares its left and
+    /// right halves as `Arc` slices ([`Row::join_concat`]) with the input
+    /// rows instead of deep-cloning the entries.
+    fn hash_join_stream<'a>(
+        &'a self,
+        left: RowStream<'a>,
         mut right: Vec<Row>,
         right_alias: &str,
-        join_conds: &[&BoundCondition],
-    ) -> Vec<Row> {
+        join_conds: Vec<&BoundCondition>,
+    ) -> RowStream<'a> {
         let model = self.cluster.cost_model();
         self.cluster
             .clock()
-            .charge(model.shuffle_cost((left.len() + right.len()) as u64));
-
-        for row in &mut left {
-            row.freeze();
-        }
+            .charge(model.shuffle_cost(right.len() as u64));
         for row in &mut right {
             row.freeze();
         }
 
         if join_conds.is_empty() {
             // Cross join (rare; only used when the workload really asks for it).
-            let mut out = Vec::with_capacity(left.len() * right.len());
-            for l in &left {
-                for r in &right {
-                    out.push(l.join_concat(r));
+            return Box::new(left.flat_map(move |l| -> Vec<Result<Row, QueryError>> {
+                match l {
+                    Err(e) => vec![Err(e)],
+                    Ok(mut l) => {
+                        self.cluster.clock().charge(model.shuffle_cost(1));
+                        l.freeze();
+                        right.iter().map(|r| Ok(l.join_concat(r))).collect()
+                    }
                 }
-            }
-            return out;
+            }));
         }
 
         // Join-key symbols, resolved once per join instead of one
@@ -585,30 +742,35 @@ impl Executor {
             .map(|c| resolve_col(join_column_other_side(c, right_alias)))
             .collect();
 
-        // Build side: hash the right rows on the join attribute values
-        // (borrowed, not cloned; the common single-condition join avoids the
-        // per-row key vector entirely).
-        let mut build: HashMap<JoinKey<'_>, Vec<usize>> = HashMap::with_capacity(right.len());
+        // Build side: hash the right rows on the join attribute values.
+        let mut build: HashMap<JoinKey, Vec<usize>> = HashMap::with_capacity(right.len());
         for (i, row) in right.iter().enumerate() {
             if let Some(key) = JoinKey::of(row, &right_syms) {
                 build.entry(key).or_default().push(i);
             }
         }
 
-        self.cluster.clock().charge(model.probe_cost(left.len() as u64));
-
-        let mut out = Vec::new();
-        for l in &left {
-            let Some(key) = JoinKey::of(l, &left_syms) else {
-                continue;
-            };
-            if let Some(matches) = build.get(&key) {
-                for &i in matches {
-                    out.push(l.join_concat(&right[i]));
+        Box::new(left.flat_map(move |l| -> Vec<Result<Row, QueryError>> {
+            match l {
+                Err(e) => vec![Err(e)],
+                Ok(mut l) => {
+                    self.cluster
+                        .clock()
+                        .charge(model.shuffle_cost(1) + model.probe_cost(1));
+                    l.freeze();
+                    let Some(key) = JoinKey::of(&l, &left_syms) else {
+                        return Vec::new();
+                    };
+                    match build.get(&key) {
+                        Some(matches) => matches
+                            .iter()
+                            .map(|&i| Ok(l.join_concat(&right[i])))
+                            .collect(),
+                        None => Vec::new(),
+                    }
                 }
             }
-        }
-        out
+        }))
     }
 
     fn apply_group_and_aggregates(
@@ -976,18 +1138,15 @@ fn compute_aggregate(
     }
 }
 
-fn apply_order_by(select: &SelectStatement, mut rows: Vec<Row>) -> Vec<Row> {
-    if select.order_by.is_empty() {
-        return rows;
-    }
-    // Resolve the sort keys once; the comparator then runs without
-    // allocating or cloning values.
+/// The ORDER BY comparator with its sort keys resolved once; shared by the
+/// full sort and the bounded top-k operator.
+fn order_comparator(select: &SelectStatement) -> impl Fn(&Row, &Row) -> Ordering {
     let keys: Vec<(Symbol, bool)> = select
         .order_by
         .iter()
         .map(|key| (resolve_col(&key.column), key.descending))
         .collect();
-    rows.sort_by(|a, b| {
+    move |a: &Row, b: &Row| {
         for (sym, descending) in &keys {
             let av = a.get_interned(sym);
             let bv = b.get_interned(sym);
@@ -995,15 +1154,23 @@ fn apply_order_by(select: &SelectStatement, mut rows: Vec<Row>) -> Vec<Row> {
                 (Some(a), Some(b)) => a.cmp(b),
                 (Some(a), None) => a.cmp(&Value::Null),
                 (None, Some(b)) => Value::Null.cmp(b),
-                (None, None) => std::cmp::Ordering::Equal,
+                (None, None) => Ordering::Equal,
             };
             let ord = if *descending { ord.reverse() } else { ord };
-            if ord != std::cmp::Ordering::Equal {
+            if ord != Ordering::Equal {
                 return ord;
             }
         }
-        std::cmp::Ordering::Equal
-    });
+        Ordering::Equal
+    }
+}
+
+fn apply_order_by(select: &SelectStatement, mut rows: Vec<Row>) -> Vec<Row> {
+    if select.order_by.is_empty() {
+        return rows;
+    }
+    let cmp = order_comparator(select);
+    rows.sort_by(|a, b| cmp(a, b));
     rows
 }
 

@@ -44,6 +44,7 @@ pub mod baseline;
 mod catalog;
 mod executor;
 mod result;
+mod stream;
 mod writes;
 
 pub use catalog::{Catalog, ColumnType, TableDef, TableKind, FAMILY};

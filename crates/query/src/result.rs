@@ -4,12 +4,24 @@ use relational::Row;
 use std::fmt;
 
 /// The result of executing one SQL statement.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct QueryResult {
     /// Result rows (empty for write statements).
     pub rows: Vec<Row>,
     /// Number of rows affected by a write statement.
     pub rows_affected: usize,
+    /// Peak number of rows the streaming executor held materialized at once
+    /// while producing this result (hash-join build sides, aggregation
+    /// input, sort / top-k buffers and the emitted rows).  `0` for writes.
+    pub peak_rows_resident: usize,
+}
+
+/// Equality compares the logical result only; `peak_rows_resident` is
+/// execution instrumentation, not part of the answer.
+impl PartialEq for QueryResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows && self.rows_affected == other.rows_affected
+    }
 }
 
 impl QueryResult {
@@ -18,7 +30,14 @@ impl QueryResult {
         QueryResult {
             rows,
             rows_affected: 0,
+            peak_rows_resident: 0,
         }
+    }
+
+    /// Attaches the executor's peak-rows-resident measurement.
+    pub fn with_peak_rows_resident(mut self, peak: usize) -> Self {
+        self.peak_rows_resident = peak;
+        self
     }
 
     /// A result for a write affecting `n` rows.
@@ -26,6 +45,7 @@ impl QueryResult {
         QueryResult {
             rows: Vec::new(),
             rows_affected: n,
+            peak_rows_resident: 0,
         }
     }
 
@@ -62,6 +82,10 @@ pub enum QueryError {
     Store(String),
     /// A concurrent-update marker forced too many scan restarts.
     DirtyReadRetriesExhausted,
+    /// Internal: a streamed scan observed a dirty row; the executor restarts
+    /// the statement (callers only ever see
+    /// [`QueryError::DirtyReadRetriesExhausted`]).
+    DirtyRestart,
 }
 
 impl fmt::Display for QueryError {
@@ -77,6 +101,9 @@ impl fmt::Display for QueryError {
             QueryError::Store(s) => write!(f, "store error: {s}"),
             QueryError::DirtyReadRetriesExhausted => {
                 write!(f, "scan kept observing dirty rows; retries exhausted")
+            }
+            QueryError::DirtyRestart => {
+                write!(f, "internal: streamed scan observed a dirty row; restarting")
             }
         }
     }

@@ -1,0 +1,183 @@
+//! Streaming operator helpers for the pull-based executor pipeline.
+//!
+//! The executor evaluates a SELECT as a tree of lazy row iterators
+//! ([`RowStream`]): store scans decode rows on demand, filters and joins
+//! wrap the upstream iterator, and only the operators that fundamentally
+//! need materialization — hash-join build sides, GROUP BY state, ORDER BY
+//! buffers — hold rows.  [`Residency`] meters exactly those buffers so the
+//! memory footprint of a statement is measured, not asserted, and
+//! [`top_k`] keeps the ORDER BY + LIMIT buffer bounded at `k` rows.
+
+use crate::result::QueryError;
+use relational::Row;
+use std::cell::Cell;
+use std::cmp::Ordering;
+
+/// A pull-based stream of decoded rows.  Errors (store failures, dirty-row
+/// restarts) flow through the stream and abort the pipeline at the consumer.
+pub(crate) type RowStream<'a> = Box<dyn Iterator<Item = Result<Row, QueryError>> + 'a>;
+
+/// Counts the rows the executor holds materialized at once: hash-join build
+/// sides, aggregation input, sort / top-k buffers and the emitted result.
+/// `peak` is the statement's high-water mark, reported on the query result.
+#[derive(Debug, Default)]
+pub(crate) struct Residency {
+    current: Cell<usize>,
+    peak: Cell<usize>,
+}
+
+impl Residency {
+    /// Records `n` newly materialized rows.
+    pub(crate) fn add(&self, n: usize) {
+        let current = self.current.get() + n;
+        self.current.set(current);
+        if current > self.peak.get() {
+            self.peak.set(current);
+        }
+    }
+
+    /// The statement's high-water mark of resident rows.
+    pub(crate) fn peak(&self) -> usize {
+        self.peak.get()
+    }
+}
+
+/// Drains a stream into a vector, metering every collected row.
+pub(crate) fn collect_stream(
+    stream: RowStream<'_>,
+    meter: &Residency,
+) -> Result<Vec<Row>, QueryError> {
+    let mut out = Vec::new();
+    for row in stream {
+        out.push(row?);
+        meter.add(1);
+    }
+    Ok(out)
+}
+
+/// Bounded ORDER BY + LIMIT: selects the `k` smallest rows under `cmp`
+/// (ties resolved arbitrarily, like any top-k heap) and returns them sorted.
+///
+/// The buffer is a binary max-heap of at most `k` rows with the *worst*
+/// retained row at the root, so a `LIMIT k` query holds `k` rows resident
+/// instead of the full input — the replacement for sort-then-truncate.
+pub(crate) fn top_k(
+    stream: RowStream<'_>,
+    k: usize,
+    cmp: impl Fn(&Row, &Row) -> Ordering,
+    meter: &Residency,
+) -> Result<Vec<Row>, QueryError> {
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+    let mut heap: Vec<Row> = Vec::with_capacity(k);
+    for row in stream {
+        let row = row?;
+        if heap.len() < k {
+            heap.push(row);
+            meter.add(1);
+            let last = heap.len() - 1;
+            sift_up(&mut heap, last, &cmp);
+        } else if cmp(&row, &heap[0]) == Ordering::Less {
+            // Evict the worst retained row; residency stays at k.
+            heap[0] = row;
+            sift_down(&mut heap, 0, &cmp);
+        }
+    }
+    heap.sort_by(|a, b| cmp(a, b));
+    Ok(heap)
+}
+
+fn sift_up(heap: &mut [Row], mut i: usize, cmp: &impl Fn(&Row, &Row) -> Ordering) {
+    while i > 0 {
+        let parent = (i - 1) / 2;
+        if cmp(&heap[i], &heap[parent]) == Ordering::Greater {
+            heap.swap(i, parent);
+            i = parent;
+        } else {
+            break;
+        }
+    }
+}
+
+fn sift_down(heap: &mut [Row], mut i: usize, cmp: &impl Fn(&Row, &Row) -> Ordering) {
+    loop {
+        let left = 2 * i + 1;
+        let right = 2 * i + 2;
+        let mut largest = i;
+        if left < heap.len() && cmp(&heap[left], &heap[largest]) == Ordering::Greater {
+            largest = left;
+        }
+        if right < heap.len() && cmp(&heap[right], &heap[largest]) == Ordering::Greater {
+            largest = right;
+        }
+        if largest == i {
+            break;
+        }
+        heap.swap(i, largest);
+        i = largest;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(values: &[i64]) -> RowStream<'_> {
+        Box::new(values.iter().map(|v| Ok(Row::new().with("n", *v))))
+    }
+
+    fn by_n(a: &Row, b: &Row) -> Ordering {
+        a.get("n").unwrap().cmp(b.get("n").unwrap())
+    }
+
+    fn ns(rows: &[Row]) -> Vec<i64> {
+        rows.iter().map(|r| r.get("n").unwrap().as_int().unwrap()).collect()
+    }
+
+    #[test]
+    fn top_k_matches_sort_then_truncate() {
+        let values = [5i64, 1, 9, 3, 7, 3, 8, 0, 2, 6];
+        let meter = Residency::default();
+        let top = top_k(rows(&values), 4, by_n, &meter).unwrap();
+        assert_eq!(ns(&top), vec![0, 1, 2, 3]);
+        assert_eq!(meter.peak(), 4, "buffer bounded at k");
+    }
+
+    #[test]
+    fn top_k_handles_short_inputs_and_zero() {
+        let meter = Residency::default();
+        let top = top_k(rows(&[2, 1]), 10, by_n, &meter).unwrap();
+        assert_eq!(ns(&top), vec![1, 2]);
+        assert!(top_k(rows(&[1, 2]), 0, by_n, &meter).unwrap().is_empty());
+    }
+
+    #[test]
+    fn residency_tracks_the_peak() {
+        let meter = Residency::default();
+        meter.add(3);
+        meter.add(2);
+        assert_eq!(meter.peak(), 5);
+        meter.add(1);
+        assert_eq!(meter.peak(), 6);
+    }
+
+    #[test]
+    fn errors_propagate_through_collect_and_top_k() {
+        let failing: RowStream<'_> = Box::new(
+            [Ok(Row::new().with("n", 1)), Err(QueryError::DirtyRestart)].into_iter(),
+        );
+        let meter = Residency::default();
+        assert!(matches!(
+            collect_stream(failing, &meter),
+            Err(QueryError::DirtyRestart)
+        ));
+        let failing: RowStream<'_> = Box::new(
+            [Ok(Row::new().with("n", 1)), Err(QueryError::DirtyRestart)].into_iter(),
+        );
+        assert!(matches!(
+            top_k(failing, 5, by_n, &meter),
+            Err(QueryError::DirtyRestart)
+        ));
+    }
+}

@@ -174,6 +174,9 @@ impl ViewMaintainer {
         }
 
         // Prefer a maintenance index keyed on the relation's primary key.
+        // The scan rides the executor's snapshot bound (if any), so
+        // maintenance never observes index entries newer than the
+        // statement's snapshot.
         let index = self.view_indexes.iter().find(|i| {
             i.view == view_table && i.indexed_on == relation_pk
         });
@@ -188,35 +191,46 @@ impl ViewMaintainer {
                 .catalog()
                 .table(&index.name)
                 .ok_or_else(|| QueryError::UnknownTable(index.name.clone()))?;
-            if index_def.key.len() > relation_pk.len() {
+            // When the index key *is* the relation's primary key, the prefix
+            // is a full key: at most one entry can match, so the stream can
+            // stop at the first hit.
+            let full_key_match = index_def.key.len() == relation_pk.len();
+            if !full_key_match {
                 // Close the last component so item "42" does not also match
                 // view rows of items 420, 421, ...
                 prefix.push(KEY_DELIMITER);
             }
-            let stored = self
-                .executor
-                .cluster()
-                .scan(&index.name, Scan::prefix(prefix))?;
+            let cursor = self.executor.cluster().scan_stream(
+                &index.name,
+                self.executor.bounded_scan(Scan::prefix(prefix)),
+            )?;
             let mut out = Vec::new();
-            for entry in stored {
+            for entry in cursor {
                 let index_row = index_def.decode_row(&entry);
                 if let Some(view_row) = self.executor.get_row_by_key(&view_table, &index_row)? {
                     out.push(view_row);
+                }
+                if full_key_match {
+                    break;
                 }
             }
             return Ok(out);
         }
 
-        // Fall back to scanning the whole view and filtering client-side.
+        // Fall back to streaming the whole view and filtering client-side,
+        // under the executor's snapshot bound: maintenance must not observe
+        // view rows newer than the query snapshot.
         let view_def = self
             .executor
             .catalog()
             .table(&view_table)
             .ok_or_else(|| QueryError::UnknownTable(view_table.clone()))?;
-        let stored = self.executor.cluster().scan(&view_table, Scan::all())?;
-        Ok(stored
-            .iter()
-            .map(|s| view_def.decode_row(s))
+        let cursor = self
+            .executor
+            .cluster()
+            .scan_stream(&view_table, self.executor.bounded_scan(Scan::all()))?;
+        Ok(cursor
+            .map(|s| view_def.decode_row(&s))
             .filter(|row| {
                 relation_pk.iter().all(|a| {
                     match (row.get(a), relation_key.get(a)) {

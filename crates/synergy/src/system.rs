@@ -296,14 +296,13 @@ impl SynergySystem {
                 .catalog()
                 .table_ci(relation)
                 .ok_or_else(|| QueryError::UnknownTable(relation.clone()))?;
-            let stored = self
+            // Stream-decode: rows are decoded as the cursor pages through
+            // the table instead of buffering the raw store rows first.
+            let cursor = self
                 .cluster()
-                .scan(&def.name, nosql_store::ops::Scan::all())
+                .scan_stream(&def.name, nosql_store::ops::Scan::all())
                 .map_err(QueryError::from)?;
-            relation_rows.insert(
-                relation.clone(),
-                stored.iter().map(|s| def.decode_row(s)).collect(),
-            );
+            relation_rows.insert(relation.clone(), cursor.map(|s| def.decode_row(&s)).collect());
         }
 
         // Join along the path: parent → child on (pk = fk).

@@ -85,6 +85,10 @@ pub struct MicroMeasurement {
     pub join_wall: std::time::Duration,
     /// Number of result rows (identical for both evaluation strategies).
     pub result_rows: usize,
+    /// Peak rows the executor held materialized during the view scan.
+    pub view_peak_rows: usize,
+    /// Peak rows the executor held materialized during the join.
+    pub join_peak_rows: usize,
 }
 
 impl MicroMeasurement {
@@ -205,13 +209,81 @@ impl MicroBench {
             view_scan_wall,
             join_wall,
             result_rows: view_result.len(),
+            view_peak_rows: view_result.peak_rows_resident,
+            join_peak_rows: join_result.peak_rows_resident,
         })
     }
+
+    /// Measures Q1 with a `LIMIT` through the view-backed read path,
+    /// recording how many store rows the scan actually touched
+    /// ([`nosql_store::OpCounters::scanned_rows`] delta).  With the
+    /// streaming pipeline the limit rides the cursor all the way into the
+    /// region walk, so the count is O(limit) — independent of how many
+    /// customers are loaded.
+    pub fn measure_limit(&self, limit: usize) -> Result<LimitMeasurement, TxnError> {
+        let statement = parse_statement(&format!(
+            "SELECT * FROM Customer AS c, Orders AS o WHERE c.c_id = o.o_c_id LIMIT {limit}"
+        ))
+        .expect("limit query parses");
+        let clock = self.system.cluster().clock().clone();
+        let before = self.system.cluster().metrics().ops;
+        let wall_start = std::time::Instant::now();
+        let (result, view_scan): (Result<QueryResult, TxnError>, SimDuration) =
+            clock.measure(|| self.system.execute(&statement, &[]));
+        let view_scan_wall = wall_start.elapsed();
+        let result = result?;
+        let delta = self.system.cluster().metrics().ops.delta_since(&before);
+        Ok(LimitMeasurement {
+            customers: self.customers,
+            limit,
+            result_rows: result.len(),
+            store_rows_scanned: delta.scanned_rows,
+            peak_rows_resident: result.peak_rows_resident,
+            view_scan,
+            view_scan_wall,
+        })
+    }
+}
+
+/// One measurement of the LIMIT-bearing micro-query (Q1 with `LIMIT k`,
+/// answered through the materialized view).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LimitMeasurement {
+    /// Number of customers in the database.
+    pub customers: u64,
+    /// The `k` of `LIMIT k`.
+    pub limit: usize,
+    /// Rows returned (min of `limit` and the view's row count).
+    pub result_rows: usize,
+    /// Store rows the scan touched — O(limit) under the streaming pipeline.
+    pub store_rows_scanned: u64,
+    /// Peak rows the executor held materialized.
+    pub peak_rows_resident: usize,
+    /// Simulated response time.
+    pub view_scan: SimDuration,
+    /// Wall-clock response time.
+    pub view_scan_wall: std::time::Duration,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn limit_query_store_rows_are_customer_count_independent() {
+        let small = MicroBench::build(20).unwrap();
+        let large = MicroBench::build(80).unwrap();
+        let m_small = small.measure_limit(6).unwrap();
+        let m_large = large.measure_limit(6).unwrap();
+        assert_eq!(m_small.result_rows, 6);
+        assert_eq!(m_large.result_rows, 6);
+        assert_eq!(
+            m_small.store_rows_scanned, m_large.store_rows_scanned,
+            "LIMIT k must touch the same number of store rows at any scale"
+        );
+        assert_eq!(m_small.store_rows_scanned, 6, "limit is pushed into the store");
+        assert!(m_small.peak_rows_resident <= 6 + nosql_store::SCAN_PAGE_ROWS);
+    }
 
     #[test]
     fn micro_views_are_the_paper_views() {
