@@ -51,6 +51,19 @@ fn main() {
 
     let old = load(old_path);
     let new = load(new_path);
+    // Schema 2 reports carry the fig10 worker count; wall-clock deltas are
+    // only meaningful like-for-like, so refuse cross-thread-count diffs
+    // (schema 1 reports, which predate the field, count as 1 thread).
+    let threads_of =
+        |doc: &Json| doc.get("threads").and_then(Json::as_f64).unwrap_or(1.0) as u64;
+    let (old_threads, new_threads) = (threads_of(&old), threads_of(&new));
+    if old_threads != new_threads {
+        eprintln!(
+            "refusing to diff across thread counts: {old_path} ran at {old_threads} thread(s), \
+             {new_path} at {new_threads} — compare like-for-like reports"
+        );
+        std::process::exit(2);
+    }
     let (Some(Json::Obj(old_figures)), Some(Json::Obj(new_figures))) =
         (old.get("figures"), new.get("figures"))
     else {

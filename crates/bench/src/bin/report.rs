@@ -7,8 +7,12 @@
 //! cargo run --release -p bench --bin report -- all --json
 //! ```
 //!
-//! Available artifacts: `fig10`, `fig11`, `fig12`, `fig13`, `fig14`,
-//! `table1`, `table2`, `table3`, `ablation`, `all`.
+//! Available artifacts: `fig10`, `fig_par`, `fig11`, `fig12`, `fig13`,
+//! `fig14`, `table1`, `table2`, `table3`, `ablation`, `all`.
+//!
+//! `--threads N` runs the fig10 measurements with N region-parallel workers
+//! (`fig_par` always sweeps its own 1/2/4/8 axis); `--out PATH` redirects
+//! the `--json` report.
 //!
 //! With `--json`, the run additionally writes `BENCH_report.json` containing,
 //! per figure, both the **simulated** milliseconds of the cost model (the
@@ -18,19 +22,27 @@
 use bench::json::Json;
 use bench::{
     ablation_lock_granularity, comparison_matrix, fig10_limit, fig10_micro, fig11_lock_overhead,
-    fig13_mechanisms, fmt_mib, fmt_ms, table1_qualitative, table3_sizes, ComparisonMatrix,
-    Fig10LimitRow, Fig10Row, Fig11Row, LockAblationRow, DEFAULT_CUSTOMERS, DEFAULT_REPS,
+    fig13_mechanisms, fig_par, fmt_mib, fmt_ms, table1_qualitative, table3_sizes,
+    ComparisonMatrix, Fig10LimitRow, Fig10Row, Fig11Row, FigParRow, LockAblationRow,
+    DEFAULT_CUSTOMERS, DEFAULT_REPS,
 };
 use std::time::Instant;
 
 /// The `k` of the Figure 10 LIMIT companion query.
 const FIG10_LIMIT: usize = 50;
 
+/// The thread counts the fig_par sweep measures.
+const FIG_PAR_THREADS: [usize; 4] = [1, 2, 4, 8];
+
 struct Options {
     artifact: String,
     customers: u64,
     reps: u64,
+    /// Region-parallel worker count for the fig10 measurements (fig_par
+    /// sweeps its own axis regardless).
+    threads: usize,
     json: bool,
+    out: String,
 }
 
 fn parse_args() -> Options {
@@ -38,7 +50,9 @@ fn parse_args() -> Options {
         artifact: "all".to_string(),
         customers: DEFAULT_CUSTOMERS,
         reps: DEFAULT_REPS,
+        threads: 1,
         json: false,
+        out: "BENCH_report.json".to_string(),
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -51,6 +65,15 @@ fn parse_args() -> Options {
             "--reps" => {
                 i += 1;
                 options.reps = args[i].parse().expect("--reps takes a number");
+            }
+            "--threads" => {
+                i += 1;
+                options.threads = args[i].parse().expect("--threads takes a number");
+                options.threads = options.threads.max(1);
+            }
+            "--out" => {
+                i += 1;
+                options.out = args[i].clone();
             }
             "--json" => options.json = true,
             other if !other.starts_with("--") => options.artifact = other.to_string(),
@@ -73,11 +96,12 @@ fn main() {
     let artifact = options.artifact.as_str();
     println!("== Synergy reproduction report ==");
     println!(
-        "scale: {} customers ({} items, {} orders), {} repetitions per measurement",
+        "scale: {} customers ({} items, {} orders), {} repetitions per measurement, {} thread(s)",
         options.customers,
         options.customers * 10,
         options.customers * 10,
-        options.reps
+        options.reps,
+        options.threads
     );
     println!("all response times are simulated milliseconds (see DESIGN.md §7)\n");
 
@@ -97,19 +121,34 @@ fn main() {
     }
     if matches!(artifact, "fig10" | "all") {
         let start = Instant::now();
-        let rows = fig10_micro(&fig10_scales(options.customers), options.reps);
+        let rows = fig10_micro(&fig10_scales(options.customers), options.reps, options.threads);
         let elapsed = wall_ms(start);
         print_fig10(&rows);
         // The LIMIT companion is timed separately so `fig10.wall_ms` stays
         // comparable across report versions.
         let limit_start = Instant::now();
-        let limit_rows = fig10_limit(&fig10_scales(options.customers), FIG10_LIMIT, options.reps);
+        let limit_rows = fig10_limit(
+            &fig10_scales(options.customers),
+            FIG10_LIMIT,
+            options.reps,
+            options.threads,
+        );
         let limit_elapsed = wall_ms(limit_start);
         print_fig10_limit(&limit_rows);
         figures.push((
             "fig10".into(),
             fig10_json(&rows, elapsed, &limit_rows, limit_elapsed),
         ));
+    }
+    if matches!(artifact, "fig_par" | "all") {
+        // The sweep runs at the largest fig10 scale, where the view spans
+        // several regions and region-parallelism has shards to use.
+        let customers = fig10_scales(options.customers)[2];
+        let start = Instant::now();
+        let rows = fig_par(customers, &FIG_PAR_THREADS, options.reps);
+        let elapsed = wall_ms(start);
+        print_fig_par(&rows);
+        figures.push(("fig_par".into(), fig_par_json(&rows, elapsed)));
     }
     if matches!(artifact, "fig11" | "all") {
         let start = Instant::now();
@@ -155,15 +194,19 @@ fn main() {
     }
 
     if options.json {
+        // Schema 2: adds the top-level `threads` field (the fig10 worker
+        // count) so `bench_diff` can insist on like-for-like comparisons.
         let doc = Json::obj([
-            ("schema_version", Json::Int(1)),
+            ("schema_version", Json::Int(2)),
             ("artifact", Json::str(artifact)),
             ("customers", Json::Int(options.customers as i64)),
             ("reps", Json::Int(options.reps as i64)),
+            ("threads", Json::Int(options.threads as i64)),
             ("figures", Json::Obj(figures)),
         ]);
-        let path = "BENCH_report.json";
-        std::fs::write(path, doc.render() + "\n").expect("write BENCH_report.json");
+        let path = options.out.as_str();
+        std::fs::write(path, doc.render() + "\n")
+            .unwrap_or_else(|e| panic!("write {path}: {e}"));
         println!("wrote {path}");
     }
 }
@@ -222,6 +265,33 @@ fn fig10_json(
                             ),
                             ("view_sim_ms", Json::Num(r.view_scan_ms.mean)),
                             ("view_wall_ms", Json::Num(r.view_scan_wall_ms.mean)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn fig_par_json(rows: &[FigParRow], elapsed_ms: f64) -> Json {
+    Json::obj([
+        ("wall_ms", Json::Num(elapsed_ms)),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("threads", Json::Int(r.threads as i64)),
+                            ("customers", Json::Int(r.customers as i64)),
+                            ("view_sim_ms", Json::Num(r.view_scan_ms.mean)),
+                            ("join_sim_ms", Json::Num(r.join_ms.mean)),
+                            ("view_wall_ms", Json::Num(r.view_scan_wall_ms.mean)),
+                            ("join_wall_ms", Json::Num(r.join_wall_ms.mean)),
+                            ("sim_speedup", Json::Num(r.speedup)),
+                            ("wall_speedup", Json::Num(r.wall_speedup)),
+                            ("view_sim_x_vs_serial", Json::Num(r.view_sim_x_vs_serial)),
+                            ("view_wall_x_vs_serial", Json::Num(r.view_wall_x_vs_serial)),
                         ])
                     })
                     .collect(),
@@ -377,6 +447,35 @@ fn print_fig10_limit(rows: &[Fig10LimitRow]) {
         );
     }
     println!("(store rows scanned must stay at the limit while the database grows)\n");
+}
+
+fn print_fig_par(rows: &[FigParRow]) {
+    println!("--- fig_par: region-parallel execution sweep (Q2, deepest micro join) ---");
+    println!(
+        "{:>8} {:>10} {:>14} {:>14} {:>12} {:>15} {:>15} {:>13}",
+        "threads",
+        "customers",
+        "view sim (ms)",
+        "join sim (ms)",
+        "sim x vs 1t",
+        "view wall (ms)",
+        "join wall (ms)",
+        "wall x vs 1t"
+    );
+    for row in rows {
+        println!(
+            "{:>8} {:>10} {:>14} {:>14} {:>12} {:>15} {:>15} {:>13}",
+            row.threads,
+            row.customers,
+            format!("{:.1}", row.view_scan_ms.mean),
+            format!("{:.1}", row.join_ms.mean),
+            format!("{:.2}x", row.view_sim_x_vs_serial),
+            format!("{:.2}", row.view_scan_wall_ms.mean),
+            format!("{:.2}", row.join_wall_ms.mean),
+            format!("{:.2}x", row.view_wall_x_vs_serial),
+        );
+    }
+    println!("(per-worker sim deltas merge as max; threads=1 equals the serial pipeline)\n");
 }
 
 fn print_fig11(rows: &[Fig11Row]) {

@@ -63,11 +63,15 @@ pub struct Fig10Row {
     pub join_peak_rows: u64,
 }
 
-/// Runs the §IX-B micro-benchmark for every scale in `customer_scales`.
-pub fn fig10_micro(customer_scales: &[u64], reps: u64) -> Vec<Fig10Row> {
+/// Runs the §IX-B micro-benchmark for every scale in `customer_scales`,
+/// with region-parallel execution at `threads` workers (1 = the serial
+/// pipeline; sim figures at 1 thread are byte-identical to earlier report
+/// versions).
+pub fn fig10_micro(customer_scales: &[u64], reps: u64, threads: usize) -> Vec<Fig10Row> {
     let mut rows = Vec::new();
     for &customers in customer_scales {
-        let bench = MicroBench::build(customers).expect("micro benchmark builds");
+        let bench =
+            MicroBench::build_with_threads(customers, threads).expect("micro benchmark builds");
         for query_index in 0..2 {
             let mut view_samples = Vec::new();
             let mut join_samples = Vec::new();
@@ -126,10 +130,16 @@ pub struct Fig10LimitRow {
 /// Runs the LIMIT-bearing micro-query at every scale: demonstrates that the
 /// streaming pipeline makes `LIMIT k` response independent of database size
 /// (store rows scanned stays at `k` while the database grows).
-pub fn fig10_limit(customer_scales: &[u64], limit: usize, reps: u64) -> Vec<Fig10LimitRow> {
+pub fn fig10_limit(
+    customer_scales: &[u64],
+    limit: usize,
+    reps: u64,
+    threads: usize,
+) -> Vec<Fig10LimitRow> {
     let mut rows = Vec::new();
     for &customers in customer_scales {
-        let bench = MicroBench::build(customers).expect("micro benchmark builds");
+        let bench =
+            MicroBench::build_with_threads(customers, threads).expect("micro benchmark builds");
         let mut sim_samples = Vec::new();
         let mut wall_samples = Vec::new();
         let mut store_rows_scanned = 0u64;
@@ -148,6 +158,84 @@ pub fn fig10_limit(customer_scales: &[u64], limit: usize, reps: u64) -> Vec<Fig1
             peak_rows_resident,
             view_scan_ms: Summary::of(&sim_samples),
             view_scan_wall_ms: Summary::of(&wall_samples),
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// fig_par: region-parallel execution sweep (the --threads axis)
+// ---------------------------------------------------------------------
+
+/// One row of the region-parallel sweep: Q2 (the deepest micro join) at one
+/// thread count, through both evaluation strategies.
+#[derive(Debug, Clone)]
+pub struct FigParRow {
+    /// Worker count for this row.
+    pub threads: usize,
+    /// Number of customers.
+    pub customers: u64,
+    /// Mean simulated response time of the view scan (ms).
+    pub view_scan_ms: Summary,
+    /// Mean simulated response time of the join algorithm (ms).
+    pub join_ms: Summary,
+    /// Mean wall-clock time of the view scan (ms).
+    pub view_scan_wall_ms: Summary,
+    /// Mean wall-clock time of the join algorithm (ms).
+    pub join_wall_ms: Summary,
+    /// join / view-scan speedup in simulated time.
+    pub speedup: f64,
+    /// join / view-scan speedup in wall-clock time.
+    pub wall_speedup: f64,
+    /// View-scan sim time at 1 thread / at this thread count (≥ 1 once the
+    /// table spans several regions; exactly 1 at `threads = 1`).
+    pub view_sim_x_vs_serial: f64,
+    /// View-scan wall time at 1 thread / at this thread count.
+    pub view_wall_x_vs_serial: f64,
+}
+
+/// Sweeps the micro-benchmark's Q2 (Customer ⋈ Orders ⋈ Order_line) across
+/// `threads_axis`, measuring both strategies at each width.  The first axis
+/// entry is the baseline for the `*_x_vs_serial` ratios (callers pass 1
+/// first).  Sim figures are deterministic at every width — per-worker clock
+/// deltas merge as `max`, independent of OS scheduling.
+pub fn fig_par(customers: u64, threads_axis: &[usize], reps: u64) -> Vec<FigParRow> {
+    let mut rows: Vec<FigParRow> = Vec::new();
+    let mut base_sim = f64::NAN;
+    let mut base_wall = f64::NAN;
+    for &threads in threads_axis {
+        let bench =
+            MicroBench::build_with_threads(customers, threads).expect("micro benchmark builds");
+        let mut view_samples = Vec::new();
+        let mut join_samples = Vec::new();
+        let mut view_wall_samples = Vec::new();
+        let mut join_wall_samples = Vec::new();
+        for _ in 0..reps {
+            let m = bench.measure(1).expect("Q2 measurement succeeds");
+            view_samples.push(m.view_scan.as_millis_f64());
+            join_samples.push(m.join_algorithm.as_millis_f64());
+            view_wall_samples.push(m.view_scan_wall.as_secs_f64() * 1_000.0);
+            join_wall_samples.push(m.join_wall.as_secs_f64() * 1_000.0);
+        }
+        let view = Summary::of(&view_samples);
+        let join = Summary::of(&join_samples);
+        let view_wall = Summary::of(&view_wall_samples);
+        let join_wall = Summary::of(&join_wall_samples);
+        if rows.is_empty() {
+            base_sim = view.mean;
+            base_wall = view_wall.mean;
+        }
+        rows.push(FigParRow {
+            threads,
+            customers,
+            speedup: join.mean / view.mean.max(f64::EPSILON),
+            wall_speedup: join_wall.mean / view_wall.mean.max(f64::EPSILON),
+            view_sim_x_vs_serial: base_sim / view.mean.max(f64::EPSILON),
+            view_wall_x_vs_serial: base_wall / view_wall.mean.max(f64::EPSILON),
+            view_scan_ms: view,
+            join_ms: join,
+            view_scan_wall_ms: view_wall,
+            join_wall_ms: join_wall,
         });
     }
     rows
@@ -523,7 +611,7 @@ mod tests {
 
     #[test]
     fn fig10_speedup_is_positive_and_grows_with_join_depth() {
-        let rows = fig10_micro(&[30], 2);
+        let rows = fig10_micro(&[30], 2, 1);
         assert_eq!(rows.len(), 2);
         assert!(rows.iter().all(|r| r.speedup > 1.0));
         assert!(rows.iter().all(|r| r.view_peak_rows > 0 && r.join_peak_rows > 0));
@@ -531,10 +619,26 @@ mod tests {
 
     #[test]
     fn fig10_limit_scan_rows_are_scale_independent() {
-        let rows = fig10_limit(&[25, 100], 8, 1);
+        let rows = fig10_limit(&[25, 100], 8, 1, 1);
         assert_eq!(rows.len(), 2);
         assert!(rows.iter().all(|r| r.store_rows_scanned == 8));
         assert_eq!(rows[0].store_rows_scanned, rows[1].store_rows_scanned);
+    }
+
+    #[test]
+    fn fig_par_sweep_is_deterministic_in_sim_and_beats_serial_joins() {
+        let rows = fig_par(30, &[1, 2, 4], 2);
+        assert_eq!(rows.len(), 3);
+        assert!((rows[0].view_sim_x_vs_serial - 1.0).abs() < 1e-9);
+        // The partitioned join's sim time improves with workers even when
+        // the tables are single-region at this tiny scale.
+        assert!(rows[2].join_ms.mean < rows[0].join_ms.mean);
+        // Re-running the sweep reproduces the sim figures exactly.
+        let again = fig_par(30, &[1, 2, 4], 2);
+        for (a, b) in rows.iter().zip(&again) {
+            assert_eq!(a.view_scan_ms.mean.to_bits(), b.view_scan_ms.mean.to_bits());
+            assert_eq!(a.join_ms.mean.to_bits(), b.join_ms.mean.to_bits());
+        }
     }
 
     #[test]

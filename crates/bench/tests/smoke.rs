@@ -4,12 +4,12 @@
 
 use bench::{
     ablation_lock_granularity, comparison_matrix, fig10_limit, fig10_micro, fig11_lock_overhead,
-    fig13_mechanisms, table1_qualitative, table3_sizes,
+    fig13_mechanisms, fig_par, table1_qualitative, table3_sizes,
 };
 
 #[test]
 fn fig10_micro_runs_and_views_beat_joins() {
-    let rows = fig10_micro(&[25], 2);
+    let rows = fig10_micro(&[25], 2, 1);
     assert_eq!(rows.len(), 2, "one row per micro query");
     for row in &rows {
         assert!(row.view_scan_ms.mean > 0.0, "{}: view scan measured", row.query);
@@ -27,11 +27,36 @@ fn fig10_micro_runs_and_views_beat_joins() {
 
 #[test]
 fn fig10_limit_companion_is_o_of_k() {
-    let rows = fig10_limit(&[25, 50], 10, 1);
+    let rows = fig10_limit(&[25, 50], 10, 1, 1);
     assert_eq!(rows.len(), 2);
     for row in &rows {
         assert_eq!(row.store_rows_scanned, 10, "{} customers", row.customers);
     }
+}
+
+#[test]
+fn fig10_micro_parallel_sim_times_only_improve() {
+    // Answer equivalence across thread counts is asserted row-for-row at
+    // the lower layers (query par_exec tests, tpcw micro tests); this
+    // checks the harness-level invariant that sim time can only improve
+    // under the max-of-workers merge rule.
+    let serial = fig10_micro(&[25], 1, 1);
+    let parallel = fig10_micro(&[25], 1, 4);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.query, p.query);
+        assert!(p.view_scan_ms.mean <= s.view_scan_ms.mean + 1e-9);
+        assert!(p.join_ms.mean <= s.join_ms.mean + 1e-9);
+    }
+}
+
+#[test]
+fn fig_par_sweep_runs_at_tiny_scale() {
+    let rows = fig_par(25, &[1, 2], 1);
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0].threads, 1);
+    assert!(rows.iter().all(|r| r.view_scan_ms.mean > 0.0 && r.join_ms.mean > 0.0));
+    assert!(rows[1].join_ms.mean <= rows[0].join_ms.mean);
 }
 
 #[test]

@@ -9,12 +9,12 @@
 
 use crate::cell::Timestamp;
 use crate::error::{StoreError, StoreResult};
-use crate::metrics::{ClusterMetrics, OpCounters, TableMetrics};
+use crate::metrics::{AtomicOpCounters, ClusterMetrics, TableMetrics};
 use crate::ops::{CheckAndPut, Delete, Get, Increment, Put, Scan};
 use crate::region::{Region, RegionId, RegionServerId};
 use crate::table::{ResultRow, TableSchema};
 use crate::wal::{WalOp, WriteAheadLog};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 use simclock::{CostModel, SimClock, SimDuration};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -50,16 +50,21 @@ pub(crate) struct TableState {
 ///
 /// Cheap to clone; clones share all state (tables, clock, metrics), mirroring
 /// multiple clients holding connections to the same cluster.
+///
+/// Each handle carries its own **charge sink** clock: ordinarily the shared
+/// cluster clock, but region-parallel scans rebind worker handles to private
+/// clocks (see [`Cluster::par_scan_stream`]) so per-worker sim deltas can be
+/// merged deterministically (max for elapsed, sum for counters).
 #[derive(Clone)]
 pub struct Cluster {
     inner: Arc<ClusterInner>,
+    clock: SimClock,
 }
 
 struct ClusterInner {
     config: ClusterConfig,
-    clock: SimClock,
     tables: RwLock<BTreeMap<String, Arc<TableState>>>,
-    counters: Mutex<OpCounters>,
+    counters: AtomicOpCounters,
     wals: Vec<WriteAheadLog>,
     next_timestamp: AtomicU64,
     next_region_id: AtomicU64,
@@ -80,19 +85,31 @@ impl Cluster {
             inner: Arc::new(ClusterInner {
                 wals: (0..servers).map(|_| WriteAheadLog::new()).collect(),
                 config,
-                clock,
                 tables: RwLock::new(BTreeMap::new()),
-                counters: Mutex::new(OpCounters::default()),
+                counters: AtomicOpCounters::default(),
                 next_timestamp: AtomicU64::new(1),
                 next_region_id: AtomicU64::new(1),
                 next_server: AtomicU64::new(0),
             }),
+            clock,
         }
     }
 
-    /// The clock this cluster charges costs into.
+    /// The clock this handle charges costs into (the shared cluster clock,
+    /// unless this is a parallel worker's rebound handle).
     pub fn clock(&self) -> &SimClock {
-        &self.inner.clock
+        &self.clock
+    }
+
+    /// A handle over the same cluster state whose charges land on `clock`
+    /// instead of the shared timeline.  Parallel scan workers use this so
+    /// their sim-cost deltas can be merged (`max` of workers) at the barrier
+    /// rather than summing serially on the shared clock.
+    pub(crate) fn with_charge_sink(&self, clock: SimClock) -> Cluster {
+        Cluster {
+            inner: Arc::clone(&self.inner),
+            clock,
+        }
     }
 
     /// The cost model in effect.
@@ -106,20 +123,20 @@ impl Cluster {
     }
 
     pub(crate) fn charge(&self, cost: SimDuration) {
-        self.inner.clock.charge(cost);
+        self.clock.charge(cost);
     }
 
     /// Records one page of streamed scan rows in the operation counters
     /// (the per-scan `scans` count is bumped once, at cursor creation).
     pub(crate) fn record_scan_page(&self, rows: u64, bytes: u64) {
-        let mut counters = self.inner.counters.lock();
-        counters.scanned_rows += rows;
-        counters.scanned_bytes += bytes;
+        AtomicOpCounters::bump(&self.inner.counters.scanned_rows, rows);
+        AtomicOpCounters::bump(&self.inner.counters.scanned_bytes, bytes);
     }
 
-    /// Bumps the scan counter (one per opened cursor).
+    /// Bumps the scan counter (one per opened cursor — a parallel scan
+    /// counts as one logical scan regardless of worker count).
     pub(crate) fn record_scan_open(&self) {
-        self.inner.counters.lock().scans += 1;
+        AtomicOpCounters::bump(&self.inner.counters.scans, 1);
     }
 
     fn pick_server(&self) -> RegionServerId {
@@ -239,7 +256,7 @@ impl Cluster {
         self.maybe_split(&state, &mut regions, idx);
         drop(regions);
         self.charge(cost);
-        self.inner.counters.lock().puts += 1;
+        AtomicOpCounters::bump(&self.inner.counters.puts, 1);
         Ok(())
     }
 
@@ -266,7 +283,7 @@ impl Cluster {
     pub fn get(&self, table: &str, get: Get) -> StoreResult<Option<ResultRow>> {
         let state = self.table(table)?;
         self.charge(self.cost_model().get_cost());
-        self.inner.counters.lock().gets += 1;
+        AtomicOpCounters::bump(&self.inner.counters.gets, 1);
         let regions = state.regions.read();
         let idx = Self::region_index_for(&regions, &get.row);
         Ok(regions[idx].get(&get))
@@ -289,7 +306,7 @@ impl Cluster {
         self.wal_for(server).sync();
         drop(regions);
         self.charge(cost);
-        self.inner.counters.lock().deletes += 1;
+        AtomicOpCounters::bump(&self.inner.counters.deletes, 1);
         Ok(removed)
     }
 
@@ -312,7 +329,7 @@ impl Cluster {
         self.wal_for(server).sync();
         drop(regions);
         self.charge(cost);
-        self.inner.counters.lock().increments += 1;
+        AtomicOpCounters::bump(&self.inner.counters.increments, 1);
         Ok(value)
     }
 
@@ -344,7 +361,7 @@ impl Cluster {
         }
         drop(regions);
         self.charge(cost);
-        self.inner.counters.lock().check_and_puts += 1;
+        AtomicOpCounters::bump(&self.inner.counters.check_and_puts, 1);
         Ok(applied)
     }
 
@@ -388,7 +405,7 @@ impl Cluster {
     /// Snapshot of operation counters and per-table storage statistics.
     pub fn metrics(&self) -> ClusterMetrics {
         let mut metrics = ClusterMetrics {
-            ops: self.inner.counters.lock().clone(),
+            ops: self.inner.counters.snapshot(),
             tables: BTreeMap::new(),
         };
         for (name, state) in self.inner.tables.read().iter() {

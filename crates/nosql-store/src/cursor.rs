@@ -58,13 +58,28 @@ impl Cluster {
     /// first-batch RPC immediately; per-row, per-byte, per-batch and
     /// additional per-region costs are charged as pages are pulled.
     pub fn scan_stream(&self, table: &str, scan: Scan) -> StoreResult<ScanCursor> {
+        self.scan_stream_inner(table, scan, true)
+    }
+
+    /// [`Cluster::scan_stream`] with control over the `scans` counter bump:
+    /// parallel scan workers pass `record_open = false` so the fan-out
+    /// counts as **one** logical scan (recorded by the parallel cursor),
+    /// while still charging each worker's scanner-open sim cost.
+    pub(crate) fn scan_stream_inner(
+        &self,
+        table: &str,
+        scan: Scan,
+        record_open: bool,
+    ) -> StoreResult<ScanCursor> {
         if !scan.start.is_empty() && !scan.stop.is_empty() && scan.start > scan.stop {
             return Err(StoreError::InvalidRange);
         }
         let state = self.table(table)?;
         let model = self.cost_model();
         self.charge(model.scan_open + model.rpc_round_trip());
-        self.record_scan_open();
+        if record_open {
+            self.record_scan_open();
+        }
         let remaining = if scan.limit == 0 { usize::MAX } else { scan.limit };
         let batch_rows = model.scan_batch_rows.max(1);
         let projection = Region::resolve_projection(&scan.columns);
@@ -88,6 +103,27 @@ impl ScanCursor {
     /// Total rows this cursor has yielded into pages so far.
     pub fn rows_streamed(&self) -> u64 {
         self.rows_streamed
+    }
+
+    /// Returns the remainder of the current page plus, if needed, the next
+    /// fetched page; `None` once the cursor is exhausted.  This is the
+    /// page-granular pull the region-parallel cursor advances workers by —
+    /// between two calls the table may split and the next page re-locates
+    /// its region via the resume key.
+    pub(crate) fn next_page(&mut self) -> Option<Vec<ResultRow>> {
+        let leftover: Vec<ResultRow> = self.page.by_ref().collect();
+        if !leftover.is_empty() {
+            return Some(leftover);
+        }
+        while !self.exhausted {
+            self.fetch_page();
+            let page: Vec<ResultRow> =
+                std::mem::replace(&mut self.page, Vec::new().into_iter()).collect();
+            if !page.is_empty() {
+                return Some(page);
+            }
+        }
+        None
     }
 
     /// Fetches the next page of rows under the table's region read lock.

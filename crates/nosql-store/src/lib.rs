@@ -45,6 +45,7 @@ mod error;
 pub mod intern;
 mod metrics;
 pub mod ops;
+mod par_scan;
 mod region;
 mod table;
 mod wal;
@@ -52,6 +53,7 @@ mod wal;
 pub use cell::{Bytes, Cell, CellCoord, Timestamp};
 pub use cluster::{Cluster, ClusterConfig};
 pub use cursor::{ScanCursor, SCAN_PAGE_ROWS};
+pub use par_scan::ParScanCursor;
 pub use error::{StoreError, StoreResult};
 pub use metrics::{ClusterMetrics, OpCounters, TableMetrics};
 pub use region::{Region, RegionId, RegionServerId};

@@ -7,6 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counts of each API operation executed by the cluster.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -47,6 +48,46 @@ impl OpCounters {
             scans: self.scans - earlier.scans,
             scanned_rows: self.scanned_rows - earlier.scanned_rows,
             scanned_bytes: self.scanned_bytes - earlier.scanned_bytes,
+        }
+    }
+}
+
+/// The cluster's live operation counters: one [`AtomicU64`] per field so
+/// parallel scan workers (and any other concurrent clients) bump metrics
+/// without serializing on a mutex.  [`AtomicOpCounters::snapshot`] produces
+/// the plain [`OpCounters`] the public [`ClusterMetrics`] API exposes —
+/// counter *sums* are the half of the parallel merge rule that is additive
+/// (elapsed sim time merges as a max; see `simclock::merge_elapsed`).
+#[derive(Debug, Default)]
+pub(crate) struct AtomicOpCounters {
+    pub(crate) gets: AtomicU64,
+    pub(crate) puts: AtomicU64,
+    pub(crate) deletes: AtomicU64,
+    pub(crate) increments: AtomicU64,
+    pub(crate) check_and_puts: AtomicU64,
+    pub(crate) scans: AtomicU64,
+    pub(crate) scanned_rows: AtomicU64,
+    pub(crate) scanned_bytes: AtomicU64,
+}
+
+impl AtomicOpCounters {
+    /// Bumps one counter.  Relaxed ordering suffices: counters are
+    /// monotonic tallies, never used to synchronize other memory.
+    pub(crate) fn bump(field: &AtomicU64, by: u64) {
+        field.fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub(crate) fn snapshot(&self) -> OpCounters {
+        OpCounters {
+            gets: self.gets.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            increments: self.increments.load(Ordering::Relaxed),
+            check_and_puts: self.check_and_puts.load(Ordering::Relaxed),
+            scans: self.scans.load(Ordering::Relaxed),
+            scanned_rows: self.scanned_rows.load(Ordering::Relaxed),
+            scanned_bytes: self.scanned_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -119,6 +160,19 @@ mod tests {
         assert_eq!(m.total_bytes(), 150);
         assert_eq!(m.total_rows(), 15);
         assert_eq!(m.bytes_where(|n| n.starts_with("view_")), 50);
+    }
+
+    #[test]
+    fn atomic_counters_snapshot_matches_bumps() {
+        let counters = AtomicOpCounters::default();
+        AtomicOpCounters::bump(&counters.gets, 3);
+        AtomicOpCounters::bump(&counters.scans, 1);
+        AtomicOpCounters::bump(&counters.scanned_rows, 100);
+        let snap = counters.snapshot();
+        assert_eq!(snap.gets, 3);
+        assert_eq!(snap.scans, 1);
+        assert_eq!(snap.scanned_rows, 100);
+        assert_eq!(snap.total_ops(), 4);
     }
 
     #[test]

@@ -1,0 +1,397 @@
+//! Region-parallel scans: the resume-key region walk of [`ScanCursor`],
+//! partitioned across worker threads.
+//!
+//! [`Cluster::par_scan_stream`] snapshots the table's region boundaries and
+//! carves the scan range into up to `threads` **contiguous sub-ranges**, one
+//! serial [`ScanCursor`] each.  Workers page independently (each page
+//! re-locates its region by resume key, so workers survive splits that land
+//! between their pages) and the merged cursor yields the sub-ranges' pages
+//! in key-range order — because the sub-ranges are disjoint and sorted,
+//! concatenation *is* the global key order, and the parallel cursor returns
+//! exactly what the serial cursor would.
+//!
+//! # Determinism
+//!
+//! Workers charge sim costs into **private** clocks and advance in
+//! synchronous *rounds*: a round pulls up to [`ROUND_PAGES`] pages from
+//! every unfinished worker (fanned out on [`pool`] scoped threads) and only
+//! runs when the consumer needs a page.  How many rounds run is a pure
+//! function of the data and the consumption pattern — never of OS
+//! scheduling — so each worker's clock delta is deterministic.  At
+//! exhaustion (or drop) the deltas merge per the workspace rule:
+//! **elapsed = max of workers** charged once into the shared clock
+//! ([`simclock::merge_elapsed`]), **cost counters = sum** (workers bump the
+//! shared atomic [`crate::OpCounters`] directly).  `threads <= 1` routes to
+//! the serial [`Cluster::scan_stream`] unchanged, so single-threaded
+//! figures are byte-identical to the serial pipeline.
+//!
+//! # Memory: ordered merge buffers later sub-ranges
+//!
+//! Emitting global key order while all workers scan concurrently means
+//! later sub-ranges' pages are **buffered** until the merge reaches them —
+//! a consumer that drains the whole scan transiently holds up to
+//! `(parts-1)/parts` of the result as fetched pages (page *structure*: row
+//! keys plus `Arc`-shared cell handles, not value copies).  That is the
+//! deliberate price of scan-side parallelism: capping the per-worker queue
+//! would idle every worker but the one being drained and serialize the
+//! scan.  Rounds only run on demand, so early-stopping consumers (row
+//! limits, abandoned cursors) buffer in proportion to what they consumed.
+//! Callers that need PR 3's O(page) streaming memory keep the serial
+//! [`Cluster::scan_stream`] — which is also what every `threads = 1` and
+//! limit-pushdown path uses.
+
+use crate::cell::Bytes;
+use crate::cluster::Cluster;
+use crate::cursor::ScanCursor;
+use crate::error::{StoreError, StoreResult};
+use crate::ops::Scan;
+use crate::table::ResultRow;
+use simclock::{merge_elapsed, WorkerClock};
+use std::collections::VecDeque;
+
+/// Pages each worker pulls per synchronous round.  Large enough to amortize
+/// the round's thread fan-out over ~512 rows per worker, small enough that
+/// an early-stopping consumer does not drag the whole table in.
+const ROUND_PAGES: usize = 2;
+
+/// One worker of a parallel scan: a serial cursor over a contiguous
+/// sub-range, charging into a private clock, plus its fetched-ahead pages.
+struct ScanWorker {
+    cursor: ScanCursor,
+    clock: WorkerClock,
+    pages: VecDeque<Vec<ResultRow>>,
+    done: bool,
+}
+
+/// A region-parallel scan cursor; yields rows in global key order, exactly
+/// like the serial [`ScanCursor`] it partitions.
+pub struct ParScanCursor {
+    inner: ParInner,
+}
+
+enum ParInner {
+    /// `threads <= 1` or a single-region table: the serial cursor verbatim.
+    Serial(Box<ScanCursor>),
+    Parallel(ParState),
+}
+
+struct ParState {
+    /// Handle bound to the shared cluster clock (the merge target).
+    cluster: Cluster,
+    /// Workers in key-range order.
+    workers: Vec<ScanWorker>,
+    threads: usize,
+    /// Index of the worker currently being drained.
+    current: usize,
+    /// Rows ready to emit from `workers[current]`.
+    buffered: std::vec::IntoIter<ResultRow>,
+    /// Global row limit still unemitted (`usize::MAX` when unlimited).
+    remaining: usize,
+    rows_streamed: u64,
+    /// Worker clocks already merged into the shared clock.
+    merged: bool,
+}
+
+impl Cluster {
+    /// Opens a region-parallel streaming scan over `table` using up to
+    /// `threads` workers.  Yields rows in global key order; results are
+    /// identical to [`Cluster::scan_stream`].  With `threads <= 1` (or a
+    /// table whose regions cannot be partitioned) this *is* the serial
+    /// cursor.  See the module docs for the sim-clock merge rules.
+    pub fn par_scan_stream(
+        &self,
+        table: &str,
+        scan: Scan,
+        threads: usize,
+    ) -> StoreResult<ParScanCursor> {
+        let threads = threads.max(1);
+        if threads == 1 {
+            return Ok(ParScanCursor {
+                inner: ParInner::Serial(Box::new(self.scan_stream(table, scan)?)),
+            });
+        }
+        if !scan.start.is_empty() && !scan.stop.is_empty() && scan.start > scan.stop {
+            return Err(StoreError::InvalidRange);
+        }
+        let state = self.table(table)?;
+
+        // Candidate split keys: the region start boundaries strictly inside
+        // the scan range, snapshotted now.  (A later split only refines a
+        // sub-range; each worker's cursor re-locates regions per page.)
+        let splits: Vec<Bytes> = {
+            let regions = state.regions.read();
+            let mut starts: Vec<Bytes> = regions
+                .iter()
+                .skip(1)
+                .map(|r| r.start.clone())
+                .collect();
+            starts.retain(|s| {
+                (scan.start.is_empty() || s.as_slice() > scan.start.as_slice())
+                    && (scan.stop.is_empty() || s.as_slice() < scan.stop.as_slice())
+            });
+            starts
+        };
+        let parts = threads.min(splits.len() + 1);
+        if parts == 1 {
+            return Ok(ParScanCursor {
+                inner: ParInner::Serial(Box::new(self.scan_stream(table, scan)?)),
+            });
+        }
+
+        // `parts` contiguous sub-ranges: the scan bounds plus `parts - 1`
+        // split keys spread evenly across the region boundaries.
+        let mut bounds: Vec<Bytes> = Vec::with_capacity(parts + 1);
+        bounds.push(scan.start.clone());
+        for i in 1..parts {
+            bounds.push(splits[i * splits.len() / parts].clone());
+        }
+        bounds.push(scan.stop.clone());
+
+        // One logical scan in the counters, no matter how many workers.
+        self.record_scan_open();
+        let mut workers = Vec::with_capacity(parts);
+        for window in bounds.windows(2) {
+            let mut sub = scan.clone();
+            sub.start = window[0].clone();
+            sub.stop = window[1].clone();
+            let clock = WorkerClock::new();
+            let handle = self.with_charge_sink(clock.clock().clone());
+            let cursor = handle.scan_stream_inner(table, sub, false)?;
+            workers.push(ScanWorker {
+                cursor,
+                clock,
+                pages: VecDeque::new(),
+                done: false,
+            });
+        }
+
+        let remaining = if scan.limit == 0 { usize::MAX } else { scan.limit };
+        Ok(ParScanCursor {
+            inner: ParInner::Parallel(ParState {
+                cluster: self.clone(),
+                workers,
+                threads,
+                current: 0,
+                buffered: Vec::new().into_iter(),
+                remaining,
+                rows_streamed: 0,
+                merged: false,
+            }),
+        })
+    }
+}
+
+impl ParScanCursor {
+    /// Total rows this cursor has yielded so far.
+    pub fn rows_streamed(&self) -> u64 {
+        match &self.inner {
+            ParInner::Serial(cursor) => cursor.rows_streamed(),
+            ParInner::Parallel(state) => state.rows_streamed,
+        }
+    }
+
+    /// Number of scan workers backing this cursor (1 when serial).
+    pub fn workers(&self) -> usize {
+        match &self.inner {
+            ParInner::Serial(_) => 1,
+            ParInner::Parallel(state) => state.workers.len(),
+        }
+    }
+}
+
+impl ParState {
+    fn next_row(&mut self) -> Option<ResultRow> {
+        if self.remaining == 0 {
+            self.merge_clocks();
+            return None;
+        }
+        loop {
+            if let Some(row) = self.buffered.next() {
+                self.rows_streamed += 1;
+                self.remaining -= 1;
+                if self.remaining == 0 {
+                    self.merge_clocks();
+                }
+                return Some(row);
+            }
+            if self.current >= self.workers.len() {
+                self.merge_clocks();
+                return None;
+            }
+            if let Some(page) = self.workers[self.current].pages.pop_front() {
+                self.buffered = page.into_iter();
+            } else if self.workers[self.current].done {
+                self.current += 1;
+            } else {
+                self.fetch_round();
+            }
+        }
+    }
+
+    /// One synchronous round: every unfinished worker pulls up to
+    /// [`ROUND_PAGES`] pages, fanned out across the pool.  All workers
+    /// advance together, so later sub-ranges prefetch while the earliest is
+    /// drained and the per-worker page counts stay schedule-independent.
+    /// Later workers' queues are intentionally unbounded — see the module
+    /// docs ("Memory") for why capping them would serialize the scan.
+    fn fetch_round(&mut self) {
+        let active: Vec<&mut ScanWorker> =
+            self.workers.iter_mut().filter(|w| !w.done).collect();
+        pool::map(active, self.threads, |worker| {
+            for _ in 0..ROUND_PAGES {
+                match worker.cursor.next_page() {
+                    Some(page) => worker.pages.push_back(page),
+                    None => {
+                        worker.done = true;
+                        break;
+                    }
+                }
+            }
+        });
+    }
+
+    /// Charges the fan-out's merged elapsed time — the max of the private
+    /// worker clocks — into the shared cluster clock, exactly once.
+    fn merge_clocks(&mut self) {
+        if self.merged {
+            return;
+        }
+        self.merged = true;
+        let elapsed = merge_elapsed(self.workers.iter().map(|w| w.clock.elapsed()));
+        self.cluster.charge(elapsed);
+    }
+}
+
+impl Drop for ParState {
+    fn drop(&mut self) {
+        // An abandoned cursor still owes the timeline the work its workers
+        // actually did (a deterministic number of rounds).
+        self.merge_clocks();
+    }
+}
+
+impl Iterator for ParScanCursor {
+    type Item = ResultRow;
+
+    fn next(&mut self) -> Option<ResultRow> {
+        match &mut self.inner {
+            ParInner::Serial(cursor) => cursor.next(),
+            ParInner::Parallel(state) => state.next_row(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use crate::ops::Put;
+    use crate::table::TableSchema;
+    use simclock::SimDuration;
+
+    fn loaded_cluster(rows: usize) -> Cluster {
+        let c = Cluster::new(ClusterConfig {
+            region_split_bytes: 2_000,
+            ..ClusterConfig::default()
+        });
+        c.create_table(TableSchema::new("t").with_family("cf")).unwrap();
+        c.bulk_load(
+            "t",
+            (0..rows).map(|i| Put::new(format!("r{i:05}")).with("cf", "v", vec![b'x'; 64])),
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn parallel_scan_equals_serial_scan() {
+        let c = loaded_cluster(2_000);
+        let serial: Vec<ResultRow> = c.scan_stream("t", Scan::all()).unwrap().collect();
+        for threads in [2, 3, 4, 8] {
+            let cursor = c.par_scan_stream("t", Scan::all(), threads).unwrap();
+            assert!(cursor.workers() > 1, "table has regions to partition");
+            let parallel: Vec<ResultRow> = cursor.collect();
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn threads_one_is_the_serial_cursor_with_identical_charges() {
+        let c = loaded_cluster(1_000);
+        let (_, serial) = c
+            .clock()
+            .measure(|| c.scan_stream("t", Scan::all()).unwrap().count());
+        let (_, par_one) = c
+            .clock()
+            .measure(|| c.par_scan_stream("t", Scan::all(), 1).unwrap().count());
+        assert_eq!(serial, par_one, "threads=1 must charge byte-identically");
+    }
+
+    #[test]
+    fn parallel_sim_time_is_the_worker_max_and_beats_serial() {
+        let c = loaded_cluster(3_000);
+        let (_, serial) = c
+            .clock()
+            .measure(|| c.scan_stream("t", Scan::all()).unwrap().count());
+        let (_, parallel) = c
+            .clock()
+            .measure(|| c.par_scan_stream("t", Scan::all(), 4).unwrap().count());
+        assert!(parallel > SimDuration::ZERO);
+        assert!(
+            parallel < serial,
+            "4 workers must merge to less elapsed sim time than the serial walk \
+             (parallel={parallel} serial={serial})"
+        );
+    }
+
+    #[test]
+    fn parallel_sim_time_is_deterministic_across_runs() {
+        let deltas: Vec<SimDuration> = (0..3)
+            .map(|_| {
+                let c = loaded_cluster(1_500);
+                let (_, elapsed) = c
+                    .clock()
+                    .measure(|| c.par_scan_stream("t", Scan::all(), 4).unwrap().count());
+                elapsed
+            })
+            .collect();
+        assert_eq!(deltas[0], deltas[1]);
+        assert_eq!(deltas[1], deltas[2]);
+    }
+
+    #[test]
+    fn limit_is_honoured_globally() {
+        let c = loaded_cluster(2_000);
+        let rows: Vec<ResultRow> = c
+            .par_scan_stream("t", Scan::all().with_limit(37), 4)
+            .unwrap()
+            .collect();
+        let serial: Vec<ResultRow> = c
+            .scan_stream("t", Scan::all().with_limit(37))
+            .unwrap()
+            .collect();
+        assert_eq!(rows, serial);
+        assert_eq!(rows.len(), 37);
+    }
+
+    #[test]
+    fn one_logical_scan_in_the_counters() {
+        let c = loaded_cluster(2_000);
+        let before = c.metrics().ops;
+        let n = c.par_scan_stream("t", Scan::all(), 4).unwrap().count();
+        let delta = c.metrics().ops.delta_since(&before);
+        assert_eq!(delta.scans, 1, "a parallel scan is one logical scan");
+        assert_eq!(delta.scanned_rows, n as u64, "row tally sums across workers");
+    }
+
+    #[test]
+    fn abandoned_parallel_cursor_still_charges_its_rounds() {
+        let c = loaded_cluster(3_000);
+        let before = c.clock().now();
+        {
+            let mut cursor = c.par_scan_stream("t", Scan::all(), 4).unwrap();
+            cursor.next();
+        }
+        assert!(c.clock().now() > before, "drop merges the partial worker clocks");
+    }
+}

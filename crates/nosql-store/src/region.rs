@@ -418,9 +418,20 @@ impl Region {
         if self.rows.len() < 2 {
             return None;
         }
+        // `BTreeMap` has no order-statistics index, so locating the median
+        // key is an intentional O(n) walk: splits are rare (amortized over
+        // the thousands of puts that grew the region past the threshold),
+        // which is far cheaper than maintaining a rank structure per write.
         let split_key = self.rows.keys().nth(self.rows.len() / 2)?.clone();
         let upper_rows = self.rows.split_off(&split_key);
-        let mut upper = Region::new(new_id, new_server, split_key.clone(), self.end.clone());
+        // The old end range moves into the upper half (this region's end is
+        // overwritten below), so only the split key itself needs a copy.
+        let mut upper = Region::new(
+            new_id,
+            new_server,
+            split_key.clone(),
+            std::mem::take(&mut self.end),
+        );
         upper.rows = upper_rows;
         upper.bytes = upper
             .rows

@@ -35,7 +35,7 @@
 
 use crate::catalog::{Catalog, TableDef, FAMILY};
 use crate::result::{QueryError, QueryResult};
-use crate::stream::{collect_stream, top_k, Residency, RowStream};
+use crate::stream::{collect_stream, par_top_k, top_k, Residency, RowStream};
 use nosql_store::ops::{Get, Scan};
 use nosql_store::Cluster;
 use relational::{encode_key, intern, Row, Symbol, Value, KEY_DELIMITER};
@@ -78,6 +78,10 @@ pub struct Executor {
     catalog: Arc<Catalog>,
     dirty_protection: bool,
     snapshot: Option<nosql_store::Timestamp>,
+    /// Degree of parallelism for full scans, hash joins and top-k (1 =
+    /// fully serial; the serial paths are kept verbatim so single-threaded
+    /// execution is byte-identical to the pre-parallel pipeline).
+    threads: usize,
 }
 
 /// A WHERE conjunct with parameters bound to concrete values and its column
@@ -145,6 +149,106 @@ impl DecodePlan<'_> {
     }
 }
 
+/// A full-scan source running at `threads`-way parallelism: pulls batches
+/// of stored rows from a region-parallel cursor and decodes each batch on
+/// the pool, preserving row order.  Dirty markers surface as
+/// [`QueryError::DirtyRestart`] exactly as in the serial stream (the whole
+/// statement restarts, so decoding a batch past the marker is only wasted
+/// work, never wrong results).
+struct ParDecodeStream<'a> {
+    cursor: nosql_store::ParScanCursor,
+    plan: DecodePlan<'a>,
+    dirty_protection: bool,
+    threads: usize,
+    batch: std::vec::IntoIter<Result<Row, QueryError>>,
+}
+
+impl Iterator for ParDecodeStream<'_> {
+    type Item = Result<Row, QueryError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(row) = self.batch.next() {
+                return Some(row);
+            }
+            // One store page per worker per batch keeps decode parallelism
+            // aligned with the scan fan-out without unbounded buffering.
+            let batch_rows = self.threads * nosql_store::SCAN_PAGE_ROWS;
+            let stored: Vec<nosql_store::ResultRow> =
+                self.cursor.by_ref().take(batch_rows).collect();
+            if stored.is_empty() {
+                return None;
+            }
+            let plan = &self.plan;
+            let dirty_protection = self.dirty_protection;
+            self.batch = pool::map(stored, self.threads, |row| {
+                if dirty_protection && stored_row_is_dirty(&row) {
+                    return Err(QueryError::DirtyRestart);
+                }
+                Ok(plan.decode(&row))
+            })
+            .into_iter();
+        }
+    }
+}
+
+/// True if a stored row carries the dirty marker (see [`DIRTY_MARKER`]).
+fn stored_row_is_dirty(stored: &nosql_store::ResultRow) -> bool {
+    stored.value(FAMILY, DIRTY_MARKER).is_some_and(|v| v == b"1")
+}
+
+/// Decodes a whole cursor through `def`, fanning the decode out over
+/// `threads` pool workers in order-preserving batches (one store page per
+/// worker per batch, so at most one raw batch is resident alongside the
+/// decoded output).  `threads <= 1` stream-decodes row by row.  Shared by
+/// the batch consumers outside the executor pipeline — Synergy's view
+/// materialization and maintenance scans.
+pub fn par_decode_rows(
+    def: &TableDef,
+    cursor: impl Iterator<Item = nosql_store::ResultRow>,
+    threads: usize,
+) -> Vec<Row> {
+    par_decode_filtered(def, cursor, threads, |_| true)
+}
+
+/// [`par_decode_rows`] with a row predicate fused into the decode, so
+/// selective consumers (e.g. maintenance's full-view fallback keeping a
+/// handful of rows) hold only the matches plus one in-flight batch — never
+/// the whole decoded table — at every thread count.
+pub fn par_decode_filtered(
+    def: &TableDef,
+    cursor: impl Iterator<Item = nosql_store::ResultRow>,
+    threads: usize,
+    keep: impl Fn(&Row) -> bool + Sync,
+) -> Vec<Row> {
+    if threads <= 1 {
+        return cursor
+            .map(|stored| def.decode_row(&stored))
+            .filter(|row| keep(row))
+            .collect();
+    }
+    let keep = &keep;
+    let mut cursor = cursor;
+    let mut out = Vec::new();
+    loop {
+        let batch: Vec<nosql_store::ResultRow> = cursor
+            .by_ref()
+            .take(threads * nosql_store::SCAN_PAGE_ROWS)
+            .collect();
+        if batch.is_empty() {
+            return out;
+        }
+        out.extend(
+            pool::map(batch, threads, |stored| {
+                let row = def.decode_row(&stored);
+                keep(&row).then_some(row)
+            })
+            .into_iter()
+            .flatten(),
+        );
+    }
+}
+
 /// Resolves a column reference for per-row lookup: the qualified name is
 /// interned once, and [`Row::get_interned`]'s suffix fallback covers the
 /// bare-name alternative (both names share the same bare suffix).
@@ -163,7 +267,24 @@ impl Executor {
             catalog: Arc::new(catalog),
             dirty_protection: false,
             snapshot: None,
+            threads: 1,
         }
+    }
+
+    /// Enables region-parallel execution with up to `threads` workers: full
+    /// table scans run as [`Cluster::par_scan_stream`] fan-outs with
+    /// parallel decode, equi-joins hash-partition their build side and probe
+    /// per-partition, and ORDER BY + LIMIT runs per-worker bounded heaps
+    /// merged at the barrier.  `threads <= 1` keeps the serial pipeline
+    /// byte-for-byte.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured degree of parallelism (1 = serial).
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Enables dirty-row detection: scans that observe a row whose
@@ -314,6 +435,13 @@ impl Executor {
         let meter = Residency::default();
         let single_table = aliases.len() == 1;
         let has_group = select.has_aggregates() || !select.group_by.is_empty();
+        // A bare LIMIT (no ORDER BY, no aggregation) stops pulling the
+        // pipeline lazily after k output rows; parallel sources and the
+        // partitioned join work in eager batches and would forfeit that
+        // early termination, so such statements stay on the serial
+        // streaming operators end to end.
+        let limit_stops_early =
+            select.limit.is_some() && select.order_by.is_empty() && !has_group;
         // Store-level LIMIT pushdown: safe only when no downstream operator
         // can drop or reorder rows, i.e. a bare single-table `LIMIT k`.
         // Every other shape still benefits from stream laziness (the source
@@ -331,8 +459,15 @@ impl Executor {
 
         // Source: the start alias's scan/get stream.
         let (start_alias, start_def) = &aliases[start];
-        let mut stream: RowStream<'_> =
-            self.alias_stream(start_alias, start_def, &conditions, select, single_table, store_limit)?;
+        let mut stream: RowStream<'_> = self.alias_stream(
+            start_alias,
+            start_def,
+            &conditions,
+            select,
+            single_table,
+            store_limit,
+            limit_stops_early,
+        )?;
 
         // Hash joins: each step materializes its build side (the newly
         // joined alias) and streams the probe side through it.
@@ -340,10 +475,16 @@ impl Executor {
             let (next_alias, next_def) = &aliases[*idx];
             let join_conds: Vec<&BoundCondition> =
                 cond_idxs.iter().map(|&i| &conditions[i]).collect();
+            // Build sides are always fully drained, so they may use the
+            // parallel source regardless of the statement's LIMIT shape.
             let right_stream =
-                self.alias_stream(next_alias, next_def, &conditions, select, false, 0)?;
+                self.alias_stream(next_alias, next_def, &conditions, select, false, 0, false)?;
             let right_rows = collect_stream(right_stream, &meter)?;
-            stream = self.hash_join_stream(stream, right_rows, next_alias, join_conds);
+            stream = if self.threads > 1 && !limit_stops_early && !join_conds.is_empty() {
+                self.par_hash_join(stream, right_rows, next_alias, join_conds, &meter)?
+            } else {
+                self.hash_join_stream(stream, right_rows, next_alias, join_conds)
+            };
         }
 
         if !residual.is_empty() {
@@ -366,6 +507,12 @@ impl Executor {
         } else if !select.order_by.is_empty() {
             let cmp = order_comparator(select);
             match select.limit {
+                // Per-worker bounded heaps merged at the barrier: each
+                // worker selects its chunk's k best, the merge re-selects
+                // over the ≤ threads·k survivors.
+                Some(limit) if self.threads > 1 => {
+                    par_top_k(stream, limit, cmp, &meter, self.threads)?
+                }
                 // Bounded top-k heap: k rows resident instead of the full
                 // input, and the heap short-circuits nothing upstream only
                 // because ORDER BY inherently needs every input row.
@@ -464,6 +611,10 @@ impl Executor {
     /// [`QueryError::DirtyRestart`], which restarts the whole statement.
     /// `store_limit` (0 = none) is pushed into the store scan when the
     /// caller has proven no downstream operator drops rows.
+    /// `prefer_serial` keeps the source on the serial cursor even at
+    /// `threads > 1` — set when a bare LIMIT downstream stops pulling
+    /// early, which the batch-eager parallel source would forfeit.
+    #[allow(clippy::too_many_arguments)]
     fn alias_stream<'a>(
         &'a self,
         alias: &str,
@@ -472,6 +623,7 @@ impl Executor {
         select: &'a SelectStatement,
         single_table: bool,
         store_limit: usize,
+        prefer_serial: bool,
     ) -> Result<RowStream<'a>, QueryError> {
         let eq_filters = single_alias_eq_filters(conditions, alias, def, &select.from);
         let path = self.plan_access(alias, def, conditions, select);
@@ -613,13 +765,32 @@ impl Executor {
                 let scan = Scan::all()
                     .with_limit(store_limit)
                     .with_columns(self.scan_projection(def, plan.mask.as_deref()));
-                let cursor = self.cluster.scan_stream(&def.name, self.bounded_scan(scan))?;
-                Box::new(cursor.map(move |stored| {
-                    if self.is_dirty(&stored) {
-                        return Err(QueryError::DirtyRestart);
-                    }
-                    Ok(plan.decode(&stored))
-                }))
+                // Parallel source: region-partitioned scan workers feeding
+                // batch-parallel decode.  Limit-pushed scans stay serial —
+                // they touch O(k) rows, below any fan-out's break-even —
+                // as do sources a bare LIMIT will stop pulling early.
+                if self.threads > 1 && store_limit == 0 && !prefer_serial {
+                    let cursor = self.cluster.par_scan_stream(
+                        &def.name,
+                        self.bounded_scan(scan),
+                        self.threads,
+                    )?;
+                    Box::new(ParDecodeStream {
+                        cursor,
+                        plan,
+                        dirty_protection: self.dirty_protection,
+                        threads: self.threads,
+                        batch: Vec::new().into_iter(),
+                    })
+                } else {
+                    let cursor = self.cluster.scan_stream(&def.name, self.bounded_scan(scan))?;
+                    Box::new(cursor.map(move |stored| {
+                        if self.is_dirty(&stored) {
+                            return Err(QueryError::DirtyRestart);
+                        }
+                        Ok(plan.decode(&stored))
+                    }))
+                }
             }
         };
 
@@ -683,10 +854,7 @@ impl Executor {
     }
 
     fn is_dirty(&self, stored: &nosql_store::ResultRow) -> bool {
-        self.dirty_protection
-            && stored
-                .value(FAMILY, DIRTY_MARKER)
-                .is_some_and(|v| v == b"1")
+        self.dirty_protection && stored_row_is_dirty(stored)
     }
 
     /// Client-side hash join: the build side (`right`, the newly joined
@@ -771,6 +939,94 @@ impl Executor {
                 }
             }
         }))
+    }
+
+    /// Partitioned parallel hash join.  The build side is hash-partitioned
+    /// into `threads` independent hash tables built concurrently; the probe
+    /// side is materialized (metered through `meter`, since the rows really
+    /// are resident), chunked contiguously, and each chunk probes the shared
+    /// read-only partition tables on its own worker.  Chunk outputs
+    /// concatenate in probe order and partition tables preserve build-row
+    /// order per key, so the emitted rows are **identical, order included**,
+    /// to [`Executor::hash_join_stream`].
+    ///
+    /// Sim accounting follows the parallel merge rule: the build-side
+    /// shuffle charges in full (sum — every row is shipped by some worker),
+    /// while the per-probe-row shuffle + probe cost charges for the largest
+    /// chunk only (max — workers probe concurrently).
+    fn par_hash_join<'a>(
+        &'a self,
+        left: RowStream<'a>,
+        mut right: Vec<Row>,
+        right_alias: &str,
+        join_conds: Vec<&BoundCondition>,
+        meter: &Residency,
+    ) -> Result<RowStream<'a>, QueryError> {
+        let threads = self.threads;
+        let model = self.cluster.cost_model();
+        self.cluster
+            .clock()
+            .charge(model.shuffle_cost(right.len() as u64));
+        for row in &mut right {
+            row.freeze();
+        }
+
+        let right_syms: Vec<Symbol> = join_conds
+            .iter()
+            .map(|c| {
+                let col = join_column_for_alias(c, right_alias);
+                intern::intern(&format!("{right_alias}.{}", col.column))
+            })
+            .collect();
+        let left_syms: Vec<Symbol> = join_conds
+            .iter()
+            .map(|c| resolve_col(join_column_other_side(c, right_alias)))
+            .collect();
+
+        // Partition pass (serial, O(build), one key extraction per row),
+        // then per-partition table builds on the pool.  Indices stay
+        // ascending within a partition, so each key's match list keeps
+        // build-row order.
+        let mut partitions: Vec<Vec<(JoinKey, usize)>> = vec![Vec::new(); threads];
+        for (i, row) in right.iter().enumerate() {
+            if let Some(key) = JoinKey::of(row, &right_syms) {
+                partitions[partition_of(&key, threads)].push((key, i));
+            }
+        }
+        let tables: Vec<HashMap<JoinKey, Vec<usize>>> =
+            pool::map(partitions, threads, |entries| {
+                let mut table: HashMap<JoinKey, Vec<usize>> =
+                    HashMap::with_capacity(entries.len());
+                for (key, i) in entries {
+                    table.entry(key).or_default().push(i);
+                }
+                table
+            });
+
+        // Probe side: materialize and meter, then probe chunk-parallel.
+        let probe = collect_stream(left, meter)?;
+        let ranges = pool::chunk_ranges(probe.len(), threads);
+        let largest_chunk = ranges.iter().map(std::ops::Range::len).max().unwrap_or(0) as u64;
+        self.cluster
+            .clock()
+            .charge(model.shuffle_cost(largest_chunk) + model.probe_cost(largest_chunk));
+        let tables_ref = &tables;
+        let left_syms_ref = &left_syms;
+        let right_ref = &right;
+        let outputs: Vec<Vec<Row>> = pool::map_chunked(probe, threads, |chunk| {
+            let mut out = Vec::new();
+            for mut l in chunk {
+                l.freeze();
+                let Some(key) = JoinKey::of(&l, left_syms_ref) else {
+                    continue;
+                };
+                if let Some(matches) = tables_ref[partition_of(&key, threads)].get(&key) {
+                    out.extend(matches.iter().map(|&i| l.join_concat(&right_ref[i])));
+                }
+            }
+            out
+        });
+        Ok(Box::new(outputs.into_iter().flatten().map(Ok)))
     }
 
     fn apply_group_and_aggregates(
@@ -889,6 +1145,16 @@ impl Executor {
 // ----------------------------------------------------------------------
 // Helpers (free functions so they are easy to unit test)
 // ----------------------------------------------------------------------
+
+/// The hash partition a join key belongs to.  `DefaultHasher::new()` is
+/// deterministic (fixed keys), so build and probe agree — and repeated runs
+/// partition identically, keeping parallel sim figures reproducible.
+fn partition_of(key: &JoinKey, parts: usize) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut hasher);
+    (hasher.finish() % parts.max(1) as u64) as usize
+}
 
 pub(crate) fn bind_conditions(
     conditions: &[Condition],

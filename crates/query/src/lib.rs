@@ -48,5 +48,5 @@ mod stream;
 mod writes;
 
 pub use catalog::{Catalog, ColumnType, TableDef, TableKind, FAMILY};
-pub use executor::{AccessPath, Executor, DIRTY_MARKER};
+pub use executor::{par_decode_filtered, par_decode_rows, AccessPath, Executor, DIRTY_MARKER};
 pub use result::{QueryError, QueryResult};

@@ -40,6 +40,13 @@ impl Residency {
     pub(crate) fn peak(&self) -> usize {
         self.peak.get()
     }
+
+    /// Records `n` rows leaving the materialized working set (e.g. a
+    /// processed batch whose rows were dropped by a bounded heap).  The
+    /// peak is unaffected.
+    pub(crate) fn remove(&self, n: usize) {
+        self.current.set(self.current.get().saturating_sub(n));
+    }
 }
 
 /// Drains a stream into a vector, metering every collected row.
@@ -74,18 +81,97 @@ pub(crate) fn top_k(
     for row in stream {
         let row = row?;
         if heap.len() < k {
-            heap.push(row);
             meter.add(1);
-            let last = heap.len() - 1;
-            sift_up(&mut heap, last, &cmp);
-        } else if cmp(&row, &heap[0]) == Ordering::Less {
-            // Evict the worst retained row; residency stays at k.
-            heap[0] = row;
-            sift_down(&mut heap, 0, &cmp);
         }
+        // Below capacity the row is retained; at capacity it evicts the
+        // worst retained row (residency stays at k) or is dropped.
+        push_bounded(&mut heap, row, k, &cmp);
     }
     heap.sort_by(|a, b| cmp(a, b));
     Ok(heap)
+}
+
+/// Parallel ORDER BY + LIMIT: per-worker bounded heaps merged at the
+/// barrier.  The input streams through in order-preserving **batches** —
+/// each batch is split into contiguous chunks, chunk *i* feeding worker
+/// *i*'s persistent bounded heap — so residency stays at one batch plus
+/// `threads · k` heap rows instead of the whole input.  Rows a worker
+/// drops were beaten by `k` retained rows, hence are globally droppable;
+/// the final merge re-selects over the ≤ `threads · k` survivors (ties
+/// resolved arbitrarily, like any top-k heap).
+pub(crate) fn par_top_k(
+    mut stream: RowStream<'_>,
+    k: usize,
+    cmp: impl Fn(&Row, &Row) -> Ordering + Sync,
+    meter: &Residency,
+    threads: usize,
+) -> Result<Vec<Row>, QueryError> {
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+    let cmp = &cmp;
+    let batch_rows = (threads * 1_024).max(k);
+    let mut heaps: Vec<Vec<Row>> = Vec::new();
+    loop {
+        let mut batch: Vec<Row> = Vec::new();
+        for row in stream.by_ref().take(batch_rows) {
+            batch.push(row?);
+        }
+        if batch.is_empty() {
+            break;
+        }
+        let collected = batch.len();
+        meter.add(collected);
+        let retained_before: usize = heaps.iter().map(Vec::len).sum();
+        // Pair each chunk with a persistent heap (chunk count can shrink on
+        // the final short batch; unpaired heaps just carry over).
+        let ranges = pool::chunk_ranges(batch.len(), threads);
+        while heaps.len() < ranges.len() {
+            heaps.push(Vec::with_capacity(k));
+        }
+        let carried: Vec<Vec<Row>> = heaps.split_off(ranges.len());
+        let mut chunks: Vec<Vec<Row>> = Vec::with_capacity(ranges.len());
+        for range in ranges.iter().rev() {
+            chunks.push(batch.split_off(range.start));
+        }
+        chunks.reverse();
+        heaps = pool::map(
+            std::mem::take(&mut heaps).into_iter().zip(chunks).collect(),
+            threads,
+            |(mut heap, chunk)| {
+                for row in chunk {
+                    push_bounded(&mut heap, row, k, cmp);
+                }
+                heap
+            },
+        );
+        heaps.extend(carried);
+        let retained_after: usize = heaps.iter().map(Vec::len).sum();
+        // Rows the heaps dropped leave the working set; retained growth stays.
+        meter.remove(collected - (retained_after - retained_before));
+    }
+    let mut heap: Vec<Row> = Vec::with_capacity(k);
+    for row in heaps.into_iter().flatten() {
+        // Survivors were already metered as retained rows; the merge
+        // re-selects among them without materializing anything new.
+        push_bounded(&mut heap, row, k, cmp);
+    }
+    heap.sort_by(|a, b| cmp(a, b));
+    Ok(heap)
+}
+
+/// Inserts `row` into a bounded max-at-root heap of capacity `k`, evicting
+/// the worst retained row when full (the primitive both [`top_k`] and
+/// [`par_top_k`] are built from).
+fn push_bounded(heap: &mut Vec<Row>, row: Row, k: usize, cmp: &impl Fn(&Row, &Row) -> Ordering) {
+    if heap.len() < k {
+        heap.push(row);
+        let last = heap.len() - 1;
+        sift_up(heap, last, cmp);
+    } else if cmp(&row, &heap[0]) == Ordering::Less {
+        heap[0] = row;
+        sift_down(heap, 0, cmp);
+    }
 }
 
 fn sift_up(heap: &mut [Row], mut i: usize, cmp: &impl Fn(&Row, &Row) -> Ordering) {

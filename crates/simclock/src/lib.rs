@@ -31,8 +31,10 @@
 
 mod clock;
 mod cost;
+mod parallel;
 mod stats;
 
 pub use clock::{SimClock, SimDuration, SimInstant};
 pub use cost::{CostModel, StorageMedium};
+pub use parallel::{merge_elapsed, WorkerClock};
 pub use stats::{mean, std_error, Summary};

@@ -219,27 +219,26 @@ impl ViewMaintainer {
 
         // Fall back to streaming the whole view and filtering client-side,
         // under the executor's snapshot bound: maintenance must not observe
-        // view rows newer than the query snapshot.
+        // view rows newer than the query snapshot.  The walk is
+        // region-parallel at the executor's thread count (serial at 1), and
+        // the decode + filter fans out over the same workers.
+        let threads = self.executor.threads();
         let view_def = self
             .executor
             .catalog()
             .table(&view_table)
             .ok_or_else(|| QueryError::UnknownTable(view_table.clone()))?;
-        let cursor = self
-            .executor
-            .cluster()
-            .scan_stream(&view_table, self.executor.bounded_scan(Scan::all()))?;
-        Ok(cursor
-            .map(|s| view_def.decode_row(&s))
-            .filter(|row| {
-                relation_pk.iter().all(|a| {
-                    match (row.get(a), relation_key.get(a)) {
-                        (Some(x), Some(y)) => x == y,
-                        _ => false,
-                    }
-                })
+        let cursor = self.executor.cluster().par_scan_stream(
+            &view_table,
+            self.executor.bounded_scan(Scan::all()),
+            threads,
+        )?;
+        Ok(query::par_decode_filtered(view_def, cursor, threads, |row| {
+            relation_pk.iter().all(|a| match (row.get(a), relation_key.get(a)) {
+                (Some(x), Some(y)) => x == y,
+                _ => false,
             })
-            .collect())
+        }))
     }
 
     /// Marks a view row dirty (step 3 of the update transaction, §VIII-B).

@@ -40,6 +40,9 @@ pub struct SynergyConfig<'a> {
     /// MVCC-based comparison systems disable it because their concurrency
     /// control is the MVCC transaction server, not Synergy's locks.
     pub hierarchical_locking: bool,
+    /// Degree of region-parallel execution for reads and batch view
+    /// refreshes (1 = fully serial, the default).
+    pub threads: usize,
 }
 
 impl<'a> SynergyConfig<'a> {
@@ -58,7 +61,15 @@ impl<'a> SynergyConfig<'a> {
             types,
             candidate_override: None,
             hierarchical_locking: true,
+            threads: 1,
         }
+    }
+
+    /// Runs reads and batch view refreshes with up to `threads` parallel
+    /// workers (see [`query::Executor::with_threads`]).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// Uses the given candidate views instead of running §V's generation.
@@ -100,6 +111,7 @@ impl SynergySystem {
             types,
             candidate_override,
             hierarchical_locking,
+            threads,
         } = config;
 
         // 1. Baseline schema transformation.
@@ -128,7 +140,9 @@ impl SynergySystem {
         }
 
         // Reads restart when they observe a dirty marker (§VIII-C).
-        let executor = Executor::new(cluster, catalog).with_dirty_read_protection();
+        let executor = Executor::new(cluster, catalog)
+            .with_dirty_read_protection()
+            .with_threads(threads);
         let maintainer = ViewMaintainer::new(
             executor.clone(),
             schema.clone(),
@@ -288,7 +302,10 @@ impl SynergySystem {
     }
 
     fn materialize_view(&self, view: &ViewDefinition) -> Result<usize, TxnError> {
-        // Load each participating relation into memory once.
+        // Load each participating relation into memory once, through the
+        // region-parallel scan (serial when the executor runs 1 thread) with
+        // the decode fanned out over the same worker count.
+        let threads = self.executor.threads();
         let mut relation_rows: HashMap<String, Vec<Row>> = HashMap::new();
         for relation in &view.relations {
             let def = self
@@ -296,13 +313,11 @@ impl SynergySystem {
                 .catalog()
                 .table_ci(relation)
                 .ok_or_else(|| QueryError::UnknownTable(relation.clone()))?;
-            // Stream-decode: rows are decoded as the cursor pages through
-            // the table instead of buffering the raw store rows first.
             let cursor = self
                 .cluster()
-                .scan_stream(&def.name, nosql_store::ops::Scan::all())
+                .par_scan_stream(&def.name, nosql_store::ops::Scan::all(), threads)
                 .map_err(QueryError::from)?;
-            relation_rows.insert(relation.clone(), cursor.map(|s| def.decode_row(&s)).collect());
+            relation_rows.insert(relation.clone(), query::par_decode_rows(def, cursor, threads));
         }
 
         // Join along the path: parent → child on (pk = fk).

@@ -7,7 +7,7 @@ use bench::{ablation_lock_granularity, comparison_matrix, fig10_micro, fig11_loc
 
 #[test]
 fn figure_10_view_scans_beat_joins_and_the_gap_grows_with_depth() {
-    let rows = fig10_micro(&[40, 160], 2);
+    let rows = fig10_micro(&[40, 160], 2, 1);
     for row in &rows {
         assert!(
             row.speedup > 1.5,
