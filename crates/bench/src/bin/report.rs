@@ -12,7 +12,9 @@
 //!
 //! `--threads N` runs the fig10 measurements with N region-parallel workers
 //! (`fig_par` always sweeps its own 1/2/4/8 axis); `--out PATH` redirects
-//! the `--json` report.
+//! the `--json` report; `--explain` additionally dumps the Q1/Q2 plan
+//! trees, baseline vs view-rewritten, showing the Synergy rewrite rule
+//! firing inside the planner.
 //!
 //! With `--json`, the run additionally writes `BENCH_report.json` containing,
 //! per figure, both the **simulated** milliseconds of the cost model (the
@@ -21,15 +23,19 @@
 
 use bench::json::Json;
 use bench::{
-    ablation_lock_granularity, comparison_matrix, fig10_limit, fig10_micro, fig11_lock_overhead,
-    fig13_mechanisms, fig_par, fmt_mib, fmt_ms, table1_qualitative, table3_sizes,
-    ComparisonMatrix, Fig10LimitRow, Fig10Row, Fig11Row, FigParRow, LockAblationRow,
-    DEFAULT_CUSTOMERS, DEFAULT_REPS,
+    ablation_lock_granularity, comparison_matrix, fig10_limit, fig10_micro_with_prepared,
+    fig11_lock_overhead, fig13_mechanisms, fig_par, fmt_mib, fmt_ms, table1_qualitative,
+    table3_sizes, ComparisonMatrix, Fig10LimitRow, Fig10PreparedRow, Fig10Row, Fig11Row,
+    FigParRow, LockAblationRow, DEFAULT_CUSTOMERS, DEFAULT_REPS,
 };
 use std::time::Instant;
+use tpcw::micro::MicroBench;
 
 /// The `k` of the Figure 10 LIMIT companion query.
 const FIG10_LIMIT: usize = 50;
+
+/// Executions per timed loop of the fig10 prepared-statement companion.
+const FIG10_PREPARED_EXECS: u64 = 500;
 
 /// The thread counts the fig_par sweep measures.
 const FIG_PAR_THREADS: [usize; 4] = [1, 2, 4, 8];
@@ -42,6 +48,8 @@ struct Options {
     /// sweeps its own axis regardless).
     threads: usize,
     json: bool,
+    /// Dump the Q1/Q2 plan trees (baseline vs view-rewritten).
+    explain: bool,
     out: String,
 }
 
@@ -52,6 +60,7 @@ fn parse_args() -> Options {
         reps: DEFAULT_REPS,
         threads: 1,
         json: false,
+        explain: false,
         out: "BENCH_report.json".to_string(),
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -76,6 +85,7 @@ fn parse_args() -> Options {
                 options.out = args[i].clone();
             }
             "--json" => options.json = true,
+            "--explain" => options.explain = true,
             other if !other.starts_with("--") => options.artifact = other.to_string(),
             other => panic!("unknown flag {other}"),
         }
@@ -116,14 +126,34 @@ fn main() {
         (matrix, wall_ms(start))
     });
 
+    if options.explain {
+        // Plan trees for the micro queries at the smallest fig10 scale:
+        // the plan shape is scale-independent, so the cheapest deployment
+        // suffices to show the view-rewrite rule firing.
+        let customers = fig10_scales(options.customers)[0];
+        let explain_bench = MicroBench::build_with_threads(customers, options.threads)
+            .expect("micro benchmark builds");
+        let explains: Vec<tpcw::micro::QueryExplain> = (0..2)
+            .map(|i| explain_bench.explain(i).expect("plans render"))
+            .collect();
+        print_explain(&explains);
+        figures.push(("explain".into(), explain_json(&explains)));
+    }
     if matches!(artifact, "table1" | "all") {
         print_table1();
     }
     if matches!(artifact, "fig10" | "all") {
         let start = Instant::now();
-        let rows = fig10_micro(&fig10_scales(options.customers), options.reps, options.threads);
+        let output = fig10_micro_with_prepared(
+            &fig10_scales(options.customers),
+            options.reps,
+            options.threads,
+            FIG10_PREPARED_EXECS,
+        );
+        let rows = output.rows;
         let elapsed = wall_ms(start);
         print_fig10(&rows);
+        print_fig10_prepared(&output.prepared);
         // The LIMIT companion is timed separately so `fig10.wall_ms` stays
         // comparable across report versions.
         let limit_start = Instant::now();
@@ -137,7 +167,7 @@ fn main() {
         print_fig10_limit(&limit_rows);
         figures.push((
             "fig10".into(),
-            fig10_json(&rows, elapsed, &limit_rows, limit_elapsed),
+            fig10_json(&rows, elapsed, &limit_rows, limit_elapsed, &output.prepared),
         ));
     }
     if matches!(artifact, "fig_par" | "all") {
@@ -224,6 +254,7 @@ fn fig10_json(
     elapsed_ms: f64,
     limit_rows: &[Fig10LimitRow],
     limit_elapsed_ms: f64,
+    prepared_rows: &[Fig10PreparedRow],
 ) -> Json {
     Json::obj([
         ("wall_ms", Json::Num(elapsed_ms)),
@@ -243,6 +274,32 @@ fn fig10_json(
                             ("wall_speedup", Json::Num(r.wall_speedup)),
                             ("view_peak_rows_resident", Json::Int(r.view_peak_rows as i64)),
                             ("join_peak_rows_resident", Json::Int(r.join_peak_rows as i64)),
+                            ("plan_cache_hits", Json::Int(r.plan_cache_hits as i64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "prepared_rows",
+            Json::Arr(
+                prepared_rows
+                    .iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("customers", Json::Int(r.customers as i64)),
+                            ("executions", Json::Int(r.executions as i64)),
+                            ("oneshot_us_per_exec", Json::Num(r.oneshot_us_per_exec)),
+                            ("prepared_us_per_exec", Json::Num(r.prepared_us_per_exec)),
+                            ("prepared_speedup", Json::Num(r.prepared_speedup)),
+                            (
+                                "session_plan_cache_hits",
+                                Json::Int(r.session_plan_cache_hits as i64),
+                            ),
+                            (
+                                "session_plan_cache_misses",
+                                Json::Int(r.session_plan_cache_misses as i64),
+                            ),
                         ])
                     })
                     .collect(),
@@ -427,6 +484,60 @@ fn print_fig10(rows: &[Fig10Row]) {
         );
     }
     println!("(paper: view scan 6x / 11.7x faster than the join at 50k customers)\n");
+}
+
+fn print_fig10_prepared(rows: &[Fig10PreparedRow]) {
+    println!("--- Figure 10 companion: prepared statements vs one-shot (point lookup) ---");
+    println!(
+        "{:>10} {:>12} {:>18} {:>18} {:>9} {:>13} {:>15}",
+        "customers", "executions", "one-shot (us)", "prepared (us)", "speedup", "session hits", "session misses"
+    );
+    for row in rows {
+        println!(
+            "{:>10} {:>12} {:>18} {:>18} {:>8.2}x {:>13} {:>15}",
+            row.customers,
+            row.executions,
+            format!("{:.2}", row.oneshot_us_per_exec),
+            format!("{:.2}", row.prepared_us_per_exec),
+            row.prepared_speedup,
+            row.session_plan_cache_hits,
+            row.session_plan_cache_misses,
+        );
+    }
+    println!("(prepared = one compiled plan re-executed; one-shot re-runs parse/bind/plan per call)\n");
+}
+
+fn print_explain(explains: &[tpcw::micro::QueryExplain]) {
+    println!("--- EXPLAIN: micro-benchmark plan trees (baseline vs view-rewritten) ---");
+    for e in explains {
+        println!("{} — join algorithm (base tables):", e.query);
+        for line in e.baseline.lines() {
+            println!("    {line}");
+        }
+        println!("{} — Synergy read path (view rewrite as a planner rule):", e.query);
+        for line in e.synergy.lines() {
+            println!("    {line}");
+        }
+    }
+    println!();
+}
+
+fn explain_json(explains: &[tpcw::micro::QueryExplain]) -> Json {
+    Json::obj([(
+        "queries",
+        Json::Arr(
+            explains
+                .iter()
+                .map(|e| {
+                    Json::obj([
+                        ("query", Json::str(e.query)),
+                        ("baseline", Json::str(e.baseline.clone())),
+                        ("synergy", Json::str(e.synergy.clone())),
+                    ])
+                })
+                .collect(),
+        ),
+    )])
 }
 
 fn print_fig10_limit(rows: &[Fig10LimitRow]) {

@@ -61,6 +61,45 @@ pub struct Fig10Row {
     pub view_peak_rows: u64,
     /// Peak rows the executor held materialized during the join.
     pub join_peak_rows: u64,
+    /// Plan-cache hits the Synergy session served while this row's view
+    /// measurements repeated (first repetition compiles, the rest hit).
+    pub plan_cache_hits: u64,
+}
+
+/// One row of the Figure 10 prepared-statement companion: a point lookup
+/// executed through the one-shot path (all pipeline phases per call) vs a
+/// prepared statement (plan compiled once, re-executed with fresh
+/// parameters).  Wall-clock only — both paths charge identical simulated
+/// cost.
+#[derive(Debug, Clone)]
+pub struct Fig10PreparedRow {
+    /// Number of customers.
+    pub customers: u64,
+    /// Executions per timed loop.
+    pub executions: u64,
+    /// Mean one-shot microseconds per execution.
+    pub oneshot_us_per_exec: f64,
+    /// Mean prepared microseconds per execution.
+    pub prepared_us_per_exec: f64,
+    /// one-shot / prepared speedup.
+    pub prepared_speedup: f64,
+    /// Cumulative plan-cache hits of this scale's Synergy session — the
+    /// whole deployment's counters, **not** a per-loop delta like
+    /// [`Fig10Row::plan_cache_hits`] (the JSON field is named
+    /// `session_plan_cache_hits` to keep the two distinguishable).
+    pub session_plan_cache_hits: u64,
+    /// Cumulative plan-cache misses (compiles) of this scale's session.
+    pub session_plan_cache_misses: u64,
+}
+
+/// The full Figure 10 output: per-query view-vs-join rows plus the
+/// prepared-statement companion rows.
+#[derive(Debug, Clone, Default)]
+pub struct Fig10Output {
+    /// View scan vs join algorithm, per query per scale.
+    pub rows: Vec<Fig10Row>,
+    /// Prepared vs one-shot, per scale (empty when `prepared_execs` = 0).
+    pub prepared: Vec<Fig10PreparedRow>,
 }
 
 /// Runs the §IX-B micro-benchmark for every scale in `customer_scales`,
@@ -68,7 +107,21 @@ pub struct Fig10Row {
 /// pipeline; sim figures at 1 thread are byte-identical to earlier report
 /// versions).
 pub fn fig10_micro(customer_scales: &[u64], reps: u64, threads: usize) -> Vec<Fig10Row> {
-    let mut rows = Vec::new();
+    fig10_micro_with_prepared(customer_scales, reps, threads, 0).rows
+}
+
+/// [`fig10_micro`] plus the prepared-statement companion: after each
+/// scale's view/join measurements, the prepared-vs-one-shot point-lookup
+/// loops run `prepared_execs` executions each on the same deployment
+/// (0 = skip, keeping the companion free for callers that only want the
+/// classic figure).
+pub fn fig10_micro_with_prepared(
+    customer_scales: &[u64],
+    reps: u64,
+    threads: usize,
+    prepared_execs: u64,
+) -> Fig10Output {
+    let mut out = Fig10Output::default();
     for &customers in customer_scales {
         let bench =
             MicroBench::build_with_threads(customers, threads).expect("micro benchmark builds");
@@ -79,6 +132,7 @@ pub fn fig10_micro(customer_scales: &[u64], reps: u64, threads: usize) -> Vec<Fi
             let mut join_wall_samples = Vec::new();
             let mut view_peak_rows = 0u64;
             let mut join_peak_rows = 0u64;
+            let hits_before = bench.system().plan_cache_stats().hits;
             for _ in 0..reps {
                 let m = bench.measure(query_index).expect("measurement succeeds");
                 view_samples.push(m.view_scan.as_millis_f64());
@@ -88,11 +142,12 @@ pub fn fig10_micro(customer_scales: &[u64], reps: u64, threads: usize) -> Vec<Fi
                 view_peak_rows = view_peak_rows.max(m.view_peak_rows as u64);
                 join_peak_rows = join_peak_rows.max(m.join_peak_rows as u64);
             }
+            let plan_cache_hits = bench.system().plan_cache_stats().hits - hits_before;
             let view = Summary::of(&view_samples);
             let join = Summary::of(&join_samples);
             let view_wall = Summary::of(&view_wall_samples);
             let join_wall = Summary::of(&join_wall_samples);
-            rows.push(Fig10Row {
+            out.rows.push(Fig10Row {
                 query: if query_index == 0 { "Q1" } else { "Q2" },
                 customers,
                 speedup: join.mean / view.mean.max(f64::EPSILON),
@@ -103,10 +158,25 @@ pub fn fig10_micro(customer_scales: &[u64], reps: u64, threads: usize) -> Vec<Fi
                 join_wall_ms: join_wall,
                 view_peak_rows,
                 join_peak_rows,
+                plan_cache_hits,
+            });
+        }
+        if prepared_execs > 0 {
+            let m = bench
+                .measure_prepared(prepared_execs)
+                .expect("prepared comparison succeeds");
+            out.prepared.push(Fig10PreparedRow {
+                customers,
+                executions: m.executions,
+                oneshot_us_per_exec: m.oneshot_us_per_exec(),
+                prepared_us_per_exec: m.prepared_us_per_exec(),
+                prepared_speedup: m.speedup(),
+                session_plan_cache_hits: m.cache_stats.hits,
+                session_plan_cache_misses: m.cache_stats.misses,
             });
         }
     }
-    rows
+    out
 }
 
 /// One row of the Figure 10 LIMIT companion: Q1 with `LIMIT k` through the

@@ -384,6 +384,21 @@ impl Cluster {
         Ok(regions.iter().map(|r| r.row_count() as u64).sum())
     }
 
+    /// Storage statistics (row / byte / region counts) for one table, or
+    /// `None` when the table does not exist.  This reads region metadata
+    /// only — no simulated cost is charged and no operation counter moves —
+    /// so planners can consult it freely (e.g. the query optimizer's
+    /// cardinality estimates) without perturbing measured figures.
+    pub fn table_stats(&self, table: &str) -> Option<crate::metrics::TableMetrics> {
+        let state = self.table(table).ok()?;
+        let regions = state.regions.read();
+        Some(crate::metrics::TableMetrics {
+            rows: regions.iter().map(|r| r.row_count() as u64).sum(),
+            bytes: regions.iter().map(|r| r.byte_size() as u64).sum(),
+            regions: regions.len(),
+        })
+    }
+
     /// Major-compacts one table (drops excess cell versions, reclaims space).
     pub fn major_compact(&self, table: &str) -> StoreResult<()> {
         let state = self.table(table)?;

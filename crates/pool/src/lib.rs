@@ -1,7 +1,7 @@
 //! A small chunked scoped-thread pool for region-parallel execution.
 //!
 //! This workspace builds offline (no crates registry), so instead of rayon
-//! the parallel layers — [`nosql_store`]'s region-parallel scans, the query
+//! the parallel layers — `nosql_store`'s region-parallel scans, the query
 //! executor's partitioned hash join and parallel top-k, Synergy's batch view
 //! refreshes — share this ~100-line fan-out primitive built on
 //! [`std::thread::scope`].

@@ -1,0 +1,342 @@
+//! Phase 2 of the query pipeline: **binding**.
+//!
+//! Binding resolves every name in a parsed [`SelectStatement`] against the
+//! [`Catalog`] — FROM aliases to [`TableDef`]s, column references to interned
+//! [`Symbol`]s — *without* touching positional parameters.  The result is a
+//! [`BoundSelect`] whose conditions carry [`PlannedOperand::Param`] slots, so
+//! a plan built from it can be cached and re-executed with fresh parameter
+//! values: only [`PlannedCondition::bind`] runs per execution, producing the
+//! fully-bound [`BoundCondition`]s the physical operators evaluate.
+//!
+//! The helpers in this module answer the *shape* questions the optimizer
+//! asks (which conditions are single-alias filters, which are equi-joins,
+//! which columns a statement needs) and the *value* questions the physical
+//! phase asks (the equality-filter values that key a Get or prefix scan).
+
+use crate::catalog::{Catalog, TableDef};
+use crate::result::QueryError;
+use relational::{intern, Row, Symbol, Value};
+use sql::{ColumnRef, Comparison, Condition, Expr, SelectItem, SelectStatement};
+use std::collections::BTreeMap;
+
+/// The right-hand side of a condition after binding: a literal, an unbound
+/// positional parameter slot, or a column (an equi-join edge).
+#[derive(Debug, Clone)]
+pub(crate) enum PlannedOperand {
+    /// A literal value from the statement text.
+    Literal(Value),
+    /// A `?` placeholder bound at execution time.
+    Param(usize),
+    /// A column of another table reference (resolved symbol included).
+    Column(ColumnRef, Symbol),
+}
+
+/// A WHERE conjunct with its column references resolved to interned symbols
+/// but its parameters still unbound — the cacheable form of a condition.
+#[derive(Debug, Clone)]
+pub(crate) struct PlannedCondition {
+    pub left: ColumnRef,
+    /// `intern(left.qualified_name())`; exact-then-suffix lookup through
+    /// this symbol is equivalent to the former
+    /// `get(qualified).or_else(|| get(bare))` chain.
+    pub left_sym: Symbol,
+    pub op: Comparison,
+    pub right: PlannedOperand,
+}
+
+impl PlannedCondition {
+    /// Resolves one parsed condition (no parameter values needed).
+    pub(crate) fn resolve(c: &Condition) -> PlannedCondition {
+        let right = match &c.right {
+            Expr::Column(col) => PlannedOperand::Column(col.clone(), resolve_col(col)),
+            Expr::Literal(v) => PlannedOperand::Literal(v.clone()),
+            Expr::Parameter(i) => PlannedOperand::Param(*i),
+        };
+        PlannedCondition {
+            left: c.left.clone(),
+            left_sym: resolve_col(&c.left),
+            op: c.op,
+            right,
+        }
+    }
+
+    /// True when the right-hand side is a constant (literal or parameter)
+    /// rather than a column — i.e. the condition filters rather than joins.
+    pub(crate) fn is_filter(&self) -> bool {
+        !matches!(self.right, PlannedOperand::Column(..))
+    }
+
+    /// Substitutes parameter values, producing the executable form.
+    pub(crate) fn bind(&self, params: &[Value]) -> Result<BoundCondition, QueryError> {
+        let right = match &self.right {
+            PlannedOperand::Literal(v) => BoundOperand::Value(v.clone()),
+            PlannedOperand::Param(i) => BoundOperand::Value(
+                params
+                    .get(*i)
+                    .cloned()
+                    .ok_or(QueryError::MissingParameter(*i))?,
+            ),
+            PlannedOperand::Column(_, sym) => BoundOperand::Column(sym.clone()),
+        };
+        Ok(BoundCondition {
+            left_sym: self.left_sym.clone(),
+            op: self.op,
+            right,
+        })
+    }
+}
+
+/// A condition with parameters bound to concrete values — what the physical
+/// operators evaluate per row.
+#[derive(Debug, Clone)]
+pub(crate) struct BoundCondition {
+    pub left_sym: Symbol,
+    pub op: Comparison,
+    pub right: BoundOperand,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum BoundOperand {
+    Value(Value),
+    Column(Symbol),
+}
+
+/// The output of the binding phase: aliases resolved to table definitions
+/// and conditions resolved to symbols (parameters still unbound).  The
+/// statement itself is borrowed — planning reads it, the compiled plan
+/// keeps only resolved artifacts.
+#[derive(Debug)]
+pub(crate) struct BoundSelect<'a> {
+    /// The (possibly view-rewritten) statement being planned.
+    pub select: &'a SelectStatement,
+    /// One `(alias, definition)` per FROM entry, in statement order.
+    /// Definitions are shared with the catalog (no symbol-table copies).
+    pub aliases: Vec<(String, std::sync::Arc<TableDef>)>,
+    /// One resolved condition per WHERE conjunct, in statement order.
+    pub conditions: Vec<PlannedCondition>,
+}
+
+/// Runs the binding phase for a SELECT.
+pub(crate) fn bind_select<'a>(
+    catalog: &Catalog,
+    select: &'a SelectStatement,
+) -> Result<BoundSelect<'a>, QueryError> {
+    let mut aliases: Vec<(String, std::sync::Arc<TableDef>)> = Vec::new();
+    for table_ref in &select.from {
+        let def = catalog
+            .table_shared_ci(&table_ref.table)
+            .ok_or_else(|| QueryError::UnknownTable(table_ref.table.clone()))?;
+        aliases.push((table_ref.alias.clone(), def));
+    }
+    let conditions = select.conditions.iter().map(PlannedCondition::resolve).collect();
+    Ok(BoundSelect {
+        select,
+        aliases,
+        conditions,
+    })
+}
+
+/// Resolves a column reference for per-row lookup: the qualified name is
+/// interned once, and [`Row::get_interned`](relational::Row::get_interned)'s
+/// suffix fallback covers the bare-name alternative (both names share the
+/// same bare suffix).
+pub(crate) fn resolve_col(col: &ColumnRef) -> Symbol {
+    match &col.qualifier {
+        Some(q) => intern::intern(&format!("{q}.{}", col.column)),
+        None => intern::intern(&col.column),
+    }
+}
+
+/// True if the condition only involves the given alias (its left column is a
+/// column of `def` referenced through `alias` or unqualified-and-unambiguous)
+/// and compares against a constant.
+pub(crate) fn condition_is_single_alias(
+    c: &PlannedCondition,
+    alias: &str,
+    def: &TableDef,
+    from: &[sql::TableRef],
+) -> bool {
+    c.is_filter() && column_belongs_to_alias(&c.left, alias, def, from)
+}
+
+pub(crate) fn column_belongs_to_alias(
+    col: &ColumnRef,
+    alias: &str,
+    def: &TableDef,
+    from: &[sql::TableRef],
+) -> bool {
+    match &col.qualifier {
+        Some(q) => q == alias && def.column_type(&col.column).is_some(),
+        // Unqualified: belongs to this alias when the column exists here and
+        // this is the only FROM entry that declares it (TPC-W queries only
+        // use unqualified names when they are unambiguous).
+        None => def.column_type(&col.column).is_some() && from.len() == 1,
+    }
+}
+
+/// The columns carrying single-alias *equality* filters for one alias, in
+/// sorted order — the shape input to access-path selection (values are not
+/// needed to choose the path).  `cond_idxs` are the alias's single-alias
+/// condition indices from the optimizer's classification pass.
+pub(crate) fn eq_filter_columns(
+    conditions: &[PlannedCondition],
+    cond_idxs: &[usize],
+) -> Vec<String> {
+    let mut out = BTreeMap::new();
+    for &i in cond_idxs {
+        let c = &conditions[i];
+        if c.op == Comparison::Eq {
+            out.insert(c.left.column.clone(), ());
+        }
+    }
+    out.into_keys().collect()
+}
+
+/// The single-alias equality filters of one alias as column → bound value
+/// (what keys a Get / prefix scan).  Later conditions on the same column
+/// overwrite earlier ones, exactly as the pre-planner executor behaved.
+pub(crate) fn eq_filter_values(
+    conditions: &[PlannedCondition],
+    bound: &[BoundCondition],
+    cond_idxs: &[usize],
+) -> BTreeMap<String, Value> {
+    let mut out = BTreeMap::new();
+    for &i in cond_idxs {
+        if conditions[i].op == Comparison::Eq {
+            if let BoundOperand::Value(v) = &bound[i].right {
+                out.insert(conditions[i].left.column.clone(), v.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Columns of `alias` that the query needs (for covered-index decisions and
+/// projection pushdown); `None` means "all of them" (wildcard).
+pub(crate) fn needed_columns(
+    select: &SelectStatement,
+    alias: &str,
+    def: &TableDef,
+) -> Option<Vec<String>> {
+    let mut needed: Vec<String> = Vec::new();
+    let mut add = |col: &ColumnRef| {
+        let belongs = match &col.qualifier {
+            Some(q) => q == alias,
+            None => def.column_type(&col.column).is_some(),
+        };
+        if belongs && !needed.contains(&col.column) {
+            needed.push(col.column.clone());
+        }
+    };
+    for item in &select.items {
+        match item {
+            SelectItem::Wildcard => return None,
+            SelectItem::Column { column, .. } => add(column),
+            SelectItem::Aggregate { argument, .. } => {
+                if let Some(a) = argument {
+                    add(a);
+                }
+            }
+        }
+    }
+    for c in &select.conditions {
+        add(&c.left);
+        if let Expr::Column(col) = &c.right {
+            add(col);
+        }
+    }
+    for c in &select.group_by {
+        add(c);
+    }
+    for k in &select.order_by {
+        add(&k.column);
+    }
+    Some(needed)
+}
+
+/// Builds the per-column decode mask for `needed` columns (`None` = decode
+/// everything, also used when every column is needed anyway).
+pub(crate) fn column_mask(def: &TableDef, needed: &Option<Vec<String>>) -> Option<Vec<bool>> {
+    let needed = needed.as_ref()?;
+    let mut mask = vec![false; def.columns.len()];
+    let mut all = true;
+    for (i, (name, _)) in def.columns.iter().enumerate() {
+        let keep = needed.iter().any(|n| n == name);
+        mask[i] = keep;
+        all &= keep;
+    }
+    if all {
+        None
+    } else {
+        Some(mask)
+    }
+}
+
+/// Equi-join conditions connecting `alias` to any of `joined`, with their
+/// index in the planned-condition list.
+pub(crate) fn join_conditions_between<'a>(
+    conditions: &'a [PlannedCondition],
+    alias: &'a str,
+    joined: &'a [String],
+) -> impl Iterator<Item = (usize, &'a PlannedCondition)> {
+    conditions.iter().enumerate().filter(move |(_, c)| {
+        if c.op != Comparison::Eq {
+            return false;
+        }
+        let PlannedOperand::Column(right, _) = &c.right else {
+            return false;
+        };
+        let lq = c.left.qualifier.as_deref();
+        let rq = right.qualifier.as_deref();
+        match (lq, rq) {
+            (Some(l), Some(r)) => {
+                (l == alias && joined.iter().any(|j| j == r))
+                    || (r == alias && joined.iter().any(|j| j == l))
+            }
+            _ => false,
+        }
+    })
+}
+
+/// The side of a join condition that belongs to `alias`.
+pub(crate) fn join_column_for_alias<'a>(c: &'a PlannedCondition, alias: &str) -> &'a ColumnRef {
+    let PlannedOperand::Column(right, _) = &c.right else {
+        return &c.left;
+    };
+    if right.qualifier.as_deref() == Some(alias) {
+        right
+    } else {
+        &c.left
+    }
+}
+
+/// The side of a join condition that does *not* belong to `alias`.
+pub(crate) fn join_column_other_side<'a>(c: &'a PlannedCondition, alias: &str) -> &'a ColumnRef {
+    let PlannedOperand::Column(right, _) = &c.right else {
+        return &c.left;
+    };
+    if right.qualifier.as_deref() == Some(alias) {
+        &c.left
+    } else {
+        right
+    }
+}
+
+/// Binds a scalar expression (used by the write paths, which have no plan).
+pub(crate) fn bind_expr(expr: &Expr, params: &[Value]) -> Result<Value, QueryError> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Parameter(i) => params
+            .get(*i)
+            .cloned()
+            .ok_or(QueryError::MissingParameter(*i)),
+        Expr::Column(c) => Err(QueryError::Unsupported(format!(
+            "column reference {c} cannot be used as a scalar value here"
+        ))),
+    }
+}
+
+/// Builds a row carrying the equality-filter values (for key encoding).
+pub(crate) fn eq_filter_row(eq_filters: &BTreeMap<String, Value>) -> Row {
+    Row::from_pairs(eq_filters.iter().map(|(k, v)| (k.as_str(), v.clone())))
+}

@@ -5,6 +5,7 @@ use nosql_store::ops::Put;
 use nosql_store::ResultRow;
 use relational::{encode_key, intern, Row, Symbol, Value};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// The column family every attribute is stored in (the paper's baseline
 /// transformation assigns all attributes of a relation to a single family).
@@ -266,17 +267,50 @@ impl TableDef {
 }
 
 /// The catalog: every logical table known to the SQL skin.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Every mutation stamps the catalog with a process-globally unique
+/// [`Catalog::version`], so plan caches (see [`crate::Session`]) can detect
+/// that a cached plan was compiled against stale definitions without
+/// comparing table contents.
+#[derive(Debug, Clone, Default)]
 pub struct Catalog {
-    tables: BTreeMap<String, TableDef>,
+    /// Definitions are stored behind `Arc` so compiled plans can hold them
+    /// without deep-cloning the per-table symbol and index maps on every
+    /// planning pass.
+    tables: BTreeMap<String, Arc<TableDef>>,
     /// Indexes grouped by the table they index (`TableKind::Index.of`).
     indexes_of: BTreeMap<String, Vec<String>>,
+    /// Stamp of the last mutation (globally unique across all catalogs).
+    version: u64,
+}
+
+/// Logical equality: two catalogs are equal when they define the same
+/// tables, regardless of the mutation history that built them (the
+/// `version` stamp is cache bookkeeping, not part of the schema).
+impl PartialEq for Catalog {
+    fn eq(&self, other: &Self) -> bool {
+        self.tables == other.tables && self.indexes_of == other.indexes_of
+    }
+}
+
+/// Hands out process-globally unique version stamps for catalog mutations.
+fn next_catalog_version() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
 impl Catalog {
     /// Creates an empty catalog.
     pub fn new() -> Catalog {
         Catalog::default()
+    }
+
+    /// The stamp of the last mutation.  Globally unique per mutation, so
+    /// two catalogs that went through different mutations never share a
+    /// version — the property plan-cache invalidation relies on.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Adds (or replaces) a table definition.
@@ -287,7 +321,8 @@ impl Catalog {
                 .or_default()
                 .push(def.name.clone());
         }
-        self.tables.insert(def.name.clone(), def);
+        self.tables.insert(def.name.clone(), Arc::new(def));
+        self.version = next_catalog_version();
     }
 
     /// Removes a table definition.
@@ -298,38 +333,68 @@ impl Catalog {
                     list.retain(|n| n != name);
                 }
             }
+            self.version = next_catalog_version();
         }
     }
 
     /// Looks up a table definition.
     pub fn table(&self, name: &str) -> Option<&TableDef> {
-        self.tables.get(name)
+        self.tables.get(name).map(Arc::as_ref)
+    }
+
+    /// Looks up a table definition as a shared handle (what compiled plans
+    /// hold — cloning the handle is a reference-count bump, not a copy of
+    /// the symbol tables).
+    pub fn table_shared(&self, name: &str) -> Option<Arc<TableDef>> {
+        self.tables.get(name).cloned()
+    }
+
+    /// [`Catalog::table_shared`], ignoring ASCII case.
+    pub fn table_shared_ci(&self, name: &str) -> Option<Arc<TableDef>> {
+        self.tables.get(name).cloned().or_else(|| {
+            self.tables
+                .values()
+                .find(|t| t.name.eq_ignore_ascii_case(name))
+                .cloned()
+        })
     }
 
     /// Looks up a table, ignoring ASCII case (SQL identifiers are case
     /// insensitive in the TPC-W workload).
     pub fn table_ci(&self, name: &str) -> Option<&TableDef> {
-        self.tables
-            .get(name)
-            .or_else(|| self.tables.values().find(|t| t.name.eq_ignore_ascii_case(name)))
+        self.tables.get(name).map(Arc::as_ref).or_else(|| {
+            self.tables
+                .values()
+                .find(|t| t.name.eq_ignore_ascii_case(name))
+                .map(Arc::as_ref)
+        })
     }
 
     /// Names of index tables defined over `table`.
     pub fn indexes_of(&self, table: &str) -> Vec<&TableDef> {
         self.indexes_of
             .get(table)
-            .map(|names| names.iter().filter_map(|n| self.tables.get(n)).collect())
+            .map(|names| {
+                names
+                    .iter()
+                    .filter_map(|n| self.tables.get(n).map(Arc::as_ref))
+                    .collect()
+            })
             .unwrap_or_default()
     }
 
     /// All table definitions, sorted by name.
     pub fn tables(&self) -> impl Iterator<Item = &TableDef> {
-        self.tables.values()
+        self.tables.values().map(Arc::as_ref)
     }
 
     /// All table definitions of a given kind.
     pub fn tables_of_kind(&self, kind: &TableKind) -> Vec<&TableDef> {
-        self.tables.values().filter(|t| &t.kind == kind).collect()
+        self.tables
+            .values()
+            .filter(|t| &t.kind == kind)
+            .map(Arc::as_ref)
+            .collect()
     }
 
     /// Number of tables.

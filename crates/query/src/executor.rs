@@ -1,5 +1,22 @@
-//! Statement execution: access-path selection, client-side hash joins,
-//! aggregation, ordering and projection.
+//! The [`Executor`]: configuration and one-shot entry points of the query
+//! pipeline.
+//!
+//! Statement evaluation is an explicit four-phase pipeline:
+//!
+//! 1. **parse** — SQL text → [`sql::Statement`] ([`sql::parse_statement`]);
+//! 2. **bind** — names resolved against the [`Catalog`] to interned
+//!    [`Symbol`](relational::Symbol)s, parameters left as slots
+//!    (`crate::bind`);
+//! 3. **logical plan / optimize** — rule passes decide predicate placement,
+//!    access paths, join order, pushdowns and operator parallelism,
+//!    producing a [`LogicalPlan`](crate::LogicalPlan) (`crate::optimize`);
+//! 4. **physical plan** — the compiled, cacheable [`PhysicalPlan`] executes
+//!    over the pull-based [`RowStream`](crate::stream) operators
+//!    (`crate::physical`).
+//!
+//! [`Executor::execute_sql`] is the thin one-shot wrapper that runs all four
+//! phases per call.  [`crate::Session`] amortizes phases 1–3 across
+//! executions through its plan cache and prepared statements.
 //!
 //! The executor mirrors how Phoenix evaluates SQL over HBase: single-table
 //! predicates become Gets or range Scans (using covered indexes when one
@@ -9,42 +26,15 @@
 //! pay the shuffle/probe costs of [`simclock::CostModel`] — the data-transfer
 //! latency the paper identifies as the reason joins are slow in a NoSQL
 //! store (§III).
-//!
-//! # Streaming execution
-//!
-//! A SELECT is evaluated as a **pull-based operator tree** over lazy
-//! [`RowStream`]s: store scans are [`nosql_store::ScanCursor`]s that page
-//! through regions on demand, decode (with projection pushed into both the
-//! store scan and the decoder), filtering, and hash-join probing all wrap
-//! the upstream iterator, and only the operators that fundamentally need
-//! state — hash-join build sides, GROUP BY, ORDER BY — materialize rows.
-//! ORDER BY + LIMIT uses a bounded top-k heap, and a `LIMIT k` statement
-//! stops pulling its source after `k` output rows, so it decodes
-//! O(k + build-side) rows instead of the whole database.  Row limits with
-//! no downstream filtering are pushed all the way into the store scan.
-//!
-//! # Allocation discipline
-//!
-//! The read path resolves every column reference to an interned
-//! [`Symbol`] **once per statement**: per-alias qualified-name tables are
-//! precomputed before rows are fetched, join keys and residual predicates
-//! compare pre-resolved symbols, and the hash join emits rows whose left and
-//! right halves are shared `Arc` slices ([`Row::join_concat`]) instead of
-//! deep clones.  Projection is pushed into the decoder so unneeded columns
-//! are never materialized.
 
 use crate::catalog::{Catalog, TableDef, FAMILY};
+use crate::optimize;
+use crate::physical::PhysicalPlan;
 use crate::result::{QueryError, QueryResult};
-use crate::stream::{collect_stream, par_top_k, top_k, Residency, RowStream};
 use nosql_store::ops::{Get, Scan};
 use nosql_store::Cluster;
-use relational::{encode_key, intern, Row, Symbol, Value, KEY_DELIMITER};
-use sql::{
-    AggregateFunction, ColumnRef, Comparison, Condition, Expr, SelectItem, SelectStatement,
-    Statement,
-};
-use std::cmp::Ordering;
-use std::collections::{BTreeMap, HashMap};
+use relational::{Row, Value};
+use sql::{SelectStatement, Statement};
 use std::sync::Arc;
 
 /// Reserved column marking a row as dirty during a Synergy view update.
@@ -53,7 +43,7 @@ pub const DIRTY_MARKER: &str = "_dirty";
 /// Maximum number of times a scan is restarted after observing dirty rows.
 /// Restarts are cheap (the marked window is a handful of store operations),
 /// so the limit is generous; it exists only to turn a livelock into an error.
-const DIRTY_RETRY_LIMIT: usize = 4_096;
+pub(crate) const DIRTY_RETRY_LIMIT: usize = 4_096;
 
 /// How a single table reference will be accessed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,6 +61,11 @@ pub enum AccessPath {
     FullScan,
 }
 
+/// True if a stored row carries the dirty marker (see [`DIRTY_MARKER`]).
+pub(crate) fn stored_row_is_dirty(stored: &nosql_store::ResultRow) -> bool {
+    stored.value(FAMILY, DIRTY_MARKER).is_some_and(|v| v == b"1")
+}
+
 /// Executes SQL statements against a [`Cluster`] using a [`Catalog`].
 #[derive(Clone)]
 pub struct Executor {
@@ -84,117 +79,164 @@ pub struct Executor {
     threads: usize,
 }
 
-/// A WHERE conjunct with parameters bound to concrete values and its column
-/// references resolved to interned symbols (once per statement, not per row).
-#[derive(Debug, Clone)]
-pub(crate) struct BoundCondition {
-    pub left: ColumnRef,
-    /// `intern(left.qualified_name())`; exact-then-suffix lookup through
-    /// this symbol is equivalent to the former
-    /// `get(qualified).or_else(|| get(bare))` chain.
-    pub left_sym: Symbol,
-    pub op: Comparison,
-    pub right: BoundOperand,
-}
-
-#[derive(Debug, Clone)]
-pub(crate) enum BoundOperand {
-    Value(Value),
-    Column(ColumnRef, Symbol),
-}
-
-/// A hash-join key; the single-condition case (all of TPC-W's joins)
-/// carries the value inline instead of allocating a per-row vector.  Keys
-/// own their values so the build map can outlive the probe stream's
-/// borrows; TPC-W join keys are integers, so the clone is a copy.
-#[derive(Clone, PartialEq, Eq, Hash)]
-enum JoinKey {
-    One(Value),
-    Many(Vec<Value>),
-}
-
-impl JoinKey {
-    /// Extracts the join key of `row`; `None` if any key column is absent.
-    fn of(row: &Row, syms: &[Symbol]) -> Option<JoinKey> {
-        match syms {
-            [sym] => row.get_interned(sym).cloned().map(JoinKey::One),
-            _ => syms
-                .iter()
-                .map(|sym| row.get_interned(sym).cloned())
-                .collect::<Option<Vec<Value>>>()
-                .map(JoinKey::Many),
+impl Executor {
+    /// Creates an executor over `cluster` with the given catalog.
+    pub fn new(cluster: Cluster, catalog: Catalog) -> Self {
+        Executor {
+            cluster,
+            catalog: Arc::new(catalog),
+            dirty_protection: false,
+            snapshot: None,
+            threads: 1,
         }
     }
-}
 
-/// Everything needed to decode one alias's stored rows into relational
-/// rows, resolved once per statement and moved into the scan stream's
-/// closure: the projection mask and (for multi-table statements) the
-/// alias-qualified output symbols.
-struct DecodePlan<'a> {
-    def: &'a TableDef,
-    qual_syms: Option<Vec<Symbol>>,
-    mask: Option<Vec<bool>>,
-}
-
-impl DecodePlan<'_> {
-    fn decode(&self, stored: &nosql_store::ResultRow) -> Row {
-        match &self.qual_syms {
-            Some(syms) => self.def.decode_row_qualified(stored, syms, self.mask.as_deref()),
-            None => match &self.mask {
-                Some(mask) => self.def.decode_row_projected(stored, mask),
-                None => self.def.decode_row(stored),
-            },
-        }
+    /// Enables region-parallel execution with up to `threads` workers: full
+    /// table scans run as [`Cluster::par_scan_stream`] fan-outs with
+    /// parallel decode, equi-joins hash-partition their build side and probe
+    /// per-partition, and ORDER BY + LIMIT runs per-worker bounded heaps
+    /// merged at the barrier.  `threads <= 1` keeps the serial pipeline
+    /// byte-for-byte.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
-}
 
-/// A full-scan source running at `threads`-way parallelism: pulls batches
-/// of stored rows from a region-parallel cursor and decodes each batch on
-/// the pool, preserving row order.  Dirty markers surface as
-/// [`QueryError::DirtyRestart`] exactly as in the serial stream (the whole
-/// statement restarts, so decoding a batch past the marker is only wasted
-/// work, never wrong results).
-struct ParDecodeStream<'a> {
-    cursor: nosql_store::ParScanCursor,
-    plan: DecodePlan<'a>,
-    dirty_protection: bool,
-    threads: usize,
-    batch: std::vec::IntoIter<Result<Row, QueryError>>,
-}
+    /// The configured degree of parallelism (1 = serial).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
 
-impl Iterator for ParDecodeStream<'_> {
-    type Item = Result<Row, QueryError>;
+    /// Enables dirty-row detection: scans that observe a row whose
+    /// [`DIRTY_MARKER`] column equals `"1"` are restarted, implementing the
+    /// read-committed protocol of paper §VIII-C.
+    pub fn with_dirty_read_protection(mut self) -> Self {
+        self.dirty_protection = true;
+        self
+    }
 
-    fn next(&mut self) -> Option<Self::Item> {
-        loop {
-            if let Some(row) = self.batch.next() {
-                return Some(row);
+    /// Restricts reads to cell versions written at or before `snapshot`.
+    /// Used by the MVCC layer to give statements a consistent snapshot.
+    pub fn with_snapshot_bound(mut self, snapshot: nosql_store::Timestamp) -> Self {
+        self.snapshot = Some(snapshot);
+        self
+    }
+
+    /// Replaces the catalog (e.g. after DDL).  Plans compiled against the
+    /// previous catalog keep executing against the definitions they
+    /// captured; [`crate::Session`] plan caches detect the version change
+    /// and re-plan on the next lookup.
+    pub fn set_catalog(&mut self, catalog: Catalog) {
+        self.catalog = Arc::new(catalog);
+    }
+
+    /// Whether dirty-read protection is enabled.
+    pub(crate) fn dirty_protection(&self) -> bool {
+        self.dirty_protection
+    }
+
+    /// The underlying cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The catalog in use.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Parses and executes a SQL string: the one-shot path running all four
+    /// pipeline phases per call.  Use [`crate::Session`] to amortize
+    /// parse/bind/plan across executions.
+    pub fn execute_sql(&self, sql_text: &str, params: &[Value]) -> Result<QueryResult, QueryError> {
+        let stmt = sql::parse_statement(sql_text)
+            .map_err(|e| QueryError::Unsupported(e.to_string()))?;
+        self.execute(&stmt, params)
+    }
+
+    /// Executes a parsed statement with positional parameters.
+    pub fn execute(&self, stmt: &Statement, params: &[Value]) -> Result<QueryResult, QueryError> {
+        match stmt {
+            Statement::Select(select) => {
+                let plan = self.plan_select(select)?;
+                self.execute_plan(&plan, params)
             }
-            // One store page per worker per batch keeps decode parallelism
-            // aligned with the scan fan-out without unbounded buffering.
-            let batch_rows = self.threads * nosql_store::SCAN_PAGE_ROWS;
-            let stored: Vec<nosql_store::ResultRow> =
-                self.cursor.by_ref().take(batch_rows).collect();
-            if stored.is_empty() {
-                return None;
-            }
-            let plan = &self.plan;
-            let dirty_protection = self.dirty_protection;
-            self.batch = pool::map(stored, self.threads, |row| {
-                if dirty_protection && stored_row_is_dirty(&row) {
-                    return Err(QueryError::DirtyRestart);
-                }
-                Ok(plan.decode(&row))
-            })
-            .into_iter();
+            Statement::Insert(insert) => self.execute_insert(insert, params),
+            Statement::Update(update) => self.execute_update(update, params),
+            Statement::Delete(delete) => self.execute_delete(delete, params),
         }
     }
-}
 
-/// True if a stored row carries the dirty marker (see [`DIRTY_MARKER`]).
-fn stored_row_is_dirty(stored: &nosql_store::ResultRow) -> bool {
-    stored.value(FAMILY, DIRTY_MARKER).is_some_and(|v| v == b"1")
+    /// Compiles one SELECT into a reusable [`PhysicalPlan`] at this
+    /// executor's configuration (bind + optimize; no execution, no
+    /// simulated cost).
+    pub fn plan_select(&self, select: &SelectStatement) -> Result<PhysicalPlan, QueryError> {
+        optimize::bind_and_plan(self, select, None)
+    }
+
+    /// Renders the stable plan tree for a statement (the `EXPLAIN` text).
+    /// Write statements render as a single summary line.
+    pub fn explain_statement(&self, stmt: &Statement) -> Result<String, QueryError> {
+        match stmt {
+            Statement::Select(select) => Ok(self.plan_select(select)?.explain()),
+            Statement::Insert(i) => Ok(format!("Insert {}\n", i.table)),
+            Statement::Update(u) => Ok(format!("Update {}\n", u.table)),
+            Statement::Delete(d) => Ok(format!("Delete {}\n", d.table)),
+        }
+    }
+
+    /// Parses a SQL string and renders its plan tree.
+    pub fn explain_sql(&self, sql_text: &str) -> Result<String, QueryError> {
+        let stmt = sql::parse_statement(sql_text)
+            .map_err(|e| QueryError::Unsupported(e.to_string()))?;
+        self.explain_statement(&stmt)
+    }
+
+    /// Pushes the statement's column projection into the store scan: only
+    /// the masked-in columns, the key columns (never null, so a projected
+    /// row is never empty at the store) and — under dirty protection — the
+    /// dirty marker are streamed back.  Empty = no projection (all columns).
+    pub(crate) fn scan_projection(
+        &self,
+        def: &TableDef,
+        mask: Option<&[bool]>,
+    ) -> Vec<(String, String)> {
+        let Some(mask) = mask else {
+            return Vec::new();
+        };
+        let mut columns: Vec<(String, String)> = Vec::new();
+        for (i, (name, _)) in def.columns.iter().enumerate() {
+            if mask[i] || def.key.iter().any(|k| k == name) {
+                columns.push((FAMILY.to_string(), name.clone()));
+            }
+        }
+        if self.dirty_protection {
+            columns.push((FAMILY.to_string(), DIRTY_MARKER.to_string()));
+        }
+        columns
+    }
+
+    /// Builds a Get honouring the executor's snapshot bound, if any.
+    pub(crate) fn bounded_get(&self, key: String) -> Get {
+        match self.snapshot {
+            Some(ts) => Get::new(key).up_to(ts),
+            None => Get::new(key),
+        }
+    }
+
+    /// Applies the executor's snapshot bound to a scan, if any.  Public so
+    /// higher layers (e.g. Synergy view maintenance) can issue store scans
+    /// that cannot observe rows newer than the statement's snapshot.
+    pub fn bounded_scan(&self, scan: Scan) -> Scan {
+        match self.snapshot {
+            Some(ts) => scan.up_to(ts),
+            None => scan,
+        }
+    }
+
+    pub(crate) fn is_dirty(&self, stored: &nosql_store::ResultRow) -> bool {
+        self.dirty_protection && stored_row_is_dirty(stored)
+    }
 }
 
 /// Decodes a whole cursor through `def`, fanning the decode out over
@@ -247,1227 +289,4 @@ pub fn par_decode_filtered(
             .flatten(),
         );
     }
-}
-
-/// Resolves a column reference for per-row lookup: the qualified name is
-/// interned once, and [`Row::get_interned`]'s suffix fallback covers the
-/// bare-name alternative (both names share the same bare suffix).
-fn resolve_col(col: &ColumnRef) -> Symbol {
-    match &col.qualifier {
-        Some(q) => intern::intern(&format!("{q}.{}", col.column)),
-        None => intern::intern(&col.column),
-    }
-}
-
-impl Executor {
-    /// Creates an executor over `cluster` with the given catalog.
-    pub fn new(cluster: Cluster, catalog: Catalog) -> Self {
-        Executor {
-            cluster,
-            catalog: Arc::new(catalog),
-            dirty_protection: false,
-            snapshot: None,
-            threads: 1,
-        }
-    }
-
-    /// Enables region-parallel execution with up to `threads` workers: full
-    /// table scans run as [`Cluster::par_scan_stream`] fan-outs with
-    /// parallel decode, equi-joins hash-partition their build side and probe
-    /// per-partition, and ORDER BY + LIMIT runs per-worker bounded heaps
-    /// merged at the barrier.  `threads <= 1` keeps the serial pipeline
-    /// byte-for-byte.
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
-        self
-    }
-
-    /// The configured degree of parallelism (1 = serial).
-    pub fn threads(&self) -> usize {
-        self.threads
-    }
-
-    /// Enables dirty-row detection: scans that observe a row whose
-    /// [`DIRTY_MARKER`] column equals `"1"` are restarted, implementing the
-    /// read-committed protocol of paper §VIII-C.
-    pub fn with_dirty_read_protection(mut self) -> Self {
-        self.dirty_protection = true;
-        self
-    }
-
-    /// Restricts reads to cell versions written at or before `snapshot`.
-    /// Used by the MVCC layer to give statements a consistent snapshot.
-    pub fn with_snapshot_bound(mut self, snapshot: nosql_store::Timestamp) -> Self {
-        self.snapshot = Some(snapshot);
-        self
-    }
-
-    /// The underlying cluster.
-    pub fn cluster(&self) -> &Cluster {
-        &self.cluster
-    }
-
-    /// The catalog in use.
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
-    }
-
-    /// Parses and executes a SQL string.
-    pub fn execute_sql(&self, sql_text: &str, params: &[Value]) -> Result<QueryResult, QueryError> {
-        let stmt = sql::parse_statement(sql_text)
-            .map_err(|e| QueryError::Unsupported(e.to_string()))?;
-        self.execute(&stmt, params)
-    }
-
-    /// Executes a parsed statement with positional parameters.
-    pub fn execute(&self, stmt: &Statement, params: &[Value]) -> Result<QueryResult, QueryError> {
-        match stmt {
-            Statement::Select(select) => self.execute_select(select, params),
-            Statement::Insert(insert) => self.execute_insert(insert, params),
-            Statement::Update(update) => self.execute_update(update, params),
-            Statement::Delete(delete) => self.execute_delete(delete, params),
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // SELECT
-    // ------------------------------------------------------------------
-
-    /// Retry shell around [`Executor::stream_select`]: a streamed scan that
-    /// observes a dirty marker aborts the whole pipeline with
-    /// [`QueryError::DirtyRestart`] (nothing has been emitted yet — results
-    /// only leave the pipeline at the end), and the statement restarts,
-    /// implementing the read-committed protocol of paper §VIII-C.
-    fn execute_select(
-        &self,
-        select: &SelectStatement,
-        params: &[Value],
-    ) -> Result<QueryResult, QueryError> {
-        let mut attempts = 0;
-        loop {
-            match self.stream_select(select, params) {
-                Err(QueryError::DirtyRestart) => {
-                    attempts += 1;
-                    if attempts > DIRTY_RETRY_LIMIT {
-                        return Err(QueryError::DirtyReadRetriesExhausted);
-                    }
-                    // Give the in-flight update a chance to finish.
-                    std::thread::yield_now();
-                }
-                other => return other,
-            }
-        }
-    }
-
-    /// Plans and runs one SELECT as a pull-based operator pipeline:
-    /// scan → projected decode → filter → hash joins (build side
-    /// materialized, probe side streamed) → residual filter → aggregate /
-    /// top-k / take → project.
-    fn stream_select(
-        &self,
-        select: &SelectStatement,
-        params: &[Value],
-    ) -> Result<QueryResult, QueryError> {
-        let conditions = bind_conditions(&select.conditions, params)?;
-
-        // Resolve each FROM alias to its table definition.
-        let mut aliases: Vec<(String, TableDef)> = Vec::new();
-        for table_ref in &select.from {
-            let def = self
-                .catalog
-                .table_ci(&table_ref.table)
-                .ok_or_else(|| QueryError::UnknownTable(table_ref.table.clone()))?;
-            aliases.push((table_ref.alias.clone(), def.clone()));
-        }
-
-        // Track which conditions are fully enforced inside the pipeline:
-        // every single-alias filter is applied on its alias's stream, and
-        // every equi-join condition is enforced exactly by the hash join
-        // that consumes it.  Whatever remains (cross-alias `<>`, range
-        // predicates over joined columns, ...) is evaluated per joined row.
-        let mut consumed = vec![false; conditions.len()];
-        for (alias, def) in &aliases {
-            for (i, c) in conditions.iter().enumerate() {
-                if condition_is_single_alias(c, alias, def, &select.from) {
-                    consumed[i] = true;
-                }
-            }
-        }
-
-        // Greedy join order, planned up front (before any stream exists):
-        // start with the alias that has the most selective access path, then
-        // repeatedly add an alias connected by a join condition.
-        let mut remaining: Vec<usize> = (0..aliases.len()).collect();
-        let start = self.pick_start_alias(&aliases, &conditions, select);
-        remaining.retain(|&i| i != start);
-        let mut joined_aliases = vec![aliases[start].0.clone()];
-        let mut join_steps: Vec<(usize, Vec<usize>)> = Vec::new();
-        while !remaining.is_empty() {
-            // Find a remaining alias connected to what we have joined so far.
-            let next_pos = remaining
-                .iter()
-                .position(|&i| {
-                    join_conditions_between(&conditions, &aliases[i].0, &joined_aliases)
-                        .next()
-                        .is_some()
-                })
-                .unwrap_or(0);
-            let idx = remaining.remove(next_pos);
-            let cond_idxs: Vec<usize> =
-                join_conditions_between(&conditions, &aliases[idx].0, &joined_aliases)
-                    .map(|(i, _)| i)
-                    .collect();
-            for &i in &cond_idxs {
-                consumed[i] = true;
-            }
-            joined_aliases.push(aliases[idx].0.clone());
-            join_steps.push((idx, cond_idxs));
-        }
-
-        // Residual conditions: anything not consumed above.
-        let residual: Vec<&BoundCondition> = conditions
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| !consumed[*i])
-            .map(|(_, c)| c)
-            .collect();
-
-        let meter = Residency::default();
-        let single_table = aliases.len() == 1;
-        let has_group = select.has_aggregates() || !select.group_by.is_empty();
-        // A bare LIMIT (no ORDER BY, no aggregation) stops pulling the
-        // pipeline lazily after k output rows; parallel sources and the
-        // partitioned join work in eager batches and would forfeit that
-        // early termination, so such statements stay on the serial
-        // streaming operators end to end.
-        let limit_stops_early =
-            select.limit.is_some() && select.order_by.is_empty() && !has_group;
-        // Store-level LIMIT pushdown: safe only when no downstream operator
-        // can drop or reorder rows, i.e. a bare single-table `LIMIT k`.
-        // Every other shape still benefits from stream laziness (the source
-        // stops being pulled after `k` output rows).
-        let store_limit = if single_table
-            && conditions.is_empty()
-            && residual.is_empty()
-            && select.order_by.is_empty()
-            && !has_group
-        {
-            select.limit.unwrap_or(0)
-        } else {
-            0
-        };
-
-        // Source: the start alias's scan/get stream.
-        let (start_alias, start_def) = &aliases[start];
-        let mut stream: RowStream<'_> = self.alias_stream(
-            start_alias,
-            start_def,
-            &conditions,
-            select,
-            single_table,
-            store_limit,
-            limit_stops_early,
-        )?;
-
-        // Hash joins: each step materializes its build side (the newly
-        // joined alias) and streams the probe side through it.
-        for (idx, cond_idxs) in &join_steps {
-            let (next_alias, next_def) = &aliases[*idx];
-            let join_conds: Vec<&BoundCondition> =
-                cond_idxs.iter().map(|&i| &conditions[i]).collect();
-            // Build sides are always fully drained, so they may use the
-            // parallel source regardless of the statement's LIMIT shape.
-            let right_stream =
-                self.alias_stream(next_alias, next_def, &conditions, select, false, 0, false)?;
-            let right_rows = collect_stream(right_stream, &meter)?;
-            stream = if self.threads > 1 && !limit_stops_early && !join_conds.is_empty() {
-                self.par_hash_join(stream, right_rows, next_alias, join_conds, &meter)?
-            } else {
-                self.hash_join_stream(stream, right_rows, next_alias, join_conds)
-            };
-        }
-
-        if !residual.is_empty() {
-            stream = Box::new(stream.filter(move |row| match row {
-                Ok(row) => residual.iter().all(|c| evaluate_condition(row, c)),
-                Err(_) => true,
-            }));
-        }
-
-        let rows: Vec<Row> = if has_group {
-            // Aggregation needs the whole input; ORDER BY + LIMIT then act
-            // on the (small) per-group output.
-            let input = collect_stream(stream, &meter)?;
-            let mut rows = self.apply_group_and_aggregates(select, input)?;
-            rows = apply_order_by(select, rows);
-            if let Some(limit) = select.limit {
-                rows.truncate(limit);
-            }
-            rows
-        } else if !select.order_by.is_empty() {
-            let cmp = order_comparator(select);
-            match select.limit {
-                // Per-worker bounded heaps merged at the barrier: each
-                // worker selects its chunk's k best, the merge re-selects
-                // over the ≤ threads·k survivors.
-                Some(limit) if self.threads > 1 => {
-                    par_top_k(stream, limit, cmp, &meter, self.threads)?
-                }
-                // Bounded top-k heap: k rows resident instead of the full
-                // input, and the heap short-circuits nothing upstream only
-                // because ORDER BY inherently needs every input row.
-                Some(limit) => top_k(stream, limit, cmp, &meter)?,
-                None => {
-                    let mut rows = collect_stream(stream, &meter)?;
-                    rows.sort_by(|a, b| cmp(a, b));
-                    rows
-                }
-            }
-        } else if let Some(limit) = select.limit {
-            // Plain LIMIT: stop pulling the pipeline after `limit` rows.
-            // The bound is checked *before* each pull — pulling one row past
-            // the limit could fetch (and charge) a whole extra store page.
-            let mut rows = Vec::with_capacity(limit.min(1_024));
-            while rows.len() < limit {
-                let Some(row) = stream.next() else { break };
-                rows.push(row?);
-                meter.add(1);
-            }
-            rows
-        } else {
-            collect_stream(stream, &meter)?
-        };
-
-        let rows = project(select, rows);
-        self.cluster
-            .clock()
-            .charge(self.cluster.cost_model().client_result_cost(rows.len() as u64));
-        Ok(QueryResult::with_rows(rows).with_peak_rows_resident(meter.peak()))
-    }
-
-    /// Chooses the starting alias for the join order: prefer one whose access
-    /// path is a key Get, then an index scan, then the first alias.
-    fn pick_start_alias(
-        &self,
-        aliases: &[(String, TableDef)],
-        conditions: &[BoundCondition],
-        select: &SelectStatement,
-    ) -> usize {
-        let mut best = 0;
-        let mut best_rank = i32::MAX;
-        for (i, (alias, def)) in aliases.iter().enumerate() {
-            let path = self.plan_access(alias, def, conditions, select);
-            let rank = match path {
-                AccessPath::KeyGet => 0,
-                AccessPath::IndexScan { .. } => 1,
-                AccessPath::KeyPrefixScan => 2,
-                AccessPath::FullScan => 3,
-            };
-            if rank < best_rank {
-                best_rank = rank;
-                best = i;
-            }
-        }
-        best
-    }
-
-    /// Plans how one alias will be accessed given its single-alias equality
-    /// filters.
-    pub(crate) fn plan_access(
-        &self,
-        alias: &str,
-        def: &TableDef,
-        conditions: &[BoundCondition],
-        select: &SelectStatement,
-    ) -> AccessPath {
-        let eq_filters = single_alias_eq_filters(conditions, alias, def, &select.from);
-        if !eq_filters.is_empty() {
-            let filter_columns: Vec<String> = eq_filters.keys().cloned().collect();
-            if def.key_covered_by(&filter_columns) {
-                return AccessPath::KeyGet;
-            }
-            if filter_columns.iter().any(|c| c == &def.key[0]) {
-                return AccessPath::KeyPrefixScan;
-            }
-            for index in self.catalog.indexes_of(&def.name) {
-                if filter_columns.iter().any(|c| c == &index.key[0]) {
-                    return AccessPath::IndexScan {
-                        index: index.name.clone(),
-                    };
-                }
-            }
-        }
-        AccessPath::FullScan
-    }
-
-    /// Opens the stream of one alias's rows: the access path's scan cursor
-    /// (or point Get), mapped through dirty detection and projected decode,
-    /// filtered by the alias's single-alias conditions.  Attributes are
-    /// qualified as `alias.column` (bare names when this is a single-table
-    /// statement: [`Row::get`]'s suffix matching makes qualified lookups
-    /// work either way).
-    ///
-    /// A dirty marker observed anywhere in the stream surfaces as
-    /// [`QueryError::DirtyRestart`], which restarts the whole statement.
-    /// `store_limit` (0 = none) is pushed into the store scan when the
-    /// caller has proven no downstream operator drops rows.
-    /// `prefer_serial` keeps the source on the serial cursor even at
-    /// `threads > 1` — set when a bare LIMIT downstream stops pulling
-    /// early, which the batch-eager parallel source would forfeit.
-    #[allow(clippy::too_many_arguments)]
-    fn alias_stream<'a>(
-        &'a self,
-        alias: &str,
-        def: &'a TableDef,
-        conditions: &'a [BoundCondition],
-        select: &'a SelectStatement,
-        single_table: bool,
-        store_limit: usize,
-        prefer_serial: bool,
-    ) -> Result<RowStream<'a>, QueryError> {
-        let eq_filters = single_alias_eq_filters(conditions, alias, def, &select.from);
-        let path = self.plan_access(alias, def, conditions, select);
-
-        // Projection pushdown: decode only the columns the statement can
-        // observe (`None` = all of them, e.g. under a wildcard).
-        let needed = needed_columns(select, alias, def);
-        let mask = column_mask(def, &needed);
-        // Per-alias qualified-name table, interned once per statement.
-        let qual_syms: Option<Vec<Symbol>> = (!single_table).then(|| {
-            def.columns
-                .iter()
-                .map(|(name, _)| intern::intern(&format!("{alias}.{name}")))
-                .collect()
-        });
-        let plan = DecodePlan { def, qual_syms, mask };
-
-        let base: RowStream<'a> = match path {
-            AccessPath::KeyGet => {
-                let key_row = Row::from_pairs(
-                    eq_filters.iter().map(|(k, v)| (k.as_str(), v.clone())),
-                );
-                let key = def.encode_row_key(&key_row);
-                let row = match self.cluster.get(&def.name, self.bounded_get(key))? {
-                    Some(stored) => {
-                        if self.is_dirty(&stored) {
-                            return Err(QueryError::DirtyRestart);
-                        }
-                        Some(plan.decode(&stored))
-                    }
-                    None => None,
-                };
-                Box::new(row.into_iter().map(Ok))
-            }
-            AccessPath::KeyPrefixScan => {
-                let key_row = Row::from_pairs(
-                    eq_filters.iter().map(|(k, v)| (k.as_str(), v.clone())),
-                );
-                // Use as many leading key components as are bound.
-                let bound = def
-                    .key
-                    .iter()
-                    .take_while(|k| eq_filters.contains_key(*k))
-                    .count();
-                let mut prefix = def.encode_key_prefix(&key_row, bound);
-                if bound < def.key.len() {
-                    // Close the last bound component so that e.g. "42"
-                    // does not also match keys starting with "420".
-                    prefix.push(KEY_DELIMITER);
-                }
-                let scan = Scan::prefix(prefix)
-                    .with_columns(self.scan_projection(def, plan.mask.as_deref()));
-                let cursor = self.cluster.scan_stream(&def.name, self.bounded_scan(scan))?;
-                Box::new(cursor.map(move |stored| {
-                    if self.is_dirty(&stored) {
-                        return Err(QueryError::DirtyRestart);
-                    }
-                    Ok(plan.decode(&stored))
-                }))
-            }
-            AccessPath::IndexScan { index } => {
-                let index_def = self
-                    .catalog
-                    .table(&index)
-                    .ok_or_else(|| QueryError::UnknownTable(index.clone()))?;
-                let filter_value = eq_filters
-                    .get(&index_def.key[0])
-                    .cloned()
-                    .unwrap_or(Value::Null);
-                let mut prefix = encode_key([&filter_value]);
-                if index_def.key.len() > 1 {
-                    // Match only complete values of the indexed column.
-                    prefix.push(KEY_DELIMITER);
-                }
-                let covered = needed
-                    .as_ref()
-                    .map(|needed| needed.iter().all(|c| index_def.column_type(c).is_some()))
-                    .unwrap_or_else(|| {
-                        def.columns
-                            .iter()
-                            .all(|(c, _)| index_def.column_type(c).is_some())
-                    });
-                if covered {
-                    // The index table shares column names with the base
-                    // table, so the same qualified-name table applies; its
-                    // symbols are indexed by the *index* def's column order.
-                    let index_qual_syms: Option<Vec<Symbol>> = (!single_table).then(|| {
-                        index_def
-                            .columns
-                            .iter()
-                            .map(|(name, _)| intern::intern(&format!("{alias}.{name}")))
-                            .collect()
-                    });
-                    let index_plan = DecodePlan {
-                        def: index_def,
-                        qual_syms: index_qual_syms,
-                        mask: column_mask(index_def, &needed),
-                    };
-                    let scan = Scan::prefix(prefix)
-                        .with_columns(self.scan_projection(index_def, index_plan.mask.as_deref()));
-                    let cursor =
-                        self.cluster.scan_stream(&index_def.name, self.bounded_scan(scan))?;
-                    Box::new(cursor.map(move |stored| {
-                        if self.is_dirty(&stored) {
-                            return Err(QueryError::DirtyRestart);
-                        }
-                        Ok(index_plan.decode(&stored))
-                    }))
-                } else {
-                    // Stream the index entries and look up each base row by
-                    // primary key as it is pulled; the index row is decoded
-                    // bare (it only feeds key encoding).
-                    let cursor = self
-                        .cluster
-                        .scan_stream(&index_def.name, self.bounded_scan(Scan::prefix(prefix)))?;
-                    Box::new(
-                        cursor
-                            .map(move |stored| -> Result<Option<Row>, QueryError> {
-                                if self.is_dirty(&stored) {
-                                    return Err(QueryError::DirtyRestart);
-                                }
-                                let index_row = index_def.decode_row(&stored);
-                                let base_key = def.encode_row_key(&index_row);
-                                match self.cluster.get(&def.name, self.bounded_get(base_key))? {
-                                    Some(base) => {
-                                        if self.is_dirty(&base) {
-                                            return Err(QueryError::DirtyRestart);
-                                        }
-                                        Ok(Some(plan.decode(&base)))
-                                    }
-                                    None => Ok(None),
-                                }
-                            })
-                            .filter_map(Result::transpose),
-                    )
-                }
-            }
-            AccessPath::FullScan => {
-                let scan = Scan::all()
-                    .with_limit(store_limit)
-                    .with_columns(self.scan_projection(def, plan.mask.as_deref()));
-                // Parallel source: region-partitioned scan workers feeding
-                // batch-parallel decode.  Limit-pushed scans stay serial —
-                // they touch O(k) rows, below any fan-out's break-even —
-                // as do sources a bare LIMIT will stop pulling early.
-                if self.threads > 1 && store_limit == 0 && !prefer_serial {
-                    let cursor = self.cluster.par_scan_stream(
-                        &def.name,
-                        self.bounded_scan(scan),
-                        self.threads,
-                    )?;
-                    Box::new(ParDecodeStream {
-                        cursor,
-                        plan,
-                        dirty_protection: self.dirty_protection,
-                        threads: self.threads,
-                        batch: Vec::new().into_iter(),
-                    })
-                } else {
-                    let cursor = self.cluster.scan_stream(&def.name, self.bounded_scan(scan))?;
-                    Box::new(cursor.map(move |stored| {
-                        if self.is_dirty(&stored) {
-                            return Err(QueryError::DirtyRestart);
-                        }
-                        Ok(plan.decode(&stored))
-                    }))
-                }
-            }
-        };
-
-        // Apply every single-alias filter (equality and range) on the
-        // stream; residual multi-alias conditions are applied after joins.
-        let single_alias_conds: Vec<&BoundCondition> = conditions
-            .iter()
-            .filter(|c| condition_is_single_alias(c, alias, def, &select.from))
-            .collect();
-        if single_alias_conds.is_empty() {
-            return Ok(base);
-        }
-        Ok(Box::new(base.filter(move |row| match row {
-            Ok(row) => single_alias_conds.iter().all(|c| {
-                let left = row.get_interned(&c.left_sym);
-                match (&c.right, left) {
-                    (BoundOperand::Value(v), Some(l)) => c.op.evaluate(l, v),
-                    _ => false,
-                }
-            }),
-            Err(_) => true,
-        })))
-    }
-
-    /// Pushes the statement's column projection into the store scan: only
-    /// the masked-in columns, the key columns (never null, so a projected
-    /// row is never empty at the store) and — under dirty protection — the
-    /// dirty marker are streamed back.  Empty = no projection (all columns).
-    fn scan_projection(&self, def: &TableDef, mask: Option<&[bool]>) -> Vec<(String, String)> {
-        let Some(mask) = mask else {
-            return Vec::new();
-        };
-        let mut columns: Vec<(String, String)> = Vec::new();
-        for (i, (name, _)) in def.columns.iter().enumerate() {
-            if mask[i] || def.key.iter().any(|k| k == name) {
-                columns.push((FAMILY.to_string(), name.clone()));
-            }
-        }
-        if self.dirty_protection {
-            columns.push((FAMILY.to_string(), DIRTY_MARKER.to_string()));
-        }
-        columns
-    }
-
-    /// Builds a Get honouring the executor's snapshot bound, if any.
-    fn bounded_get(&self, key: String) -> Get {
-        match self.snapshot {
-            Some(ts) => Get::new(key).up_to(ts),
-            None => Get::new(key),
-        }
-    }
-
-    /// Applies the executor's snapshot bound to a scan, if any.  Public so
-    /// higher layers (e.g. Synergy view maintenance) can issue store scans
-    /// that cannot observe rows newer than the statement's snapshot.
-    pub fn bounded_scan(&self, scan: Scan) -> Scan {
-        match self.snapshot {
-            Some(ts) => scan.up_to(ts),
-            None => scan,
-        }
-    }
-
-    fn is_dirty(&self, stored: &nosql_store::ResultRow) -> bool {
-        self.dirty_protection && stored_row_is_dirty(stored)
-    }
-
-    /// Client-side hash join: the build side (`right`, the newly joined
-    /// alias) is materialized and hashed; the probe side streams through it
-    /// row by row, so the intermediate result is never buffered.  Charges
-    /// shuffle cost per row on both sides and probe cost per probe —
-    /// identical totals to the former materialized join when the stream is
-    /// fully consumed, and strictly less when a LIMIT stops it early.
-    ///
-    /// Both sides are frozen, so every emitted row shares its left and
-    /// right halves as `Arc` slices ([`Row::join_concat`]) with the input
-    /// rows instead of deep-cloning the entries.
-    fn hash_join_stream<'a>(
-        &'a self,
-        left: RowStream<'a>,
-        mut right: Vec<Row>,
-        right_alias: &str,
-        join_conds: Vec<&BoundCondition>,
-    ) -> RowStream<'a> {
-        let model = self.cluster.cost_model();
-        self.cluster
-            .clock()
-            .charge(model.shuffle_cost(right.len() as u64));
-        for row in &mut right {
-            row.freeze();
-        }
-
-        if join_conds.is_empty() {
-            // Cross join (rare; only used when the workload really asks for it).
-            return Box::new(left.flat_map(move |l| -> Vec<Result<Row, QueryError>> {
-                match l {
-                    Err(e) => vec![Err(e)],
-                    Ok(mut l) => {
-                        self.cluster.clock().charge(model.shuffle_cost(1));
-                        l.freeze();
-                        right.iter().map(|r| Ok(l.join_concat(r))).collect()
-                    }
-                }
-            }));
-        }
-
-        // Join-key symbols, resolved once per join instead of one
-        // `format!("{alias}.{column}")` per row per condition.
-        let right_syms: Vec<Symbol> = join_conds
-            .iter()
-            .map(|c| {
-                let col = join_column_for_alias(c, right_alias);
-                intern::intern(&format!("{right_alias}.{}", col.column))
-            })
-            .collect();
-        let left_syms: Vec<Symbol> = join_conds
-            .iter()
-            .map(|c| resolve_col(join_column_other_side(c, right_alias)))
-            .collect();
-
-        // Build side: hash the right rows on the join attribute values.
-        let mut build: HashMap<JoinKey, Vec<usize>> = HashMap::with_capacity(right.len());
-        for (i, row) in right.iter().enumerate() {
-            if let Some(key) = JoinKey::of(row, &right_syms) {
-                build.entry(key).or_default().push(i);
-            }
-        }
-
-        Box::new(left.flat_map(move |l| -> Vec<Result<Row, QueryError>> {
-            match l {
-                Err(e) => vec![Err(e)],
-                Ok(mut l) => {
-                    self.cluster
-                        .clock()
-                        .charge(model.shuffle_cost(1) + model.probe_cost(1));
-                    l.freeze();
-                    let Some(key) = JoinKey::of(&l, &left_syms) else {
-                        return Vec::new();
-                    };
-                    match build.get(&key) {
-                        Some(matches) => matches
-                            .iter()
-                            .map(|&i| Ok(l.join_concat(&right[i])))
-                            .collect(),
-                        None => Vec::new(),
-                    }
-                }
-            }
-        }))
-    }
-
-    /// Partitioned parallel hash join.  The build side is hash-partitioned
-    /// into `threads` independent hash tables built concurrently; the probe
-    /// side is materialized (metered through `meter`, since the rows really
-    /// are resident), chunked contiguously, and each chunk probes the shared
-    /// read-only partition tables on its own worker.  Chunk outputs
-    /// concatenate in probe order and partition tables preserve build-row
-    /// order per key, so the emitted rows are **identical, order included**,
-    /// to [`Executor::hash_join_stream`].
-    ///
-    /// Sim accounting follows the parallel merge rule: the build-side
-    /// shuffle charges in full (sum — every row is shipped by some worker),
-    /// while the per-probe-row shuffle + probe cost charges for the largest
-    /// chunk only (max — workers probe concurrently).
-    fn par_hash_join<'a>(
-        &'a self,
-        left: RowStream<'a>,
-        mut right: Vec<Row>,
-        right_alias: &str,
-        join_conds: Vec<&BoundCondition>,
-        meter: &Residency,
-    ) -> Result<RowStream<'a>, QueryError> {
-        let threads = self.threads;
-        let model = self.cluster.cost_model();
-        self.cluster
-            .clock()
-            .charge(model.shuffle_cost(right.len() as u64));
-        for row in &mut right {
-            row.freeze();
-        }
-
-        let right_syms: Vec<Symbol> = join_conds
-            .iter()
-            .map(|c| {
-                let col = join_column_for_alias(c, right_alias);
-                intern::intern(&format!("{right_alias}.{}", col.column))
-            })
-            .collect();
-        let left_syms: Vec<Symbol> = join_conds
-            .iter()
-            .map(|c| resolve_col(join_column_other_side(c, right_alias)))
-            .collect();
-
-        // Partition pass (serial, O(build), one key extraction per row),
-        // then per-partition table builds on the pool.  Indices stay
-        // ascending within a partition, so each key's match list keeps
-        // build-row order.
-        let mut partitions: Vec<Vec<(JoinKey, usize)>> = vec![Vec::new(); threads];
-        for (i, row) in right.iter().enumerate() {
-            if let Some(key) = JoinKey::of(row, &right_syms) {
-                partitions[partition_of(&key, threads)].push((key, i));
-            }
-        }
-        let tables: Vec<HashMap<JoinKey, Vec<usize>>> =
-            pool::map(partitions, threads, |entries| {
-                let mut table: HashMap<JoinKey, Vec<usize>> =
-                    HashMap::with_capacity(entries.len());
-                for (key, i) in entries {
-                    table.entry(key).or_default().push(i);
-                }
-                table
-            });
-
-        // Probe side: materialize and meter, then probe chunk-parallel.
-        let probe = collect_stream(left, meter)?;
-        let ranges = pool::chunk_ranges(probe.len(), threads);
-        let largest_chunk = ranges.iter().map(std::ops::Range::len).max().unwrap_or(0) as u64;
-        self.cluster
-            .clock()
-            .charge(model.shuffle_cost(largest_chunk) + model.probe_cost(largest_chunk));
-        let tables_ref = &tables;
-        let left_syms_ref = &left_syms;
-        let right_ref = &right;
-        let outputs: Vec<Vec<Row>> = pool::map_chunked(probe, threads, |chunk| {
-            let mut out = Vec::new();
-            for mut l in chunk {
-                l.freeze();
-                let Some(key) = JoinKey::of(&l, left_syms_ref) else {
-                    continue;
-                };
-                if let Some(matches) = tables_ref[partition_of(&key, threads)].get(&key) {
-                    out.extend(matches.iter().map(|&i| l.join_concat(&right_ref[i])));
-                }
-            }
-            out
-        });
-        Ok(Box::new(outputs.into_iter().flatten().map(Ok)))
-    }
-
-    fn apply_group_and_aggregates(
-        &self,
-        select: &SelectStatement,
-        rows: Vec<Row>,
-    ) -> Result<Vec<Row>, QueryError> {
-        if !select.has_aggregates() && select.group_by.is_empty() {
-            return Ok(rows);
-        }
-        // Resolve GROUP BY and item columns once.
-        let group_syms: Vec<(Symbol, Symbol)> = select
-            .group_by
-            .iter()
-            .map(|c| (resolve_col(c), intern::intern(&c.column)))
-            .collect();
-
-        // Group rows by the GROUP BY key (a single group when absent).
-        let mut groups: BTreeMap<Vec<Value>, Vec<Row>> = BTreeMap::new();
-        for row in rows {
-            let key: Vec<Value> = group_syms
-                .iter()
-                .map(|(sym, _)| row.get_interned(sym).cloned().unwrap_or(Value::Null))
-                .collect();
-            groups.entry(key).or_default().push(row);
-        }
-        if groups.is_empty() && select.group_by.is_empty() {
-            groups.insert(Vec::new(), Vec::new());
-        }
-
-        // Resolve the SELECT items once.
-        enum ItemPlan {
-            Aggregate {
-                function: AggregateFunction,
-                argument: Option<Symbol>,
-                name: Symbol,
-            },
-            Column {
-                lookup: Symbol,
-                out: Symbol,
-                alias: Option<Symbol>,
-            },
-            Wildcard,
-        }
-        let plans: Vec<ItemPlan> = select
-            .items
-            .iter()
-            .map(|item| match item {
-                SelectItem::Aggregate {
-                    function,
-                    argument,
-                    alias,
-                } => {
-                    let name = alias.clone().unwrap_or_else(|| match argument {
-                        Some(a) => format!("{function}({})", a.qualified_name()),
-                        None => format!("{function}(*)"),
-                    });
-                    ItemPlan::Aggregate {
-                        function: *function,
-                        argument: argument.as_ref().map(resolve_col),
-                        name: intern::intern(&name),
-                    }
-                }
-                SelectItem::Column { column, alias } => ItemPlan::Column {
-                    lookup: resolve_col(column),
-                    out: intern::intern(&column.qualified_name()),
-                    alias: alias.as_deref().map(intern::intern),
-                },
-                SelectItem::Wildcard => ItemPlan::Wildcard,
-            })
-            .collect();
-
-        let mut out = Vec::new();
-        for (key, members) in groups {
-            let mut row = Row::new();
-            for (i, (qualified, bare)) in group_syms.iter().enumerate() {
-                row.set_interned(qualified.clone(), key[i].clone());
-                row.set_interned(bare.clone(), key[i].clone());
-            }
-            for plan in &plans {
-                match plan {
-                    ItemPlan::Aggregate {
-                        function,
-                        argument,
-                        name,
-                    } => {
-                        let value = compute_aggregate(*function, argument.as_ref(), &members);
-                        row.set_interned(name.clone(), value);
-                    }
-                    ItemPlan::Column { lookup, out, alias } => {
-                        let value = members
-                            .first()
-                            .and_then(|m| m.get_interned(lookup))
-                            .cloned()
-                            .unwrap_or(Value::Null);
-                        row.set_interned(out.clone(), value.clone());
-                        if let Some(a) = alias {
-                            row.set_interned(a.clone(), value);
-                        }
-                    }
-                    ItemPlan::Wildcard => {
-                        if let Some(first) = members.first() {
-                            for (sym, v) in first.iter_interned() {
-                                row.set_interned(sym.clone(), v.clone());
-                            }
-                        }
-                    }
-                }
-            }
-            out.push(row);
-        }
-        Ok(out)
-    }
-}
-
-// ----------------------------------------------------------------------
-// Helpers (free functions so they are easy to unit test)
-// ----------------------------------------------------------------------
-
-/// The hash partition a join key belongs to.  `DefaultHasher::new()` is
-/// deterministic (fixed keys), so build and probe agree — and repeated runs
-/// partition identically, keeping parallel sim figures reproducible.
-fn partition_of(key: &JoinKey, parts: usize) -> usize {
-    use std::hash::{Hash, Hasher};
-    let mut hasher = std::collections::hash_map::DefaultHasher::new();
-    key.hash(&mut hasher);
-    (hasher.finish() % parts.max(1) as u64) as usize
-}
-
-pub(crate) fn bind_conditions(
-    conditions: &[Condition],
-    params: &[Value],
-) -> Result<Vec<BoundCondition>, QueryError> {
-    conditions
-        .iter()
-        .map(|c| {
-            let right = match &c.right {
-                Expr::Column(col) => BoundOperand::Column(col.clone(), resolve_col(col)),
-                Expr::Literal(v) => BoundOperand::Value(v.clone()),
-                Expr::Parameter(i) => BoundOperand::Value(
-                    params
-                        .get(*i)
-                        .cloned()
-                        .ok_or(QueryError::MissingParameter(*i))?,
-                ),
-            };
-            Ok(BoundCondition {
-                left: c.left.clone(),
-                left_sym: resolve_col(&c.left),
-                op: c.op,
-                right,
-            })
-        })
-        .collect()
-}
-
-pub(crate) fn bind_expr(expr: &Expr, params: &[Value]) -> Result<Value, QueryError> {
-    match expr {
-        Expr::Literal(v) => Ok(v.clone()),
-        Expr::Parameter(i) => params
-            .get(*i)
-            .cloned()
-            .ok_or(QueryError::MissingParameter(*i)),
-        Expr::Column(c) => Err(QueryError::Unsupported(format!(
-            "column reference {c} cannot be used as a scalar value here"
-        ))),
-    }
-}
-
-/// True if the condition only involves the given alias (its left column is a
-/// column of `def` referenced through `alias` or unqualified-and-unambiguous)
-/// and compares against a constant.
-fn condition_is_single_alias(
-    c: &BoundCondition,
-    alias: &str,
-    def: &TableDef,
-    from: &[sql::TableRef],
-) -> bool {
-    if !matches!(c.right, BoundOperand::Value(_)) {
-        return false;
-    }
-    column_belongs_to_alias(&c.left, alias, def, from)
-}
-
-fn column_belongs_to_alias(
-    col: &ColumnRef,
-    alias: &str,
-    def: &TableDef,
-    from: &[sql::TableRef],
-) -> bool {
-    match &col.qualifier {
-        Some(q) => q == alias && def.column_type(&col.column).is_some(),
-        // Unqualified: belongs to this alias when the column exists here and
-        // this is the only FROM entry that declares it (TPC-W queries only
-        // use unqualified names when they are unambiguous).
-        None => def.column_type(&col.column).is_some() && from.len() == 1,
-    }
-}
-
-/// The single-alias equality filters for an alias, as column → value.
-fn single_alias_eq_filters(
-    conditions: &[BoundCondition],
-    alias: &str,
-    def: &TableDef,
-    from: &[sql::TableRef],
-) -> BTreeMap<String, Value> {
-    let mut out = BTreeMap::new();
-    for c in conditions {
-        if c.op == Comparison::Eq && condition_is_single_alias(c, alias, def, from) {
-            if let BoundOperand::Value(v) = &c.right {
-                out.insert(c.left.column.clone(), v.clone());
-            }
-        }
-    }
-    out
-}
-
-/// Columns of `alias` that the query needs (for covered-index decisions and
-/// projection pushdown); `None` means "all of them" (wildcard).
-fn needed_columns(select: &SelectStatement, alias: &str, def: &TableDef) -> Option<Vec<String>> {
-    let mut needed: Vec<String> = Vec::new();
-    let mut add = |col: &ColumnRef| {
-        let belongs = match &col.qualifier {
-            Some(q) => q == alias,
-            None => def.column_type(&col.column).is_some(),
-        };
-        if belongs && !needed.contains(&col.column) {
-            needed.push(col.column.clone());
-        }
-    };
-    for item in &select.items {
-        match item {
-            SelectItem::Wildcard => return None,
-            SelectItem::Column { column, .. } => add(column),
-            SelectItem::Aggregate { argument, .. } => {
-                if let Some(a) = argument {
-                    add(a);
-                }
-            }
-        }
-    }
-    for c in &select.conditions {
-        add(&c.left);
-        if let Expr::Column(col) = &c.right {
-            add(col);
-        }
-    }
-    for c in &select.group_by {
-        add(c);
-    }
-    for k in &select.order_by {
-        add(&k.column);
-    }
-    Some(needed)
-}
-
-/// Builds the per-column decode mask for `needed` columns (`None` = decode
-/// everything, also used when every column is needed anyway).
-fn column_mask(def: &TableDef, needed: &Option<Vec<String>>) -> Option<Vec<bool>> {
-    let needed = needed.as_ref()?;
-    let mut mask = vec![false; def.columns.len()];
-    let mut all = true;
-    for (i, (name, _)) in def.columns.iter().enumerate() {
-        let keep = needed.iter().any(|n| n == name);
-        mask[i] = keep;
-        all &= keep;
-    }
-    if all {
-        None
-    } else {
-        Some(mask)
-    }
-}
-
-/// Equi-join conditions connecting `alias` to any of `joined`, with their
-/// index in the bound-condition list.
-fn join_conditions_between<'a>(
-    conditions: &'a [BoundCondition],
-    alias: &'a str,
-    joined: &'a [String],
-) -> impl Iterator<Item = (usize, &'a BoundCondition)> {
-    conditions.iter().enumerate().filter(move |(_, c)| {
-        if c.op != Comparison::Eq {
-            return false;
-        }
-        let BoundOperand::Column(right, _) = &c.right else {
-            return false;
-        };
-        let lq = c.left.qualifier.as_deref();
-        let rq = right.qualifier.as_deref();
-        match (lq, rq) {
-            (Some(l), Some(r)) => {
-                (l == alias && joined.iter().any(|j| j == r))
-                    || (r == alias && joined.iter().any(|j| j == l))
-            }
-            _ => false,
-        }
-    })
-}
-
-/// The side of a join condition that belongs to `alias`.
-fn join_column_for_alias<'a>(c: &'a BoundCondition, alias: &str) -> &'a ColumnRef {
-    let BoundOperand::Column(right, _) = &c.right else {
-        return &c.left;
-    };
-    if right.qualifier.as_deref() == Some(alias) {
-        right
-    } else {
-        &c.left
-    }
-}
-
-/// The side of a join condition that does *not* belong to `alias`.
-fn join_column_other_side<'a>(c: &'a BoundCondition, alias: &str) -> &'a ColumnRef {
-    let BoundOperand::Column(right, _) = &c.right else {
-        return &c.left;
-    };
-    if right.qualifier.as_deref() == Some(alias) {
-        &c.left
-    } else {
-        right
-    }
-}
-
-/// Evaluates any bound condition against a joined row (used for residual
-/// predicates).  Conditions whose columns are absent evaluate to true so that
-/// filters already applied during the per-alias fetch are not re-applied
-/// against rows that legitimately dropped reserved columns.
-fn evaluate_condition(row: &Row, c: &BoundCondition) -> bool {
-    let Some(left) = row.get_interned(&c.left_sym) else {
-        return true;
-    };
-    match &c.right {
-        BoundOperand::Value(v) => c.op.evaluate(left, v),
-        BoundOperand::Column(_, sym) => match row.get_interned(sym) {
-            Some(r) => c.op.evaluate(left, r),
-            None => true,
-        },
-    }
-}
-
-fn compute_aggregate(
-    function: AggregateFunction,
-    argument: Option<&Symbol>,
-    members: &[Row],
-) -> Value {
-    let values: Vec<&Value> = match argument {
-        None => return Value::Int(members.len() as i64),
-        Some(sym) => members
-            .iter()
-            .filter_map(|m| m.get_interned(sym))
-            .filter(|v| !v.is_null())
-            .collect(),
-    };
-    match function {
-        AggregateFunction::Count => Value::Int(values.len() as i64),
-        AggregateFunction::Sum => {
-            let sum: f64 = values.iter().filter_map(|v| v.as_float()).sum();
-            if values.iter().all(|v| matches!(v, Value::Int(_))) {
-                Value::Int(sum as i64)
-            } else {
-                Value::Float(sum)
-            }
-        }
-        AggregateFunction::Avg => {
-            if values.is_empty() {
-                Value::Null
-            } else {
-                let sum: f64 = values.iter().filter_map(|v| v.as_float()).sum();
-                Value::Float(sum / values.len() as f64)
-            }
-        }
-        AggregateFunction::Min => values.iter().min().copied().cloned().unwrap_or(Value::Null),
-        AggregateFunction::Max => values.iter().max().copied().cloned().unwrap_or(Value::Null),
-    }
-}
-
-/// The ORDER BY comparator with its sort keys resolved once; shared by the
-/// full sort and the bounded top-k operator.
-fn order_comparator(select: &SelectStatement) -> impl Fn(&Row, &Row) -> Ordering {
-    let keys: Vec<(Symbol, bool)> = select
-        .order_by
-        .iter()
-        .map(|key| (resolve_col(&key.column), key.descending))
-        .collect();
-    move |a: &Row, b: &Row| {
-        for (sym, descending) in &keys {
-            let av = a.get_interned(sym);
-            let bv = b.get_interned(sym);
-            let ord = match (av, bv) {
-                (Some(a), Some(b)) => a.cmp(b),
-                (Some(a), None) => a.cmp(&Value::Null),
-                (None, Some(b)) => Value::Null.cmp(b),
-                (None, None) => Ordering::Equal,
-            };
-            let ord = if *descending { ord.reverse() } else { ord };
-            if ord != Ordering::Equal {
-                return ord;
-            }
-        }
-        Ordering::Equal
-    }
-}
-
-fn apply_order_by(select: &SelectStatement, mut rows: Vec<Row>) -> Vec<Row> {
-    if select.order_by.is_empty() {
-        return rows;
-    }
-    let cmp = order_comparator(select);
-    rows.sort_by(|a, b| cmp(a, b));
-    rows
-}
-
-fn project(select: &SelectStatement, rows: Vec<Row>) -> Vec<Row> {
-    let wildcard = select.items.iter().any(|i| matches!(i, SelectItem::Wildcard));
-    if wildcard || select.has_aggregates() {
-        return rows;
-    }
-    // Resolve lookup and output symbols once per statement.
-    let cols: Vec<(Symbol, Symbol)> = select
-        .items
-        .iter()
-        .filter_map(|item| {
-            let SelectItem::Column { column, alias } = item else {
-                return None;
-            };
-            let out = match alias {
-                Some(a) => intern::intern(a),
-                None => intern::intern(&column.qualified_name()),
-            };
-            Some((resolve_col(column), out))
-        })
-        .collect();
-    rows.into_iter()
-        .map(|row| {
-            let mut out = Row::with_capacity(cols.len());
-            for (lookup, name) in &cols {
-                let value = row.get_interned(lookup).cloned().unwrap_or(Value::Null);
-                out.set_interned(name.clone(), value);
-            }
-            out
-        })
-        .collect()
 }

@@ -7,13 +7,25 @@
 //! joins client-side with hash joins over table scans — which is precisely
 //! why joins are slow on the NoSQL store and why Synergy materializes them.
 //!
+//! Statement evaluation is an explicit four-phase pipeline — **parse →
+//! bind → logical plan → physical plan** — with every planning decision
+//! (predicate placement, access paths, join order, pushdowns, operator
+//! parallelism) visible in the [`LogicalPlan`] that `EXPLAIN` renders.
+//!
 //! The main types are:
 //!
 //! * [`Catalog`] / [`TableDef`] — metadata describing how relations, indexes,
 //!   views and lock tables are laid out as NoSQL tables (row-key composition,
 //!   column types);
 //! * [`Executor`] — executes parsed [`sql::Statement`]s with positional
-//!   parameters and returns [`QueryResult`]s;
+//!   parameters and returns [`QueryResult`]s (the one-shot path: all four
+//!   phases per call);
+//! * [`Session`] / [`PreparedStatement`] — prepared statements over a plan
+//!   cache keyed by statement text (invalidated on catalog change), plus
+//!   `EXPLAIN`; [`PlanRewriter`] lets higher layers (Synergy) plug
+//!   statement rewrites into the planner as visible rules;
+//! * [`PhysicalPlan`] — a compiled SELECT: bound, optimized, parameter
+//!   slots open, re-executable via [`Executor::execute_plan`];
 //! * [`baseline`] — the paper's §II-D baseline schema and workload
 //!   transformation.
 //!
@@ -41,12 +53,20 @@
 //! ```
 
 pub mod baseline;
+mod bind;
 mod catalog;
 mod executor;
+mod optimize;
+mod physical;
+mod plan;
 mod result;
+mod session;
 mod stream;
 mod writes;
 
 pub use catalog::{Catalog, ColumnType, TableDef, TableKind, FAMILY};
 pub use executor::{par_decode_filtered, par_decode_rows, AccessPath, Executor, DIRTY_MARKER};
+pub use physical::PhysicalPlan;
+pub use plan::{LogicalPlan, PlanOperand, PlanPredicate, SortKey};
 pub use result::{QueryError, QueryResult};
+pub use session::{PlanCacheStats, PlanRewriter, PreparedStatement, Session};

@@ -1,0 +1,567 @@
+//! The **optimizer**: rule passes that turn a [`BoundSelect`] into a
+//! [`PhysicalPlan`].
+//!
+//! Each pass subsumes a planning decision the pre-IR executor made inline,
+//! so planning a statement and executing the plan is behavior- and
+//! cost-identical to the old single-shot path:
+//!
+//! 1. **Predicate pushdown** — every single-alias constant predicate is
+//!    assigned to its alias's scan stream; equi-join predicates are
+//!    consumed by the hash join that enforces them; whatever remains is a
+//!    residual filter over joined rows.
+//! 2. **Access-path selection** — per alias, from its equality-filter
+//!    columns: full-key Get, key-prefix scan, covered/uncovered index
+//!    scan, or full scan.
+//! 3. **Join order** — the start (probe) alias is the one with the most
+//!    selective access path, tie-broken by estimated cardinality from
+//!    region stats ([`nosql_store::Cluster::table_stats`], fewer rows
+//!    first); each following step joins the first remaining alias connected
+//!    by an equi-join condition, with the join-key symbols resolved for
+//!    both sides.
+//! 4. **Projection pushdown** — the columns each alias must produce are
+//!    computed once; the decode mask and the store-level scan projection
+//!    derive from it.
+//! 5. **Limit pushdown** — a bare single-table `LIMIT k` is pushed into the
+//!    store scan; any other bare LIMIT stops pulling the pipeline early
+//!    (and pins its sources to the serial streaming operators).
+//! 6. **Operator parallelism** — at `threads > 1`, full scans fan out
+//!    region-parallel, equi-joins hash-partition, and ORDER BY + LIMIT
+//!    runs per-worker bounded heaps, unless a bare LIMIT's early
+//!    termination forbids it.
+//!
+//! Statement-level rewrites (Synergy's materialized-view substitution)
+//! happen *before* binding through [`crate::PlanRewriter`] and are recorded
+//! on the plan as a [`LogicalPlan::Rewrite`] node, so `EXPLAIN` shows the
+//! substitution instead of hiding it in a pre-pass.
+
+use crate::bind::{
+    self, column_mask, condition_is_single_alias, eq_filter_columns, join_column_for_alias,
+    join_column_other_side, join_conditions_between, needed_columns, resolve_col, BoundSelect,
+    PlannedCondition, PlannedOperand,
+};
+use crate::catalog::{Catalog, TableDef};
+use crate::executor::{AccessPath, Executor};
+use crate::physical::{
+    AliasAccess, DecodeSpec, GroupPlan, IndexAccess, ItemPlan, JoinStep, PhysicalPlan,
+};
+use crate::plan::{LogicalPlan, PlanOperand, PlanPredicate, SortKey};
+use crate::result::QueryError;
+use relational::{intern, Symbol};
+use sql::{SelectItem, SelectStatement};
+
+/// A note describing a statement-level rewrite that fired before planning.
+#[derive(Debug, Clone)]
+pub struct RewriteNote {
+    /// Rule identifier (e.g. `synergy-view-rewrite`).
+    pub rule: String,
+    /// Human-readable description of what was substituted.
+    pub note: String,
+}
+
+/// Ranks an access path for start-alias selection (lower = more selective).
+fn access_rank(path: &AccessPath) -> i32 {
+    match path {
+        AccessPath::KeyGet => 0,
+        AccessPath::IndexScan { .. } => 1,
+        AccessPath::KeyPrefixScan => 2,
+        AccessPath::FullScan => 3,
+    }
+}
+
+/// Chooses how one alias will be accessed given the *columns* of its
+/// single-alias equality filters (values are irrelevant to the choice,
+/// which is what makes plans parameter-independent and cacheable).
+fn select_access_path(catalog: &Catalog, def: &TableDef, eq_columns: &[String]) -> AccessPath {
+    if !eq_columns.is_empty() {
+        if def.key_covered_by(eq_columns) {
+            return AccessPath::KeyGet;
+        }
+        if eq_columns.iter().any(|c| c == &def.key[0]) {
+            return AccessPath::KeyPrefixScan;
+        }
+        for index in catalog.indexes_of(&def.name) {
+            if eq_columns.iter().any(|c| c == &index.key[0]) {
+                return AccessPath::IndexScan {
+                    index: index.name.clone(),
+                };
+            }
+        }
+    }
+    AccessPath::FullScan
+}
+
+/// Compiles one bound SELECT into a physical plan at the executor's
+/// configuration (thread count, catalog).  `rewrite` records a statement
+/// rewrite that already fired, for the plan tree.
+pub(crate) fn plan_select(
+    executor: &Executor,
+    bound: BoundSelect<'_>,
+    rewrite: Option<RewriteNote>,
+) -> Result<PhysicalPlan, QueryError> {
+    let BoundSelect {
+        select,
+        aliases,
+        conditions,
+    } = bound;
+    let catalog = executor.catalog();
+    let threads = executor.threads();
+    let n_aliases = aliases.len();
+
+    // --- Rule 1: predicate pushdown (classification) -------------------
+    // Track which conditions are fully enforced inside the pipeline:
+    // every single-alias filter is applied on its alias's stream, and
+    // every equi-join condition is enforced exactly by the hash join
+    // that consumes it.  Whatever remains (cross-alias `<>`, range
+    // predicates over joined columns, ...) is evaluated per joined row.
+    let mut consumed = vec![false; conditions.len()];
+    let mut single_alias: Vec<Vec<usize>> = vec![Vec::new(); n_aliases];
+    for (ai, (alias, def)) in aliases.iter().enumerate() {
+        for (i, c) in conditions.iter().enumerate() {
+            if condition_is_single_alias(c, alias, def, &select.from) {
+                consumed[i] = true;
+                single_alias[ai].push(i);
+            }
+        }
+    }
+
+    // --- Rule 2: access-path selection ---------------------------------
+    let eq_columns: Vec<Vec<String>> = (0..n_aliases)
+        .map(|ai| eq_filter_columns(&conditions, &single_alias[ai]))
+        .collect();
+    let paths: Vec<AccessPath> = aliases
+        .iter()
+        .enumerate()
+        .map(|(ai, (_, def))| select_access_path(catalog, def, &eq_columns[ai]))
+        .collect();
+
+    // --- Rule 3: join order --------------------------------------------
+    // Start with the alias that has the most selective access path; among
+    // equal ranks, prefer the smaller estimated cardinality (region
+    // stats), then statement order.  Then repeatedly add an alias
+    // connected by a join condition.
+    let mut start = 0;
+    // Single-table statements have no join-order choice; skip the access
+    // ranking and the region-stats walk entirely so the one-shot
+    // point-lookup path pays nothing for them.
+    if n_aliases > 1 {
+        let mut best_rank = i32::MAX;
+        let mut best_rows = u64::MAX;
+        for (ai, (_, def)) in aliases.iter().enumerate() {
+            let rank = access_rank(&paths[ai]);
+            let rows = executor
+                .cluster()
+                .table_stats(&def.name)
+                .map(|t| t.rows)
+                .unwrap_or(u64::MAX);
+            if rank < best_rank || (rank == best_rank && rows < best_rows) {
+                best_rank = rank;
+                best_rows = rows;
+                start = ai;
+            }
+        }
+    }
+
+    let mut remaining: Vec<usize> = (0..n_aliases).collect();
+    remaining.retain(|&i| i != start);
+    let mut joined_aliases = vec![aliases[start].0.clone()];
+    let mut join_steps: Vec<JoinStep> = Vec::new();
+    while !remaining.is_empty() {
+        // Find a remaining alias connected to what we have joined so far.
+        let next_pos = remaining
+            .iter()
+            .position(|&i| {
+                join_conditions_between(&conditions, &aliases[i].0, &joined_aliases)
+                    .next()
+                    .is_some()
+            })
+            .unwrap_or(0);
+        let idx = remaining.remove(next_pos);
+        let alias_name = aliases[idx].0.clone();
+        let cond_idxs: Vec<usize> =
+            join_conditions_between(&conditions, &alias_name, &joined_aliases)
+                .map(|(i, _)| i)
+                .collect();
+        for &i in &cond_idxs {
+            consumed[i] = true;
+        }
+        // Join-key symbols, resolved once per join instead of one
+        // `format!("{alias}.{column}")` per row per condition.
+        let right_syms: Vec<Symbol> = cond_idxs
+            .iter()
+            .map(|&i| {
+                let col = join_column_for_alias(&conditions[i], &alias_name);
+                intern::intern(&format!("{alias_name}.{}", col.column))
+            })
+            .collect();
+        let left_syms: Vec<Symbol> = cond_idxs
+            .iter()
+            .map(|&i| resolve_col(join_column_other_side(&conditions[i], &alias_name)))
+            .collect();
+        joined_aliases.push(alias_name);
+        // --- Rule 6 (joins): serial vs hash-partitioned ---------------
+        let partitioned = threads > 1 && !limit_stops_early(select) && !cond_idxs.is_empty();
+        join_steps.push(JoinStep {
+            alias: idx,
+            cond_idxs,
+            left_syms,
+            right_syms,
+            partitioned,
+        });
+    }
+
+    // Residual conditions: anything not consumed above.
+    let residual: Vec<usize> = (0..conditions.len()).filter(|&i| !consumed[i]).collect();
+
+    // --- Rule 5: limit pushdown ----------------------------------------
+    let single_table = n_aliases == 1;
+    let has_group = select.has_aggregates() || !select.group_by.is_empty();
+    let lse = limit_stops_early(select);
+    // Store-level LIMIT pushdown: safe only when no downstream operator
+    // can drop or reorder rows, i.e. a bare single-table `LIMIT k`.
+    // Every other shape still benefits from stream laziness (the source
+    // stops being pulled after `k` output rows).
+    let store_limit = if single_table
+        && conditions.is_empty()
+        && residual.is_empty()
+        && select.order_by.is_empty()
+        && !has_group
+    {
+        select.limit.unwrap_or(0)
+    } else {
+        0
+    };
+
+    // --- Rule 4: projection pushdown (per-alias decode specs) ----------
+    let access: Vec<AliasAccess> = aliases
+        .iter()
+        .enumerate()
+        .map(|(ai, (alias, def))| {
+            let needed = needed_columns(select, alias, def);
+            let qual_syms: Option<Vec<Symbol>> = (!single_table).then(|| {
+                def.columns
+                    .iter()
+                    .map(|(name, _)| intern::intern(&format!("{alias}.{name}")))
+                    .collect()
+            });
+            let decode = DecodeSpec {
+                qual_syms,
+                mask: column_mask(def, &needed),
+            };
+            let index = match &paths[ai] {
+                AccessPath::IndexScan { index } => {
+                    let index_def = catalog
+                        .table_shared(index)
+                        .ok_or_else(|| QueryError::UnknownTable(index.clone()))?;
+                    let covered = needed
+                        .as_ref()
+                        .map(|needed| needed.iter().all(|c| index_def.column_type(c).is_some()))
+                        .unwrap_or_else(|| {
+                            def.columns
+                                .iter()
+                                .all(|(c, _)| index_def.column_type(c).is_some())
+                        });
+                    // The index table shares column names with the base
+                    // table, so the same qualified-name scheme applies; its
+                    // symbols are indexed by the *index* def's column order.
+                    let index_qual_syms: Option<Vec<Symbol>> = (!single_table).then(|| {
+                        index_def
+                            .columns
+                            .iter()
+                            .map(|(name, _)| intern::intern(&format!("{alias}.{name}")))
+                            .collect()
+                    });
+                    let index_decode = DecodeSpec {
+                        qual_syms: index_qual_syms,
+                        mask: column_mask(&index_def, &needed),
+                    };
+                    Some(IndexAccess {
+                        def: index_def,
+                        covered,
+                        decode: index_decode,
+                    })
+                }
+                _ => None,
+            };
+            Ok(AliasAccess {
+                path: paths[ai].clone(),
+                decode,
+                index,
+            })
+        })
+        .collect::<Result<_, QueryError>>()?;
+
+    // Aggregate / projection / ordering sub-plans.
+    let group = has_group.then(|| build_group_plan(select));
+    let order_keys: Vec<(Symbol, bool)> = select
+        .order_by
+        .iter()
+        .map(|key| (resolve_col(&key.column), key.descending))
+        .collect();
+    let project = build_project(select);
+
+    // The logical plan mirrors every decision above for EXPLAIN.
+    let logical = build_logical(
+        select,
+        &aliases,
+        &conditions,
+        &single_alias,
+        &paths,
+        start,
+        &join_steps,
+        &residual,
+        store_limit,
+        lse,
+        threads,
+        &group,
+        &order_keys,
+        &project,
+        rewrite,
+    );
+
+    Ok(PhysicalPlan {
+        aliases,
+        conditions,
+        single_alias,
+        start,
+        join_steps,
+        residual,
+        access,
+        store_limit,
+        limit_stops_early: lse,
+        limit: select.limit,
+        group,
+        order_keys,
+        project,
+        threads,
+        logical,
+        catalog_version: catalog.version(),
+    })
+}
+
+/// True when a bare LIMIT (no ORDER BY, no aggregation) stops pulling the
+/// pipeline lazily after k output rows; parallel sources and the
+/// partitioned join work in eager batches and would forfeit that early
+/// termination, so such statements stay on the serial streaming operators.
+fn limit_stops_early(select: &SelectStatement) -> bool {
+    let has_group = select.has_aggregates() || !select.group_by.is_empty();
+    select.limit.is_some() && select.order_by.is_empty() && !has_group
+}
+
+/// Resolves the aggregate/GROUP BY sub-plan (symbols interned once).
+fn build_group_plan(select: &SelectStatement) -> GroupPlan {
+    let group_syms: Vec<(Symbol, Symbol)> = select
+        .group_by
+        .iter()
+        .map(|c| (resolve_col(c), intern::intern(&c.column)))
+        .collect();
+    let items: Vec<ItemPlan> = select
+        .items
+        .iter()
+        .map(|item| match item {
+            SelectItem::Aggregate {
+                function,
+                argument,
+                alias,
+            } => {
+                let name = alias.clone().unwrap_or_else(|| match argument {
+                    Some(a) => format!("{function}({})", a.qualified_name()),
+                    None => format!("{function}(*)"),
+                });
+                ItemPlan::Aggregate {
+                    function: *function,
+                    argument: argument.as_ref().map(resolve_col),
+                    name: intern::intern(&name),
+                }
+            }
+            SelectItem::Column { column, alias } => ItemPlan::Column {
+                lookup: resolve_col(column),
+                out: intern::intern(&column.qualified_name()),
+                alias: alias.as_deref().map(intern::intern),
+            },
+            SelectItem::Wildcard => ItemPlan::Wildcard,
+        })
+        .collect();
+    GroupPlan { group_syms, items }
+}
+
+/// Resolves the final projection (`None` = identity: wildcard present or
+/// aggregate output, which `build_group_plan` already shapes).
+fn build_project(select: &SelectStatement) -> Option<Vec<(Symbol, Symbol)>> {
+    let wildcard = select.items.iter().any(|i| matches!(i, SelectItem::Wildcard));
+    if wildcard || select.has_aggregates() {
+        return None;
+    }
+    Some(
+        select
+            .items
+            .iter()
+            .filter_map(|item| {
+                let SelectItem::Column { column, alias } = item else {
+                    return None;
+                };
+                let out = match alias {
+                    Some(a) => intern::intern(a),
+                    None => intern::intern(&column.qualified_name()),
+                };
+                Some((resolve_col(column), out))
+            })
+            .collect(),
+    )
+}
+
+/// Renders one planned condition as a plan predicate.
+fn plan_predicate(c: &PlannedCondition) -> PlanPredicate {
+    PlanPredicate {
+        left: c.left_sym.clone(),
+        op: c.op,
+        right: match &c.right {
+            PlannedOperand::Literal(v) => PlanOperand::Literal(v.clone()),
+            PlannedOperand::Param(i) => PlanOperand::Param(*i),
+            PlannedOperand::Column(_, sym) => PlanOperand::Column(sym.clone()),
+        },
+    }
+}
+
+/// Assembles the logical operator tree from the optimizer's decisions.
+#[allow(clippy::too_many_arguments)]
+fn build_logical(
+    select: &SelectStatement,
+    aliases: &[(String, std::sync::Arc<TableDef>)],
+    conditions: &[PlannedCondition],
+    single_alias: &[Vec<usize>],
+    paths: &[AccessPath],
+    start: usize,
+    join_steps: &[JoinStep],
+    residual: &[usize],
+    store_limit: usize,
+    limit_stops_early: bool,
+    threads: usize,
+    group: &Option<GroupPlan>,
+    order_keys: &[(Symbol, bool)],
+    project: &Option<Vec<(Symbol, Symbol)>>,
+    rewrite: Option<RewriteNote>,
+) -> LogicalPlan {
+    let scan_node = |ai: usize, is_start: bool| -> LogicalPlan {
+        let (alias, def) = &aliases[ai];
+        // Mirrors the physical source choice: full scans fan out on the
+        // pool unless a pushed store limit or a bare LIMIT downstream pins
+        // the source to the serial cursor.
+        let this_store_limit = if is_start { store_limit } else { 0 };
+        let parallel = if matches!(paths[ai], AccessPath::FullScan)
+            && threads > 1
+            && this_store_limit == 0
+            && !(is_start && limit_stops_early)
+        {
+            threads
+        } else {
+            1
+        };
+        LogicalPlan::Scan {
+            table: def.name.clone(),
+            alias: alias.clone(),
+            access: paths[ai].clone(),
+            predicates: single_alias[ai]
+                .iter()
+                .map(|&i| plan_predicate(&conditions[i]))
+                .collect(),
+            parallel,
+            store_limit: this_store_limit,
+        }
+    };
+
+    let mut node = scan_node(start, true);
+    for step in join_steps {
+        node = LogicalPlan::HashJoin {
+            probe: Box::new(node),
+            build: Box::new(scan_node(step.alias, false)),
+            build_alias: aliases[step.alias].0.clone(),
+            on: step
+                .cond_idxs
+                .iter()
+                .map(|&i| plan_predicate(&conditions[i]))
+                .collect(),
+            partitioned: if step.partitioned { threads } else { 1 },
+        };
+    }
+    if !residual.is_empty() {
+        node = LogicalPlan::Filter {
+            input: Box::new(node),
+            predicates: residual.iter().map(|&i| plan_predicate(&conditions[i])).collect(),
+        };
+    }
+
+    let sort_keys: Vec<SortKey> = order_keys
+        .iter()
+        .map(|(sym, desc)| SortKey {
+            column: sym.clone(),
+            descending: *desc,
+        })
+        .collect();
+
+    if let Some(group) = group {
+        node = LogicalPlan::Aggregate {
+            input: Box::new(node),
+            group_by: group.group_syms.iter().map(|(q, _)| q.clone()).collect(),
+            items: select.items.clone(),
+        };
+        if !sort_keys.is_empty() {
+            node = LogicalPlan::Sort {
+                input: Box::new(node),
+                keys: sort_keys,
+            };
+        }
+        if let Some(k) = select.limit {
+            node = LogicalPlan::Limit {
+                input: Box::new(node),
+                k,
+                pushed_to_store: false,
+            };
+        }
+    } else if !sort_keys.is_empty() {
+        node = match select.limit {
+            Some(k) => LogicalPlan::TopK {
+                input: Box::new(node),
+                k,
+                keys: sort_keys,
+                partitioned: if threads > 1 { threads } else { 1 },
+            },
+            None => LogicalPlan::Sort {
+                input: Box::new(node),
+                keys: sort_keys,
+            },
+        };
+    } else if let Some(k) = select.limit {
+        node = LogicalPlan::Limit {
+            input: Box::new(node),
+            k,
+            pushed_to_store: store_limit > 0,
+        };
+    }
+
+    if let Some(cols) = project {
+        node = LogicalPlan::Project {
+            input: Box::new(node),
+            columns: cols.iter().map(|(_, out)| out.clone()).collect(),
+        };
+    }
+
+    match rewrite {
+        Some(RewriteNote { rule, note }) => LogicalPlan::Rewrite {
+            rule,
+            note,
+            input: Box::new(node),
+        },
+        None => node,
+    }
+}
+
+/// Convenience used by `Executor::plan_select` and the session: bind then
+/// optimize in one call.
+pub(crate) fn bind_and_plan(
+    executor: &Executor,
+    select: &SelectStatement,
+    rewrite: Option<RewriteNote>,
+) -> Result<PhysicalPlan, QueryError> {
+    let bound = bind::bind_select(executor.catalog(), select)?;
+    plan_select(executor, bound, rewrite)
+}

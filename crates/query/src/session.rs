@@ -1,0 +1,377 @@
+//! The [`Session`]: prepared statements, the plan cache, and `EXPLAIN`.
+//!
+//! A session wraps an [`Executor`] and amortizes the parse → bind →
+//! optimize phases of the query pipeline across executions:
+//!
+//! * [`Session::prepare`] compiles a statement once into a
+//!   [`PreparedStatement`] whose bound, optimized [`PhysicalPlan`] is
+//!   re-executed with fresh positional parameters;
+//! * the **plan cache** keys compiled plans by statement text, so
+//!   [`Session::execute_sql`] on a repeated statement skips planning
+//!   entirely (hit/miss counters are exposed via
+//!   [`Session::plan_cache_stats`]);
+//! * cached plans are stamped with the catalog version they were compiled
+//!   against and are invalidated transparently when the catalog changes
+//!   (see [`crate::Catalog::version`]);
+//! * [`Session::explain`] renders the stable plan tree for a statement,
+//!   and `execute_sql` understands a leading `EXPLAIN` keyword, returning
+//!   the rendering as result rows.
+//!
+//! Statement-level rewrites plug in through [`PlanRewriter`]: Synergy
+//! installs its materialized-view substitution here, which makes the
+//! rewrite a visible planner rule (a `Rewrite` node in the plan tree)
+//! instead of an opaque pre-pass.
+//!
+//! ```
+//! use nosql_store::{Cluster, ClusterConfig};
+//! use query::{baseline, ColumnType, Executor, Session};
+//! use relational::{company, Row, Value};
+//!
+//! let schema = company::company_schema();
+//! let catalog = baseline::baseline_catalog_with_types(&schema, &|_, column| {
+//!     (column == "DNo").then_some(ColumnType::Int)
+//! });
+//! let cluster = Cluster::new(ClusterConfig::default());
+//! baseline::create_tables(&cluster, &catalog).unwrap();
+//! let exec = Executor::new(cluster, catalog);
+//! exec.insert_row("Department", &Row::new().with("DNo", 1).with("DName", "Research")).unwrap();
+//!
+//! let session = Session::new(exec);
+//! let stmt = session.prepare("SELECT * FROM Department WHERE DNo = ?").unwrap();
+//! assert_eq!(stmt.execute(&[Value::Int(1)]).unwrap().len(), 1);
+//! assert_eq!(stmt.execute(&[Value::Int(2)]).unwrap().len(), 0);
+//! // A second prepare of the same text is served from the plan cache.
+//! session.prepare("SELECT * FROM Department WHERE DNo = ?").unwrap();
+//! assert_eq!(session.plan_cache_stats().hits, 1);
+//! ```
+
+use crate::executor::Executor;
+use crate::optimize::{self, RewriteNote};
+use crate::physical::PhysicalPlan;
+use crate::result::{QueryError, QueryResult};
+use relational::{intern, Row, Value};
+use sql::{SelectStatement, Statement};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Upper bound on cached plans per session.  Statement texts with inlined
+/// literals each occupy one entry, so the cache is capped and flushed
+/// wholesale when full (prepared-statement workloads parameterize and stay
+/// far below this).
+const PLAN_CACHE_MAX_ENTRIES: usize = 1_024;
+
+/// A statement-level rewrite rule consulted before planning (e.g. Synergy's
+/// materialized-view substitution).  Returning `Some` replaces the
+/// statement and records the note as a `Rewrite` node in the plan tree, so
+/// `EXPLAIN` shows what fired.
+pub trait PlanRewriter: Send + Sync {
+    /// Identifier rendered in the plan tree (e.g. `synergy-view-rewrite`).
+    fn rule_name(&self) -> &str;
+
+    /// Rewrites one SELECT, or `None` when the rule does not apply.  The
+    /// returned string describes the substitution for plan renderings.
+    fn rewrite_select(&self, select: &SelectStatement) -> Option<(SelectStatement, String)>;
+}
+
+/// Counters describing a session's plan-cache behavior.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that compiled a new plan.
+    pub misses: u64,
+    /// Cache entries dropped because the catalog changed underneath them
+    /// (each also counts as a miss).
+    pub invalidations: u64,
+    /// Plans currently cached.
+    pub entries: usize,
+}
+
+/// What a prepared statement executes: a compiled SELECT plan, or a parsed
+/// write statement (writes plan trivially — the executor resolves their
+/// target per execution).
+#[derive(Clone)]
+enum Prepared {
+    Select(Arc<PhysicalPlan>),
+    Write(Arc<Statement>),
+}
+
+/// Shared mutable state of a session (clones share the cache and counters).
+#[derive(Default)]
+struct SessionState {
+    cache: Mutex<HashMap<String, Prepared>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+/// A connection-scoped handle running statements through the planner with
+/// a plan cache.  Cloning is cheap and clones share the cache.
+#[derive(Clone)]
+pub struct Session {
+    executor: Executor,
+    rewriter: Option<Arc<dyn PlanRewriter>>,
+    state: Arc<SessionState>,
+}
+
+impl Session {
+    /// Creates a session over an executor.
+    pub fn new(executor: Executor) -> Session {
+        Session {
+            executor,
+            rewriter: None,
+            state: Arc::new(SessionState::default()),
+        }
+    }
+
+    /// Installs a statement rewriter consulted before planning.
+    ///
+    /// The session gets a **fresh** plan cache: cached plans are the
+    /// product of the rewriter that compiled them, so a session configured
+    /// with a different rewriter must not share cache entries (or counters)
+    /// with its ancestor — otherwise a clone could serve un-rewritten plans
+    /// for rewritten statements or vice versa.  Clones made *after* this
+    /// call share the new cache as usual.
+    pub fn with_rewriter(mut self, rewriter: Arc<dyn PlanRewriter>) -> Session {
+        self.rewriter = Some(rewriter);
+        self.state = Arc::new(SessionState::default());
+        self
+    }
+
+    /// The underlying executor.
+    pub fn executor(&self) -> &Executor {
+        &self.executor
+    }
+
+    /// Mutable access to the underlying executor (e.g. to swap the catalog
+    /// after DDL).  Cached plans compiled against the previous catalog are
+    /// invalidated lazily on their next lookup via the catalog version.
+    ///
+    /// Clones share the plan cache but each clone owns its executor, so
+    /// swapping the catalog on one clone while another keeps the old one
+    /// makes the two evict each other's plans on every lookup (the cache
+    /// holds one entry per statement text, validated against the
+    /// looking-up session's catalog).  Sessions whose catalogs need to
+    /// diverge should not share a cache — create a fresh `Session` instead
+    /// of cloning.
+    pub fn executor_mut(&mut self) -> &mut Executor {
+        &mut self.executor
+    }
+
+    /// Compiles (or fetches from the plan cache) a prepared statement for
+    /// the given SQL text.
+    pub fn prepare(&self, sql_text: &str) -> Result<PreparedStatement, QueryError> {
+        self.prepare_keyed(sql_text, None)
+    }
+
+    /// [`Session::prepare`] for an already parsed statement (cache key is
+    /// the statement's canonical text).
+    pub fn prepare_statement(&self, stmt: &Statement) -> Result<PreparedStatement, QueryError> {
+        self.prepare_keyed(&stmt.to_string(), Some(stmt))
+    }
+
+    /// Compiles a statement *without* consulting or populating the plan
+    /// cache — the baseline against which prepared execution is measured
+    /// (every phase runs, nothing is amortized).
+    pub fn prepare_uncached(&self, sql_text: &str) -> Result<PreparedStatement, QueryError> {
+        let stmt = parse(sql_text)?;
+        let prepared = self.compile(&stmt)?;
+        Ok(PreparedStatement {
+            executor: self.executor.clone(),
+            sql: sql_text.to_string(),
+            prepared,
+        })
+    }
+
+    /// Parses and executes a SQL string through the plan cache.  A leading
+    /// `EXPLAIN` keyword renders the inner statement's plan tree instead,
+    /// one result row per line under the column `plan`.
+    pub fn execute_sql(&self, sql_text: &str, params: &[Value]) -> Result<QueryResult, QueryError> {
+        if let Some(inner) = sql::strip_explain(sql_text) {
+            let text = self.explain(inner)?;
+            let plan_sym = intern::intern("plan");
+            let rows = text
+                .lines()
+                .map(|line| {
+                    let mut row = Row::with_capacity(1);
+                    row.set_interned(plan_sym.clone(), Value::str(line));
+                    row
+                })
+                .collect();
+            return Ok(QueryResult::with_rows(rows));
+        }
+        self.prepare(sql_text)?.execute(params)
+    }
+
+    /// Executes an already parsed statement through the plan cache.
+    pub fn execute_statement(
+        &self,
+        stmt: &Statement,
+        params: &[Value],
+    ) -> Result<QueryResult, QueryError> {
+        self.prepare_statement(stmt)?.execute(params)
+    }
+
+    /// Renders the stable plan tree for a SQL string (the `EXPLAIN` text),
+    /// including any rewrite rule that fired.
+    pub fn explain(&self, sql_text: &str) -> Result<String, QueryError> {
+        self.explain_statement(&parse(sql_text)?)
+    }
+
+    /// [`Session::explain`] for an already parsed statement.
+    pub fn explain_statement(&self, stmt: &Statement) -> Result<String, QueryError> {
+        match self.compile(stmt)? {
+            Prepared::Select(plan) => Ok(plan.explain()),
+            Prepared::Write(stmt) => self.executor.explain_statement(&stmt),
+        }
+    }
+
+    /// A snapshot of the plan-cache counters.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.state.hits.load(Ordering::Relaxed),
+            misses: self.state.misses.load(Ordering::Relaxed),
+            invalidations: self.state.invalidations.load(Ordering::Relaxed),
+            entries: self.state.cache.lock().expect("plan cache lock").len(),
+        }
+    }
+
+    /// Drops every cached plan (counters are kept).
+    pub fn clear_plan_cache(&self) {
+        self.state.cache.lock().expect("plan cache lock").clear();
+    }
+
+    /// Cache lookup + compile on miss.  `parsed` avoids re-parsing when the
+    /// caller already holds the statement.
+    fn prepare_keyed(
+        &self,
+        key: &str,
+        parsed: Option<&Statement>,
+    ) -> Result<PreparedStatement, QueryError> {
+        let catalog_version = self.executor.catalog().version();
+        {
+            let mut cache = self.state.cache.lock().expect("plan cache lock");
+            match cache.get(key) {
+                Some(Prepared::Select(plan)) if plan.catalog_version() != catalog_version => {
+                    // Stale: compiled against a previous catalog.  Drop the
+                    // entry now (re-planning below may legitimately fail —
+                    // e.g. the table was removed — and a failed compile must
+                    // not leave the dead plan counting as cached), then fall
+                    // through to re-plan.
+                    cache.remove(key);
+                    self.state.invalidations.fetch_add(1, Ordering::Relaxed);
+                }
+                Some(prepared) => {
+                    self.state.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(PreparedStatement {
+                        executor: self.executor.clone(),
+                        sql: key.to_string(),
+                        prepared: prepared.clone(),
+                    });
+                }
+                None => {}
+            }
+        }
+        self.state.misses.fetch_add(1, Ordering::Relaxed);
+        let owned;
+        let stmt = match parsed {
+            Some(stmt) => stmt,
+            None => {
+                owned = parse(key)?;
+                &owned
+            }
+        };
+        let prepared = self.compile(stmt)?;
+        {
+            let mut cache = self.state.cache.lock().expect("plan cache lock");
+            // Bound the cache: statements with inlined literals produce a
+            // distinct text (and entry) per value, so a long-lived session
+            // fed ad-hoc SQL would otherwise grow without limit.  When the
+            // cap is reached the cache is flushed wholesale — crude but
+            // O(1) amortized, and repeated statements simply re-warm.
+            if cache.len() >= PLAN_CACHE_MAX_ENTRIES {
+                cache.clear();
+            }
+            cache.insert(key.to_string(), prepared.clone());
+        }
+        Ok(PreparedStatement {
+            executor: self.executor.clone(),
+            sql: key.to_string(),
+            prepared,
+        })
+    }
+
+    /// Runs rewrite + bind + optimize for one statement.
+    fn compile(&self, stmt: &Statement) -> Result<Prepared, QueryError> {
+        let Statement::Select(select) = stmt else {
+            return Ok(Prepared::Write(Arc::new(stmt.clone())));
+        };
+        let rewritten = self
+            .rewriter
+            .as_ref()
+            .and_then(|rewriter| {
+                rewriter.rewrite_select(select).map(|(rewritten, note)| {
+                    (
+                        rewritten,
+                        RewriteNote {
+                            rule: rewriter.rule_name().to_string(),
+                            note,
+                        },
+                    )
+                })
+            });
+        let plan = match &rewritten {
+            Some((select, note)) => {
+                optimize::bind_and_plan(&self.executor, select, Some(note.clone()))?
+            }
+            None => optimize::bind_and_plan(&self.executor, select, None)?,
+        };
+        Ok(Prepared::Select(Arc::new(plan)))
+    }
+}
+
+/// A statement compiled once and executable many times with fresh
+/// positional parameters.  For SELECTs this holds the bound, optimized
+/// [`PhysicalPlan`]; execution binds only the parameter values.
+#[derive(Clone)]
+pub struct PreparedStatement {
+    executor: Executor,
+    sql: String,
+    prepared: Prepared,
+}
+
+impl PreparedStatement {
+    /// Executes with the given positional parameters.
+    pub fn execute(&self, params: &[Value]) -> Result<QueryResult, QueryError> {
+        match &self.prepared {
+            Prepared::Select(plan) => self.executor.execute_plan(plan, params),
+            Prepared::Write(stmt) => self.executor.execute(stmt, params),
+        }
+    }
+
+    /// The statement text this handle was prepared from.
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+
+    /// The compiled plan, for SELECT statements.
+    pub fn plan(&self) -> Option<&PhysicalPlan> {
+        match &self.prepared {
+            Prepared::Select(plan) => Some(plan),
+            Prepared::Write(_) => None,
+        }
+    }
+
+    /// Renders the plan tree (write statements render a summary line).
+    pub fn explain(&self) -> Result<String, QueryError> {
+        match &self.prepared {
+            Prepared::Select(plan) => Ok(plan.explain()),
+            Prepared::Write(stmt) => self.executor.explain_statement(stmt),
+        }
+    }
+}
+
+fn parse(sql_text: &str) -> Result<Statement, QueryError> {
+    sql::parse_statement(sql_text).map_err(|e| QueryError::Unsupported(e.to_string()))
+}

@@ -6,8 +6,9 @@
 //! corresponding put/delete, and each of those is a separately charged store
 //! operation.
 
+use crate::bind::bind_expr;
 use crate::catalog::{TableDef, TableKind};
-use crate::executor::{bind_expr, Executor};
+use crate::executor::Executor;
 use crate::result::{QueryError, QueryResult};
 use nosql_store::ops::{Delete, Get, Put};
 use relational::{Row, Value};

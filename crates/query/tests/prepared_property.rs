@@ -1,0 +1,208 @@
+//! Property test: for randomly generated SELECT statements,
+//! `Session::prepare(sql).execute(params)` must return exactly the rows of
+//! the one-shot `Executor::execute_sql(sql, params)` path, and repeated
+//! preparation must be served from the plan cache (counter-asserted).
+//!
+//! The generator covers the shapes the planner distinguishes: single-table
+//! vs equi-join FROM clauses, key/index/full access paths (driven by which
+//! filters appear), parameter vs literal operands, residual cross-alias
+//! predicates, GROUP BY + aggregates, ORDER BY with and without LIMIT
+//! (top-k), and bare LIMIT (store pushdown).
+
+use nosql_store::{Cluster, ClusterConfig};
+use proptest::prelude::*;
+use query::{baseline, ColumnType, Executor, Session};
+use relational::{Relation, Row, Schema, Value};
+use std::sync::OnceLock;
+
+/// A shared populated database: two relations with an FK edge, enough rows
+/// to exercise multi-row joins, groups and ties.
+fn executor() -> &'static Executor {
+    static EXEC: OnceLock<Executor> = OnceLock::new();
+    EXEC.get_or_init(|| {
+        let schema = Schema::new()
+            .with_relation(
+                Relation::new("Customer")
+                    .attributes(["c_id", "c_name", "c_group"])
+                    .primary_key(["c_id"])
+                    .build(),
+            )
+            .with_relation(
+                Relation::new("Orders")
+                    .attributes(["o_id", "o_c_id", "o_total"])
+                    .primary_key(["o_id"])
+                    .foreign_key("o_c_id", "Customer", "c_id")
+                    .build(),
+            );
+        let catalog = baseline::baseline_catalog_with_types(&schema, &|_, column| match column {
+            "c_id" | "o_id" | "o_c_id" | "o_total" => Some(ColumnType::Int),
+            _ => Some(ColumnType::Str),
+        });
+        let cluster = Cluster::new(ClusterConfig::default());
+        baseline::create_tables(&cluster, &catalog).unwrap();
+        let exec = Executor::new(cluster, catalog);
+        let customers: Vec<Row> = (1..=40i64)
+            .map(|c_id| {
+                Row::new()
+                    .with("c_id", c_id)
+                    .with("c_name", format!("Customer{c_id:03}"))
+                    .with("c_group", format!("g{}", c_id % 5))
+            })
+            .collect();
+        exec.bulk_load_rows("Customer", &customers).unwrap();
+        let orders: Vec<Row> = (1..=120i64)
+            .map(|o_id| {
+                Row::new()
+                    .with("o_id", o_id)
+                    .with("o_c_id", (o_id - 1) % 40 + 1)
+                    .with("o_total", o_id * 3 % 97)
+            })
+            .collect();
+        exec.bulk_load_rows("Orders", &orders).unwrap();
+        exec
+    })
+}
+
+/// A generated statement: SQL text plus its positional parameter values.
+#[derive(Debug, Clone)]
+struct GenSelect {
+    sql: String,
+    params: Vec<Value>,
+}
+
+/// Builds one SELECT from structural choices.  Parameters and literals are
+/// both exercised: each chosen filter flips between `?` (appending to
+/// `params`) and an inline literal.
+#[allow(clippy::too_many_arguments)]
+fn compose(
+    join: bool,
+    wildcard: bool,
+    filter_c_id: Option<(i64, bool)>,
+    filter_group: Option<(i64, bool)>,
+    filter_total: Option<(i64, bool)>,
+    aggregate: bool,
+    order_desc: Option<bool>,
+    limit: Option<usize>,
+) -> GenSelect {
+    let mut params = Vec::new();
+    let mut conditions: Vec<String> = Vec::new();
+    let qualify = |bare: &str, q: &str, join: bool| {
+        if join {
+            format!("{q}.{bare}")
+        } else {
+            bare.to_string()
+        }
+    };
+
+    if join {
+        conditions.push("c.c_id = o.o_c_id".to_string());
+    }
+    if let Some((v, as_param)) = filter_c_id {
+        let col = qualify("c_id", "c", join);
+        if as_param {
+            conditions.push(format!("{col} = ?"));
+            params.push(Value::Int(v));
+        } else {
+            conditions.push(format!("{col} = {v}"));
+        }
+    }
+    if let Some((v, as_param)) = filter_group {
+        let col = qualify("c_group", "c", join);
+        if as_param {
+            conditions.push(format!("{col} = ?"));
+            params.push(Value::str(format!("g{v}")));
+        } else {
+            conditions.push(format!("{col} = 'g{v}'"));
+        }
+    }
+    if join {
+        if let Some((v, as_param)) = filter_total {
+            if as_param {
+                conditions.push("o.o_total > ?".to_string());
+                params.push(Value::Int(v));
+            } else {
+                conditions.push(format!("o.o_total > {v}"));
+            }
+        }
+    }
+
+    let items = if aggregate {
+        let group_col = qualify("c_group", "c", join);
+        format!("{group_col}, COUNT(*) AS n")
+    } else if wildcard {
+        "*".to_string()
+    } else if join {
+        "c.c_name, o.o_id, o.o_total".to_string()
+    } else {
+        "c_id, c_name".to_string()
+    };
+
+    let from = if join {
+        "Customer AS c, Orders AS o"
+    } else {
+        "Customer AS c"
+    };
+
+    let mut sql = format!("SELECT {items} FROM {from}");
+    if !conditions.is_empty() {
+        sql.push_str(&format!(" WHERE {}", conditions.join(" AND ")));
+    }
+    if aggregate {
+        sql.push_str(&format!(" GROUP BY {}", qualify("c_group", "c", join)));
+        if let Some(desc) = order_desc {
+            sql.push_str(&format!(" ORDER BY n{}", if desc { " DESC" } else { "" }));
+        }
+    } else if let Some(desc) = order_desc {
+        let key = if join { "o.o_total" } else { "c_name" };
+        sql.push_str(&format!(" ORDER BY {key}{}", if desc { " DESC" } else { "" }));
+    }
+    if let Some(k) = limit {
+        sql.push_str(&format!(" LIMIT {k}"));
+    }
+    GenSelect { sql, params }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// prepared execution ≡ one-shot execution, row for row (order
+    /// included), and a repeated prepare hits the plan cache.
+    #[test]
+    fn prepared_matches_one_shot_and_caches(
+        join in any::<bool>(),
+        wildcard in any::<bool>(),
+        with_c_id in proptest::option::of((1i64..45, any::<bool>())),
+        with_group in proptest::option::of((0i64..6, any::<bool>())),
+        with_total in proptest::option::of((0i64..97, any::<bool>())),
+        aggregate in any::<bool>(),
+        order_desc in proptest::option::of(any::<bool>()),
+        limit in proptest::option::of(1usize..15),
+    ) {
+        let generated = compose(
+            join, wildcard, with_c_id, with_group, with_total, aggregate, order_desc, limit,
+        );
+        let exec = executor();
+
+        // One-shot: all four pipeline phases per call.
+        let oneshot = exec.execute_sql(&generated.sql, &generated.params).unwrap();
+
+        // Prepared: compile once, execute twice with the same parameters.
+        let session = Session::new(exec.clone());
+        let stmt = session.prepare(&generated.sql).unwrap();
+        let first = stmt.execute(&generated.params).unwrap();
+        let second = stmt.execute(&generated.params).unwrap();
+        prop_assert_eq!(&oneshot.rows, &first.rows, "prepared != one-shot: {}", &generated.sql);
+        prop_assert_eq!(&first.rows, &second.rows, "re-execution differs: {}", &generated.sql);
+
+        // The second preparation of the same text must be a cache hit, and
+        // executing through the session must serve the cached plan.
+        let before = session.plan_cache_stats();
+        prop_assert_eq!(before.misses, 1, "exactly one compile: {}", &generated.sql);
+        session.prepare(&generated.sql).unwrap();
+        let via_session = session.execute_sql(&generated.sql, &generated.params).unwrap();
+        let after = session.plan_cache_stats();
+        prop_assert_eq!(after.hits, before.hits + 2, "cache hits: {}", &generated.sql);
+        prop_assert_eq!(after.misses, 1);
+        prop_assert_eq!(&via_session.rows, &oneshot.rows);
+    }
+}

@@ -1,0 +1,241 @@
+//! Integration tests of the [`Session`] API: prepared statements, the plan
+//! cache (hit/miss/invalidation counters), catalog-change invalidation, and
+//! `EXPLAIN` handling.
+
+use nosql_store::{Cluster, ClusterConfig};
+use query::{baseline, ColumnType, Executor, QueryError, Session, TableDef, TableKind};
+use relational::{Relation, Row, Schema, Value};
+use std::error::Error;
+
+fn schema() -> Schema {
+    Schema::new()
+        .with_relation(
+            Relation::new("Customer")
+                .attributes(["c_id", "c_name", "c_group"])
+                .primary_key(["c_id"])
+                .build(),
+        )
+        .with_relation(
+            Relation::new("Orders")
+                .attributes(["o_id", "o_c_id", "o_total"])
+                .primary_key(["o_id"])
+                .foreign_key("o_c_id", "Customer", "c_id")
+                .build(),
+        )
+}
+
+fn build_executor() -> Executor {
+    let schema = schema();
+    let catalog = baseline::baseline_catalog_with_types(&schema, &|_, column| match column {
+        "c_id" | "o_id" | "o_c_id" | "o_total" => Some(ColumnType::Int),
+        _ => Some(ColumnType::Str),
+    });
+    let cluster = Cluster::new(ClusterConfig::default());
+    baseline::create_tables(&cluster, &catalog).unwrap();
+    let exec = Executor::new(cluster, catalog);
+    for c_id in 1..=10i64 {
+        exec.insert_row(
+            "Customer",
+            &Row::new()
+                .with("c_id", c_id)
+                .with("c_name", format!("C{c_id}"))
+                .with("c_group", format!("g{}", c_id % 3)),
+        )
+        .unwrap();
+    }
+    exec
+}
+
+#[test]
+fn prepared_statement_reexecutes_with_fresh_params() {
+    let session = Session::new(build_executor());
+    let stmt = session.prepare("SELECT c_name FROM Customer WHERE c_id = ?").unwrap();
+    let one = stmt.execute(&[Value::Int(1)]).unwrap();
+    let two = stmt.execute(&[Value::Int(2)]).unwrap();
+    assert_eq!(one.rows[0].get("c_name").unwrap(), &Value::str("C1"));
+    assert_eq!(two.rows[0].get("c_name").unwrap(), &Value::str("C2"));
+    // Parameters are validated per execution, not at prepare time.
+    assert!(matches!(stmt.execute(&[]), Err(QueryError::MissingParameter(0))));
+}
+
+#[test]
+fn plan_cache_counts_hits_misses_and_entries() {
+    let session = Session::new(build_executor());
+    session.execute_sql("SELECT * FROM Customer", &[]).unwrap();
+    session.execute_sql("SELECT * FROM Customer", &[]).unwrap();
+    session.execute_sql("SELECT * FROM Customer WHERE c_id = 1", &[]).unwrap();
+    let stats = session.plan_cache_stats();
+    assert_eq!(stats.misses, 2, "two distinct statements compiled");
+    assert_eq!(stats.hits, 1, "repeat served from cache");
+    assert_eq!(stats.entries, 2);
+    assert_eq!(stats.invalidations, 0);
+
+    // prepare_uncached never reads or populates the cache.
+    session.prepare_uncached("SELECT * FROM Customer").unwrap();
+    let after = session.plan_cache_stats();
+    assert_eq!((after.hits, after.misses), (stats.hits, stats.misses));
+}
+
+#[test]
+fn catalog_change_invalidates_cached_plans() {
+    let mut session = Session::new(build_executor());
+    let sql = "SELECT c_id, c_group FROM Customer WHERE c_group = 'g1'";
+    let before = session.execute_sql(sql, &[]).unwrap();
+    assert_eq!(session.plan_cache_stats().misses, 1);
+
+    // DDL: add a covered index on the filtered column; the cached full-scan
+    // plan is stale and must be re-planned against the new catalog.
+    let mut catalog = session.executor().catalog().clone();
+    let index = TableDef::new(
+        "Customer_by_group",
+        vec![
+            ("c_group".to_string(), ColumnType::Str),
+            ("c_id".to_string(), ColumnType::Int),
+        ],
+        vec!["c_group".to_string(), "c_id".to_string()],
+        TableKind::Index {
+            of: "Customer".to_string(),
+        },
+    );
+    session
+        .executor()
+        .cluster()
+        .create_table(nosql_store::TableSchema::new("Customer_by_group").with_family("cf"))
+        .unwrap();
+    catalog.add_table(index.clone());
+    session.executor_mut().set_catalog(catalog);
+    // Populate the index so the re-planned access path finds the rows.
+    for c_id in 1..=10i64 {
+        let row = Row::new()
+            .with("c_id", c_id)
+            .with("c_group", format!("g{}", c_id % 3));
+        session
+            .executor()
+            .cluster()
+            .put("Customer_by_group", index.row_to_put(&row))
+            .unwrap();
+    }
+
+    let after = session.execute_sql(sql, &[]).unwrap();
+    let stats = session.plan_cache_stats();
+    assert_eq!(stats.invalidations, 1, "stale plan detected via catalog version");
+    assert_eq!(stats.misses, 2, "statement re-planned");
+    assert_eq!(before.rows, after.rows, "same answer through the new plan");
+    // The re-planned statement now uses the index.
+    let explain = session.explain(sql).unwrap();
+    assert!(
+        explain.contains("index:Customer_by_group"),
+        "re-planned access path must use the new index:\n{explain}"
+    );
+}
+
+#[test]
+fn explain_via_sql_returns_plan_rows() {
+    let session = Session::new(build_executor());
+    let result = session
+        .execute_sql("EXPLAIN SELECT * FROM Customer WHERE c_id = ?", &[])
+        .unwrap();
+    assert_eq!(result.rows.len(), 1);
+    let line = result.rows[0].get("plan").unwrap();
+    assert_eq!(line, &Value::str("Scan Customer access=get filter=[c_id = ?0]"));
+
+    // Join plans render one operator per line, children indented.
+    let join = session
+        .execute_sql(
+            "EXPLAIN SELECT * FROM Customer AS c, Orders AS o WHERE c.c_id = o.o_c_id",
+            &[],
+        )
+        .unwrap();
+    let lines: Vec<String> = join
+        .rows
+        .iter()
+        .map(|r| r.get("plan").unwrap().as_str().unwrap().to_string())
+        .collect();
+    assert_eq!(lines.len(), 3);
+    assert!(lines[0].starts_with("HashJoin on [c.c_id = o.o_c_id]"));
+    assert!(lines[1].starts_with("  Scan "));
+    assert!(lines[2].starts_with("  Scan "));
+}
+
+#[test]
+fn write_statements_prepare_and_execute_through_the_session() {
+    let session = Session::new(build_executor());
+    let insert = session
+        .prepare("INSERT INTO Customer (c_id, c_name, c_group) VALUES (?, ?, ?)")
+        .unwrap();
+    insert
+        .execute(&[Value::Int(99), Value::str("New"), Value::str("g9")])
+        .unwrap();
+    let read = session
+        .execute_sql("SELECT c_name FROM Customer WHERE c_id = 99", &[])
+        .unwrap();
+    assert_eq!(read.rows[0].get("c_name").unwrap(), &Value::str("New"));
+    assert_eq!(insert.explain().unwrap(), "Insert Customer\n");
+}
+
+/// Satellite: `QueryError` travels through `Box<dyn Error>` via `?` and
+/// exposes a useful `Display`.
+#[test]
+fn query_error_is_a_std_error() {
+    fn run() -> Result<(), Box<dyn Error>> {
+        let session = Session::new(build_executor());
+        session.execute_sql("SELECT * FROM Nonexistent", &[])?;
+        Ok(())
+    }
+    let err = run().unwrap_err();
+    assert_eq!(err.to_string(), "unknown table Nonexistent");
+}
+
+/// A toy rewriter that rewrites every SELECT to `LIMIT 1`, for isolation
+/// tests (the real rule — Synergy's view substitution — lives upstream).
+struct LimitOneRewriter;
+
+impl query::PlanRewriter for LimitOneRewriter {
+    fn rule_name(&self) -> &str {
+        "limit-one"
+    }
+
+    fn rewrite_select(
+        &self,
+        select: &sql::SelectStatement,
+    ) -> Option<(sql::SelectStatement, String)> {
+        let mut rewritten = select.clone();
+        rewritten.limit = Some(1);
+        Some((rewritten, "forced LIMIT 1".to_string()))
+    }
+}
+
+#[test]
+fn with_rewriter_does_not_share_the_ancestor_plan_cache() {
+    let plain = Session::new(build_executor());
+    let sql = "SELECT * FROM Customer";
+    // Warm the plain session's cache with the un-rewritten plan.
+    assert_eq!(plain.execute_sql(sql, &[]).unwrap().len(), 10);
+
+    // A rewriting clone must not serve (or poison) the ancestor's cache.
+    let rewriting = plain.clone().with_rewriter(std::sync::Arc::new(LimitOneRewriter));
+    assert_eq!(rewriting.execute_sql(sql, &[]).unwrap().len(), 1, "rewrite applies");
+    assert_eq!(plain.execute_sql(sql, &[]).unwrap().len(), 10, "ancestor unaffected");
+    assert_eq!(rewriting.plan_cache_stats().entries, 1);
+    assert_eq!(plain.plan_cache_stats().entries, 1);
+    assert!(rewriting.explain(sql).unwrap().starts_with("Rewrite [limit-one] forced LIMIT 1"));
+}
+
+#[test]
+fn plan_cache_is_bounded() {
+    let session = Session::new(build_executor());
+    // Distinct statement texts (inlined literals) each take one entry; the
+    // cache must stay bounded instead of growing with the workload.
+    for i in 0..1_200 {
+        session
+            .execute_sql(&format!("SELECT * FROM Customer WHERE c_id = {i}"), &[])
+            .unwrap();
+    }
+    let stats = session.plan_cache_stats();
+    assert!(
+        stats.entries <= 1_024,
+        "cache must be capped, got {} entries",
+        stats.entries
+    );
+    assert_eq!(stats.misses, 1_200, "every distinct text compiles once");
+}

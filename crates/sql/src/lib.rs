@@ -12,7 +12,9 @@
 //! * `INSERT INTO ... (cols) VALUES (...)`;
 //! * `UPDATE ... SET ... WHERE ...`;
 //! * `DELETE FROM ... WHERE ...`;
-//! * `?` parameter placeholders, bound at execution time.
+//! * `?` parameter placeholders, bound at execution time;
+//! * a leading `EXPLAIN` directive, detected by [`strip_explain`] and
+//!   handled at the session layer (the plan is rendered, not executed).
 //!
 //! ```
 //! use sql::parse_statement;
@@ -36,4 +38,4 @@ pub use ast::{
     OrderKey, SelectItem, SelectStatement, Statement, TableRef, UpdateStatement,
 };
 pub use lexer::{tokenize, LexError, Token};
-pub use parser::{parse_statement, parse_workload, ParseError};
+pub use parser::{parse_statement, parse_workload, strip_explain, ParseError};

@@ -59,6 +59,38 @@ pub fn parse_workload<'a>(
     statements.into_iter().map(parse_statement).collect()
 }
 
+/// Detects a leading `EXPLAIN` keyword and returns the statement text that
+/// follows it, or `None` when the input is a plain statement.
+///
+/// `EXPLAIN` is not part of the [`Statement`] AST — it is a session-level
+/// directive (the plan is rendered instead of executed), so engines strip
+/// it here and route the inner text through their planner's `explain`
+/// entry point.
+///
+/// ```
+/// assert_eq!(sql::strip_explain("  explain SELECT * FROM t"), Some("SELECT * FROM t"));
+/// assert_eq!(sql::strip_explain("SELECT * FROM t"), None);
+/// assert_eq!(sql::strip_explain("EXPLAINX"), None);
+/// ```
+pub fn strip_explain(input: &str) -> Option<&str> {
+    let trimmed = input.trim_start();
+    let keyword_len = "EXPLAIN".len();
+    // `get` returns None when the range is out of bounds *or* not a char
+    // boundary (non-ASCII input), so arbitrary SQL text never panics here.
+    let head = trimmed.get(..keyword_len)?;
+    let rest = &trimmed[keyword_len..];
+    if !head.eq_ignore_ascii_case("EXPLAIN") {
+        return None;
+    }
+    // The keyword must end at a word boundary ("EXPLAINX" is an
+    // identifier), and bare "EXPLAIN" with no statement is not a directive.
+    match rest.chars().next() {
+        None => None,
+        Some(c) if c.is_ascii_alphanumeric() || c == '_' => None,
+        Some(_) => Some(rest.trim_start()),
+    }
+}
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,

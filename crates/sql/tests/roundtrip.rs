@@ -147,3 +147,23 @@ proptest! {
         prop_assert_eq!(Statement::Select(statement), reparsed, "text was {}", text);
     }
 }
+
+#[test]
+fn strip_explain_detects_the_directive_token_aware() {
+    assert_eq!(
+        sql::strip_explain("EXPLAIN SELECT * FROM t"),
+        Some("SELECT * FROM t")
+    );
+    assert_eq!(
+        sql::strip_explain("  explain\tSELECT 1"),
+        Some("SELECT 1")
+    );
+    // Word boundary: identifiers starting with the keyword do not match.
+    assert_eq!(sql::strip_explain("EXPLAINX"), None);
+    assert_eq!(sql::strip_explain("EXPLAIN_T"), None);
+    assert_eq!(sql::strip_explain("SELECT * FROM t"), None);
+    assert_eq!(sql::strip_explain("EXPLAIN"), None);
+    // Non-ASCII input must not panic (byte 7 may not be a char boundary).
+    assert_eq!(sql::strip_explain("ééééSELECT 1"), None);
+    assert_eq!(sql::strip_explain("é"), None);
+}

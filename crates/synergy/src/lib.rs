@@ -39,6 +39,7 @@ pub mod viewgen;
 
 pub use lock::{LockGuard, LockManager};
 pub use maintenance::ViewMaintainer;
+pub use rewrite::SynergyRewriter;
 pub use selection::{SelectionOutcome, ViewIndexDefinition};
 pub use system::{SynergyConfig, SynergySystem};
 pub use txn::{TransactionLayer, TxnError, WritePlan};

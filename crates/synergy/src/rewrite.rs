@@ -7,9 +7,16 @@
 //! with the view's name, which works because attribute names are unique
 //! across the relations of a view (true for both the Company and the TPC-W
 //! schemas).
+//!
+//! The rewrite plugs into the query planner as a rule:
+//! [`SynergyRewriter`] implements [`query::PlanRewriter`], so view
+//! substitution happens inside `Session`'s compile pipeline and shows up
+//! as a `Rewrite` node in `EXPLAIN` output instead of running as an opaque
+//! pre-pass over statement text.
 
-use crate::selection::SelectionOutcome;
-use crate::viewgen::ViewDefinition;
+use crate::selection::{select_views_for_query, SelectionOutcome};
+use crate::viewgen::{CandidateViews, ViewDefinition};
+use query::PlanRewriter;
 use sql::{ColumnRef, Condition, Expr, OrderKey, SelectItem, SelectStatement, Statement, TableRef};
 use std::collections::BTreeMap;
 
@@ -147,6 +154,71 @@ pub fn rewrite_statement(statement: &Statement, views: Option<&Vec<ViewDefinitio
             Statement::Select(rewrite_query(select, views))
         }
         _ => statement.clone(),
+    }
+}
+
+/// The Synergy view substitution as a planner rule
+/// ([`query::PlanRewriter`]): workload statements use the views the §VI-A
+/// selection already chose for them (looked up by statement text), ad-hoc
+/// statements run the per-query marking procedure on the fly.
+///
+/// Installed on a [`query::Session`], the rule fires during statement
+/// compilation — once per plan-cache miss, not per execution — and records
+/// a `Rewrite` node naming the substituted views in the plan tree.
+pub struct SynergyRewriter {
+    candidates: CandidateViews,
+    workload: Vec<Statement>,
+    /// Views selected per workload statement, keyed by statement text
+    /// (mirrors how the old per-statement rewrite cache was keyed).
+    views_by_sql: BTreeMap<String, Vec<ViewDefinition>>,
+}
+
+impl SynergyRewriter {
+    /// Builds the rule from the offline pipeline's outputs.
+    pub fn new(
+        candidates: CandidateViews,
+        workload: Vec<Statement>,
+        outcome: &SelectionOutcome,
+    ) -> SynergyRewriter {
+        let mut views_by_sql = BTreeMap::new();
+        for (idx, statement) in workload.iter().enumerate() {
+            if let Some(views) = outcome.per_query.get(&idx) {
+                views_by_sql.insert(statement.to_string(), views.clone());
+            }
+        }
+        SynergyRewriter {
+            candidates,
+            workload,
+            views_by_sql,
+        }
+    }
+
+    /// The views this rule would substitute into one SELECT (empty = the
+    /// statement passes through unchanged).
+    pub fn views_for(&self, select: &SelectStatement) -> Vec<ViewDefinition> {
+        match self.views_by_sql.get(&select.to_string()) {
+            Some(views) => views.clone(),
+            None => select_views_for_query(&self.candidates, select, &self.workload),
+        }
+    }
+}
+
+impl PlanRewriter for SynergyRewriter {
+    fn rule_name(&self) -> &str {
+        "synergy-view-rewrite"
+    }
+
+    fn rewrite_select(&self, select: &SelectStatement) -> Option<(SelectStatement, String)> {
+        let views = self.views_for(select);
+        if views.is_empty() {
+            return None;
+        }
+        let note = views
+            .iter()
+            .map(|v| format!("{} replaces {}", v.table_name(), v.relations.join(", ")))
+            .collect::<Vec<_>>()
+            .join("; ");
+        Some((rewrite_query(select, &views), note))
     }
 }
 

@@ -9,17 +9,20 @@
 
 use crate::lock::LockManager;
 use crate::maintenance::ViewMaintainer;
-use crate::rewrite::{rewrite_query, rewrite_statement};
-use crate::selection::{select_views, select_views_for_query, SelectionOutcome, ViewIndexDefinition};
+use crate::rewrite::SynergyRewriter;
+use crate::selection::{select_views, SelectionOutcome, ViewIndexDefinition};
 use crate::txn::{TransactionLayer, TxnError, WritePlan};
 use crate::viewgen::{generate_candidate_views, CandidateViews, ViewDefinition};
 use nosql_store::Cluster;
 use query::baseline::{baseline_catalog_with_types, create_tables, TypeHint};
-use query::{Catalog, ColumnType, Executor, QueryError, QueryResult, TableDef, TableKind};
+use query::{
+    Catalog, ColumnType, Executor, PlanCacheStats, PlanRewriter, QueryError, QueryResult, Session,
+    TableDef, TableKind,
+};
 use relational::{Row, Schema, Value};
 use sql::Statement;
-use std::collections::BTreeMap;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Configuration for building a [`SynergySystem`].
 pub struct SynergyConfig<'a> {
@@ -94,9 +97,14 @@ pub struct SynergySystem {
     candidates: CandidateViews,
     selection: SelectionOutcome,
     executor: Executor,
+    /// The read path: a planner session whose rewriter rule substitutes the
+    /// selected views, with a plan cache keyed by statement text.
+    session: Session,
+    /// The view-substitution rule the session plans through (also answers
+    /// [`SynergySystem::rewrite`] directly).
+    rewriter: Arc<SynergyRewriter>,
     txn: TransactionLayer,
     locks: LockManager,
-    rewritten_by_sql: BTreeMap<String, Statement>,
     hierarchical_locking: bool,
 }
 
@@ -158,12 +166,18 @@ impl SynergySystem {
         )
         .with_hierarchical_locking(hierarchical_locking);
 
-        // 6. Pre-compute the rewritten form of every workload query.
-        let mut rewritten_by_sql = BTreeMap::new();
-        for (idx, statement) in workload.iter().enumerate() {
-            let rewritten = rewrite_statement(statement, selection.per_query.get(&idx));
-            rewritten_by_sql.insert(statement.to_string(), rewritten);
-        }
+        // 6. The read path: a planner session whose rewrite rule
+        // substitutes the selected views per workload statement (ad-hoc
+        // statements run the marking procedure on the fly).  The rewrite
+        // fires at plan-compile time — once per plan-cache miss — and is
+        // visible in `EXPLAIN` as a `Rewrite` node.
+        let rewriter = Arc::new(SynergyRewriter::new(
+            candidates.clone(),
+            workload.clone(),
+            &selection,
+        ));
+        let session =
+            Session::new(executor.clone()).with_rewriter(rewriter.clone() as Arc<dyn PlanRewriter>);
 
         Ok(SynergySystem {
             schema,
@@ -171,9 +185,10 @@ impl SynergySystem {
             candidates,
             selection,
             executor,
+            session,
+            rewriter,
             txn,
             locks,
-            rewritten_by_sql,
             hierarchical_locking,
         })
     }
@@ -223,17 +238,33 @@ impl SynergySystem {
         &self.txn
     }
 
-    /// Rewrites a statement over the selected views: cached for workload
-    /// statements, computed on the fly otherwise.
+    /// The planner session serving reads: view-rewrite rule installed,
+    /// plan cache keyed by statement text.  Exposed so callers can prepare
+    /// statements against the Synergy read path or inspect cache counters.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// A snapshot of the read path's plan-cache counters.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.session.plan_cache_stats()
+    }
+
+    /// Renders the plan tree of a statement as Synergy executes it (view
+    /// rewrite applied; the substitution appears as a `Rewrite` node).
+    pub fn explain(&self, statement: &Statement) -> Result<String, QueryError> {
+        self.session.explain_statement(statement)
+    }
+
+    /// Rewrites a statement over the selected views: the precomputed
+    /// workload selection for workload statements, the per-query marking
+    /// procedure on the fly otherwise.
     pub fn rewrite(&self, statement: &Statement) -> Statement {
-        if let Some(rewritten) = self.rewritten_by_sql.get(&statement.to_string()) {
-            return rewritten.clone();
-        }
         match statement {
-            Statement::Select(select) => {
-                let views = select_views_for_query(&self.candidates, select, &self.workload);
-                Statement::Select(rewrite_query(select, &views))
-            }
+            Statement::Select(select) => match self.rewriter.rewrite_select(select) {
+                Some((rewritten, _)) => Statement::Select(rewritten),
+                None => statement.clone(),
+            },
             other => other.clone(),
         }
     }
@@ -243,13 +274,13 @@ impl SynergySystem {
         self.txn.plan(statement)
     }
 
-    /// Executes one workload statement: reads are rewritten over views and
-    /// run directly against the store; writes run as single-lock
-    /// transactions in the transaction layer.
+    /// Executes one workload statement: reads go through the planner
+    /// session (view rewrite as a compile-time rule, plan served from the
+    /// cache on repetition); writes run as single-lock transactions in the
+    /// transaction layer.
     pub fn execute(&self, statement: &Statement, params: &[Value]) -> Result<QueryResult, TxnError> {
         if statement.is_read() {
-            let rewritten = self.rewrite(statement);
-            Ok(self.executor.execute(&rewritten, params)?)
+            Ok(self.session.execute_statement(statement, params)?)
         } else {
             self.txn.execute_write(statement, params)
         }
@@ -257,6 +288,11 @@ impl SynergySystem {
 
     /// Parses and executes a SQL string.
     pub fn execute_sql(&self, sql_text: &str, params: &[Value]) -> Result<QueryResult, TxnError> {
+        // A leading EXPLAIN renders the (view-rewritten) plan tree instead
+        // of executing; the session returns it as `plan` rows.
+        if sql::strip_explain(sql_text).is_some() {
+            return Ok(self.session.execute_sql(sql_text, params)?);
+        }
         let statement = sql::parse_statement(sql_text)
             .map_err(|e| TxnError::Unsupported(e.to_string()))?;
         self.execute(&statement, params)

@@ -41,7 +41,16 @@ impl fmt::Display for TxnError {
     }
 }
 
-impl std::error::Error for TxnError {}
+impl std::error::Error for TxnError {
+    /// Exposes the query-layer error as the source, so callers walking a
+    /// `Box<dyn Error>` chain (via `?`) reach the underlying cause.
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TxnError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<QueryError> for TxnError {
     fn from(e: QueryError) -> Self {

@@ -392,3 +392,45 @@ fn unsupported_write_shapes_are_rejected() {
         .unwrap_err();
     assert!(matches!(err, synergy::TxnError::Unsupported(_)));
 }
+
+#[test]
+fn txn_error_chains_through_box_dyn_error() {
+    // Satellite: TxnError implements std::error::Error with a source chain,
+    // so callers can `?` it into Box<dyn Error> and reach the query-layer
+    // cause.
+    fn run(system: &SynergySystem) -> Result<(), Box<dyn std::error::Error>> {
+        system.execute_sql("SELECT * FROM Nonexistent", &[])?;
+        Ok(())
+    }
+    let system = build_system();
+    let err = run(&system).unwrap_err();
+    assert_eq!(err.to_string(), "unknown table Nonexistent");
+    let source = std::error::Error::source(err.as_ref()).expect("TxnError exposes its cause");
+    assert_eq!(source.to_string(), "unknown table Nonexistent");
+}
+
+#[test]
+fn reads_hit_the_plan_cache_and_explain_shows_the_rewrite() {
+    let system = build_system();
+    let statement = &system.workload()[0].clone();
+    let before = system.plan_cache_stats();
+    system.execute(statement, &[Value::Int(1)]).unwrap();
+    system.execute(statement, &[Value::Int(2)]).unwrap();
+    system.execute(statement, &[Value::Int(3)]).unwrap();
+    let after = system.plan_cache_stats();
+    assert_eq!(after.misses - before.misses, 1, "compiled once");
+    assert_eq!(after.hits - before.hits, 2, "repeats served from the cache");
+
+    let explain = system.explain(statement).unwrap();
+    assert!(
+        explain.starts_with("Rewrite [synergy-view-rewrite]"),
+        "view substitution must be visible in the plan:\n{explain}"
+    );
+
+    // A leading EXPLAIN in SQL text renders the same tree as plan rows.
+    let via_sql = system
+        .execute_sql(&format!("EXPLAIN {statement}"), &[])
+        .unwrap();
+    let first_line = via_sql.rows[0].get("plan").unwrap();
+    assert_eq!(first_line.as_str().unwrap(), explain.lines().next().unwrap());
+}

@@ -1,0 +1,117 @@
+//! Golden-plan snapshot tests: the `EXPLAIN` rendering for the
+//! micro-benchmark query shapes is pinned against committed text under
+//! `tests/golden/`, at `threads = 1` and `threads = 4`.
+//!
+//! What the snapshots prove:
+//!
+//! * **Q1/Q2 baseline** — the join algorithm plans as left-deep hash joins
+//!   over full scans, and at 4 threads every join is hash-**partitioned**
+//!   and every full scan fans out region-**parallel**;
+//! * **Q1/Q2 Synergy** — the view-rewrite planner rule fires and is
+//!   visible as a `Rewrite` node substituting the materialized view for
+//!   the base tables;
+//! * **LIMIT-50** — a bare LIMIT over the rewritten view pushes the row
+//!   limit into the store scan (`store-pushdown`) and pins the source to
+//!   the serial cursor even at 4 threads;
+//! * **ORDER BY + LIMIT** — plans as a bounded `TopK` (per-worker heaps at
+//!   4 threads) under the final projection.
+//!
+//! Plan text is deterministic by construction (no row counts or timings in
+//! the rendering), so these are exact string comparisons.
+
+use sql::{parse_statement, Statement};
+use tpcw::micro::{micro_queries, MicroBench};
+
+fn limit50_query() -> Statement {
+    parse_statement("SELECT * FROM Customer AS c, Orders AS o WHERE c.c_id = o.o_c_id LIMIT 50")
+        .unwrap()
+}
+
+fn topk_query() -> Statement {
+    parse_statement(
+        "SELECT c.c_uname, o.o_total FROM Customer AS c, Orders AS o \
+         WHERE c.c_id = o.o_c_id ORDER BY o.o_date DESC, o.o_id DESC LIMIT 10",
+    )
+    .unwrap()
+}
+
+fn assert_golden(actual: &str, expected: &str, what: &str) {
+    assert_eq!(
+        actual, expected,
+        "golden plan mismatch for {what}\n--- actual ---\n{actual}\n--- expected ---\n{expected}"
+    );
+}
+
+fn check_at(threads: usize, goldens: &[(&str, &str)]) {
+    let bench = MicroBench::build_with_threads(20, threads).expect("micro benchmark builds");
+    let system = bench.system();
+    let queries = micro_queries();
+    for (name, expected) in goldens {
+        let actual = match *name {
+            "q1_baseline" => system.executor().explain_statement(&queries[0]).unwrap(),
+            "q2_baseline" => system.executor().explain_statement(&queries[1]).unwrap(),
+            "q1_synergy" => system.explain(&queries[0]).unwrap(),
+            "q2_synergy" => system.explain(&queries[1]).unwrap(),
+            "limit50_synergy" => system.explain(&limit50_query()).unwrap(),
+            "topk_baseline" => system.executor().explain_statement(&topk_query()).unwrap(),
+            other => panic!("unknown golden {other}"),
+        };
+        assert_golden(&actual, expected, &format!("{name} at threads={threads}"));
+    }
+}
+
+#[test]
+fn golden_plans_serial() {
+    check_at(
+        1,
+        &[
+            ("q1_baseline", include_str!("golden/q1_baseline_t1.txt")),
+            ("q2_baseline", include_str!("golden/q2_baseline_t1.txt")),
+            ("q1_synergy", include_str!("golden/q1_synergy_t1.txt")),
+            ("q2_synergy", include_str!("golden/q2_synergy_t1.txt")),
+            ("limit50_synergy", include_str!("golden/limit50_synergy_t1.txt")),
+            ("topk_baseline", include_str!("golden/topk_baseline_t1.txt")),
+        ],
+    );
+}
+
+#[test]
+fn golden_plans_four_threads() {
+    check_at(
+        4,
+        &[
+            ("q1_baseline", include_str!("golden/q1_baseline_t4.txt")),
+            ("q2_baseline", include_str!("golden/q2_baseline_t4.txt")),
+            ("q1_synergy", include_str!("golden/q1_synergy_t4.txt")),
+            ("q2_synergy", include_str!("golden/q2_synergy_t4.txt")),
+            ("limit50_synergy", include_str!("golden/limit50_synergy_t4.txt")),
+            ("topk_baseline", include_str!("golden/topk_baseline_t4.txt")),
+        ],
+    );
+}
+
+/// The structural assertions the ISSUE calls out, independent of exact
+/// golden text (so the intent survives a rendering change that regenerates
+/// the goldens).
+#[test]
+fn partitioned_join_and_rewrite_appear_where_required() {
+    let serial = MicroBench::build_with_threads(20, 1).unwrap();
+    let parallel = MicroBench::build_with_threads(20, 4).unwrap();
+    let q2 = &micro_queries()[1];
+
+    // EXPLAIN for Q2 shows the Synergy rule substituting the view.
+    let rewritten = serial.system().explain(q2).unwrap();
+    assert!(rewritten.contains("Rewrite [synergy-view-rewrite]"));
+    assert!(rewritten.contains("V_Customer__Orders__Order_line"));
+
+    // threads=4 picks the partitioned join; threads=1 never mentions it.
+    let base_serial = serial.system().executor().explain_statement(q2).unwrap();
+    let base_parallel = parallel.system().executor().explain_statement(q2).unwrap();
+    assert!(!base_serial.contains("partitioned"));
+    assert!(base_parallel.contains("partitioned=x4"));
+
+    // The bare-LIMIT shape stays serial at any width (early termination).
+    let limited = parallel.system().explain(&limit50_query()).unwrap();
+    assert!(limited.contains("store-pushdown"));
+    assert!(!limited.contains("parallel"));
+}
