@@ -1,5 +1,6 @@
 //! `bench_diff` — compares two `BENCH_report.json` files figure by figure
-//! and fails on wall-clock regressions.
+//! and fails on wall-clock regressions, plus semantic gates on the
+//! `fig_writes` maintenance figure (see below).
 //!
 //! ```text
 //! cargo run --release -p bench --bin bench_diff -- BENCH_report_tiny.json BENCH_report.json
@@ -12,6 +13,13 @@
 //! `BENCH_DIFF_MAX_RATIO` (default 2.0×) **and** more than
 //! `BENCH_DIFF_MIN_DELTA_MS` (default 250 ms) — the absolute floor keeps
 //! noisy sub-millisecond figures from tripping the gate on slow runners.
+//!
+//! When the fresh report carries a `fig_writes` figure, three maintenance
+//! gates apply on top of the wall-clock diff (all on deterministic sim
+//! numbers, so no noise floor is needed): the scan/delta store-rows ratio
+//! must stay ≥ 10×, the 256-write single-key burst must flush at ≤ 2× the
+//! cost of a single write's flush, and the delta path's simulated cost per
+//! write must not exceed the committed report's by more than 25%.
 
 use bench::json::Json;
 use std::fmt::Write as _;
@@ -130,6 +138,7 @@ fn main() {
         let _ = writeln!(summary, "| {figure} ⚠️ missing | — | — | — | — |");
         regressions.push(format!("{figure} (missing from fresh report)"));
     }
+    regressions.extend(fig_writes_gates(&old, &new, &mut summary));
     let _ = writeln!(
         summary,
         "\nGate: ratio > {max_ratio:.1}x **and** delta > {min_delta_ms:.0} ms; \
@@ -144,8 +153,87 @@ fn main() {
     }
 
     if !regressions.is_empty() {
-        eprintln!("wall-clock regression in: {}", regressions.join(", "));
+        eprintln!("bench regression in: {}", regressions.join(", "));
         std::process::exit(1);
     }
-    println!("no wall-clock regressions beyond the gate.");
+    println!("no bench regressions beyond the gates.");
+}
+
+/// Semantic gates for the `fig_writes` maintenance figure: the headline
+/// cost advantages of delta maintenance and write-batch coalescing are
+/// deterministic sim numbers, so the gate pins them directly instead of
+/// only diffing wall clocks.
+fn fig_writes_gates(old: &Json, new: &Json, summary: &mut String) -> Vec<String> {
+    let fresh = match new.get("figures").and_then(|f| f.get("fig_writes")) {
+        Some(figure) => figure,
+        None => return Vec::new(),
+    };
+    let mut failures = Vec::new();
+    let note = |summary: &mut String, line: String, failed: bool| {
+        let marker = if failed { " ⚠️" } else { "" };
+        let _ = writeln!(summary, "- fig_writes: {line}{marker}");
+        failed
+    };
+
+    match fresh.get("rows_ratio").and_then(Json::as_f64) {
+        Some(ratio) => {
+            let failed = ratio.is_nan() || ratio < 10.0;
+            if note(summary, format!("scan/delta rows ratio {ratio:.1}x (gate ≥ 10x)"), failed) {
+                failures.push(format!("fig_writes rows_ratio {ratio:.1}x < 10x"));
+            }
+        }
+        None => failures.push("fig_writes rows_ratio missing".to_string()),
+    }
+
+    let burst_ratio = fresh.get("bursts").and_then(|b| match b {
+        Json::Arr(rows) => rows
+            .iter()
+            .find(|r| r.get("burst").and_then(Json::as_f64) == Some(256.0))
+            .and_then(|r| r.get("ratio_vs_single"))
+            .and_then(Json::as_f64),
+        _ => None,
+    });
+    match burst_ratio {
+        Some(ratio) => {
+            let failed = ratio.is_nan() || ratio > 2.0;
+            if note(
+                summary,
+                format!("256-write burst flush {ratio:.2}x one write's flush (gate ≤ 2x)"),
+                failed,
+            ) {
+                failures.push(format!("fig_writes burst-256 ratio {ratio:.2}x > 2x"));
+            }
+        }
+        None => failures.push("fig_writes burst-256 row missing".to_string()),
+    }
+
+    // Maintenance-cost regression vs the committed report: the delta
+    // path's sim ms/write is deterministic at equal scale, so any growth
+    // beyond slack for intentional cost-model tweaks is a regression.
+    let delta_cost = |doc: &Json| {
+        doc.get("figures")
+            .and_then(|f| f.get("fig_writes"))
+            .and_then(|f| f.get("rows"))
+            .and_then(|rows| match rows {
+                Json::Arr(rows) => rows
+                    .iter()
+                    .find(|r| matches!(r.get("mode"), Some(Json::Str(m)) if m == "delta"))
+                    .and_then(|r| r.get("sim_ms_per_write"))
+                    .and_then(Json::as_f64),
+                _ => None,
+            })
+    };
+    if let (Some(old_cost), Some(new_cost)) = (delta_cost(old), delta_cost(new)) {
+        let failed = new_cost > old_cost * 1.25;
+        if note(
+            summary,
+            format!("delta sim ms/write {old_cost:.2} → {new_cost:.2} (gate ≤ 1.25x committed)"),
+            failed,
+        ) {
+            failures.push(format!(
+                "fig_writes delta sim ms/write regressed {old_cost:.2} → {new_cost:.2}"
+            ));
+        }
+    }
+    failures
 }

@@ -8,7 +8,7 @@
 //! ```
 //!
 //! Available artifacts: `fig10`, `fig_par`, `fig11`, `fig12`, `fig13`,
-//! `fig14`, `table1`, `table2`, `table3`, `ablation`, `all`.
+//! `fig14`, `fig_writes`, `table1`, `table2`, `table3`, `ablation`, `all`.
 //!
 //! `--threads N` runs the fig10 measurements with N region-parallel workers
 //! (`fig_par` always sweeps its own 1/2/4/8 axis); `--out PATH` redirects
@@ -24,9 +24,10 @@
 use bench::json::Json;
 use bench::{
     ablation_lock_granularity, comparison_matrix, fig10_limit, fig10_micro_with_prepared,
-    fig11_lock_overhead, fig13_mechanisms, fig_par, fmt_mib, fmt_ms, table1_qualitative,
-    table3_sizes, ComparisonMatrix, Fig10LimitRow, Fig10PreparedRow, Fig10Row, Fig11Row,
-    FigParRow, LockAblationRow, DEFAULT_CUSTOMERS, DEFAULT_REPS,
+    fig11_lock_overhead, fig13_mechanisms, fig_par, fig_writes, fmt_mib, fmt_ms,
+    table1_qualitative, table3_sizes, ComparisonMatrix, Fig10LimitRow, Fig10PreparedRow,
+    Fig10Row, Fig11Row, FigParRow, FigWritesOutput, LockAblationRow, DEFAULT_CUSTOMERS,
+    DEFAULT_REPS,
 };
 use std::time::Instant;
 use tpcw::micro::MicroBench;
@@ -39,6 +40,9 @@ const FIG10_PREPARED_EXECS: u64 = 500;
 
 /// The thread counts the fig_par sweep measures.
 const FIG_PAR_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Updates per maintenance mode in the fig_writes comparison.
+const FIG_WRITES_COUNT: u64 = 20;
 
 struct Options {
     artifact: String,
@@ -214,6 +218,13 @@ fn main() {
             print_table3(matrix);
             figures.push(("table3".into(), table3_json(matrix)));
         }
+    }
+    if matches!(artifact, "fig_writes" | "all") {
+        let start = Instant::now();
+        let output = fig_writes(options.customers, FIG_WRITES_COUNT, options.threads);
+        let elapsed = wall_ms(start);
+        print_fig_writes(&output);
+        figures.push(("fig_writes".into(), fig_writes_json(&output, elapsed)));
     }
     if matches!(artifact, "ablation" | "all") {
         let start = Instant::now();
@@ -427,6 +438,63 @@ fn table3_json(matrix: &ComparisonMatrix) -> Json {
         })
         .collect();
     Json::obj([("rows", Json::Arr(rows))])
+}
+
+fn fig_writes_json(output: &FigWritesOutput, elapsed_ms: f64) -> Json {
+    Json::obj([
+        ("wall_ms", Json::Num(elapsed_ms)),
+        ("rows_ratio", Json::Num(output.rows_ratio)),
+        (
+            "rows",
+            Json::Arr(
+                output
+                    .rows
+                    .iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("mode", Json::str(r.mode)),
+                            ("customers", Json::Int(r.customers as i64)),
+                            ("writes", Json::Int(r.writes as i64)),
+                            ("sim_ms_per_write", Json::Num(r.sim_ms_per_write)),
+                            ("wall_writes_per_sec", Json::Num(r.wall_writes_per_sec)),
+                            (
+                                "store_rows_scanned_per_write",
+                                Json::Num(r.store_rows_scanned_per_write),
+                            ),
+                            (
+                                "view_rows_touched_per_write",
+                                Json::Num(r.view_rows_touched_per_write),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "bursts",
+            Json::Arr(
+                output
+                    .bursts
+                    .iter()
+                    .map(|b| {
+                        Json::obj([
+                            ("burst", Json::Int(b.burst as i64)),
+                            (
+                                "coalesced_flush_sim_ms",
+                                Json::Num(b.coalesced_flush_sim_ms),
+                            ),
+                            (
+                                "uncoalesced_flush_sim_ms",
+                                Json::Num(b.uncoalesced_flush_sim_ms),
+                            ),
+                            ("coalesced_merges", Json::Int(b.coalesced_merges as i64)),
+                            ("ratio_vs_single", Json::Num(b.ratio_vs_single)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 fn ablation_json(rows: &[LockAblationRow], elapsed_ms: f64) -> Json {
@@ -686,6 +754,45 @@ fn print_fig13() {
         println!("{:<10} {:<34} {}", row[0], row[1], row[2]);
     }
     println!();
+}
+
+fn print_fig_writes(output: &FigWritesOutput) {
+    println!("--- fig_writes: delta-dataflow vs scan-based view maintenance ---");
+    println!(
+        "{:<6} {:>10} {:>8} {:>16} {:>14} {:>18} {:>18}",
+        "mode", "customers", "writes", "sim ms/write", "writes/sec", "rows scanned/wr", "view rows/wr"
+    );
+    for row in &output.rows {
+        println!(
+            "{:<6} {:>10} {:>8} {:>16} {:>14} {:>18} {:>18}",
+            row.mode,
+            row.customers,
+            row.writes,
+            format!("{:.2}", row.sim_ms_per_write),
+            format!("{:.0}", row.wall_writes_per_sec),
+            format!("{:.1}", row.store_rows_scanned_per_write),
+            format!("{:.1}", row.view_rows_touched_per_write),
+        );
+    }
+    println!(
+        "  store rows scanned, scan / delta = {:.1}x (delta probes maintenance indexes instead of scanning views)",
+        output.rows_ratio
+    );
+    println!(
+        "{:>8} {:>24} {:>26} {:>10} {:>16}",
+        "burst", "coalesced flush (ms)", "uncoalesced flush (ms)", "merges", "ratio vs 1-write"
+    );
+    for b in &output.bursts {
+        println!(
+            "{:>8} {:>24} {:>26} {:>10} {:>16}",
+            b.burst,
+            format!("{:.2}", b.coalesced_flush_sim_ms),
+            format!("{:.2}", b.uncoalesced_flush_sim_ms),
+            b.coalesced_merges,
+            format!("{:.2}x", b.ratio_vs_single),
+        );
+    }
+    println!("(single-key bursts coalesce in the write batch: one flush ≈ one write's maintenance)\n");
 }
 
 fn print_ablation(rows: &[LockAblationRow]) {

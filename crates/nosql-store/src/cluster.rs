@@ -260,6 +260,35 @@ impl Cluster {
         Ok(())
     }
 
+    /// Writes one row and returns its **before-image**: the row's prior
+    /// contents read under the same region write-lock, atomically with the
+    /// mutation.  Charges exactly like [`Cluster::put`] — the read shares
+    /// the write's RPC and row positioning (a server-side read-modify-write),
+    /// so no extra round trip is modeled and only the `puts` counter moves.
+    pub fn put_fetch(&self, table: &str, put: Put) -> StoreResult<Option<ResultRow>> {
+        let state = self.table(table)?;
+        let cost = self.cost_model().put_cost(put.cell_count());
+        let mut regions = state.regions.write();
+        let ts = self.next_timestamp();
+        let idx = Self::region_index_for(&regions, &put.row);
+        let server = regions[idx].server;
+        let before = regions[idx].get(&Get::new(put.row.clone()));
+        regions[idx].put(&state.schema, &put, ts)?;
+        self.wal_for(server).append(
+            table,
+            WalOp::Put {
+                row: put.row.clone(),
+                cells: put.cell_count(),
+            },
+        );
+        self.wal_for(server).sync();
+        self.maybe_split(&state, &mut regions, idx);
+        drop(regions);
+        self.charge(cost);
+        AtomicOpCounters::bump(&self.inner.counters.puts, 1);
+        Ok(before)
+    }
+
     /// Bulk-loads rows without charging simulated cost or writing the WAL.
     ///
     /// This models the paper's offline database-population phase (which is
@@ -308,6 +337,30 @@ impl Cluster {
         self.charge(cost);
         AtomicOpCounters::bump(&self.inner.counters.deletes, 1);
         Ok(removed)
+    }
+
+    /// Deletes a row and returns its **before-image**, read under the same
+    /// region write-lock.  Charges exactly like [`Cluster::delete`]; only
+    /// the `deletes` counter moves.  Returns `None` when the row was absent.
+    pub fn delete_fetch(&self, table: &str, delete: Delete) -> StoreResult<Option<ResultRow>> {
+        let state = self.table(table)?;
+        let cost = self.cost_model().delete_cost();
+        let mut regions = state.regions.write();
+        let idx = Self::region_index_for(&regions, &delete.row);
+        let server = regions[idx].server;
+        let before = regions[idx].get(&Get::new(delete.row.clone()));
+        regions[idx].delete(&delete)?;
+        self.wal_for(server).append(
+            table,
+            WalOp::Delete {
+                row: delete.row.clone(),
+            },
+        );
+        self.wal_for(server).sync();
+        drop(regions);
+        self.charge(cost);
+        AtomicOpCounters::bump(&self.inner.counters.deletes, 1);
+        Ok(before)
     }
 
     /// Atomically adds to a counter cell.  Charges like a put.
@@ -484,6 +537,32 @@ mod tests {
         assert_eq!(m.ops.puts, 1);
         assert_eq!(m.ops.gets, 2);
         assert_eq!(m.ops.deletes, 1);
+    }
+
+    #[test]
+    fn fetch_variants_return_before_images_at_plain_write_cost() {
+        let c = cluster();
+        c.create_table(orders_schema()).unwrap();
+        assert!(c
+            .put_fetch("orders", Put::new("o1").with("cf", "v", "1"))
+            .unwrap()
+            .is_none());
+        let before = c
+            .put_fetch("orders", Put::new("o1").with("cf", "v", "2"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(before.value_str("cf", "v").unwrap(), "1");
+        let (_, put_cost) =
+            c.clock().measure(|| c.put("orders", Put::new("o2").with("cf", "v", "1")).unwrap());
+        let (_, fetch_cost) = c.clock().measure(|| {
+            c.put_fetch("orders", Put::new("o3").with("cf", "v", "1")).unwrap();
+        });
+        assert_eq!(put_cost, fetch_cost, "before-image read rides the write RPC");
+        let gets_before = c.metrics().ops.gets;
+        let removed = c.delete_fetch("orders", Delete::row("o1")).unwrap().unwrap();
+        assert_eq!(removed.value_str("cf", "v").unwrap(), "2");
+        assert!(c.delete_fetch("orders", Delete::row("o1")).unwrap().is_none());
+        assert_eq!(c.metrics().ops.gets, gets_before, "no get counter movement");
     }
 
     #[test]

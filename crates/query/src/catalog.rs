@@ -280,6 +280,11 @@ pub struct Catalog {
     tables: BTreeMap<String, Arc<TableDef>>,
     /// Indexes grouped by the table they index (`TableKind::Index.of`).
     indexes_of: BTreeMap<String, Vec<String>>,
+    /// Index tables that exist only for view maintenance (delta-join
+    /// probes).  Every write path maintains them like any other index, but
+    /// the read optimizer never selects them, so adding one cannot change a
+    /// read plan (or its simulated cost).
+    maintenance_indexes: std::collections::BTreeSet<String>,
     /// Stamp of the last mutation (globally unique across all catalogs).
     version: u64,
 }
@@ -289,7 +294,9 @@ pub struct Catalog {
 /// `version` stamp is cache bookkeeping, not part of the schema).
 impl PartialEq for Catalog {
     fn eq(&self, other: &Self) -> bool {
-        self.tables == other.tables && self.indexes_of == other.indexes_of
+        self.tables == other.tables
+            && self.indexes_of == other.indexes_of
+            && self.maintenance_indexes == other.maintenance_indexes
     }
 }
 
@@ -333,8 +340,23 @@ impl Catalog {
                     list.retain(|n| n != name);
                 }
             }
+            self.maintenance_indexes.remove(name);
             self.version = next_catalog_version();
         }
+    }
+
+    /// Flags an already-added index table as **maintenance-only**: writes
+    /// keep it up to date, delta-join probes may use it, but read planning
+    /// ignores it (see [`crate::select_probe_access`]).
+    pub fn mark_maintenance_index(&mut self, name: &str) {
+        if self.maintenance_indexes.insert(name.to_string()) {
+            self.version = next_catalog_version();
+        }
+    }
+
+    /// True when `name` is a maintenance-only index table.
+    pub fn is_maintenance_index(&self, name: &str) -> bool {
+        self.maintenance_indexes.contains(name)
     }
 
     /// Looks up a table definition.

@@ -1,0 +1,1410 @@
+//! Incremental (**delta**) evaluation of [`LogicalPlan`]s, the engine behind
+//! Synergy's view maintenance, plus the coalescing write buffer.
+//!
+//! A base-table write is represented as signed row-deltas — an insert is
+//! `+row`, a delete is `-row` (the before-image), an update is the pair
+//! `[-old, +new]` — and a [`DeltaPlan`] pushes those deltas through the
+//! view's defining [`LogicalPlan`] *incrementally*:
+//!
+//! * `Scan` admits deltas of its own relation (after its pushed-down
+//!   filters) and nothing else;
+//! * `HashJoin` looks up the **other** side's current rows for each delta,
+//!   using the same access-path machinery as read planning
+//!   ([`select_probe_access`](crate::select_probe_access)) — a point Get
+//!   when the join key is the probed table's primary key, a key-prefix or
+//!   (maintenance-)index scan otherwise — and emits the joined deltas;
+//! * `Filter` passes or drops deltas; `Project` rewrites them onto the
+//!   output columns;
+//! * `Aggregate` folds deltas into per-group net contributions and emits
+//!   `[-old group row, +new group row]` against the materialized state
+//!   (invertible aggregates only: `COUNT` and `SUM`).
+//!
+//! The work a write causes is therefore proportional to the delta and the
+//! rows it joins with — never to the size of the view — which is the
+//! Noria-style dataflow argument for incremental view maintenance, reusing
+//! the planner IR as the dataflow graph instead of a second engine.
+//!
+//! [`DeltaBuffer`] is the companion write batch: a bounded buffer that
+//! coalesces consecutive writes to the same base key (last-write-wins per
+//! column, insert+delete annihilation) so a burst against one hot key does
+//! bounded maintenance work when flushed.
+
+use crate::catalog::{Catalog, TableDef};
+use crate::executor::{AccessPath, Executor};
+use crate::optimize::select_probe_access;
+use crate::plan::{LogicalPlan, PlanOperand, PlanPredicate};
+use crate::result::QueryError;
+use nosql_store::ops::Scan;
+use relational::{Row, Value, KEY_DELIMITER};
+use sql::{AggregateFunction, Comparison, SelectItem};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// The sign of a row-delta: `Plus` adds the row, `Minus` retracts it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaSign {
+    /// The row is being added.
+    Plus,
+    /// The row is being retracted.
+    Minus,
+}
+
+/// One signed row-delta flowing through a [`DeltaPlan`].
+#[derive(Debug, Clone)]
+pub struct RowDelta {
+    /// Whether the row is added or retracted.
+    pub sign: DeltaSign,
+    /// The row (for `Minus`, the before-image).
+    pub row: Row,
+}
+
+impl RowDelta {
+    /// A `+row` delta (insert, or the new image of an update).
+    pub fn plus(row: Row) -> RowDelta {
+        RowDelta {
+            sign: DeltaSign::Plus,
+            row,
+        }
+    }
+
+    /// A `-row` delta (delete, or the old image of an update).
+    pub fn minus(row: Row) -> RowDelta {
+        RowDelta {
+            sign: DeltaSign::Minus,
+            row,
+        }
+    }
+}
+
+/// A compiled pushed-down predicate: bare column, operator, literal.
+#[derive(Debug, Clone)]
+struct DeltaPredicate {
+    column: String,
+    op: Comparison,
+    value: Value,
+}
+
+impl std::fmt::Display for DeltaPredicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {} {}", self.column, self.op, self.value)
+    }
+}
+
+/// One invertible aggregate of a delta-plan `Aggregate` node.
+#[derive(Debug, Clone)]
+struct AggItem {
+    function: AggregateFunction,
+    argument: Option<String>,
+    /// Output column name in the materialized state (alias or rendered form).
+    name: String,
+}
+
+/// One node of the incremental operator tree (mirrors [`LogicalPlan`]).
+#[derive(Debug, Clone)]
+enum DeltaNode {
+    Scan {
+        def: Arc<TableDef>,
+        predicates: Vec<DeltaPredicate>,
+    },
+    Join {
+        left: Box<DeltaNode>,
+        right: Box<DeltaNode>,
+        /// Equi-join column pairs as `(left column, right column)`, bare.
+        on: Vec<(String, String)>,
+        /// Bare columns produced by the left subtree (routes lookups).
+        left_cols: BTreeSet<String>,
+        /// How the left side is probed given its join columns (rendered).
+        left_probe: (String, AccessPath),
+        /// How the right side is probed given its join columns (rendered).
+        right_probe: (String, AccessPath),
+    },
+    Filter {
+        input: Box<DeltaNode>,
+        predicates: Vec<DeltaPredicate>,
+    },
+    Project {
+        input: Box<DeltaNode>,
+        columns: Vec<String>,
+    },
+    Aggregate {
+        input: Box<DeltaNode>,
+        group_by: Vec<String>,
+        items: Vec<AggItem>,
+    },
+}
+
+/// The compiled incremental form of one view-defining [`LogicalPlan`].
+///
+/// Compiled once per view (see the maintenance engine's cache) and stamped
+/// with the catalog version, so — exactly like the plan cache — a catalog
+/// mutation lazily invalidates it.
+#[derive(Debug, Clone)]
+pub struct DeltaPlan {
+    root: DeltaNode,
+    catalog_version: u64,
+    /// Table holding the plan's materialized output; required by
+    /// incremental `Aggregate` nodes (they read the current group rows).
+    state_table: Option<String>,
+}
+
+impl DeltaPlan {
+    /// Compiles a logical plan into its incremental form.
+    ///
+    /// Fails with [`QueryError::Unsupported`] on operators with no
+    /// incremental interpretation (ordering, limits, non-equi joins,
+    /// parameters, and the non-invertible aggregates `AVG`/`MIN`/`MAX`).
+    pub fn compile(catalog: &Catalog, plan: &LogicalPlan) -> Result<DeltaPlan, QueryError> {
+        let mut aliases = BTreeSet::new();
+        collect_aliases(plan, &mut aliases);
+        Ok(DeltaPlan {
+            root: compile_node(catalog, plan, &aliases)?,
+            catalog_version: catalog.version(),
+            state_table: None,
+        })
+    }
+
+    /// Sets the table incremental aggregates read their current group rows
+    /// from (the view's own materialization).
+    pub fn with_state_table(mut self, table: impl Into<String>) -> DeltaPlan {
+        self.state_table = Some(table.into());
+        self
+    }
+
+    /// The catalog version this plan was compiled against (caches treat a
+    /// mismatch as stale, like [`crate::Session`]'s plan cache).
+    pub fn catalog_version(&self) -> u64 {
+        self.catalog_version
+    }
+
+    /// True when the plan reads `relation` (deltas of other relations are
+    /// no-ops by construction).
+    pub fn touches(&self, relation: &str) -> bool {
+        self.root.contains_table(relation)
+    }
+
+    /// Pushes base-table deltas of `relation` through the plan and returns
+    /// the resulting output-row deltas.
+    pub fn propagate(
+        &self,
+        executor: &Executor,
+        relation: &str,
+        deltas: &[RowDelta],
+    ) -> Result<Vec<RowDelta>, QueryError> {
+        self.root
+            .delta(executor, self.state_table.as_deref(), relation, deltas)
+    }
+
+    /// Renders the stable, indented delta-operator tree (the EXPLAIN-style
+    /// text pinned by golden snapshots): one operator per line, children
+    /// indented two spaces, trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.root.render_into(&mut out, 0);
+        out
+    }
+}
+
+// ----------------------------------------------------------------------
+// Compilation
+// ----------------------------------------------------------------------
+
+fn collect_aliases(plan: &LogicalPlan, out: &mut BTreeSet<String>) {
+    match plan {
+        LogicalPlan::Scan { alias, .. } => {
+            out.insert(alias.clone());
+        }
+        LogicalPlan::HashJoin { probe, build, .. } => {
+            collect_aliases(probe, out);
+            collect_aliases(build, out);
+        }
+        LogicalPlan::Rewrite { input, .. }
+        | LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Aggregate { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::TopK { input, .. }
+        | LogicalPlan::Limit { input, .. }
+        | LogicalPlan::Project { input, .. } => collect_aliases(input, out),
+    }
+}
+
+/// Strips a leading `alias.` qualifier (schema attribute names are globally
+/// unique, and stored view rows use bare names).
+fn bare(name: &str, aliases: &BTreeSet<String>) -> String {
+    if let Some((prefix, rest)) = name.split_once('.') {
+        if aliases.contains(prefix) {
+            return rest.to_string();
+        }
+    }
+    name.to_string()
+}
+
+fn unsupported(what: impl std::fmt::Display) -> QueryError {
+    QueryError::Unsupported(format!("{what} has no incremental (delta) interpretation"))
+}
+
+fn compile_predicate(
+    p: &PlanPredicate,
+    aliases: &BTreeSet<String>,
+) -> Result<DeltaPredicate, QueryError> {
+    let value = match &p.right {
+        PlanOperand::Literal(v) => v.clone(),
+        PlanOperand::Param(_) => return Err(unsupported("a parameterized predicate")),
+        PlanOperand::Column(_) => return Err(unsupported("a column-column filter")),
+    };
+    Ok(DeltaPredicate {
+        column: bare(p.left.name(), aliases),
+        op: p.op,
+        value,
+    })
+}
+
+fn compile_node(
+    catalog: &Catalog,
+    plan: &LogicalPlan,
+    aliases: &BTreeSet<String>,
+) -> Result<DeltaNode, QueryError> {
+    match plan {
+        // A rewrite note is planning provenance; deltas flow through it.
+        LogicalPlan::Rewrite { input, .. } => compile_node(catalog, input, aliases),
+        LogicalPlan::Scan {
+            table, predicates, ..
+        } => {
+            let def = catalog
+                .table_shared_ci(table)
+                .ok_or_else(|| QueryError::UnknownTable(table.clone()))?;
+            let predicates = predicates
+                .iter()
+                .map(|p| compile_predicate(p, aliases))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(DeltaNode::Scan { def, predicates })
+        }
+        LogicalPlan::HashJoin {
+            probe, build, on, ..
+        } => {
+            let left = compile_node(catalog, probe, aliases)?;
+            let right = compile_node(catalog, build, aliases)?;
+            let left_cols = left.column_set();
+            let mut pairs = Vec::new();
+            for p in on {
+                if p.op != Comparison::Eq {
+                    return Err(unsupported("a non-equi join"));
+                }
+                let PlanOperand::Column(rsym) = &p.right else {
+                    return Err(unsupported("a join on a non-column operand"));
+                };
+                let a = bare(p.left.name(), aliases);
+                let b = bare(rsym.name(), aliases);
+                let (lc, rc) = if left_cols.contains(&a) { (a, b) } else { (b, a) };
+                pairs.push((lc, rc));
+            }
+            let left_on: Vec<String> = pairs.iter().map(|(l, _)| l.clone()).collect();
+            let right_on: Vec<String> = pairs.iter().map(|(_, r)| r.clone()).collect();
+            let left_probe = left.probe_spec(catalog, &left_on);
+            let right_probe = right.probe_spec(catalog, &right_on);
+            Ok(DeltaNode::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                on: pairs,
+                left_cols,
+                left_probe,
+                right_probe,
+            })
+        }
+        LogicalPlan::Filter { input, predicates } => Ok(DeltaNode::Filter {
+            input: Box::new(compile_node(catalog, input, aliases)?),
+            predicates: predicates
+                .iter()
+                .map(|p| compile_predicate(p, aliases))
+                .collect::<Result<Vec<_>, _>>()?,
+        }),
+        LogicalPlan::Project { input, columns } => Ok(DeltaNode::Project {
+            input: Box::new(compile_node(catalog, input, aliases)?),
+            columns: columns.iter().map(|s| bare(s.name(), aliases)).collect(),
+        }),
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            items,
+        } => {
+            let group_by: Vec<String> =
+                group_by.iter().map(|s| bare(s.name(), aliases)).collect();
+            let mut agg_items = Vec::new();
+            for item in items {
+                match item {
+                    SelectItem::Aggregate {
+                        function,
+                        argument,
+                        alias,
+                    } => {
+                        match function {
+                            AggregateFunction::Count | AggregateFunction::Sum => {}
+                            other => {
+                                return Err(unsupported(format_args!(
+                                    "the non-invertible aggregate {other:?}"
+                                )))
+                            }
+                        }
+                        agg_items.push(AggItem {
+                            function: *function,
+                            argument: argument.as_ref().map(|c| c.column.clone()),
+                            name: alias.clone().unwrap_or_else(|| item.to_string()),
+                        });
+                    }
+                    // Plain group-by columns are carried by the group key.
+                    SelectItem::Column { .. } => {}
+                    SelectItem::Wildcard => {
+                        return Err(unsupported("a wildcard over an aggregate"))
+                    }
+                }
+            }
+            Ok(DeltaNode::Aggregate {
+                input: Box::new(compile_node(catalog, input, aliases)?),
+                group_by,
+                items: agg_items,
+            })
+        }
+        LogicalPlan::Sort { .. } | LogicalPlan::TopK { .. } | LogicalPlan::Limit { .. } => {
+            Err(unsupported("ordering or a limit"))
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Incremental evaluation
+// ----------------------------------------------------------------------
+
+/// Equality constraints binding a lookup: `(bare column, value)` pairs.
+type Constraints = [(String, Value)];
+
+fn predicates_pass(predicates: &[DeltaPredicate], row: &Row) -> bool {
+    predicates.iter().all(|p| match row.get(&p.column) {
+        Some(v) => p.op.evaluate(v, &p.value),
+        None => false,
+    })
+}
+
+fn row_matches(row: &Row, constraints: &Constraints) -> bool {
+    constraints
+        .iter()
+        .all(|(c, v)| row.get(c).is_some_and(|rv| rv == v))
+}
+
+/// Builds the other side's lookup constraints from one row's join-column
+/// values; `None` when any value is absent or null (SQL join semantics:
+/// null never matches).
+fn bind_constraints(
+    row: &Row,
+    my_cols: impl Iterator<Item = impl AsRef<str>>,
+    other_cols: impl Iterator<Item = impl AsRef<str>>,
+) -> Option<Vec<(String, Value)>> {
+    let mut out = Vec::new();
+    for (mine, other) in my_cols.zip(other_cols) {
+        let value = row.get(mine.as_ref())?;
+        if value.is_null() {
+            return None;
+        }
+        out.push((other.as_ref().to_string(), value.clone()));
+    }
+    Some(out)
+}
+
+/// Merges a looked-up row into a delta row.  Shared attributes (the join
+/// columns) are equal by construction, so the delta row's values win.
+fn merge_rows(base: &Row, other: &Row) -> Row {
+    let mut out = base.clone();
+    for (attr, value) in other.iter() {
+        if out.get(attr).is_none() {
+            out.set(attr, value.clone());
+        }
+    }
+    out
+}
+
+fn constraint_row(constraints: &Constraints) -> Row {
+    let mut row = Row::with_capacity(constraints.len());
+    for (c, v) in constraints {
+        row.set(c.clone(), v.clone());
+    }
+    row
+}
+
+impl DeltaNode {
+    fn column_set(&self) -> BTreeSet<String> {
+        match self {
+            DeltaNode::Scan { def, .. } => {
+                def.columns.iter().map(|(name, _)| name.clone()).collect()
+            }
+            DeltaNode::Join { left, right, .. } => {
+                let mut cols = left.column_set();
+                cols.extend(right.column_set());
+                cols
+            }
+            DeltaNode::Filter { input, .. } => input.column_set(),
+            DeltaNode::Project { columns, .. } => columns.iter().cloned().collect(),
+            DeltaNode::Aggregate {
+                group_by, items, ..
+            } => group_by
+                .iter()
+                .cloned()
+                .chain(items.iter().map(|i| i.name.clone()))
+                .collect(),
+        }
+    }
+
+    fn contains_table(&self, relation: &str) -> bool {
+        match self {
+            DeltaNode::Scan { def, .. } => def.name.eq_ignore_ascii_case(relation),
+            DeltaNode::Join { left, right, .. } => {
+                left.contains_table(relation) || right.contains_table(relation)
+            }
+            DeltaNode::Filter { input, .. }
+            | DeltaNode::Project { input, .. }
+            | DeltaNode::Aggregate { input, .. } => input.contains_table(relation),
+        }
+    }
+
+    /// How this subtree is looked up given equality bindings for `cols`:
+    /// the leaf table that owns the columns and the access path its probe
+    /// will use.  Decided at compile time so the rendered plan documents it.
+    fn probe_spec(&self, catalog: &Catalog, cols: &[String]) -> (String, AccessPath) {
+        match self {
+            DeltaNode::Scan { def, .. } => {
+                (def.name.clone(), select_probe_access(catalog, def, cols))
+            }
+            DeltaNode::Join { left, right, .. } => {
+                let left_cols = left.column_set();
+                if cols.iter().all(|c| left_cols.contains(c)) {
+                    left.probe_spec(catalog, cols)
+                } else {
+                    right.probe_spec(catalog, cols)
+                }
+            }
+            DeltaNode::Filter { input, .. }
+            | DeltaNode::Project { input, .. }
+            | DeltaNode::Aggregate { input, .. } => input.probe_spec(catalog, cols),
+        }
+    }
+
+    /// Pushes `deltas` of `relation` through this subtree.
+    fn delta(
+        &self,
+        executor: &Executor,
+        state: Option<&str>,
+        relation: &str,
+        deltas: &[RowDelta],
+    ) -> Result<Vec<RowDelta>, QueryError> {
+        match self {
+            DeltaNode::Scan { def, predicates } => {
+                if !def.name.eq_ignore_ascii_case(relation) {
+                    return Ok(Vec::new());
+                }
+                Ok(deltas
+                    .iter()
+                    .filter(|d| predicates_pass(predicates, &d.row))
+                    .cloned()
+                    .collect())
+            }
+            DeltaNode::Join {
+                left, right, on, ..
+            } => {
+                let left_side = left.contains_table(relation);
+                if !left_side && !right.contains_table(relation) {
+                    return Ok(Vec::new());
+                }
+                let (side, other) = if left_side {
+                    (left, right)
+                } else {
+                    (right, left)
+                };
+                let inner = side.delta(executor, state, relation, deltas)?;
+                let mut out = Vec::new();
+                for d in inner {
+                    let constraints = if left_side {
+                        bind_constraints(
+                            &d.row,
+                            on.iter().map(|(l, _)| l),
+                            on.iter().map(|(_, r)| r),
+                        )
+                    } else {
+                        bind_constraints(
+                            &d.row,
+                            on.iter().map(|(_, r)| r),
+                            on.iter().map(|(l, _)| l),
+                        )
+                    };
+                    let Some(constraints) = constraints else { continue };
+                    for matched in other.lookup(executor, &constraints)? {
+                        out.push(RowDelta {
+                            sign: d.sign,
+                            row: merge_rows(&d.row, &matched),
+                        });
+                    }
+                }
+                Ok(out)
+            }
+            DeltaNode::Filter { input, predicates } => {
+                let mut inner = input.delta(executor, state, relation, deltas)?;
+                inner.retain(|d| predicates_pass(predicates, &d.row));
+                Ok(inner)
+            }
+            DeltaNode::Project { input, columns } => {
+                let inner = input.delta(executor, state, relation, deltas)?;
+                Ok(inner
+                    .into_iter()
+                    .map(|d| RowDelta {
+                        sign: d.sign,
+                        row: project_row(&d.row, columns),
+                    })
+                    .collect())
+            }
+            DeltaNode::Aggregate {
+                input,
+                group_by,
+                items,
+            } => {
+                let inner = input.delta(executor, state, relation, deltas)?;
+                aggregate_delta(executor, state, group_by, items, &inner)
+            }
+        }
+    }
+
+    /// Evaluates this subtree under equality bindings — the read half of a
+    /// join probe.  Leaf scans pick their access path from the bound
+    /// columns; joins look up the side owning the columns first and probe
+    /// the other side per resulting row.
+    fn lookup(
+        &self,
+        executor: &Executor,
+        constraints: &Constraints,
+    ) -> Result<Vec<Row>, QueryError> {
+        match self {
+            DeltaNode::Scan { def, predicates } => {
+                scan_lookup(executor, def, predicates, constraints)
+            }
+            DeltaNode::Join {
+                left,
+                right,
+                on,
+                left_cols,
+                ..
+            } => {
+                let left_side = constraints.iter().all(|(c, _)| left_cols.contains(c));
+                let (side, other) = if left_side {
+                    (left, right)
+                } else {
+                    (right, left)
+                };
+                let rows = side.lookup(executor, constraints)?;
+                let mut out = Vec::new();
+                for row in rows {
+                    let next = if left_side {
+                        bind_constraints(
+                            &row,
+                            on.iter().map(|(l, _)| l),
+                            on.iter().map(|(_, r)| r),
+                        )
+                    } else {
+                        bind_constraints(
+                            &row,
+                            on.iter().map(|(_, r)| r),
+                            on.iter().map(|(l, _)| l),
+                        )
+                    };
+                    let Some(next) = next else { continue };
+                    for matched in other.lookup(executor, &next)? {
+                        out.push(merge_rows(&row, &matched));
+                    }
+                }
+                Ok(out)
+            }
+            DeltaNode::Filter { input, predicates } => {
+                let mut rows = input.lookup(executor, constraints)?;
+                rows.retain(|r| predicates_pass(predicates, r));
+                Ok(rows)
+            }
+            DeltaNode::Project { input, columns } => Ok(input
+                .lookup(executor, constraints)?
+                .into_iter()
+                .map(|r| project_row(&r, columns))
+                .collect()),
+            DeltaNode::Aggregate { .. } => Err(unsupported("a lookup through an aggregate")),
+        }
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        match self {
+            DeltaNode::Scan { def, predicates } => {
+                out.push_str(&format!("DeltaScan {}", def.name));
+                if !predicates.is_empty() {
+                    out.push_str(&format!(" filter=[{}]", join_display(predicates)));
+                }
+                out.push('\n');
+            }
+            DeltaNode::Join {
+                left,
+                right,
+                on,
+                left_probe,
+                right_probe,
+                ..
+            } => {
+                let on_text = on
+                    .iter()
+                    .map(|(l, r)| format!("{l} = {r}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                out.push_str(&format!(
+                    "DeltaJoin on [{on_text}] probe({})={} probe({})={}\n",
+                    left_probe.0,
+                    access_label(&left_probe.1),
+                    right_probe.0,
+                    access_label(&right_probe.1),
+                ));
+                left.render_into(out, depth + 1);
+                right.render_into(out, depth + 1);
+            }
+            DeltaNode::Filter { input, predicates } => {
+                out.push_str(&format!("DeltaFilter [{}]\n", join_display(predicates)));
+                input.render_into(out, depth + 1);
+            }
+            DeltaNode::Project { input, columns } => {
+                out.push_str(&format!("DeltaProject [{}]\n", columns.join(", ")));
+                input.render_into(out, depth + 1);
+            }
+            DeltaNode::Aggregate {
+                input,
+                group_by,
+                items,
+            } => {
+                out.push_str("DeltaAggregate");
+                if !group_by.is_empty() {
+                    out.push_str(&format!(" group_by=[{}]", group_by.join(", ")));
+                }
+                let items_text = items
+                    .iter()
+                    .map(|i| i.name.clone())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                out.push_str(&format!(" items=[{items_text}]\n"));
+                input.render_into(out, depth + 1);
+            }
+        }
+    }
+}
+
+fn access_label(access: &AccessPath) -> String {
+    match access {
+        AccessPath::KeyGet => "get".to_string(),
+        AccessPath::KeyPrefixScan => "key-prefix".to_string(),
+        AccessPath::IndexScan { index } => format!("index:{index}"),
+        AccessPath::FullScan => "full".to_string(),
+    }
+}
+
+fn join_display<T: std::fmt::Display>(items: &[T]) -> String {
+    items
+        .iter()
+        .map(|i| i.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn project_row(row: &Row, columns: &[String]) -> Row {
+    let mut out = Row::with_capacity(columns.len());
+    for c in columns {
+        if let Some(v) = row.get(c) {
+            out.set(c.clone(), v.clone());
+        }
+    }
+    out
+}
+
+/// Fetches the current rows of one base table matching equality constraints,
+/// choosing the cheapest access path the constraints admit (maintenance
+/// indexes included).  Every fetch is a normally charged store operation.
+fn scan_lookup(
+    executor: &Executor,
+    def: &TableDef,
+    predicates: &[DeltaPredicate],
+    constraints: &Constraints,
+) -> Result<Vec<Row>, QueryError> {
+    let cols: Vec<String> = constraints.iter().map(|(c, _)| c.clone()).collect();
+    let rows = match select_probe_access(executor.catalog(), def, &cols) {
+        AccessPath::KeyGet => executor
+            .get_row_by_key(&def.name, &constraint_row(constraints))?
+            .into_iter()
+            .collect(),
+        AccessPath::KeyPrefixScan => prefix_rows(executor, def, constraints)?,
+        AccessPath::IndexScan { index } => {
+            let index_def = executor
+                .catalog()
+                .table_shared_ci(&index)
+                .ok_or_else(|| QueryError::UnknownTable(index.clone()))?;
+            // Index tables are covered (they store every base column), so
+            // the decoded index rows are the base rows.
+            prefix_rows(executor, &index_def, constraints)?
+        }
+        AccessPath::FullScan => {
+            let cursor = executor
+                .cluster()
+                .scan_stream(&def.name, executor.bounded_scan(Scan::all()))?;
+            cursor.map(|stored| def.decode_row(&stored)).collect()
+        }
+    };
+    Ok(rows
+        .into_iter()
+        .filter(|r| row_matches(r, constraints) && predicates_pass(predicates, r))
+        .collect())
+}
+
+/// Prefix-scans `def` over the leading key columns bound by `constraints`.
+fn prefix_rows(
+    executor: &Executor,
+    def: &TableDef,
+    constraints: &Constraints,
+) -> Result<Vec<Row>, QueryError> {
+    let key_row = constraint_row(constraints);
+    let n_bound = def
+        .key
+        .iter()
+        .take_while(|k| key_row.contains(k))
+        .count();
+    let mut prefix = def.encode_key_prefix(&key_row, n_bound);
+    if n_bound < def.key.len() {
+        // Close the last bound component so "42" does not match "420".
+        prefix.push(KEY_DELIMITER);
+    }
+    let cursor = executor
+        .cluster()
+        .scan_stream(&def.name, executor.bounded_scan(Scan::prefix(prefix)))?;
+    Ok(cursor.map(|stored| def.decode_row(&stored)).collect())
+}
+
+/// Applies input deltas to the materialized aggregate state: per group,
+/// read the current group row, fold the net contributions in, and emit
+/// `[-old, +new]` (dropping the group when a `COUNT(*)` reaches zero).
+fn aggregate_delta(
+    executor: &Executor,
+    state: Option<&str>,
+    group_by: &[String],
+    items: &[AggItem],
+    deltas: &[RowDelta],
+) -> Result<Vec<RowDelta>, QueryError> {
+    let Some(state_table) = state else {
+        return Err(QueryError::Unsupported(
+            "an incremental aggregate needs a state table (DeltaPlan::with_state_table)".into(),
+        ));
+    };
+    // Net contribution per group: membership count plus per-item (count,
+    // sum, saw-float) folds, keyed by the encoded group values.
+    use std::collections::BTreeMap;
+    struct GroupFold {
+        key_row: Row,
+        members: i64,
+        item_counts: Vec<i64>,
+        item_sums: Vec<f64>,
+        item_floats: Vec<bool>,
+    }
+    let mut groups: BTreeMap<String, GroupFold> = BTreeMap::new();
+    for d in deltas {
+        let mut key_row = Row::with_capacity(group_by.len());
+        let mut key_text = String::new();
+        for g in group_by {
+            let v = d.row.get(g).cloned().unwrap_or(Value::Null);
+            key_text.push_str(&v.encode());
+            key_text.push(KEY_DELIMITER);
+            key_row.set(g.clone(), v);
+        }
+        let fold = groups.entry(key_text).or_insert_with(|| GroupFold {
+            key_row,
+            members: 0,
+            item_counts: vec![0; items.len()],
+            item_sums: vec![0.0; items.len()],
+            item_floats: vec![false; items.len()],
+        });
+        let unit = match d.sign {
+            DeltaSign::Plus => 1,
+            DeltaSign::Minus => -1,
+        };
+        fold.members += unit;
+        for (i, item) in items.iter().enumerate() {
+            let arg = match &item.argument {
+                Some(col) => {
+                    let Some(v) = d.row.get(col) else { continue };
+                    if v.is_null() {
+                        continue;
+                    }
+                    Some(v)
+                }
+                None => None,
+            };
+            fold.item_counts[i] += unit;
+            if let Some(v) = arg {
+                if let Some(f) = v.as_float() {
+                    fold.item_sums[i] += f64::from(unit as i32) * f;
+                }
+                if matches!(v, Value::Float(_)) {
+                    fold.item_floats[i] = true;
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for fold in groups.into_values() {
+        let old = executor.get_row_by_key(state_table, &fold.key_row)?;
+        let mut new_row = fold.key_row.clone();
+        let mut members_after = fold.members;
+        for (i, item) in items.iter().enumerate() {
+            let old_value = old.as_ref().and_then(|r| r.get(&item.name)).cloned();
+            let value = match item.function {
+                AggregateFunction::Count => {
+                    let before = old_value.and_then(|v| v.as_int()).unwrap_or(0);
+                    let after = before + fold.item_counts[i];
+                    if item.argument.is_none() {
+                        members_after = after;
+                    }
+                    Value::Int(after)
+                }
+                AggregateFunction::Sum => {
+                    let before = old_value.clone().and_then(|v| v.as_float()).unwrap_or(0.0);
+                    let after = before + fold.item_sums[i];
+                    let float = fold.item_floats[i]
+                        || matches!(old_value, Some(Value::Float(_)));
+                    if float {
+                        Value::Float(after)
+                    } else {
+                        Value::Int(after as i64)
+                    }
+                }
+                _ => unreachable!("compile rejects non-invertible aggregates"),
+            };
+            new_row.set(item.name.clone(), value);
+        }
+        let had_state = old.is_some();
+        if let Some(old_row) = old {
+            out.push(RowDelta::minus(old_row));
+        } else if fold.members <= 0 {
+            // Retractions against a group that was never materialized.
+            continue;
+        }
+        if members_after > 0 || (!had_state && fold.members > 0) {
+            out.push(RowDelta::plus(new_row));
+        }
+    }
+    Ok(out)
+}
+
+// ----------------------------------------------------------------------
+// The coalescing write batch
+// ----------------------------------------------------------------------
+
+/// One buffered base-table write awaiting delta propagation.
+#[derive(Debug, Clone)]
+pub enum PendingWrite {
+    /// A new row.
+    Insert(Row),
+    /// A deleted row (the before-image).
+    Delete(Row),
+    /// An updated row: before- and after-images.
+    Update {
+        /// The row as it was before the (first coalesced) update.
+        before: Row,
+        /// The row as it is after the (last coalesced) update.
+        after: Row,
+    },
+}
+
+impl PendingWrite {
+    /// The signed deltas this write propagates as.
+    pub fn deltas(&self) -> Vec<RowDelta> {
+        match self {
+            PendingWrite::Insert(row) => vec![RowDelta::plus(row.clone())],
+            PendingWrite::Delete(row) => vec![RowDelta::minus(row.clone())],
+            PendingWrite::Update { before, after } => vec![
+                RowDelta::minus(before.clone()),
+                RowDelta::plus(after.clone()),
+            ],
+        }
+    }
+}
+
+/// A bounded buffer of pending writes that **coalesces** consecutive writes
+/// to the same `(relation, base key)` before delta propagation:
+///
+/// * insert then delete **annihilate** (the views never see the row);
+/// * delete then insert become one update (`before` = deleted image);
+/// * repeated updates keep the first `before` and overlay the `after`s
+///   **last-write-wins per column**;
+/// * an update (or insert) following an insert folds into the insert.
+///
+/// A burst of writes against one hot key therefore flushes as at most one
+/// propagated write.  Capacity 1 degenerates to flush-per-write (no
+/// batching); the buffer never applies anything itself — the maintenance
+/// engine drains it.
+#[derive(Debug)]
+pub struct DeltaBuffer {
+    capacity: usize,
+    entries: Vec<((String, String), PendingWrite)>,
+    merges: u64,
+}
+
+impl DeltaBuffer {
+    /// Creates a buffer holding up to `capacity` distinct keys (min 1).
+    pub fn new(capacity: usize) -> DeltaBuffer {
+        DeltaBuffer {
+            capacity: capacity.max(1),
+            entries: Vec::new(),
+            merges: 0,
+        }
+    }
+
+    /// The configured capacity (distinct buffered keys before a flush is
+    /// due).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of buffered (coalesced) writes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when the buffer has reached capacity and must be flushed.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// How many writes were merged away by coalescing so far.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Records one write, coalescing it into an existing entry for the same
+    /// `(relation, key)` when present.
+    pub fn record(&mut self, relation: &str, key: String, write: PendingWrite) {
+        let entry_key = (relation.to_ascii_lowercase(), key);
+        let Some(idx) = self.entries.iter().position(|(k, _)| *k == entry_key) else {
+            self.entries.push((entry_key, write));
+            return;
+        };
+        self.merges += 1;
+        let merged = match (&self.entries[idx].1, write) {
+            (PendingWrite::Insert(a), PendingWrite::Insert(b)) => {
+                Some(PendingWrite::Insert(overlay(a, &b)))
+            }
+            (PendingWrite::Insert(a), PendingWrite::Update { after, .. }) => {
+                Some(PendingWrite::Insert(overlay(a, &after)))
+            }
+            (PendingWrite::Insert(_), PendingWrite::Delete(_)) => None,
+            (PendingWrite::Update { before, after }, PendingWrite::Update { after: b, .. }) => {
+                Some(PendingWrite::Update {
+                    before: before.clone(),
+                    after: overlay(after, &b),
+                })
+            }
+            (PendingWrite::Update { before, after }, PendingWrite::Insert(b)) => {
+                Some(PendingWrite::Update {
+                    before: before.clone(),
+                    after: overlay(after, &b),
+                })
+            }
+            (PendingWrite::Update { before, .. }, PendingWrite::Delete(_)) => {
+                Some(PendingWrite::Delete(before.clone()))
+            }
+            (PendingWrite::Delete(d), PendingWrite::Insert(b)) => Some(PendingWrite::Update {
+                before: d.clone(),
+                after: b,
+            }),
+            (PendingWrite::Delete(d), PendingWrite::Update { after, .. }) => {
+                Some(PendingWrite::Update {
+                    before: d.clone(),
+                    after,
+                })
+            }
+            (PendingWrite::Delete(d), PendingWrite::Delete(_)) => {
+                Some(PendingWrite::Delete(d.clone()))
+            }
+        };
+        match merged {
+            Some(write) => self.entries[idx].1 = write,
+            None => {
+                self.entries.remove(idx);
+            }
+        }
+    }
+
+    /// Takes every buffered write, in first-recorded order, as
+    /// `(relation, write)` pairs.
+    pub fn drain(&mut self) -> Vec<(String, PendingWrite)> {
+        std::mem::take(&mut self.entries)
+            .into_iter()
+            .map(|((relation, _), write)| (relation, write))
+            .collect()
+    }
+}
+
+/// `base` with every attribute of `patch` overwritten onto it
+/// (last-write-wins per column).
+fn overlay(base: &Row, patch: &Row) -> Row {
+    let mut out = base.clone();
+    for (attr, value) in patch.iter() {
+        out.set(attr, value.clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{ColumnType, TableKind};
+    use nosql_store::{Cluster, ClusterConfig};
+    use relational::Value;
+
+    fn table(name: &str, columns: &[(&str, ColumnType)], key: &[&str], kind: TableKind) -> TableDef {
+        TableDef::new(
+            name,
+            columns
+                .iter()
+                .map(|(n, t)| (n.to_string(), *t))
+                .collect(),
+            key.iter().map(|k| k.to_string()).collect(),
+            kind,
+        )
+    }
+
+    /// Two relations A ←fk— B, with a maintenance index on B's fk.
+    fn join_fixture() -> Executor {
+        let mut catalog = Catalog::new();
+        catalog.add_table(table(
+            "A",
+            &[("a_id", ColumnType::Int), ("a_v", ColumnType::Str)],
+            &["a_id"],
+            TableKind::Base,
+        ));
+        catalog.add_table(table(
+            "B",
+            &[
+                ("b_id", ColumnType::Int),
+                ("b_a_id", ColumnType::Int),
+                ("b_v", ColumnType::Int),
+            ],
+            &["b_id"],
+            TableKind::Base,
+        ));
+        catalog.add_table(table(
+            "MI_B__b_a_id",
+            &[
+                ("b_a_id", ColumnType::Int),
+                ("b_id", ColumnType::Int),
+                ("b_v", ColumnType::Int),
+            ],
+            &["b_a_id", "b_id"],
+            TableKind::Index { of: "B".into() },
+        ));
+        catalog.mark_maintenance_index("MI_B__b_a_id");
+        let cluster = Cluster::new(ClusterConfig::default());
+        for def in catalog.tables() {
+            cluster
+                .create_table(
+                    nosql_store::TableSchema::new(&def.name).with_family(crate::catalog::FAMILY),
+                )
+                .unwrap();
+        }
+        let executor = Executor::new(cluster, catalog);
+        executor
+            .insert_row("A", Row::new().set("a_id", 1).set("a_v", "one"))
+            .unwrap();
+        executor
+            .insert_row("A", Row::new().set("a_id", 2).set("a_v", "two"))
+            .unwrap();
+        for (b_id, b_a_id, b_v) in [(10, 1, 100), (11, 1, 110), (20, 2, 200)] {
+            executor
+                .insert_row(
+                    "B",
+                    Row::new().set("b_id", b_id).set("b_a_id", b_a_id).set("b_v", b_v),
+                )
+                .unwrap();
+        }
+        executor
+    }
+
+    fn join_plan(executor: &Executor) -> DeltaPlan {
+        let select = match sql::parse_statement("SELECT * FROM A, B WHERE A.a_id = B.b_a_id")
+            .unwrap()
+        {
+            sql::Statement::Select(s) => s,
+            _ => unreachable!(),
+        };
+        let physical = executor.plan_select(&select).unwrap();
+        DeltaPlan::compile(executor.catalog(), physical.logical()).unwrap()
+    }
+
+    #[test]
+    fn join_delta_probes_the_other_side_and_merges() {
+        let executor = join_fixture();
+        let plan = join_plan(&executor);
+        assert!(plan.touches("A") && plan.touches("b") && !plan.touches("C"));
+
+        // +B row joins up to its parent A row.
+        let b = Row::new()
+            .set("b_id", 12)
+            .set("b_a_id", 1)
+            .set("b_v", 120)
+            .clone();
+        let out = plan.propagate(&executor, "B", &[RowDelta::plus(b)]).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].sign, DeltaSign::Plus);
+        assert_eq!(out[0].row.get("a_v"), Some(&Value::str("one")));
+        assert_eq!(out[0].row.get("b_v"), Some(&Value::Int(120)));
+
+        // -A row fans out to every child B row (two of them for a_id=1).
+        let a = Row::new().set("a_id", 1).set("a_v", "one").clone();
+        let out = plan
+            .propagate(&executor, "A", &[RowDelta::minus(a)])
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|d| d.sign == DeltaSign::Minus));
+        let mut b_ids: Vec<i64> = out
+            .iter()
+            .map(|d| d.row.get("b_id").unwrap().as_int().unwrap())
+            .collect();
+        b_ids.sort_unstable();
+        assert_eq!(b_ids, vec![10, 11]);
+    }
+
+    #[test]
+    fn dangling_foreign_keys_produce_no_deltas() {
+        let executor = join_fixture();
+        let plan = join_plan(&executor);
+        let orphan = Row::new()
+            .set("b_id", 30)
+            .set("b_a_id", 99)
+            .set("b_v", 300)
+            .clone();
+        let out = plan
+            .propagate(&executor, "B", &[RowDelta::plus(orphan)])
+            .unwrap();
+        assert!(out.is_empty());
+        let nullfk = Row::new().set("b_id", 31).set("b_v", 310).clone();
+        let out = plan
+            .propagate(&executor, "B", &[RowDelta::plus(nullfk)])
+            .unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn render_documents_probe_access_paths() {
+        let executor = join_fixture();
+        let plan = join_plan(&executor);
+        let text = plan.render();
+        // Parent probed by primary key, child through the maintenance index
+        // (whichever side is the probe side, both labels must appear).
+        assert!(text.contains("DeltaJoin on [a_id = b_a_id]"), "{text}");
+        assert!(text.contains("probe(A)=get"), "{text}");
+        assert!(text.contains("probe(B)=index:MI_B__b_a_id"), "{text}");
+        assert!(text.contains("DeltaScan A"), "{text}");
+        assert!(text.contains("DeltaScan B"), "{text}");
+    }
+
+    #[test]
+    fn maintenance_index_is_invisible_to_read_planning() {
+        let executor = join_fixture();
+        let select =
+            match sql::parse_statement("SELECT * FROM B WHERE b_a_id = 1").unwrap() {
+                sql::Statement::Select(s) => s,
+                _ => unreachable!(),
+            };
+        let text = executor.plan_select(&select).unwrap().explain();
+        assert!(
+            text.contains("access=full"),
+            "read planning must not use the maintenance index: {text}"
+        );
+        // The delta probe, by contrast, uses it.
+        let def = executor.catalog().table("B").unwrap();
+        let access =
+            select_probe_access(executor.catalog(), def, &["b_a_id".to_string()]);
+        assert_eq!(
+            access,
+            AccessPath::IndexScan {
+                index: "MI_B__b_a_id".into()
+            }
+        );
+    }
+
+    #[test]
+    fn aggregate_deltas_update_group_state_invertibly() {
+        let mut catalog = Catalog::new();
+        catalog.add_table(table(
+            "T",
+            &[
+                ("t_id", ColumnType::Int),
+                ("g", ColumnType::Int),
+                ("v", ColumnType::Int),
+            ],
+            &["t_id"],
+            TableKind::Base,
+        ));
+        catalog.add_table(table(
+            "V_agg",
+            &[
+                ("g", ColumnType::Int),
+                ("n", ColumnType::Int),
+                ("s", ColumnType::Int),
+            ],
+            &["g"],
+            TableKind::View,
+        ));
+        let cluster = Cluster::new(ClusterConfig::default());
+        for def in catalog.tables() {
+            cluster
+                .create_table(
+                    nosql_store::TableSchema::new(&def.name).with_family(crate::catalog::FAMILY),
+                )
+                .unwrap();
+        }
+        let executor = Executor::new(cluster, catalog);
+        let select = match sql::parse_statement(
+            "SELECT g, COUNT(*) AS n, SUM(v) AS s FROM T GROUP BY g",
+        )
+        .unwrap()
+        {
+            sql::Statement::Select(s) => s,
+            _ => unreachable!(),
+        };
+        let physical = executor.plan_select(&select).unwrap();
+        let plan = DeltaPlan::compile(executor.catalog(), physical.logical())
+            .unwrap()
+            .with_state_table("V_agg");
+
+        // First insert creates the group.
+        let r1 = Row::new().set("t_id", 1).set("g", 7).set("v", 5).clone();
+        let out = plan.propagate(&executor, "T", &[RowDelta::plus(r1.clone())]).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].sign, DeltaSign::Plus);
+        assert_eq!(out[0].row.get("n"), Some(&Value::Int(1)));
+        assert_eq!(out[0].row.get("s"), Some(&Value::Int(5)));
+        executor.insert_row("V_agg", &out[0].row).unwrap();
+
+        // Second insert emits -old, +new with folded values.
+        let r2 = Row::new().set("t_id", 2).set("g", 7).set("v", 3).clone();
+        let out = plan.propagate(&executor, "T", &[RowDelta::plus(r2)]).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].sign, DeltaSign::Minus);
+        assert_eq!(out[1].row.get("n"), Some(&Value::Int(2)));
+        assert_eq!(out[1].row.get("s"), Some(&Value::Int(8)));
+        executor.delete_row_by_key("V_agg", &out[0].row).unwrap();
+        executor.insert_row("V_agg", &out[1].row).unwrap();
+
+        // Retracting both members empties the group: -old only.
+        let r2 = Row::new().set("t_id", 2).set("g", 7).set("v", 3).clone();
+        let out = plan
+            .propagate(
+                &executor,
+                "T",
+                &[RowDelta::minus(r1), RowDelta::minus(r2)],
+            )
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].sign, DeltaSign::Minus);
+    }
+
+    #[test]
+    fn non_invertible_aggregates_and_limits_fail_to_compile() {
+        let executor = join_fixture();
+        for sql_text in [
+            "SELECT b_a_id, MIN(b_v) AS m FROM B GROUP BY b_a_id",
+            "SELECT * FROM B LIMIT 5",
+        ] {
+            let select = match sql::parse_statement(sql_text).unwrap() {
+                sql::Statement::Select(s) => s,
+                _ => unreachable!(),
+            };
+            let physical = executor.plan_select(&select).unwrap();
+            let err = DeltaPlan::compile(executor.catalog(), physical.logical());
+            assert!(err.is_err(), "{sql_text} must not compile incrementally");
+        }
+    }
+
+    fn row(pairs: &[(&str, i64)]) -> Row {
+        let mut r = Row::new();
+        for (k, v) in pairs {
+            r.set(*k, *v);
+        }
+        r
+    }
+
+    #[test]
+    fn buffer_coalesces_insert_delete_to_nothing() {
+        let mut buf = DeltaBuffer::new(16);
+        buf.record("B", "k1".into(), PendingWrite::Insert(row(&[("b_id", 1)])));
+        buf.record("B", "k1".into(), PendingWrite::Delete(row(&[("b_id", 1)])));
+        assert!(buf.is_empty());
+        assert_eq!(buf.merges(), 1);
+    }
+
+    #[test]
+    fn buffer_coalesces_updates_last_write_wins_per_column() {
+        let mut buf = DeltaBuffer::new(16);
+        buf.record(
+            "B",
+            "k1".into(),
+            PendingWrite::Update {
+                before: row(&[("b_id", 1), ("x", 1), ("y", 1)]),
+                after: row(&[("b_id", 1), ("x", 2), ("y", 1)]),
+            },
+        );
+        buf.record(
+            "B",
+            "k1".into(),
+            PendingWrite::Update {
+                before: row(&[("b_id", 1), ("x", 2), ("y", 1)]),
+                after: row(&[("b_id", 1), ("x", 2), ("y", 9)]),
+            },
+        );
+        assert_eq!(buf.len(), 1);
+        let drained = buf.drain();
+        let PendingWrite::Update { before, after } = &drained[0].1 else {
+            panic!("expected coalesced update");
+        };
+        // First before-image, last after-image, per column.
+        assert_eq!(before.get("x"), Some(&Value::Int(1)));
+        assert_eq!(after.get("x"), Some(&Value::Int(2)));
+        assert_eq!(after.get("y"), Some(&Value::Int(9)));
+    }
+
+    #[test]
+    fn buffer_turns_delete_then_insert_into_an_update() {
+        let mut buf = DeltaBuffer::new(16);
+        buf.record("B", "k1".into(), PendingWrite::Delete(row(&[("b_id", 1), ("x", 1)])));
+        buf.record("B", "k1".into(), PendingWrite::Insert(row(&[("b_id", 1), ("x", 5)])));
+        let drained = buf.drain();
+        let PendingWrite::Update { before, after } = &drained[0].1 else {
+            panic!("expected update");
+        };
+        assert_eq!(before.get("x"), Some(&Value::Int(1)));
+        assert_eq!(after.get("x"), Some(&Value::Int(5)));
+    }
+
+    #[test]
+    fn buffer_keeps_distinct_keys_in_arrival_order() {
+        let mut buf = DeltaBuffer::new(2);
+        assert!(!buf.is_full());
+        buf.record("B", "k1".into(), PendingWrite::Insert(row(&[("b_id", 1)])));
+        buf.record("A", "k1".into(), PendingWrite::Insert(row(&[("a_id", 1)])));
+        assert!(buf.is_full());
+        let drained = buf.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].0, "b");
+        assert_eq!(drained[1].0, "a");
+        assert!(buf.is_empty());
+    }
+}

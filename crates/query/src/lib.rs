@@ -55,6 +55,7 @@
 pub mod baseline;
 mod bind;
 mod catalog;
+mod delta;
 mod executor;
 mod optimize;
 mod physical;
@@ -65,7 +66,9 @@ mod stream;
 mod writes;
 
 pub use catalog::{Catalog, ColumnType, TableDef, TableKind, FAMILY};
+pub use delta::{DeltaBuffer, DeltaPlan, DeltaSign, PendingWrite, RowDelta};
 pub use executor::{par_decode_filtered, par_decode_rows, AccessPath, Executor, DIRTY_MARKER};
+pub use optimize::select_probe_access;
 pub use physical::PhysicalPlan;
 pub use plan::{LogicalPlan, PlanOperand, PlanPredicate, SortKey};
 pub use result::{QueryError, QueryResult};

@@ -72,6 +72,25 @@ fn access_rank(path: &AccessPath) -> i32 {
 /// single-alias equality filters (values are irrelevant to the choice,
 /// which is what makes plans parameter-independent and cacheable).
 fn select_access_path(catalog: &Catalog, def: &TableDef, eq_columns: &[String]) -> AccessPath {
+    choose_access(catalog, def, eq_columns, false)
+}
+
+/// Chooses the access path for a **delta-probe** lookup: how view
+/// maintenance fetches the rows of one join side given equality bindings
+/// for the join columns.  Identical to read-path access selection except
+/// that maintenance-only indexes (invisible to read planning, see
+/// [`Catalog::mark_maintenance_index`]) are eligible — they exist precisely
+/// to turn these probes into index scans.
+pub fn select_probe_access(catalog: &Catalog, def: &TableDef, eq_columns: &[String]) -> AccessPath {
+    choose_access(catalog, def, eq_columns, true)
+}
+
+fn choose_access(
+    catalog: &Catalog,
+    def: &TableDef,
+    eq_columns: &[String],
+    allow_maintenance: bool,
+) -> AccessPath {
     if !eq_columns.is_empty() {
         if def.key_covered_by(eq_columns) {
             return AccessPath::KeyGet;
@@ -80,6 +99,9 @@ fn select_access_path(catalog: &Catalog, def: &TableDef, eq_columns: &[String]) 
             return AccessPath::KeyPrefixScan;
         }
         for index in catalog.indexes_of(&def.name) {
+            if !allow_maintenance && catalog.is_maintenance_index(&index.name) {
+                continue;
+            }
             if eq_columns.iter().any(|c| c == &index.key[0]) {
                 return AccessPath::IndexScan {
                     index: index.name.clone(),

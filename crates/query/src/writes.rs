@@ -88,21 +88,64 @@ impl Executor {
 
     /// Deletes one row of a table (and its index entries) by primary key.
     pub fn delete_row_by_key(&self, table: &str, key: &Row) -> Result<bool, QueryError> {
+        Ok(self.delete_row_fetch(table, key)?.is_some())
+    }
+
+    /// Deletes one row by primary key and returns its **before-image**.
+    ///
+    /// The prior row contents ride the delete's own store round trip
+    /// ([`nosql_store::Cluster::delete_fetch`]) — no separately charged
+    /// read — and also drive index-entry cleanup, so a keyed delete now
+    /// costs one store delete per table touched instead of a get plus a
+    /// delete.  The before-image is what update/delete delta propagation
+    /// needs to retract the old row from dependent views.
+    pub fn delete_row_fetch(&self, table: &str, key: &Row) -> Result<Option<Row>, QueryError> {
         let def = self
             .catalog()
             .table_ci(table)
             .ok_or_else(|| QueryError::UnknownTable(table.to_string()))?
             .clone();
-        let existing = self.get_row_by_key(&def.name, key)?;
         let row_key = def.encode_row_key(key);
-        let removed = self.cluster().delete(&def.name, Delete::row(row_key))?;
-        if let Some(existing) = existing {
+        let before = self
+            .cluster()
+            .delete_fetch(&def.name, Delete::row(row_key))?
+            .map(|stored| def.decode_row(&stored));
+        if let Some(existing) = &before {
             for index in self.catalog().indexes_of(&def.name) {
-                let index_key = index.encode_row_key(&existing);
+                let index_key = index.encode_row_key(existing);
                 self.cluster().delete(&index.name, Delete::row(index_key))?;
             }
         }
-        Ok(removed)
+        Ok(before)
+    }
+
+    /// Writes one full row (an update's merged image) and returns the
+    /// row's **before-image**, read atomically with the write
+    /// ([`nosql_store::Cluster::put_fetch`]).  Index entries whose keys
+    /// changed are rewritten against that authoritative prior image, so
+    /// callers that already merged assignments do not pay a second read.
+    pub fn update_row(&self, table: &str, updated: &Row) -> Result<Option<Row>, QueryError> {
+        let def = self
+            .catalog()
+            .table_ci(table)
+            .ok_or_else(|| QueryError::UnknownTable(table.to_string()))?
+            .clone();
+        self.check_key_present(&def, updated)?;
+        let before = self
+            .cluster()
+            .put_fetch(&def.name, def.row_to_put(updated))?
+            .map(|stored| def.decode_row(&stored));
+        for index in self.catalog().indexes_of(&def.name) {
+            if let Some(existing) = &before {
+                let old_key = index.encode_row_key(existing);
+                let new_key = index.encode_row_key(updated);
+                if old_key != new_key {
+                    self.cluster().delete(&index.name, Delete::row(old_key))?;
+                }
+            }
+            self.cluster().put(&index.name, index.row_to_put(updated))?;
+        }
+        Ok(before)
     }
 
     fn check_key_present(&self, def: &TableDef, row: &Row) -> Result<(), QueryError> {
@@ -204,17 +247,7 @@ impl Executor {
             }
             updated.set(column.clone(), bind_expr(expr, params)?);
         }
-        self.cluster().put(&def.name, def.row_to_put(&updated))?;
-        // Index maintenance: rewrite every index entry whose key or covered
-        // columns may have changed.
-        for index in self.catalog().indexes_of(&def.name) {
-            let old_key = index.encode_row_key(&existing);
-            let new_key = index.encode_row_key(&updated);
-            if old_key != new_key {
-                self.cluster().delete(&index.name, Delete::row(old_key))?;
-            }
-            self.cluster().put(&index.name, index.row_to_put(&updated))?;
-        }
+        self.update_row(&def.name, &updated)?;
         Ok(QueryResult::affected(1))
     }
 

@@ -17,9 +17,10 @@
 //! 4. **Query rewriting** ([`rewrite`]) and **view-indexes** ([`selection`]):
 //!    queries are rewritten over the selected views and supplemented with
 //!    covered view-indexes for their filter columns (§VI-B, §VI-C).
-//! 5. **View maintenance** ([`maintenance`]): applicability tests and tuple
-//!    construction keep views consistent under inserts, deletes and updates
-//!    (§VII).
+//! 5. **View maintenance** ([`maintenance`]): each view's defining join is
+//!    compiled into an incremental delta plan; writes propagate as signed
+//!    row-deltas through it (with an optional coalescing write batch),
+//!    keeping views consistent under inserts, deletes and updates (§VII).
 //! 6. **Concurrency control** ([`lock`], [`txn`]): one lock table per root
 //!    relation, a single hierarchical lock per write transaction, dirty-row
 //!    marking with scan restart for read-committed isolation (§VIII).
@@ -38,7 +39,9 @@ pub mod txn;
 pub mod viewgen;
 
 pub use lock::{LockGuard, LockManager};
-pub use maintenance::ViewMaintainer;
+pub use maintenance::{
+    MaintenanceEngine, MaintenanceStatsSnapshot, StagedViewUpdate, ViewMaintainer,
+};
 pub use rewrite::SynergyRewriter;
 pub use selection::{SelectionOutcome, ViewIndexDefinition};
 pub use system::{SynergyConfig, SynergySystem};

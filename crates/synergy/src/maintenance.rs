@@ -1,41 +1,177 @@
-//! View maintenance (paper §VII): applicability tests and tuple construction
-//! for keeping materialized views and view-indexes consistent with base-table
-//! inserts, deletes and updates.
+//! View maintenance (paper §VII), rebuilt around **delta propagation
+//! through the plan IR**.
+//!
+//! Every selected view carries a defining SELECT (its FK-join path,
+//! [`ViewDefinition::defining_select`]).  The [`MaintenanceEngine`] compiles
+//! that statement's [`query::LogicalPlan`] once into a [`query::DeltaPlan`]
+//! — cached per view and invalidated by catalog version, exactly like the
+//! read path's plan cache — and maintains the view by pushing the write's
+//! signed row-deltas through it:
+//!
+//! * **insert** into the view's *last* relation: propagate `+row`; the
+//!   join probes read one ancestor row per edge (the paper's k−1 reads);
+//! * **delete** from the last relation: the view key *is* the base key, so
+//!   the view row is deleted directly (no propagation needed);
+//! * **update** of any member relation: propagate `[-old, +new]` and pair
+//!   the resulting view-row deltas into in-place rewrites, removals and
+//!   insertions.  When the update leaves every join attribute unchanged
+//!   (the common case), only `+new` is propagated and every output is a
+//!   rewrite.
+//!
+//! Join probes go through the same access-path selection as read planning
+//! ([`query::select_probe_access`]), which additionally may use the
+//! *maintenance indexes* (`MI_*` tables) the system creates for FK columns
+//! that would otherwise force a full base-table scan — this is what replaces
+//! the old "scan the whole view to find affected rows" strategy.
+//!
+//! The legacy scan-based procedures (`construct_insert_tuple`,
+//! `find_affected_view_rows`, `apply_update_to_view_row`) are retained both
+//! as the comparison path (`SynergyConfig::with_scan_maintenance`) and for
+//! the paper-faithful applicability tests they document.
+//!
+//! A coalescing [`DeltaBuffer`] (capacity > 1 via
+//! `SynergyConfig::with_write_batch`) defers propagation: consecutive
+//! writes to the same base key merge (last-write-wins per column,
+//! insert+delete annihilation) and flush as one propagated write.
 
 use crate::selection::ViewIndexDefinition;
 use crate::viewgen::ViewDefinition;
 use nosql_store::ops::{Put, Scan};
-use query::{Executor, QueryError, FAMILY};
+use query::{DeltaBuffer, DeltaPlan, DeltaSign, Executor, PendingWrite, QueryError, RowDelta, FAMILY};
 use relational::{encode_key, Row, Schema, Value, KEY_DELIMITER};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Re-export of the dirty-marker column name used by the executor's
 /// read-committed scan-restart protocol.
 pub use query::DIRTY_MARKER;
 
+/// Compatibility alias for the pre-delta name of the engine.
+pub type ViewMaintainer = MaintenanceEngine;
+
+/// Counters the engine keeps while maintaining views (shared across clones).
+#[derive(Debug, Default)]
+pub struct MaintenanceStats {
+    view_rows_touched: AtomicU64,
+    deltas_propagated: AtomicU64,
+    flushes: AtomicU64,
+}
+
+/// A point-in-time copy of the engine's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaintenanceStatsSnapshot {
+    /// View rows written, rewritten or removed by maintenance.
+    pub view_rows_touched: u64,
+    /// View-row deltas produced by delta propagation.
+    pub deltas_propagated: u64,
+    /// Write-batch flushes performed.
+    pub flushes: u64,
+    /// Writes merged away by the coalescing buffer.
+    pub coalesced_merges: u64,
+}
+
+/// The staged effect of one base-table update on one view: computed by
+/// delta propagation *before* the base write, applied after it (steps 2–5
+/// of the update transaction, §VIII-B).
+#[derive(Debug, Clone)]
+pub struct StagedViewUpdate {
+    view: ViewDefinition,
+    /// New full view-row images whose keys already exist (in-place rewrite).
+    rewrites: Vec<Row>,
+    /// Old view rows whose keys disappear (join attribute changed away).
+    removes: Vec<Row>,
+    /// New view rows at keys that did not exist before.
+    inserts: Vec<Row>,
+}
+
+impl StagedViewUpdate {
+    /// The view this staged update maintains.
+    pub fn view(&self) -> &ViewDefinition {
+        &self.view
+    }
+
+    /// Number of view rows this staged update will touch.
+    pub fn touched(&self) -> usize {
+        self.rewrites.len() + self.removes.len() + self.inserts.len()
+    }
+}
+
 /// Maintains the selected views of a Synergy deployment.
 #[derive(Clone)]
-pub struct ViewMaintainer {
+pub struct MaintenanceEngine {
     executor: Executor,
     schema: Schema,
     views: Vec<ViewDefinition>,
     view_indexes: Vec<ViewIndexDefinition>,
+    /// Precomputed applicability index: relation → views whose *last*
+    /// relation it is (insert/delete applicability, §VII-A/B).
+    by_last: Vec<(String, Vec<usize>)>,
+    /// Precomputed applicability index: relation → views containing it
+    /// anywhere (update applicability, §VII-C).
+    by_member: Vec<(String, Vec<usize>)>,
+    delta_enabled: bool,
+    /// Compiled delta plans, keyed by view table name; entries whose
+    /// catalog version is stale are recompiled lazily.
+    plans: Arc<Mutex<HashMap<String, Arc<DeltaPlan>>>>,
+    /// The coalescing write batch (capacity 1 = propagate per write).
+    buffer: Arc<Mutex<DeltaBuffer>>,
+    stats: Arc<MaintenanceStats>,
 }
 
-impl ViewMaintainer {
-    /// Creates a maintainer; `executor`'s catalog must already contain the
-    /// view and view-index tables.
+impl MaintenanceEngine {
+    /// Creates an engine; `executor`'s catalog must already contain the
+    /// view and view-index tables.  Delta propagation is enabled and the
+    /// write batch holds one write (no coalescing) by default.
     pub fn new(
         executor: Executor,
         schema: Schema,
         views: Vec<ViewDefinition>,
         view_indexes: Vec<ViewIndexDefinition>,
     ) -> Self {
-        ViewMaintainer {
+        let mut by_last: Vec<(String, Vec<usize>)> = Vec::new();
+        let mut by_member: Vec<(String, Vec<usize>)> = Vec::new();
+        for (i, view) in views.iter().enumerate() {
+            push_id(&mut by_last, view.last_relation(), i);
+            for relation in &view.relations {
+                push_id(&mut by_member, relation, i);
+            }
+        }
+        MaintenanceEngine {
             executor,
             schema,
             views,
             view_indexes,
+            by_last,
+            by_member,
+            delta_enabled: true,
+            plans: Arc::new(Mutex::new(HashMap::new())),
+            buffer: Arc::new(Mutex::new(DeltaBuffer::new(1))),
+            stats: Arc::new(MaintenanceStats::default()),
         }
+    }
+
+    /// Enables or disables delta propagation (disabled = the legacy
+    /// scan-based maintenance procedures).
+    pub fn with_delta(mut self, enabled: bool) -> Self {
+        self.delta_enabled = enabled;
+        self
+    }
+
+    /// Sets the coalescing write-batch capacity (1 = flush per write).
+    pub fn with_write_batch(self, capacity: usize) -> Self {
+        *self.buffer.lock().expect("buffer lock") = DeltaBuffer::new(capacity);
+        self
+    }
+
+    /// True when delta propagation (rather than scanning) maintains views.
+    pub fn delta_enabled(&self) -> bool {
+        self.delta_enabled
+    }
+
+    /// True when writes are deferred into the coalescing batch.
+    pub fn buffering(&self) -> bool {
+        self.buffer.lock().expect("buffer lock").capacity() > 1
     }
 
     /// All maintained views.
@@ -43,42 +179,120 @@ impl ViewMaintainer {
         &self.views
     }
 
+    /// A snapshot of the maintenance counters.
+    pub fn stats(&self) -> MaintenanceStatsSnapshot {
+        MaintenanceStatsSnapshot {
+            view_rows_touched: self.stats.view_rows_touched.load(Ordering::Relaxed),
+            deltas_propagated: self.stats.deltas_propagated.load(Ordering::Relaxed),
+            flushes: self.stats.flushes.load(Ordering::Relaxed),
+            coalesced_merges: self.buffer.lock().expect("buffer lock").merges(),
+        }
+    }
+
     // ------------------------------------------------------------------
-    // Applicability tests (§VII-A/B/C, step 1)
+    // Applicability tests (§VII-A/B/C, step 1) — precomputed
     // ------------------------------------------------------------------
 
     /// Views to which an insert into `relation` applies: those whose *last*
-    /// relation is `relation`.
-    pub fn views_for_insert(&self, relation: &str) -> Vec<&ViewDefinition> {
-        self.views
-            .iter()
-            .filter(|v| v.last_relation().eq_ignore_ascii_case(relation))
-            .collect()
+    /// relation is `relation`.  Served from the precomputed index — no
+    /// allocation per write.
+    pub fn views_for_insert(&self, relation: &str) -> impl Iterator<Item = &ViewDefinition> {
+        ids_for(&self.by_last, relation).iter().map(|&i| &self.views[i])
     }
 
     /// Views to which a delete from `relation` applies (same test as insert).
-    pub fn views_for_delete(&self, relation: &str) -> Vec<&ViewDefinition> {
+    pub fn views_for_delete(&self, relation: &str) -> impl Iterator<Item = &ViewDefinition> {
         self.views_for_insert(relation)
     }
 
     /// Views to which an update of `relation` applies: those containing
     /// `relation` anywhere in their sequence.
-    pub fn views_for_update(&self, relation: &str) -> Vec<&ViewDefinition> {
-        self.views
-            .iter()
-            .filter(|v| v.relations.iter().any(|r| r.eq_ignore_ascii_case(relation)))
-            .collect()
+    pub fn views_for_update(&self, relation: &str) -> impl Iterator<Item = &ViewDefinition> {
+        ids_for(&self.by_member, relation).iter().map(|&i| &self.views[i])
+    }
+
+    // ------------------------------------------------------------------
+    // Delta plans
+    // ------------------------------------------------------------------
+
+    /// The compiled delta plan of a view, compiled from its defining SELECT
+    /// through the regular planner on first use and cached until the
+    /// catalog version changes (mirrors the read path's plan cache).
+    pub fn delta_plan(&self, view: &ViewDefinition) -> Result<Arc<DeltaPlan>, QueryError> {
+        let key = view.table_name();
+        let version = self.executor.catalog().version();
+        {
+            let plans = self.plans.lock().expect("plan cache lock");
+            if let Some(plan) = plans.get(&key) {
+                if plan.catalog_version() == version {
+                    return Ok(plan.clone());
+                }
+            }
+        }
+        let statement = sql::parse_statement(&view.defining_select())
+            .map_err(|e| QueryError::Unsupported(format!("view defining statement: {e}")))?;
+        let sql::Statement::Select(select) = statement else {
+            return Err(QueryError::Unsupported(
+                "view defining statement must be a SELECT".into(),
+            ));
+        };
+        let physical = self.executor.plan_select(&select)?;
+        let plan = Arc::new(
+            DeltaPlan::compile(self.executor.catalog(), physical.logical())?
+                .with_state_table(&key),
+        );
+        self.plans
+            .lock()
+            .expect("plan cache lock")
+            .insert(key, plan.clone());
+        Ok(plan)
+    }
+
+    /// Renders the delta-operator tree maintaining `view` (EXPLAIN-style).
+    pub fn explain_delta_plan(&self, view: &ViewDefinition) -> Result<String, QueryError> {
+        Ok(self.delta_plan(view)?.render())
     }
 
     // ------------------------------------------------------------------
     // Insert (§VII-A)
     // ------------------------------------------------------------------
 
+    /// Applies a base-table insert to every applicable view (and the views'
+    /// indexes, which the executor maintains automatically).  Returns the
+    /// number of view rows written.
+    pub fn apply_insert(&self, relation: &str, inserted: &Row) -> Result<usize, QueryError> {
+        let mut written = 0;
+        for view in self.views_for_insert(relation) {
+            if self.delta_enabled {
+                let plan = self.delta_plan(view)?;
+                let deltas = [RowDelta::plus(inserted.unqualified())];
+                let out = plan.propagate(&self.executor, relation, &deltas)?;
+                self.stats
+                    .deltas_propagated
+                    .fetch_add(out.len() as u64, Ordering::Relaxed);
+                for delta in out {
+                    debug_assert_eq!(delta.sign, DeltaSign::Plus);
+                    self.executor.insert_row(&view.table_name(), &delta.row)?;
+                    written += 1;
+                }
+            } else if let Some(view_row) = self.construct_insert_tuple(view, inserted)? {
+                self.executor.insert_row(&view.table_name(), &view_row)?;
+                written += 1;
+            }
+        }
+        self.stats
+            .view_rows_touched
+            .fetch_add(written as u64, Ordering::Relaxed);
+        Ok(written)
+    }
+
     /// Constructs the view tuple for a base-table insert into the view's
     /// last relation, by walking the key/foreign-key chain upwards and
     /// reading one related tuple per ancestor relation (k−1 reads for a view
     /// of k relations).  Returns `None` when an ancestor row is missing
-    /// (foreign-key constraints are not enforced, §IV).
+    /// (foreign-key constraints are not enforced, §IV).  This is the legacy
+    /// scan-mode procedure; the delta path obtains the same tuple from the
+    /// join probes of the view's delta plan.
     pub fn construct_insert_tuple(
         &self,
         view: &ViewDefinition,
@@ -112,28 +326,14 @@ impl ViewMaintainer {
         Ok(Some(combined))
     }
 
-    /// Applies a base-table insert to every applicable view (and the views'
-    /// indexes, which the executor maintains automatically).  Returns the
-    /// number of view rows written.
-    pub fn apply_insert(&self, relation: &str, inserted: &Row) -> Result<usize, QueryError> {
-        let mut written = 0;
-        for view in self.views_for_insert(relation) {
-            if let Some(view_row) = self.construct_insert_tuple(view, inserted)? {
-                self.executor.insert_row(&view.table_name(), &view_row)?;
-                written += 1;
-            }
-        }
-        Ok(written)
-    }
-
     // ------------------------------------------------------------------
     // Delete (§VII-B)
     // ------------------------------------------------------------------
 
     /// Applies a base-table delete to every applicable view.  The view key
-    /// equals the base key; the view row is read first so that view-index
-    /// keys can be constructed (§VII-B2).  Returns the number of view rows
-    /// removed.
+    /// equals the base key (the last relation's primary key), so no
+    /// propagation is needed in either mode.  Returns the number of view
+    /// rows removed.
     pub fn apply_delete(&self, relation: &str, base_key: &Row) -> Result<usize, QueryError> {
         let mut removed = 0;
         for view in self.views_for_delete(relation) {
@@ -141,17 +341,272 @@ impl ViewMaintainer {
                 removed += 1;
             }
         }
+        self.stats
+            .view_rows_touched
+            .fetch_add(removed as u64, Ordering::Relaxed);
         Ok(removed)
     }
 
     // ------------------------------------------------------------------
-    // Update (§VII-C)
+    // Update (§VII-C) — delta staging
+    // ------------------------------------------------------------------
+
+    /// Computes the staged effect of updating one row of `relation` (from
+    /// `before` to `after`) on every applicable view, by delta propagation.
+    /// Runs *before* the base write: the join probes read the other
+    /// relations' current rows.
+    pub fn stage_update(
+        &self,
+        relation: &str,
+        before: &Row,
+        after: &Row,
+    ) -> Result<Vec<StagedViewUpdate>, QueryError> {
+        let mut staged = Vec::new();
+        for view in self.views_for_update(relation) {
+            let plan = self.delta_plan(view)?;
+            let mut update = StagedViewUpdate {
+                view: view.clone(),
+                rewrites: Vec::new(),
+                removes: Vec::new(),
+                inserts: Vec::new(),
+            };
+            if self.join_attributes_changed(view, relation, before, after) {
+                // The update moves rows between join groups: propagate both
+                // images and pair the resulting deltas by view key.
+                let deltas = [
+                    RowDelta::minus(before.unqualified()),
+                    RowDelta::plus(after.unqualified()),
+                ];
+                let out = plan.propagate(&self.executor, relation, &deltas)?;
+                self.stats
+                    .deltas_propagated
+                    .fetch_add(out.len() as u64, Ordering::Relaxed);
+                let view_def = self
+                    .executor
+                    .catalog()
+                    .table(&view.table_name())
+                    .ok_or_else(|| QueryError::UnknownTable(view.table_name()))?;
+                // BTreeMap: deterministic apply order (deterministic sim).
+                let mut paired: std::collections::BTreeMap<String, (Option<Row>, Option<Row>)> =
+                    std::collections::BTreeMap::new();
+                for delta in out {
+                    let key = view_def.encode_row_key(&delta.row);
+                    let entry = paired.entry(key).or_default();
+                    match delta.sign {
+                        DeltaSign::Minus => entry.0 = Some(delta.row),
+                        DeltaSign::Plus => entry.1 = Some(delta.row),
+                    }
+                }
+                for (_, pair) in paired {
+                    match pair {
+                        (Some(_), Some(new)) => update.rewrites.push(new),
+                        (Some(old), None) => update.removes.push(old),
+                        (None, Some(new)) => update.inserts.push(new),
+                        (None, None) => unreachable!("empty delta pair"),
+                    }
+                }
+            } else {
+                // Join attributes unchanged: the affected view keys are
+                // exactly the keys of the propagated new image — every
+                // output is an in-place rewrite.
+                let deltas = [RowDelta::plus(after.unqualified())];
+                let out = plan.propagate(&self.executor, relation, &deltas)?;
+                self.stats
+                    .deltas_propagated
+                    .fetch_add(out.len() as u64, Ordering::Relaxed);
+                update.rewrites.extend(out.into_iter().map(|d| d.row));
+            }
+            if update.touched() > 0 {
+                staged.push(update);
+            }
+        }
+        Ok(staged)
+    }
+
+    /// Marks every currently existing view row a staged update will touch
+    /// as dirty (step 3 of the update transaction).  Rows the update
+    /// *inserts* do not exist yet and are not marked (matching the insert
+    /// procedure, which never marks).
+    pub fn mark_staged(&self, staged: &[StagedViewUpdate]) -> Result<(), QueryError> {
+        for update in staged {
+            for row in update.rewrites.iter().chain(&update.removes) {
+                self.mark_dirty(&update.view, row)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a staged update to the view tables (step 4: runs after the
+    /// base write).  Removals go first, then in-place rewrites (the
+    /// executor rewrites view-index entries from the stored before-image),
+    /// then insertions.  Returns the number of view rows touched.
+    pub fn apply_staged(&self, staged: &[StagedViewUpdate]) -> Result<usize, QueryError> {
+        let mut touched = 0;
+        for update in staged {
+            let table = update.view.table_name();
+            for old in &update.removes {
+                self.executor.delete_row_by_key(&table, old)?;
+                touched += 1;
+            }
+            for new in &update.rewrites {
+                self.executor.update_row(&table, new)?;
+                touched += 1;
+            }
+            for new in &update.inserts {
+                self.executor.insert_row(&table, new)?;
+                touched += 1;
+            }
+        }
+        self.stats
+            .view_rows_touched
+            .fetch_add(touched as u64, Ordering::Relaxed);
+        Ok(touched)
+    }
+
+    /// Clears the dirty markers a staged update set (step 5).  Removed rows
+    /// are gone — unmarking them would resurrect a marker-only row — so
+    /// only rewritten rows are unmarked.
+    pub fn unmark_staged(&self, staged: &[StagedViewUpdate]) -> Result<(), QueryError> {
+        for update in staged {
+            for row in &update.rewrites {
+                self.unmark_dirty(&update.view, row)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// True when the update changes any attribute of `relation` that
+    /// participates in one of the view's join edges — in which case rows
+    /// can enter or leave the view, and both images must be propagated.
+    fn join_attributes_changed(
+        &self,
+        view: &ViewDefinition,
+        relation: &str,
+        before: &Row,
+        after: &Row,
+    ) -> bool {
+        for edge in &view.edges {
+            let attrs: &[String] = if edge.from.eq_ignore_ascii_case(relation) {
+                &edge.pk
+            } else if edge.to.eq_ignore_ascii_case(relation) {
+                &edge.fk
+            } else {
+                continue;
+            };
+            for attribute in attrs {
+                if before.get(attribute) != after.get(attribute) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    // ------------------------------------------------------------------
+    // Write batching
+    // ------------------------------------------------------------------
+
+    /// Buffers an insert for deferred propagation; flushes the batch when
+    /// it reaches capacity.  Returns the number of view rows touched by a
+    /// triggered flush (0 when the write was merely buffered).
+    pub fn enqueue_insert(&self, relation: &str, row: &Row) -> Result<usize, QueryError> {
+        if ids_for(&self.by_last, relation).is_empty() {
+            return Ok(0);
+        }
+        self.enqueue(relation, row, PendingWrite::Insert(row.unqualified()))
+    }
+
+    /// Buffers a delete (`before` is the deleted row's image).
+    pub fn enqueue_delete(&self, relation: &str, before: &Row) -> Result<usize, QueryError> {
+        if ids_for(&self.by_last, relation).is_empty() {
+            return Ok(0);
+        }
+        self.enqueue(relation, before, PendingWrite::Delete(before.unqualified()))
+    }
+
+    /// Buffers an update (both images).
+    pub fn enqueue_update(
+        &self,
+        relation: &str,
+        before: &Row,
+        after: &Row,
+    ) -> Result<usize, QueryError> {
+        if ids_for(&self.by_member, relation).is_empty() {
+            return Ok(0);
+        }
+        self.enqueue(
+            relation,
+            after,
+            PendingWrite::Update {
+                before: before.unqualified(),
+                after: after.unqualified(),
+            },
+        )
+    }
+
+    fn enqueue(
+        &self,
+        relation: &str,
+        keyed_by: &Row,
+        write: PendingWrite,
+    ) -> Result<usize, QueryError> {
+        let def = self
+            .executor
+            .catalog()
+            .table_ci(relation)
+            .ok_or_else(|| QueryError::UnknownTable(relation.to_string()))?;
+        let key = def.encode_row_key(keyed_by);
+        let relation = def.name.clone();
+        let full = {
+            let mut buffer = self.buffer.lock().expect("buffer lock");
+            buffer.record(&relation, key, write);
+            buffer.is_full()
+        };
+        if full {
+            self.flush()
+        } else {
+            Ok(0)
+        }
+    }
+
+    /// Propagates every buffered (coalesced) write, in arrival order, with
+    /// the same mark → apply → unmark discipline per update.  Returns the
+    /// number of view rows touched.
+    pub fn flush(&self) -> Result<usize, QueryError> {
+        let drained = self.buffer.lock().expect("buffer lock").drain();
+        if drained.is_empty() {
+            return Ok(0);
+        }
+        self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        let mut touched = 0;
+        for (relation, write) in drained {
+            match write {
+                PendingWrite::Insert(row) => {
+                    touched += self.apply_insert(&relation, &row)?;
+                }
+                PendingWrite::Delete(before) => {
+                    touched += self.apply_delete(&relation, &before)?;
+                }
+                PendingWrite::Update { before, after } => {
+                    let staged = self.stage_update(&relation, &before, &after)?;
+                    self.mark_staged(&staged)?;
+                    touched += self.apply_staged(&staged)?;
+                    self.unmark_staged(&staged)?;
+                }
+            }
+        }
+        Ok(touched)
+    }
+
+    // ------------------------------------------------------------------
+    // Legacy scan-based update path (§VII-C as originally implemented)
     // ------------------------------------------------------------------
 
     /// Locates the view rows affected by an update of `relation` (identified
     /// by its primary-key values).  Uses the view key directly when
     /// `relation` is the view's last relation, a maintenance view-index when
-    /// one exists, and a full view scan otherwise.
+    /// one exists, and a full view scan otherwise.  This is the scan-mode
+    /// strategy the delta path replaces with base-table join probes.
     pub fn find_affected_view_rows(
         &self,
         view: &ViewDefinition,
@@ -273,7 +728,8 @@ impl ViewMaintainer {
 
     /// Applies an update to a located view row: merges the updated base
     /// attributes into the view row and rewrites it (the executor keeps the
-    /// view's indexes in sync).  Returns the updated view row.
+    /// view's indexes in sync).  Returns the updated view row.  Scan-mode
+    /// counterpart of [`MaintenanceEngine::apply_staged`]'s rewrites.
     pub fn apply_update_to_view_row(
         &self,
         view: &ViewDefinition,
@@ -300,6 +756,29 @@ impl ViewMaintainer {
             }
         }
         self.executor.insert_row(&view.table_name(), &merged)?;
+        self.stats.view_rows_touched.fetch_add(1, Ordering::Relaxed);
         Ok(merged)
     }
+}
+
+fn push_id(index: &mut Vec<(String, Vec<usize>)>, relation: &str, id: usize) {
+    match index
+        .iter_mut()
+        .find(|(r, _)| r.eq_ignore_ascii_case(relation))
+    {
+        Some((_, ids)) => {
+            if !ids.contains(&id) {
+                ids.push(id);
+            }
+        }
+        None => index.push((relation.to_string(), vec![id])),
+    }
+}
+
+fn ids_for<'a>(index: &'a [(String, Vec<usize>)], relation: &str) -> &'a [usize] {
+    index
+        .iter()
+        .find(|(r, _)| r.eq_ignore_ascii_case(relation))
+        .map(|(_, ids)| ids.as_slice())
+        .unwrap_or(&[])
 }

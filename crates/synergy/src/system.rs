@@ -8,7 +8,7 @@
 //! go through the transaction layer's single-lock procedures.
 
 use crate::lock::LockManager;
-use crate::maintenance::ViewMaintainer;
+use crate::maintenance::{MaintenanceEngine, MaintenanceStatsSnapshot};
 use crate::rewrite::SynergyRewriter;
 use crate::selection::{select_views, SelectionOutcome, ViewIndexDefinition};
 use crate::txn::{TransactionLayer, TxnError, WritePlan};
@@ -46,6 +46,14 @@ pub struct SynergyConfig<'a> {
     /// Degree of region-parallel execution for reads and batch view
     /// refreshes (1 = fully serial, the default).
     pub threads: usize,
+    /// When true (the default), views are maintained by propagating write
+    /// deltas through each view's compiled plan; when false, the legacy
+    /// scan-based procedures locate affected view rows.
+    pub delta_maintenance: bool,
+    /// Capacity of the coalescing maintenance write batch (1 = propagate
+    /// per write, the default; larger values defer and merge deltas until
+    /// the batch fills or a read flushes it).
+    pub write_batch: usize,
 }
 
 impl<'a> SynergyConfig<'a> {
@@ -65,6 +73,8 @@ impl<'a> SynergyConfig<'a> {
             candidate_override: None,
             hierarchical_locking: true,
             threads: 1,
+            delta_maintenance: true,
+            write_batch: 1,
         }
     }
 
@@ -85,6 +95,21 @@ impl<'a> SynergyConfig<'a> {
     /// systems rely on their transaction server instead).
     pub fn without_hierarchical_locking(mut self) -> Self {
         self.hierarchical_locking = false;
+        self
+    }
+
+    /// Coalesces up to `capacity` writes in the maintenance batch before
+    /// propagating their deltas (reads flush the batch first).
+    pub fn with_write_batch(mut self, capacity: usize) -> Self {
+        self.write_batch = capacity.max(1);
+        self
+    }
+
+    /// Uses the legacy scan-based view maintenance instead of delta
+    /// propagation (the paper's original §VII procedures; kept as the
+    /// comparison path for the write benchmarks).
+    pub fn with_scan_maintenance(mut self) -> Self {
+        self.delta_maintenance = false;
         self
     }
 }
@@ -120,6 +145,8 @@ impl SynergySystem {
             candidate_override,
             hierarchical_locking,
             threads,
+            delta_maintenance,
+            write_batch,
         } = config;
 
         // 1. Baseline schema transformation.
@@ -138,6 +165,46 @@ impl SynergySystem {
             catalog.add_table(view_index_table_def(index, &selection, &schema, &catalog));
         }
 
+        // 4b. Maintenance indexes for delta join probes: for every view
+        // edge whose child-side FK probe would otherwise be a full base-
+        // table scan, add a covered index keyed `fk ++ child pk`.  The
+        // catalog marks them maintenance-only, so the read optimizer never
+        // selects them and read plans stay exactly as without them; every
+        // write path maintains them like any other index.
+        if delta_maintenance {
+            for view in &selection.views {
+                for edge in &view.edges {
+                    let Some(child) = catalog.table_ci(&edge.to).cloned() else {
+                        continue;
+                    };
+                    if query::select_probe_access(&catalog, &child, &edge.fk)
+                        != query::AccessPath::FullScan
+                    {
+                        continue;
+                    }
+                    let name = format!("MI_{}__{}", child.name, edge.fk.join("_"));
+                    if catalog.table(&name).is_some() {
+                        continue;
+                    }
+                    let mut key = edge.fk.clone();
+                    for k in &child.key {
+                        if !key.contains(k) {
+                            key.push(k.clone());
+                        }
+                    }
+                    catalog.add_table(TableDef::new(
+                        name.clone(),
+                        child.columns.clone(),
+                        key,
+                        TableKind::Index {
+                            of: child.name.clone(),
+                        },
+                    ));
+                    catalog.mark_maintenance_index(&name);
+                }
+            }
+        }
+
         // 5. Create all physical tables, plus one lock table per rooted tree.
         create_tables(&cluster, &catalog)?;
         let locks = LockManager::new(cluster.clone());
@@ -151,12 +218,14 @@ impl SynergySystem {
         let executor = Executor::new(cluster, catalog)
             .with_dirty_read_protection()
             .with_threads(threads);
-        let maintainer = ViewMaintainer::new(
+        let maintainer = MaintenanceEngine::new(
             executor.clone(),
             schema.clone(),
             selection.views.clone(),
             selection.view_indexes.clone(),
-        );
+        )
+        .with_delta(delta_maintenance)
+        .with_write_batch(write_batch);
         let txn = TransactionLayer::new(
             executor.clone(),
             schema.clone(),
@@ -280,10 +349,31 @@ impl SynergySystem {
     /// transaction layer.
     pub fn execute(&self, statement: &Statement, params: &[Value]) -> Result<QueryResult, TxnError> {
         if statement.is_read() {
+            // Reads observe maintained views: drain any writes still
+            // coalescing in the maintenance batch first.
+            self.txn.flush_maintenance()?;
             Ok(self.session.execute_statement(statement, params)?)
         } else {
             self.txn.execute_write(statement, params)
         }
+    }
+
+    /// Flushes writes coalescing in the maintenance batch (no-op without
+    /// `with_write_batch`).  Returns the number of view rows touched.
+    pub fn flush_maintenance(&self) -> Result<usize, TxnError> {
+        self.txn.flush_maintenance()
+    }
+
+    /// A snapshot of the maintenance counters (view rows touched, deltas
+    /// propagated, batch flushes, coalesced merges).
+    pub fn maintenance_stats(&self) -> MaintenanceStatsSnapshot {
+        self.txn.maintainer().stats()
+    }
+
+    /// Renders the delta-operator tree maintaining `view` (EXPLAIN-style,
+    /// see [`query::DeltaPlan::render`]).
+    pub fn explain_delta_plan(&self, view: &ViewDefinition) -> Result<String, TxnError> {
+        Ok(self.txn.maintainer().explain_delta_plan(view)?)
     }
 
     /// Parses and executes a SQL string.
@@ -338,6 +428,16 @@ impl SynergySystem {
     }
 
     fn materialize_view(&self, view: &ViewDefinition) -> Result<usize, TxnError> {
+        let combined = self.recompute_view_rows(view)?;
+        let count = combined.len();
+        self.executor.bulk_load_rows(&view.table_name(), &combined)?;
+        Ok(count)
+    }
+
+    /// Recomputes a view's contents from its base tables (the full-join
+    /// ground truth).  Used by the offline population step and by the
+    /// delta-vs-recompute equivalence tests.
+    pub fn recompute_view_rows(&self, view: &ViewDefinition) -> Result<Vec<Row>, TxnError> {
         // Load each participating relation into memory once, through the
         // region-parallel scan (serial when the executor runs 1 thread) with
         // the decode fanned out over the same worker count.
@@ -385,9 +485,7 @@ impl SynergySystem {
             }
             combined = next;
         }
-
-        self.executor.bulk_load_rows(&view.table_name(), &combined)?;
-        Ok(combined.len())
+        Ok(combined)
     }
 
     /// Total stored bytes across every table of this deployment (base,

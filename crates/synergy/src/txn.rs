@@ -3,7 +3,7 @@
 //! update base tables, views and indexes under a single hierarchical lock.
 
 use crate::lock::LockManager;
-use crate::maintenance::ViewMaintainer;
+use crate::maintenance::MaintenanceEngine;
 use crate::viewgen::CandidateViews;
 use nosql_store::{WalOp, WriteAheadLog};
 use query::{Executor, QueryError, QueryResult};
@@ -88,7 +88,7 @@ pub struct TransactionLayer {
     schema: Schema,
     candidates: CandidateViews,
     locks: LockManager,
-    maintainer: ViewMaintainer,
+    maintainer: MaintenanceEngine,
     wal: WriteAheadLog,
     next_txn: Arc<AtomicU64>,
     locking_enabled: bool,
@@ -101,7 +101,7 @@ impl TransactionLayer {
         schema: Schema,
         candidates: CandidateViews,
         locks: LockManager,
-        maintainer: ViewMaintainer,
+        maintainer: MaintenanceEngine,
     ) -> Self {
         TransactionLayer {
             executor,
@@ -132,6 +132,17 @@ impl TransactionLayer {
         &self.schema
     }
 
+    /// The view-maintenance engine (delta plans, write batch, counters).
+    pub fn maintainer(&self) -> &MaintenanceEngine {
+        &self.maintainer
+    }
+
+    /// Flushes any writes coalescing in the maintenance batch.  Returns the
+    /// number of view rows touched.
+    pub fn flush_maintenance(&self) -> Result<usize, TxnError> {
+        Ok(self.maintainer.flush()?)
+    }
+
     /// Generates the execution plan for a write statement.
     pub fn plan(&self, statement: &Statement) -> Result<WritePlan, TxnError> {
         let relation = statement
@@ -146,7 +157,6 @@ impl TransactionLayer {
             Statement::Insert(_) | Statement::Delete(_) => (
                 self.maintainer
                     .views_for_insert(&relation)
-                    .iter()
                     .map(|v| v.display_name())
                     .collect(),
                 false,
@@ -154,7 +164,6 @@ impl TransactionLayer {
             Statement::Update(_) => (
                 self.maintainer
                     .views_for_update(&relation)
-                    .iter()
                     .map(|v| v.display_name())
                     .collect(),
                 true,
@@ -308,7 +317,11 @@ impl TransactionLayer {
                 self.locks.create_lock_table(&def.name)?;
                 self.locks.ensure_entry(&def.name, &def.encode_row_key(&row))?;
             }
-            self.maintainer.apply_insert(&def.name, &row)?;
+            if self.maintainer.buffering() {
+                self.maintainer.enqueue_insert(&def.name, &row)?;
+            } else {
+                self.maintainer.apply_insert(&def.name, &row)?;
+            }
             Ok(QueryResult::affected(1))
         })();
         self.release(guard)?;
@@ -337,6 +350,14 @@ impl TransactionLayer {
         };
         let guard = self.acquire(&root_key)?;
         let result = (|| -> Result<QueryResult, TxnError> {
+            if self.maintainer.buffering() {
+                // Deferred maintenance: delete the base row now, coalesce
+                // the retraction into the batch (an earlier buffered insert
+                // of the same key annihilates with it).
+                let removed = self.executor.delete_row_by_key(&def.name, &key)?;
+                self.maintainer.enqueue_delete(&def.name, &existing)?;
+                return Ok(QueryResult::affected(usize::from(removed)));
+            }
             self.maintainer.apply_delete(&def.name, &key)?;
             let removed = self.executor.delete_row_by_key(&def.name, &key)?;
             Ok(QueryResult::affected(usize::from(removed)))
@@ -374,11 +395,35 @@ impl TransactionLayer {
         let guard = self.acquire(&root_key)?;
 
         let result = (|| -> Result<QueryResult, TxnError> {
+            if self.maintainer.buffering() {
+                // Deferred maintenance: write the base row now (the
+                // before-image rides the write), coalesce the delta into
+                // the batch; propagation happens at flush.
+                self.executor.update_row(&def.name, &updated)?;
+                self.maintainer.enqueue_update(&def.name, &existing, &updated)?;
+                return Ok(QueryResult::affected(1));
+            }
+            if self.maintainer.delta_enabled() {
+                // Step 2 (delta): compute the view effects by propagating
+                // the update through each view's delta plan (read-only
+                // base-table probes, no view scanning).
+                let staged = self
+                    .maintainer
+                    .stage_update(&def.name, &existing, &updated)?;
+                // Step 3: mark the affected view rows dirty.
+                self.maintainer.mark_staged(&staged)?;
+                // Step 4: issue the updates (base row first, then views).
+                self.executor.update_row(&def.name, &updated)?;
+                self.maintainer.apply_staged(&staged)?;
+                // Step 5: un-mark the rewritten rows.
+                self.maintainer.unmark_staged(&staged)?;
+                return Ok(QueryResult::affected(1));
+            }
+            // Legacy scan path.
             // Step 2: read all the view rows that need to be updated.
             let views: Vec<_> = self
                 .maintainer
                 .views_for_update(&def.name)
-                .into_iter()
                 .cloned()
                 .collect();
             let mut affected: Vec<(crate::viewgen::ViewDefinition, Vec<Row>)> = Vec::new();

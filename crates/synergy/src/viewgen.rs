@@ -162,6 +162,23 @@ impl ViewDefinition {
         false
     }
 
+    /// The SELECT statement defining this view's contents: the natural
+    /// FK-join of its relations.  The maintenance engine compiles this
+    /// through the regular planner into the view's delta plan.
+    pub fn defining_select(&self) -> String {
+        let mut conditions = Vec::new();
+        for edge in &self.edges {
+            for (pk, fk) in edge.pk.iter().zip(edge.fk.iter()) {
+                conditions.push(format!("{}.{pk} = {}.{fk}", edge.from, edge.to));
+            }
+        }
+        format!(
+            "SELECT * FROM {} WHERE {}",
+            self.relations.join(", "),
+            conditions.join(" AND ")
+        )
+    }
+
     /// The view's key attributes: the primary key of the last relation.
     pub fn key_attributes(&self, schema: &Schema) -> Vec<String> {
         schema

@@ -123,19 +123,34 @@ impl MicroBench {
     /// workers (the `--threads` axis of the benchmark reports; 1 = the
     /// serial pipeline, byte-identical sim figures to previous versions).
     pub fn build_with_threads(customers: u64, threads: usize) -> Result<MicroBench, TxnError> {
+        Self::build_with_maintenance(customers, threads, true, 1)
+    }
+
+    /// [`MicroBench::build_with_threads`] with explicit view-maintenance
+    /// configuration: `delta = false` keeps the legacy scan-based
+    /// maintenance path (the `fig_writes` baseline), `write_batch > 1`
+    /// enables the coalescing write buffer at that capacity.
+    pub fn build_with_maintenance(
+        customers: u64,
+        threads: usize,
+        delta: bool,
+        write_batch: usize,
+    ) -> Result<MicroBench, TxnError> {
         let schema = micro_schema();
         let workload = micro_queries();
         let cluster = Cluster::new(ClusterConfig::default());
-        let system = SynergySystem::build(
-            cluster,
-            SynergyConfig::new(
-                schema,
-                workload,
-                vec!["Customer".to_string()],
-                &micro_types,
-            )
-            .with_threads(threads),
-        )?;
+        let mut config = SynergyConfig::new(
+            schema,
+            workload,
+            vec!["Customer".to_string()],
+            &micro_types,
+        )
+        .with_threads(threads)
+        .with_write_batch(write_batch);
+        if !delta {
+            config = config.with_scan_maintenance();
+        }
+        let system = SynergySystem::build(cluster, config)?;
 
         let customer_rows: Vec<Row> = (1..=customers as i64)
             .map(|c_id| {

@@ -14,7 +14,11 @@
 //!   limit into the store scan (`store-pushdown`) and pins the source to
 //!   the serial cursor even at 4 threads;
 //! * **ORDER BY + LIMIT** — plans as a bounded `TopK` (per-worker heaps at
-//!   4 threads) under the final projection.
+//!   4 threads) under the final projection;
+//! * **Delta plans** — the incremental maintenance plans compiled from the
+//!   views' defining joins: the Orders side probes its covered maintenance
+//!   index (`MI_Orders__o_c_id`), the Order_line side probes by key prefix
+//!   (its FK is the leading key column), and parents probe by primary key.
 //!
 //! Plan text is deterministic by construction (no row counts or timings in
 //! the rendering), so these are exact string comparisons.
@@ -88,6 +92,29 @@ fn golden_plans_four_threads() {
             ("topk_baseline", include_str!("golden/topk_baseline_t4.txt")),
         ],
     );
+}
+
+/// The view-maintenance delta plans, rendered through
+/// `SynergySystem::explain_delta_plan` and pinned as golden text.  The
+/// plan shape is thread-count independent (maintenance deltas apply on
+/// the write path), so one deployment suffices.
+#[test]
+fn golden_delta_plans() {
+    let bench = MicroBench::build_with_threads(20, 1).expect("micro benchmark builds");
+    let system = bench.system();
+    for (display, golden) in [
+        ("Customer-Orders", include_str!("golden/delta_q1.txt")),
+        ("Customer-Orders-Order_line", include_str!("golden/delta_q2.txt")),
+    ] {
+        let view = system
+            .selection()
+            .views
+            .iter()
+            .find(|v| v.display_name() == display)
+            .expect("micro view selected");
+        let actual = system.explain_delta_plan(view).unwrap();
+        assert_golden(&actual, golden, &format!("delta plan of {display}"));
+    }
 }
 
 /// The structural assertions the ISSUE calls out, independent of exact
