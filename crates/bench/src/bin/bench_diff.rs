@@ -20,6 +20,12 @@
 //! must stay ≥ 10×, the 256-write single-key burst must flush at ≤ 2× the
 //! cost of a single write's flush, and the delta path's simulated cost per
 //! write must not exceed the committed report's by more than 25%.
+//!
+//! When it carries a `fig_faults` figure, the fault-tolerance gates apply
+//! too: no-fault goodput within 1.25× of the committed report, goodput at
+//! 1% injected faults ≥ 90% of no-fault under the backoff retry policy,
+//! and the crash-recovery demonstration reporting zero lost acked-synced
+//! writes and zero views left dirty.
 
 use bench::json::Json;
 use std::fmt::Write as _;
@@ -139,6 +145,7 @@ fn main() {
         regressions.push(format!("{figure} (missing from fresh report)"));
     }
     regressions.extend(fig_writes_gates(&old, &new, &mut summary));
+    regressions.extend(fig_faults_gates(&old, &new, &mut summary));
     let _ = writeln!(
         summary,
         "\nGate: ratio > {max_ratio:.1}x **and** delta > {min_delta_ms:.0} ms; \
@@ -157,6 +164,98 @@ fn main() {
         std::process::exit(1);
     }
     println!("no bench regressions beyond the gates.");
+}
+
+/// Semantic gates for the `fig_faults` fault-tolerance figure — all on
+/// deterministic sim numbers, so no noise floor applies: the no-fault
+/// goodput must stay within 1.25× of the committed report's (the fault
+/// hook may not tax the healthy path), retries must hold goodput at the
+/// 1% fault point to ≥ 90% of no-fault, and the crash-recovery
+/// demonstration must lose zero acked-synced writes and leave zero views
+/// dirty.
+fn fig_faults_gates(old: &Json, new: &Json, summary: &mut String) -> Vec<String> {
+    let fresh = match new.get("figures").and_then(|f| f.get("fig_faults")) {
+        Some(figure) => figure,
+        None => return Vec::new(),
+    };
+    let mut failures = Vec::new();
+    let note = |summary: &mut String, line: String, failed: bool| {
+        let marker = if failed { " ⚠️" } else { "" };
+        let _ = writeln!(summary, "- fig_faults: {line}{marker}");
+        failed
+    };
+
+    // The backoff-policy cell at one fault rate of a report.
+    let cell = |doc: &Json, rate: f64, key: &str| {
+        doc.get("figures")
+            .and_then(|f| f.get("fig_faults"))
+            .and_then(|f| f.get("rows"))
+            .and_then(|rows| match rows {
+                Json::Arr(rows) => rows
+                    .iter()
+                    .find(|r| {
+                        matches!(r.get("retry"), Some(Json::Str(m)) if m == "backoff")
+                            && r.get("fault_rate").and_then(Json::as_f64) == Some(rate)
+                    })
+                    .and_then(|r| r.get(key))
+                    .and_then(Json::as_f64),
+                _ => None,
+            })
+    };
+
+    match cell(new, 0.0, "goodput_ops_per_sim_sec") {
+        Some(fresh_goodput) => {
+            if let Some(old_goodput) = cell(old, 0.0, "goodput_ops_per_sim_sec") {
+                let failed = fresh_goodput * 1.25 < old_goodput;
+                if note(
+                    summary,
+                    format!(
+                        "no-fault goodput {old_goodput:.1} → {fresh_goodput:.1} ops/sim-s \
+                         (gate ≥ committed / 1.25)"
+                    ),
+                    failed,
+                ) {
+                    failures.push(format!(
+                        "fig_faults no-fault goodput regressed {old_goodput:.1} → {fresh_goodput:.1}"
+                    ));
+                }
+            }
+        }
+        None => failures.push("fig_faults no-fault backoff row missing".to_string()),
+    }
+
+    match cell(new, 0.01, "goodput_vs_no_fault") {
+        Some(ratio) => {
+            let failed = ratio.is_nan() || ratio < 0.9;
+            if note(
+                summary,
+                format!("goodput at 1% faults with retries {ratio:.3}x no-fault (gate ≥ 0.9x)"),
+                failed,
+            ) {
+                failures.push(format!("fig_faults 1%-fault goodput {ratio:.3}x < 0.9x"));
+            }
+        }
+        None => failures.push("fig_faults 1%-fault backoff row missing".to_string()),
+    }
+
+    let recovery_count = |key: &str| {
+        fresh
+            .get("recovery")
+            .and_then(|r| r.get(key))
+            .and_then(Json::as_f64)
+    };
+    for key in ["lost_acked_synced_writes", "dirty_view_rows_after_recovery"] {
+        match recovery_count(key) {
+            Some(count) => {
+                let failed = count != 0.0;
+                if note(summary, format!("recovery {key} = {count:.0} (gate = 0)"), failed) {
+                    failures.push(format!("fig_faults recovery {key} = {count:.0}"));
+                }
+            }
+            None => failures.push(format!("fig_faults recovery {key} missing")),
+        }
+    }
+    failures
 }
 
 /// Semantic gates for the `fig_writes` maintenance figure: the headline

@@ -476,6 +476,312 @@ pub fn fig_writes(customers: u64, writes: u64, threads: usize) -> FigWritesOutpu
 }
 
 // ---------------------------------------------------------------------
+// fig_faults: fault injection × retry policy — goodput, latency, recovery
+// ---------------------------------------------------------------------
+
+/// Injected-fault probabilities of the goodput sweep: the chance a charged
+/// op draws a *failing* fault (split evenly between RPC timeouts and
+/// transient server errors; slow-region spikes ride along at the same
+/// rate).
+pub const FIG_FAULTS_RATES: [f64; 3] = [0.0, 0.01, 0.05];
+
+/// Ops per cell of the fault sweep.
+pub const FIG_FAULTS_OPS: u64 = 600;
+
+/// Seed of the sweep's fault and retry RNGs — the determinism contract is
+/// that the same seed and fault plan reproduce the same figures exactly.
+pub const FIG_FAULTS_SEED: u64 = 0x5EED_FA17;
+
+/// What one run of the store-level fault workload did.
+#[derive(Debug, Clone)]
+pub struct FaultWorkloadOutcome {
+    /// Ops attempted.
+    pub ops: u64,
+    /// Ops that succeeded (after retries, where enabled).
+    pub ok_ops: u64,
+    /// Simulated time the workload loop consumed.
+    pub sim_elapsed: SimDuration,
+    /// 95th-percentile simulated latency of successful ops (ms).
+    pub p95_sim_ms: f64,
+    /// Injected-fault and retry counters of the run.
+    pub stats: nosql_store::FaultStats,
+}
+
+impl FaultWorkloadOutcome {
+    /// Successful ops per simulated second.
+    pub fn goodput_per_sim_sec(&self) -> f64 {
+        self.ok_ops as f64 / self.sim_elapsed.as_millis_f64().max(f64::EPSILON) * 1_000.0
+    }
+}
+
+/// Runs the deterministic store-level workload — a fixed mix of puts, gets
+/// and short scans over a preloaded table — under the given fault plan and
+/// retry policy.  The preload goes through `bulk_load` (charged but never
+/// faulted), so every cell of the sweep starts from identical state.
+pub fn run_fault_workload(
+    plan: Option<nosql_store::FaultPlan>,
+    retry: Option<nosql_store::RetryPolicy>,
+    ops: u64,
+) -> FaultWorkloadOutcome {
+    use nosql_store::ops::{Get, Put, Scan};
+    use nosql_store::TableSchema;
+
+    let cluster = Cluster::new(ClusterConfig {
+        fault_plan: plan,
+        retry,
+        ..ClusterConfig::default()
+    });
+    cluster
+        .create_table(TableSchema::new("t").with_family("cf"))
+        .expect("workload table");
+    cluster
+        .bulk_load(
+            "t",
+            (0..128u64).map(|i| Put::new(format!("k{i:04}")).with("cf", "v", vec![b'x'; 64])),
+        )
+        .expect("preload");
+    cluster.checkpoint();
+
+    let clock = cluster.clock().clone();
+    let start = clock.now();
+    let mut ok_ops = 0u64;
+    let mut latencies: Vec<f64> = Vec::with_capacity(ops as usize);
+    for i in 0..ops {
+        let key = format!("k{:04}", (i * 17) % 128);
+        let op_start = clock.now();
+        let outcome = match i % 4 {
+            0 | 2 => cluster
+                .put("t", Put::new(key).with("cf", "v", format!("v{i}").into_bytes()))
+                .map(|_| ()),
+            1 => cluster.get("t", Get::new(key)).map(|_| ()),
+            _ => cluster
+                .scan("t", Scan::range(key, format!("k{:04}", (i * 17) % 128 + 8)))
+                .map(|_| ()),
+        };
+        if outcome.is_ok() {
+            ok_ops += 1;
+            latencies.push((clock.now() - op_start).as_millis_f64());
+        }
+    }
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let p95_sim_ms = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies[(latencies.len() * 95 / 100).min(latencies.len() - 1)]
+    };
+    FaultWorkloadOutcome {
+        ops,
+        ok_ops,
+        sim_elapsed: clock.now() - start,
+        p95_sim_ms,
+        stats: cluster.fault_stats(),
+    }
+}
+
+/// One cell of the fault sweep: one fault rate through one retry policy.
+#[derive(Debug, Clone)]
+pub struct FigFaultsRow {
+    /// "none" (fail on the first fault) or "backoff" (the default capped
+    /// exponential backoff + jitter policy).
+    pub retry: &'static str,
+    /// Probability that a charged op draws a failing fault.
+    pub fault_rate: f64,
+    /// Ops attempted.
+    pub ops: u64,
+    /// Ops that succeeded.
+    pub ok_ops: u64,
+    /// Successful ops per simulated second.
+    pub goodput_ops_per_sim_sec: f64,
+    /// 95th-percentile simulated latency of successful ops (ms).
+    pub p95_sim_ms: f64,
+    /// Injected failing faults (timeouts + transients + unavailable).
+    pub injected_op_faults: u64,
+    /// Slow-region latency spikes (op succeeded, paid extra).
+    pub slowdowns: u64,
+    /// Retry attempts the policy made.
+    pub retries: u64,
+    /// Ops the retry policy gave up on.
+    pub giveups: u64,
+    /// This cell's goodput relative to the same policy's no-fault cell.
+    pub goodput_vs_no_fault: f64,
+}
+
+/// The Synergy crash-recovery demonstration: a mid-transaction crash
+/// (interrupted after step 5, the worst case — views updated but still
+/// marked dirty) followed by `SynergySystem::recover`.
+#[derive(Debug, Clone)]
+pub struct FigFaultsRecovery {
+    /// The 6-step update transaction was interrupted after this step.
+    pub interrupted_step: u8,
+    /// Reads served through the baseline plan while views were dirty.
+    pub dirty_fallbacks: u64,
+    /// Simulated milliseconds the full recovery took (WAL replay + lock
+    /// reclamation fencing + dirty-view repair).
+    pub recovery_sim_ms: f64,
+    /// Synced WAL records replayed over the checkpoint baseline.
+    pub replayed_entries: u64,
+    /// Orphaned transaction locks reclaimed after their lease expired.
+    pub locks_reclaimed: u64,
+    /// Dirty view rows recomputed from surviving base rows.
+    pub view_rows_rolled_forward: u64,
+    /// Acked-and-synced writes missing after recovery — must be 0.
+    pub lost_acked_synced_writes: u64,
+    /// View rows still carrying a dirty marker after recovery — must be 0.
+    pub dirty_view_rows_after_recovery: u64,
+}
+
+/// The full fault figure.
+#[derive(Debug, Clone)]
+pub struct FigFaultsOutput {
+    /// Fault rate × retry policy sweep cells.
+    pub rows: Vec<FigFaultsRow>,
+    /// The mid-transaction crash-recovery demonstration.
+    pub recovery: FigFaultsRecovery,
+}
+
+/// Runs the fault figure: the store-level goodput sweep across
+/// [`FIG_FAULTS_RATES`] × {no-retry, backoff-retry}, then the Synergy
+/// mid-transaction crash-recovery demonstration at `customers` scale.
+/// Everything is seeded and single-threaded, so the whole figure is
+/// deterministic — the same seed reproduces it byte-identically.
+pub fn fig_faults(customers: u64, ops: u64) -> FigFaultsOutput {
+    use nosql_store::{FaultPlan, RetryPolicy};
+
+    let mut rows = Vec::new();
+    for (retry_name, retry) in [
+        ("none", Some(RetryPolicy::no_retries())),
+        ("backoff", Some(RetryPolicy::default())),
+    ] {
+        let mut no_fault_goodput = f64::NAN;
+        for rate in FIG_FAULTS_RATES {
+            let plan = (rate > 0.0).then(|| {
+                FaultPlan::new(FIG_FAULTS_SEED)
+                    .with_timeouts(rate / 2.0)
+                    .with_transients(rate / 2.0)
+                    .with_slow_regions(rate, SimDuration::from_millis(10))
+            });
+            let outcome = run_fault_workload(plan, retry.clone(), ops);
+            let goodput = outcome.goodput_per_sim_sec();
+            if rate == 0.0 {
+                no_fault_goodput = goodput;
+            }
+            rows.push(FigFaultsRow {
+                retry: retry_name,
+                fault_rate: rate,
+                ops: outcome.ops,
+                ok_ops: outcome.ok_ops,
+                goodput_ops_per_sim_sec: goodput,
+                p95_sim_ms: outcome.p95_sim_ms,
+                injected_op_faults: outcome.stats.injected_op_faults(),
+                slowdowns: outcome.stats.slowdowns,
+                retries: outcome.stats.retries,
+                giveups: outcome.stats.giveups,
+                goodput_vs_no_fault: goodput / no_fault_goodput.max(f64::EPSILON),
+            });
+        }
+    }
+    FigFaultsOutput {
+        rows,
+        recovery: fig_faults_recovery(customers),
+    }
+}
+
+/// The crash-recovery demonstration half of the figure: interrupt the
+/// 6-step update transaction after step 5 (base and views updated, dirty
+/// markers still set, lock still held by the dead client), serve a read
+/// through graceful degradation, crash the cluster, recover, and verify
+/// that no acked-synced write was lost and no view stayed dirty.
+fn fig_faults_recovery(customers: u64) -> FigFaultsRecovery {
+    use relational::Value;
+    use sql::parse_statement;
+
+    let bench = MicroBench::build(customers).expect("micro benchmark builds");
+    let system = bench.system();
+    // Bulk loads are volatile until a checkpoint (the memstore-flush
+    // durability boundary); everything after it rides the synced WAL.
+    system.cluster().checkpoint();
+
+    let update = parse_statement("UPDATE Customer SET c_fname = ?, c_lname = ? WHERE c_id = ?")
+        .expect("update parses");
+    let probe = &tpcw::micro::micro_queries()[0];
+
+    system.transaction_layer().inject_interrupt_after_step(5);
+    system
+        .execute(&update, &[Value::str("Faulted"), Value::str("Faulted"), Value::Int(1)])
+        .expect_err("interrupted transaction fails");
+
+    // Graceful degradation: the view-rewritten plan keeps hitting dirty
+    // markers, so the session falls back to the baseline (view-free) plan.
+    let degraded = system.execute(probe, &[]).expect("degraded read succeeds");
+    let probe_len = degraded.len();
+    let dirty_fallbacks = system.dirty_fallbacks();
+
+    let counts_before: Vec<(String, u64)> = system
+        .cluster()
+        .list_tables()
+        .into_iter()
+        .map(|t| {
+            let n = system.cluster().row_count(&t).unwrap_or(0);
+            (t, n)
+        })
+        .collect();
+
+    let clock = system.cluster().clock().clone();
+    system.cluster().crash();
+    let (report, recovery_sim) = clock.measure(|| system.recover());
+    let report = report.expect("recovery succeeds");
+
+    // Zero lost acked-synced writes: every table keeps its row count and
+    // the interrupted update's base write (acked + synced before the
+    // crash) survived replay.
+    let mut lost = 0u64;
+    for (table, before) in &counts_before {
+        let after = system.cluster().row_count(table).unwrap_or(0);
+        lost += before.saturating_sub(after);
+    }
+    let check = parse_statement("SELECT * FROM Customer WHERE c_id = ?").expect("check parses");
+    let survived = system
+        .execute(&check, &[Value::Int(1)])
+        .expect("post-recovery read succeeds");
+    if survived.rows.first().and_then(|r| r.get("c_fname"))
+        != Some(&Value::str("Faulted"))
+    {
+        lost += 1;
+    }
+
+    // Zero permanently-dirty views, and the healed read path answers the
+    // probe without falling back.
+    let mut dirty_left = 0u64;
+    for view in &system.selection().views {
+        let table = view.table_name();
+        for row in system
+            .cluster()
+            .scan(&table, nosql_store::ops::Scan::all())
+            .expect("view scan succeeds")
+        {
+            if row.value(query::FAMILY, query::DIRTY_MARKER) == Some(b"1".as_slice()) {
+                dirty_left += 1;
+            }
+        }
+    }
+    let healed = system.execute(probe, &[]).expect("healed read succeeds");
+    if healed.dirty_fallbacks != 0 || healed.len() != probe_len {
+        dirty_left += 1;
+    }
+
+    FigFaultsRecovery {
+        interrupted_step: 5,
+        dirty_fallbacks,
+        recovery_sim_ms: recovery_sim.as_millis_f64(),
+        replayed_entries: report.cluster.replayed_entries,
+        locks_reclaimed: report.locks_reclaimed as u64,
+        view_rows_rolled_forward: report.view_rows_rolled_forward as u64,
+        lost_acked_synced_writes: lost,
+        dirty_view_rows_after_recovery: dirty_left,
+    }
+}
+
+// ---------------------------------------------------------------------
 // Figure 11: two-phase row-locking overhead
 // ---------------------------------------------------------------------
 
@@ -918,6 +1224,51 @@ mod tests {
             delta_l.sim_ms_per_write,
             scan_l.sim_ms_per_write
         );
+    }
+
+    #[test]
+    fn fig_faults_retries_preserve_goodput_and_recovery_loses_nothing() {
+        let out = fig_faults(30, 200);
+        assert_eq!(out.rows.len(), FIG_FAULTS_RATES.len() * 2);
+        let cell = |retry: &str, rate: f64| {
+            out.rows
+                .iter()
+                .find(|r| r.retry == retry && r.fault_rate == rate)
+                .unwrap()
+                .clone()
+        };
+        // Faults actually fire at the 1% point, and retries absorb them:
+        // goodput stays within 10% of no-fault while no op is given up on.
+        let faulted = cell("backoff", 0.01);
+        assert!(faulted.injected_op_faults > 0);
+        assert_eq!(faulted.giveups, 0);
+        assert_eq!(faulted.ok_ops, faulted.ops);
+        assert!(
+            faulted.goodput_vs_no_fault > 0.9,
+            "1% faults cost more than 10% goodput: {}",
+            faulted.goodput_vs_no_fault
+        );
+        // Without retries the same fault rate loses ops outright.
+        let unprotected = cell("none", 0.05);
+        assert!(unprotected.giveups > 0);
+        assert!(unprotected.ok_ops < unprotected.ops);
+        // The crash-recovery demonstration: degradation served the read,
+        // recovery lost nothing and left no view dirty.
+        assert!(out.recovery.dirty_fallbacks >= 1);
+        assert!(out.recovery.locks_reclaimed >= 1);
+        assert!(out.recovery.view_rows_rolled_forward > 0);
+        assert_eq!(out.recovery.lost_acked_synced_writes, 0);
+        assert_eq!(out.recovery.dirty_view_rows_after_recovery, 0);
+        assert!(out.recovery.recovery_sim_ms > 0.0);
+        // Determinism: the same seed reproduces the sweep byte-for-byte.
+        let again = fig_faults(30, 200);
+        for (a, b) in out.rows.iter().zip(&again.rows) {
+            assert_eq!(
+                a.goodput_ops_per_sim_sec.to_bits(),
+                b.goodput_ops_per_sim_sec.to_bits()
+            );
+            assert_eq!(a.p95_sim_ms.to_bits(), b.p95_sim_ms.to_bits());
+        }
     }
 
     #[test]

@@ -1,23 +1,49 @@
 //! The simulated cluster: table administration, request routing, cost
-//! charging and storage accounting.
+//! charging, fault injection and storage accounting.
 //!
 //! A [`Cluster`] plays the role of the paper's HBase layer (HBase + HDFS +
 //! ZooKeeper on eight EC2 nodes).  Tables are split into [`Region`]s hosted
 //! by a configurable number of region servers; every client-visible
 //! operation charges its simulated cost (RPC round trip, server work, WAL
 //! sync, scan streaming) into the shared [`SimClock`].
+//!
+//! # Failure model
+//!
+//! Three layers, all deterministic:
+//!
+//! * **Injected op faults** ([`FaultPlan`]): every charged op first advances
+//!   the crash schedule (region servers go down at fixed sim instants for
+//!   their MTTR) and then draws from a seeded RNG for RPC timeouts,
+//!   transient errors and slow-region spikes.  Failed attempts charge their
+//!   penalty and return a [`StoreError::retryable`] error.
+//! * **Client retries** ([`RetryPolicy`]): public ops wrap their one-attempt
+//!   bodies in capped exponential backoff charged to the sim clock, so a
+//!   down server's MTTR window passes *during* the backoff.
+//! * **Durability** (WAL + checkpoint): writes append full-payload
+//!   [`WalOp`]s to their server's log; with `wal_sync_interval > 1` the sync
+//!   is deferred (group commit) and only the syncing write pays
+//!   `effective_wal_sync`.  The durable state is the last
+//!   [`Cluster::checkpoint`] snapshot plus all *synced* WAL records;
+//!   [`Cluster::crash`] drops everything else and [`Cluster::recover`]
+//!   rebuilds exactly that state by timestamp-ordered replay.
+//!
+//! With no fault plan and no retry policy configured (the default), the hot
+//! path adds a single branch per op: no RNG draws, no extra charges, and
+//! figures are byte-identical to a build without this module.
 
 use crate::cell::Timestamp;
 use crate::error::{StoreError, StoreResult};
+use crate::fault::{FaultDraw, FaultPlan, FaultState, FaultStats};
 use crate::metrics::{AtomicOpCounters, ClusterMetrics, TableMetrics};
 use crate::ops::{CheckAndPut, Delete, Get, Increment, Put, Scan};
 use crate::region::{Region, RegionId, RegionServerId};
+use crate::retry::{RetryPolicy, RetryRuntime};
 use crate::table::{ResultRow, TableSchema};
-use crate::wal::{WalOp, WriteAheadLog};
+use crate::wal::{WalEntry, WalOp, WriteAheadLog};
 use parking_lot::RwLock;
 use simclock::{CostModel, SimClock, SimDuration};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Configuration of the simulated cluster.
@@ -29,6 +55,18 @@ pub struct ClusterConfig {
     pub region_split_bytes: usize,
     /// Cost model charged for every operation.
     pub cost_model: CostModel,
+    /// Group-commit interval: a write syncs its server's WAL once the
+    /// unsynced batch reaches this many records.  `1` (the default) syncs
+    /// every write — full durability, and cost accounting identical to a
+    /// store without group commit.  Larger intervals defer the sync cost to
+    /// the batch-closing write but leave acked writes vulnerable to a crash.
+    pub wal_sync_interval: usize,
+    /// Deterministic fault schedule; `None` (the default) injects nothing
+    /// and adds no RNG draws or charges to any op.
+    pub fault_plan: Option<FaultPlan>,
+    /// Client-side retry policy wrapped around every public op; `None` (the
+    /// default) fails ops on the first fault.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl Default for ClusterConfig {
@@ -37,8 +75,23 @@ impl Default for ClusterConfig {
             region_servers: 5,
             region_split_bytes: 8 * 1024 * 1024,
             cost_model: CostModel::default(),
+            wal_sync_interval: 1,
+            fault_plan: None,
+            retry: None,
         }
     }
+}
+
+/// What [`Cluster::recover`] did: how much WAL it replayed and what the
+/// recovery cost on the simulated clock was.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Synced WAL records replayed over the checkpoint baseline.
+    pub replayed_entries: u64,
+    /// Tables whose state was restored (baseline or cleared + replayed).
+    pub restored_tables: usize,
+    /// Simulated time charged for the recovery (`CostModel::recovery_cost`).
+    pub recovery_sim: SimDuration,
 }
 
 pub(crate) struct TableState {
@@ -69,6 +122,14 @@ struct ClusterInner {
     next_timestamp: AtomicU64,
     next_region_id: AtomicU64,
     next_server: AtomicU64,
+    /// Set by [`Cluster::crash`]; every op fails with `ClusterDown` until
+    /// [`Cluster::recover`] clears it.
+    crashed: AtomicBool,
+    /// Last durable checkpoint: per table, the region snapshot recovery
+    /// replays the WAL over.  Empty until the first [`Cluster::checkpoint`].
+    baseline: RwLock<BTreeMap<String, Vec<Region>>>,
+    faults: Option<FaultState>,
+    retry: Option<RetryRuntime>,
 }
 
 impl Cluster {
@@ -84,12 +145,19 @@ impl Cluster {
         Cluster {
             inner: Arc::new(ClusterInner {
                 wals: (0..servers).map(|_| WriteAheadLog::new()).collect(),
+                faults: config
+                    .fault_plan
+                    .clone()
+                    .map(|plan| FaultState::new(plan, servers)),
+                retry: config.retry.clone().map(RetryRuntime::new),
                 config,
                 tables: RwLock::new(BTreeMap::new()),
                 counters: AtomicOpCounters::default(),
                 next_timestamp: AtomicU64::new(1),
                 next_region_id: AtomicU64::new(1),
                 next_server: AtomicU64::new(0),
+                crashed: AtomicBool::new(false),
+                baseline: RwLock::new(BTreeMap::new()),
             }),
             clock,
         }
@@ -117,7 +185,16 @@ impl Cluster {
         &self.inner.config.cost_model
     }
 
-    /// Next logical cell timestamp (monotonically increasing).
+    /// True if a fault plan is configured (used to route parallel scans to
+    /// the serial path: fault scheduling is defined on the shared timeline,
+    /// not on parallel workers' private clocks).
+    pub fn faults_enabled(&self) -> bool {
+        self.inner.faults.is_some()
+    }
+
+    /// Next logical cell timestamp (monotonically increasing).  Timestamps
+    /// are globally unique across ops and servers, which is what lets
+    /// recovery order replayed WAL records from different server logs.
     pub fn next_timestamp(&self) -> Timestamp {
         self.inner.next_timestamp.fetch_add(1, Ordering::SeqCst)
     }
@@ -150,6 +227,93 @@ impl Cluster {
         RegionId(self.inner.next_region_id.fetch_add(1, Ordering::Relaxed))
     }
 
+    // ----- fault machinery -------------------------------------------------
+
+    /// Entry gate of every charged op: rejects when the cluster is crashed,
+    /// then fires any scheduled region-server crashes that are due on the
+    /// sim clock.  Called before any region lock is taken.
+    pub(crate) fn precheck(&self) -> StoreResult<()> {
+        if self.inner.crashed.load(Ordering::Acquire) {
+            return Err(StoreError::ClusterDown);
+        }
+        if let Some(faults) = &self.inner.faults {
+            self.advance_faults(faults);
+        }
+        Ok(())
+    }
+
+    /// Fires every crash event whose scheduled instant has passed: the
+    /// victim loses its unsynced WAL tail (and the affected region state is
+    /// rebuilt from durable state), then stays down for its MTTR.
+    fn advance_faults(&self, faults: &FaultState) {
+        let now = self.clock.now();
+        for victim in faults.due_crashes(now) {
+            faults.server_crashes.fetch_add(1, Ordering::Relaxed);
+            let wal = &self.inner.wals[victim % self.inner.wals.len()];
+            let dropped = wal.drop_unsynced();
+            if dropped > 0 {
+                faults
+                    .wal_records_lost
+                    .fetch_add(dropped as u64, Ordering::Relaxed);
+                self.rebuild_server(victim);
+            }
+            faults.mark_down(victim, now + faults.plan.crash_mttr);
+        }
+    }
+
+    /// Draws the per-op fault outcome for an op routed to `server`.  On a
+    /// fault the attempt's penalty is charged here and the error returned;
+    /// on success any slow-region spike is charged and the op proceeds.
+    pub(crate) fn inject_faults(&self, server: RegionServerId) -> StoreResult<()> {
+        let Some(faults) = &self.inner.faults else {
+            return Ok(());
+        };
+        match faults.draw(server.0, self.clock.now(), self.cost_model().rpc_round_trip()) {
+            FaultDraw::Proceed { extra } => {
+                if extra > SimDuration::ZERO {
+                    self.charge(extra);
+                }
+                Ok(())
+            }
+            FaultDraw::Fail { error, charge } => {
+                self.charge(charge);
+                Err(error)
+            }
+        }
+    }
+
+    /// Runs `op` under the configured retry policy (or once, when none is
+    /// configured — the no-retry path adds a single branch).
+    pub(crate) fn with_retry<T>(&self, op: impl FnMut() -> StoreResult<T>) -> StoreResult<T> {
+        match &self.inner.retry {
+            None => {
+                let mut op = op;
+                op()
+            }
+            Some(runtime) => runtime.run(&self.clock, op),
+        }
+    }
+
+    /// Snapshot of fault-injection and retry counters.
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut stats = FaultStats::default();
+        if let Some(f) = &self.inner.faults {
+            stats.server_crashes = f.server_crashes.load(Ordering::Relaxed);
+            stats.wal_records_lost = f.wal_records_lost.load(Ordering::Relaxed);
+            stats.timeouts = f.timeouts.load(Ordering::Relaxed);
+            stats.transient_errors = f.transients.load(Ordering::Relaxed);
+            stats.slowdowns = f.slowdowns.load(Ordering::Relaxed);
+            stats.unavailable_rejections = f.unavailable.load(Ordering::Relaxed);
+        }
+        if let Some(r) = &self.inner.retry {
+            stats.retries = r.retries.load(Ordering::Relaxed);
+            stats.giveups = r.giveups.load(Ordering::Relaxed);
+        }
+        stats
+    }
+
+    // ----- table administration --------------------------------------------
+
     /// Creates a table; fails if it already exists or declares no families.
     pub fn create_table(&self, schema: TableSchema) -> StoreResult<()> {
         assert!(
@@ -171,8 +335,9 @@ impl Cluster {
         Ok(())
     }
 
-    /// Drops a table and all its data.
+    /// Drops a table and all its data (including its checkpoint snapshot).
     pub fn drop_table(&self, name: &str) -> StoreResult<()> {
+        self.inner.baseline.write().remove(name);
         self.inner
             .tables
             .write()
@@ -234,28 +399,67 @@ impl Cluster {
         let _ = table;
     }
 
-    /// Writes one row.  Charges one RPC + server work + WAL sync.
+    /// Appends `op` to `server`'s WAL and applies the group-commit rule:
+    /// once the unsynced batch reaches `wal_sync_interval` records the log
+    /// syncs and the write pays its full cost; otherwise the sync is
+    /// deferred and this write's charge drops by `effective_wal_sync` (the
+    /// batch-closing write pays it).  Charges therefore sum to exactly
+    /// `interval-1` deferred syncs fewer than interval=1 — and with the
+    /// default interval of 1 every write syncs and charges the same full
+    /// cost as before group commit existed.  Returns the cost to charge.
+    fn log_write(
+        &self,
+        server: RegionServerId,
+        table: &str,
+        op: WalOp,
+        cost: SimDuration,
+    ) -> SimDuration {
+        let wal = self.wal_for(server);
+        wal.append(table, op);
+        let interval = self.inner.config.wal_sync_interval.max(1);
+        if wal.unsynced_len() >= interval {
+            wal.sync();
+            cost
+        } else {
+            cost.saturating_sub(self.cost_model().effective_wal_sync())
+        }
+    }
+
+    // ----- data operations -------------------------------------------------
+
+    /// Writes one row.  Charges one RPC + server work + WAL sync (deferred
+    /// under group commit).  Retries injected faults per the configured
+    /// policy.
     pub fn put(&self, table: &str, put: Put) -> StoreResult<()> {
+        self.with_retry(|| self.put_once(table, &put))
+    }
+
+    fn put_once(&self, table: &str, put: &Put) -> StoreResult<()> {
         let state = self.table(table)?;
+        self.precheck()?;
         let cost = self.cost_model().put_cost(put.cell_count());
         let mut regions = state.regions.write();
-        // Timestamp is drawn under the region lock so that versions written
-        // to one row are ordered consistently with lock acquisition order.
-        let ts = self.next_timestamp();
         let idx = Self::region_index_for(&regions, &put.row);
         let server = regions[idx].server;
-        regions[idx].put(&state.schema, &put, ts)?;
-        self.wal_for(server).append(
+        self.inject_faults(server)?;
+        // Timestamp is drawn under the region lock so that versions written
+        // to one row are ordered consistently with lock acquisition order
+        // (and only after fault injection, so failed attempts consume none).
+        let ts = self.next_timestamp();
+        regions[idx].put(&state.schema, put, ts)?;
+        let charge = self.log_write(
+            server,
             table,
             WalOp::Put {
                 row: put.row.clone(),
-                cells: put.cell_count(),
+                cells: put.cells.clone(),
+                timestamp: put.timestamp.unwrap_or(ts),
             },
+            cost,
         );
-        self.wal_for(server).sync();
         self.maybe_split(&state, &mut regions, idx);
         drop(regions);
-        self.charge(cost);
+        self.charge(charge);
         AtomicOpCounters::bump(&self.inner.counters.puts, 1);
         Ok(())
     }
@@ -266,25 +470,33 @@ impl Cluster {
     /// the write's RPC and row positioning (a server-side read-modify-write),
     /// so no extra round trip is modeled and only the `puts` counter moves.
     pub fn put_fetch(&self, table: &str, put: Put) -> StoreResult<Option<ResultRow>> {
+        self.with_retry(|| self.put_fetch_once(table, &put))
+    }
+
+    fn put_fetch_once(&self, table: &str, put: &Put) -> StoreResult<Option<ResultRow>> {
         let state = self.table(table)?;
+        self.precheck()?;
         let cost = self.cost_model().put_cost(put.cell_count());
         let mut regions = state.regions.write();
-        let ts = self.next_timestamp();
         let idx = Self::region_index_for(&regions, &put.row);
         let server = regions[idx].server;
+        self.inject_faults(server)?;
+        let ts = self.next_timestamp();
         let before = regions[idx].get(&Get::new(put.row.clone()));
-        regions[idx].put(&state.schema, &put, ts)?;
-        self.wal_for(server).append(
+        regions[idx].put(&state.schema, put, ts)?;
+        let charge = self.log_write(
+            server,
             table,
             WalOp::Put {
                 row: put.row.clone(),
-                cells: put.cell_count(),
+                cells: put.cells.clone(),
+                timestamp: put.timestamp.unwrap_or(ts),
             },
+            cost,
         );
-        self.wal_for(server).sync();
         self.maybe_split(&state, &mut regions, idx);
         drop(regions);
-        self.charge(cost);
+        self.charge(charge);
         AtomicOpCounters::bump(&self.inner.counters.puts, 1);
         Ok(before)
     }
@@ -293,8 +505,14 @@ impl Cluster {
     ///
     /// This models the paper's offline database-population phase (which is
     /// followed by a major compaction and is not part of any measured
-    /// response time).
+    /// response time).  Bulk-loaded rows become **durable at the next
+    /// [`Cluster::checkpoint`]**; a crash before one loses them, exactly
+    /// like un-flushed memstore contents with no log.  Fault-injection
+    /// harnesses therefore checkpoint once population finishes.
     pub fn bulk_load(&self, table: &str, puts: impl IntoIterator<Item = Put>) -> StoreResult<usize> {
+        if self.inner.crashed.load(Ordering::Acquire) {
+            return Err(StoreError::ClusterDown);
+        }
         let state = self.table(table)?;
         let mut regions = state.regions.write();
         let mut loaded = 0;
@@ -310,90 +528,112 @@ impl Cluster {
 
     /// Reads one row.  Charges one RPC + server work.
     pub fn get(&self, table: &str, get: Get) -> StoreResult<Option<ResultRow>> {
+        self.with_retry(|| self.get_once(table, &get))
+    }
+
+    fn get_once(&self, table: &str, get: &Get) -> StoreResult<Option<ResultRow>> {
         let state = self.table(table)?;
-        self.charge(self.cost_model().get_cost());
-        AtomicOpCounters::bump(&self.inner.counters.gets, 1);
+        self.precheck()?;
         let regions = state.regions.read();
         let idx = Self::region_index_for(&regions, &get.row);
-        Ok(regions[idx].get(&get))
+        self.inject_faults(regions[idx].server)?;
+        self.charge(self.cost_model().get_cost());
+        AtomicOpCounters::bump(&self.inner.counters.gets, 1);
+        Ok(regions[idx].get(get))
     }
 
     /// Deletes a row or columns of a row.  Charges one RPC + WAL sync.
     pub fn delete(&self, table: &str, delete: Delete) -> StoreResult<bool> {
-        let state = self.table(table)?;
-        let cost = self.cost_model().delete_cost();
-        let mut regions = state.regions.write();
-        let idx = Self::region_index_for(&regions, &delete.row);
-        let server = regions[idx].server;
-        let removed = regions[idx].delete(&delete)?;
-        self.wal_for(server).append(
-            table,
-            WalOp::Delete {
-                row: delete.row.clone(),
-            },
-        );
-        self.wal_for(server).sync();
-        drop(regions);
-        self.charge(cost);
-        AtomicOpCounters::bump(&self.inner.counters.deletes, 1);
-        Ok(removed)
+        self.with_retry(|| self.delete_once(table, &delete).map(|(removed, _)| removed))
     }
 
     /// Deletes a row and returns its **before-image**, read under the same
     /// region write-lock.  Charges exactly like [`Cluster::delete`]; only
     /// the `deletes` counter moves.  Returns `None` when the row was absent.
     pub fn delete_fetch(&self, table: &str, delete: Delete) -> StoreResult<Option<ResultRow>> {
+        self.with_retry(|| self.delete_once(table, &delete).map(|(_, before)| before))
+    }
+
+    fn delete_once(
+        &self,
+        table: &str,
+        delete: &Delete,
+    ) -> StoreResult<(bool, Option<ResultRow>)> {
         let state = self.table(table)?;
+        self.precheck()?;
         let cost = self.cost_model().delete_cost();
         let mut regions = state.regions.write();
         let idx = Self::region_index_for(&regions, &delete.row);
         let server = regions[idx].server;
+        self.inject_faults(server)?;
+        // Deletes draw a timestamp too: replay needs a globally-ordered
+        // stamp to sequence them against puts from other server logs.
+        let ts = self.next_timestamp();
         let before = regions[idx].get(&Get::new(delete.row.clone()));
-        regions[idx].delete(&delete)?;
-        self.wal_for(server).append(
+        let removed = regions[idx].delete(delete)?;
+        let charge = self.log_write(
+            server,
             table,
             WalOp::Delete {
                 row: delete.row.clone(),
+                scope: delete.scope.clone(),
+                timestamp: ts,
             },
+            cost,
         );
-        self.wal_for(server).sync();
         drop(regions);
-        self.charge(cost);
+        self.charge(charge);
         AtomicOpCounters::bump(&self.inner.counters.deletes, 1);
-        Ok(before)
+        Ok((removed, before))
     }
 
     /// Atomically adds to a counter cell.  Charges like a put.
     pub fn increment(&self, table: &str, inc: Increment) -> StoreResult<i64> {
+        self.with_retry(|| self.increment_once(table, &inc))
+    }
+
+    fn increment_once(&self, table: &str, inc: &Increment) -> StoreResult<i64> {
         let state = self.table(table)?;
+        self.precheck()?;
         let cost = self.cost_model().put_cost(1);
         let mut regions = state.regions.write();
-        let ts = self.next_timestamp();
         let idx = Self::region_index_for(&regions, &inc.row);
         let server = regions[idx].server;
-        let value = regions[idx].increment(&state.schema, &inc, ts)?;
-        self.wal_for(server).append(
+        self.inject_faults(server)?;
+        let ts = self.next_timestamp();
+        let value = regions[idx].increment(&state.schema, inc, ts)?;
+        let charge = self.log_write(
+            server,
             table,
             WalOp::Increment {
                 row: inc.row.clone(),
+                family: inc.family.clone(),
+                qualifier: inc.qualifier.clone(),
                 amount: inc.amount,
+                timestamp: ts,
             },
+            cost,
         );
-        self.wal_for(server).sync();
         drop(regions);
-        self.charge(cost);
+        self.charge(charge);
         AtomicOpCounters::bump(&self.inner.counters.increments, 1);
         Ok(value)
     }
 
     /// Atomic compare-and-set.  Charges one RPC + server work + WAL sync.
     pub fn check_and_put(&self, table: &str, cap: CheckAndPut) -> StoreResult<bool> {
+        self.with_retry(|| self.check_and_put_once(table, &cap))
+    }
+
+    fn check_and_put_once(&self, table: &str, cap: &CheckAndPut) -> StoreResult<bool> {
         let state = self.table(table)?;
+        self.precheck()?;
         let cost = self.cost_model().check_and_put_cost();
         let mut regions = state.regions.write();
-        let ts = self.next_timestamp();
         let idx = Self::region_index_for(&regions, &cap.row);
         let server = regions[idx].server;
+        self.inject_faults(server)?;
+        let ts = self.next_timestamp();
         let applied = regions[idx].check_and_put(
             &state.schema,
             &cap.family,
@@ -402,18 +642,24 @@ impl Cluster {
             &cap.put,
             ts,
         )?;
-        if applied {
-            self.wal_for(server).append(
+        let charge = if applied {
+            self.log_write(
+                server,
                 table,
                 WalOp::Put {
                     row: cap.put.row.clone(),
-                    cells: cap.put.cell_count(),
+                    cells: cap.put.cells.clone(),
+                    timestamp: cap.put.timestamp.unwrap_or(ts),
                 },
-            );
-            self.wal_for(server).sync();
-        }
+                cost,
+            )
+        } else {
+            // A failed condition still pays the full RPC (the server did the
+            // read-compare and synced nothing new).
+            cost
+        };
         drop(regions);
-        self.charge(cost);
+        self.charge(charge);
         AtomicOpCounters::bump(&self.inner.counters.check_and_puts, 1);
         Ok(applied)
     }
@@ -425,9 +671,15 @@ impl Cluster {
     /// This is a thin collect wrapper over [`Cluster::scan_stream`]; callers
     /// that do not need the whole result materialized should pull the cursor
     /// directly.  Like an HBase scanner, the stream is row-atomic but pages
-    /// through the table without holding a table-wide lock.
+    /// through the table without holding a table-wide lock.  Mid-scan faults
+    /// that exhaust the retry policy surface here as the cursor's error.
     pub fn scan(&self, table: &str, scan: Scan) -> StoreResult<Vec<ResultRow>> {
-        Ok(self.scan_stream(table, scan)?.collect())
+        let mut cursor = self.scan_stream(table, scan)?;
+        let rows: Vec<ResultRow> = cursor.by_ref().collect();
+        match cursor.take_error() {
+            Some(err) => Err(err),
+            None => Ok(rows),
+        }
     }
 
     /// Number of rows currently stored in a table.
@@ -467,6 +719,227 @@ impl Cluster {
     pub fn major_compact_all(&self) {
         for table in self.list_tables() {
             let _ = self.major_compact(&table);
+        }
+    }
+
+    // ----- crash / recovery ------------------------------------------------
+
+    /// Crashes the whole cluster: every server's acked-but-unsynced WAL tail
+    /// is lost, all volatile region state (memstores) is wiped, and every op
+    /// fails with [`StoreError::ClusterDown`] until [`Cluster::recover`].
+    /// Table metadata (schemas, region boundaries) survives — it lives in
+    /// the simulated ZooKeeper/HDFS layer.  Returns the number of unsynced
+    /// WAL records lost.
+    pub fn crash(&self) -> usize {
+        self.inner.crashed.store(true, Ordering::Release);
+        let mut dropped = 0;
+        for wal in &self.inner.wals {
+            dropped += wal.drop_unsynced();
+        }
+        for state in self.inner.tables.read().values() {
+            let mut regions = state.regions.write();
+            for region in regions.iter_mut() {
+                region.clear_rows();
+            }
+        }
+        dropped
+    }
+
+    /// True between [`Cluster::crash`] and [`Cluster::recover`].
+    pub fn is_crashed(&self) -> bool {
+        self.inner.crashed.load(Ordering::Acquire)
+    }
+
+    /// Recovers a crashed cluster to the durable state: the last
+    /// [`Cluster::checkpoint`] snapshot plus every *synced* WAL record,
+    /// replayed across all server logs in global timestamp order.  Charges
+    /// `CostModel::recovery_cost` for the replay, clears the crashed flag
+    /// and finishes with a fresh checkpoint (so the replayed WAL prefix is
+    /// truncated rather than replayed again next time).
+    pub fn recover(&self) -> RecoveryReport {
+        let tables = self.inner.tables.read();
+        {
+            let baseline = self.inner.baseline.read();
+            for (name, state) in tables.iter() {
+                let mut regions = state.regions.write();
+                match baseline.get(name) {
+                    Some(snapshot) => *regions = snapshot.clone(),
+                    None => {
+                        for region in regions.iter_mut() {
+                            region.clear_rows();
+                        }
+                    }
+                }
+            }
+        }
+        // Mutation timestamps are globally unique and monotone, so sorting
+        // the synced records of all server logs by timestamp reconstructs
+        // the cluster-wide mutation order.
+        let mut entries = self.synced_physical_entries();
+        entries.sort_by_key(|e| e.op.timestamp());
+        let mut replayed = 0u64;
+        for entry in &entries {
+            if let Some(state) = tables.get(&entry.table) {
+                let mut regions = state.regions.write();
+                Self::apply_wal_entry(&state.schema, &mut regions, entry);
+                replayed += 1;
+            }
+        }
+        let restored_tables = tables.len();
+        drop(tables);
+        self.inner.crashed.store(false, Ordering::Release);
+        let recovery_sim = self.cost_model().recovery_cost(replayed);
+        self.charge(recovery_sim);
+        self.checkpoint();
+        RecoveryReport {
+            replayed_entries: replayed,
+            restored_tables,
+            recovery_sim,
+        }
+    }
+
+    /// Makes the current state durable: snapshots every table's regions as
+    /// the new recovery baseline, then syncs and truncates every WAL (the
+    /// snapshot covers all of it — the memstore-flush that lets HBase
+    /// archive logs).  Charges one `effective_wal_sync` per server log that
+    /// had an unsynced tail (the forced flush); a cluster whose logs are
+    /// clean checkpoints for free.  Call only at quiescent points: the
+    /// snapshot is per-table atomic, not cluster-atomic.  Returns the number
+    /// of WAL records truncated.
+    pub fn checkpoint(&self) -> u64 {
+        {
+            let tables = self.inner.tables.read();
+            let mut baseline = self.inner.baseline.write();
+            baseline.clear();
+            for (name, state) in tables.iter() {
+                baseline.insert(name.clone(), state.regions.read().clone());
+            }
+        }
+        let mut truncated = 0u64;
+        let mut flush_cost = SimDuration::ZERO;
+        for wal in &self.inner.wals {
+            if wal.unsynced_len() > 0 {
+                flush_cost += self.cost_model().effective_wal_sync();
+                wal.sync();
+            }
+            truncated += wal.len() as u64;
+            wal.truncate_before(wal.next_sequence());
+        }
+        if flush_cost > SimDuration::ZERO {
+            self.charge(flush_cost);
+        }
+        truncated
+    }
+
+    /// All synced physical (non-`Logical`) records across every server log.
+    fn synced_physical_entries(&self) -> Vec<WalEntry> {
+        let mut entries = Vec::new();
+        for wal in &self.inner.wals {
+            entries.extend(
+                wal.entries()
+                    .into_iter()
+                    .filter(|e| e.synced && e.op.timestamp().is_some()),
+            );
+        }
+        entries
+    }
+
+    /// Row key a physical WAL record routes by.
+    fn wal_row_key(op: &WalOp) -> Option<&[u8]> {
+        match op {
+            WalOp::Put { row, .. }
+            | WalOp::Delete { row, .. }
+            | WalOp::Increment { row, .. } => Some(row),
+            WalOp::Logical { .. } => None,
+        }
+    }
+
+    /// Re-applies one WAL record to the owning region at its original
+    /// timestamp.  Cannot fail: the mutation was validated when it was first
+    /// applied and replay repeats it in the original global order.
+    fn apply_wal_entry(schema: &TableSchema, regions: &mut [Region], entry: &WalEntry) {
+        match &entry.op {
+            WalOp::Put { row, cells, timestamp } => {
+                let idx = Self::region_index_for(regions, row);
+                let put = Put {
+                    row: row.clone(),
+                    cells: cells.clone(),
+                    timestamp: Some(*timestamp),
+                };
+                let _ = regions[idx].put(schema, &put, *timestamp);
+            }
+            WalOp::Delete { row, scope, .. } => {
+                let idx = Self::region_index_for(regions, row);
+                let _ = regions[idx].delete(&Delete {
+                    row: row.clone(),
+                    scope: scope.clone(),
+                });
+            }
+            WalOp::Increment {
+                row,
+                family,
+                qualifier,
+                amount,
+                timestamp,
+            } => {
+                let idx = Self::region_index_for(regions, row);
+                let inc = Increment {
+                    row: row.clone(),
+                    family: family.clone(),
+                    qualifier: qualifier.clone(),
+                    amount: *amount,
+                };
+                let _ = regions[idx].increment(schema, &inc, *timestamp);
+            }
+            WalOp::Logical { .. } => {}
+        }
+    }
+
+    /// Rebuilds the regions hosted on a crashed server from durable state
+    /// (checkpoint baseline + synced records from *all* logs — a key's
+    /// mutations may sit in another server's log if its region split and
+    /// moved since the checkpoint).  Rows on other servers are untouched:
+    /// only the victim lost its memstore.
+    fn rebuild_server(&self, victim: usize) {
+        let tables = self.inner.tables.read();
+        let baseline = self.inner.baseline.read();
+        let mut entries = self.synced_physical_entries();
+        entries.sort_by_key(|e| e.op.timestamp());
+        for (name, state) in tables.iter() {
+            let mut regions = state.regions.write();
+            if !regions.iter().any(|r| r.server.0 == victim) {
+                continue;
+            }
+            for region in regions.iter_mut() {
+                if region.server.0 == victim {
+                    region.clear_rows();
+                }
+            }
+            if let Some(snapshot) = baseline.get(name) {
+                for snap_region in snapshot {
+                    for (key, row) in snap_region.rows() {
+                        let idx = Self::region_index_for(&regions, key);
+                        if regions[idx].server.0 == victim {
+                            let row = row.clone();
+                            regions[idx].insert_row(key.clone(), row);
+                        }
+                    }
+                }
+            }
+            for entry in entries.iter().filter(|e| e.table == *name) {
+                let Some(key) = Self::wal_row_key(&entry.op) else {
+                    continue;
+                };
+                let idx = Self::region_index_for(&regions, key);
+                if regions[idx].server.0 == victim {
+                    Self::apply_wal_entry(&state.schema, &mut regions, entry);
+                }
+            }
+            for region in regions.iter_mut() {
+                if region.server.0 == victim {
+                    region.recompute_bytes();
+                }
+            }
         }
     }
 
@@ -695,6 +1168,10 @@ mod tests {
         let wal = c.wal(0);
         assert_eq!(wal.len(), 2);
         assert!(wal.unsynced().is_empty());
+        // Entries carry replayable payloads with globally-ordered stamps.
+        let entries = wal.entries();
+        assert!(matches!(&entries[0].op, WalOp::Put { cells, .. } if cells.len() == 1));
+        assert!(entries[0].op.timestamp() < entries[1].op.timestamp());
     }
 
     #[test]
@@ -709,5 +1186,258 @@ mod tests {
         let (_, small) = c.clock().measure(|| c.scan("orders", Scan::all().with_limit(10)).unwrap());
         let (_, large) = c.clock().measure(|| c.scan("orders", Scan::all()).unwrap());
         assert!(large > small * 2, "large={large} small={small}");
+    }
+
+    #[test]
+    fn group_commit_defers_sync_cost_to_the_batch_closing_write() {
+        let write_n = |interval: usize, n: usize| {
+            let c = Cluster::new(ClusterConfig {
+                region_servers: 1,
+                wal_sync_interval: interval,
+                ..ClusterConfig::default()
+            });
+            c.create_table(orders_schema()).unwrap();
+            let (_, cost) = c.clock().measure(|| {
+                for i in 0..n {
+                    c.put("orders", Put::new(format!("o{i}")).with("cf", "v", "1")).unwrap();
+                }
+            });
+            (c, cost)
+        };
+        let (c1, synced) = write_n(1, 6);
+        let (c3, grouped) = write_n(3, 6);
+        let sync = c1.cost_model().effective_wal_sync();
+        // Interval 3 over 6 writes: 2 syncs instead of 6 → exactly 4 sync
+        // costs cheaper, everything else identical.
+        assert_eq!(synced, grouped + sync * 4);
+        assert_eq!(c1.wal(0).unsynced_len(), 0);
+        assert_eq!(c3.wal(0).unsynced_len(), 0);
+        // A 7th write under interval 3 leaves an unsynced (vulnerable) tail.
+        c3.put("orders", Put::new("o7").with("cf", "v", "1")).unwrap();
+        assert_eq!(c3.wal(0).unsynced_len(), 1);
+    }
+
+    #[test]
+    fn crash_loses_unsynced_tail_and_recover_replays_synced_state() {
+        let c = Cluster::new(ClusterConfig {
+            region_servers: 2,
+            wal_sync_interval: 4,
+            ..ClusterConfig::default()
+        });
+        c.create_table(orders_schema()).unwrap();
+        for i in 0..18 {
+            c.put("orders", Put::new(format!("o{i:02}")).with("cf", "v", format!("{i}"))).unwrap();
+        }
+        // Some writes are acked but not yet synced.
+        let unsynced: usize = (0..2).map(|s| c.wal(s).unsynced_len()).sum();
+        assert!(unsynced > 0, "interval 4 must leave an unsynced tail");
+        let synced_rows: Vec<String> = {
+            let mut rows = Vec::new();
+            for s in 0..2 {
+                for e in c.wal(s).entries() {
+                    if e.synced {
+                        if let WalOp::Put { row, .. } = &e.op {
+                            rows.push(String::from_utf8(row.clone()).unwrap());
+                        }
+                    }
+                }
+            }
+            rows.sort();
+            rows
+        };
+        let lost = c.crash();
+        assert_eq!(lost, unsynced);
+        assert!(c.is_crashed());
+        assert!(matches!(
+            c.get("orders", Get::new("o00")),
+            Err(StoreError::ClusterDown)
+        ));
+        let report = c.recover();
+        assert!(!c.is_crashed());
+        assert_eq!(report.replayed_entries, synced_rows.len() as u64);
+        assert!(report.recovery_sim > SimDuration::ZERO);
+        let mut recovered: Vec<String> = c
+            .scan("orders", Scan::all())
+            .unwrap()
+            .iter()
+            .map(ResultRow::key_str)
+            .collect();
+        recovered.sort();
+        assert_eq!(recovered, synced_rows, "exactly the synced writes survive");
+        // recover() checkpointed: the replayed prefix is truncated.
+        assert_eq!(c.wal(0).len() + c.wal(1).len(), 0);
+    }
+
+    #[test]
+    fn checkpoint_makes_bulk_loads_durable_and_truncates_wal() {
+        let c = Cluster::new(ClusterConfig {
+            region_servers: 1,
+            ..ClusterConfig::default()
+        });
+        c.create_table(orders_schema()).unwrap();
+        c.bulk_load(
+            "orders",
+            (0..20).map(|i| Put::new(format!("o{i:02}")).with("cf", "v", "x")),
+        )
+        .unwrap();
+        c.checkpoint();
+        c.put("orders", Put::new("extra").with("cf", "v", "y")).unwrap();
+        assert_eq!(c.wal(0).len(), 1);
+        c.crash();
+        c.recover();
+        assert_eq!(c.row_count("orders").unwrap(), 21, "baseline + synced WAL");
+        assert_eq!(c.wal(0).len(), 0, "recovery re-checkpointed");
+        // Without a checkpoint, bulk loads are volatile.
+        let c2 = Cluster::new(ClusterConfig { region_servers: 1, ..ClusterConfig::default() });
+        c2.create_table(orders_schema()).unwrap();
+        c2.bulk_load("orders", [Put::new("o1").with("cf", "v", "x")]).unwrap();
+        c2.crash();
+        c2.recover();
+        assert_eq!(c2.row_count("orders").unwrap(), 0);
+    }
+
+    #[test]
+    fn recovery_replays_deletes_and_increments_in_order() {
+        let c = Cluster::new(ClusterConfig {
+            region_servers: 3,
+            ..ClusterConfig::default()
+        });
+        c.create_table(orders_schema()).unwrap();
+        c.put("orders", Put::new("a").with("cf", "v", "1")).unwrap();
+        c.increment("orders", Increment::new("n", "cf", "count", 5)).unwrap();
+        c.put("orders", Put::new("b").with("cf", "v", "2")).unwrap();
+        c.delete("orders", Delete::row("a")).unwrap();
+        c.increment("orders", Increment::new("n", "cf", "count", -2)).unwrap();
+        c.crash();
+        c.recover();
+        assert!(c.get("orders", Get::new("a")).unwrap().is_none(), "delete replayed");
+        assert!(c.get("orders", Get::new("b")).unwrap().is_some());
+        let row = c.get("orders", Get::new("n")).unwrap().unwrap();
+        let count = i64::from_be_bytes(row.value("cf", "count").unwrap().try_into().unwrap());
+        assert_eq!(count, 3, "increments replay to the same value");
+    }
+
+    #[test]
+    fn injected_timeouts_surface_without_retry_and_heal_with_it() {
+        let plan = FaultPlan::new(7).with_timeouts(1.0);
+        let base = ClusterConfig {
+            region_servers: 1,
+            fault_plan: Some(plan.clone()),
+            ..ClusterConfig::default()
+        };
+        // No retry policy: the first op fails.
+        let c = Cluster::new(base.clone());
+        c.create_table(orders_schema()).unwrap();
+        assert!(matches!(
+            c.put("orders", Put::new("o1").with("cf", "v", "1")),
+            Err(StoreError::RpcTimeout)
+        ));
+        assert_eq!(c.fault_stats().timeouts, 1);
+        // Always-timeout plan + retries: exhaustion with a source chain.
+        let c = Cluster::new(ClusterConfig {
+            retry: Some(RetryPolicy::default().with_max_attempts(3)),
+            ..base
+        });
+        c.create_table(orders_schema()).unwrap();
+        match c.put("orders", Put::new("o1").with("cf", "v", "1")) {
+            Err(StoreError::RetriesExhausted { attempts: 3, last }) => {
+                assert_eq!(*last, StoreError::RpcTimeout);
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+        let stats = c.fault_stats();
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.giveups, 1);
+        // Moderate fault rate + retries: everything lands.
+        let c = Cluster::new(ClusterConfig {
+            region_servers: 1,
+            fault_plan: Some(FaultPlan::new(7).with_timeouts(0.2).with_transients(0.1)),
+            retry: Some(RetryPolicy::default()),
+            ..ClusterConfig::default()
+        });
+        c.create_table(orders_schema()).unwrap();
+        for i in 0..200 {
+            c.put("orders", Put::new(format!("o{i}")).with("cf", "v", "1")).unwrap();
+        }
+        assert_eq!(c.row_count("orders").unwrap(), 200);
+        let stats = c.fault_stats();
+        assert!(stats.injected_op_faults() > 0, "faults were injected");
+        assert!(stats.retries >= stats.injected_op_faults());
+        assert_eq!(stats.giveups, 0);
+    }
+
+    #[test]
+    fn scheduled_server_crash_downs_the_victim_until_mttr_elapses() {
+        // Server 0 crashes as soon as any sim time has been charged.
+        let plan = FaultPlan::new(1).with_crashes(
+            vec![SimDuration::from_nanos(1)],
+            SimDuration::from_millis(20),
+        );
+        let c = Cluster::new(ClusterConfig {
+            region_servers: 1,
+            fault_plan: Some(plan.clone()),
+            ..ClusterConfig::default()
+        });
+        c.create_table(orders_schema()).unwrap();
+        c.put("orders", Put::new("o1").with("cf", "v", "1")).unwrap();
+        // The crash event fires at the next op; server 0 is down.
+        assert!(matches!(
+            c.get("orders", Get::new("o1")),
+            Err(StoreError::RegionUnavailable { server: 0 })
+        ));
+        assert_eq!(c.fault_stats().server_crashes, 1);
+        // Burn past the MTTR window; the server is back.
+        c.clock().charge(SimDuration::from_millis(25));
+        assert!(c.get("orders", Get::new("o1")).unwrap().is_some());
+        // With retries, the same outage is invisible to the caller: backoff
+        // burns sim time until the MTTR window passes.
+        let c = Cluster::new(ClusterConfig {
+            region_servers: 1,
+            fault_plan: Some(FaultPlan::new(1).with_crashes(
+                vec![SimDuration::from_nanos(1)],
+                SimDuration::from_millis(20),
+            )),
+            retry: Some(RetryPolicy::default().with_max_attempts(16)),
+            ..ClusterConfig::default()
+        });
+        c.create_table(orders_schema()).unwrap();
+        c.put("orders", Put::new("o1").with("cf", "v", "1")).unwrap();
+        assert!(c.get("orders", Get::new("o1")).unwrap().is_some());
+        let stats = c.fault_stats();
+        assert_eq!(stats.server_crashes, 1);
+        assert!(stats.retries > 0, "the outage was ridden out by retries");
+    }
+
+    #[test]
+    fn server_crash_with_unsynced_tail_loses_only_the_victims_writes() {
+        // Group commit leaves an unsynced tail; the scheduled crash must
+        // drop it and rebuild the victim's regions from durable state.
+        let c = Cluster::new(ClusterConfig {
+            region_servers: 1,
+            wal_sync_interval: 100,
+            fault_plan: Some(FaultPlan::new(1).with_crashes(
+                vec![SimDuration::from_millis(20)],
+                SimDuration::from_nanos(1),
+            )),
+            retry: Some(RetryPolicy::default()),
+            ..ClusterConfig::default()
+        });
+        c.create_table(orders_schema()).unwrap();
+        c.bulk_load("orders", (0..10).map(|i| Put::new(format!("base{i}")).with("cf", "v", "x")))
+            .unwrap();
+        c.checkpoint();
+        // Non-syncing puts charge ~1ms each (RPC + server work, sync
+        // deferred), so the 20ms crash fires mid-stream with an unsynced
+        // tail in the log.
+        for i in 0..40 {
+            c.put("orders", Put::new(format!("live{i:02}")).with("cf", "v", "y")).unwrap();
+        }
+        let stats = c.fault_stats();
+        assert_eq!(stats.server_crashes, 1);
+        assert!(stats.wal_records_lost > 0, "acked-unsynced records were lost");
+        let rows = c.row_count("orders").unwrap();
+        // Baseline survived; exactly the lost tail is missing.
+        assert!(rows >= 10, "checkpointed rows survive");
+        assert_eq!(rows, 10 + 40 - stats.wal_records_lost);
     }
 }

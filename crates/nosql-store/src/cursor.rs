@@ -46,6 +46,9 @@ pub struct ScanCursor {
     projection: Option<Vec<ColKey>>,
     page: std::vec::IntoIter<ResultRow>,
     exhausted: bool,
+    /// Set when a page fetch failed after exhausting the retry policy; the
+    /// cursor stops yielding and [`ScanCursor::take_error`] reports it.
+    failed: Option<StoreError>,
     /// Regions already charged a scanner-open (the first is covered by the
     /// open charge at cursor creation).
     opened: Vec<RegionId>,
@@ -92,6 +95,7 @@ impl Cluster {
             projection,
             page: Vec::new().into_iter(),
             exhausted: false,
+            failed: None,
             opened: Vec::new(),
             rows_streamed: 0,
             batch_rows,
@@ -103,6 +107,19 @@ impl ScanCursor {
     /// Total rows this cursor has yielded into pages so far.
     pub fn rows_streamed(&self) -> u64 {
         self.rows_streamed
+    }
+
+    /// The error that stopped this cursor, if a page fetch failed after
+    /// exhausting the retry policy.  A cursor that ends with `None` here
+    /// completed its range normally.
+    pub fn error(&self) -> Option<&StoreError> {
+        self.failed.as_ref()
+    }
+
+    /// Takes ownership of the terminating error, if any (see
+    /// [`ScanCursor::error`]).
+    pub fn take_error(&mut self) -> Option<StoreError> {
+        self.failed.take()
     }
 
     /// Returns the remainder of the current page plus, if needed, the next
@@ -126,15 +143,31 @@ impl ScanCursor {
         None
     }
 
-    /// Fetches the next page of rows under the table's region read lock.
-    /// Sets `exhausted` when the walk reached the end of the range (a short
-    /// page) or the row limit.
+    /// Fetches the next page, retrying injected faults under the cluster's
+    /// retry policy.  A fetch that still fails marks the cursor failed (and
+    /// exhausted); [`ScanCursor::take_error`] surfaces the error.
     fn fetch_page(&mut self) {
+        // Clone the handle so the retry runtime isn't borrowed from the same
+        // `self` the closure mutates.
+        let cluster = self.cluster.clone();
+        if let Err(err) = cluster.with_retry(|| self.try_fetch_page()) {
+            self.failed = Some(err);
+            self.exhausted = true;
+        }
+    }
+
+    /// One page-fetch attempt under the table's region read lock.  Sets
+    /// `exhausted` when the walk reached the end of the range (a short page)
+    /// or the row limit.  Faults are injected before any cursor state
+    /// changes, so a failed attempt leaves the cursor where it was and a
+    /// retry resumes cleanly from the same position.
+    fn try_fetch_page(&mut self) -> StoreResult<()> {
         let want = SCAN_PAGE_ROWS.min(self.remaining);
         if want == 0 {
             self.exhausted = true;
-            return;
+            return Ok(());
         }
+        self.cluster.precheck()?;
         let mut out: Vec<ResultRow> = Vec::new();
         {
             let regions = self.state.regions.read();
@@ -147,6 +180,11 @@ impl ScanCursor {
                 }),
                 None => 0,
             };
+            // One fault draw per page, against the server the page's first
+            // region-server visit addresses.
+            if let Some(region) = regions.get(first) {
+                self.cluster.inject_faults(region.server)?;
+            }
             for region in regions[first..].iter() {
                 if out.len() >= want {
                     break;
@@ -172,14 +210,13 @@ impl ScanCursor {
                     }
                     self.opened.push(region.id);
                 }
-                // Range validity was checked at cursor creation.
-                let _ = region.scan_page(
+                region.scan_page(
                     &self.scan,
                     self.projection.as_deref(),
                     self.resume_after.as_deref(),
                     want - out.len(),
                     &mut out,
-                );
+                )?;
             }
         }
         if out.len() < want {
@@ -208,6 +245,7 @@ impl ScanCursor {
         self.rows_streamed += out.len() as u64;
         self.cluster.record_scan_page(out.len() as u64, bytes as u64);
         self.page = out.into_iter();
+        Ok(())
     }
 }
 

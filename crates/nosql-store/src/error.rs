@@ -33,6 +33,46 @@ pub enum StoreError {
     /// CheckAndPut condition failed (reported as a distinct error only when
     /// the caller asked for strict behaviour; normally surfaced as `false`).
     ConditionFailed,
+    /// The region server hosting the addressed key is down (injected
+    /// region-server crash; the server comes back after its simulated MTTR).
+    /// Retryable: re-routing/backing off succeeds once the server restarts.
+    RegionUnavailable {
+        /// Index of the crashed region server.
+        server: usize,
+    },
+    /// The operation's RPC timed out (injected network fault).  Retryable:
+    /// the op was not applied, so a fresh attempt is safe.
+    RpcTimeout,
+    /// A transient server-side error (injected; models compaction stalls,
+    /// lease churn, throttling).  Retryable.
+    TransientOp,
+    /// The whole cluster is crashed and must be recovered with
+    /// [`crate::Cluster::recover`] before serving requests.  Not retryable
+    /// from the client's point of view.
+    ClusterDown,
+    /// A retry policy gave up after `attempts` attempts; `last` is the final
+    /// error (exposed through [`std::error::Error::source`]).
+    RetriesExhausted {
+        /// Total attempts made (including the first).
+        attempts: u32,
+        /// The error the last attempt failed with.
+        last: Box<StoreError>,
+    },
+}
+
+impl StoreError {
+    /// True if a fresh attempt of the same operation may succeed (the fault
+    /// taxonomy retry policies key off): injected region-server outages,
+    /// RPC timeouts and transient op errors are retryable; semantic errors
+    /// (missing table, bad mutation) and a crashed cluster are not.
+    pub fn retryable(&self) -> bool {
+        matches!(
+            self,
+            StoreError::RegionUnavailable { .. }
+                | StoreError::RpcTimeout
+                | StoreError::TransientOp
+        )
+    }
 }
 
 impl fmt::Display for StoreError {
@@ -49,11 +89,27 @@ impl fmt::Display for StoreError {
             }
             StoreError::InvalidRange => write!(f, "scan start key is after stop key"),
             StoreError::ConditionFailed => write!(f, "checkAndPut condition failed"),
+            StoreError::RegionUnavailable { server } => {
+                write!(f, "region server {server} is unavailable")
+            }
+            StoreError::RpcTimeout => write!(f, "rpc timed out"),
+            StoreError::TransientOp => write!(f, "transient server-side error"),
+            StoreError::ClusterDown => write!(f, "cluster is crashed; call recover() first"),
+            StoreError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
         }
     }
 }
 
-impl std::error::Error for StoreError {}
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::RetriesExhausted { last, .. } => Some(last.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -68,5 +124,32 @@ mod tests {
         assert!(err.to_string().contains("orders"));
         assert!(err.to_string().contains("cf2"));
         assert!(StoreError::TableNotFound("x".into()).to_string().contains('x'));
+    }
+
+    #[test]
+    fn retryable_taxonomy_partitions_faults_from_semantic_errors() {
+        assert!(StoreError::RegionUnavailable { server: 2 }.retryable());
+        assert!(StoreError::RpcTimeout.retryable());
+        assert!(StoreError::TransientOp.retryable());
+        assert!(!StoreError::ClusterDown.retryable());
+        assert!(!StoreError::TableNotFound("t".into()).retryable());
+        assert!(!StoreError::EmptyMutation.retryable());
+        let exhausted = StoreError::RetriesExhausted {
+            attempts: 3,
+            last: Box::new(StoreError::RpcTimeout),
+        };
+        assert!(!exhausted.retryable());
+    }
+
+    #[test]
+    fn retries_exhausted_exposes_the_final_error_as_source() {
+        use std::error::Error;
+        let err = StoreError::RetriesExhausted {
+            attempts: 5,
+            last: Box::new(StoreError::RegionUnavailable { server: 1 }),
+        };
+        let source = err.source().expect("source chain");
+        assert!(source.to_string().contains("region server 1"));
+        assert!(err.to_string().contains("5 attempts"));
     }
 }

@@ -42,18 +42,22 @@ mod cell;
 mod cluster;
 mod cursor;
 mod error;
+mod fault;
 pub mod intern;
 mod metrics;
 pub mod ops;
 mod par_scan;
 mod region;
+mod retry;
 mod table;
 mod wal;
 
 pub use cell::{Bytes, Cell, CellCoord, Timestamp};
-pub use cluster::{Cluster, ClusterConfig};
+pub use cluster::{Cluster, ClusterConfig, RecoveryReport};
 pub use cursor::{ScanCursor, SCAN_PAGE_ROWS};
+pub use fault::{FaultPlan, FaultStats};
 pub use par_scan::ParScanCursor;
+pub use retry::RetryPolicy;
 pub use error::{StoreError, StoreResult};
 pub use metrics::{ClusterMetrics, OpCounters, TableMetrics};
 pub use region::{Region, RegionId, RegionServerId};

@@ -105,7 +105,12 @@ impl Cluster {
         threads: usize,
     ) -> StoreResult<ParScanCursor> {
         let threads = threads.max(1);
-        if threads == 1 {
+        // Fault injection is defined on the shared timeline (outage windows
+        // compare against the clock an op charges into), which parallel
+        // workers' private clocks do not advance.  Rather than inject
+        // incoherently, a faulty cluster scans serially — the determinism
+        // contract for fault experiments is single-threaded anyway.
+        if threads == 1 || self.faults_enabled() {
             return Ok(ParScanCursor {
                 inner: ParInner::Serial(Box::new(self.scan_stream(table, scan)?)),
             });

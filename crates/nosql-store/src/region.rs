@@ -67,6 +67,38 @@ impl Region {
         self.bytes
     }
 
+    /// Drops every stored row (a crashed server losing its memstore).  The
+    /// region keeps its identity and key range; recovery repopulates it from
+    /// the durable checkpoint + synced WAL.
+    pub(crate) fn clear_rows(&mut self) {
+        self.rows.clear();
+        self.bytes = 0;
+    }
+
+    /// Read access to the stored rows (checkpoint snapshots during
+    /// recovery).
+    pub(crate) fn rows(&self) -> &BTreeMap<Bytes, RowData> {
+        &self.rows
+    }
+
+    /// Inserts a fully-formed row (restoring a checkpoint snapshot during
+    /// recovery), replacing any existing row under the key.  Byte accounting
+    /// is deferred: callers run [`Region::recompute_bytes`] once the rebuild
+    /// is complete.
+    pub(crate) fn insert_row(&mut self, key: Bytes, row: RowData) {
+        self.rows.insert(key, row);
+    }
+
+    /// Recomputes the byte accounting from scratch (after recovery rebuilt
+    /// rows wholesale).
+    pub(crate) fn recompute_bytes(&mut self) {
+        self.bytes = self
+            .rows
+            .iter()
+            .map(|(k, r)| r.heap_size(k.len()))
+            .sum();
+    }
+
     /// Applies a [`Put`]; returns the number of cells written.
     ///
     /// Byte accounting is incremental: each written cell adjusts the

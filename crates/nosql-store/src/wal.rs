@@ -1,35 +1,60 @@
 //! Write-ahead log.
 //!
-//! Each region server appends every mutation to a WAL before applying it, so
-//! a crashed server can be replayed.  The Synergy transaction layer (paper
-//! §VIII) reuses the same structure for its own statement-level WAL stored
-//! in HDFS; this crate therefore exposes [`WriteAheadLog`] publicly.
+//! Each region server appends every mutation to a WAL before acking it, so a
+//! crashed server can be replayed.  Entries carry the **full mutation
+//! payload** (cells, delete scope, increment amount) plus the cell timestamp
+//! the mutation was applied at, which is what makes [`Cluster::recover`]
+//! (`crate::Cluster::recover`) able to rebuild region state from the log:
+//! replaying synced entries in timestamp order over the last durable
+//! checkpoint reproduces the exact acked-synced state.
+//!
+//! Group commit: [`WriteAheadLog::sync`] makes every appended record durable
+//! at once, so a cluster configured with a sync interval > 1 acks writes
+//! before they are durable — a crash then loses the unsynced tail
+//! ([`WriteAheadLog::drop_unsynced`]), exactly like HBase with deferred log
+//! flush.  The Synergy transaction layer (paper §VIII) reuses the same
+//! structure for its own statement-level WAL stored in HDFS; this crate
+//! therefore exposes [`WriteAheadLog`] publicly.
 
-use crate::cell::Bytes;
+use crate::cell::{Bytes, Timestamp};
+use crate::ops::DeleteScope;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// The kind of mutation recorded in a WAL entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WalOp {
-    /// A put of `cells` cells to `row`.
+    /// A put of the listed `(family, qualifier, value)` cells to `row`.
     Put {
         /// Row key written.
         row: Bytes,
-        /// Number of cells written.
-        cells: usize,
+        /// The written cells, `(family, qualifier, value)`.
+        cells: Vec<(String, String, Bytes)>,
+        /// Cell timestamp the put was applied at.
+        timestamp: Timestamp,
     },
-    /// A delete of `row`.
+    /// A delete of `row` (whole row or specific columns).
     Delete {
         /// Row key deleted.
         row: Bytes,
+        /// What was deleted.
+        scope: DeleteScope,
+        /// Logical timestamp the delete was applied at (orders it against
+        /// puts during replay).
+        timestamp: Timestamp,
     },
     /// An increment applied to `row`.
     Increment {
         /// Row key incremented.
         row: Bytes,
+        /// Column family of the counter cell.
+        family: String,
+        /// Qualifier of the counter cell.
+        qualifier: String,
         /// Amount added.
         amount: i64,
+        /// Cell timestamp the increment was applied at.
+        timestamp: Timestamp,
     },
     /// An arbitrary logical record appended by a higher layer (the Synergy
     /// transaction manager logs whole SQL statements this way).
@@ -37,6 +62,21 @@ pub enum WalOp {
         /// Opaque payload.
         payload: String,
     },
+}
+
+impl WalOp {
+    /// The logical timestamp this mutation was applied at (`None` for
+    /// [`WalOp::Logical`] records).  Timestamps are globally unique and
+    /// monotone, so sorting entries from several server WALs by timestamp
+    /// reconstructs the cluster-wide mutation order during replay.
+    pub fn timestamp(&self) -> Option<Timestamp> {
+        match self {
+            WalOp::Put { timestamp, .. }
+            | WalOp::Delete { timestamp, .. }
+            | WalOp::Increment { timestamp, .. } => Some(*timestamp),
+            WalOp::Logical { .. } => None,
+        }
+    }
 }
 
 /// One durable WAL record.
@@ -62,7 +102,6 @@ pub struct WriteAheadLog {
 struct WalInner {
     entries: Vec<WalEntry>,
     next_sequence: u64,
-    synced_up_to: u64,
 }
 
 impl WriteAheadLog {
@@ -86,18 +125,32 @@ impl WriteAheadLog {
         sequence
     }
 
+    /// Appends a record that is durable immediately (used for offline bulk
+    /// loads, which model a population phase that is flushed and compacted
+    /// before any measurement starts).
+    pub fn append_synced(&self, table: impl Into<String>, op: WalOp) -> u64 {
+        let mut inner = self.inner.lock();
+        let sequence = inner.next_sequence;
+        inner.next_sequence += 1;
+        inner.entries.push(WalEntry {
+            sequence,
+            table: table.into(),
+            op,
+            synced: true,
+        });
+        sequence
+    }
+
     /// Marks every appended record as durable and returns how many records
-    /// were newly synced.
+    /// were newly synced (the group-commit flush).
     pub fn sync(&self) -> usize {
         let mut inner = self.inner.lock();
-        let newly = inner
+        inner
             .entries
             .iter_mut()
             .filter(|e| !e.synced)
             .map(|e| e.synced = true)
-            .count();
-        inner.synced_up_to = inner.next_sequence;
-        newly
+            .count()
     }
 
     /// All records appended so far (synced or not), in order.
@@ -116,6 +169,22 @@ impl WriteAheadLog {
             .collect()
     }
 
+    /// Number of records that have not yet been marked durable (the pending
+    /// group-commit batch).
+    pub fn unsynced_len(&self) -> usize {
+        self.inner.lock().entries.iter().filter(|e| !e.synced).count()
+    }
+
+    /// Drops every record that has not been synced and returns how many
+    /// were lost.  This is what a server crash does to acked-but-unsynced
+    /// writes under deferred log flush.
+    pub fn drop_unsynced(&self) -> usize {
+        let mut inner = self.inner.lock();
+        let before = inner.entries.len();
+        inner.entries.retain(|e| e.synced);
+        before - inner.entries.len()
+    }
+
     /// Number of records in the log.
     pub fn len(&self) -> usize {
         self.inner.lock().entries.len()
@@ -126,13 +195,20 @@ impl WriteAheadLog {
         self.len() == 0
     }
 
+    /// The sequence number the next appended record will receive.  A
+    /// checkpoint that truncates up to this value drops the whole log.
+    pub fn next_sequence(&self) -> u64 {
+        self.inner.lock().next_sequence
+    }
+
     /// Drops records with `sequence < up_to` (checkpoint truncation).
     pub fn truncate_before(&self, up_to: u64) {
         self.inner.lock().entries.retain(|e| e.sequence >= up_to);
     }
 
     /// Replays synced records in order through `apply`.  Used by the Synergy
-    /// transaction-layer master when it takes over a failed slave.
+    /// transaction-layer master when it takes over a failed slave, and by
+    /// cluster recovery.
     pub fn replay(&self, mut apply: impl FnMut(&WalEntry)) -> usize {
         let inner = self.inner.lock();
         let mut replayed = 0;
@@ -148,14 +224,30 @@ impl WriteAheadLog {
 mod tests {
     use super::*;
 
+    fn put_op(row: &str, ts: Timestamp) -> WalOp {
+        WalOp::Put {
+            row: row.as_bytes().to_vec(),
+            cells: vec![("cf".into(), "v".into(), b"1".to_vec())],
+            timestamp: ts,
+        }
+    }
+
     #[test]
     fn append_assigns_increasing_sequences() {
         let wal = WriteAheadLog::new();
-        let a = wal.append("t", WalOp::Delete { row: b"r".to_vec() });
-        let b = wal.append("t", WalOp::Put { row: b"r".to_vec(), cells: 2 });
+        let a = wal.append(
+            "t",
+            WalOp::Delete {
+                row: b"r".to_vec(),
+                scope: DeleteScope::Row,
+                timestamp: 1,
+            },
+        );
+        let b = wal.append("t", put_op("r", 2));
         assert!(b > a);
         assert_eq!(wal.len(), 2);
         assert!(!wal.is_empty());
+        assert_eq!(wal.entries()[1].op.timestamp(), Some(2));
     }
 
     #[test]
@@ -163,9 +255,31 @@ mod tests {
         let wal = WriteAheadLog::new();
         wal.append("t", WalOp::Logical { payload: "INSERT ...".into() });
         assert_eq!(wal.unsynced().len(), 1);
+        assert_eq!(wal.unsynced_len(), 1);
         assert_eq!(wal.sync(), 1);
         assert_eq!(wal.unsynced().len(), 0);
         assert_eq!(wal.sync(), 0);
+    }
+
+    #[test]
+    fn drop_unsynced_loses_only_the_tail() {
+        let wal = WriteAheadLog::new();
+        wal.append("t", put_op("a", 1));
+        wal.sync();
+        wal.append("t", put_op("b", 2));
+        wal.append("t", put_op("c", 3));
+        assert_eq!(wal.drop_unsynced(), 2);
+        assert_eq!(wal.len(), 1);
+        assert!(wal.entries()[0].synced);
+        assert_eq!(wal.drop_unsynced(), 0);
+    }
+
+    #[test]
+    fn append_synced_is_durable_immediately() {
+        let wal = WriteAheadLog::new();
+        wal.append_synced("t", put_op("a", 1));
+        assert_eq!(wal.unsynced_len(), 0);
+        assert_eq!(wal.len(), 1);
     }
 
     #[test]
@@ -194,5 +308,9 @@ mod tests {
         wal.truncate_before(3);
         let remaining: Vec<u64> = wal.entries().iter().map(|e| e.sequence).collect();
         assert_eq!(remaining, vec![3, 4]);
+        wal.truncate_before(wal.next_sequence());
+        assert!(wal.is_empty());
+        // Sequences keep increasing across a truncation.
+        assert_eq!(wal.append("t", WalOp::Logical { payload: "z".into() }), 5);
     }
 }

@@ -1,0 +1,281 @@
+//! Crash-at-every-WAL-position property tests.
+//!
+//! The durability contract under group commit: after `Cluster::crash` +
+//! `Cluster::recover`, the store holds exactly the last checkpoint baseline
+//! plus every *synced* WAL record — acked-but-unsynced writes are lost, and
+//! nothing else is.  These tests pin that contract by crashing after **every
+//! op position** of a generated workload and comparing the recovered state
+//! against an independent `BTreeMap` shadow model of the acked-synced
+//! writes.
+//!
+//! The model never looks at WAL entry payloads.  It only observes the two
+//! counters that define the ack/sync contract (`next_sequence`, which server
+//! log an op was appended to, and `unsynced_len`, the tail a crash drops)
+//! and recomputes the expected state from the op semantics alone.  Region
+//! splits can migrate a key range to another server mid-run, so the synced
+//! ops are replayed in global (timestamp) order, exactly the order
+//! `Cluster::recover` reconstructs across server logs.
+
+use nosql_store::ops::{Delete, Get, Put, Scan};
+use nosql_store::{Cluster, ClusterConfig, TableSchema};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// `row key → (column → value)`, the reference durable state.
+type Model = BTreeMap<String, BTreeMap<String, u8>>;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put { key: u8, column: u8, value: u8 },
+    DeleteRow { key: u8 },
+    DeleteColumn { key: u8, column: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), 0u8..4, any::<u8>()).prop_map(|(key, column, value)| Op::Put {
+            key,
+            column,
+            value
+        }),
+        (any::<u8>(), 0u8..4, any::<u8>()).prop_map(|(key, column, value)| Op::Put {
+            key,
+            column,
+            value
+        }),
+        any::<u8>().prop_map(|key| Op::DeleteRow { key }),
+        (any::<u8>(), 0u8..4).prop_map(|(key, column)| Op::DeleteColumn { key, column }),
+    ]
+}
+
+fn key_str(key: u8) -> String {
+    format!("row{key:03}")
+}
+
+fn col_str(column: u8) -> String {
+    format!("c{column}")
+}
+
+fn apply_to_cluster(cluster: &Cluster, op: &Op) {
+    match op {
+        Op::Put { key, column, value } => cluster
+            .put(
+                "t",
+                Put::new(key_str(*key)).with("cf", col_str(*column), vec![*value]),
+            )
+            .unwrap(),
+        Op::DeleteRow { key } => {
+            cluster.delete("t", Delete::row(key_str(*key))).unwrap();
+        }
+        Op::DeleteColumn { key, column } => {
+            cluster
+                .delete("t", Delete::column(key_str(*key), "cf", col_str(*column)))
+                .unwrap();
+        }
+    }
+}
+
+fn apply_to_model(model: &mut Model, op: &Op) {
+    match op {
+        Op::Put { key, column, value } => {
+            model
+                .entry(key_str(*key))
+                .or_default()
+                .insert(col_str(*column), *value);
+        }
+        Op::DeleteRow { key } => {
+            model.remove(&key_str(*key));
+        }
+        Op::DeleteColumn { key, column } => {
+            if let Some(row) = model.get_mut(&key_str(*key)) {
+                row.remove(&col_str(*column));
+                if row.is_empty() {
+                    model.remove(&key_str(*key));
+                }
+            }
+        }
+    }
+}
+
+/// Builds a cluster, bulk-populates 16 baseline rows and checkpoints them
+/// (the memstore-flush durability boundary — bulk loads are volatile until
+/// then).  Returns the cluster and the model of the checkpointed baseline.
+fn populated_cluster(servers: usize, interval: usize) -> (Cluster, Model) {
+    let cluster = Cluster::new(ClusterConfig {
+        region_servers: servers,
+        // Tiny split threshold so splits (and the key-range migration they
+        // cause) happen during the op stream and are covered by the sweep.
+        region_split_bytes: 512,
+        wal_sync_interval: interval,
+        ..ClusterConfig::default()
+    });
+    cluster
+        .create_table(TableSchema::new("t").with_family("cf"))
+        .unwrap();
+    let mut baseline = Model::new();
+    for key in (0u8..=255).step_by(16) {
+        cluster
+            .put(
+                "t",
+                Put::new(key_str(key)).with("cf", "c0", vec![b'b'; 48]),
+            )
+            .unwrap();
+        // The model stores one-byte values; baseline cells are only ever
+        // compared by presence + first byte below.
+        baseline.entry(key_str(key)).or_default().insert(col_str(0), b'b');
+    }
+    cluster.checkpoint();
+    (cluster, baseline)
+}
+
+fn assert_state_matches(cluster: &Cluster, model: &Model, context: &str) {
+    let rows = cluster.scan("t", Scan::all()).unwrap();
+    let actual_keys: Vec<String> = rows.iter().map(|r| r.key_str()).collect();
+    let expected_keys: Vec<String> = model.keys().cloned().collect();
+    assert_eq!(actual_keys, expected_keys, "{context}: surviving row keys");
+    for row in &rows {
+        let expected = &model[&row.key_str()];
+        assert_eq!(
+            row.cells.len(),
+            expected.len(),
+            "{context}: cell count of {}",
+            row.key_str()
+        );
+        for (column, value) in expected {
+            let stored = row
+                .value("cf", column)
+                .unwrap_or_else(|| panic!("{context}: missing {}/{column}", row.key_str()));
+            assert_eq!(stored[0], *value, "{context}: value of {}/{column}", row.key_str());
+        }
+    }
+}
+
+/// Runs `ops[..crash_at]` on a fresh cluster, crashes, recovers, and checks
+/// the recovered state against the shadow model of acked-synced writes.
+fn crash_at_position(ops: &[Op], crash_at: usize, servers: usize, interval: usize) {
+    let (cluster, baseline) = populated_cluster(servers, interval);
+    let context = format!("servers={servers} interval={interval} crash_at={crash_at}");
+
+    // Which op index landed in which server's log, in append order.
+    let mut assigned: Vec<Vec<usize>> = vec![Vec::new(); servers];
+    let mut sequences: Vec<u64> = (0..servers).map(|s| cluster.wal(s).next_sequence()).collect();
+    for (index, op) in ops[..crash_at].iter().enumerate() {
+        apply_to_cluster(&cluster, op);
+        let mut appended = 0;
+        for (server, last) in sequences.iter_mut().enumerate() {
+            let now = cluster.wal(server).next_sequence();
+            if now != *last {
+                assert_eq!(now, *last + 1, "{context}: op {index} appended one record");
+                assigned[server].push(index);
+                *last = now;
+                appended += 1;
+            }
+        }
+        assert_eq!(appended, 1, "{context}: op {index} landed in exactly one log");
+    }
+
+    // The crash drops each server's unsynced tail: the *last*
+    // `unsynced_len` ops appended to that log.
+    let mut lost = vec![false; crash_at];
+    let mut expect_dropped = 0;
+    for server in 0..servers {
+        let unsynced = cluster.wal(server).unsynced_len();
+        assert!(unsynced <= assigned[server].len(), "{context}: unsynced tail bound");
+        expect_dropped += unsynced;
+        for &index in &assigned[server][assigned[server].len() - unsynced..] {
+            lost[index] = true;
+        }
+    }
+
+    let dropped = cluster.crash();
+    assert_eq!(dropped, expect_dropped, "{context}: dropped unsynced count");
+    let report = cluster.recover();
+    assert_eq!(
+        report.replayed_entries as usize,
+        crash_at - expect_dropped,
+        "{context}: replayed exactly the synced post-checkpoint records"
+    );
+
+    // Synced ops replay over the baseline in global (timestamp) order —
+    // which, in this single-threaded sweep, is submission order.
+    let mut model = baseline;
+    for (index, op) in ops[..crash_at].iter().enumerate() {
+        if !lost[index] {
+            apply_to_model(&mut model, op);
+        }
+    }
+    assert_state_matches(&cluster, &model, &context);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The headline sweep: for a generated workload and group-commit
+    /// interval, crash at **every** WAL position, at 1 and at 4 region
+    /// servers, and check replay against the shadow model each time.
+    #[test]
+    fn recovery_matches_model_at_every_crash_position(
+        ops in proptest::collection::vec(op_strategy(), 1..20),
+        interval in 1usize..6,
+    ) {
+        for servers in [1usize, 4] {
+            for crash_at in 0..=ops.len() {
+                crash_at_position(&ops, crash_at, servers, interval);
+            }
+        }
+    }
+}
+
+/// With `wal_sync_interval = 1` every write syncs before acking, so **no
+/// acked write is ever lost**: the recovered state equals the full applied
+/// state at every crash position, and the cluster stays writable afterwards.
+#[test]
+fn interval_one_loses_nothing_at_any_crash_position() {
+    let ops: Vec<Op> = (0u8..24)
+        .map(|i| match i % 4 {
+            0 | 1 => Op::Put { key: i % 8, column: i % 4, value: i },
+            2 => Op::DeleteRow { key: (i + 2) % 8 },
+            _ => Op::DeleteColumn { key: i % 8, column: 0 },
+        })
+        .collect();
+    for servers in [1usize, 4] {
+        for crash_at in 0..=ops.len() {
+            let (cluster, mut model) = populated_cluster(servers, 1);
+            for op in &ops[..crash_at] {
+                apply_to_cluster(&cluster, op);
+                apply_to_model(&mut model, op);
+            }
+            assert_eq!(cluster.crash(), 0, "interval=1 never has an unsynced tail");
+            cluster.recover();
+            let context = format!("interval=1 servers={servers} crash_at={crash_at}");
+            assert_state_matches(&cluster, &model, &context);
+            // The recovered cluster accepts and persists new writes.
+            cluster
+                .put("t", Put::new("post-recovery").with("cf", "c0", vec![1u8]))
+                .unwrap();
+            assert!(cluster.get("t", Get::new("post-recovery")).unwrap().is_some());
+        }
+    }
+}
+
+/// Recovery is idempotent: a second crash immediately after recovery (which
+/// ends in a checkpoint) loses nothing and replays nothing.
+#[test]
+fn recovery_is_idempotent() {
+    let (cluster, mut model) = populated_cluster(4, 3);
+    for i in 0..10u8 {
+        let op = Op::Put { key: i, column: 0, value: i };
+        apply_to_cluster(&cluster, &op);
+        apply_to_model(&mut model, &op);
+    }
+    cluster.wal(0).sync();
+    cluster.checkpoint();
+    cluster.crash();
+    let first = cluster.recover();
+    assert_eq!(first.replayed_entries, 0, "checkpoint covered the whole log");
+    assert_state_matches(&cluster, &model, "after first recovery");
+    assert_eq!(cluster.crash(), 0);
+    let second = cluster.recover();
+    assert_eq!(second.replayed_entries, 0);
+    assert_state_matches(&cluster, &model, "after second recovery");
+}

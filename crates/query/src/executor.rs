@@ -40,10 +40,14 @@ use std::sync::Arc;
 /// Reserved column marking a row as dirty during a Synergy view update.
 pub const DIRTY_MARKER: &str = "_dirty";
 
-/// Maximum number of times a scan is restarted after observing dirty rows.
-/// Restarts are cheap (the marked window is a handful of store operations),
-/// so the limit is generous; it exists only to turn a livelock into an error.
-pub(crate) const DIRTY_RETRY_LIMIT: usize = 4_096;
+/// Default maximum number of times a scan is restarted after observing dirty
+/// rows.  Restarts are cheap (the marked window is a handful of store
+/// operations), so the limit is generous; it exists only to turn a livelock
+/// into an error.  Override per executor with
+/// [`Executor::with_dirty_retry_limit`] — fault-injection harnesses use a
+/// small limit so a permanently dirty view (a crashed transaction that never
+/// unmarked) degrades to the baseline plan quickly instead of spinning.
+pub const DIRTY_RETRY_LIMIT: usize = 4_096;
 
 /// How a single table reference will be accessed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,6 +76,7 @@ pub struct Executor {
     cluster: Cluster,
     catalog: Arc<Catalog>,
     dirty_protection: bool,
+    dirty_retry_limit: usize,
     snapshot: Option<nosql_store::Timestamp>,
     /// Degree of parallelism for full scans, hash joins and top-k (1 =
     /// fully serial; the serial paths are kept verbatim so single-threaded
@@ -86,6 +91,7 @@ impl Executor {
             cluster,
             catalog: Arc::new(catalog),
             dirty_protection: false,
+            dirty_retry_limit: DIRTY_RETRY_LIMIT,
             snapshot: None,
             threads: 1,
         }
@@ -113,6 +119,20 @@ impl Executor {
     pub fn with_dirty_read_protection(mut self) -> Self {
         self.dirty_protection = true;
         self
+    }
+
+    /// Overrides the dirty-scan restart budget (default
+    /// [`DIRTY_RETRY_LIMIT`]).  When a statement exhausts it, execution
+    /// fails with [`QueryError::DirtyReadRetriesExhausted`]; higher layers
+    /// (Synergy's read path) catch that and fall back to the baseline plan.
+    pub fn with_dirty_retry_limit(mut self, limit: usize) -> Self {
+        self.dirty_retry_limit = limit.max(1);
+        self
+    }
+
+    /// The configured dirty-scan restart budget.
+    pub fn dirty_retry_limit(&self) -> usize {
+        self.dirty_retry_limit
     }
 
     /// Restricts reads to cell versions written at or before `snapshot`.

@@ -19,7 +19,7 @@ use crate::bind::{
     eq_filter_row, eq_filter_values, BoundCondition, BoundOperand, PlannedCondition,
 };
 use crate::catalog::TableDef;
-use crate::executor::{stored_row_is_dirty, AccessPath, Executor, DIRTY_RETRY_LIMIT};
+use crate::executor::{stored_row_is_dirty, AccessPath, Executor};
 use crate::plan::LogicalPlan;
 use crate::result::{QueryError, QueryResult};
 use crate::stream::{collect_stream, par_top_k, top_k, Residency, RowStream};
@@ -292,7 +292,7 @@ impl Executor {
             match self.run_plan(plan, params) {
                 Err(QueryError::DirtyRestart) => {
                     attempts += 1;
-                    if attempts > DIRTY_RETRY_LIMIT {
+                    if attempts > self.dirty_retry_limit() {
                         return Err(QueryError::DirtyReadRetriesExhausted);
                     }
                     // Give the in-flight update a chance to finish.

@@ -14,10 +14,15 @@ pub struct QueryResult {
     /// while producing this result (hash-join build sides, aggregation
     /// input, sort / top-k buffers and the emitted rows).  `0` for writes.
     pub peak_rows_resident: usize,
+    /// Number of times this result was produced by falling back to the
+    /// baseline (view-free) plan because the view-rewritten plan kept
+    /// observing dirty markers.  `0` on the normal path; Synergy's graceful
+    /// degradation under faults sets it (see the bench `fig_faults`).
+    pub dirty_fallbacks: usize,
 }
 
-/// Equality compares the logical result only; `peak_rows_resident` is
-/// execution instrumentation, not part of the answer.
+/// Equality compares the logical result only; `peak_rows_resident` and
+/// `dirty_fallbacks` are execution instrumentation, not part of the answer.
 impl PartialEq for QueryResult {
     fn eq(&self, other: &Self) -> bool {
         self.rows == other.rows && self.rows_affected == other.rows_affected
@@ -31,6 +36,7 @@ impl QueryResult {
             rows,
             rows_affected: 0,
             peak_rows_resident: 0,
+            dirty_fallbacks: 0,
         }
     }
 
@@ -46,6 +52,7 @@ impl QueryResult {
             rows: Vec::new(),
             rows_affected: n,
             peak_rows_resident: 0,
+            dirty_fallbacks: 0,
         }
     }
 
@@ -78,8 +85,11 @@ pub enum QueryError {
         /// The missing key attribute.
         missing: String,
     },
-    /// The underlying store failed.
-    Store(String),
+    /// The underlying store failed.  Carries the structured
+    /// [`nosql_store::StoreError`] so callers can inspect
+    /// [`nosql_store::StoreError::retryable`] and walk the `source()` chain
+    /// (e.g. down to the fault a retry policy exhausted on).
+    Store(nosql_store::StoreError),
     /// A concurrent-update marker forced too many scan restarts.
     DirtyReadRetriesExhausted,
     /// Internal: a streamed scan observed a dirty row; the executor restarts
@@ -109,11 +119,20 @@ impl fmt::Display for QueryError {
     }
 }
 
-impl std::error::Error for QueryError {}
+impl std::error::Error for QueryError {
+    /// Exposes the store error as the source, so a `Box<dyn Error>` chain
+    /// walks `QueryError → StoreError → (RetriesExhausted's last fault)`.
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<nosql_store::StoreError> for QueryError {
     fn from(e: nosql_store::StoreError) -> Self {
-        QueryError::Store(e.to_string())
+        QueryError::Store(e)
     }
 }
 
@@ -129,6 +148,20 @@ mod tests {
         let w = QueryResult::affected(3);
         assert_eq!(w.rows_affected, 3);
         assert!(w.is_empty());
+    }
+
+    #[test]
+    fn store_errors_chain_their_source() {
+        use std::error::Error;
+        let store = nosql_store::StoreError::RetriesExhausted {
+            attempts: 4,
+            last: Box::new(nosql_store::StoreError::RpcTimeout),
+        };
+        let err = QueryError::from(store);
+        // QueryError → StoreError::RetriesExhausted → RpcTimeout.
+        let source = err.source().expect("store source");
+        let root = source.source().expect("fault source");
+        assert!(root.to_string().contains("timed out"), "{root}");
     }
 
     #[test]

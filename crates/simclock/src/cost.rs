@@ -84,6 +84,11 @@ pub struct CostModel {
     pub newsql_write_durability: SimDuration,
     /// Client-side per-result-row processing cost.
     pub client_row_process: SimDuration,
+    /// Fixed cost of bringing a crashed cluster back (region reassignment,
+    /// lease and metadata recovery) before WAL replay starts.
+    pub recovery_base: SimDuration,
+    /// Per-entry cost of replaying a synced WAL record during recovery.
+    pub wal_replay_entry: SimDuration,
     /// Storage medium for WAL syncs.
     pub medium: StorageMedium,
 }
@@ -111,6 +116,8 @@ impl Default for CostModel {
             newsql_broadcast: SimDuration::from_micros(1_800),
             newsql_write_durability: SimDuration::from_micros(9_000),
             client_row_process: SimDuration::from_nanos(250),
+            recovery_base: SimDuration::from_millis(50),
+            wal_replay_entry: SimDuration::from_micros(20),
             medium: StorageMedium::Ssd,
         }
     }
@@ -213,6 +220,12 @@ impl CostModel {
     /// Client-side cost of materializing `rows` result rows.
     pub fn client_result_cost(&self, rows: u64) -> SimDuration {
         self.client_row_process * rows
+    }
+
+    /// Cost of recovering a crashed cluster by replaying `entries` synced
+    /// WAL records over the last durable checkpoint.
+    pub fn recovery_cost(&self, entries: u64) -> SimDuration {
+        self.recovery_base + self.wal_replay_entry * entries
     }
 }
 

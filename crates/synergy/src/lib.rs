@@ -44,6 +44,6 @@ pub use maintenance::{
 };
 pub use rewrite::SynergyRewriter;
 pub use selection::{SelectionOutcome, ViewIndexDefinition};
-pub use system::{SynergyConfig, SynergySystem};
+pub use system::{SynergyConfig, SynergyRecovery, SynergySystem};
 pub use txn::{TransactionLayer, TxnError, WritePlan};
 pub use viewgen::{CandidateViews, RootedTree, ViewDefinition};

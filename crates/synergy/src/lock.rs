@@ -1,4 +1,5 @@
-//! The hierarchical locking mechanism (paper §VIII-A).
+//! The hierarchical locking mechanism (paper §VIII-A), with lock *leases*
+//! for crash recovery.
 //!
 //! One lock table is created per root relation.  The lock-table row key has
 //! the same attributes as the root relation's key, and a single boolean
@@ -8,8 +9,19 @@
 //! belongs to at most one rooted tree, a single lock suffices per write
 //! transaction.  Locks are implemented with HBase `checkAndPut`, exactly as
 //! in the paper's §IX-C locking-overhead experiment.
+//!
+//! Every acquisition additionally records a **lease expiry** (simulated
+//! time).  A client that crashes mid-transaction leaves its lock row at
+//! `held = 1` forever; the lease bounds the damage.  Contending writers
+//! never steal a held lock — with a single shared simulated clock, their
+//! own spinning advances time and could expire a perfectly live holder —
+//! so the lease is purely a *recovery fencing* mechanism:
+//! [`LockManager::reclaim_expired`], run by Synergy crash recovery, first
+//! waits out the latest outstanding lease (charging the simulated clock,
+//! the fencing interval that guarantees no zombie holder can still act)
+//! and then force-releases every expired lock in one sweep.
 
-use nosql_store::ops::{CheckAndPut, Expectation, Put};
+use nosql_store::ops::{CheckAndPut, Expectation, Put, Scan};
 use nosql_store::{Cluster, StoreResult, TableSchema};
 use simclock::SimDuration;
 
@@ -17,6 +29,16 @@ use simclock::SimDuration;
 pub const LOCK_FAMILY: &str = "l";
 /// Column storing the boolean "lock in use" flag.
 pub const LOCK_COLUMN: &str = "held";
+/// Column storing the lease expiry (simulated nanoseconds since the epoch,
+/// decimal).  Present on every row written by [`LockManager::acquire`].
+pub const LOCK_EXPIRY_COLUMN: &str = "exp";
+
+/// Default lock-lease length.  Healthy transactions hold their lock for
+/// milliseconds of simulated time (a handful of store round trips, plus at
+/// worst the retry policy's total fault backoff), so one simulated second
+/// comfortably bounds any live holder; recovery waits it out (the fencing
+/// interval) before reclaiming a crashed holder's lock.
+pub const DEFAULT_LOCK_LEASE: SimDuration = SimDuration::from_secs(1);
 
 /// Name of the lock table for a root relation, e.g. `L_Customer`.
 pub fn lock_table_name(root: &str) -> String {
@@ -29,6 +51,8 @@ pub struct LockManager {
     cluster: Cluster,
     /// How many acquisition attempts before giving up (a failed transaction).
     max_attempts: usize,
+    /// Lease length written into every acquired lock row.
+    lease: SimDuration,
 }
 
 /// A held hierarchical lock.  Release it with [`LockManager::release`]; the
@@ -50,7 +74,9 @@ impl LockGuard {
 impl Drop for LockGuard {
     fn drop(&mut self) {
         if !self.released {
-            let release = Put::new(self.key.clone()).with(LOCK_FAMILY, LOCK_COLUMN, "0");
+            let release = Put::new(self.key.clone())
+                .with(LOCK_FAMILY, LOCK_COLUMN, "0")
+                .with(LOCK_FAMILY, LOCK_EXPIRY_COLUMN, "0");
             let _ = self.cluster.check_and_put(
                 &self.table,
                 CheckAndPut::new(
@@ -71,6 +97,7 @@ impl LockManager {
         LockManager {
             cluster,
             max_attempts: 10_000,
+            lease: DEFAULT_LOCK_LEASE,
         }
     }
 
@@ -79,6 +106,19 @@ impl LockManager {
     pub fn with_max_attempts(mut self, attempts: usize) -> Self {
         self.max_attempts = attempts.max(1);
         self
+    }
+
+    /// Overrides the lock-lease length (default [`DEFAULT_LOCK_LEASE`]).
+    /// Tests use short leases to exercise expiry without advancing the
+    /// simulated clock far.
+    pub fn with_lease(mut self, lease: SimDuration) -> Self {
+        self.lease = lease;
+        self
+    }
+
+    /// The configured lock-lease length.
+    pub fn lease(&self) -> SimDuration {
+        self.lease
     }
 
     /// Creates the lock table for a root relation (idempotent).
@@ -101,13 +141,23 @@ impl LockManager {
         )
     }
 
+    /// The `held = 1` put for an acquisition at the current simulated time,
+    /// stamping the lease expiry.
+    fn held_put(&self, key: &str) -> Put {
+        let expiry = self.cluster.clock().now() + self.lease;
+        Put::new(key.to_string())
+            .with(LOCK_FAMILY, LOCK_COLUMN, "1")
+            .with(LOCK_FAMILY, LOCK_EXPIRY_COLUMN, expiry.as_nanos().to_string())
+    }
+
     /// Acquires the hierarchical lock for root row `key`, spinning (with a
     /// simulated backoff charge) until it succeeds or `max_attempts` is
-    /// exhausted.
+    /// exhausted.  A held lock is never stolen, whatever its lease says —
+    /// only [`LockManager::reclaim_expired`] (crash recovery) breaks one.
     pub fn acquire(&self, root: &str, key: &str) -> StoreResult<Option<LockGuard>> {
         let table = lock_table_name(root);
         for attempt in 0..self.max_attempts {
-            let put = Put::new(key.to_string()).with(LOCK_FAMILY, LOCK_COLUMN, "1");
+            let put = self.held_put(key);
             // Fast path: the entry exists and is free.
             let acquired = self.cluster.check_and_put(
                 &table,
@@ -149,7 +199,9 @@ impl LockManager {
 
     /// Releases a previously acquired lock.
     pub fn release(&self, mut guard: LockGuard) -> StoreResult<()> {
-        let release = Put::new(guard.key.clone()).with(LOCK_FAMILY, LOCK_COLUMN, "0");
+        let release = Put::new(guard.key.clone())
+            .with(LOCK_FAMILY, LOCK_COLUMN, "0")
+            .with(LOCK_FAMILY, LOCK_EXPIRY_COLUMN, "0");
         self.cluster.check_and_put(
             &guard.table,
             CheckAndPut::new(
@@ -162,6 +214,64 @@ impl LockManager {
         )?;
         guard.released = true;
         Ok(())
+    }
+
+    /// Force-releases every held lock in `root`'s lock table, first
+    /// *waiting out* the latest outstanding lease by charging the simulated
+    /// clock — the fencing interval after which no holder, dead or alive,
+    /// can still act on its lock.  Run by Synergy crash recovery, where
+    /// every pre-crash holder is known dead; the wait makes the sweep safe
+    /// even against a holder that somehow survived.  Returns the number of
+    /// locks reclaimed.
+    pub fn reclaim_expired(&self, root: &str) -> StoreResult<usize> {
+        let table = lock_table_name(root);
+        if !self.cluster.table_exists(&table) {
+            return Ok(0);
+        }
+        // Collect the held lock rows and the latest lease expiry among them.
+        let mut held: Vec<String> = Vec::new();
+        let mut latest_expiry: u64 = 0;
+        for row in self.cluster.scan(&table, Scan::all())? {
+            if row.value(LOCK_FAMILY, LOCK_COLUMN) != Some(b"1".as_slice()) {
+                continue;
+            }
+            let expiry = row
+                .value(LOCK_FAMILY, LOCK_EXPIRY_COLUMN)
+                .and_then(|bytes| std::str::from_utf8(bytes).ok())
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or(0);
+            latest_expiry = latest_expiry.max(expiry);
+            held.push(row.key_str());
+        }
+        if held.is_empty() {
+            return Ok(0);
+        }
+        // Fencing: wait until every outstanding lease is expired.
+        let now = self.cluster.clock().now().as_nanos();
+        if latest_expiry > now {
+            self.cluster
+                .clock()
+                .charge(SimDuration::from_nanos(latest_expiry - now));
+        }
+        let mut reclaimed = 0;
+        for key in held {
+            let release = Put::new(key.clone())
+                .with(LOCK_FAMILY, LOCK_COLUMN, "0")
+                .with(LOCK_FAMILY, LOCK_EXPIRY_COLUMN, "0");
+            if self.cluster.check_and_put(
+                &table,
+                CheckAndPut::new(
+                    key,
+                    LOCK_FAMILY,
+                    LOCK_COLUMN,
+                    Expectation::Equals(b"1".to_vec()),
+                    release,
+                ),
+            )? {
+                reclaimed += 1;
+            }
+        }
+        Ok(reclaimed)
     }
 
     /// True if the lock for `key` is currently held.
@@ -264,6 +374,38 @@ mod tests {
         let g2 = m.acquire("Customer", "2").unwrap().unwrap();
         m.release(g1).unwrap();
         m.release(g2).unwrap();
+    }
+
+    #[test]
+    fn orphaned_locks_block_contenders_but_are_never_stolen() {
+        let m = manager();
+        let orphan = m.acquire("Customer", "12").unwrap().unwrap();
+        // Simulate the holder crashing: the guard is forgotten, the lock
+        // row stays held.
+        std::mem::forget(orphan);
+        assert!(m.is_held("Customer", "12").unwrap());
+        // Contenders spin out without stealing, however long they wait.
+        let blocked = m.clone().with_max_attempts(3).acquire("Customer", "12").unwrap();
+        assert!(blocked.is_none());
+        assert!(m.is_held("Customer", "12").unwrap());
+    }
+
+    #[test]
+    fn reclaim_waits_out_the_lease_and_frees_orphaned_locks() {
+        let m = manager().with_lease(SimDuration::from_millis(250));
+        let orphan = m.acquire("Customer", "a").unwrap().unwrap();
+        std::mem::forget(orphan);
+        let before = m.cluster.clock().now();
+        assert_eq!(m.reclaim_expired("Customer").unwrap(), 1);
+        // The sweep charged the fencing wait: most of the orphan's 250ms
+        // lease was still outstanding (acquisition itself costs only a few
+        // simulated milliseconds).
+        assert!(m.cluster.clock().now() - before >= SimDuration::from_millis(200));
+        assert!(!m.is_held("Customer", "a").unwrap());
+        // The lock is usable again, and an empty sweep is a no-op.
+        let again = m.acquire("Customer", "a").unwrap().unwrap();
+        m.release(again).unwrap();
+        assert_eq!(m.reclaim_expired("Customer").unwrap(), 0);
     }
 
     #[test]

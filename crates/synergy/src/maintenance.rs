@@ -569,6 +569,16 @@ impl MaintenanceEngine {
         }
     }
 
+    /// Discards every write still coalescing in the batch without
+    /// propagating it.  Run by crash recovery: buffered deltas describe
+    /// base writes that may not have survived the crash, so propagating
+    /// them would corrupt the recovered views — the views are instead
+    /// consistent with the replayed base tables already.  Returns the
+    /// number of pending writes dropped.
+    pub fn discard_pending(&self) -> usize {
+        self.buffer.lock().expect("buffer lock").drain().len()
+    }
+
     /// Propagates every buffered (coalesced) write, in arrival order, with
     /// the same mark → apply → unmark discipline per update.  Returns the
     /// number of view rows touched.

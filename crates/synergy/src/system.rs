@@ -54,6 +54,13 @@ pub struct SynergyConfig<'a> {
     /// per write, the default; larger values defer and merge deltas until
     /// the batch fills or a read flushes it).
     pub write_batch: usize,
+    /// Restart budget for scans that keep observing dirty markers (default
+    /// [`query::DIRTY_RETRY_LIMIT`]).  Fault harnesses use a small limit so
+    /// a permanently dirty view degrades to the baseline plan quickly.
+    pub dirty_retry_limit: usize,
+    /// Lock-lease length override (default
+    /// [`crate::lock::DEFAULT_LOCK_LEASE`]).
+    pub lock_lease: Option<simclock::SimDuration>,
 }
 
 impl<'a> SynergyConfig<'a> {
@@ -75,7 +82,23 @@ impl<'a> SynergyConfig<'a> {
             threads: 1,
             delta_maintenance: true,
             write_batch: 1,
+            dirty_retry_limit: query::DIRTY_RETRY_LIMIT,
+            lock_lease: None,
         }
+    }
+
+    /// Overrides the dirty-scan restart budget (see
+    /// [`query::Executor::with_dirty_retry_limit`]).
+    pub fn with_dirty_retry_limit(mut self, limit: usize) -> Self {
+        self.dirty_retry_limit = limit.max(1);
+        self
+    }
+
+    /// Overrides the lock-lease length (see
+    /// [`crate::lock::LockManager::with_lease`]).
+    pub fn with_lock_lease(mut self, lease: simclock::SimDuration) -> Self {
+        self.lock_lease = Some(lease);
+        self
     }
 
     /// Runs reads and batch view refreshes with up to `threads` parallel
@@ -131,6 +154,29 @@ pub struct SynergySystem {
     txn: TransactionLayer,
     locks: LockManager,
     hierarchical_locking: bool,
+    /// Reads answered by falling back to the baseline (view-free) plan
+    /// because the rewritten plan exhausted its dirty-scan restarts.
+    dirty_fallbacks: Arc<std::sync::atomic::AtomicU64>,
+}
+
+/// What [`SynergySystem::recover`] did to bring the deployment back to a
+/// consistent state after a cluster crash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynergyRecovery {
+    /// The store-level WAL replay report.
+    pub cluster: nosql_store::RecoveryReport,
+    /// Hierarchical locks whose leases had expired (held by transactions
+    /// killed by the crash) that were force-released.
+    pub locks_reclaimed: usize,
+    /// Dirty view rows recomputed from their surviving base row (the
+    /// interrupted transaction is rolled forward).
+    pub view_rows_rolled_forward: usize,
+    /// Dirty view rows whose base row did not survive, deleted (the
+    /// interrupted transaction is rolled back).
+    pub view_rows_removed: usize,
+    /// Writes still coalescing in the maintenance batch at the crash,
+    /// discarded (their base writes may not have survived).
+    pub pending_writes_discarded: usize,
 }
 
 impl SynergySystem {
@@ -147,6 +193,8 @@ impl SynergySystem {
             threads,
             delta_maintenance,
             write_batch,
+            dirty_retry_limit,
+            lock_lease,
         } = config;
 
         // 1. Baseline schema transformation.
@@ -207,7 +255,10 @@ impl SynergySystem {
 
         // 5. Create all physical tables, plus one lock table per rooted tree.
         create_tables(&cluster, &catalog)?;
-        let locks = LockManager::new(cluster.clone());
+        let mut locks = LockManager::new(cluster.clone());
+        if let Some(lease) = lock_lease {
+            locks = locks.with_lease(lease);
+        }
         if hierarchical_locking {
             for tree in &candidates.trees {
                 locks.create_lock_table(&tree.root)?;
@@ -217,6 +268,7 @@ impl SynergySystem {
         // Reads restart when they observe a dirty marker (§VIII-C).
         let executor = Executor::new(cluster, catalog)
             .with_dirty_read_protection()
+            .with_dirty_retry_limit(dirty_retry_limit)
             .with_threads(threads);
         let maintainer = MaintenanceEngine::new(
             executor.clone(),
@@ -259,6 +311,7 @@ impl SynergySystem {
             txn,
             locks,
             hierarchical_locking,
+            dirty_fallbacks: Arc::new(std::sync::atomic::AtomicU64::new(0)),
         })
     }
 
@@ -352,10 +405,31 @@ impl SynergySystem {
             // Reads observe maintained views: drain any writes still
             // coalescing in the maintenance batch first.
             self.txn.flush_maintenance()?;
-            Ok(self.session.execute_statement(statement, params)?)
+            match self.session.execute_statement(statement, params) {
+                // Graceful degradation: a view left permanently dirty (a
+                // transaction that crashed before unmarking) starves the
+                // rewritten plan's scan restarts.  Rather than failing the
+                // read, answer it through the baseline (view-free) plan —
+                // base tables never carry dirty markers — and count the
+                // fallback on the result.
+                Err(QueryError::DirtyReadRetriesExhausted) => {
+                    let mut result = self.executor.execute(statement, params)?;
+                    result.dirty_fallbacks = 1;
+                    self.dirty_fallbacks
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    Ok(result)
+                }
+                other => Ok(other?),
+            }
         } else {
             self.txn.execute_write(statement, params)
         }
+    }
+
+    /// Total reads answered through the baseline-plan fallback since this
+    /// system was built (see [`SynergySystem::execute`]).
+    pub fn dirty_fallbacks(&self) -> u64 {
+        self.dirty_fallbacks.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Flushes writes coalescing in the maintenance batch (no-op without
@@ -368,6 +442,115 @@ impl SynergySystem {
     /// propagated, batch flushes, coalesced merges).
     pub fn maintenance_stats(&self) -> MaintenanceStatsSnapshot {
         self.txn.maintainer().stats()
+    }
+
+    /// Recovers the deployment after a cluster crash
+    /// ([`nosql_store::Cluster::crash`]):
+    ///
+    /// 1. replays the store's WAL back to the acked-synced state
+    ///    ([`nosql_store::Cluster::recover`]);
+    /// 2. discards writes still coalescing in the maintenance batch (their
+    ///    base writes may not have survived);
+    /// 3. force-releases hierarchical locks whose leases expired — every
+    ///    lock held by a transaction the crash killed, since recovery
+    ///    charges more simulated time than a live holder's remaining lease;
+    /// 4. repairs the `_dirty` markers of interrupted update transactions:
+    ///    a dirty view row whose base row survived is **rolled forward**
+    ///    (recomputed from the base tables and unmarked); one whose base
+    ///    row is gone is **rolled back** (deleted).  Either way no view row
+    ///    outlives its base row and no view stays permanently dirty.
+    pub fn recover(&self) -> Result<SynergyRecovery, TxnError> {
+        let cluster_report = self.cluster().recover();
+        let pending_writes_discarded = self.txn.maintainer().discard_pending();
+
+        let mut locks_reclaimed = 0;
+        if self.hierarchical_locking {
+            for tree in &self.candidates.trees {
+                locks_reclaimed += self
+                    .locks
+                    .reclaim_expired(&tree.root)
+                    .map_err(QueryError::from)?;
+            }
+        }
+
+        let mut view_rows_rolled_forward = 0;
+        let mut view_rows_removed = 0;
+        for view in &self.selection.views {
+            let table = view.table_name();
+            let def = self
+                .executor
+                .catalog()
+                .table(&table)
+                .ok_or_else(|| QueryError::UnknownTable(table.clone()))?
+                .clone();
+            let stored = self
+                .cluster()
+                .scan(&table, nosql_store::ops::Scan::all())
+                .map_err(QueryError::from)?;
+            for row in stored {
+                if row.value(query::FAMILY, query::DIRTY_MARKER) != Some(b"1".as_slice()) {
+                    continue;
+                }
+                let view_row = def.decode_row(&row);
+                // The view key is the last relation's primary key: project
+                // it out to locate the base row.
+                let mut base_key = Row::new();
+                let mut complete = true;
+                for attribute in &def.key {
+                    match view_row.get(attribute) {
+                        Some(value) => {
+                            base_key.set(attribute.clone(), value.clone());
+                        }
+                        None => complete = false,
+                    }
+                }
+                if !complete {
+                    // A marker-only remnant: the row's data cells did not
+                    // survive the crash (only the synced dirty marker did).
+                    // It cannot be decoded, so drop it by its raw key.
+                    self.cluster()
+                        .delete(&table, nosql_store::ops::Delete::row(row.key.to_vec()))
+                        .map_err(QueryError::from)?;
+                    view_rows_removed += 1;
+                    continue;
+                }
+                let rolled_forward = match self
+                    .executor
+                    .get_row_by_key(view.last_relation(), &base_key)?
+                {
+                    // Base row survived: recompute the view row from the
+                    // base tables (k−1 ancestor reads) and unmark it.
+                    Some(base_row) => {
+                        match self.txn.maintainer().construct_insert_tuple(view, &base_row)? {
+                            Some(full) => {
+                                self.executor.insert_row(&table, &full)?;
+                                self.txn.maintainer().unmark_dirty(view, &full)?;
+                                true
+                            }
+                            // An ancestor row is missing: the join no
+                            // longer produces this view row.
+                            None => false,
+                        }
+                    }
+                    // Base row gone: the interrupted transaction rolls back.
+                    None => false,
+                };
+                if rolled_forward {
+                    view_rows_rolled_forward += 1;
+                } else {
+                    self.executor.delete_row_by_key(&table, &base_key)?;
+                    view_rows_removed += 1;
+                }
+            }
+        }
+
+        Ok(SynergyRecovery {
+            cluster: cluster_report,
+            locks_reclaimed,
+            view_rows_rolled_forward,
+            view_rows_removed,
+            pending_writes_discarded,
+        })
     }
 
     /// Renders the delta-operator tree maintaining `view` (EXPLAIN-style,

@@ -27,6 +27,14 @@ pub enum TxnError {
     },
     /// The statement shape is not supported by the Synergy system (§IV).
     Unsupported(String),
+    /// The transaction was aborted by an injected interrupt (test hook
+    /// [`TransactionLayer::inject_interrupt_after_step`], simulating a
+    /// client crash mid-transaction: the lock stays held, dirty markers
+    /// stay set).
+    Interrupted {
+        /// The last completed step of the §VIII-B update procedure.
+        step: u8,
+    },
 }
 
 impl fmt::Display for TxnError {
@@ -37,6 +45,9 @@ impl fmt::Display for TxnError {
                 write!(f, "could not acquire lock on {root}/{key}")
             }
             TxnError::Unsupported(s) => write!(f, "unsupported statement: {s}"),
+            TxnError::Interrupted { step } => {
+                write!(f, "transaction interrupted after step {step} (injected crash)")
+            }
         }
     }
 }
@@ -60,7 +71,9 @@ impl From<QueryError> for TxnError {
 
 impl From<nosql_store::StoreError> for TxnError {
     fn from(e: nosql_store::StoreError) -> Self {
-        TxnError::Query(QueryError::Store(e.to_string()))
+        // Keep the structured store error: `source()` walks
+        // TxnError → QueryError → StoreError → (the exhausted fault).
+        TxnError::Query(QueryError::Store(e))
     }
 }
 
@@ -92,6 +105,10 @@ pub struct TransactionLayer {
     wal: WriteAheadLog,
     next_txn: Arc<AtomicU64>,
     locking_enabled: bool,
+    /// One-shot fault-injection hook: abort the next update transaction
+    /// after the given §VIII-B step completes (see
+    /// [`TransactionLayer::inject_interrupt_after_step`]).
+    interrupt_after: Arc<std::sync::Mutex<Option<u8>>>,
 }
 
 impl TransactionLayer {
@@ -112,7 +129,36 @@ impl TransactionLayer {
             wal: WriteAheadLog::new(),
             next_txn: Arc::new(AtomicU64::new(1)),
             locking_enabled: true,
+            interrupt_after: Arc::new(std::sync::Mutex::new(None)),
         }
+    }
+
+    /// Arms a one-shot interrupt that aborts the next *update* transaction
+    /// right after the given step of the §VIII-B procedure completes,
+    /// simulating a client crash at that point: the hierarchical lock is
+    /// **not** released (its guard is leaked, exactly as a dead client's
+    /// would be) and any dirty markers already set stay set.  Steps:
+    ///
+    /// * `3` — view rows are marked dirty; base row and views unchanged;
+    /// * `4` — the base row is written, the staged view updates are **not**
+    ///   applied (mid-step-4: the window where views lag their base table);
+    /// * `5` — base and views are written, the dirty markers are **not**
+    ///   cleared (a permanently dirty view, absent recovery).
+    ///
+    /// Used by the crash-recovery tests and the fault benchmarks; the hook
+    /// disarms after firing once.
+    pub fn inject_interrupt_after_step(&self, step: u8) {
+        *self.interrupt_after.lock().expect("interrupt hook lock") = Some(step);
+    }
+
+    /// Fires (and disarms) the injected interrupt if it is armed for `step`.
+    fn maybe_interrupt(&self, step: u8) -> Result<(), TxnError> {
+        let mut armed = self.interrupt_after.lock().expect("interrupt hook lock");
+        if *armed == Some(step) {
+            *armed = None;
+            return Err(TxnError::Interrupted { step });
+        }
+        Ok(())
     }
 
     /// Enables or disables the hierarchical single-lock protocol.  The MVCC
@@ -412,9 +458,12 @@ impl TransactionLayer {
                     .stage_update(&def.name, &existing, &updated)?;
                 // Step 3: mark the affected view rows dirty.
                 self.maintainer.mark_staged(&staged)?;
+                self.maybe_interrupt(3)?;
                 // Step 4: issue the updates (base row first, then views).
                 self.executor.update_row(&def.name, &updated)?;
+                self.maybe_interrupt(4)?;
                 self.maintainer.apply_staged(&staged)?;
+                self.maybe_interrupt(5)?;
                 // Step 5: un-mark the rewritten rows.
                 self.maintainer.unmark_staged(&staged)?;
                 return Ok(QueryResult::affected(1));
@@ -454,6 +503,15 @@ impl TransactionLayer {
             }
             Ok(QueryResult::affected(1))
         })();
+        if let Err(TxnError::Interrupted { .. }) = result {
+            // Simulated client crash: the dead client cannot release its
+            // lock — leak the guard so the lock row stays held (recovery
+            // reclaims it once the lease expires).
+            if let Some(guard) = guard {
+                std::mem::forget(guard);
+            }
+            return result;
+        }
         // Step 6: release the lock.
         self.release(guard)?;
         result

@@ -19,12 +19,17 @@ fn company_types(_relation: &str, column: &str) -> Option<ColumnType> {
 }
 
 fn fresh_system() -> SynergySystem {
+    system_with_dirty_retry_limit(query::DIRTY_RETRY_LIMIT)
+}
+
+fn system_with_dirty_retry_limit(limit: usize) -> SynergySystem {
     let schema = company::company_schema();
     let workload =
         parse_workload(company::company_workload_sql().iter().map(String::as_str)).unwrap();
     let system = SynergySystem::build(
         Cluster::new(ClusterConfig::default()),
-        SynergyConfig::new(schema, workload, company::company_roots(), &company_types),
+        SynergyConfig::new(schema, workload, company::company_roots(), &company_types)
+            .with_dirty_retry_limit(limit),
     )
     .unwrap();
     system
@@ -66,6 +71,10 @@ fn fresh_system() -> SynergySystem {
         )
         .unwrap();
     system.materialize_views().unwrap();
+    // Bulk loads are volatile until a checkpoint (the memstore-flush
+    // durability boundary): persist the populated state so crash tests
+    // recover it.
+    system.cluster().checkpoint();
     system
 }
 
@@ -171,6 +180,158 @@ fn lock_held_by_a_stalled_writer_blocks_only_that_root_key() {
             &[Value::Int(1), Value::Int(1), Value::Int(5)],
         )
         .unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Crash recovery: interrupted update transactions (§VIII-B steps 3–5)
+// ---------------------------------------------------------------------
+
+/// The probe joining Employee and Works_On — answered through
+/// `V_Employee__Works_On` on the rewritten path.
+const JOIN_PROBE: &str = "SELECT * FROM Employee AS e, Works_On AS wo WHERE e.EID = wo.WO_EID";
+
+/// A crash at *any* point of the marked window (after step 3, mid-step 4,
+/// or before step 5's unmark) must recover to consistent views: no view
+/// row without its base row, no dirty marker left behind, the lock
+/// released, and the view contents equal to a full recompute.
+#[test]
+fn crash_between_steps_3_and_5_recovers_consistent_views() {
+    for step in [3u8, 4, 5] {
+        let system = fresh_system();
+        system
+            .execute_sql(
+                "INSERT INTO Works_On (WO_EID, WO_PNo, Hours) VALUES (?, ?, ?)",
+                &[Value::Int(2), Value::Int(1), Value::Int(12)],
+            )
+            .unwrap();
+
+        system.transaction_layer().inject_interrupt_after_step(step);
+        let err = system
+            .execute_sql(
+                "UPDATE Employee SET EName = ? WHERE EID = ?",
+                &[Value::str("Crashed"), Value::Int(2)],
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, synergy::TxnError::Interrupted { .. }),
+            "step {step}: expected the injected interrupt, got {err}"
+        );
+        // The dead client's lock is still held (Employee 2's root is its
+        // home address row, AID = EHome_AID = 2).
+        assert!(system.locks().is_held("Address", "2").unwrap());
+
+        system.cluster().crash();
+        let report = system.recover().unwrap();
+        assert_eq!(report.locks_reclaimed, 1, "step {step}");
+        // The update marks one row in each view containing Employee
+        // (V_Address__Employee and V_Employee__Works_On); both base rows
+        // survive, so both roll forward.
+        assert_eq!(
+            report.view_rows_rolled_forward, 2,
+            "step {step}: both marked view rows roll forward"
+        );
+        assert_eq!(report.view_rows_removed, 0, "step {step}");
+        assert!(!system.locks().is_held("Address", "2").unwrap());
+
+        // No dirty marker survives anywhere, and every view equals a full
+        // recompute from the recovered base tables.
+        for view in system.selection().views.clone() {
+            let table = view.table_name();
+            for row in system
+                .cluster()
+                .scan(&table, nosql_store::ops::Scan::all())
+                .unwrap()
+            {
+                assert_ne!(
+                    row.value(query::FAMILY, query::DIRTY_MARKER),
+                    Some(b"1".as_slice()),
+                    "step {step}: dirty marker left in {table}"
+                );
+            }
+            let expected = system.recompute_view_rows(&view).unwrap();
+            assert_eq!(
+                system.cluster().row_count(&table).unwrap() as usize,
+                expected.len(),
+                "step {step}: {table} diverges from recompute"
+            );
+        }
+
+        // The rewritten read path works again, fallback-free, and agrees
+        // with the baseline plan (rows carry differently-qualified symbols
+        // per plan, so compare the projected values).
+        let through_views = system.execute_sql(JOIN_PROBE, &[]).unwrap();
+        assert_eq!(through_views.dirty_fallbacks, 0, "step {step}");
+        let stmt = sql::parse_statement(JOIN_PROBE).unwrap();
+        let baseline = system.executor().execute(&stmt, &[]).unwrap();
+        assert_eq!(through_views.len(), baseline.len(), "step {step}");
+        // Steps 4 and 5 committed the base write before crashing; step 3
+        // crashed before it.  Either way view and baseline agree.
+        let expected_name = baseline.rows[0].get("EName").unwrap().clone();
+        assert_eq!(
+            through_views.rows[0].get("EName").unwrap(),
+            &expected_name,
+            "step {step}"
+        );
+        if step >= 4 {
+            assert_eq!(expected_name, Value::str("Crashed"), "step {step}");
+        }
+
+        // The interrupted update can be retried to completion.
+        system
+            .execute_sql(
+                "UPDATE Employee SET EName = ? WHERE EID = ?",
+                &[Value::str("Recovered"), Value::Int(2)],
+            )
+            .unwrap();
+    }
+}
+
+/// A view left permanently dirty (crash after step 4, before the unmark)
+/// degrades reads to the baseline plan instead of failing them; recovery
+/// then repairs the view and reads return to the rewritten path.
+#[test]
+fn permanently_dirty_views_degrade_to_the_baseline_plan() {
+    let system = system_with_dirty_retry_limit(4);
+    system
+        .execute_sql(
+            "INSERT INTO Works_On (WO_EID, WO_PNo, Hours) VALUES (?, ?, ?)",
+            &[Value::Int(2), Value::Int(1), Value::Int(12)],
+        )
+        .unwrap();
+    system.transaction_layer().inject_interrupt_after_step(5);
+    system
+        .execute_sql(
+            "UPDATE Employee SET EName = ? WHERE EID = ?",
+            &[Value::str("Crashed"), Value::Int(2)],
+        )
+        .unwrap_err();
+
+    // The view row is dirty: the rewritten plan exhausts its 4 restarts and
+    // the read is answered through the baseline plan instead.
+    let degraded = system.execute_sql(JOIN_PROBE, &[]).unwrap();
+    assert_eq!(degraded.dirty_fallbacks, 1);
+    assert_eq!(system.dirty_fallbacks(), 1);
+    assert_eq!(degraded.len(), 1);
+    // The base write (step 4) committed before the crash: the fallback
+    // answer reflects it.
+    assert_eq!(
+        degraded.rows[0].get("EName").unwrap(),
+        &Value::str("Crashed")
+    );
+
+    // Recovery repairs the marker; the same statement then runs through the
+    // views again with the same logical answer.
+    system.cluster().crash();
+    let report = system.recover().unwrap();
+    assert_eq!(report.view_rows_rolled_forward, 2);
+    let healed = system.execute_sql(JOIN_PROBE, &[]).unwrap();
+    assert_eq!(healed.dirty_fallbacks, 0);
+    assert_eq!(healed.len(), degraded.len());
+    assert_eq!(
+        healed.rows[0].get("EName").unwrap(),
+        &Value::str("Crashed")
+    );
+    assert_eq!(system.dirty_fallbacks(), 1, "no further fallbacks");
 }
 
 // ---------------------------------------------------------------------
