@@ -26,6 +26,16 @@
 //! 1% injected faults ≥ 90% of no-fault under the backoff retry policy,
 //! and the crash-recovery demonstration reporting zero lost acked-synced
 //! writes and zero views left dirty.
+//!
+//! When it carries a `fig_partial` figure, the partial-materialization
+//! gates pin the 10%-budget zipf-1.1 cell: hit rate ≥ 90%, resident view
+//! rows and bytes reduced ≥ 10× vs full materialization, and hot-key Q1K
+//! p95 ≤ 1.25× the fully-materialized baseline (thresholds relax below
+//! 200 customers, where the zipf stream touches most of the key
+//! universe).  Finally, because every view-budget default is "off", the
+//! partial path must not perturb the other figures: the deterministic sim
+//! series of `fig10`/`fig_par`/`fig11`/`fig_writes`/`fig_faults` must be
+//! byte-identical to the committed report when both ran at the same scale.
 
 use bench::json::Json;
 use std::fmt::Write as _;
@@ -146,6 +156,8 @@ fn main() {
     }
     regressions.extend(fig_writes_gates(&old, &new, &mut summary));
     regressions.extend(fig_faults_gates(&old, &new, &mut summary));
+    regressions.extend(fig_partial_gates(&new, &mut summary));
+    regressions.extend(sim_identity_gates(&old, &new, &mut summary));
     let _ = writeln!(
         summary,
         "\nGate: ratio > {max_ratio:.1}x **and** delta > {min_delta_ms:.0} ms; \
@@ -164,6 +176,156 @@ fn main() {
         std::process::exit(1);
     }
     println!("no bench regressions beyond the gates.");
+}
+
+/// Semantic gates for the `fig_partial` partial-materialization figure,
+/// pinned on the 10%-budget zipf-1.1 cell of the fresh report (all
+/// deterministic sim numbers): the partial view must answer ≥ 90% of
+/// keyed reads from residency while holding ≥ 10× fewer view rows and
+/// bytes than full materialization, without taxing hot keys (Q1K hot-key
+/// p95 ≤ 1.25× the fully-materialized baseline).  Below 200 customers the
+/// zipfian stream touches most of the key universe, so the footprint and
+/// hit-rate thresholds relax (≥ 6× / ≥ 8× / ≥ 85%).
+fn fig_partial_gates(new: &Json, summary: &mut String) -> Vec<String> {
+    let fresh = match new.get("figures").and_then(|f| f.get("fig_partial")) {
+        Some(figure) => figure,
+        None => return Vec::new(),
+    };
+    let mut failures = Vec::new();
+    let note = |summary: &mut String, line: String, failed: bool| {
+        let marker = if failed { " ⚠️" } else { "" };
+        let _ = writeln!(summary, "- fig_partial: {line}{marker}");
+        failed
+    };
+
+    let customers = fresh.get("customers").and_then(Json::as_f64).unwrap_or(0.0);
+    let full_scale = customers >= 200.0;
+    let (min_hit, min_rows_x, min_bytes_x) = if full_scale {
+        (0.90, 10.0, 10.0)
+    } else {
+        (0.85, 6.0, 8.0)
+    };
+
+    let cell = fresh.get("rows").and_then(|rows| match rows {
+        Json::Arr(rows) => rows.iter().find(|r| {
+            matches!(r.get("budget_label"), Some(Json::Str(label)) if label == "10%")
+                && r.get("zipf_s").and_then(Json::as_f64) == Some(1.1)
+        }),
+        _ => None,
+    });
+    let Some(cell) = cell else {
+        failures.push("fig_partial 10%-budget zipf-1.1 cell missing".to_string());
+        return failures;
+    };
+
+    let checks: [(&str, f64, bool); 4] = [
+        ("hit_rate", min_hit, true),
+        ("rows_x_vs_full", min_rows_x, true),
+        ("bytes_x_vs_full", min_bytes_x, true),
+        ("q1k_hot_p95_x_vs_full", 1.25, false),
+    ];
+    for (key, threshold, at_least) in checks {
+        match cell.get(key).and_then(Json::as_f64) {
+            Some(value) => {
+                let failed = value.is_nan()
+                    || if at_least { value < threshold } else { value > threshold };
+                let op = if at_least { "≥" } else { "≤" };
+                if note(
+                    summary,
+                    format!("10% budget @ zipf 1.1: {key} = {value:.3} (gate {op} {threshold})"),
+                    failed,
+                ) {
+                    failures.push(format!(
+                        "fig_partial {key} = {value:.3} violates {op} {threshold}"
+                    ));
+                }
+            }
+            None => failures.push(format!("fig_partial cell key {key} missing")),
+        }
+    }
+    failures
+}
+
+/// The no-budget identity gate: partial materialization is off by default,
+/// so the deterministic simulated series of every other figure must be
+/// byte-identical to the committed report — any drift means the partial
+/// machinery taxed a code path it was supposed to leave alone.  Applies
+/// only when both reports ran at the same scale and repetition count
+/// (cross-scale sim numbers differ legitimately).
+fn sim_identity_gates(old: &Json, new: &Json, summary: &mut String) -> Vec<String> {
+    let scale_of = |doc: &Json| {
+        (
+            doc.get("customers").and_then(Json::as_f64).unwrap_or(f64::NAN),
+            doc.get("reps").and_then(Json::as_f64).unwrap_or(f64::NAN),
+        )
+    };
+    let (old_scale, new_scale) = (scale_of(old), scale_of(new));
+    if old_scale != new_scale {
+        let _ = writeln!(
+            summary,
+            "- sim identity: skipped (reports ran at different scales)"
+        );
+        return Vec::new();
+    }
+
+    // (figure, rows key, sim series keys) — every series is deterministic:
+    // seeded RNGs, simulated clock, max-merge across workers.
+    let series: [(&str, &str, &[&str]); 6] = [
+        ("fig10", "rows", &["view_sim_ms", "join_sim_ms"]),
+        ("fig_par", "rows", &["view_sim_ms", "join_sim_ms"]),
+        ("fig11", "rows", &["sim_ms"]),
+        ("fig_writes", "rows", &["sim_ms_per_write", "store_rows_scanned_per_write"]),
+        ("fig_writes", "bursts", &["coalesced_flush_sim_ms", "uncoalesced_flush_sim_ms"]),
+        ("fig_faults", "rows", &["goodput_ops_per_sim_sec", "p95_sim_ms"]),
+    ];
+    let mut failures = Vec::new();
+    let mut compared = 0usize;
+    fn rows_of<'a>(doc: &'a Json, figure: &str, rows_key: &str) -> Option<&'a [Json]> {
+        doc.get("figures")
+            .and_then(|f| f.get(figure))
+            .and_then(|f| f.get(rows_key))
+            .and_then(|rows| match rows {
+                Json::Arr(rows) => Some(rows.as_slice()),
+                _ => None,
+            })
+    }
+    for (figure, rows_key, keys) in series {
+        let (Some(old_rows), Some(new_rows)) =
+            (rows_of(old, figure, rows_key), rows_of(new, figure, rows_key))
+        else {
+            continue;
+        };
+        if old_rows.len() != new_rows.len() {
+            failures.push(format!(
+                "sim identity: {figure}.{rows_key} row count {} → {}",
+                old_rows.len(),
+                new_rows.len()
+            ));
+            continue;
+        }
+        for (i, (old_row, new_row)) in old_rows.iter().zip(new_rows).enumerate() {
+            for key in keys {
+                let (old_v, new_v) = (
+                    old_row.get(key).and_then(Json::as_f64),
+                    new_row.get(key).and_then(Json::as_f64),
+                );
+                compared += 1;
+                if old_v.map(f64::to_bits) != new_v.map(f64::to_bits) {
+                    failures.push(format!(
+                        "sim identity: {figure}.{rows_key}[{i}].{key} {:?} → {:?}",
+                        old_v, new_v
+                    ));
+                }
+            }
+        }
+    }
+    let _ = writeln!(
+        summary,
+        "- sim identity: {compared} deterministic sim values compared, {} drifted{}",
+        failures.len(),
+        if failures.is_empty() { "" } else { " ⚠️" }
+    );
+    failures
 }
 
 /// Semantic gates for the `fig_faults` fault-tolerance figure — all on

@@ -8,8 +8,8 @@
 //! ```
 //!
 //! Available artifacts: `fig10`, `fig_par`, `fig11`, `fig12`, `fig13`,
-//! `fig14`, `fig_writes`, `fig_faults`, `table1`, `table2`, `table3`,
-//! `ablation`, `all`.
+//! `fig14`, `fig_writes`, `fig_faults`, `fig_partial`, `table1`, `table2`,
+//! `table3`, `ablation`, `all`.
 //!
 //! `--threads N` runs the fig10 measurements with N region-parallel workers
 //! (`fig_par` always sweeps its own 1/2/4/8 axis); `--out PATH` redirects
@@ -25,10 +25,10 @@
 use bench::json::Json;
 use bench::{
     ablation_lock_granularity, comparison_matrix, fig10_limit, fig10_micro_with_prepared,
-    fig11_lock_overhead, fig13_mechanisms, fig_faults, fig_par, fig_writes, fmt_mib, fmt_ms,
-    table1_qualitative, table3_sizes, ComparisonMatrix, Fig10LimitRow, Fig10PreparedRow,
-    Fig10Row, Fig11Row, FigFaultsOutput, FigParRow, FigWritesOutput, LockAblationRow,
-    DEFAULT_CUSTOMERS, DEFAULT_REPS, FIG_FAULTS_OPS,
+    fig11_lock_overhead, fig13_mechanisms, fig_faults, fig_par, fig_partial, fig_writes,
+    fmt_mib, fmt_ms, table1_qualitative, table3_sizes, ComparisonMatrix, Fig10LimitRow,
+    Fig10PreparedRow, Fig10Row, Fig11Row, FigFaultsOutput, FigParRow, FigPartialOutput,
+    FigWritesOutput, LockAblationRow, DEFAULT_CUSTOMERS, DEFAULT_REPS, FIG_FAULTS_OPS,
 };
 use std::time::Instant;
 use tpcw::micro::MicroBench;
@@ -237,6 +237,13 @@ fn main() {
         let elapsed = wall_ms(start);
         print_fig_faults(&output);
         figures.push(("fig_faults".into(), fig_faults_json(&output, elapsed)));
+    }
+    if matches!(artifact, "fig_partial" | "all") {
+        let start = Instant::now();
+        let output = fig_partial(options.customers);
+        let elapsed = wall_ms(start);
+        print_fig_partial(&output);
+        figures.push(("fig_partial".into(), fig_partial_json(&output, elapsed)));
     }
     if matches!(artifact, "ablation" | "all") {
         let start = Instant::now();
@@ -561,6 +568,95 @@ fn fig_faults_json(output: &FigFaultsOutput, elapsed_ms: f64) -> Json {
                     Json::Int(recovery.dirty_view_rows_after_recovery as i64),
                 ),
             ]),
+        ),
+    ])
+}
+
+fn fig_partial_json(output: &FigPartialOutput, elapsed_ms: f64) -> Json {
+    Json::obj([
+        ("wall_ms", Json::Num(elapsed_ms)),
+        ("customers", Json::Int(output.customers as i64)),
+        ("order_keys", Json::Int(output.order_keys as i64)),
+        ("warmup_ops", Json::Int(output.warmup_ops as i64)),
+        ("measured_ops", Json::Int(output.measured_ops as i64)),
+        ("hot_rank", Json::Int(output.hot_rank as i64)),
+        (
+            "baselines",
+            Json::Arr(
+                output
+                    .baselines
+                    .iter()
+                    .map(|b| {
+                        Json::obj([
+                            ("zipf_s", Json::Num(b.zipf_s)),
+                            ("materialized_rows", Json::Int(b.materialized_rows as i64)),
+                            ("materialized_bytes", Json::Int(b.materialized_bytes as i64)),
+                            ("view_store_rows", Json::Int(b.view_store_rows as i64)),
+                            ("view_store_bytes", Json::Int(b.view_store_bytes as i64)),
+                            ("q1k_p50_sim_ms", Json::Num(b.q1k_p50_sim_ms)),
+                            ("q1k_p95_sim_ms", Json::Num(b.q1k_p95_sim_ms)),
+                            ("q1k_hot_p95_sim_ms", Json::Num(b.q1k_hot_p95_sim_ms)),
+                            ("q2k_p50_sim_ms", Json::Num(b.q2k_p50_sim_ms)),
+                            ("q2k_p95_sim_ms", Json::Num(b.q2k_p95_sim_ms)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "rows",
+            Json::Arr(
+                output
+                    .rows
+                    .iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("zipf_s", Json::Num(r.zipf_s)),
+                            ("budget_label", Json::str(r.budget_label.clone())),
+                            ("budget_bytes", Json::Int(r.budget_bytes as i64)),
+                            ("hits", Json::Int(r.hits as i64)),
+                            ("misses", Json::Int(r.misses as i64)),
+                            ("hit_rate", Json::Num(r.hit_rate)),
+                            ("upqueries", Json::Int(r.upqueries as i64)),
+                            ("evicted_keys", Json::Int(r.evicted_keys as i64)),
+                            ("annihilated", Json::Int(r.annihilated as i64)),
+                            ("deferred", Json::Int(r.deferred as i64)),
+                            ("bypasses", Json::Int(r.bypasses as i64)),
+                            ("resident_keys", Json::Int(r.resident_keys as i64)),
+                            ("resident_rows", Json::Int(r.resident_rows as i64)),
+                            ("resident_bytes", Json::Int(r.resident_bytes as i64)),
+                            ("view_store_rows", Json::Int(r.view_store_rows as i64)),
+                            ("view_store_bytes", Json::Int(r.view_store_bytes as i64)),
+                            ("rows_x_vs_full", Json::Num(r.rows_x_vs_full)),
+                            ("bytes_x_vs_full", Json::Num(r.bytes_x_vs_full)),
+                            ("q1k_p50_sim_ms", Json::Num(r.q1k_p50_sim_ms)),
+                            ("q1k_p95_sim_ms", Json::Num(r.q1k_p95_sim_ms)),
+                            ("q1k_hot_p95_sim_ms", Json::Num(r.q1k_hot_p95_sim_ms)),
+                            ("q2k_p50_sim_ms", Json::Num(r.q2k_p50_sim_ms)),
+                            ("q2k_p95_sim_ms", Json::Num(r.q2k_p95_sim_ms)),
+                            (
+                                "q1k_hot_p95_x_vs_full",
+                                Json::Num(r.q1k_hot_p95_x_vs_full),
+                            ),
+                            (
+                                "view_tables",
+                                Json::Arr(
+                                    r.view_tables
+                                        .iter()
+                                        .map(|(table, rows, bytes)| {
+                                            Json::obj([
+                                                ("table", Json::str(table.clone())),
+                                                ("resident_rows", Json::Int(*rows as i64)),
+                                                ("resident_bytes", Json::Int(*bytes as i64)),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
         ),
     ])
 }
@@ -900,6 +996,68 @@ fn print_fig_faults(output: &FigFaultsOutput) {
         r.dirty_view_rows_after_recovery
     );
     println!("(same seed + same fault plan => byte-identical figures; gates: zero losses, zero dirty views)\n");
+}
+
+fn print_fig_partial(output: &FigPartialOutput) {
+    println!("--- fig_partial: partial view materialization under zipfian skew ---");
+    println!(
+        "key universe: {} orders; {} warm-up + {} measured ops per cell (90% Q1K / 2% Q2K / 8% writes); hot = rank <= {}",
+        output.order_keys, output.warmup_ops, output.measured_ops, output.hot_rank
+    );
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} {:>14} {:>14} {:>14}",
+        "zipf s", "full rows", "full bytes", "Q1K p50", "Q1K p95", "Q1K hot p95", "Q2K p95"
+    );
+    for b in &output.baselines {
+        println!(
+            "{:>6} {:>10} {:>12} {:>12} {:>14} {:>14} {:>14}",
+            format!("{:.1}", b.zipf_s),
+            b.view_store_rows,
+            fmt_mib(b.view_store_bytes),
+            format!("{:.3}", b.q1k_p50_sim_ms),
+            format!("{:.3}", b.q1k_p95_sim_ms),
+            format!("{:.3}", b.q1k_hot_p95_sim_ms),
+            format!("{:.3}", b.q2k_p95_sim_ms),
+        );
+    }
+    println!(
+        "{:>6} {:>10} {:>9} {:>8} {:>8} {:>8} {:>10} {:>8} {:>8} {:>12} {:>12} {:>12}",
+        "zipf s", "budget", "hit rate", "upq", "evict", "annihil",
+        "rows", "rows x", "bytes x", "Q1K p95", "hot p95", "hot p95 x"
+    );
+    for r in &output.rows {
+        println!(
+            "{:>6} {:>10} {:>8.1}% {:>8} {:>8} {:>8} {:>10} {:>7.1}x {:>7.1}x {:>12} {:>12} {:>11.2}x",
+            format!("{:.1}", r.zipf_s),
+            r.budget_label,
+            r.hit_rate * 100.0,
+            r.upqueries,
+            r.evicted_keys,
+            r.annihilated,
+            r.view_store_rows,
+            r.rows_x_vs_full,
+            r.bytes_x_vs_full,
+            format!("{:.3}", r.q1k_p95_sim_ms),
+            format!("{:.3}", r.q1k_hot_p95_sim_ms),
+            r.q1k_hot_p95_x_vs_full,
+        );
+    }
+    // The per-view resident footprint of each view table (cluster storage
+    // metrics): the stored slice of a partial view is its resident slice.
+    for r in &output.rows {
+        let breakdown: Vec<String> = r
+            .view_tables
+            .iter()
+            .map(|(table, rows, bytes)| format!("{table}: {rows} rows / {}", fmt_mib(*bytes)))
+            .collect();
+        println!(
+            "  s={:.1} {:>9}: {}",
+            r.zipf_s,
+            r.budget_label,
+            breakdown.join(", ")
+        );
+    }
+    println!("(rows x / bytes x = full-materialization footprint over this cell's resident slice)\n");
 }
 
 fn print_ablation(rows: &[LockAblationRow]) {

@@ -782,6 +782,323 @@ fn fig_faults_recovery(customers: u64) -> FigFaultsRecovery {
 }
 
 // ---------------------------------------------------------------------
+// fig_partial: partial view materialization under zipfian skew
+// ---------------------------------------------------------------------
+
+/// Seed of the fig_partial zipfian key streams (per-cell streams derive
+/// from it by XORing in the skew's bit pattern, so every cell of one skew
+/// draws the identical key sequence).
+pub const FIG_PARTIAL_SEED: u64 = 0x5EED_2A87;
+
+/// The skew axis: zipf exponents from mild to strongly skewed.
+pub const FIG_PARTIAL_SKEWS: [f64; 3] = [0.8, 1.1, 1.4];
+
+/// The budget axis: view-byte budgets as fractions of the full
+/// materialization footprint.
+pub const FIG_PARTIAL_BUDGET_FRACS: [f64; 3] = [0.05, 0.10, 0.25];
+
+/// One fully-materialized baseline of the partial figure (one per skew —
+/// the footprint is skew-independent but the measured latencies draw the
+/// same key stream as that skew's partial cells).
+#[derive(Debug, Clone)]
+pub struct FigPartialBaseline {
+    /// Zipf exponent of the key stream.
+    pub zipf_s: f64,
+    /// View rows `materialize_views` pre-filled.
+    pub materialized_rows: u64,
+    /// Estimated bytes of the pre-filled views (the budget denominator).
+    pub materialized_bytes: u64,
+    /// Stored `V_*` rows after the run (cluster metrics).
+    pub view_store_rows: u64,
+    /// Stored `V_*` bytes after the run.
+    pub view_store_bytes: u64,
+    /// Median simulated Q1K (keyed Customer⋈Orders read) latency (ms).
+    pub q1k_p50_sim_ms: f64,
+    /// 95th-percentile simulated Q1K latency (ms).
+    pub q1k_p95_sim_ms: f64,
+    /// 95th-percentile simulated Q1K latency over hot keys only (ms).
+    pub q1k_hot_p95_sim_ms: f64,
+    /// Median simulated Q2K (keyed 3-way join read) latency (ms).
+    pub q2k_p50_sim_ms: f64,
+    /// 95th-percentile simulated Q2K latency (ms).
+    pub q2k_p95_sim_ms: f64,
+}
+
+/// One budget × skew cell of the partial figure.
+#[derive(Debug, Clone)]
+pub struct FigPartialRow {
+    /// Zipf exponent of the key stream.
+    pub zipf_s: f64,
+    /// "5%", "10%", "25%" or "unbounded".
+    pub budget_label: String,
+    /// The absolute byte budget handed to `with_view_budget`.
+    pub budget_bytes: u64,
+    /// Reads (measured window) that found every view key resident.
+    pub hits: u64,
+    /// Reads that missed at least one view key.
+    pub misses: u64,
+    /// hits / (hits + misses) over the measured window.
+    pub hit_rate: f64,
+    /// Upqueries issued in the measured window.
+    pub upqueries: u64,
+    /// Keys evicted by the CLOCK sweep in the measured window.
+    pub evicted_keys: u64,
+    /// Maintenance deltas annihilated (non-resident key) in the window.
+    pub annihilated: u64,
+    /// Deltas queued mid-fill and replayed after install, in the window.
+    pub deferred: u64,
+    /// View-routed reads that bypassed the partial path, in the window.
+    pub bypasses: u64,
+    /// Resident view keys at the end of the run.
+    pub resident_keys: u64,
+    /// Resident view rows at the end of the run.
+    pub resident_rows: u64,
+    /// Resident view bytes at the end of the run (residency estimate).
+    pub resident_bytes: u64,
+    /// Stored `V_*` rows after the run (cluster metrics).
+    pub view_store_rows: u64,
+    /// Stored `V_*` bytes after the run.
+    pub view_store_bytes: u64,
+    /// Full-materialization stored rows / this cell's (≥ 1 = reduction).
+    pub rows_x_vs_full: f64,
+    /// Full-materialization stored bytes / this cell's.
+    pub bytes_x_vs_full: f64,
+    /// Median simulated Q1K latency (ms), misses included.
+    pub q1k_p50_sim_ms: f64,
+    /// 95th-percentile simulated Q1K latency (ms), misses included.
+    pub q1k_p95_sim_ms: f64,
+    /// 95th-percentile simulated Q1K latency over hot keys only (ms).
+    pub q1k_hot_p95_sim_ms: f64,
+    /// Median simulated Q2K latency (ms).
+    pub q2k_p50_sim_ms: f64,
+    /// 95th-percentile simulated Q2K latency (ms).
+    pub q2k_p95_sim_ms: f64,
+    /// Hot-key Q1K p95, this cell / the same-skew full baseline.
+    pub q1k_hot_p95_x_vs_full: f64,
+    /// Per-view `(table, resident rows, resident bytes)` from the store.
+    pub view_tables: Vec<(String, u64, u64)>,
+}
+
+/// The full partial-materialization figure.
+#[derive(Debug, Clone)]
+pub struct FigPartialOutput {
+    /// Number of customers (order keys = 10×).
+    pub customers: u64,
+    /// The zipf key universe (number of orders).
+    pub order_keys: u64,
+    /// Uncounted warm-up operations per cell.
+    pub warmup_ops: u64,
+    /// Measured operations per cell.
+    pub measured_ops: u64,
+    /// Ranks `1..=hot_rank` count as hot keys for the hot-p95 series.
+    pub hot_rank: u64,
+    /// Full-materialization baselines, one per skew.
+    pub baselines: Vec<FigPartialBaseline>,
+    /// Budget × skew cells (plus one unbounded-budget cell).
+    pub rows: Vec<FigPartialRow>,
+}
+
+/// Simulated latencies of one measured window, split by query and by key
+/// temperature.
+#[derive(Debug, Default)]
+struct PartialLatencies {
+    q1k: Vec<f64>,
+    q1k_hot: Vec<f64>,
+    q2k: Vec<f64>,
+}
+
+/// Sorts in place and returns the `pct`-th percentile (0.0 when empty).
+fn percentile(samples: &mut [f64], pct: usize) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[(samples.len() * pct / 100).min(samples.len() - 1)]
+}
+
+/// Runs `ops` operations of the fig_partial mix — 90% Q1K, 2% Q2K, 8%
+/// order-total updates, every key drawn from `zipf` — recording simulated
+/// latencies of the reads when `record` is given (warm-up passes None).
+fn run_partial_mix(
+    bench: &MicroBench,
+    zipf: &mut tpcw::zipf::Zipf,
+    hot_rank: u64,
+    ops: u64,
+    mut record: Option<&mut PartialLatencies>,
+) {
+    use relational::Value;
+    use sql::parse_statement;
+
+    let queries = tpcw::micro::partial_queries();
+    let (q1k, q2k) = (&queries[2], &queries[3]);
+    let update = parse_statement("UPDATE Orders SET o_total = ? WHERE o_id = ?")
+        .expect("fig_partial update parses");
+    let system = bench.system();
+    let clock = system.cluster().clock().clone();
+    for i in 0..ops {
+        let rank = zipf.sample();
+        let key = Value::Int(rank as i64);
+        match i % 50 {
+            7 | 19 | 32 | 44 => {
+                system
+                    .execute(&update, &[Value::Float(100.0 + (i % 97) as f64), key])
+                    .expect("fig_partial write succeeds");
+            }
+            3 => {
+                let (result, sim) =
+                    clock.measure(|| system.execute(q2k, std::slice::from_ref(&key)));
+                result.expect("fig_partial Q2K succeeds");
+                if let Some(latencies) = record.as_deref_mut() {
+                    latencies.q2k.push(sim.as_millis_f64());
+                }
+            }
+            _ => {
+                let (result, sim) =
+                    clock.measure(|| system.execute(q1k, std::slice::from_ref(&key)));
+                result.expect("fig_partial Q1K succeeds");
+                if let Some(latencies) = record.as_deref_mut() {
+                    latencies.q1k.push(sim.as_millis_f64());
+                    if rank <= hot_rank {
+                        latencies.q1k_hot.push(sim.as_millis_f64());
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Sums the stored `V_*` tables of a deployment: `(rows, bytes, per-table)`.
+/// Compacts first so the figures count live rows, not the tombstones and
+/// overwritten versions that demand-fill/evict churn leaves behind.
+fn view_store_footprint(bench: &MicroBench) -> (u64, u64, Vec<(String, u64, u64)>) {
+    bench.system().cluster().major_compact_all();
+    let metrics = bench.system().cluster().metrics();
+    let tables = metrics.resident_where(|name| name.starts_with("V_"));
+    let rows = tables.iter().map(|(_, r, _)| r).sum();
+    let bytes = tables.iter().map(|(_, _, b)| b).sum();
+    (rows, bytes, tables)
+}
+
+/// Runs the partial-materialization figure at the default skew and budget
+/// axes (plus one unbounded-budget cell at s = 1.1): per cell, a partial
+/// deployment is demand-filled by the zipfian mix, warmed to its residency
+/// steady state, then measured for hit rate, footprint and latency against
+/// the same-skew fully-materialized baseline.  Single-threaded and seeded,
+/// so every sim number is deterministic.
+pub fn fig_partial(customers: u64) -> FigPartialOutput {
+    fig_partial_with(customers, &FIG_PARTIAL_SKEWS, &FIG_PARTIAL_BUDGET_FRACS)
+}
+
+/// [`fig_partial`] with explicit skew and budget axes (tests shrink both).
+pub fn fig_partial_with(customers: u64, skews: &[f64], fracs: &[f64]) -> FigPartialOutput {
+    let order_keys = customers * 10;
+    let warmup_ops = order_keys * 4;
+    let measured_ops = order_keys * 2;
+    let hot_rank = (order_keys / 100).max(8);
+    let seed_of = |s: f64| FIG_PARTIAL_SEED ^ s.to_bits();
+
+    let mut baselines = Vec::new();
+    for &s in skews {
+        let bench = MicroBench::build_partial(customers, 1, None)
+            .expect("full-materialization baseline builds");
+        let mut zipf = tpcw::zipf::Zipf::new(order_keys, s, seed_of(s));
+        run_partial_mix(&bench, &mut zipf, hot_rank, warmup_ops, None);
+        let mut latencies = PartialLatencies::default();
+        run_partial_mix(&bench, &mut zipf, hot_rank, measured_ops, Some(&mut latencies));
+        let (view_store_rows, view_store_bytes, _) = view_store_footprint(&bench);
+        baselines.push(FigPartialBaseline {
+            zipf_s: s,
+            materialized_rows: bench.materialized().rows as u64,
+            materialized_bytes: bench.materialized().bytes,
+            view_store_rows,
+            view_store_bytes,
+            q1k_p50_sim_ms: percentile(&mut latencies.q1k, 50),
+            q1k_p95_sim_ms: percentile(&mut latencies.q1k, 95),
+            q1k_hot_p95_sim_ms: percentile(&mut latencies.q1k_hot, 95),
+            q2k_p50_sim_ms: percentile(&mut latencies.q2k, 50),
+            q2k_p95_sim_ms: percentile(&mut latencies.q2k, 95),
+        });
+    }
+    let full_bytes = baselines[0].materialized_bytes;
+
+    let mut cells: Vec<(f64, u64, String)> = Vec::new();
+    for &s in skews {
+        for &frac in fracs {
+            let budget = (full_bytes as f64 * frac) as u64;
+            cells.push((s, budget, format!("{:.0}%", frac * 100.0)));
+        }
+    }
+    // The unbounded cell: no evictions, residency bounded only by demand —
+    // the demand-fill half of the design isolated from the budget half.
+    let unbounded_s = if skews.contains(&1.1) { 1.1 } else { skews[0] };
+    cells.push((unbounded_s, u64::MAX, "unbounded".to_string()));
+
+    let mut rows = Vec::new();
+    for (s, budget_bytes, budget_label) in cells {
+        let baseline = baselines
+            .iter()
+            .find(|b| b.zipf_s == s)
+            .expect("every cell skew has a baseline");
+        let bench = MicroBench::build_partial(customers, 1, Some(budget_bytes))
+            .expect("partial deployment builds");
+        let mut zipf = tpcw::zipf::Zipf::new(order_keys, s, seed_of(s));
+        run_partial_mix(&bench, &mut zipf, hot_rank, warmup_ops, None);
+        let before = bench
+            .system()
+            .residency_snapshot()
+            .expect("partial deployment has a residency map");
+        let mut latencies = PartialLatencies::default();
+        run_partial_mix(&bench, &mut zipf, hot_rank, measured_ops, Some(&mut latencies));
+        let after = bench.system().residency_snapshot().expect("residency map");
+
+        let hits = after.hits - before.hits;
+        let misses = after.misses - before.misses;
+        let (view_store_rows, view_store_bytes, view_tables) = view_store_footprint(&bench);
+        let q1k_hot_p95_sim_ms = percentile(&mut latencies.q1k_hot, 95);
+        rows.push(FigPartialRow {
+            zipf_s: s,
+            budget_label,
+            budget_bytes,
+            hits,
+            misses,
+            hit_rate: hits as f64 / ((hits + misses) as f64).max(1.0),
+            upqueries: after.upqueries - before.upqueries,
+            evicted_keys: after.evicted_keys - before.evicted_keys,
+            annihilated: after.annihilated - before.annihilated,
+            deferred: after.deferred - before.deferred,
+            bypasses: after.bypasses - before.bypasses,
+            resident_keys: after.resident_keys,
+            resident_rows: after.resident_rows,
+            resident_bytes: after.resident_bytes,
+            view_store_rows,
+            view_store_bytes,
+            rows_x_vs_full: baseline.view_store_rows as f64
+                / (view_store_rows as f64).max(1.0),
+            bytes_x_vs_full: baseline.view_store_bytes as f64
+                / (view_store_bytes as f64).max(1.0),
+            q1k_p50_sim_ms: percentile(&mut latencies.q1k, 50),
+            q1k_p95_sim_ms: percentile(&mut latencies.q1k, 95),
+            q1k_hot_p95_sim_ms,
+            q2k_p50_sim_ms: percentile(&mut latencies.q2k, 50),
+            q2k_p95_sim_ms: percentile(&mut latencies.q2k, 95),
+            q1k_hot_p95_x_vs_full: q1k_hot_p95_sim_ms
+                / baseline.q1k_hot_p95_sim_ms.max(f64::EPSILON),
+            view_tables,
+        });
+    }
+
+    FigPartialOutput {
+        customers,
+        order_keys,
+        warmup_ops,
+        measured_ops,
+        hot_rank,
+        baselines,
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------
 // Figure 11: two-phase row-locking overhead
 // ---------------------------------------------------------------------
 
@@ -1268,6 +1585,43 @@ mod tests {
                 b.goodput_ops_per_sim_sec.to_bits()
             );
             assert_eq!(a.p95_sim_ms.to_bits(), b.p95_sim_ms.to_bits());
+        }
+    }
+
+    #[test]
+    fn fig_partial_bounds_footprint_and_stays_deterministic() {
+        let out = fig_partial_with(20, &[1.2], &[0.10]);
+        assert_eq!(out.baselines.len(), 1);
+        assert_eq!(out.rows.len(), 2, "one budget cell plus the unbounded cell");
+        let full = &out.baselines[0];
+        assert!(full.view_store_rows > 0 && full.view_store_bytes > 0);
+
+        let cell = out.rows.iter().find(|r| r.budget_label == "10%").unwrap();
+        // The budget binds: the stored view slice is a fraction of full
+        // materialization, demand-filled by upqueries and kept under the
+        // budget by eviction.
+        assert!(cell.upqueries > 0);
+        assert!(cell.evicted_keys > 0, "a 10% budget must evict under zipf");
+        assert!(cell.bytes_x_vs_full > 2.0, "bytes_x = {}", cell.bytes_x_vs_full);
+        assert!(cell.hit_rate > 0.5, "hit rate = {}", cell.hit_rate);
+        assert!(!cell.view_tables.is_empty());
+        // Writes to evicted keys are annihilated rather than maintained.
+        assert!(cell.annihilated > 0);
+
+        // The unbounded cell never evicts and serves the steady state
+        // entirely from residency.
+        let unbounded = out.rows.iter().find(|r| r.budget_label == "unbounded").unwrap();
+        assert_eq!(unbounded.evicted_keys, 0);
+        assert!(unbounded.hit_rate >= cell.hit_rate);
+        assert!(unbounded.view_store_bytes <= full.view_store_bytes);
+
+        // Same seed, same figures — bit-for-bit.
+        let again = fig_partial_with(20, &[1.2], &[0.10]);
+        for (a, b) in out.rows.iter().zip(&again.rows) {
+            assert_eq!(a.hits, b.hits);
+            assert_eq!(a.resident_bytes, b.resident_bytes);
+            assert_eq!(a.q1k_p95_sim_ms.to_bits(), b.q1k_p95_sim_ms.to_bits());
+            assert_eq!(a.q2k_p50_sim_ms.to_bits(), b.q2k_p50_sim_ms.to_bits());
         }
     }
 

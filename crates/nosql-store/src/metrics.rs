@@ -132,6 +132,31 @@ impl ClusterMetrics {
             .map(|(_, t)| t.bytes)
             .sum()
     }
+
+    /// Resident rows of one table (0 when the table is unknown).  Under
+    /// partial view materialization the stored slice of a view *is* its
+    /// resident slice, so for `V_*` tables this reports exactly the rows a
+    /// residency budget bounds.
+    pub fn resident_rows(&self, table: &str) -> u64 {
+        self.tables.get(table).map(|t| t.rows).unwrap_or(0)
+    }
+
+    /// Resident bytes of one table (0 when the table is unknown; same
+    /// residency reading as [`ClusterMetrics::resident_rows`]).
+    pub fn resident_bytes(&self, table: &str) -> u64 {
+        self.tables.get(table).map(|t| t.bytes).unwrap_or(0)
+    }
+
+    /// Per-table `(resident rows, resident bytes)` for tables whose names
+    /// satisfy `pred`, in name order — the report prints this for `V_*`
+    /// tables next to the residency counters.
+    pub fn resident_where(&self, pred: impl Fn(&str) -> bool) -> Vec<(String, u64, u64)> {
+        self.tables
+            .iter()
+            .filter(|(name, _)| pred(name))
+            .map(|(name, t)| (name.clone(), t.rows, t.bytes))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -160,6 +185,13 @@ mod tests {
         assert_eq!(m.total_bytes(), 150);
         assert_eq!(m.total_rows(), 15);
         assert_eq!(m.bytes_where(|n| n.starts_with("view_")), 50);
+        assert_eq!(m.resident_rows("view_a"), 5);
+        assert_eq!(m.resident_bytes("view_a"), 50);
+        assert_eq!(m.resident_rows("missing"), 0);
+        assert_eq!(
+            m.resident_where(|n| n.starts_with("view_")),
+            vec![("view_a".to_string(), 5, 50)]
+        );
     }
 
     #[test]

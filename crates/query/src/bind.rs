@@ -211,6 +211,80 @@ pub(crate) fn eq_filter_values(
     out
 }
 
+/// True when the alias's single-alias conditions bound `column` from both
+/// sides: at least one `>` / `>=` and one `<` / `<=` filter against a
+/// constant (literal or parameter).  This is the *shape* question behind
+/// [`crate::AccessPath::KeyRangeScan`] — parameter values are not needed to
+/// choose the path, exactly as with equality filters.
+pub(crate) fn range_bounded_column(
+    conditions: &[PlannedCondition],
+    cond_idxs: &[usize],
+    column: &str,
+) -> bool {
+    let mut lower = false;
+    let mut upper = false;
+    for &i in cond_idxs {
+        let c = &conditions[i];
+        if !c.is_filter() || c.left.column != column {
+            continue;
+        }
+        match c.op {
+            Comparison::Gt | Comparison::GtEq => lower = true,
+            Comparison::Lt | Comparison::LtEq => upper = true,
+            _ => {}
+        }
+    }
+    lower && upper
+}
+
+/// The tightest `[lo, hi]` *inclusive-value* envelope the alias's bound
+/// range filters put on `column` — the value-side companion of
+/// [`range_bounded_column`], evaluated per execution once parameters are
+/// substituted.  Strict bounds are kept as their value (the envelope is a
+/// superset; the stream filters re-check exactness), and incomparable
+/// values keep the first bound seen, which stays conservative for the same
+/// reason.  Returns `None` unless both sides are present.
+pub(crate) fn range_filter_bounds(
+    conditions: &[PlannedCondition],
+    bound: &[BoundCondition],
+    cond_idxs: &[usize],
+    column: &str,
+) -> Option<(Value, Value)> {
+    let mut lo: Option<Value> = None;
+    let mut hi: Option<Value> = None;
+    for &i in cond_idxs {
+        let c = &conditions[i];
+        if c.left.column != column {
+            continue;
+        }
+        let BoundOperand::Value(v) = &bound[i].right else {
+            continue;
+        };
+        match c.op {
+            Comparison::Gt | Comparison::GtEq => match &lo {
+                Some(cur) if value_lt(v, cur) => {}
+                _ => lo = Some(v.clone()),
+            },
+            Comparison::Lt | Comparison::LtEq => match &hi {
+                Some(cur) if value_lt(cur, v) => {}
+                _ => hi = Some(v.clone()),
+            },
+            _ => {}
+        }
+    }
+    Some((lo?, hi?))
+}
+
+/// Strict `a < b` for bound comparison, false when incomparable.
+fn value_lt(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Int(a), Value::Int(b)) => a < b,
+        (Value::Float(a), Value::Float(b)) => a < b,
+        (Value::Str(a), Value::Str(b)) => a < b,
+        _ => false,
+    }
+}
+
 /// Columns of `alias` that the query needs (for covered-index decisions and
 /// projection pushdown); `None` means "all of them" (wildcard).
 pub(crate) fn needed_columns(

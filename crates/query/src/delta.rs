@@ -699,6 +699,7 @@ fn access_label(access: &AccessPath) -> String {
     match access {
         AccessPath::KeyGet => "get".to_string(),
         AccessPath::KeyPrefixScan => "key-prefix".to_string(),
+        AccessPath::KeyRangeScan => "key-range".to_string(),
         AccessPath::IndexScan { index } => format!("index:{index}"),
         AccessPath::FullScan => "full".to_string(),
     }
@@ -747,7 +748,9 @@ fn scan_lookup(
             // the decoded index rows are the base rows.
             prefix_rows(executor, &index_def, constraints)?
         }
-        AccessPath::FullScan => {
+        // Probe access is chosen from equality constraints only, so a
+        // range path never fires here; it falls through to the full walk.
+        AccessPath::FullScan | AccessPath::KeyRangeScan => {
             let cursor = executor
                 .cluster()
                 .scan_stream(&def.name, executor.bounded_scan(Scan::all()))?;

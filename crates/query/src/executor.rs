@@ -61,6 +61,15 @@ pub enum AccessPath {
         /// Name of the index table used.
         index: String,
     },
+    /// Bounded scan on the leading key attribute: the alias carries both a
+    /// lower (`>` / `>=`) and an upper (`<` / `<=`) filter on `key[0]`, so
+    /// the store walk can be clamped to `[lo, hi]` when the encoded bounds
+    /// are order-safe (see `physical::range_scan_bounds`); otherwise the
+    /// operator degrades to a full walk and the ordinary single-alias
+    /// stream filters keep the result exact.  This is the access path of
+    /// Synergy upqueries, whose defining plans are parameterized on the
+    /// missing view-key range.
+    KeyRangeScan,
     /// Full table scan.
     FullScan,
 }

@@ -63,16 +63,28 @@ fn access_rank(path: &AccessPath) -> i32 {
     match path {
         AccessPath::KeyGet => 0,
         AccessPath::IndexScan { .. } => 1,
-        AccessPath::KeyPrefixScan => 2,
+        AccessPath::KeyPrefixScan | AccessPath::KeyRangeScan => 2,
         AccessPath::FullScan => 3,
     }
 }
 
 /// Chooses how one alias will be accessed given the *columns* of its
-/// single-alias equality filters (values are irrelevant to the choice,
+/// single-alias equality filters plus whether its leading key attribute is
+/// range-bounded from both sides (values are irrelevant to the choice,
 /// which is what makes plans parameter-independent and cacheable).
-fn select_access_path(catalog: &Catalog, def: &TableDef, eq_columns: &[String]) -> AccessPath {
-    choose_access(catalog, def, eq_columns, false)
+fn select_access_path(
+    catalog: &Catalog,
+    def: &TableDef,
+    eq_columns: &[String],
+    key_range_bounded: bool,
+) -> AccessPath {
+    match choose_access(catalog, def, eq_columns, false) {
+        // A both-sided range on `key[0]` beats walking the whole table:
+        // the upquery shape (`... AND last.lead >= ? AND last.lead <= ?`)
+        // plans as a bounded key scan instead of a full scan.
+        AccessPath::FullScan if key_range_bounded => AccessPath::KeyRangeScan,
+        path => path,
+    }
 }
 
 /// Chooses the access path for a **delta-probe** lookup: how view
@@ -153,7 +165,11 @@ pub(crate) fn plan_select(
     let paths: Vec<AccessPath> = aliases
         .iter()
         .enumerate()
-        .map(|(ai, (_, def))| select_access_path(catalog, def, &eq_columns[ai]))
+        .map(|(ai, (_, def))| {
+            let key_range_bounded =
+                bind::range_bounded_column(&conditions, &single_alias[ai], &def.key[0]);
+            select_access_path(catalog, def, &eq_columns[ai], key_range_bounded)
+        })
         .collect();
 
     // --- Rule 3: join order --------------------------------------------

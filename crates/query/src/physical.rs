@@ -16,7 +16,8 @@
 //! committed `BENCH_report.json` sim figures.
 
 use crate::bind::{
-    eq_filter_row, eq_filter_values, BoundCondition, BoundOperand, PlannedCondition,
+    eq_filter_row, eq_filter_values, range_filter_bounds, BoundCondition, BoundOperand,
+    PlannedCondition,
 };
 use crate::catalog::TableDef;
 use crate::executor::{stored_row_is_dirty, AccessPath, Executor};
@@ -517,6 +518,33 @@ impl Executor {
                     )
                 }
             }
+            AccessPath::KeyRangeScan => {
+                // The planner froze the *shape* (both-sided range filters
+                // on `key[0]`); the concrete `[lo, hi]` envelope comes from
+                // the bound parameter values per execution.  When the
+                // encoded bounds are order-safe the store walk is clamped
+                // to them; otherwise the walk degrades to a full scan —
+                // either way the single-alias stream filters below re-check
+                // every row, so the clamp is purely a cost optimization.
+                let bounds = range_filter_bounds(
+                    &plan.conditions,
+                    bound,
+                    &plan.single_alias[ai],
+                    &def.key[0],
+                );
+                let scan = match bounds.as_ref().and_then(|(lo, hi)| range_scan_bounds(lo, hi)) {
+                    Some((start, stop)) => Scan::range(start, stop),
+                    None => Scan::all(),
+                }
+                .with_columns(self.scan_projection(def, ctx.mask));
+                let cursor = self.cluster().scan_stream(&def.name, self.bounded_scan(scan))?;
+                Box::new(cursor.map(move |stored| {
+                    if self.is_dirty(&stored) {
+                        return Err(QueryError::DirtyRestart);
+                    }
+                    Ok(ctx.decode(&stored))
+                }))
+            }
             AccessPath::FullScan => {
                 let scan = Scan::all()
                     .with_limit(store_limit)
@@ -728,6 +756,40 @@ impl Executor {
 /// The hash partition a join key belongs to.  `DefaultHasher::new()` is
 /// deterministic (fixed keys), so build and probe agree — and repeated runs
 /// partition identically, keeping parallel sim figures reproducible.
+/// Store-scan bounds `[start, stop)` covering every key whose leading
+/// component lies in the inclusive value interval `[lo, hi]`, or `None`
+/// when encoded keys do not sort like the values over that interval
+/// (integers encode as plain decimal, so unequal digit widths or negative
+/// values break lexicographic order).  `stop` appends a byte just above
+/// [`KEY_DELIMITER`] so composite keys sharing the `hi` leading component
+/// stay inside the window while the next distinct value stays out.
+fn range_scan_bounds(lo: &Value, hi: &Value) -> Option<(String, String)> {
+    let safe = lo == hi
+        || match (lo, hi) {
+            (Value::Str(a), Value::Str(b)) => a <= b,
+            (Value::Int(a), Value::Int(b)) => {
+                *a >= 0 && *b >= *a && decimal_width(*a) == decimal_width(*b)
+            }
+            _ => false,
+        };
+    if !safe {
+        return None;
+    }
+    let start = encode_key([lo]);
+    let mut stop = encode_key([hi]);
+    stop.push(RANGE_STOP_SENTINEL);
+    Some((start, stop))
+}
+
+/// One code point above [`KEY_DELIMITER`] and below every encodable value
+/// byte: appended to an encoded leading component it upper-bounds all of
+/// that component's composite keys.
+const RANGE_STOP_SENTINEL: char = '\u{2}';
+
+fn decimal_width(v: i64) -> usize {
+    v.to_string().len()
+}
+
 fn partition_of(key: &JoinKey, parts: usize) -> usize {
     use std::hash::{Hash, Hasher};
     let mut hasher = std::collections::hash_map::DefaultHasher::new();

@@ -302,6 +302,7 @@ fn access_label(access: &AccessPath) -> String {
     match access {
         AccessPath::KeyGet => "get".to_string(),
         AccessPath::KeyPrefixScan => "key-prefix".to_string(),
+        AccessPath::KeyRangeScan => "key-range".to_string(),
         AccessPath::IndexScan { index } => format!("index:{index}"),
         AccessPath::FullScan => "full".to_string(),
     }

@@ -1,0 +1,147 @@
+//! The `key-range` access path: a both-sided range filter on a table's
+//! leading key attribute bounds the store walk instead of scanning the
+//! whole table — the access path Synergy upqueries are planned onto.
+//! Bounds are only applied when the encoded keys are order-safe (string
+//! keys, or non-negative integers of equal decimal width); otherwise the
+//! operator degrades to a full walk and the ordinary stream filters keep
+//! the result exact either way.
+
+use nosql_store::{Cluster, ClusterConfig};
+use query::{baseline, ColumnType, Executor, Session};
+use relational::{Relation, Row, Schema, Value};
+
+fn build_executor(orders: i64) -> Executor {
+    let schema = Schema::new().with_relation(
+        Relation::new("Orders")
+            .attributes(["o_id", "o_tag", "o_total"])
+            .primary_key(["o_id"])
+            .build(),
+    );
+    let catalog = baseline::baseline_catalog_with_types(&schema, &|_, column| match column {
+        "o_id" | "o_total" => Some(ColumnType::Int),
+        _ => Some(ColumnType::Str),
+    });
+    let cluster = Cluster::new(ClusterConfig::default());
+    baseline::create_tables(&cluster, &catalog).unwrap();
+    let exec = Executor::new(cluster, catalog);
+    for o_id in 1..=orders {
+        exec.insert_row(
+            "Orders",
+            &Row::new()
+                .with("o_id", o_id)
+                .with("o_tag", format!("T{o_id:03}"))
+                .with("o_total", o_id * 10),
+        )
+        .unwrap();
+    }
+    exec
+}
+
+fn range_ids(session: &Session, lo: i64, hi: i64) -> Vec<i64> {
+    let result = session
+        .execute_sql(
+            "SELECT o_id FROM Orders WHERE o_id >= ? AND o_id <= ?",
+            &[Value::Int(lo), Value::Int(hi)],
+        )
+        .unwrap();
+    let mut ids: Vec<i64> = result
+        .rows
+        .iter()
+        .map(|r| match r.get("o_id").unwrap() {
+            Value::Int(v) => *v,
+            other => panic!("o_id is Int, got {other:?}"),
+        })
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+#[test]
+fn planner_selects_key_range_for_bounded_leading_key() {
+    let session = Session::new(build_executor(9));
+    let explain = session
+        .execute_sql(
+            "EXPLAIN SELECT o_id FROM Orders WHERE o_id >= ? AND o_id <= ?",
+            &[],
+        )
+        .unwrap();
+    let rendered: String = explain.rows.iter().map(|r| r.to_string()).collect();
+    assert!(
+        rendered.contains("key-range"),
+        "both-sided leading-key range plans as key-range: {rendered}"
+    );
+
+    // One-sided ranges and non-key ranges keep the full scan.
+    for sql in [
+        "EXPLAIN SELECT o_id FROM Orders WHERE o_id >= ?",
+        "EXPLAIN SELECT o_id FROM Orders WHERE o_total >= ? AND o_total <= ?",
+    ] {
+        let explain = session.execute_sql(sql, &[]).unwrap();
+        let rendered: String = explain.rows.iter().map(|r| r.to_string()).collect();
+        assert!(
+            !rendered.contains("key-range"),
+            "{sql} must not plan as key-range: {rendered}"
+        );
+    }
+}
+
+#[test]
+fn safe_bounds_clamp_the_walk_and_stay_exact() {
+    let exec = build_executor(9);
+    let session = Session::new(exec.clone());
+    // Single-digit universe: encoded Int keys are order-safe.
+    let before = exec.cluster().metrics().ops;
+    assert_eq!(range_ids(&session, 3, 5), vec![3, 4, 5]);
+    let scanned = exec.cluster().metrics().ops.delta_since(&before).scanned_rows;
+    assert!(scanned <= 4, "the walk is clamped to the range, scanned {scanned}");
+}
+
+#[test]
+fn width_mixed_and_negative_bounds_fall_back_but_stay_exact() {
+    let session = Session::new(build_executor(25));
+    // 5..=20 mixes decimal widths: plain-decimal encoding is not
+    // order-preserving there, so the operator walks fully — exact anyway.
+    assert_eq!(range_ids(&session, 5, 20), (5..=20).collect::<Vec<_>>());
+    assert_eq!(range_ids(&session, -3, 4), (1..=4).collect::<Vec<_>>());
+}
+
+#[test]
+fn point_range_matches_key_get_semantics() {
+    let session = Session::new(build_executor(12));
+    // lo == hi is the upquery shape: always encode-safe.
+    assert_eq!(range_ids(&session, 7, 7), vec![7]);
+    assert_eq!(range_ids(&session, 13, 13), Vec::<i64>::new());
+    // An inverted range is empty.
+    assert_eq!(range_ids(&session, 9, 2), Vec::<i64>::new());
+}
+
+#[test]
+fn string_keys_range_scan() {
+    let schema = Schema::new().with_relation(
+        Relation::new("Tags")
+            .attributes(["tag", "n"])
+            .primary_key(["tag"])
+            .build(),
+    );
+    let catalog = baseline::baseline_catalog_with_types(&schema, &|_, column| match column {
+        "n" => Some(ColumnType::Int),
+        _ => Some(ColumnType::Str),
+    });
+    let cluster = Cluster::new(ClusterConfig::default());
+    baseline::create_tables(&cluster, &catalog).unwrap();
+    let exec = Executor::new(cluster, catalog);
+    for (i, tag) in ["alpha", "beta", "delta", "gamma", "omega"].iter().enumerate() {
+        exec.insert_row("Tags", &Row::new().with("tag", *tag).with("n", i as i64))
+            .unwrap();
+    }
+    let session = Session::new(exec);
+    let result = session
+        .execute_sql(
+            "SELECT tag FROM Tags WHERE tag >= ? AND tag <= ?",
+            &[Value::str("beta"), Value::str("gamma")],
+        )
+        .unwrap();
+    let mut tags: Vec<String> = result.rows.iter().map(|r| r.to_string()).collect();
+    tags.sort();
+    assert_eq!(tags.len(), 3, "beta, delta, gamma: {tags:?}");
+}

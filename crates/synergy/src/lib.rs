@@ -32,6 +32,7 @@
 pub mod advisor;
 pub mod lock;
 pub mod maintenance;
+pub mod partial;
 pub mod rewrite;
 pub mod selection;
 pub mod system;
@@ -42,8 +43,9 @@ pub use lock::{LockGuard, LockManager};
 pub use maintenance::{
     MaintenanceEngine, MaintenanceStatsSnapshot, StagedViewUpdate, ViewMaintainer,
 };
+pub use partial::{MaintOutcome, ResidencySnapshot, ViewResidency};
 pub use rewrite::SynergyRewriter;
 pub use selection::{SelectionOutcome, ViewIndexDefinition};
-pub use system::{SynergyConfig, SynergyRecovery, SynergySystem};
+pub use system::{Materialization, SynergyConfig, SynergyRecovery, SynergySystem};
 pub use txn::{TransactionLayer, TxnError, WritePlan};
 pub use viewgen::{CandidateViews, RootedTree, ViewDefinition};

@@ -34,10 +34,14 @@
 //! writes to the same base key merge (last-write-wins per column,
 //! insert+delete annihilation) and flush as one propagated write.
 
+use crate::partial::{MaintOutcome, ViewResidency, ViewWrite};
 use crate::selection::ViewIndexDefinition;
 use crate::viewgen::ViewDefinition;
 use nosql_store::ops::{Put, Scan};
-use query::{DeltaBuffer, DeltaPlan, DeltaSign, Executor, PendingWrite, QueryError, RowDelta, FAMILY};
+use query::{
+    DeltaBuffer, DeltaPlan, DeltaSign, Executor, PendingWrite, QueryError, RowDelta, TableDef,
+    FAMILY,
+};
 use relational::{encode_key, Row, Schema, Value, KEY_DELIMITER};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -117,6 +121,11 @@ pub struct MaintenanceEngine {
     /// The coalescing write batch (capacity 1 = propagate per write).
     buffer: Arc<Mutex<DeltaBuffer>>,
     stats: Arc<MaintenanceStats>,
+    /// Partial-materialization residency (`None` = views fully
+    /// materialized): view-row writes are routed through it so deltas
+    /// targeting non-resident keys are **annihilated** and deltas racing a
+    /// fill are deferred (see [`ViewResidency::apply_view_write`]).
+    residency: Option<Arc<ViewResidency>>,
 }
 
 impl MaintenanceEngine {
@@ -148,7 +157,15 @@ impl MaintenanceEngine {
             plans: Arc::new(Mutex::new(HashMap::new())),
             buffer: Arc::new(Mutex::new(DeltaBuffer::new(1))),
             stats: Arc::new(MaintenanceStats::default()),
+            residency: None,
         }
+    }
+
+    /// Routes view-row writes through a partial-materialization residency
+    /// map (see [`ViewResidency`]).
+    pub fn with_residency(mut self, residency: Arc<ViewResidency>) -> Self {
+        self.residency = Some(residency);
+        self
     }
 
     /// Enables or disables delta propagation (disabled = the legacy
@@ -254,6 +271,82 @@ impl MaintenanceEngine {
     }
 
     // ------------------------------------------------------------------
+    // Residency-aware view writes (partial materialization)
+    // ------------------------------------------------------------------
+
+    fn catalog_view_def(&self, view: &ViewDefinition) -> Result<TableDef, QueryError> {
+        let table = view.table_name();
+        self.executor
+            .catalog()
+            .table(&table)
+            .cloned()
+            .ok_or(QueryError::UnknownTable(table))
+    }
+
+    /// Writes one view row (insert or in-place rewrite).  In partial mode
+    /// the write routes through residency: annihilated for a cold key,
+    /// deferred mid-fill, applied as an upsert otherwise.
+    fn route_view_upsert(
+        &self,
+        view: &ViewDefinition,
+        row: &Row,
+        insert: bool,
+    ) -> Result<usize, QueryError> {
+        match &self.residency {
+            Some(residency) => {
+                let def = self.catalog_view_def(view)?;
+                match residency.apply_view_write(
+                    &self.executor,
+                    &def,
+                    ViewWrite::Upsert(row.clone()),
+                )? {
+                    MaintOutcome::Applied { touched } => Ok(touched as usize),
+                    MaintOutcome::Deferred | MaintOutcome::Annihilated => Ok(0),
+                }
+            }
+            None => {
+                if insert {
+                    self.executor.insert_row(&view.table_name(), row)?;
+                } else {
+                    self.executor.update_row(&view.table_name(), row)?;
+                }
+                Ok(1)
+            }
+        }
+    }
+
+    /// Removes one view row by key, routed through residency in partial
+    /// mode (same annihilate/defer/apply rules as the upsert path).
+    fn route_view_remove(&self, view: &ViewDefinition, key: &Row) -> Result<usize, QueryError> {
+        match &self.residency {
+            Some(residency) => {
+                let def = self.catalog_view_def(view)?;
+                match residency.apply_view_write(
+                    &self.executor,
+                    &def,
+                    ViewWrite::Remove(key.clone()),
+                )? {
+                    MaintOutcome::Applied { touched } => Ok(touched as usize),
+                    MaintOutcome::Deferred | MaintOutcome::Annihilated => Ok(0),
+                }
+            }
+            None => Ok(self.executor.delete_row_by_key(&view.table_name(), key)? as usize),
+        }
+    }
+
+    /// True when `view_row` should carry dirty markers: always in full
+    /// materialization; only while its key is resident in partial mode
+    /// (marking a cold key would create a marker-only remnant row outside
+    /// residency accounting).
+    fn marker_applies(&self, view: &ViewDefinition, view_row: &Row) -> Result<bool, QueryError> {
+        let Some(residency) = &self.residency else {
+            return Ok(true);
+        };
+        let def = self.catalog_view_def(view)?;
+        Ok(residency.is_resident_for_row(&def, view_row))
+    }
+
+    // ------------------------------------------------------------------
     // Insert (§VII-A)
     // ------------------------------------------------------------------
 
@@ -272,12 +365,10 @@ impl MaintenanceEngine {
                     .fetch_add(out.len() as u64, Ordering::Relaxed);
                 for delta in out {
                     debug_assert_eq!(delta.sign, DeltaSign::Plus);
-                    self.executor.insert_row(&view.table_name(), &delta.row)?;
-                    written += 1;
+                    written += self.route_view_upsert(view, &delta.row, true)?;
                 }
             } else if let Some(view_row) = self.construct_insert_tuple(view, inserted)? {
-                self.executor.insert_row(&view.table_name(), &view_row)?;
-                written += 1;
+                written += self.route_view_upsert(view, &view_row, true)?;
             }
         }
         self.stats
@@ -337,9 +428,7 @@ impl MaintenanceEngine {
     pub fn apply_delete(&self, relation: &str, base_key: &Row) -> Result<usize, QueryError> {
         let mut removed = 0;
         for view in self.views_for_delete(relation) {
-            if self.executor.delete_row_by_key(&view.table_name(), base_key)? {
-                removed += 1;
-            }
+            removed += self.route_view_remove(view, base_key)?;
         }
         self.stats
             .view_rows_touched
@@ -430,7 +519,9 @@ impl MaintenanceEngine {
     pub fn mark_staged(&self, staged: &[StagedViewUpdate]) -> Result<(), QueryError> {
         for update in staged {
             for row in update.rewrites.iter().chain(&update.removes) {
-                self.mark_dirty(&update.view, row)?;
+                if self.marker_applies(&update.view, row)? {
+                    self.mark_dirty(&update.view, row)?;
+                }
             }
         }
         Ok(())
@@ -443,6 +534,18 @@ impl MaintenanceEngine {
     pub fn apply_staged(&self, staged: &[StagedViewUpdate]) -> Result<usize, QueryError> {
         let mut touched = 0;
         for update in staged {
+            if self.residency.is_some() {
+                // Partial mode: every write routes through residency
+                // (annihilate / defer / apply); rewrites and inserts are
+                // both upserts there.
+                for old in &update.removes {
+                    touched += self.route_view_remove(&update.view, old)?;
+                }
+                for new in update.rewrites.iter().chain(&update.inserts) {
+                    touched += self.route_view_upsert(&update.view, new, false)?;
+                }
+                continue;
+            }
             let table = update.view.table_name();
             for old in &update.removes {
                 self.executor.delete_row_by_key(&table, old)?;
@@ -469,7 +572,9 @@ impl MaintenanceEngine {
     pub fn unmark_staged(&self, staged: &[StagedViewUpdate]) -> Result<(), QueryError> {
         for update in staged {
             for row in &update.rewrites {
-                self.unmark_dirty(&update.view, row)?;
+                if self.marker_applies(&update.view, row)? {
+                    self.unmark_dirty(&update.view, row)?;
+                }
             }
         }
         Ok(())

@@ -1,0 +1,476 @@
+//! **Partial view materialization** (the Noria model): residency tracking,
+//! demand-fill bookkeeping and cold-key eviction for memory-bounded views.
+//!
+//! With a byte budget configured ([`crate::SynergyConfig::with_view_budget`])
+//! views start empty and fill on demand: a read routed to a view first
+//! consults the [`ViewResidency`] map; on a miss the system issues an
+//! **upquery** — the view's defining join, parameterized on the missing key
+//! range and executed through the ordinary session/plan-cache pipeline —
+//! and installs the result here as resident rows.  Eviction keeps total
+//! resident view bytes under the budget with a CLOCK/second-chance sweep
+//! over view keys; evicting a key deletes its view rows through the charged
+//! write path and clears residency.  The maintenance engine consults the
+//! same map so deltas targeting non-resident keys are **annihilated**
+//! (dropped) instead of maintained — write traffic on cold keys does zero
+//! view work.
+//!
+//! The unit of residency is the encoded **leading key attribute** of a
+//! view: for `V_Customer__Orders` (key `o_id`) one entry is one view row,
+//! for `V_Customer__Orders__Order_line` (key `ol_o_id, ol_id`) one entry is
+//! the whole order-line group of one order — exactly the slice one upquery
+//! recomputes.  A key with zero matching rows is still installed (negative
+//! caching), so repeated reads of an absent key stay hits.
+//!
+//! Concurrency model: one global mutex guards the residency map, and every
+//! view-side store write in partial mode (install, evict, delta apply)
+//! happens under it, so the store contents and the map never disagree.
+//! Readers take a **pin** on each entry they depend on for the duration of
+//! the rewritten query; pinned entries are exempt from eviction, so a scan
+//! can never observe a half-deleted key.  A key being filled is in the
+//! `Filling` state: concurrent readers spin until it becomes resident, and
+//! maintenance deltas arriving mid-fill are queued and replayed (deferred)
+//! on top of the installed upquery result, which is safe because every
+//! delta write is a state overwrite (upsert / delete by key).
+
+use query::{Executor, QueryError, TableDef};
+use relational::{Row, Value};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The outcome of a residency probe for one view key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// The key is resident; a pin was taken — release it with
+    /// [`ViewResidency::unpin`] after the read completes.
+    Hit,
+    /// The key was absent; a `Filling` placeholder is now registered and
+    /// the caller owns the fill — it must call
+    /// [`ViewResidency::complete_fill`] or [`ViewResidency::abort_fill`].
+    Fill,
+    /// Another caller is filling this key; retry the probe shortly.
+    Wait,
+}
+
+/// A maintenance-delta write against one view row, routed through
+/// [`ViewResidency::apply_view_write`] in partial mode.
+#[derive(Debug, Clone)]
+pub enum ViewWrite {
+    /// Insert-or-overwrite one view row (covers delta inserts and staged
+    /// rewrites; [`Executor::update_row`] keeps index entries correct in
+    /// both cases).
+    Upsert(Row),
+    /// Delete one view row by its key attributes.
+    Remove(Row),
+}
+
+/// What [`ViewResidency::apply_view_write`] did with a delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaintOutcome {
+    /// The key was resident: the write went to the store; `touched` view
+    /// rows changed.
+    Applied {
+        /// View rows written or removed (0 when a remove missed).
+        touched: u64,
+    },
+    /// The key was mid-fill: the write was queued and will be replayed
+    /// after the upquery result is installed.
+    Deferred,
+    /// The key was not resident: the delta was dropped.
+    Annihilated,
+}
+
+/// Per-key residency entry.
+#[derive(Debug)]
+struct Entry {
+    /// Resident view rows of the key: encoded row key → (key attributes,
+    /// estimated resident bytes).  Empty while filling, and for resident
+    /// keys with no matching rows (negative caching).
+    rows: BTreeMap<String, (Row, u64)>,
+    /// CLOCK reference bit: set on every hit, cleared by a sweep pass.
+    referenced: bool,
+    /// Readers currently depending on this key; pinned entries are exempt
+    /// from eviction.
+    pins: u32,
+    /// Deltas that arrived while the key was being filled, replayed after
+    /// install; `None` once resident.
+    filling: Option<Vec<ViewWrite>>,
+}
+
+impl Entry {
+    fn bytes(&self) -> u64 {
+        self.rows.values().map(|(_, b)| *b).sum()
+    }
+}
+
+#[derive(Debug, Default)]
+struct ResidencyState {
+    /// view table → encoded leading-key prefix → entry.
+    views: BTreeMap<String, BTreeMap<String, Entry>>,
+    /// CLOCK ring of `(view table, prefix)`; stale pairs (already evicted
+    /// through another path) are dropped lazily as the hand meets them.
+    ring: Vec<(String, String)>,
+    /// CLOCK hand: index into `ring` of the next sweep candidate.
+    hand: usize,
+    /// Total resident view bytes across all views.
+    total_bytes: u64,
+    /// Total resident view rows across all views.
+    total_rows: u64,
+}
+
+/// Counters and residency totals of one [`ViewResidency`] (see
+/// [`ViewResidency::snapshot`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResidencySnapshot {
+    /// Resident view bytes (estimated, same model as table sizing).
+    pub resident_bytes: u64,
+    /// Resident view rows.
+    pub resident_rows: u64,
+    /// Resident view keys (residency entries).
+    pub resident_keys: u64,
+    /// Reads that found every view key resident.
+    pub hits: u64,
+    /// Reads that missed at least one view key.
+    pub misses: u64,
+    /// Upqueries issued (one per missing key).
+    pub upqueries: u64,
+    /// Keys evicted by the CLOCK sweep.
+    pub evicted_keys: u64,
+    /// View rows deleted by eviction.
+    pub evicted_rows: u64,
+    /// Maintenance deltas dropped because their key was not resident.
+    pub annihilated: u64,
+    /// Maintenance deltas queued mid-fill and replayed after install.
+    pub deferred: u64,
+    /// View-routed reads that bypassed the partial path (no key binding).
+    pub bypasses: u64,
+}
+
+/// The partial-materialization residency map of one Synergy deployment
+/// (see the module docs for the model).
+#[derive(Debug)]
+pub struct ViewResidency {
+    /// Total resident-byte budget across all views (`u64::MAX` = bounded
+    /// only by demand).
+    budget: u64,
+    state: Mutex<ResidencyState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    upqueries: AtomicU64,
+    evicted_keys: AtomicU64,
+    evicted_rows: AtomicU64,
+    annihilated: AtomicU64,
+    deferred: AtomicU64,
+    bypasses: AtomicU64,
+}
+
+impl ViewResidency {
+    /// Creates an empty residency map with the given byte budget.
+    pub fn new(budget: u64) -> Self {
+        ViewResidency {
+            budget,
+            state: Mutex::new(ResidencyState::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            upqueries: AtomicU64::new(0),
+            evicted_keys: AtomicU64::new(0),
+            evicted_rows: AtomicU64::new(0),
+            annihilated: AtomicU64::new(0),
+            deferred: AtomicU64::new(0),
+            bypasses: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured resident-byte budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// The encoded leading-key prefix of `row` under `view_def` — the
+    /// residency unit (see module docs).
+    pub fn prefix_of(view_def: &TableDef, row: &Row) -> String {
+        view_def.encode_key_prefix(row, 1)
+    }
+
+    /// The residency prefix for one bound leading-key value.
+    pub fn prefix_of_value(value: &Value) -> String {
+        relational::encode_key([value])
+    }
+
+    /// Probes residency of `prefix` in `view_table` (see [`Lookup`]).
+    pub fn lookup(&self, view_table: &str, prefix: &str) -> Lookup {
+        let mut state = self.state.lock().expect("residency lock");
+        match state.views.get_mut(view_table).and_then(|v| v.get_mut(prefix)) {
+            Some(entry) if entry.filling.is_some() => Lookup::Wait,
+            Some(entry) => {
+                entry.referenced = true;
+                entry.pins += 1;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Lookup::Hit
+            }
+            None => {
+                state.views.entry(view_table.to_string()).or_default().insert(
+                    prefix.to_string(),
+                    Entry {
+                        rows: BTreeMap::new(),
+                        referenced: true,
+                        pins: 0,
+                        filling: Some(Vec::new()),
+                    },
+                );
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.upqueries.fetch_add(1, Ordering::Relaxed);
+                Lookup::Fill
+            }
+        }
+    }
+
+    /// Installs the upquery result for a key this caller is filling, then
+    /// replays any deltas deferred mid-fill (they are newer than the
+    /// upquery's snapshot, so they win), marks the key resident with one
+    /// pin held for the caller, and sweeps eviction if the install pushed
+    /// residency over budget.
+    pub fn complete_fill(
+        &self,
+        executor: &Executor,
+        view_def: &TableDef,
+        prefix: &str,
+        rows: &[Row],
+    ) -> Result<(), QueryError> {
+        let view_table = view_def.name.as_str();
+        let mut state = self.state.lock().expect("residency lock");
+        // Install the recomputed rows through the charged write path.
+        for row in rows {
+            if let Err(e) = executor.insert_row(view_table, row) {
+                drop_entry(&mut state, view_table, prefix);
+                return Err(e);
+            }
+        }
+        let entry = state
+            .views
+            .get_mut(view_table)
+            .and_then(|v| v.get_mut(prefix))
+            .expect("filling entry present");
+        for row in rows {
+            let key = view_def.encode_row_key(row);
+            let bytes = view_def.estimate_row_bytes(row) as u64;
+            entry.rows.insert(key, (key_row(view_def, row), bytes));
+        }
+        let deferred = entry.filling.take().unwrap_or_default();
+        entry.pins += 1;
+        let mut touched_totals = (entry.rows.len() as u64, entry.bytes());
+        for write in deferred {
+            let entry = state
+                .views
+                .get_mut(view_table)
+                .and_then(|v| v.get_mut(prefix))
+                .expect("resident entry present");
+            apply_write_to_entry(executor, view_def, entry, write)?;
+            touched_totals = (entry.rows.len() as u64, entry.bytes());
+        }
+        state.total_rows += touched_totals.0;
+        state.total_bytes += touched_totals.1;
+        state.ring.push((view_table.to_string(), prefix.to_string()));
+        self.evict_to_budget(&mut state, executor)?;
+        Ok(())
+    }
+
+    /// Abandons a fill this caller started (upquery failed): the
+    /// placeholder is removed and its deferred deltas are dropped as
+    /// annihilated (their key ends up non-resident).
+    pub fn abort_fill(&self, view_table: &str, prefix: &str) {
+        let mut state = self.state.lock().expect("residency lock");
+        if let Some(entry) = state.views.get_mut(view_table).and_then(|v| v.remove(prefix)) {
+            let dropped = entry.filling.map(|d| d.len() as u64).unwrap_or(0);
+            self.annihilated.fetch_add(dropped, Ordering::Relaxed);
+        }
+    }
+
+    /// Releases one reader pin taken by a [`Lookup::Hit`] probe or a
+    /// completed fill.
+    pub fn unpin(&self, view_table: &str, prefix: &str) {
+        let mut state = self.state.lock().expect("residency lock");
+        if let Some(entry) = state.views.get_mut(view_table).and_then(|v| v.get_mut(prefix)) {
+            entry.pins = entry.pins.saturating_sub(1);
+        }
+    }
+
+    /// Routes one maintenance delta: applied when its key is resident,
+    /// queued when the key is mid-fill, dropped (annihilated) otherwise.
+    pub fn apply_view_write(
+        &self,
+        executor: &Executor,
+        view_def: &TableDef,
+        write: ViewWrite,
+    ) -> Result<MaintOutcome, QueryError> {
+        let view_table = view_def.name.as_str();
+        let prefix = match &write {
+            ViewWrite::Upsert(row) | ViewWrite::Remove(row) => Self::prefix_of(view_def, row),
+        };
+        let mut state = self.state.lock().expect("residency lock");
+        let Some(entry) = state.views.get_mut(view_table).and_then(|v| v.get_mut(&prefix))
+        else {
+            self.annihilated.fetch_add(1, Ordering::Relaxed);
+            return Ok(MaintOutcome::Annihilated);
+        };
+        if let Some(pending) = &mut entry.filling {
+            pending.push(write);
+            self.deferred.fetch_add(1, Ordering::Relaxed);
+            return Ok(MaintOutcome::Deferred);
+        }
+        let (rows_before, bytes_before) = (entry.rows.len() as u64, entry.bytes());
+        let touched = apply_write_to_entry(executor, view_def, entry, write)?;
+        let (rows_after, bytes_after) = (entry.rows.len() as u64, entry.bytes());
+        state.total_rows = state.total_rows + rows_after - rows_before;
+        state.total_bytes = state.total_bytes + bytes_after - bytes_before;
+        if bytes_after > bytes_before {
+            self.evict_to_budget(&mut state, executor)?;
+        }
+        Ok(MaintOutcome::Applied { touched })
+    }
+
+    /// True when `row`'s key is resident (not filling) — gates dirty
+    /// marking: marking a non-resident key would create a marker-only
+    /// remnant row outside residency accounting.
+    pub fn is_resident_for_row(&self, view_def: &TableDef, row: &Row) -> bool {
+        let prefix = Self::prefix_of(view_def, row);
+        let state = self.state.lock().expect("residency lock");
+        state
+            .views
+            .get(view_def.name.as_str())
+            .and_then(|v| v.get(&prefix))
+            .is_some_and(|e| e.filling.is_none())
+    }
+
+    /// Counts one view-routed read that bypassed the partial path (the
+    /// statement binds no leading-key value, so it runs baseline).
+    pub fn count_bypass(&self) {
+        self.bypasses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drops all residency state (recovery: the store-side view rows are
+    /// wiped separately, so the cache restarts cold).  Counters persist.
+    pub fn clear(&self) {
+        let mut state = self.state.lock().expect("residency lock");
+        *state = ResidencyState::default();
+    }
+
+    /// Current totals and counters.
+    pub fn snapshot(&self) -> ResidencySnapshot {
+        let state = self.state.lock().expect("residency lock");
+        ResidencySnapshot {
+            resident_bytes: state.total_bytes,
+            resident_rows: state.total_rows,
+            resident_keys: state.views.values().map(|v| v.len() as u64).sum(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            upqueries: self.upqueries.load(Ordering::Relaxed),
+            evicted_keys: self.evicted_keys.load(Ordering::Relaxed),
+            evicted_rows: self.evicted_rows.load(Ordering::Relaxed),
+            annihilated: self.annihilated.load(Ordering::Relaxed),
+            deferred: self.deferred.load(Ordering::Relaxed),
+            bypasses: self.bypasses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// CLOCK/second-chance sweep: while residency exceeds the budget, the
+    /// hand walks the ring; referenced entries lose their bit and get a
+    /// second chance, pinned or filling entries are skipped, and anything
+    /// else is evicted — its view rows deleted through the charged write
+    /// path and its residency cleared.  Bails out after two full laps
+    /// without an eviction (everything pinned), leaving residency
+    /// transiently over budget rather than spinning.
+    fn evict_to_budget(
+        &self,
+        state: &mut ResidencyState,
+        executor: &Executor,
+    ) -> Result<(), QueryError> {
+        let mut fruitless = 0usize;
+        while state.total_bytes > self.budget && !state.ring.is_empty() {
+            if fruitless > 2 * state.ring.len() {
+                break;
+            }
+            if state.hand >= state.ring.len() {
+                state.hand = 0;
+            }
+            let (view_table, prefix) = state.ring[state.hand].clone();
+            let Some(entry) = state.views.get_mut(&view_table).and_then(|v| v.get_mut(&prefix))
+            else {
+                // Stale ring slot (key already gone); drop it in place.
+                state.ring.remove(state.hand);
+                continue;
+            };
+            if entry.pins > 0 || entry.filling.is_some() {
+                fruitless += 1;
+                state.hand += 1;
+                continue;
+            }
+            if entry.referenced {
+                entry.referenced = false;
+                fruitless += 1;
+                state.hand += 1;
+                continue;
+            }
+            // Evict: delete the key's view rows (charged, index-correct)
+            // and clear its residency.
+            let victims: Vec<Row> =
+                entry.rows.values().map(|(key_attrs, _)| key_attrs.clone()).collect();
+            let rows = entry.rows.len() as u64;
+            let bytes = entry.bytes();
+            for key_attrs in &victims {
+                executor.delete_row_by_key(&view_table, key_attrs)?;
+            }
+            state.views.get_mut(&view_table).expect("view map").remove(&prefix);
+            state.total_rows -= rows;
+            state.total_bytes -= bytes;
+            state.ring.remove(state.hand);
+            self.evicted_keys.fetch_add(1, Ordering::Relaxed);
+            self.evicted_rows.fetch_add(rows, Ordering::Relaxed);
+            fruitless = 0;
+        }
+        Ok(())
+    }
+}
+
+/// The key-attribute projection of a view row (what a later keyed delete
+/// needs).
+fn key_row(view_def: &TableDef, row: &Row) -> Row {
+    Row::from_pairs(
+        view_def
+            .key
+            .iter()
+            .map(|k| (k.as_str(), row.get(k).cloned().unwrap_or(Value::Null))),
+    )
+}
+
+/// Applies one delta write to a resident entry's store rows and byte map;
+/// returns the rows touched.
+fn apply_write_to_entry(
+    executor: &Executor,
+    view_def: &TableDef,
+    entry: &mut Entry,
+    write: ViewWrite,
+) -> Result<u64, QueryError> {
+    match write {
+        ViewWrite::Upsert(row) => {
+            executor.update_row(&view_def.name, &row)?;
+            let key = view_def.encode_row_key(&row);
+            let bytes = view_def.estimate_row_bytes(&row) as u64;
+            entry.rows.insert(key, (key_row(view_def, &row), bytes));
+            Ok(1)
+        }
+        ViewWrite::Remove(row) => {
+            let removed = executor.delete_row_by_key(&view_def.name, &row)?;
+            entry.rows.remove(&view_def.encode_row_key(&row));
+            Ok(removed as u64)
+        }
+    }
+}
+
+/// Removes a (failed) entry without touching totals — used when an install
+/// errors before the entry was accounted.
+fn drop_entry(state: &mut ResidencyState, view_table: &str, prefix: &str) {
+    if let Some(views) = state.views.get_mut(view_table) {
+        views.remove(prefix);
+    }
+}

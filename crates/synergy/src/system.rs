@@ -9,6 +9,7 @@
 
 use crate::lock::LockManager;
 use crate::maintenance::{MaintenanceEngine, MaintenanceStatsSnapshot};
+use crate::partial::{Lookup, ResidencySnapshot, ViewResidency};
 use crate::rewrite::SynergyRewriter;
 use crate::selection::{select_views, SelectionOutcome, ViewIndexDefinition};
 use crate::txn::{TransactionLayer, TxnError, WritePlan};
@@ -61,6 +62,12 @@ pub struct SynergyConfig<'a> {
     /// Lock-lease length override (default
     /// [`crate::lock::DEFAULT_LOCK_LEASE`]).
     pub lock_lease: Option<simclock::SimDuration>,
+    /// Resident-byte budget for **partial view materialization** (`None`,
+    /// the default, keeps the classic fully-materialized behavior).  With a
+    /// budget set, views start empty and fill on demand through upqueries;
+    /// a CLOCK sweep evicts cold keys to keep total resident view bytes
+    /// under the budget (see [`crate::partial::ViewResidency`]).
+    pub view_budget: Option<u64>,
 }
 
 impl<'a> SynergyConfig<'a> {
@@ -84,7 +91,18 @@ impl<'a> SynergyConfig<'a> {
             write_batch: 1,
             dirty_retry_limit: query::DIRTY_RETRY_LIMIT,
             lock_lease: None,
+            view_budget: None,
         }
+    }
+
+    /// Enables partial view materialization with the given resident-byte
+    /// budget (`u64::MAX` = demand-filled but never evicted).  Views are no
+    /// longer pre-filled by [`SynergySystem::materialize_views`]; reads fill
+    /// them key-by-key through upqueries and a CLOCK sweep evicts cold keys
+    /// to stay under the budget.
+    pub fn with_view_budget(mut self, bytes: u64) -> Self {
+        self.view_budget = Some(bytes);
+        self
     }
 
     /// Overrides the dirty-scan restart budget (see
@@ -157,6 +175,33 @@ pub struct SynergySystem {
     /// Reads answered by falling back to the baseline (view-free) plan
     /// because the rewritten plan exhausted its dirty-scan restarts.
     dirty_fallbacks: Arc<std::sync::atomic::AtomicU64>,
+    /// Partial-materialization residency map (`None` without a view budget:
+    /// views are fully materialized and every read is a hit by construction).
+    residency: Option<Arc<ViewResidency>>,
+    /// A second, rewriter-free session for upqueries: the missing-key join
+    /// must plan against the **base** tables — the main session's rewrite
+    /// rule would route it back onto the very view being filled.
+    upquery_session: Session,
+}
+
+/// What the offline view-population step wrote (see
+/// [`SynergySystem::materialize_views`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Materialization {
+    /// View rows materialized across all selected views.
+    pub rows: usize,
+    /// Estimated bytes of those rows (the catalog's storage-size model).
+    pub bytes: u64,
+}
+
+/// How one read is admitted under partial materialization (see
+/// [`SynergySystem::execute`]).
+enum PartialRoute {
+    /// Every routed view key is resident with a reader pin held (empty when
+    /// partial mode is off or the read touches no view).
+    Pinned(Vec<(String, String)>),
+    /// A routed view has no leading-key binding: answer over base tables.
+    Bypass,
 }
 
 /// What [`SynergySystem::recover`] did to bring the deployment back to a
@@ -195,6 +240,7 @@ impl SynergySystem {
             write_batch,
             dirty_retry_limit,
             lock_lease,
+            view_budget,
         } = config;
 
         // 1. Baseline schema transformation.
@@ -270,7 +316,8 @@ impl SynergySystem {
             .with_dirty_read_protection()
             .with_dirty_retry_limit(dirty_retry_limit)
             .with_threads(threads);
-        let maintainer = MaintenanceEngine::new(
+        let residency = view_budget.map(|budget| Arc::new(ViewResidency::new(budget)));
+        let mut maintainer = MaintenanceEngine::new(
             executor.clone(),
             schema.clone(),
             selection.views.clone(),
@@ -278,6 +325,9 @@ impl SynergySystem {
         )
         .with_delta(delta_maintenance)
         .with_write_batch(write_batch);
+        if let Some(residency) = &residency {
+            maintainer = maintainer.with_residency(residency.clone());
+        }
         let txn = TransactionLayer::new(
             executor.clone(),
             schema.clone(),
@@ -299,6 +349,7 @@ impl SynergySystem {
         ));
         let session =
             Session::new(executor.clone()).with_rewriter(rewriter.clone() as Arc<dyn PlanRewriter>);
+        let upquery_session = Session::new(executor.clone());
 
         Ok(SynergySystem {
             schema,
@@ -312,6 +363,8 @@ impl SynergySystem {
             locks,
             hierarchical_locking,
             dirty_fallbacks: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+            residency,
+            upquery_session,
         })
     }
 
@@ -405,24 +458,126 @@ impl SynergySystem {
             // Reads observe maintained views: drain any writes still
             // coalescing in the maintenance batch first.
             self.txn.flush_maintenance()?;
-            match self.session.execute_statement(statement, params) {
-                // Graceful degradation: a view left permanently dirty (a
-                // transaction that crashed before unmarking) starves the
-                // rewritten plan's scan restarts.  Rather than failing the
-                // read, answer it through the baseline (view-free) plan —
-                // base tables never carry dirty markers — and count the
-                // fallback on the result.
-                Err(QueryError::DirtyReadRetriesExhausted) => {
-                    let mut result = self.executor.execute(statement, params)?;
-                    result.dirty_fallbacks = 1;
-                    self.dirty_fallbacks
-                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    Ok(result)
+            match self.route_partial(statement, params)? {
+                // Partial mode, but the statement binds no leading-key
+                // value: the demand-filled view holds only the hot slice,
+                // so the rewritten plan would answer incompletely.  Run
+                // the baseline (view-free) plan instead.
+                PartialRoute::Bypass => Ok(self.executor.execute(statement, params)?),
+                PartialRoute::Pinned(pins) => {
+                    let result = self.read_through_session(statement, params);
+                    if let Some(residency) = &self.residency {
+                        for (table, prefix) in &pins {
+                            residency.unpin(table, prefix);
+                        }
+                    }
+                    result
                 }
-                other => Ok(other?),
             }
         } else {
             self.txn.execute_write(statement, params)
+        }
+    }
+
+    fn read_through_session(
+        &self,
+        statement: &Statement,
+        params: &[Value],
+    ) -> Result<QueryResult, TxnError> {
+        match self.session.execute_statement(statement, params) {
+            // Graceful degradation: a view left permanently dirty (a
+            // transaction that crashed before unmarking) starves the
+            // rewritten plan's scan restarts.  Rather than failing the
+            // read, answer it through the baseline (view-free) plan —
+            // base tables never carry dirty markers — and count the
+            // fallback on the result.
+            Err(QueryError::DirtyReadRetriesExhausted) => {
+                let mut result = self.executor.execute(statement, params)?;
+                result.dirty_fallbacks = 1;
+                self.dirty_fallbacks
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Ok(result)
+            }
+            other => Ok(other?),
+        }
+    }
+
+    /// Partial-materialization admission for one read: resolves the views
+    /// the rewriter routes the statement to, extracts the bound leading-key
+    /// value per view, and makes every such key resident (issuing upqueries
+    /// for misses) with a reader pin held.  Returns the pins to release
+    /// after the read, or [`PartialRoute::Bypass`] when a routed view has no
+    /// key binding.  A no-op (empty pin set) without a view budget.
+    fn route_partial(
+        &self,
+        statement: &Statement,
+        params: &[Value],
+    ) -> Result<PartialRoute, TxnError> {
+        let Some(residency) = &self.residency else {
+            return Ok(PartialRoute::Pinned(Vec::new()));
+        };
+        let Statement::Select(select) = statement else {
+            return Ok(PartialRoute::Pinned(Vec::new()));
+        };
+        let mut pins: Vec<(String, String)> = Vec::new();
+        for view in self.rewriter.views_for(select) {
+            let table = view.table_name();
+            let def = self
+                .executor
+                .catalog()
+                .table(&table)
+                .ok_or_else(|| QueryError::UnknownTable(table.clone()))?
+                .clone();
+            let Some(key) = leading_key_binding(select, &def.key[0], params) else {
+                residency.count_bypass();
+                for (table, prefix) in &pins {
+                    residency.unpin(table, prefix);
+                }
+                return Ok(PartialRoute::Bypass);
+            };
+            let prefix = ViewResidency::prefix_of_value(&key);
+            self.ensure_resident(residency, &view, &def, &prefix, &key)?;
+            pins.push((table, prefix));
+        }
+        Ok(PartialRoute::Pinned(pins))
+    }
+
+    /// Spins until `prefix` is resident in `view`'s table, filling it with
+    /// an upquery if this caller wins the fill race.  On return a reader pin
+    /// is held on the entry.
+    fn ensure_resident(
+        &self,
+        residency: &Arc<ViewResidency>,
+        view: &ViewDefinition,
+        def: &TableDef,
+        prefix: &str,
+        key: &Value,
+    ) -> Result<(), TxnError> {
+        loop {
+            match residency.lookup(&def.name, prefix) {
+                Lookup::Hit => return Ok(()),
+                // Another reader is mid-fill on this key: its install is a
+                // short critical section, so spin rather than queueing.
+                Lookup::Wait => std::thread::yield_now(),
+                Lookup::Fill => {
+                    let sql_text = upquery_sql(view, &def.key[0]);
+                    match self
+                        .upquery_session
+                        .execute_sql(&sql_text, &[key.clone(), key.clone()])
+                    {
+                        Ok(result) => {
+                            let rows: Vec<Row> =
+                                result.rows.iter().map(Row::unqualified).collect();
+                            residency.complete_fill(&self.executor, def, prefix, &rows)?;
+                            return Ok(());
+                        }
+                        Err(e) => {
+                            residency.abort_fill(&def.name, prefix);
+                            return Err(e.into());
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -430,6 +585,18 @@ impl SynergySystem {
     /// system was built (see [`SynergySystem::execute`]).
     pub fn dirty_fallbacks(&self) -> u64 {
         self.dirty_fallbacks.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The partial-materialization residency map (`None` without a view
+    /// budget).
+    pub fn residency(&self) -> Option<&Arc<ViewResidency>> {
+        self.residency.as_ref()
+    }
+
+    /// A snapshot of the partial-materialization counters and residency
+    /// totals (`None` without a view budget).
+    pub fn residency_snapshot(&self) -> Option<ResidencySnapshot> {
+        self.residency.as_ref().map(|r| r.snapshot())
     }
 
     /// Flushes writes coalescing in the maintenance batch (no-op without
@@ -475,6 +642,29 @@ impl SynergySystem {
 
         let mut view_rows_rolled_forward = 0;
         let mut view_rows_removed = 0;
+
+        // Partial mode restarts cold: a crash can leave a key's view rows
+        // half-synced (some rows' WAL records acked, others lost), and
+        // unlike the dirty-marker protocol there is no per-row marker to
+        // say which keys were mid-fill.  Wipe every view and view-index
+        // row raw and clear residency — the hot set refills on demand.
+        if let Some(residency) = &self.residency {
+            for view in &self.selection.views {
+                view_rows_removed += self.wipe_table_raw(&view.table_name())?;
+            }
+            for index in &self.selection.view_indexes {
+                self.wipe_table_raw(&index.name)?;
+            }
+            residency.clear();
+            return Ok(SynergyRecovery {
+                cluster: cluster_report,
+                locks_reclaimed,
+                view_rows_rolled_forward,
+                view_rows_removed,
+                pending_writes_discarded,
+            });
+        }
+
         for view in &self.selection.views {
             let table = view.table_name();
             let def = self
@@ -553,6 +743,23 @@ impl SynergySystem {
         })
     }
 
+    /// Deletes every stored row of `table` by its raw key (markers and
+    /// undecodable remnants included); returns the rows removed.
+    fn wipe_table_raw(&self, table: &str) -> Result<usize, TxnError> {
+        let stored = self
+            .cluster()
+            .scan(table, nosql_store::ops::Scan::all())
+            .map_err(QueryError::from)?;
+        let mut removed = 0;
+        for row in stored {
+            self.cluster()
+                .delete(table, nosql_store::ops::Delete::row(row.key.to_vec()))
+                .map_err(QueryError::from)?;
+            removed += 1;
+        }
+        Ok(removed)
+    }
+
     /// Renders the delta-operator tree maintaining `view` (EXPLAIN-style,
     /// see [`query::DeltaPlan::render`]).
     pub fn explain_delta_plan(&self, view: &ViewDefinition) -> Result<String, TxnError> {
@@ -600,21 +807,40 @@ impl SynergySystem {
 
     /// Computes the contents of every selected view from the already loaded
     /// base tables and bulk-loads them (the offline view-population step that
-    /// precedes the paper's measurements).  Returns the total number of view
-    /// rows materialized.
-    pub fn materialize_views(&self) -> Result<usize, TxnError> {
-        let mut total = 0;
+    /// precedes the paper's measurements).  Returns the view rows **and**
+    /// estimated bytes written.  With a view budget configured this is a
+    /// no-op returning zeros: partial views start empty and fill on demand.
+    pub fn materialize_views(&self) -> Result<Materialization, TxnError> {
+        let mut total = Materialization::default();
+        if self.residency.is_some() {
+            return Ok(total);
+        }
         for view in &self.selection.views {
-            total += self.materialize_view(view)?;
+            let one = self.materialize_view(view)?;
+            total.rows += one.rows;
+            total.bytes += one.bytes;
         }
         Ok(total)
     }
 
-    fn materialize_view(&self, view: &ViewDefinition) -> Result<usize, TxnError> {
+    fn materialize_view(&self, view: &ViewDefinition) -> Result<Materialization, TxnError> {
+        let table = view.table_name();
+        let def = self
+            .executor
+            .catalog()
+            .table(&table)
+            .ok_or_else(|| QueryError::UnknownTable(table.clone()))?
+            .clone();
         let combined = self.recompute_view_rows(view)?;
-        let count = combined.len();
-        self.executor.bulk_load_rows(&view.table_name(), &combined)?;
-        Ok(count)
+        let bytes = combined
+            .iter()
+            .map(|row| def.estimate_row_bytes(row) as u64)
+            .sum();
+        self.executor.bulk_load_rows(&table, &combined)?;
+        Ok(Materialization {
+            rows: combined.len(),
+            bytes,
+        })
     }
 
     /// Recomputes a view's contents from its base tables (the full-join
@@ -677,6 +903,45 @@ impl SynergySystem {
     pub fn database_size_bytes(&self) -> u64 {
         self.cluster().metrics().total_bytes()
     }
+}
+
+/// The bound value of an equality filter on the view's leading key
+/// attribute, if the statement has one.  Attribute names are globally
+/// unique across the schema (the baseline transformation relies on this),
+/// so matching on the bare column name is unambiguous regardless of
+/// qualifier.
+fn leading_key_binding(
+    select: &sql::SelectStatement,
+    lead_key: &str,
+    params: &[Value],
+) -> Option<Value> {
+    for condition in &select.conditions {
+        if condition.op != sql::Comparison::Eq
+            || !condition.left.column.eq_ignore_ascii_case(lead_key)
+        {
+            continue;
+        }
+        match &condition.right {
+            sql::Expr::Literal(value) => return Some(value.clone()),
+            sql::Expr::Parameter(i) => return params.get(*i).cloned(),
+            sql::Expr::Column(_) => {}
+        }
+    }
+    None
+}
+
+/// The upquery recomputing one missing view key: the view's defining join,
+/// constrained to the missing leading-key range (both parameters bind the
+/// same value for a single-key fill).  The planner serves the range with a
+/// `key-range` access path on the view's last relation; the plan is cached
+/// like any prepared statement, so repeated misses replan nothing.
+fn upquery_sql(view: &ViewDefinition, lead_key: &str) -> String {
+    format!(
+        "{} AND {rel}.{col} >= ? AND {rel}.{col} <= ?",
+        view.defining_select(),
+        rel = view.last_relation(),
+        col = lead_key,
+    )
 }
 
 /// Builds the physical table definition of a view: columns are the union of

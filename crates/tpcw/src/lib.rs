@@ -27,6 +27,7 @@ pub mod queries;
 pub mod schema;
 pub mod systems;
 pub mod writes;
+pub mod zipf;
 
 pub use datagen::{TpcwDataset, TpcwScale};
 pub use queries::{join_queries, JoinQuery};

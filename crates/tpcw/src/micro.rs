@@ -13,7 +13,7 @@ use relational::{Relation, Row, Schema, Value};
 use simclock::SimDuration;
 use sql::{parse_statement, Statement};
 use std::time::{Duration, Instant};
-use synergy::{SynergyConfig, SynergySystem, TxnError};
+use synergy::{Materialization, SynergyConfig, SynergySystem, TxnError};
 
 /// The micro-benchmark schema (Customer, Orders, Order_line).
 pub fn micro_schema() -> Schema {
@@ -63,6 +63,30 @@ pub fn micro_queries() -> Vec<Statement> {
     ]
 }
 
+/// The partial-materialization workload: Q1/Q2 plus keyed variants that
+/// read one order's slice — Q1K (index 2) fetches a single
+/// Customer⋈Orders row by `o_id`, Q2K (index 3) a single order-line group
+/// by `ol_o_id`.  The keyed reads are what demand-fills a partial view one
+/// key at a time (`fig_partial`).
+pub fn partial_queries() -> Vec<Statement> {
+    let mut queries = micro_queries();
+    queries.push(
+        parse_statement(
+            "SELECT * FROM Customer AS c, Orders AS o \
+             WHERE c.c_id = o.o_c_id AND o.o_id = ?",
+        )
+        .expect("Q1K parses"),
+    );
+    queries.push(
+        parse_statement(
+            "SELECT * FROM Customer AS c, Orders AS o, Order_line AS ol \
+             WHERE c.c_id = o.o_c_id AND o.o_id = ol.ol_o_id AND ol.ol_o_id = ?",
+        )
+        .expect("Q2K parses"),
+    );
+    queries
+}
+
 /// One measurement of the micro-benchmark: the same query answered through
 /// the materialized view and through the join algorithm.
 ///
@@ -109,6 +133,7 @@ pub struct MicroBench {
     system: SynergySystem,
     customers: u64,
     threads: usize,
+    materialized: Materialization,
 }
 
 impl MicroBench {
@@ -136,8 +161,31 @@ impl MicroBench {
         delta: bool,
         write_batch: usize,
     ) -> Result<MicroBench, TxnError> {
+        Self::build_inner(customers, threads, delta, write_batch, micro_queries(), None)
+    }
+
+    /// Builds the deployment for the partial-materialization evaluation:
+    /// the workload is [`partial_queries`] (Q1/Q2 plus keyed variants) and
+    /// `view_budget = Some(bytes)` enables demand-filled, memory-bounded
+    /// views (`None` keeps full materialization — the `fig_partial`
+    /// baseline over the same workload).
+    pub fn build_partial(
+        customers: u64,
+        threads: usize,
+        view_budget: Option<u64>,
+    ) -> Result<MicroBench, TxnError> {
+        Self::build_inner(customers, threads, true, 1, partial_queries(), view_budget)
+    }
+
+    fn build_inner(
+        customers: u64,
+        threads: usize,
+        delta: bool,
+        write_batch: usize,
+        workload: Vec<Statement>,
+        view_budget: Option<u64>,
+    ) -> Result<MicroBench, TxnError> {
         let schema = micro_schema();
-        let workload = micro_queries();
         let cluster = Cluster::new(ClusterConfig::default());
         let mut config = SynergyConfig::new(
             schema,
@@ -149,6 +197,9 @@ impl MicroBench {
         .with_write_batch(write_batch);
         if !delta {
             config = config.with_scan_maintenance();
+        }
+        if let Some(budget) = view_budget {
+            config = config.with_view_budget(budget);
         }
         let system = SynergySystem::build(cluster, config)?;
 
@@ -190,12 +241,13 @@ impl MicroBench {
         }
         system.bulk_load("Orders", &order_rows)?;
         system.bulk_load("Order_line", &line_rows)?;
-        system.materialize_views()?;
+        let materialized = system.materialize_views()?;
         system.cluster().major_compact_all();
         Ok(MicroBench {
             system,
             customers,
             threads,
+            materialized,
         })
     }
 
@@ -207,6 +259,12 @@ impl MicroBench {
     /// The deployment's region-parallel worker count (1 = serial).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// What the offline view-population step wrote (zeros under a view
+    /// budget: partial views start empty).
+    pub fn materialized(&self) -> Materialization {
+        self.materialized
     }
 
     /// Measures one micro-benchmark query (0 = Q1, 1 = Q2) through the view

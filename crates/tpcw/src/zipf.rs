@@ -1,0 +1,121 @@
+//! A seeded, deterministic zipfian rank generator.
+//!
+//! The partial-materialization evaluation (`fig_partial`) drives reads with
+//! zipfian key skew: rank 1 is the hottest key and P(rank = k) ∝ 1/k^s.
+//! Sampling inverts the precomputed CDF with a binary search, so a draw is
+//! O(log n) and the whole stream is a pure function of `(n, s, seed)` —
+//! the same splitmix-seeded [`StdRng`] discipline as
+//! [`nosql_store::FaultPlan`], so figures are reproducible run-to-run.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A zipfian distribution over ranks `1..=n` with skew `s`, sampled from a
+/// seeded deterministic generator.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Normalized CDF: `cdf[k-1]` = P(rank ≤ k).
+    cdf: Vec<f64>,
+    rng: StdRng,
+}
+
+impl Zipf {
+    /// A zipfian generator over `1..=n` with exponent `s` (`s = 0` is
+    /// uniform; larger `s` concentrates mass on low ranks) and the given
+    /// seed.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn new(n: u64, s: f64, seed: u64) -> Zipf {
+        assert!(n > 0, "zipf needs a non-empty rank universe");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf {
+            cdf,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The size of the rank universe.
+    pub fn n(&self) -> u64 {
+        self.cdf.len() as u64
+    }
+
+    /// Draws the next rank in `1..=n` (1 = hottest).
+    pub fn sample(&mut self) -> u64 {
+        let u: f64 = self.rng.random_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u) as u64 + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Frequency of one rank over `draws` samples.
+    fn frequency_of(zipf: &mut Zipf, rank: u64, draws: usize) -> f64 {
+        let mut hits = 0usize;
+        for _ in 0..draws {
+            if zipf.sample() == rank {
+                hits += 1;
+            }
+        }
+        hits as f64 / draws as f64
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Zipf::new(1000, 1.1, 42);
+        let mut b = Zipf::new(1000, 1.1, 42);
+        let stream_a: Vec<u64> = (0..64).map(|_| a.sample()).collect();
+        let stream_b: Vec<u64> = (0..64).map(|_| b.sample()).collect();
+        assert_eq!(stream_a, stream_b);
+        let mut c = Zipf::new(1000, 1.1, 43);
+        let stream_c: Vec<u64> = (0..64).map(|_| c.sample()).collect();
+        assert_ne!(stream_a, stream_c, "different seed, different stream");
+    }
+
+    #[test]
+    fn moments_match_the_distribution() {
+        // Pin the distribution's first moment and head mass against the
+        // analytic values for n = 1000, s = 1.1:
+        //   H = Σ 1/k^1.1 ≈ 7.050, so P(rank = 1) = 1/H ≈ 0.1418 and
+        //   E[rank] = Σ k·(1/k^1.1)/H = Σ k^-0.1 / H ≈ 501.3/7.050 ≈ 71.1.
+        let n = 1000u64;
+        let s = 1.1f64;
+        let h: f64 = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).sum();
+        let expected_top = 1.0 / h;
+        let expected_mean = (1..=n).map(|k| (k as f64).powf(1.0 - s)).sum::<f64>() / h;
+
+        let draws = 200_000;
+        let mut zipf = Zipf::new(n, s, 7);
+        let top = frequency_of(&mut zipf.clone(), 1, draws);
+        assert!(
+            (top - expected_top).abs() < 0.01,
+            "P(rank=1) = {top:.4}, expected ≈ {expected_top:.4}"
+        );
+        let mean = (0..draws).map(|_| zipf.sample() as f64).sum::<f64>() / draws as f64;
+        assert!(
+            (mean - expected_mean).abs() / expected_mean < 0.05,
+            "E[rank] = {mean:.1}, expected ≈ {expected_mean:.1}"
+        );
+    }
+
+    #[test]
+    fn skew_concentrates_mass() {
+        let draws = 50_000;
+        let flat = frequency_of(&mut Zipf::new(100, 0.0, 9), 1, draws);
+        let mild = frequency_of(&mut Zipf::new(100, 0.8, 9), 1, draws);
+        let hot = frequency_of(&mut Zipf::new(100, 1.4, 9), 1, draws);
+        assert!((flat - 0.01).abs() < 0.005, "s=0 is uniform, got {flat}");
+        assert!(mild > 3.0 * flat, "s=0.8 concentrates: {mild} vs {flat}");
+        assert!(hot > 2.0 * mild, "s=1.4 concentrates more: {hot} vs {mild}");
+    }
+}
