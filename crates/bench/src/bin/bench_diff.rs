@@ -27,6 +27,13 @@
 //! and the crash-recovery demonstration reporting zero lost acked-synced
 //! writes and zero views left dirty.
 //!
+//! When it carries a `fig_availability` figure, the replication gates
+//! apply: every RF ≥ 2 row must ride through the crash windows at ≥ 0.7×
+//! steady-state goodput with at least one failover fired and zero
+//! acked-write loss, and the RF = 1 row must show replication fully
+//! disarmed (no failovers, no shipped records).  The RF = 1 figures also
+//! join the sim-identity series below once both reports carry them.
+//!
 //! When it carries a `fig_partial` figure, the partial-materialization
 //! gates pin the 10%-budget zipf-1.1 cell: hit rate ≥ 90%, resident view
 //! rows and bytes reduced ≥ 10× vs full materialization, and hot-key Q1K
@@ -156,6 +163,7 @@ fn main() {
     }
     regressions.extend(fig_writes_gates(&old, &new, &mut summary));
     regressions.extend(fig_faults_gates(&old, &new, &mut summary));
+    regressions.extend(fig_availability_gates(&new, &mut summary));
     regressions.extend(fig_partial_gates(&new, &mut summary));
     regressions.extend(sim_identity_gates(&old, &new, &mut summary));
     let _ = writeln!(
@@ -270,13 +278,20 @@ fn sim_identity_gates(old: &Json, new: &Json, summary: &mut String) -> Vec<Strin
 
     // (figure, rows key, sim series keys) — every series is deterministic:
     // seeded RNGs, simulated clock, max-merge across workers.
-    let series: [(&str, &str, &[&str]); 6] = [
+    let series: [(&str, &str, &[&str]); 7] = [
         ("fig10", "rows", &["view_sim_ms", "join_sim_ms"]),
         ("fig_par", "rows", &["view_sim_ms", "join_sim_ms"]),
         ("fig11", "rows", &["sim_ms"]),
         ("fig_writes", "rows", &["sim_ms_per_write", "store_rows_scanned_per_write"]),
         ("fig_writes", "bursts", &["coalesced_flush_sim_ms", "uncoalesced_flush_sim_ms"]),
         ("fig_faults", "rows", &["goodput_ops_per_sim_sec", "p95_sim_ms"]),
+        // Deterministic like the rest; absent from pre-replication reports,
+        // in which case rows_of() returns None and the figure is skipped.
+        (
+            "fig_availability",
+            "rows",
+            &["steady_goodput_ops_per_sim_sec", "window_goodput_ops_per_sim_sec", "window_p95_sim_ms"],
+        ),
     ];
     let mut failures = Vec::new();
     let mut compared = 0usize;
@@ -415,6 +430,79 @@ fn fig_faults_gates(old: &Json, new: &Json, summary: &mut String) -> Vec<String>
                 }
             }
             None => failures.push(format!("fig_faults recovery {key} missing")),
+        }
+    }
+    failures
+}
+
+/// Semantic gates for the `fig_availability` replication figure — all
+/// deterministic sim numbers.  RF ≥ 2 rows must keep in-window goodput at
+/// ≥ 0.7× steady state with at least one failover fired and zero
+/// acked-write loss; the RF = 1 row must show replication fully disarmed
+/// (zero failovers, zero shipped records) so the legacy figures stay
+/// byte-identical.
+fn fig_availability_gates(new: &Json, summary: &mut String) -> Vec<String> {
+    let rows = match new
+        .get("figures")
+        .and_then(|f| f.get("fig_availability"))
+        .and_then(|f| f.get("rows"))
+    {
+        Some(Json::Arr(rows)) => rows,
+        _ => return Vec::new(),
+    };
+    let mut failures = Vec::new();
+    let note = |summary: &mut String, line: String, failed: bool| {
+        let marker = if failed { " ⚠️" } else { "" };
+        let _ = writeln!(summary, "- fig_availability: {line}{marker}");
+        failed
+    };
+    if rows.is_empty() {
+        failures.push("fig_availability has no rows".to_string());
+        return failures;
+    }
+    for row in rows {
+        let num = |key: &str| row.get(key).and_then(Json::as_f64);
+        let Some(rf) = num("replication_factor") else {
+            failures.push("fig_availability row without replication_factor".to_string());
+            continue;
+        };
+        let rf = rf as u64;
+        let lost = num("acked_writes_lost").unwrap_or(f64::NAN);
+        if note(
+            summary,
+            format!("rf {rf}: acked writes lost {lost:.0} (gate = 0)"),
+            lost != 0.0,
+        ) {
+            failures.push(format!("fig_availability rf {rf} lost {lost:.0} acked writes"));
+        }
+        let failovers = num("failovers").unwrap_or(f64::NAN);
+        let shipped = num("records_shipped").unwrap_or(f64::NAN);
+        if rf <= 1 {
+            if note(
+                summary,
+                format!("rf 1: failovers {failovers:.0}, shipped {shipped:.0} (gate = 0 — replication disarmed)"),
+                failovers != 0.0 || shipped != 0.0,
+            ) {
+                failures.push("fig_availability rf 1 shows replication activity".to_string());
+            }
+            continue;
+        }
+        let ratio = num("window_over_steady").unwrap_or(f64::NAN);
+        if note(
+            summary,
+            format!("rf {rf}: in-window goodput {ratio:.3}x steady (gate ≥ 0.7x)"),
+            ratio.is_nan() || ratio < 0.7,
+        ) {
+            failures.push(format!(
+                "fig_availability rf {rf} in-window goodput {ratio:.3}x < 0.7x steady"
+            ));
+        }
+        if note(
+            summary,
+            format!("rf {rf}: failovers {failovers:.0} (gate ≥ 1)"),
+            failovers.is_nan() || failovers < 1.0,
+        ) {
+            failures.push(format!("fig_availability rf {rf} fired no failover"));
         }
     }
     failures

@@ -505,6 +505,9 @@ pub struct FaultWorkloadOutcome {
     pub p95_sim_ms: f64,
     /// Injected-fault and retry counters of the run.
     pub stats: nosql_store::FaultStats,
+    /// Replication counters of the run (all zero at the default
+    /// `replication_factor` of 1).
+    pub replication: nosql_store::ReplicationStats,
 }
 
 impl FaultWorkloadOutcome {
@@ -523,12 +526,26 @@ pub fn run_fault_workload(
     retry: Option<nosql_store::RetryPolicy>,
     ops: u64,
 ) -> FaultWorkloadOutcome {
+    // rf = 1 is the byte-identical legacy configuration, so every caller of
+    // this function keeps its committed figures.
+    run_fault_workload_rf(plan, retry, ops, 1)
+}
+
+/// [`run_fault_workload`] at an explicit replication factor (the fault
+/// matrix's RF ≥ 2 scenarios; `rf = 1` is exactly the legacy workload).
+pub fn run_fault_workload_rf(
+    plan: Option<nosql_store::FaultPlan>,
+    retry: Option<nosql_store::RetryPolicy>,
+    ops: u64,
+    rf: usize,
+) -> FaultWorkloadOutcome {
     use nosql_store::ops::{Get, Put, Scan};
     use nosql_store::TableSchema;
 
     let cluster = Cluster::new(ClusterConfig {
         fault_plan: plan,
         retry,
+        replication_factor: rf,
         ..ClusterConfig::default()
     });
     cluster
@@ -575,6 +592,7 @@ pub fn run_fault_workload(
         sim_elapsed: clock.now() - start,
         p95_sim_ms,
         stats: cluster.fault_stats(),
+        replication: cluster.replication_stats(),
     }
 }
 
@@ -778,6 +796,267 @@ fn fig_faults_recovery(customers: u64) -> FigFaultsRecovery {
         view_rows_rolled_forward: report.view_rows_rolled_forward as u64,
         lost_acked_synced_writes: lost,
         dirty_view_rows_after_recovery: dirty_left,
+    }
+}
+
+// ---------------------------------------------------------------------
+// fig_availability: replication factor × availability through crash windows
+// ---------------------------------------------------------------------
+
+/// Replication factors the availability sweep compares.  RF = 1 is the
+/// legacy unreplicated deployment; its figures are byte-identical to every
+/// earlier report (the sim-identity gate covers them).
+pub const FIG_AVAILABILITY_RFS: [usize; 3] = [1, 2, 3];
+
+/// Ops per replication factor of the availability sweep.
+pub const FIG_AVAILABILITY_OPS: u64 = 600;
+
+/// Region servers of the availability deployment — enough that a crash
+/// takes out only a slice of the key space.
+pub const FIG_AVAILABILITY_SERVERS: usize = 5;
+
+/// Number of scheduled region-server crashes the run rides through.
+pub const FIG_AVAILABILITY_CRASHES: usize = 6;
+
+/// Mean time to repair: how long each crashed server stays down (sim ms).
+pub const FIG_AVAILABILITY_MTTR_MS: u64 = 50;
+
+/// Seed of the availability sweep's fault RNG (crash times are scheduled,
+/// not drawn, but the plan carries a seed like every other).
+pub const FIG_AVAILABILITY_SEED: u64 = 0xA7A1_1AB1;
+
+/// The scheduled crash plan: one crash every 400 sim ms, victims rotating
+/// round-robin over the servers, each down for the MTTR.
+fn fig_availability_plan() -> (nosql_store::FaultPlan, Vec<SimDuration>) {
+    let times: Vec<SimDuration> = (1..=FIG_AVAILABILITY_CRASHES)
+        .map(|i| SimDuration::from_millis(400 * i as u64))
+        .collect();
+    let plan = nosql_store::FaultPlan::new(FIG_AVAILABILITY_SEED).with_crashes(
+        times.clone(),
+        SimDuration::from_millis(FIG_AVAILABILITY_MTTR_MS),
+    );
+    (plan, times)
+}
+
+/// One replication factor's availability measurements.
+#[derive(Debug, Clone)]
+pub struct FigAvailabilityRow {
+    /// The configured replication factor.
+    pub replication_factor: usize,
+    /// Ops attempted.
+    pub ops: u64,
+    /// Ops that succeeded (after retries).
+    pub ok_ops: u64,
+    /// Ops that *started* inside a crash window (`[crash, crash + MTTR)`).
+    pub window_ops: u64,
+    /// In-window ops that succeeded.
+    pub window_ok_ops: u64,
+    /// Successful ops per simulated second, over ops started outside every
+    /// crash window.
+    pub steady_goodput_ops_per_sim_sec: f64,
+    /// Successful ops per simulated second, over ops started inside a
+    /// crash window.
+    pub window_goodput_ops_per_sim_sec: f64,
+    /// `window / steady` goodput — the availability headline.  ≈ 1 means
+    /// crashes are invisible to clients; ≪ 1 means they stall on the MTTR.
+    pub window_over_steady: f64,
+    /// p95 simulated latency (ms) of successful steady-state ops.
+    pub steady_p95_sim_ms: f64,
+    /// p95 simulated latency (ms) of successful in-window ops.
+    pub window_p95_sim_ms: f64,
+    /// Acked writes whose value was missing or stale after the run settled
+    /// — the durability gate (must be 0: with `wal_sync_interval = 1`
+    /// every acked write is synced, and synced writes survive failovers).
+    pub acked_writes_lost: u64,
+    /// Region failovers performed.
+    pub failovers: u64,
+    /// Catch-up replays performed by rejoining victims.
+    pub catchup_replays: u64,
+    /// Synced WAL records shipped to followers.
+    pub records_shipped: u64,
+    /// Ops rejected because a region was unavailable (before retries won).
+    pub unavailable_rejections: u64,
+    /// Ops that exhausted their retries.
+    pub giveups: u64,
+    /// Simulated time the measured loop consumed (ms).
+    pub sim_elapsed_ms: f64,
+}
+
+/// Output of [`fig_availability`].
+#[derive(Debug, Clone)]
+pub struct FigAvailabilityOutput {
+    /// One row per replication factor.
+    pub rows: Vec<FigAvailabilityRow>,
+    /// Number of scheduled crashes each run rode through.
+    pub crashes: usize,
+    /// The crash MTTR (sim ms).
+    pub mttr_ms: f64,
+    /// Region servers of the deployment.
+    pub servers: usize,
+}
+
+/// Runs the fixed availability workload — the fig_faults op mix with
+/// `wal_sync_interval = 1` (every acked write synced) over 5 region
+/// servers — through the scheduled crash plan at one replication factor,
+/// bucketing every op by whether it started inside a crash window.
+pub fn run_availability_workload(rf: usize, ops: u64) -> FigAvailabilityRow {
+    use nosql_store::ops::{Get, Put, Scan};
+    use nosql_store::{RetryPolicy, TableSchema};
+
+    let (plan, crash_times) = fig_availability_plan();
+    let mttr = SimDuration::from_millis(FIG_AVAILABILITY_MTTR_MS);
+    let cluster = Cluster::new(ClusterConfig {
+        region_servers: FIG_AVAILABILITY_SERVERS,
+        wal_sync_interval: 1,
+        replication_factor: rf,
+        fault_plan: Some(plan),
+        retry: Some(RetryPolicy::default()),
+        ..ClusterConfig::default()
+    });
+    cluster
+        .create_table(TableSchema::new("t").with_family("cf"))
+        .expect("workload table");
+    cluster
+        .bulk_load(
+            "t",
+            (0..128u64).map(|i| Put::new(format!("k{i:04}")).with("cf", "v", vec![b'x'; 64])),
+        )
+        .expect("preload");
+    cluster.checkpoint();
+
+    let clock = cluster.clock().clone();
+    // Crash times are absolute simulated instants (durations since the
+    // epoch); an op is "in window" if it starts inside any [t, t + MTTR).
+    let in_window = |at_nanos: u64| {
+        crash_times
+            .iter()
+            .any(|&t| at_nanos >= t.as_nanos() && at_nanos < (t + mttr).as_nanos())
+    };
+
+    let start = clock.now();
+    let mut ok_ops = 0u64;
+    let mut window_ops = 0u64;
+    let mut window_ok = 0u64;
+    // Latency samples and elapsed time per bucket, plus the last acked
+    // value of every key written, for the post-run durability audit.
+    let mut steady_lat: Vec<f64> = Vec::new();
+    let mut window_lat: Vec<f64> = Vec::new();
+    let mut steady_time = SimDuration::ZERO;
+    let mut window_time = SimDuration::ZERO;
+    let mut last_acked: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+    for i in 0..ops {
+        let key = format!("k{:04}", (i * 17) % 128);
+        let op_start = clock.now();
+        let started_in_window = in_window(op_start.as_nanos());
+        let value = format!("v{i}").into_bytes();
+        let outcome = match i % 4 {
+            0 | 2 => cluster
+                .put("t", Put::new(key.clone()).with("cf", "v", value.clone()))
+                .map(|_| ()),
+            1 => cluster.get("t", Get::new(key.clone())).map(|_| ()),
+            _ => cluster
+                .scan("t", Scan::range(key.clone(), format!("k{:04}", (i * 17) % 128 + 8)))
+                .map(|_| ()),
+        };
+        let elapsed = clock.now() - op_start;
+        let ok = outcome.is_ok();
+        if ok {
+            ok_ops += 1;
+            if matches!(i % 4, 0 | 2) {
+                last_acked.insert(key, value);
+            }
+        }
+        if started_in_window {
+            window_ops += 1;
+            window_time += elapsed;
+            if ok {
+                window_ok += 1;
+                window_lat.push(elapsed.as_millis_f64());
+            }
+        } else {
+            steady_time += elapsed;
+            if ok {
+                steady_lat.push(elapsed.as_millis_f64());
+            }
+        }
+    }
+    let sim_elapsed = clock.now() - start;
+
+    // Settle: wait out the last crash window so every victim has rejoined,
+    // then audit that every acked write is still readable.  (The audit's
+    // gets are uncharged for the goodput figures above.)
+    let last_window_end = crash_times
+        .last()
+        .map(|&t| t + mttr)
+        .unwrap_or(SimDuration::ZERO);
+    let now_nanos = clock.now().as_nanos();
+    if now_nanos < last_window_end.as_nanos() {
+        clock.charge(SimDuration::from_nanos(
+            last_window_end.as_nanos() - now_nanos + 1,
+        ));
+    }
+    let mut lost = 0u64;
+    for (key, value) in &last_acked {
+        let survived = cluster
+            .get("t", Get::new(key.clone()))
+            .ok()
+            .flatten()
+            .and_then(|row| row.value("cf", "v").map(|v| v == &value[..]))
+            .unwrap_or(false);
+        if !survived {
+            lost += 1;
+        }
+    }
+
+    let p95 = |lat: &mut Vec<f64>| -> f64 {
+        lat.sort_by(|a, b| a.total_cmp(b));
+        if lat.is_empty() {
+            0.0
+        } else {
+            lat[(lat.len() * 95 / 100).min(lat.len() - 1)]
+        }
+    };
+    let goodput = |ok: u64, time: SimDuration| -> f64 {
+        ok as f64 / time.as_millis_f64().max(f64::EPSILON) * 1_000.0
+    };
+    let steady_goodput = goodput(ok_ops - window_ok, steady_time);
+    let window_goodput = goodput(window_ok, window_time);
+    let stats = cluster.fault_stats();
+    let replication = cluster.replication_stats();
+    FigAvailabilityRow {
+        replication_factor: rf,
+        ops,
+        ok_ops,
+        window_ops,
+        window_ok_ops: window_ok,
+        steady_goodput_ops_per_sim_sec: steady_goodput,
+        window_goodput_ops_per_sim_sec: window_goodput,
+        window_over_steady: window_goodput / steady_goodput.max(f64::EPSILON),
+        steady_p95_sim_ms: p95(&mut steady_lat),
+        window_p95_sim_ms: p95(&mut window_lat),
+        acked_writes_lost: lost,
+        failovers: replication.failovers,
+        catchup_replays: replication.catchup_replays,
+        records_shipped: replication.records_shipped,
+        unavailable_rejections: stats.unavailable_rejections,
+        giveups: stats.giveups,
+        sim_elapsed_ms: sim_elapsed.as_millis_f64(),
+    }
+}
+
+/// The availability figure: the same crash schedule at RF ∈ {1, 2, 3}.
+/// Without replication a crash makes the victim's regions unavailable for
+/// the whole MTTR; with RF ≥ 2 each crash fails over and clients ride
+/// through the window at steady-state goodput, losing nothing.
+pub fn fig_availability(ops: u64) -> FigAvailabilityOutput {
+    FigAvailabilityOutput {
+        rows: FIG_AVAILABILITY_RFS
+            .iter()
+            .map(|&rf| run_availability_workload(rf, ops))
+            .collect(),
+        crashes: FIG_AVAILABILITY_CRASHES,
+        mttr_ms: FIG_AVAILABILITY_MTTR_MS as f64,
+        servers: FIG_AVAILABILITY_SERVERS,
     }
 }
 
@@ -1452,6 +1731,48 @@ pub fn to_ms(duration: SimDuration) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fig_availability_replication_rides_through_crash_windows() {
+        let output = fig_availability(FIG_AVAILABILITY_OPS);
+        assert_eq!(output.rows.len(), FIG_AVAILABILITY_RFS.len());
+        for row in &output.rows {
+            assert!(
+                row.window_ops > 0,
+                "rf={}: the run never entered a crash window: {row:?}",
+                row.replication_factor
+            );
+            assert_eq!(
+                row.acked_writes_lost, 0,
+                "rf={}: acked writes lost",
+                row.replication_factor
+            );
+            if row.replication_factor == 1 {
+                assert_eq!(row.failovers, 0);
+                assert_eq!(row.records_shipped, 0);
+            } else {
+                assert!(row.failovers >= 1, "rf={}: {row:?}", row.replication_factor);
+                assert!(
+                    row.window_over_steady >= 0.7,
+                    "rf={}: in-window goodput collapsed: {row:?}",
+                    row.replication_factor
+                );
+            }
+        }
+        // The headline contrast: replication keeps in-window goodput near
+        // steady state, while RF = 1 clients stall on the MTTR.
+        let rf1 = &output.rows[0];
+        let rf2 = &output.rows[1];
+        assert!(
+            rf1.window_over_steady < rf2.window_over_steady,
+            "rf1 {rf1:?} vs rf2 {rf2:?}"
+        );
+        // Determinism: the sweep reproduces itself exactly.
+        let again = run_availability_workload(2, FIG_AVAILABILITY_OPS);
+        assert_eq!(again.ok_ops, rf2.ok_ops);
+        assert_eq!(again.sim_elapsed_ms, rf2.sim_elapsed_ms);
+        assert_eq!(again.records_shipped, rf2.records_shipped);
+    }
 
     #[test]
     fn fig11_overhead_grows_with_lock_count() {

@@ -34,14 +34,14 @@
 use crate::cell::Timestamp;
 use crate::error::{StoreError, StoreResult};
 use crate::fault::{FaultDraw, FaultPlan, FaultState, FaultStats};
-use crate::metrics::{AtomicOpCounters, ClusterMetrics, TableMetrics};
+use crate::metrics::{AtomicOpCounters, ClusterMetrics, ReplicationStats, TableMetrics};
 use crate::ops::{CheckAndPut, Delete, Get, Increment, Put, Scan};
 use crate::region::{Region, RegionId, RegionServerId};
 use crate::retry::{RetryPolicy, RetryRuntime};
 use crate::table::{ResultRow, TableSchema};
 use crate::wal::{WalEntry, WalOp, WriteAheadLog};
-use parking_lot::RwLock;
-use simclock::{CostModel, SimClock, SimDuration};
+use parking_lot::{Mutex, RwLock};
+use simclock::{CostModel, SimClock, SimDuration, SimInstant};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -67,6 +67,16 @@ pub struct ClusterConfig {
     /// Client-side retry policy wrapped around every public op; `None` (the
     /// default) fails ops on the first fault.
     pub retry: Option<RetryPolicy>,
+    /// Copies of each region: a primary plus `replication_factor - 1`
+    /// followers on deterministically chosen servers.  With a factor > 1,
+    /// every group-commit flush ships the newly synced records to the
+    /// region's followers (cost: `CostModel::replica_ship` per record per
+    /// follower), and a scheduled server crash **fails over** the victim's
+    /// regions to their most-caught-up live follower instead of stalling
+    /// them for the MTTR window.  The default of `1` disables replication
+    /// entirely: no registry, no extra charges, figures byte-identical to a
+    /// build without this feature.
+    pub replication_factor: usize,
 }
 
 impl Default for ClusterConfig {
@@ -78,6 +88,7 @@ impl Default for ClusterConfig {
             wal_sync_interval: 1,
             fault_plan: None,
             retry: None,
+            replication_factor: 1,
         }
     }
 }
@@ -94,9 +105,70 @@ pub struct RecoveryReport {
     pub recovery_sim: SimDuration,
 }
 
+/// What [`Cluster::crash`] lost: the acked-but-unsynced WAL tail dropped
+/// from each region server's log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashReport {
+    /// Unsynced records lost per server, indexed by region-server id.
+    pub lost_per_server: Vec<usize>,
+}
+
+impl CrashReport {
+    /// Total unsynced records lost across every server.
+    pub fn total(&self) -> usize {
+        self.lost_per_server.iter().sum()
+    }
+}
+
 pub(crate) struct TableState {
     pub(crate) schema: TableSchema,
     pub(crate) regions: RwLock<Vec<Region>>,
+}
+
+/// One region's entry in the replication registry: who owns it, who follows
+/// it, and how far each follower's shipped-log copy reaches.
+///
+/// `shipped` counts this region's records made durable through the group
+/// commit (the shipped stream); a follower whose `acked` position equals
+/// `shipped` holds a full in-sync copy and is promotable.  Shipping is
+/// *synchronous* bookkeeping — a live, in-sync follower acknowledges each
+/// flushed batch within the write's charge — so a follower only falls
+/// behind while it is down, and catches up by replaying the stream from its
+/// acked position when it rejoins.
+#[derive(Debug, Clone)]
+struct ReplicaSet {
+    /// Server currently owning the region (serves reads and writes).
+    primary: usize,
+    /// Fencing epoch, bumped once per failover.  A writer that captured an
+    /// older epoch is a zombie and its fenced writes are refused.
+    epoch: u64,
+    /// Follower servers, in placement order (the failover tie-break).
+    followers: Vec<usize>,
+    /// Records of this region shipped (synced) so far.
+    shipped: u64,
+    /// Per-follower acknowledged position in the shipped stream.
+    acked: BTreeMap<usize, u64>,
+}
+
+/// The replication registry: replica placement, fencing epochs and shipping
+/// offsets for every region.  Models the metadata a real deployment keeps
+/// in ZooKeeper — it deliberately lives *outside* the region structs so
+/// failover decisions and epochs survive checkpoint-baseline restores.
+#[derive(Debug, Default)]
+struct ReplicationInner {
+    /// Per-region replica sets, keyed by region id.
+    regions: BTreeMap<u64, ReplicaSet>,
+    /// Crashed servers pending rejoin: server → sim nanos of rejoin.
+    rejoin_at: BTreeMap<usize, u64>,
+    /// Ship events (record × follower acknowledgements) so far.
+    records_shipped: u64,
+    /// Failovers performed.
+    failovers: u64,
+    /// Catch-up replays performed by rejoining followers (one per lagging
+    /// region per rejoin).
+    catchup_replays: u64,
+    /// Total records replayed by catch-ups.
+    catchup_records: u64,
 }
 
 /// The simulated HBase-class cluster.
@@ -130,6 +202,13 @@ struct ClusterInner {
     baseline: RwLock<BTreeMap<String, Vec<Region>>>,
     faults: Option<FaultState>,
     retry: Option<RetryRuntime>,
+    /// Replication registry; untouched (and never locked on any op path)
+    /// when `replication_factor <= 1`.
+    ///
+    /// Lock order: a thread holding a table's region lock may take this
+    /// mutex (the ship path), so no code path may take a region lock while
+    /// holding it.
+    replication: Mutex<ReplicationInner>,
 }
 
 impl Cluster {
@@ -158,6 +237,7 @@ impl Cluster {
                 next_server: AtomicU64::new(0),
                 crashed: AtomicBool::new(false),
                 baseline: RwLock::new(BTreeMap::new()),
+                replication: Mutex::new(ReplicationInner::default()),
             }),
             clock,
         }
@@ -244,9 +324,15 @@ impl Cluster {
 
     /// Fires every crash event whose scheduled instant has passed: the
     /// victim loses its unsynced WAL tail (and the affected region state is
-    /// rebuilt from durable state), then stays down for its MTTR.
+    /// rebuilt from durable state), then stays down for its MTTR.  With
+    /// replication on, rejoins whose MTTR has elapsed are processed first
+    /// (catch-up replay), and each fresh victim's regions fail over to
+    /// their most-caught-up live follower before any rebuild.
     fn advance_faults(&self, faults: &FaultState) {
         let now = self.clock.now();
+        if self.replication_enabled() {
+            self.process_rejoins(now);
+        }
         for victim in faults.due_crashes(now) {
             faults.server_crashes.fetch_add(1, Ordering::Relaxed);
             let wal = &self.inner.wals[victim % self.inner.wals.len()];
@@ -255,9 +341,18 @@ impl Cluster {
                 faults
                     .wal_records_lost
                     .fetch_add(dropped as u64, Ordering::Relaxed);
-                self.rebuild_server(victim);
             }
+            // Down *before* the failover decision: the victim must fail the
+            // liveness check and cannot be chosen as anyone's new primary.
             faults.mark_down(victim, now + faults.plan.crash_mttr);
+            let moved = if self.replication_enabled() {
+                self.fail_over(victim, now, faults.plan.crash_mttr)
+            } else {
+                Vec::new()
+            };
+            if dropped > 0 {
+                self.rebuild_regions(victim, &moved);
+            }
         }
     }
 
@@ -304,12 +399,321 @@ impl Cluster {
             stats.transient_errors = f.transients.load(Ordering::Relaxed);
             stats.slowdowns = f.slowdowns.load(Ordering::Relaxed);
             stats.unavailable_rejections = f.unavailable.load(Ordering::Relaxed);
+            stats.per_server = f.per_server_stats();
         }
         if let Some(r) = &self.inner.retry {
             stats.retries = r.retries.load(Ordering::Relaxed);
             stats.giveups = r.giveups.load(Ordering::Relaxed);
         }
         stats
+    }
+
+    // ----- region replication ----------------------------------------------
+
+    /// True when region replication is active: a factor above 1 and more
+    /// than one server to place copies on.
+    pub fn replication_enabled(&self) -> bool {
+        self.inner.config.replication_factor > 1 && self.inner.config.region_servers > 1
+    }
+
+    /// True if `server` is inside a crash window at `now`.
+    fn server_down(&self, server: usize, now: SimInstant) -> bool {
+        self.inner
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.is_down(server, now))
+    }
+
+    /// Deterministic replica placement: the followers of a region whose
+    /// primary is `primary` are the next `replication_factor - 1` servers
+    /// in ring order.  Placement-order position doubles as the failover
+    /// tie-break among equally-caught-up candidates.
+    fn replica_followers(&self, primary: usize) -> Vec<usize> {
+        let servers = self.inner.config.region_servers.max(1);
+        let rf = self.inner.config.replication_factor.min(servers);
+        (1..rf).map(|k| (primary + k) % servers).collect()
+    }
+
+    /// Registers a region (at creation or split) in the replication
+    /// registry.  No-op with replication off; idempotent otherwise.
+    fn register_region(&self, id: RegionId, primary: RegionServerId) {
+        if !self.replication_enabled() {
+            return;
+        }
+        let followers = self.replica_followers(primary.0);
+        let acked: BTreeMap<usize, u64> = followers.iter().map(|&f| (f, 0)).collect();
+        self.inner
+            .replication
+            .lock()
+            .regions
+            .entry(id.0)
+            .or_insert(ReplicaSet {
+                primary: primary.0,
+                epoch: 0,
+                followers,
+                shipped: 0,
+                acked,
+            });
+    }
+
+    /// Ships a freshly synced group-commit batch to the followers of the
+    /// regions it touched and returns the replication cost to charge on the
+    /// batch-closing write.  A live follower that was in sync acknowledges
+    /// the record (one ship event); a follower inside a crash window falls
+    /// behind and will catch up on rejoin.  Only called with replication on.
+    fn ship_synced(&self, newly: &[WalEntry]) -> SimDuration {
+        if newly.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let now = self.clock.now();
+        let mut ship_events = 0u64;
+        let mut registry = self.inner.replication.lock();
+        for entry in newly {
+            let Some(region) = entry.region else { continue };
+            let Some(set) = registry.regions.get_mut(&region) else {
+                continue;
+            };
+            set.shipped += 1;
+            let shipped = set.shipped;
+            for i in 0..set.followers.len() {
+                let follower = set.followers[i];
+                if self.server_down(follower, now) {
+                    continue;
+                }
+                let acked = set.acked.entry(follower).or_insert(0);
+                if *acked + 1 == shipped {
+                    *acked = shipped;
+                    ship_events += 1;
+                }
+            }
+        }
+        registry.records_shipped += ship_events;
+        drop(registry);
+        self.cost_model().replication_ship_cost(ship_events)
+    }
+
+    /// Fails over every region whose primary is `victim` to its
+    /// most-caught-up **live** follower, bumping the region's fencing epoch
+    /// so the victim cannot accept stale fenced writes when it comes back
+    /// mid-window.  Because shipping is synchronous, any live follower
+    /// whose acked position equals `shipped` is fully caught up; candidates
+    /// are tried in placement order (the deterministic tie-break).  The
+    /// victim is demoted to follower — its synced log copy survives the
+    /// crash, so it is immediately in sync and becomes promotable again
+    /// after catch-up.  A region with no eligible follower stays on the
+    /// victim and stalls for the MTTR window, exactly like RF=1.  Returns
+    /// the ids of the regions that moved.
+    fn fail_over(&self, victim: usize, now: SimInstant, mttr: SimDuration) -> Vec<u64> {
+        let mut promotions: BTreeMap<u64, usize> = BTreeMap::new();
+        {
+            let mut registry = self.inner.replication.lock();
+            let rejoin = (now + mttr).as_nanos();
+            let slot = registry.rejoin_at.entry(victim).or_insert(0);
+            *slot = (*slot).max(rejoin);
+            let mut fired = 0u64;
+            for (id, set) in registry.regions.iter_mut() {
+                if set.primary != victim {
+                    continue;
+                }
+                let candidate = set.followers.iter().copied().find(|&f| {
+                    f != victim
+                        && !self.server_down(f, now)
+                        && set.acked.get(&f).copied().unwrap_or(0) == set.shipped
+                });
+                let Some(new_primary) = candidate else { continue };
+                set.followers.retain(|&f| f != new_primary);
+                set.followers.push(victim);
+                set.acked.insert(victim, set.shipped);
+                set.acked.remove(&new_primary);
+                set.primary = new_primary;
+                set.epoch += 1;
+                fired += 1;
+                promotions.insert(*id, new_primary);
+            }
+            registry.failovers += fired;
+        }
+        if promotions.is_empty() {
+            return Vec::new();
+        }
+        // Registry released before touching region locks (lock order).
+        for state in self.inner.tables.read().values() {
+            let mut regions = state.regions.write();
+            for region in regions.iter_mut() {
+                if let Some(&new_primary) = promotions.get(&region.id.0) {
+                    region.server = RegionServerId(new_primary);
+                }
+            }
+        }
+        promotions.keys().copied().collect()
+    }
+
+    /// Rejoins every crashed server whose MTTR has elapsed: for each region
+    /// it follows, the server replays the shipped log from its last acked
+    /// position (charged per record), after which it is in sync and
+    /// promotable again.  A region the rejoiner still *owns* (it never
+    /// failed over) needs no catch-up — its own log is the authority.
+    fn process_rejoins(&self, now: SimInstant) {
+        let mut total_lag = 0u64;
+        {
+            let mut registry = self.inner.replication.lock();
+            if registry.rejoin_at.is_empty() {
+                return;
+            }
+            let due: Vec<usize> = registry
+                .rejoin_at
+                .iter()
+                .filter(|(_, &at)| now.as_nanos() >= at)
+                .map(|(&server, _)| server)
+                .collect();
+            for server in due {
+                registry.rejoin_at.remove(&server);
+                let mut replays = 0u64;
+                let mut records = 0u64;
+                for set in registry.regions.values_mut() {
+                    if set.primary == server || !set.followers.contains(&server) {
+                        continue;
+                    }
+                    let acked = set.acked.entry(server).or_insert(0);
+                    let lag = set.shipped - *acked;
+                    if lag > 0 {
+                        *acked = set.shipped;
+                        replays += 1;
+                        records += lag;
+                    }
+                }
+                registry.catchup_replays += replays;
+                registry.catchup_records += records;
+                total_lag += records;
+            }
+        }
+        if total_lag > 0 {
+            self.charge(self.cost_model().catchup_replay_cost(total_lag));
+        }
+    }
+
+    /// The region owning `key` in `table` and that region's current fencing
+    /// epoch.  A metadata read (like [`Cluster::table_stats`]): charges
+    /// nothing and moves no counter.  Epoch is always 0 with replication
+    /// off.
+    pub fn region_epoch_for(&self, table: &str, key: &[u8]) -> StoreResult<(u64, u64)> {
+        let state = self.table(table)?;
+        let regions = state.regions.read();
+        let idx = Self::region_index_for(&regions, key);
+        let id = regions[idx].id.0;
+        drop(regions);
+        Ok((id, self.current_epoch(id)))
+    }
+
+    /// Current fencing epoch of a region (0 with replication off or for an
+    /// untracked region).
+    pub fn current_epoch(&self, region: u64) -> u64 {
+        if !self.replication_enabled() {
+            return 0;
+        }
+        self.inner
+            .replication
+            .lock()
+            .regions
+            .get(&region)
+            .map(|set| set.epoch)
+            .unwrap_or(0)
+    }
+
+    /// Fenced write: like [`Cluster::put`], but the caller presents the
+    /// region epoch it captured (via [`Cluster::region_epoch_for`]) when it
+    /// took ownership of the key.  If the region failed over since — its
+    /// epoch advanced — the write is refused with
+    /// [`StoreError::StaleRegionEpoch`] after charging one RPC round trip:
+    /// this is how a zombie ex-primary's writes are fenced off.  The error
+    /// is **not** retryable; the caller must re-read the epoch first.
+    pub fn put_fenced(&self, table: &str, put: Put, epoch: u64) -> StoreResult<()> {
+        self.with_retry(|| self.put_once(table, &put, Some(epoch)))
+    }
+
+    /// Snapshot of the replication registry's counters.
+    pub fn replication_stats(&self) -> ReplicationStats {
+        let mut stats = ReplicationStats {
+            replication_factor: self.inner.config.replication_factor.max(1),
+            ..ReplicationStats::default()
+        };
+        if !self.replication_enabled() {
+            return stats;
+        }
+        let registry = self.inner.replication.lock();
+        stats.replicated_regions = registry.regions.len();
+        stats.records_shipped = registry.records_shipped;
+        stats.failovers = registry.failovers;
+        stats.catchup_replays = registry.catchup_replays;
+        stats.catchup_records = registry.catchup_records;
+        stats.replica_lag = registry
+            .regions
+            .values()
+            .map(|set| {
+                set.followers
+                    .iter()
+                    .map(|f| set.shipped - set.acked.get(f).copied().unwrap_or(0))
+                    .sum::<u64>()
+            })
+            .sum();
+        stats
+    }
+
+    /// After a cluster-wide [`Cluster::recover`], re-derives routing from
+    /// the replication registry: failover decisions (and fencing epochs)
+    /// live in the registry — the simulated ZooKeeper layer — so they
+    /// survive the baseline restore, while the restored region snapshots
+    /// may predate them.  Registry entries for regions that no longer exist
+    /// (drops) are pruned; live regions missing an entry (created since the
+    /// registry was last consistent) are registered.
+    fn realign_replication(&self) {
+        let tables = self.inner.tables.read();
+        // (region id, current server) of every live region.
+        let mut live: BTreeMap<u64, usize> = BTreeMap::new();
+        for state in tables.values() {
+            for region in state.regions.read().iter() {
+                live.insert(region.id.0, region.server.0);
+            }
+        }
+        let mut routing: BTreeMap<u64, usize> = BTreeMap::new();
+        {
+            let mut registry = self.inner.replication.lock();
+            registry.regions.retain(|id, _| live.contains_key(id));
+            for (&id, &server) in &live {
+                match registry.regions.get(&id) {
+                    Some(set) => {
+                        if set.primary != server {
+                            routing.insert(id, set.primary);
+                        }
+                    }
+                    None => {
+                        let followers = self.replica_followers(server);
+                        let acked: BTreeMap<usize, u64> =
+                            followers.iter().map(|&f| (f, 0)).collect();
+                        registry.regions.insert(
+                            id,
+                            ReplicaSet {
+                                primary: server,
+                                epoch: 0,
+                                followers,
+                                shipped: 0,
+                                acked,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        if routing.is_empty() {
+            return;
+        }
+        for state in tables.values() {
+            let mut regions = state.regions.write();
+            for region in regions.iter_mut() {
+                if let Some(&primary) = routing.get(&region.id.0) {
+                    region.server = RegionServerId(primary);
+                }
+            }
+        }
     }
 
     // ----- table administration --------------------------------------------
@@ -324,7 +728,9 @@ impl Cluster {
         if tables.contains_key(&schema.name) {
             return Err(StoreError::TableExists(schema.name));
         }
-        let region = Region::new(self.next_region_id(), self.pick_server(), Vec::new(), Vec::new());
+        let id = self.next_region_id();
+        let server = self.pick_server();
+        let region = Region::new(id, server, Vec::new(), Vec::new());
         tables.insert(
             schema.name.clone(),
             Arc::new(TableState {
@@ -332,6 +738,7 @@ impl Cluster {
                 regions: RwLock::new(vec![region]),
             }),
         );
+        self.register_region(id, server);
         Ok(())
     }
 
@@ -395,6 +802,7 @@ impl Cluster {
         let new_server = self.pick_server();
         if let Some(upper) = regions[idx].split(new_id, new_server) {
             regions.insert(idx + 1, upper);
+            self.register_region(new_id, new_server);
         }
         let _ = table;
     }
@@ -406,20 +814,29 @@ impl Cluster {
     /// batch-closing write pays it).  Charges therefore sum to exactly
     /// `interval-1` deferred syncs fewer than interval=1 — and with the
     /// default interval of 1 every write syncs and charges the same full
-    /// cost as before group commit existed.  Returns the cost to charge.
+    /// cost as before group commit existed.  With replication on, the
+    /// batch-closing write additionally ships the newly synced records to
+    /// their regions' followers and pays the shipping cost.  Returns the
+    /// cost to charge.
     fn log_write(
         &self,
         server: RegionServerId,
         table: &str,
+        region: RegionId,
         op: WalOp,
         cost: SimDuration,
     ) -> SimDuration {
         let wal = self.wal_for(server);
-        wal.append(table, op);
+        wal.append_region(table, region.0, op);
         let interval = self.inner.config.wal_sync_interval.max(1);
         if wal.unsynced_len() >= interval {
-            wal.sync();
-            cost
+            if self.replication_enabled() {
+                let newly = wal.sync_take_new();
+                cost + self.ship_synced(&newly)
+            } else {
+                wal.sync();
+                cost
+            }
         } else {
             cost.saturating_sub(self.cost_model().effective_wal_sync())
         }
@@ -431,10 +848,10 @@ impl Cluster {
     /// under group commit).  Retries injected faults per the configured
     /// policy.
     pub fn put(&self, table: &str, put: Put) -> StoreResult<()> {
-        self.with_retry(|| self.put_once(table, &put))
+        self.with_retry(|| self.put_once(table, &put, None))
     }
 
-    fn put_once(&self, table: &str, put: &Put) -> StoreResult<()> {
+    fn put_once(&self, table: &str, put: &Put, fence: Option<u64>) -> StoreResult<()> {
         let state = self.table(table)?;
         self.precheck()?;
         let cost = self.cost_model().put_cost(put.cell_count());
@@ -442,6 +859,21 @@ impl Cluster {
         let idx = Self::region_index_for(&regions, &put.row);
         let server = regions[idx].server;
         self.inject_faults(server)?;
+        if let Some(presented) = fence {
+            // Zombie fencing: the epoch check happens server-side after
+            // routing, so a stale writer burns a round trip and is refused.
+            let region = regions[idx].id.0;
+            let current = self.current_epoch(region);
+            if presented != current {
+                drop(regions);
+                self.charge(self.cost_model().rpc_round_trip());
+                return Err(StoreError::StaleRegionEpoch {
+                    region,
+                    current,
+                    presented,
+                });
+            }
+        }
         // Timestamp is drawn under the region lock so that versions written
         // to one row are ordered consistently with lock acquisition order
         // (and only after fault injection, so failed attempts consume none).
@@ -450,6 +882,7 @@ impl Cluster {
         let charge = self.log_write(
             server,
             table,
+            regions[idx].id,
             WalOp::Put {
                 row: put.row.clone(),
                 cells: put.cells.clone(),
@@ -487,6 +920,7 @@ impl Cluster {
         let charge = self.log_write(
             server,
             table,
+            regions[idx].id,
             WalOp::Put {
                 row: put.row.clone(),
                 cells: put.cells.clone(),
@@ -574,6 +1008,7 @@ impl Cluster {
         let charge = self.log_write(
             server,
             table,
+            regions[idx].id,
             WalOp::Delete {
                 row: delete.row.clone(),
                 scope: delete.scope.clone(),
@@ -605,6 +1040,7 @@ impl Cluster {
         let charge = self.log_write(
             server,
             table,
+            regions[idx].id,
             WalOp::Increment {
                 row: inc.row.clone(),
                 family: inc.family.clone(),
@@ -646,6 +1082,7 @@ impl Cluster {
             self.log_write(
                 server,
                 table,
+                regions[idx].id,
                 WalOp::Put {
                     row: cap.put.row.clone(),
                     cells: cap.put.cells.clone(),
@@ -728,21 +1165,23 @@ impl Cluster {
     /// is lost, all volatile region state (memstores) is wiped, and every op
     /// fails with [`StoreError::ClusterDown`] until [`Cluster::recover`].
     /// Table metadata (schemas, region boundaries) survives — it lives in
-    /// the simulated ZooKeeper/HDFS layer.  Returns the number of unsynced
-    /// WAL records lost.
-    pub fn crash(&self) -> usize {
+    /// the simulated ZooKeeper/HDFS layer, as does the replication
+    /// registry.  Returns what was lost, per server.
+    pub fn crash(&self) -> CrashReport {
         self.inner.crashed.store(true, Ordering::Release);
-        let mut dropped = 0;
-        for wal in &self.inner.wals {
-            dropped += wal.drop_unsynced();
-        }
+        let lost_per_server: Vec<usize> = self
+            .inner
+            .wals
+            .iter()
+            .map(WriteAheadLog::drop_unsynced)
+            .collect();
         for state in self.inner.tables.read().values() {
             let mut regions = state.regions.write();
             for region in regions.iter_mut() {
                 region.clear_rows();
             }
         }
-        dropped
+        CrashReport { lost_per_server }
     }
 
     /// True between [`Cluster::crash`] and [`Cluster::recover`].
@@ -790,6 +1229,9 @@ impl Cluster {
         self.inner.crashed.store(false, Ordering::Release);
         let recovery_sim = self.cost_model().recovery_cost(replayed);
         self.charge(recovery_sim);
+        if self.replication_enabled() {
+            self.realign_replication();
+        }
         self.checkpoint();
         RecoveryReport {
             replayed_entries: replayed,
@@ -827,6 +1269,22 @@ impl Cluster {
         }
         if flush_cost > SimDuration::ZERO {
             self.charge(flush_cost);
+        }
+        if self.replication_enabled() {
+            // A checkpoint is a cluster-wide durability point: the baseline
+            // now covers everything shipped, so every replica — including a
+            // currently-down follower, which would rebuild from the same
+            // baseline on restart — is in sync.  Registry bookkeeping only;
+            // no extra charge (the flush above already paid).  Promotion
+            // still requires liveness, so marking a down follower in sync
+            // cannot hand it a region.
+            let mut registry = self.inner.replication.lock();
+            for set in registry.regions.values_mut() {
+                let shipped = set.shipped;
+                for acked in set.acked.values_mut() {
+                    *acked = shipped;
+                }
+            }
         }
         truncated
     }
@@ -895,23 +1353,29 @@ impl Cluster {
         }
     }
 
-    /// Rebuilds the regions hosted on a crashed server from durable state
+    /// Rebuilds the regions a server crash dirtied, from durable state
     /// (checkpoint baseline + synced records from *all* logs — a key's
     /// mutations may sit in another server's log if its region split and
-    /// moved since the checkpoint).  Rows on other servers are untouched:
-    /// only the victim lost its memstore.
-    fn rebuild_server(&self, victim: usize) {
+    /// moved since the checkpoint).  Affected regions are those still
+    /// hosted on the victim plus those in `moved` (regions that just failed
+    /// over: their memstores hold the victim's lost acked-unsynced writes,
+    /// and the promoted follower's copy is exactly baseline + synced log).
+    /// Regions the new primary *already* hosted are untouched — their
+    /// acked-unsynced writes are healthy and must survive.
+    fn rebuild_regions(&self, victim: usize, moved: &[u64]) {
+        let affected =
+            |region: &Region| region.server.0 == victim || moved.contains(&region.id.0);
         let tables = self.inner.tables.read();
         let baseline = self.inner.baseline.read();
         let mut entries = self.synced_physical_entries();
         entries.sort_by_key(|e| e.op.timestamp());
         for (name, state) in tables.iter() {
             let mut regions = state.regions.write();
-            if !regions.iter().any(|r| r.server.0 == victim) {
+            if !regions.iter().any(affected) {
                 continue;
             }
             for region in regions.iter_mut() {
-                if region.server.0 == victim {
+                if affected(region) {
                     region.clear_rows();
                 }
             }
@@ -919,7 +1383,7 @@ impl Cluster {
                 for snap_region in snapshot {
                     for (key, row) in snap_region.rows() {
                         let idx = Self::region_index_for(&regions, key);
-                        if regions[idx].server.0 == victim {
+                        if affected(&regions[idx]) {
                             let row = row.clone();
                             regions[idx].insert_row(key.clone(), row);
                         }
@@ -931,12 +1395,12 @@ impl Cluster {
                     continue;
                 };
                 let idx = Self::region_index_for(&regions, key);
-                if regions[idx].server.0 == victim {
+                if affected(&regions[idx]) {
                     Self::apply_wal_entry(&state.schema, &mut regions, entry);
                 }
             }
             for region in regions.iter_mut() {
-                if region.server.0 == victim {
+                if affected(region) {
                     region.recompute_bytes();
                 }
             }
@@ -1246,7 +1710,8 @@ mod tests {
             rows
         };
         let lost = c.crash();
-        assert_eq!(lost, unsynced);
+        assert_eq!(lost.total(), unsynced);
+        assert_eq!(lost.lost_per_server.len(), 2, "one slot per server");
         assert!(c.is_crashed());
         assert!(matches!(
             c.get("orders", Get::new("o00")),
@@ -1330,7 +1795,7 @@ mod tests {
         c.create_table(orders_schema()).unwrap();
         assert!(matches!(
             c.put("orders", Put::new("o1").with("cf", "v", "1")),
-            Err(StoreError::RpcTimeout)
+            Err(StoreError::RpcTimeout { server: 0 })
         ));
         assert_eq!(c.fault_stats().timeouts, 1);
         // Always-timeout plan + retries: exhaustion with a source chain.
@@ -1341,7 +1806,7 @@ mod tests {
         c.create_table(orders_schema()).unwrap();
         match c.put("orders", Put::new("o1").with("cf", "v", "1")) {
             Err(StoreError::RetriesExhausted { attempts: 3, last }) => {
-                assert_eq!(*last, StoreError::RpcTimeout);
+                assert_eq!(*last, StoreError::RpcTimeout { server: 0 });
             }
             other => panic!("expected exhaustion, got {other:?}"),
         }
@@ -1406,6 +1871,165 @@ mod tests {
         let stats = c.fault_stats();
         assert_eq!(stats.server_crashes, 1);
         assert!(stats.retries > 0, "the outage was ridden out by retries");
+    }
+
+    #[test]
+    fn replication_off_keeps_registry_empty_and_epochs_zero() {
+        let c = cluster();
+        c.create_table(orders_schema()).unwrap();
+        assert!(!c.replication_enabled());
+        let stats = c.replication_stats();
+        assert_eq!(stats.replication_factor, 1);
+        assert_eq!(stats.replicated_regions, 0);
+        assert_eq!(stats.records_shipped, 0);
+        let (_, epoch) = c.region_epoch_for("orders", b"o1").unwrap();
+        assert_eq!(epoch, 0);
+        // put_fenced with the (zero) captured epoch works unchanged.
+        c.put_fenced("orders", Put::new("o1").with("cf", "v", "1"), epoch).unwrap();
+    }
+
+    #[test]
+    fn replication_ships_synced_records_and_charges_for_it() {
+        let run = |rf: usize| {
+            let c = Cluster::new(ClusterConfig {
+                region_servers: 3,
+                replication_factor: rf,
+                ..ClusterConfig::default()
+            });
+            c.create_table(orders_schema()).unwrap();
+            let (_, cost) = c.clock().measure(|| {
+                for i in 0..10 {
+                    c.put("orders", Put::new(format!("o{i}")).with("cf", "v", "1")).unwrap();
+                }
+            });
+            (c, cost)
+        };
+        let (c1, cost1) = run(1);
+        let (c3, cost3) = run(3);
+        assert_eq!(c1.replication_stats().records_shipped, 0);
+        // RF=3: every synced record acknowledged by 2 live followers.
+        assert_eq!(c3.replication_stats().records_shipped, 20);
+        assert_eq!(c3.replication_stats().replica_lag, 0);
+        let ship = c3.cost_model().replication_ship_cost(20);
+        assert_eq!(cost3, cost1 + ship, "replication charges exactly the ship cost");
+    }
+
+    #[test]
+    fn failover_keeps_the_region_available_through_the_crash_window() {
+        // Server 0 (the region's primary) crashes at 3ms for a 50ms MTTR.
+        // With RF=2 the region fails over to server 1 and every op inside
+        // the window succeeds without any retry policy at all.
+        let c = Cluster::new(ClusterConfig {
+            region_servers: 2,
+            replication_factor: 2,
+            fault_plan: Some(FaultPlan::new(1).with_crashes(
+                vec![SimDuration::from_millis(3)],
+                SimDuration::from_millis(50),
+            )),
+            ..ClusterConfig::default()
+        });
+        c.create_table(orders_schema()).unwrap();
+        for i in 0..20 {
+            c.put("orders", Put::new(format!("o{i:02}")).with("cf", "v", format!("{i}")))
+                .unwrap();
+            let row = c.get("orders", Get::new(format!("o{i:02}"))).unwrap().unwrap();
+            assert_eq!(row.value_str("cf", "v").unwrap(), format!("{i}"));
+        }
+        let stats = c.replication_stats();
+        assert!(stats.failovers >= 1, "the crash must have triggered a failover");
+        assert_eq!(c.fault_stats().server_crashes, 1);
+        assert_eq!(c.fault_stats().unavailable_rejections, 0, "no op saw the outage");
+        assert_eq!(c.row_count("orders").unwrap(), 20, "zero acked-synced loss");
+    }
+
+    #[test]
+    fn rejoined_victim_catches_up_and_is_promotable_again() {
+        // Crash 0: server 0 at 3ms (10ms MTTR) → fail over to server 1,
+        // follower 0 falls behind while down, catches up on rejoin at 13ms.
+        // Crash 1: server 1 at 40ms → fail back over to the caught-up 0.
+        let c = Cluster::new(ClusterConfig {
+            region_servers: 2,
+            replication_factor: 2,
+            fault_plan: Some(FaultPlan::new(1).with_crashes(
+                vec![SimDuration::from_millis(3), SimDuration::from_millis(40)],
+                SimDuration::from_millis(10),
+            )),
+            ..ClusterConfig::default()
+        });
+        c.create_table(orders_schema()).unwrap();
+        for i in 0..40 {
+            c.put("orders", Put::new(format!("o{i:02}")).with("cf", "v", "x")).unwrap();
+        }
+        assert!(c.clock().now() > SimInstant::EPOCH + SimDuration::from_millis(50));
+        let stats = c.replication_stats();
+        assert_eq!(stats.failovers, 2, "second crash promoted the rejoined victim");
+        assert!(stats.catchup_replays >= 1, "the rejoin replayed the shipped log");
+        assert!(stats.catchup_records > 0);
+        assert_eq!(c.fault_stats().unavailable_rejections, 0);
+        assert_eq!(c.row_count("orders").unwrap(), 40);
+    }
+
+    #[test]
+    fn put_fenced_refuses_zombie_writers_after_failover() {
+        let c = Cluster::new(ClusterConfig {
+            region_servers: 2,
+            replication_factor: 2,
+            fault_plan: Some(FaultPlan::new(1).with_crashes(
+                vec![SimDuration::from_nanos(1)],
+                SimDuration::from_millis(20),
+            )),
+            ..ClusterConfig::default()
+        });
+        c.create_table(orders_schema()).unwrap();
+        // The writer captures the epoch, then the primary crashes.
+        let (region, epoch) = c.region_epoch_for("orders", b"o1").unwrap();
+        assert_eq!(epoch, 0);
+        c.put("orders", Put::new("seed").with("cf", "v", "1")).unwrap();
+        let _ = c.get("orders", Get::new("seed")).unwrap(); // fires the crash + failover
+        let err = c
+            .put_fenced("orders", Put::new("o1").with("cf", "v", "zombie"), epoch)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            StoreError::StaleRegionEpoch { region, current: 1, presented: 0 }
+        );
+        assert!(!err.retryable());
+        assert!(c.get("orders", Get::new("o1")).unwrap().is_none(), "the write was fenced");
+        // Re-reading the epoch un-fences the writer.
+        let (_, fresh) = c.region_epoch_for("orders", b"o1").unwrap();
+        assert_eq!(fresh, 1);
+        c.put_fenced("orders", Put::new("o1").with("cf", "v", "ok"), fresh).unwrap();
+        assert!(c.get("orders", Get::new("o1")).unwrap().is_some());
+    }
+
+    #[test]
+    fn recover_realigns_routing_with_the_replication_registry() {
+        // A failover moves the region to server 1; a full-cluster crash and
+        // recovery must keep routing it to server 1 (the registry, i.e. the
+        // ZooKeeper layer, survives), and keep its bumped epoch.
+        let c = Cluster::new(ClusterConfig {
+            region_servers: 2,
+            replication_factor: 2,
+            fault_plan: Some(FaultPlan::new(1).with_crashes(
+                vec![SimDuration::from_nanos(1)],
+                SimDuration::from_millis(500),
+            )),
+            ..ClusterConfig::default()
+        });
+        c.create_table(orders_schema()).unwrap();
+        c.put("orders", Put::new("a").with("cf", "v", "1")).unwrap();
+        c.put("orders", Put::new("b").with("cf", "v", "2")).unwrap(); // fires failover
+        assert_eq!(c.replication_stats().failovers, 1);
+        let (region, epoch) = c.region_epoch_for("orders", b"a").unwrap();
+        assert_eq!(epoch, 1);
+        c.crash();
+        c.recover();
+        assert_eq!(c.current_epoch(region), 1, "epochs survive recovery");
+        // Server 0 is still inside its MTTR window: if routing had reverted
+        // to it, this op would be rejected as unavailable.
+        c.put("orders", Put::new("c").with("cf", "v", "3")).unwrap();
+        assert_eq!(c.fault_stats().unavailable_rejections, 0);
+        assert_eq!(c.row_count("orders").unwrap(), 3);
     }
 
     #[test]

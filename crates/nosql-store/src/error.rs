@@ -42,10 +42,29 @@ pub enum StoreError {
     },
     /// The operation's RPC timed out (injected network fault).  Retryable:
     /// the op was not applied, so a fresh attempt is safe.
-    RpcTimeout,
+    RpcTimeout {
+        /// Index of the region server the timed-out RPC was addressed to.
+        server: usize,
+    },
     /// A transient server-side error (injected; models compaction stalls,
     /// lease churn, throttling).  Retryable.
-    TransientOp,
+    TransientOp {
+        /// Index of the region server that raised the transient error.
+        server: usize,
+    },
+    /// A fenced write presented a region epoch older than the region's
+    /// current one: the region failed over to a replica since the writer
+    /// captured its epoch, and the old primary (a "zombie") must not mutate
+    /// the range it no longer owns.  **Not** retryable — the writer has to
+    /// re-read the region's epoch and re-route before trying again.
+    StaleRegionEpoch {
+        /// Region whose epoch check failed.
+        region: u64,
+        /// The region's current epoch (bumped once per failover).
+        current: u64,
+        /// The stale epoch the writer presented.
+        presented: u64,
+    },
     /// The whole cluster is crashed and must be recovered with
     /// [`crate::Cluster::recover`] before serving requests.  Not retryable
     /// from the client's point of view.
@@ -69,8 +88,8 @@ impl StoreError {
         matches!(
             self,
             StoreError::RegionUnavailable { .. }
-                | StoreError::RpcTimeout
-                | StoreError::TransientOp
+                | StoreError::RpcTimeout { .. }
+                | StoreError::TransientOp { .. }
         )
     }
 }
@@ -92,8 +111,21 @@ impl fmt::Display for StoreError {
             StoreError::RegionUnavailable { server } => {
                 write!(f, "region server {server} is unavailable")
             }
-            StoreError::RpcTimeout => write!(f, "rpc timed out"),
-            StoreError::TransientOp => write!(f, "transient server-side error"),
+            StoreError::RpcTimeout { server } => {
+                write!(f, "rpc to region server {server} timed out")
+            }
+            StoreError::TransientOp { server } => {
+                write!(f, "transient error on region server {server}")
+            }
+            StoreError::StaleRegionEpoch {
+                region,
+                current,
+                presented,
+            } => write!(
+                f,
+                "stale epoch {presented} for region {region} (current epoch {current}); \
+                 the region failed over and this writer is fenced"
+            ),
             StoreError::ClusterDown => write!(f, "cluster is crashed; call recover() first"),
             StoreError::RetriesExhausted { attempts, last } => {
                 write!(f, "gave up after {attempts} attempts: {last}")
@@ -129,16 +161,36 @@ mod tests {
     #[test]
     fn retryable_taxonomy_partitions_faults_from_semantic_errors() {
         assert!(StoreError::RegionUnavailable { server: 2 }.retryable());
-        assert!(StoreError::RpcTimeout.retryable());
-        assert!(StoreError::TransientOp.retryable());
+        assert!(StoreError::RpcTimeout { server: 0 }.retryable());
+        assert!(StoreError::TransientOp { server: 1 }.retryable());
         assert!(!StoreError::ClusterDown.retryable());
         assert!(!StoreError::TableNotFound("t".into()).retryable());
         assert!(!StoreError::EmptyMutation.retryable());
+        // A fenced zombie must re-read the epoch, not blindly retry.
+        let stale = StoreError::StaleRegionEpoch {
+            region: 4,
+            current: 2,
+            presented: 1,
+        };
+        assert!(!stale.retryable());
         let exhausted = StoreError::RetriesExhausted {
             attempts: 3,
-            last: Box::new(StoreError::RpcTimeout),
+            last: Box::new(StoreError::RpcTimeout { server: 0 }),
         };
         assert!(!exhausted.retryable());
+    }
+
+    #[test]
+    fn fault_errors_render_their_server_and_epoch_context() {
+        assert!(StoreError::RpcTimeout { server: 3 }.to_string().contains("server 3"));
+        assert!(StoreError::TransientOp { server: 4 }.to_string().contains("server 4"));
+        let stale = StoreError::StaleRegionEpoch {
+            region: 7,
+            current: 2,
+            presented: 1,
+        };
+        let text = stale.to_string();
+        assert!(text.contains("region 7") && text.contains("epoch 1") && text.contains("epoch 2"));
     }
 
     #[test]

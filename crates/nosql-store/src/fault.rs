@@ -106,6 +106,23 @@ impl FaultPlan {
     }
 }
 
+/// Per-region-server slice of the injected-fault counters: every op-level
+/// fault is attributed to the server the faulted RPC was addressed to (the
+/// same index [`StoreError::RegionUnavailable`], [`StoreError::RpcTimeout`]
+/// and [`StoreError::TransientOp`] carry), so the fault matrix can show
+/// *where* a plan's faults landed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerFaultStats {
+    /// Injected RPC timeouts addressed to this server.
+    pub timeouts: u64,
+    /// Injected transient op errors raised by this server.
+    pub transient_errors: u64,
+    /// Injected slow-region latency spikes on this server.
+    pub slowdowns: u64,
+    /// Operations rejected because this server was inside an outage window.
+    pub unavailable_rejections: u64,
+}
+
 /// Counts of every injected fault and the retry layer's reactions, exposed
 /// by [`crate::Cluster::fault_stats`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -126,6 +143,10 @@ pub struct FaultStats {
     pub retries: u64,
     /// Operations the retry policy gave up on.
     pub giveups: u64,
+    /// Per-server attribution of the op-level fault counters, indexed by
+    /// region-server id.  Empty when no fault plan is configured.  The
+    /// per-server columns always sum to the cluster-wide counters above.
+    pub per_server: Vec<ServerFaultStats>,
 }
 
 impl FaultStats {
@@ -147,6 +168,27 @@ pub(crate) enum FaultDraw {
     },
 }
 
+/// Per-server fault counters, atomic so `draw` can attribute each injected
+/// fault without taking a lock.
+#[derive(Debug, Default)]
+pub(crate) struct ServerFaultCounters {
+    timeouts: AtomicU64,
+    transients: AtomicU64,
+    slowdowns: AtomicU64,
+    unavailable: AtomicU64,
+}
+
+impl ServerFaultCounters {
+    fn snapshot(&self) -> ServerFaultStats {
+        ServerFaultStats {
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            transient_errors: self.transients.load(Ordering::Relaxed),
+            slowdowns: self.slowdowns.load(Ordering::Relaxed),
+            unavailable_rejections: self.unavailable.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Live injection state for one cluster (plan + RNG + per-server outage
 /// windows + counters).
 #[derive(Debug)]
@@ -163,6 +205,7 @@ pub(crate) struct FaultState {
     pub(crate) transients: AtomicU64,
     pub(crate) slowdowns: AtomicU64,
     pub(crate) unavailable: AtomicU64,
+    per_server: Vec<ServerFaultCounters>,
 }
 
 impl FaultState {
@@ -178,7 +221,13 @@ impl FaultState {
             transients: AtomicU64::new(0),
             slowdowns: AtomicU64::new(0),
             unavailable: AtomicU64::new(0),
+            per_server: (0..servers).map(|_| ServerFaultCounters::default()).collect(),
         }
+    }
+
+    /// Snapshots the per-server attribution columns.
+    pub(crate) fn per_server_stats(&self) -> Vec<ServerFaultStats> {
+        self.per_server.iter().map(ServerFaultCounters::snapshot).collect()
     }
 
     /// Claims every crash event whose scheduled instant has passed and
@@ -225,6 +274,9 @@ impl FaultState {
     pub(crate) fn draw(&self, server: usize, now: SimInstant, rpc: SimDuration) -> FaultDraw {
         if self.is_down(server, now) {
             self.unavailable.fetch_add(1, Ordering::Relaxed);
+            if let Some(s) = self.per_server.get(server) {
+                s.unavailable.fetch_add(1, Ordering::Relaxed);
+            }
             return FaultDraw::Fail {
                 error: StoreError::RegionUnavailable { server },
                 charge: rpc,
@@ -238,18 +290,27 @@ impl FaultState {
         let u: f64 = self.rng.lock().random_range(0.0..1.0);
         if u < self.plan.timeout_prob {
             self.timeouts.fetch_add(1, Ordering::Relaxed);
+            if let Some(s) = self.per_server.get(server) {
+                s.timeouts.fetch_add(1, Ordering::Relaxed);
+            }
             FaultDraw::Fail {
-                error: StoreError::RpcTimeout,
+                error: StoreError::RpcTimeout { server },
                 charge: self.plan.timeout_penalty,
             }
         } else if u < self.plan.timeout_prob + self.plan.transient_prob {
             self.transients.fetch_add(1, Ordering::Relaxed);
+            if let Some(s) = self.per_server.get(server) {
+                s.transients.fetch_add(1, Ordering::Relaxed);
+            }
             FaultDraw::Fail {
-                error: StoreError::TransientOp,
+                error: StoreError::TransientOp { server },
                 charge: rpc,
             }
         } else if u < self.plan.fault_prob() {
             self.slowdowns.fetch_add(1, Ordering::Relaxed);
+            if let Some(s) = self.per_server.get(server) {
+                s.slowdowns.fetch_add(1, Ordering::Relaxed);
+            }
             FaultDraw::Proceed {
                 extra: self.plan.slow_penalty,
             }
@@ -298,7 +359,7 @@ mod tests {
                 .map(|_| {
                     match state.draw(0, SimInstant::EPOCH, SimDuration::from_micros(900)) {
                         FaultDraw::Proceed { .. } => 0u8,
-                        FaultDraw::Fail { error: StoreError::RpcTimeout, .. } => 1,
+                        FaultDraw::Fail { error: StoreError::RpcTimeout { .. }, .. } => 1,
                         FaultDraw::Fail { .. } => 2,
                     }
                 })
@@ -306,6 +367,26 @@ mod tests {
         };
         assert_eq!(draw_seq(7), draw_seq(7));
         assert_ne!(draw_seq(7), draw_seq(8), "different seeds fault differently");
+    }
+
+    #[test]
+    fn per_server_counters_attribute_faults_to_the_addressed_server() {
+        let plan = FaultPlan::new(11).with_timeouts(0.5).with_transients(0.5);
+        let state = FaultState::new(plan, 3);
+        for i in 0..30 {
+            let _ = state.draw(i % 2, SimInstant::EPOCH, SimDuration::from_micros(900));
+        }
+        state.mark_down(2, SimInstant::EPOCH + SimDuration::from_millis(1));
+        let _ = state.draw(2, SimInstant::EPOCH, SimDuration::from_micros(900));
+        let per = state.per_server_stats();
+        assert_eq!(per.len(), 3);
+        let sum = |f: fn(&ServerFaultStats) -> u64| per.iter().map(f).sum::<u64>();
+        assert_eq!(sum(|s| s.timeouts), state.timeouts.load(Ordering::Relaxed));
+        assert_eq!(sum(|s| s.transient_errors), state.transients.load(Ordering::Relaxed));
+        assert_eq!(sum(|s| s.unavailable_rejections), 1);
+        assert_eq!(per[2].unavailable_rejections, 1, "rejection lands on server 2");
+        assert!(per[0].timeouts + per[0].transient_errors > 0);
+        assert!(per[1].timeouts + per[1].transient_errors > 0);
     }
 
     #[test]

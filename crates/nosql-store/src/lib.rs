@@ -53,13 +53,13 @@ mod table;
 mod wal;
 
 pub use cell::{Bytes, Cell, CellCoord, Timestamp};
-pub use cluster::{Cluster, ClusterConfig, RecoveryReport};
+pub use cluster::{Cluster, ClusterConfig, CrashReport, RecoveryReport};
 pub use cursor::{ScanCursor, SCAN_PAGE_ROWS};
-pub use fault::{FaultPlan, FaultStats};
+pub use fault::{FaultPlan, FaultStats, ServerFaultStats};
 pub use par_scan::ParScanCursor;
 pub use retry::RetryPolicy;
 pub use error::{StoreError, StoreResult};
-pub use metrics::{ClusterMetrics, OpCounters, TableMetrics};
+pub use metrics::{ClusterMetrics, OpCounters, ReplicationStats, TableMetrics};
 pub use region::{Region, RegionId, RegionServerId};
 pub use table::{ColumnFamily, ResultRow, TableSchema};
 pub use wal::{WalEntry, WalOp, WriteAheadLog};

@@ -92,6 +92,31 @@ impl AtomicOpCounters {
     }
 }
 
+/// Region-replication counters, exposed by
+/// [`crate::Cluster::replication_stats`].  All zero (and
+/// `replicated_regions == 0`) when `replication_factor <= 1` — replication
+/// off is the byte-identical legacy configuration.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicationStats {
+    /// Configured `ClusterConfig::replication_factor`.
+    pub replication_factor: usize,
+    /// Regions currently tracked by the replication registry.
+    pub replicated_regions: usize,
+    /// Synced WAL records shipped to followers (one count per record per
+    /// follower that acknowledged it in-sync).
+    pub records_shipped: u64,
+    /// Region failovers performed (a follower promoted to primary).
+    pub failovers: u64,
+    /// Catch-up replays performed by rejoining replicas (one per region a
+    /// rejoining server had fallen behind on).
+    pub catchup_replays: u64,
+    /// Total shipped records replayed during catch-ups.
+    pub catchup_records: u64,
+    /// Current total follower lag: Σ (shipped − acked) over every follower
+    /// of every region.  Zero when all replicas are in sync.
+    pub replica_lag: u64,
+}
+
 /// Storage statistics for one table.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TableMetrics {

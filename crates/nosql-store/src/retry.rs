@@ -168,7 +168,7 @@ mod tests {
         let result = runtime.run(&clock, || {
             if failures_left > 0 {
                 failures_left -= 1;
-                Err(StoreError::RpcTimeout)
+                Err(StoreError::RpcTimeout { server: 0 })
             } else {
                 Ok(42)
             }
@@ -184,11 +184,12 @@ mod tests {
     fn run_exhausts_into_retries_exhausted_with_source() {
         let runtime = RetryRuntime::new(RetryPolicy::default().with_max_attempts(3));
         let clock = SimClock::new();
-        let result: StoreResult<()> = runtime.run(&clock, || Err(StoreError::TransientOp));
+        let result: StoreResult<()> =
+            runtime.run(&clock, || Err(StoreError::TransientOp { server: 0 }));
         match result {
             Err(StoreError::RetriesExhausted { attempts, last }) => {
                 assert_eq!(attempts, 3);
-                assert_eq!(*last, StoreError::TransientOp);
+                assert_eq!(*last, StoreError::TransientOp { server: 0 });
             }
             other => panic!("expected exhaustion, got {other:?}"),
         }

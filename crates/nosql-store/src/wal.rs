@@ -86,6 +86,12 @@ pub struct WalEntry {
     pub sequence: u64,
     /// Table (or logical stream) the record belongs to.
     pub table: String,
+    /// Region the mutation was applied to, when known.  This is the
+    /// per-region shipping offset key: replication ships each synced record
+    /// to the followers of *this* region, and a rejoining replica replays
+    /// the shipped stream from its last acknowledged position.  `None` for
+    /// logical records and for records appended before replication existed.
+    pub region: Option<u64>,
     /// The recorded mutation.
     pub op: WalOp,
     /// Whether this record has been durably synced.
@@ -119,6 +125,23 @@ impl WriteAheadLog {
         inner.entries.push(WalEntry {
             sequence,
             table: table.into(),
+            region: None,
+            op,
+            synced: false,
+        });
+        sequence
+    }
+
+    /// Appends a record tagged with the region it mutated, so replication
+    /// can ship it to that region's followers once it syncs.
+    pub fn append_region(&self, table: impl Into<String>, region: u64, op: WalOp) -> u64 {
+        let mut inner = self.inner.lock();
+        let sequence = inner.next_sequence;
+        inner.next_sequence += 1;
+        inner.entries.push(WalEntry {
+            sequence,
+            table: table.into(),
+            region: Some(region),
             op,
             synced: false,
         });
@@ -135,6 +158,7 @@ impl WriteAheadLog {
         inner.entries.push(WalEntry {
             sequence,
             table: table.into(),
+            region: None,
             op,
             synced: true,
         });
@@ -151,6 +175,20 @@ impl WriteAheadLog {
             .filter(|e| !e.synced)
             .map(|e| e.synced = true)
             .count()
+    }
+
+    /// Like [`WriteAheadLog::sync`], but returns clones of the records this
+    /// flush made durable, in sequence order.  Replication hooks in here:
+    /// the newly synced batch is exactly the set of records the group
+    /// commit ships to follower replicas.
+    pub fn sync_take_new(&self) -> Vec<WalEntry> {
+        let mut inner = self.inner.lock();
+        let mut newly = Vec::new();
+        for entry in inner.entries.iter_mut().filter(|e| !e.synced) {
+            entry.synced = true;
+            newly.push(entry.clone());
+        }
+        newly
     }
 
     /// All records appended so far (synced or not), in order.
@@ -272,6 +310,24 @@ mod tests {
         assert_eq!(wal.len(), 1);
         assert!(wal.entries()[0].synced);
         assert_eq!(wal.drop_unsynced(), 0);
+    }
+
+    #[test]
+    fn sync_take_new_returns_exactly_the_newly_durable_batch() {
+        let wal = WriteAheadLog::new();
+        wal.append_region("t", 7, put_op("a", 1));
+        wal.sync();
+        wal.append_region("t", 7, put_op("b", 2));
+        wal.append_region("t", 8, put_op("c", 3));
+        let newly = wal.sync_take_new();
+        assert_eq!(newly.len(), 2, "already-synced records are not re-shipped");
+        assert_eq!(newly[0].region, Some(7));
+        assert_eq!(newly[1].region, Some(8));
+        assert!(newly.iter().all(|e| e.synced));
+        assert!(wal.sync_take_new().is_empty());
+        // Plain appends carry no region tag.
+        wal.append("t", WalOp::Logical { payload: "x".into() });
+        assert_eq!(wal.sync_take_new()[0].region, None);
     }
 
     #[test]

@@ -187,8 +187,15 @@ fn crash_at_position(ops: &[Op], crash_at: usize, servers: usize, interval: usiz
         }
     }
 
+    // Per-server loss predictions, checked against the crash report.
+    let expect_per_server: Vec<usize> =
+        (0..servers).map(|s| cluster.wal(s).unsynced_len()).collect();
     let dropped = cluster.crash();
-    assert_eq!(dropped, expect_dropped, "{context}: dropped unsynced count");
+    assert_eq!(dropped.total(), expect_dropped, "{context}: dropped unsynced count");
+    assert_eq!(
+        dropped.lost_per_server, expect_per_server,
+        "{context}: per-server loss attribution"
+    );
     let report = cluster.recover();
     assert_eq!(
         report.replayed_entries as usize,
@@ -245,7 +252,7 @@ fn interval_one_loses_nothing_at_any_crash_position() {
                 apply_to_cluster(&cluster, op);
                 apply_to_model(&mut model, op);
             }
-            assert_eq!(cluster.crash(), 0, "interval=1 never has an unsynced tail");
+            assert_eq!(cluster.crash().total(), 0, "interval=1 never has an unsynced tail");
             cluster.recover();
             let context = format!("interval=1 servers={servers} crash_at={crash_at}");
             assert_state_matches(&cluster, &model, &context);
@@ -274,8 +281,105 @@ fn recovery_is_idempotent() {
     let first = cluster.recover();
     assert_eq!(first.replayed_entries, 0, "checkpoint covered the whole log");
     assert_state_matches(&cluster, &model, "after first recovery");
-    assert_eq!(cluster.crash(), 0);
+    assert_eq!(cluster.crash().total(), 0);
     let second = cluster.recover();
     assert_eq!(second.replayed_entries, 0);
     assert_state_matches(&cluster, &model, "after second recovery");
+}
+
+/// `recover()` called twice in a row — with **no crash in between** — is
+/// idempotent.  `recover()` on a live cluster restores durable state
+/// (baseline + synced log); since the first call ends in a checkpoint, the
+/// second has nothing to replay and leaves the state untouched.
+#[test]
+fn recover_twice_in_a_row_without_a_crash_is_idempotent() {
+    let (cluster, mut model) = populated_cluster(4, 3);
+    for i in 0..9u8 {
+        let op = Op::Put { key: i, column: 1, value: i };
+        apply_to_cluster(&cluster, &op);
+        apply_to_model(&mut model, &op);
+    }
+    // Checkpoint flushes the acked-unsynced tail, so the durable state the
+    // recoveries below restore is exactly the fully-applied model.
+    cluster.checkpoint();
+    // A few post-checkpoint ops, force-synced across every log, give the
+    // first recover() real work: 3 synced records to replay over baseline.
+    for i in 9..12u8 {
+        let op = Op::Put { key: i, column: 1, value: i };
+        apply_to_cluster(&cluster, &op);
+        apply_to_model(&mut model, &op);
+    }
+    for server in 0..4 {
+        cluster.wal(server).sync();
+    }
+    let first = cluster.recover();
+    assert_eq!(first.replayed_entries, 3, "the post-checkpoint batch replays");
+    assert_state_matches(&cluster, &model, "after first recovery");
+    let second = cluster.recover();
+    assert_eq!(second.replayed_entries, 0, "first recovery checkpointed everything");
+    assert_state_matches(&cluster, &model, "after back-to-back second recovery");
+    let third = cluster.recover();
+    assert_eq!(third.replayed_entries, 0);
+    assert_state_matches(&cluster, &model, "recover() is idempotent at any arity");
+}
+
+/// Two full crash→recover cycles with op batches (driving region splits) in
+/// between, checked against the shadow model after each recovery.  Interval
+/// 1 keeps every acked write durable, so the model tracks all applied ops;
+/// the tiny split threshold in `populated_cluster` makes the second batch
+/// run against a different region map than the first.
+#[test]
+fn double_crash_recover_cycle_with_splits_matches_model() {
+    let (cluster, mut model) = populated_cluster(4, 1);
+    let regions_at = |c: &Cluster| c.table_stats("t").unwrap().regions;
+    let batch = |offset: u8| -> Vec<Op> {
+        (0u8..32)
+            .map(|i| match i % 5 {
+                0..=2 => Op::Put {
+                    key: i.wrapping_mul(7).wrapping_add(offset),
+                    column: i % 4,
+                    value: i,
+                },
+                3 => Op::DeleteRow { key: i.wrapping_add(offset) },
+                _ => Op::DeleteColumn { key: i.wrapping_mul(3), column: 0 },
+            })
+            .collect()
+    };
+    // Cycle 1.
+    for op in &batch(40) {
+        apply_to_cluster(&cluster, op);
+        apply_to_model(&mut model, op);
+    }
+    assert_eq!(cluster.crash().total(), 0, "interval=1 leaves no unsynced tail");
+    cluster.recover();
+    assert_state_matches(&cluster, &model, "after crash/recover cycle 1");
+    // Splits in between: wide filler rows push a region past the split
+    // threshold, so cycle 2 runs against a changed region map.  (Recovery
+    // restores the checkpoint's region boundaries, so the split is checked
+    // here, before the second crash rolls the map back.)
+    let before_fill = regions_at(&cluster);
+    for j in 0..20u8 {
+        let key = format!("fill{j:02}");
+        cluster
+            .put("t", Put::new(key.clone()).with("cf", "c0", vec![b'f'; 64]))
+            .unwrap();
+        model.entry(key).or_default().insert(col_str(0), b'f');
+    }
+    assert!(
+        regions_at(&cluster) > before_fill,
+        "the filler rows drove a split between the cycles"
+    );
+    // Cycle 2, against the split map.
+    for op in &batch(90) {
+        apply_to_cluster(&cluster, op);
+        apply_to_model(&mut model, op);
+    }
+    assert_eq!(cluster.crash().total(), 0);
+    cluster.recover();
+    assert_state_matches(&cluster, &model, "after crash/recover cycle 2");
+    // Still writable after the double cycle.
+    cluster
+        .put("t", Put::new("after-two-cycles").with("cf", "c0", vec![5u8]))
+        .unwrap();
+    assert!(cluster.get("t", Get::new("after-two-cycles")).unwrap().is_some());
 }

@@ -155,7 +155,7 @@ mod tests {
         use std::error::Error;
         let store = nosql_store::StoreError::RetriesExhausted {
             attempts: 4,
-            last: Box::new(nosql_store::StoreError::RpcTimeout),
+            last: Box::new(nosql_store::StoreError::RpcTimeout { server: 0 }),
         };
         let err = QueryError::from(store);
         // QueryError → StoreError::RetriesExhausted → RpcTimeout.

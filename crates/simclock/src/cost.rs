@@ -89,6 +89,12 @@ pub struct CostModel {
     pub recovery_base: SimDuration,
     /// Per-entry cost of replaying a synced WAL record during recovery.
     pub wal_replay_entry: SimDuration,
+    /// Cost of shipping one synced WAL record to one follower replica
+    /// (region replication, `ClusterConfig::replication_factor > 1`).
+    /// Shipping rides the group-commit flush, so a batch of `n` records to
+    /// `f` followers charges `n * f` of this on the batch-closing write.
+    /// Never charged when replication is off.
+    pub replica_ship: SimDuration,
     /// Storage medium for WAL syncs.
     pub medium: StorageMedium,
 }
@@ -118,6 +124,7 @@ impl Default for CostModel {
             client_row_process: SimDuration::from_nanos(250),
             recovery_base: SimDuration::from_millis(50),
             wal_replay_entry: SimDuration::from_micros(20),
+            replica_ship: SimDuration::from_micros(400),
             medium: StorageMedium::Ssd,
         }
     }
@@ -227,6 +234,19 @@ impl CostModel {
     pub fn recovery_cost(&self, entries: u64) -> SimDuration {
         self.recovery_base + self.wal_replay_entry * entries
     }
+
+    /// Cost of shipping synced WAL records to follower replicas:
+    /// `ship_events` is records × reachable followers (each record/follower
+    /// pair is one intra-cluster transfer + follower memstore apply).
+    pub fn replication_ship_cost(&self, ship_events: u64) -> SimDuration {
+        self.replica_ship * ship_events
+    }
+
+    /// Cost of a rejoining replica catching up by replaying `records`
+    /// shipped-log records it missed while it was down.
+    pub fn catchup_replay_cost(&self, records: u64) -> SimDuration {
+        self.wal_replay_entry * records
+    }
 }
 
 #[cfg(test)]
@@ -260,6 +280,17 @@ mod tests {
         let mem = CostModel::in_memory();
         assert!(ssd.put_cost(4) > mem.put_cost(4));
         assert_eq!(mem.effective_wal_sync(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn replication_costs_scale_with_ship_events() {
+        let m = CostModel::default();
+        assert_eq!(m.replication_ship_cost(0), SimDuration::ZERO);
+        assert_eq!(m.replication_ship_cost(10), m.replica_ship * 10);
+        // Shipping one record is cheaper than a client RPC: followers sit on
+        // the cluster fabric, not behind the client round trip.
+        assert!(m.replica_ship < m.rpc_latency);
+        assert_eq!(m.catchup_replay_cost(5), m.wal_replay_entry * 5);
     }
 
     #[test]

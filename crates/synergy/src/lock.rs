@@ -24,6 +24,8 @@
 use nosql_store::ops::{CheckAndPut, Expectation, Put, Scan};
 use nosql_store::{Cluster, StoreResult, TableSchema};
 use simclock::SimDuration;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Column family used by lock tables.
 pub const LOCK_FAMILY: &str = "l";
@@ -46,6 +48,15 @@ pub fn lock_table_name(root: &str) -> String {
 }
 
 /// Manages the per-root lock tables.
+///
+/// Two fencing mechanisms compose here.  The lock *lease* fences in time: a
+/// crashed holder's lock becomes reclaimable once its lease has been waited
+/// out.  The region *epoch* (see `nosql_store::Cluster::region_epoch_for`)
+/// fences in space: when the lock table's region fails over to another
+/// server, the epoch bumps, and the old primary can no longer serve writes
+/// for it.  A held lock survives a region failover — the `checkAndPut`
+/// release simply lands on the new primary — and the manager counts those
+/// survivals so tests and benchmarks can observe the composition working.
 #[derive(Clone)]
 pub struct LockManager {
     cluster: Cluster,
@@ -53,6 +64,10 @@ pub struct LockManager {
     max_attempts: usize,
     /// Lease length written into every acquired lock row.
     lease: SimDuration,
+    /// Locks released under a different region epoch than they were acquired
+    /// under — i.e. held straight through a region failover.  Shared across
+    /// clones of the manager.
+    survivals: Arc<AtomicU64>,
 }
 
 /// A held hierarchical lock.  Release it with [`LockManager::release`]; the
@@ -61,6 +76,10 @@ pub struct LockGuard {
     cluster: Cluster,
     table: String,
     key: String,
+    /// Epoch of the lock row's region at acquisition time (0 when region
+    /// replication is off).  Compared at release to detect a failover the
+    /// lock lived through.
+    region_epoch: u64,
     released: bool,
 }
 
@@ -98,7 +117,15 @@ impl LockManager {
             cluster,
             max_attempts: 10_000,
             lease: DEFAULT_LOCK_LEASE,
+            survivals: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Number of locks that were released under a different region epoch
+    /// than they were acquired under — i.e. held straight through a region
+    /// failover.  Always 0 when region replication is off.
+    pub fn failover_survivals(&self) -> u64 {
+        self.survivals.load(Ordering::Relaxed)
     }
 
     /// Overrides the maximum number of acquisition attempts (tests use small
@@ -197,7 +224,10 @@ impl LockManager {
         Ok(None)
     }
 
-    /// Releases a previously acquired lock.
+    /// Releases a previously acquired lock.  If the lock row's region failed
+    /// over while the lock was held (its epoch moved on), the release still
+    /// succeeds — `checkAndPut` routes to the new primary — and the survival
+    /// is counted in [`LockManager::failover_survivals`].
     pub fn release(&self, mut guard: LockGuard) -> StoreResult<()> {
         let release = Put::new(guard.key.clone())
             .with(LOCK_FAMILY, LOCK_COLUMN, "0")
@@ -212,6 +242,9 @@ impl LockManager {
                 release,
             ),
         )?;
+        if self.region_epoch(&guard.table, &guard.key) != guard.region_epoch {
+            self.survivals.fetch_add(1, Ordering::Relaxed);
+        }
         guard.released = true;
         Ok(())
     }
@@ -284,11 +317,22 @@ impl LockManager {
             .unwrap_or(false))
     }
 
+    /// Current replication epoch of the region holding `key`'s lock row
+    /// (0 when replication is off or the table is unknown — both sides of a
+    /// survival comparison then read 0 and no survival is counted).
+    fn region_epoch(&self, table: &str, key: &str) -> u64 {
+        self.cluster
+            .region_epoch_for(table, key.as_bytes())
+            .map(|(_, epoch)| epoch)
+            .unwrap_or(0)
+    }
+
     fn guard(&self, table: &str, key: &str) -> LockGuard {
         LockGuard {
             cluster: self.cluster.clone(),
             table: table.to_string(),
             key: key.to_string(),
+            region_epoch: self.region_epoch(table, key),
             released: false,
         }
     }
@@ -406,6 +450,45 @@ mod tests {
         let again = m.acquire("Customer", "a").unwrap().unwrap();
         m.release(again).unwrap();
         assert_eq!(m.reclaim_expired("Customer").unwrap(), 0);
+    }
+
+    #[test]
+    fn lock_survives_region_failover_with_bumped_epoch() {
+        use nosql_store::FaultPlan;
+        // Lock table's region lands on server 0 (first table created);
+        // the first scheduled crash also hits server 0, so the lock row's
+        // region fails over to server 1 while the lock is held.
+        let cluster = Cluster::new(ClusterConfig {
+            region_servers: 2,
+            replication_factor: 2,
+            fault_plan: Some(FaultPlan::new(11).with_crashes(
+                vec![SimDuration::from_millis(30)],
+                SimDuration::from_millis(50),
+            )),
+            ..ClusterConfig::default()
+        });
+        let m = LockManager::new(cluster);
+        m.create_lock_table("Customer").unwrap();
+        m.ensure_entry("Customer", "42").unwrap();
+
+        let guard = m.acquire("Customer", "42").unwrap().unwrap();
+        assert_eq!(guard.region_epoch, 0, "acquired before any failover");
+        // Hold the lock across the scheduled crash; the release's
+        // checkAndPut advances faults, fails the region over to server 1,
+        // and still lands — the lease fences time, the epoch fences space,
+        // and neither invalidates a healthy holder.
+        m.cluster.clock().charge(SimDuration::from_millis(40));
+        m.release(guard).unwrap();
+
+        let stats = m.cluster.replication_stats();
+        assert!(stats.failovers >= 1, "no failover fired: {stats:?}");
+        assert_eq!(m.failover_survivals(), 1);
+        assert!(!m.is_held("Customer", "42").unwrap());
+        // A lock without replication enabled never counts survivals.
+        let plain = manager();
+        let g = plain.acquire("Customer", "1").unwrap().unwrap();
+        plain.release(g).unwrap();
+        assert_eq!(plain.failover_survivals(), 0);
     }
 
     #[test]
