@@ -1,0 +1,126 @@
+//! The committed violation baseline.
+//!
+//! Format — one entry per line, `|`-separated, `#` comments allowed:
+//!
+//! ```text
+//! <rule>|<file>|<fingerprint>|<reason>
+//! ```
+//!
+//! Fingerprints hash the rule, file and trimmed source-line text (plus an
+//! occurrence index for identical lines), so entries survive unrelated
+//! line-number drift but die with the code they describe.  A baseline entry
+//! whose violation has vanished is **stale** and fails the gate: baselines
+//! must shrink as violations are fixed, never rot.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// One baseline entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    pub rule: String,
+    pub file: String,
+    pub fingerprint: String,
+    pub reason: String,
+}
+
+/// Parses baseline text.  Malformed lines are returned as errors (the gate
+/// refuses to run against a corrupt baseline).
+pub fn parse(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.splitn(4, '|').collect();
+        if parts.len() != 4 || parts[3].trim().is_empty() {
+            return Err(format!(
+                "baseline line {}: expected `rule|file|fingerprint|reason` with a \
+                 non-empty reason, got: {line}",
+                i + 1
+            ));
+        }
+        out.push(BaselineEntry {
+            rule: parts[0].trim().to_string(),
+            file: parts[1].trim().to_string(),
+            fingerprint: parts[2].trim().to_string(),
+            reason: parts[3].trim().to_string(),
+        });
+    }
+    Ok(out)
+}
+
+/// Renders entries back to baseline text (with the header comment).
+pub fn render(entries: &[BaselineEntry]) -> String {
+    let mut s = String::from(
+        "# Lint baseline: pre-existing violations suppressed with a reason.\n\
+         # Format: rule|file|fingerprint|reason  (see README \"Static analysis\").\n",
+    );
+    for e in entries {
+        let _ = writeln!(s, "{}|{}|{}|{}", e.rule, e.file, e.fingerprint, e.reason);
+    }
+    s
+}
+
+/// Splits fresh violations against the baseline.  Returns
+/// (non-baselined violations, matched entry count, stale entries).
+pub fn apply(
+    violations: Vec<crate::Violation>,
+    baseline: &[BaselineEntry],
+) -> (Vec<crate::Violation>, usize, Vec<BaselineEntry>) {
+    let keys: BTreeSet<(&str, &str, &str)> = baseline
+        .iter()
+        .map(|e| (e.rule.as_str(), e.file.as_str(), e.fingerprint.as_str()))
+        .collect();
+    let mut matched: BTreeSet<(&str, &str, &str)> = BTreeSet::new();
+    let mut fresh = Vec::new();
+    for v in violations {
+        let key = (v.rule, v.file.clone(), v.fingerprint.clone());
+        if keys.contains(&(key.0, key.1.as_str(), key.2.as_str())) {
+            if let Some(e) = baseline.iter().find(|e| {
+                e.rule == key.0 && e.file == key.1 && e.fingerprint == key.2
+            }) {
+                matched.insert((
+                    e.rule.as_str(),
+                    e.file.as_str(),
+                    e.fingerprint.as_str(),
+                ));
+            }
+        } else {
+            fresh.push(v);
+        }
+    }
+    let stale: Vec<BaselineEntry> = baseline
+        .iter()
+        .filter(|e| {
+            !matched.contains(&(e.rule.as_str(), e.file.as_str(), e.fingerprint.as_str()))
+        })
+        .cloned()
+        .collect();
+    let matched_count = matched.len();
+    (fresh, matched_count, stale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let entries = vec![BaselineEntry {
+            rule: "panic-freedom".into(),
+            file: "crates/x/src/lib.rs".into(),
+            fingerprint: "deadbeef".into(),
+            reason: "invariant: map populated above".into(),
+        }];
+        let text = render(&entries);
+        assert_eq!(parse(&text).unwrap(), entries);
+    }
+
+    #[test]
+    fn rejects_reasonless_entries() {
+        assert!(parse("panic-freedom|f.rs|abc|").is_err());
+        assert!(parse("only|three|fields").is_err());
+    }
+}

@@ -1,0 +1,389 @@
+//! A minimal Rust lexer: just enough to tell code from comments, strings
+//! and char/lifetime literals, with line numbers on every token.
+//!
+//! The workspace builds offline (no `syn`), so — consistent with the shims
+//! approach — the linter scans token streams produced by this ~200-line
+//! lexer instead of a real AST.  The rules only need identifiers, single
+//! punctuation characters and comment text (for `lint-allow` pragmas);
+//! numeric and string literals are kept as opaque tokens so forbidden names
+//! inside strings or comments never trip a rule.
+
+/// What a token is.  Multi-character operators are *not* fused: `::` is two
+/// `Punct(':')` tokens.  Rules that care match short token sequences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `r#async`, …).
+    Ident,
+    /// Integer or float literal (suffixes included).
+    Number,
+    /// String, raw-string, byte-string or char literal (contents opaque).
+    Literal,
+    /// Lifetime (`'a`) — distinct from char literals.
+    Lifetime,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    /// Token text; for `Punct` a single character, for `Literal` the raw
+    /// source slice.
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: usize,
+}
+
+impl Token {
+    /// True if this is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// True if this is the punctuation character `ch`.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes().first() == Some(&(ch as u8))
+    }
+}
+
+/// A comment captured during lexing (pragmas live here).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// True when source code precedes the comment on its line (a trailing
+    /// comment suppresses its own line; a standalone one the next).
+    pub trailing: bool,
+}
+
+/// Lexer output: code tokens plus the comment stream.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes Rust source.  Unterminated constructs are tolerated (the rest of
+/// the file becomes one opaque literal) — a linter must never panic on the
+/// code it scans.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0;
+    let mut line = 1;
+    let mut line_had_token = false;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                line_had_token = false;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    text: src[start..i].to_string(),
+                    line,
+                    trailing: line_had_token,
+                });
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                let end = i.saturating_sub(2).max(start);
+                out.comments.push(Comment {
+                    text: src[start..end].to_string(),
+                    line: start_line,
+                    trailing: line_had_token,
+                });
+            }
+            b'"' => {
+                let (end, nl) = scan_string(b, i);
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: src[i..end].to_string(),
+                    line,
+                });
+                line += nl;
+                line_had_token = true;
+                i = end;
+            }
+            b'r' | b'b' if raw_string_hashes(b, i).is_some() => {
+                let (end, nl) = scan_raw_string(b, i);
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: src[i..end].to_string(),
+                    line,
+                });
+                line += nl;
+                line_had_token = true;
+                i = end;
+            }
+            b'b' if b.get(i + 1) == Some(&b'\'') => {
+                let end = scan_char(b, i + 1);
+                out.tokens.push(Token {
+                    kind: TokKind::Literal,
+                    text: src[i..end].to_string(),
+                    line,
+                });
+                line_had_token = true;
+                i = end;
+            }
+            b'\'' => {
+                // Lifetime (`'a` with no closing quote) vs char literal.
+                if is_lifetime(b, i) {
+                    let mut j = i + 1;
+                    while j < b.len() && is_ident_byte(b[j]) {
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: src[i..j].to_string(),
+                        line,
+                    });
+                    i = j;
+                } else {
+                    let end = scan_char(b, i);
+                    out.tokens.push(Token {
+                        kind: TokKind::Literal,
+                        text: src[i..end].to_string(),
+                        line,
+                    });
+                    i = end;
+                }
+                line_had_token = true;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < b.len() {
+                    let d = b[j];
+                    if d.is_ascii_alphanumeric() || d == b'_' {
+                        j += 1;
+                    } else if d == b'.'
+                        && b.get(j + 1).is_some_and(u8::is_ascii_digit)
+                        && b.get(j.wrapping_sub(1)) != Some(&b'.')
+                    {
+                        // `1.5` continues the number; `0..9` does not.
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Number,
+                    text: src[i..j].to_string(),
+                    line,
+                });
+                line_had_token = true;
+                i = j;
+            }
+            c if is_ident_start(c) => {
+                let mut j = i + 1;
+                // Raw identifier `r#name` (raw strings were handled above).
+                if c == b'r' && b.get(i + 1) == Some(&b'#') && b.get(i + 2).is_some_and(|&d| is_ident_start(d)) {
+                    j = i + 2;
+                }
+                while j < b.len() && is_ident_byte(b[j]) {
+                    j += 1;
+                }
+                let text = src[i..j].trim_start_matches("r#").to_string();
+                out.tokens.push(Token { kind: TokKind::Ident, text, line });
+                line_had_token = true;
+                i = j;
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                line_had_token = true;
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_byte(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// `Some(hash_count)` when position `i` starts a raw (byte) string:
+/// `r"`, `r#"`, `br##"`, …
+fn raw_string_hashes(b: &[u8], i: usize) -> Option<usize> {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if b.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (b.get(j) == Some(&b'"')).then_some(hashes)
+}
+
+/// Scans a `"…"` string starting at the opening quote; returns (end index
+/// past the closing quote, newlines crossed).
+fn scan_string(b: &[u8], i: usize) -> (usize, usize) {
+    let mut j = i + 1;
+    let mut nl = 0;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => {
+                // A `\<newline>` line continuation still crosses a line.
+                if b.get(j + 1) == Some(&b'\n') {
+                    nl += 1;
+                }
+                j += 2;
+            }
+            b'"' => return (j + 1, nl),
+            b'\n' => {
+                nl += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (j, nl)
+}
+
+/// Scans a raw string `r#"…"#` (any hash count, optional `b` prefix).
+fn scan_raw_string(b: &[u8], i: usize) -> (usize, usize) {
+    let hashes = raw_string_hashes(b, i).unwrap_or(0);
+    let mut j = i;
+    while b[j] != b'"' {
+        j += 1;
+    }
+    j += 1;
+    let mut nl = 0;
+    while j < b.len() {
+        if b[j] == b'"' && b[j + 1..].iter().take(hashes).filter(|&&c| c == b'#').count() == hashes
+        {
+            return (j + 1 + hashes, nl);
+        }
+        if b[j] == b'\n' {
+            nl += 1;
+        }
+        j += 1;
+    }
+    (j, nl)
+}
+
+/// Scans a char literal starting at the opening `'`.
+fn scan_char(b: &[u8], i: usize) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\'' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// `'a` is a lifetime when the quote is followed by an identifier whose next
+/// character is not another quote (`'x'` is a char literal, `'a>` is not).
+fn is_lifetime(b: &[u8], i: usize) -> bool {
+    let Some(&first) = b.get(i + 1) else { return false };
+    if !is_ident_start(first) {
+        return false;
+    }
+    let mut j = i + 1;
+    while j < b.len() && is_ident_byte(b[j]) {
+        j += 1;
+    }
+    b.get(j) != Some(&b'\'')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_puncts_and_lines() {
+        let lx = lex("fn main() {\n    x.lock();\n}\n");
+        let idents: Vec<&str> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["fn", "main", "x", "lock"]);
+        let lock = lx.tokens.iter().find(|t| t.is_ident("lock")).unwrap();
+        assert_eq!(lock.line, 2);
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let lx = lex("let s = \"HashMap.unwrap()\"; // HashMap here too\n/* Instant::now */ let t = 1;");
+        assert!(!lx.tokens.iter().any(|t| t.is_ident("HashMap")));
+        assert!(!lx.tokens.iter().any(|t| t.is_ident("Instant")));
+        assert_eq!(lx.comments.len(), 2);
+        assert!(lx.comments[0].trailing);
+        assert!(lx.comments[0].text.contains("HashMap"));
+    }
+
+    #[test]
+    fn raw_strings_chars_and_lifetimes() {
+        let lx = lex("let r = r#\"unwrap() \" quote\"#; let c = '\\''; fn f<'a>(x: &'a str) {}");
+        assert!(!lx.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert_eq!(
+            lx.tokens.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn numeric_ranges_do_not_eat_dots() {
+        let lx = lex("for i in 0..10 { let f = 1.5; }");
+        let nums: Vec<&str> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Number)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, ["0", "10", "1.5"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lx = lex("/* outer /* inner */ still comment */ fn f() {}");
+        assert!(lx.tokens.iter().any(|t| t.is_ident("fn")));
+        assert_eq!(lx.comments.len(), 1);
+    }
+}

@@ -1,0 +1,156 @@
+//! Human and JSON renderings of a lint run.  JSON is hand-rolled (the
+//! workspace builds offline; the serde shim is for the product crates, not
+//! tooling) — the schema is flat enough that escaping strings suffices.
+
+use crate::baseline::BaselineEntry;
+use crate::Violation;
+use std::fmt::Write as _;
+
+/// Everything a run produced, ready to render.
+pub struct RunReport<'a> {
+    /// Violations not covered by the baseline.
+    pub fresh: &'a [Violation],
+    /// Count of baseline entries that matched a live violation.
+    pub baselined: usize,
+    /// Baseline entries whose violation no longer exists.
+    pub stale: &'a [BaselineEntry],
+    /// Total files scanned.
+    pub files_scanned: usize,
+}
+
+impl RunReport<'_> {
+    /// Gate verdict: clean means nothing fresh and nothing stale.
+    pub fn clean(&self) -> bool {
+        self.fresh.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Human-readable report (the default `cargo run -p lint` output).
+pub fn human(r: &RunReport) -> String {
+    let mut s = String::new();
+    for v in r.fresh {
+        let _ = writeln!(s, "{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+        if !v.snippet.is_empty() {
+            let _ = writeln!(s, "    | {}", v.snippet);
+        }
+        let _ = writeln!(s, "    = fingerprint {}", v.fingerprint);
+    }
+    for e in r.stale {
+        let _ = writeln!(
+            s,
+            "{}: [baseline] stale entry {}|{} — the violation it suppressed is gone; \
+             remove the line (reason was: {})",
+            e.file, e.rule, e.fingerprint, e.reason
+        );
+    }
+    let mut by_rule: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    for v in r.fresh {
+        *by_rule.entry(v.rule).or_insert(0) += 1;
+    }
+    let counts = if by_rule.is_empty() {
+        "none".to_string()
+    } else {
+        by_rule
+            .iter()
+            .map(|(k, n)| format!("{k}: {n}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let _ = writeln!(
+        s,
+        "lint: {} file(s) scanned, {} violation(s) ({counts}), {} baselined, {} stale \
+         baseline entr{}",
+        r.files_scanned,
+        r.fresh.len(),
+        r.baselined,
+        r.stale.len(),
+        if r.stale.len() == 1 { "y" } else { "ies" },
+    );
+    let _ = writeln!(s, "lint: {}", if r.clean() { "PASS" } else { "FAIL" });
+    s
+}
+
+/// JSON report (the CI artifact).
+pub fn json(r: &RunReport) -> String {
+    let mut s = String::from("{\n  \"schema\": \"synergy-lint/v1\",\n");
+    let _ = writeln!(s, "  \"files_scanned\": {},", r.files_scanned);
+    let _ = writeln!(s, "  \"baselined\": {},", r.baselined);
+    let _ = writeln!(s, "  \"pass\": {},", r.clean());
+    s.push_str("  \"violations\": [");
+    for (i, v) in r.fresh.iter().enumerate() {
+        let _ = write!(
+            s,
+            "{}\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \
+             \"snippet\": {}, \"fingerprint\": {}}}",
+            if i == 0 { "" } else { "," },
+            esc(v.rule),
+            esc(&v.file),
+            v.line,
+            esc(&v.message),
+            esc(&v.snippet),
+            esc(&v.fingerprint),
+        );
+    }
+    s.push_str(if r.fresh.is_empty() { "],\n" } else { "\n  ],\n" });
+    s.push_str("  \"stale_baseline\": [");
+    for (i, e) in r.stale.iter().enumerate() {
+        let _ = write!(
+            s,
+            "{}\n    {{\"rule\": {}, \"file\": {}, \"fingerprint\": {}, \"reason\": {}}}",
+            if i == 0 { "" } else { "," },
+            esc(&e.rule),
+            esc(&e.file),
+            esc(&e.fingerprint),
+            esc(&e.reason),
+        );
+    }
+    s.push_str(if r.stale.is_empty() { "]\n" } else { "\n  ]\n" });
+    s.push_str("}\n");
+    s
+}
+
+/// JSON string escaping.
+fn esc(v: &str) -> String {
+    let mut out = String::with_capacity(v.len() + 2);
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_reports_pass() {
+        let fresh = vec![Violation {
+            rule: crate::RULE_PANIC,
+            file: "a.rs".into(),
+            line: 3,
+            message: "say \"no\"".into(),
+            snippet: "x.unwrap()\t".into(),
+            fingerprint: "00ff".into(),
+        }];
+        let r = RunReport { fresh: &fresh, baselined: 1, stale: &[], files_scanned: 2 };
+        let j = json(&r);
+        assert!(j.contains("\\\"no\\\""));
+        assert!(j.contains("\\t"));
+        assert!(j.contains("\"pass\": false"));
+        let empty = RunReport { fresh: &[], baselined: 0, stale: &[], files_scanned: 2 };
+        assert!(json(&empty).contains("\"pass\": true"));
+        assert!(human(&empty).contains("PASS"));
+    }
+}

@@ -1,0 +1,45 @@
+//! Fixture: stands in for `nosql-store/src/cluster.rs` in the
+//! cost-accounting tests (the rule keys on that path).
+pub struct Cluster {
+    inner: Inner,
+}
+pub struct Inner {
+    regions: Vec<u8>,
+}
+
+impl Cluster {
+    pub fn uncharged_touch(&self) -> usize {
+        self.inner.regions.len()
+    }
+
+    pub fn charged_touch(&self) -> usize {
+        self.charge(1);
+        self.inner.regions.len()
+    }
+
+    pub fn retried_touch(&self) -> usize {
+        self.with_retry(|| self.inner.regions.len())
+    }
+
+    // lint-allow(cost-accounting): metadata probe, nothing to charge
+    pub fn pragma_touch(&self) -> usize {
+        self.inner.regions.len()
+    }
+
+    pub fn no_region_state(&self) -> usize {
+        41 + 1
+    }
+
+    fn private_touch(&self) -> usize {
+        self.inner.regions.len()
+    }
+
+    fn charge(&self, _n: u64) {}
+    fn with_retry<T>(&self, f: impl Fn() -> T) -> T {
+        f()
+    }
+}
+
+pub fn free_fn_touches(c: &Cluster) -> usize {
+    c.inner.regions.len()
+}

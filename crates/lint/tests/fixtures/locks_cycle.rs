@@ -1,0 +1,21 @@
+//! Fixture: ABBA lock-order cycle across two functions.
+pub struct S {
+    tables: std::sync::Mutex<u8>,
+    wal: std::sync::Mutex<u8>,
+}
+
+impl S {
+    pub fn ab(&self) {
+        let t = self.tables.lock();
+        let w = self.wal.lock();
+        drop(w);
+        drop(t);
+    }
+
+    pub fn ba(&self) {
+        let w = self.wal.lock();
+        let t = self.tables.lock();
+        drop(t);
+        drop(w);
+    }
+}

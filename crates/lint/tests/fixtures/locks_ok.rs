@@ -1,0 +1,43 @@
+//! Fixture: consistent lock order, block-scoped guards, drop() releases,
+//! statement temporaries — none of this may fire.
+pub struct S {
+    tables: std::sync::Mutex<u8>,
+    wal: std::sync::Mutex<u8>,
+    replication: std::sync::Mutex<u8>,
+}
+
+impl S {
+    pub fn consistent_a(&self) {
+        let t = self.tables.lock();
+        let w = self.wal.lock();
+        drop(w);
+        drop(t);
+    }
+
+    pub fn consistent_b(&self) {
+        let _t = self.tables.lock();
+        let _w = self.wal.lock();
+    }
+
+    pub fn scoped_then_other(&self) {
+        {
+            let r = self.replication.lock();
+            let _ = r;
+        }
+        // The replication guard is dead here: no replication->tables edge.
+        let _t = self.tables.lock();
+    }
+
+    pub fn dropped_then_other(&self) {
+        let r = self.replication.lock();
+        drop(r);
+        let _t = self.tables.lock();
+    }
+
+    pub fn statement_temporary(&self) {
+        let n = *self.tables.lock();
+        // The temporary guard died at the semicolon above.
+        let _w = self.wal.lock();
+        let _ = n;
+    }
+}

@@ -1,0 +1,212 @@
+//! Fixture-driven tests: each rule proves it fires on the bad forms and
+//! stays quiet on the good ones, plus the baseline round-trip and the
+//! workspace-is-clean gate.
+
+use lint::model::FileKind;
+use lint::{baseline, lint_sources, SourceFile};
+
+fn src(crate_name: &str, rel_path: &str, text: &str) -> SourceFile {
+    SourceFile {
+        crate_name: crate_name.into(),
+        rel_path: rel_path.into(),
+        kind: FileKind::Lib,
+        text: text.into(),
+    }
+}
+
+#[test]
+fn determinism_rule_fires_on_each_trigger() {
+    let v = lint_sources(&[src(
+        "tpcw",
+        "crates/tpcw/src/fix.rs",
+        include_str!("fixtures/determinism.rs"),
+    )]);
+    let det: Vec<_> = v.iter().filter(|x| x.rule == "determinism").collect();
+    assert!(det.iter().any(|x| x.message.contains("Instant::now")), "{det:?}");
+    assert!(det.iter().any(|x| x.message.contains("SystemTime")));
+    assert!(det.iter().any(|x| x.message.contains("thread_rng")));
+    assert!(det.iter().any(|x| x.message.contains("`HashMap`")));
+    // Suppressed HashMap/HashSet lines and the #[cfg(test)] module stay
+    // quiet; strings never count.
+    assert!(!det.iter().any(|x| x.message.contains("`HashSet`")));
+    assert_eq!(det.iter().filter(|x| x.message.contains("`HashMap`")).count(), 1);
+    assert!(v.iter().all(|x| x.rule != "pragma"), "fixture pragmas are well-formed");
+}
+
+#[test]
+fn determinism_rule_ignores_non_sim_crates_and_test_files() {
+    let text = include_str!("fixtures/determinism.rs");
+    let other_crate = lint_sources(&[src("bench", "crates/bench/src/fix.rs", text)]);
+    assert!(other_crate.iter().all(|x| x.rule != "determinism"));
+    let test_file = lint_sources(&[SourceFile {
+        crate_name: "tpcw".into(),
+        rel_path: "crates/tpcw/tests/fix.rs".into(),
+        kind: FileKind::Test,
+        text: text.into(),
+    }]);
+    assert!(test_file.iter().all(|x| x.rule != "determinism"));
+}
+
+#[test]
+fn panic_freedom_rule_fires_on_each_trigger() {
+    let v = lint_sources(&[src(
+        "nosql-store",
+        "crates/nosql-store/src/fix.rs",
+        include_str!("fixtures/panic.rs"),
+    )]);
+    let pf: Vec<_> = v.iter().filter(|x| x.rule == "panic-freedom").collect();
+    for needle in ["`.unwrap()`", "`.expect()`", "`panic!`", "`unreachable!`", "`todo!`", "`unimplemented!`"] {
+        assert!(pf.iter().any(|x| x.message.contains(needle)), "missing {needle}: {pf:?}");
+    }
+    // One unwrap and one expect in library code, none from: the pragma'd
+    // line, unwrap_or* variants, the free fn named unwrap, or test code.
+    assert_eq!(pf.iter().filter(|x| x.message.contains("`.unwrap()`")).count(), 1);
+    assert_eq!(pf.iter().filter(|x| x.message.contains("`.expect()`")).count(), 1);
+    assert_eq!(pf.iter().filter(|x| x.message.contains("`panic!`")).count(), 1);
+}
+
+#[test]
+fn cost_accounting_rule_keys_on_cluster_methods() {
+    let text = include_str!("fixtures/cost.rs");
+    let v = lint_sources(&[src(
+        "nosql-store",
+        "crates/nosql-store/src/cluster.rs",
+        text,
+    )]);
+    let cost: Vec<_> = v.iter().filter(|x| x.rule == "cost-accounting").collect();
+    assert_eq!(cost.len(), 1, "{cost:?}");
+    assert!(cost[0].message.contains("uncharged_touch"));
+    // The same file under any other path is out of the rule's scope.
+    let elsewhere = lint_sources(&[src("nosql-store", "crates/nosql-store/src/other.rs", text)]);
+    assert!(elsewhere.iter().all(|x| x.rule != "cost-accounting"));
+}
+
+#[test]
+fn lock_discipline_rule_finds_cycles() {
+    let v = lint_sources(&[src(
+        "fixturecrate",
+        "crates/fixturecrate/src/cycle.rs",
+        include_str!("fixtures/locks_cycle.rs"),
+    )]);
+    let locks: Vec<_> = v.iter().filter(|x| x.rule == "lock-discipline").collect();
+    assert_eq!(locks.len(), 1, "{locks:?}");
+    assert!(locks[0].message.contains("lock-order cycle"));
+    assert!(locks[0].message.contains("tables") && locks[0].message.contains("wal"));
+}
+
+#[test]
+fn lock_discipline_rule_finds_direct_violations() {
+    let v = lint_sources(&[src(
+        "fixturecrate",
+        "crates/fixturecrate/src/bad.rs",
+        include_str!("fixtures/locks_bad.rs"),
+    )]);
+    let msgs: Vec<&str> = v
+        .iter()
+        .filter(|x| x.rule == "lock-discipline")
+        .map(|x| x.message.as_str())
+        .collect();
+    assert!(
+        msgs.iter().filter(|m| m.contains("re-acquired")).count() >= 2,
+        "direct re-entry and the for-header re-entry: {msgs:?}"
+    );
+    assert!(msgs.iter().any(|m| m.contains("held across a pool fan-out")));
+    assert!(
+        msgs.iter().any(|m| m.contains("held across call to `helper_that_fans_out`")),
+        "interprocedural fan-out: {msgs:?}"
+    );
+}
+
+#[test]
+fn lock_discipline_rule_accepts_disciplined_code() {
+    let v = lint_sources(&[src(
+        "fixturecrate",
+        "crates/fixturecrate/src/ok.rs",
+        include_str!("fixtures/locks_ok.rs"),
+    )]);
+    let locks: Vec<_> = v.iter().filter(|x| x.rule == "lock-discipline").collect();
+    assert!(locks.is_empty(), "{locks:?}");
+}
+
+#[test]
+fn pragma_hygiene_rejects_unknown_rules_and_missing_reasons() {
+    let text = "pub fn f() {} // lint-allow(determinsim): typo'd rule\n\
+                pub fn g(x: Option<u8>) -> u8 { x.unwrap() } // lint-allow(panic-freedom)\n";
+    let v = lint_sources(&[src("nosql-store", "crates/nosql-store/src/fix.rs", text)]);
+    assert!(v.iter().any(|x| x.rule == "pragma" && x.message.contains("unknown rule")));
+    assert!(v.iter().any(|x| x.rule == "pragma" && x.message.contains("missing its reason")));
+    // The reasonless pragma does not suppress: the unwrap still fires.
+    assert!(v.iter().any(|x| x.rule == "panic-freedom" && x.line == 2));
+}
+
+#[test]
+fn baseline_round_trip() {
+    let bad = src(
+        "nosql-store",
+        "crates/nosql-store/src/fix.rs",
+        "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+    );
+    let violations = lint_sources(std::slice::from_ref(&bad));
+    assert_eq!(violations.len(), 1, "the unsuppressed unwrap fails the gate");
+
+    // Baselining it with a reason passes the gate...
+    let entries: Vec<baseline::BaselineEntry> = violations
+        .iter()
+        .map(|v| baseline::BaselineEntry {
+            rule: v.rule.to_string(),
+            file: v.file.clone(),
+            fingerprint: v.fingerprint.clone(),
+            reason: "known: poison cannot escape this helper".into(),
+        })
+        .collect();
+    let text = baseline::render(&entries);
+    let parsed = baseline::parse(&text).expect("rendered baseline parses");
+    assert_eq!(parsed, entries);
+    let (fresh, matched, stale) = baseline::apply(lint_sources(std::slice::from_ref(&bad)), &parsed);
+    assert!(fresh.is_empty());
+    assert_eq!(matched, 1);
+    assert!(stale.is_empty());
+
+    // ...and once the violation is fixed, the leftover entry is stale and
+    // fails the gate again.
+    let fixed = src(
+        "nosql-store",
+        "crates/nosql-store/src/fix.rs",
+        "pub fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }\n",
+    );
+    let (fresh, matched, stale) = baseline::apply(lint_sources(std::slice::from_ref(&fixed)), &parsed);
+    assert!(fresh.is_empty());
+    assert_eq!(matched, 0);
+    assert_eq!(stale, parsed);
+}
+
+/// The gate itself: the workspace must lint clean against the committed
+/// baseline.  A violation introduced anywhere in the tree fails this test
+/// (and the dedicated CI job) until fixed, pragma'd, or baselined.
+#[test]
+fn workspace_lints_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("lint crate lives two levels under the workspace root")
+        .to_path_buf();
+    let violations = lint::lint_workspace(&root).expect("workspace scan");
+    let baseline_path = root.join("lint_baseline.txt");
+    let entries = if baseline_path.is_file() {
+        baseline::parse(&std::fs::read_to_string(&baseline_path).expect("read baseline"))
+            .expect("committed baseline parses")
+    } else {
+        Vec::new()
+    };
+    let (fresh, _, stale) = baseline::apply(violations, &entries);
+    assert!(
+        fresh.is_empty(),
+        "non-baselined lint violations:\n{}",
+        fresh
+            .iter()
+            .map(|v| format!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(stale.is_empty(), "stale baseline entries: {stale:?}");
+}

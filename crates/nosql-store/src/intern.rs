@@ -7,23 +7,25 @@
 //! pointer bump instead of a `String` allocation — the dominant allocation
 //! source on the scan path before this existed.
 
-use std::collections::HashSet;
-use std::sync::{Arc, OnceLock, RwLock};
+use std::collections::HashSet; // lint-allow(determinism): interner is probe/insert only, never iterated
+use std::sync::{Arc, OnceLock, PoisonError, RwLock};
 
+// lint-allow(determinism): interner is probe/insert only, never iterated
 fn table() -> &'static RwLock<HashSet<Arc<str>>> {
+    // lint-allow(determinism): interner is probe/insert only, never iterated
     static TABLE: OnceLock<RwLock<HashSet<Arc<str>>>> = OnceLock::new();
-    TABLE.get_or_init(|| RwLock::new(HashSet::new()))
+    TABLE.get_or_init(|| RwLock::new(HashSet::new())) // lint-allow(determinism): interner is probe/insert only, never iterated
 }
 
 /// Interns a family or qualifier name, returning a shared handle.
 pub fn intern_name(name: &str) -> Arc<str> {
     {
-        let set = table().read().expect("name interner lock");
+        let set = table().read().unwrap_or_else(PoisonError::into_inner);
         if let Some(existing) = set.get(name) {
             return Arc::clone(existing);
         }
     }
-    let mut set = table().write().expect("name interner lock");
+    let mut set = table().write().unwrap_or_else(PoisonError::into_inner);
     if let Some(existing) = set.get(name) {
         return Arc::clone(existing);
     }
@@ -39,7 +41,7 @@ pub fn intern_name(name: &str) -> Arc<str> {
 pub fn lookup_name(name: &str) -> Option<Arc<str>> {
     table()
         .read()
-        .expect("name interner lock")
+        .unwrap_or_else(PoisonError::into_inner)
         .get(name)
         .map(Arc::clone)
 }
@@ -47,7 +49,7 @@ pub fn lookup_name(name: &str) -> Option<Arc<str>> {
 /// Number of distinct names interned so far (diagnostics and allocation
 /// tests: repeated writes to existing columns must not grow this).
 pub fn interned_name_count() -> usize {
-    table().read().expect("name interner lock").len()
+    table().read().unwrap_or_else(PoisonError::into_inner).len()
 }
 
 #[cfg(test)]

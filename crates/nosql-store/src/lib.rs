@@ -38,6 +38,9 @@
 //! assert_eq!(rows.len(), 1);
 //! ```
 
+// Library code of this crate must not panic on fault paths (the lint
+// crate's panic-freedom rule is the authority; clippy backs it up in CI).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 mod cell;
 mod cluster;
 mod cursor;

@@ -103,13 +103,17 @@ where
     let f = &f;
     std::thread::scope(|scope| {
         let mut iter = chunks.into_iter();
-        let first = iter.next().expect("at least one chunk");
+        let Some(first) = iter.next() else {
+            return Vec::new();
+        };
         let handles: Vec<_> = iter.map(|chunk| scope.spawn(move || f(chunk))).collect();
         // The caller's thread works the first chunk while the others run.
         let mut out = Vec::with_capacity(handles.len() + 1);
         out.push(f(first));
         for handle in handles {
-            out.push(handle.join().expect("pool worker panicked"));
+            // Re-raise a worker's panic with its original payload rather
+            // than a second, less informative panic at the join site.
+            out.push(handle.join().unwrap_or_else(|p| std::panic::resume_unwind(p)));
         }
         out
     })

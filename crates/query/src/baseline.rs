@@ -34,6 +34,7 @@ pub fn baseline_catalog_with_types(schema: &Schema, types: TypeHint<'_>) -> Cata
     for index in &schema.indexes {
         let relation = schema
             .relation(&index.relation)
+            // lint-allow(panic-freedom): schema validation rejects dangling index refs at load
             .expect("index references a known relation");
         let mut columns: Vec<(String, ColumnType)> = Vec::new();
         for column in &index.covered {

@@ -4,7 +4,7 @@
 use nosql_store::ops::Put;
 use nosql_store::ResultRow;
 use relational::{encode_key, intern, Row, Symbol, Value};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// The column family every attribute is stored in (the paper's baseline
@@ -71,7 +71,7 @@ pub struct TableDef {
     /// Interned symbol of every column, in declaration order.
     col_syms: Vec<Symbol>,
     /// Column name → index into `columns`.
-    col_index: HashMap<String, usize>,
+    col_index: BTreeMap<String, usize>,
     /// Indices of the key attributes within `columns`.
     key_cols: Vec<usize>,
 }
@@ -97,7 +97,7 @@ impl TableDef {
         kind: TableKind,
     ) -> Self {
         let col_syms: Vec<Symbol> = columns.iter().map(|(n, _)| intern::intern(n)).collect();
-        let col_index: HashMap<String, usize> = columns
+        let col_index: BTreeMap<String, usize> = columns
             .iter()
             .enumerate()
             .map(|(i, (n, _))| (n.clone(), i))
@@ -116,6 +116,7 @@ impl TableDef {
             .iter()
             .map(|k| {
                 *def.col_index.get(k).unwrap_or_else(|| {
+                    // lint-allow(panic-freedom): schema construction bug, not a runtime fault path
                     panic!("key attribute {k} is not a column of {}", def.name)
                 })
             })

@@ -883,6 +883,7 @@ fn aggregate_delta(
                         Value::Int(after as i64)
                     }
                 }
+                // lint-allow(panic-freedom): compile() filters these aggregates out above
                 _ => unreachable!("compile rejects non-invertible aggregates"),
             };
             new_row.set(item.name.clone(), value);

@@ -52,6 +52,9 @@
 //! assert_eq!(result.rows[0].get("DName").unwrap(), &Value::str("Research"));
 //! ```
 
+// Library code of this crate must not panic on fault paths (the lint
+// crate's panic-freedom rule is the authority; clippy backs it up in CI).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 pub mod baseline;
 mod bind;
 mod catalog;

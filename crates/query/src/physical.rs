@@ -28,7 +28,7 @@ use nosql_store::ops::Scan;
 use relational::{encode_key, Row, Symbol, Value, KEY_DELIMITER};
 use sql::AggregateFunction;
 use std::cmp::Ordering;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap}; // lint-allow(determinism): join build tables below are probe-only
 
 /// How the rows of one alias are decoded into relational rows: the output
 /// symbols (qualified under the alias for multi-table statements) and the
@@ -463,6 +463,7 @@ impl Executor {
                 let index = access
                     .index
                     .as_ref()
+                    // lint-allow(panic-freedom): planner sets `index` for every IndexScan it emits
                     .expect("index access carries its index table definition");
                 let index_def = &index.def;
                 let filter_value = eq_filters
@@ -643,6 +644,7 @@ impl Executor {
         let right_syms = &step.right_syms;
 
         // Build side: hash the right rows on the join attribute values.
+        // lint-allow(determinism): probe-only hash table; output order follows `left`, never this map
         let mut build: HashMap<JoinKey, Vec<usize>> = HashMap::with_capacity(right.len());
         for (i, row) in right.iter().enumerate() {
             if let Some(key) = JoinKey::of(row, right_syms) {
@@ -712,10 +714,11 @@ impl Executor {
                 partitions[partition_of(&key, threads)].push((key, i));
             }
         }
+        // lint-allow(determinism): probe-only hash tables; output order follows `left`, never these maps
         let tables: Vec<HashMap<JoinKey, Vec<usize>>> =
             pool::map(partitions, threads, |entries| {
-                let mut table: HashMap<JoinKey, Vec<usize>> =
-                    HashMap::with_capacity(entries.len());
+                let mut table: HashMap<JoinKey, Vec<usize>> = // lint-allow(determinism): probe-only
+                    HashMap::with_capacity(entries.len()); // lint-allow(determinism): probe-only
                 for (key, i) in entries {
                     table.entry(key).or_default().push(i);
                 }

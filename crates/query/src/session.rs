@@ -51,9 +51,9 @@ use crate::physical::PhysicalPlan;
 use crate::result::{QueryError, QueryResult};
 use relational::{intern, Row, Value};
 use sql::{SelectStatement, Statement};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Upper bound on cached plans per session.  Statement texts with inlined
 /// literals each occupy one entry, so the cache is capped and flushed
@@ -100,7 +100,7 @@ enum Prepared {
 /// Shared mutable state of a session (clones share the cache and counters).
 #[derive(Default)]
 struct SessionState {
-    cache: Mutex<HashMap<String, Prepared>>,
+    cache: Mutex<BTreeMap<String, Prepared>>,
     hits: AtomicU64,
     misses: AtomicU64,
     invalidations: AtomicU64,
@@ -233,13 +233,13 @@ impl Session {
             hits: self.state.hits.load(Ordering::Relaxed),
             misses: self.state.misses.load(Ordering::Relaxed),
             invalidations: self.state.invalidations.load(Ordering::Relaxed),
-            entries: self.state.cache.lock().expect("plan cache lock").len(),
+            entries: self.state.cache.lock().unwrap_or_else(PoisonError::into_inner).len(),
         }
     }
 
     /// Drops every cached plan (counters are kept).
     pub fn clear_plan_cache(&self) {
-        self.state.cache.lock().expect("plan cache lock").clear();
+        self.state.cache.lock().unwrap_or_else(PoisonError::into_inner).clear();
     }
 
     /// Cache lookup + compile on miss.  `parsed` avoids re-parsing when the
@@ -251,7 +251,7 @@ impl Session {
     ) -> Result<PreparedStatement, QueryError> {
         let catalog_version = self.executor.catalog().version();
         {
-            let mut cache = self.state.cache.lock().expect("plan cache lock");
+            let mut cache = self.state.cache.lock().unwrap_or_else(PoisonError::into_inner);
             match cache.get(key) {
                 Some(Prepared::Select(plan)) if plan.catalog_version() != catalog_version => {
                     // Stale: compiled against a previous catalog.  Drop the
@@ -284,7 +284,7 @@ impl Session {
         };
         let prepared = self.compile(stmt)?;
         {
-            let mut cache = self.state.cache.lock().expect("plan cache lock");
+            let mut cache = self.state.cache.lock().unwrap_or_else(PoisonError::into_inner);
             // Bound the cache: statements with inlined literals produce a
             // distinct text (and entry) per value, so a long-lived session
             // fed ad-hoc SQL would otherwise grow without limit.  When the

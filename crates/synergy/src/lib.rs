@@ -29,6 +29,9 @@
 //! schema-oblivious, purely workload-based view selector used as the
 //! MVCC-UA comparison system.
 
+// Library code of this crate must not panic on fault paths (the lint
+// crate's panic-freedom rule is the authority; clippy backs it up in CI).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 pub mod advisor;
 pub mod lock;
 pub mod maintenance;

@@ -43,9 +43,9 @@ use query::{
     FAMILY,
 };
 use relational::{encode_key, Row, Schema, Value, KEY_DELIMITER};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Re-export of the dirty-marker column name used by the executor's
 /// read-committed scan-restart protocol.
@@ -117,7 +117,7 @@ pub struct MaintenanceEngine {
     delta_enabled: bool,
     /// Compiled delta plans, keyed by view table name; entries whose
     /// catalog version is stale are recompiled lazily.
-    plans: Arc<Mutex<HashMap<String, Arc<DeltaPlan>>>>,
+    plans: Arc<Mutex<BTreeMap<String, Arc<DeltaPlan>>>>,
     /// The coalescing write batch (capacity 1 = propagate per write).
     buffer: Arc<Mutex<DeltaBuffer>>,
     stats: Arc<MaintenanceStats>,
@@ -154,7 +154,7 @@ impl MaintenanceEngine {
             by_last,
             by_member,
             delta_enabled: true,
-            plans: Arc::new(Mutex::new(HashMap::new())),
+            plans: Arc::new(Mutex::new(BTreeMap::new())),
             buffer: Arc::new(Mutex::new(DeltaBuffer::new(1))),
             stats: Arc::new(MaintenanceStats::default()),
             residency: None,
@@ -177,7 +177,7 @@ impl MaintenanceEngine {
 
     /// Sets the coalescing write-batch capacity (1 = flush per write).
     pub fn with_write_batch(self, capacity: usize) -> Self {
-        *self.buffer.lock().expect("buffer lock") = DeltaBuffer::new(capacity);
+        *self.buffer.lock().unwrap_or_else(PoisonError::into_inner) = DeltaBuffer::new(capacity);
         self
     }
 
@@ -188,7 +188,7 @@ impl MaintenanceEngine {
 
     /// True when writes are deferred into the coalescing batch.
     pub fn buffering(&self) -> bool {
-        self.buffer.lock().expect("buffer lock").capacity() > 1
+        self.buffer.lock().unwrap_or_else(PoisonError::into_inner).capacity() > 1
     }
 
     /// All maintained views.
@@ -202,7 +202,7 @@ impl MaintenanceEngine {
             view_rows_touched: self.stats.view_rows_touched.load(Ordering::Relaxed),
             deltas_propagated: self.stats.deltas_propagated.load(Ordering::Relaxed),
             flushes: self.stats.flushes.load(Ordering::Relaxed),
-            coalesced_merges: self.buffer.lock().expect("buffer lock").merges(),
+            coalesced_merges: self.buffer.lock().unwrap_or_else(PoisonError::into_inner).merges(),
         }
     }
 
@@ -239,7 +239,7 @@ impl MaintenanceEngine {
         let key = view.table_name();
         let version = self.executor.catalog().version();
         {
-            let plans = self.plans.lock().expect("plan cache lock");
+            let plans = self.plans.lock().unwrap_or_else(PoisonError::into_inner);
             if let Some(plan) = plans.get(&key) {
                 if plan.catalog_version() == version {
                     return Ok(plan.clone());
@@ -260,7 +260,7 @@ impl MaintenanceEngine {
         );
         self.plans
             .lock()
-            .expect("plan cache lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(key, plan.clone());
         Ok(plan)
     }
@@ -491,6 +491,7 @@ impl MaintenanceEngine {
                         (Some(_), Some(new)) => update.rewrites.push(new),
                         (Some(old), None) => update.removes.push(old),
                         (None, Some(new)) => update.inserts.push(new),
+                        // lint-allow(panic-freedom): pair_deltas never yields (None, None)
                         (None, None) => unreachable!("empty delta pair"),
                     }
                 }
@@ -663,7 +664,7 @@ impl MaintenanceEngine {
         let key = def.encode_row_key(keyed_by);
         let relation = def.name.clone();
         let full = {
-            let mut buffer = self.buffer.lock().expect("buffer lock");
+            let mut buffer = self.buffer.lock().unwrap_or_else(PoisonError::into_inner);
             buffer.record(&relation, key, write);
             buffer.is_full()
         };
@@ -681,14 +682,14 @@ impl MaintenanceEngine {
     /// consistent with the replayed base tables already.  Returns the
     /// number of pending writes dropped.
     pub fn discard_pending(&self) -> usize {
-        self.buffer.lock().expect("buffer lock").drain().len()
+        self.buffer.lock().unwrap_or_else(PoisonError::into_inner).drain().len()
     }
 
     /// Propagates every buffered (coalesced) write, in arrival order, with
     /// the same mark → apply → unmark discipline per update.  Returns the
     /// number of view rows touched.
     pub fn flush(&self) -> Result<usize, QueryError> {
-        let drained = self.buffer.lock().expect("buffer lock").drain();
+        let drained = self.buffer.lock().unwrap_or_else(PoisonError::into_inner).drain();
         if drained.is_empty() {
             return Ok(0);
         }

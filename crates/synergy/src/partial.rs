@@ -36,7 +36,7 @@ use query::{Executor, QueryError, TableDef};
 use relational::{Row, Value};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// The outcome of a residency probe for one view key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -199,7 +199,7 @@ impl ViewResidency {
 
     /// Probes residency of `prefix` in `view_table` (see [`Lookup`]).
     pub fn lookup(&self, view_table: &str, prefix: &str) -> Lookup {
-        let mut state = self.state.lock().expect("residency lock");
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         match state.views.get_mut(view_table).and_then(|v| v.get_mut(prefix)) {
             Some(entry) if entry.filling.is_some() => Lookup::Wait,
             Some(entry) => {
@@ -238,7 +238,7 @@ impl ViewResidency {
         rows: &[Row],
     ) -> Result<(), QueryError> {
         let view_table = view_def.name.as_str();
-        let mut state = self.state.lock().expect("residency lock");
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         // Install the recomputed rows through the charged write path.
         for row in rows {
             if let Err(e) = executor.insert_row(view_table, row) {
@@ -250,6 +250,7 @@ impl ViewResidency {
             .views
             .get_mut(view_table)
             .and_then(|v| v.get_mut(prefix))
+            // lint-allow(panic-freedom): entry inserted as Filling by begin_fill above
             .expect("filling entry present");
         for row in rows {
             let key = view_def.encode_row_key(row);
@@ -264,6 +265,7 @@ impl ViewResidency {
                 .views
                 .get_mut(view_table)
                 .and_then(|v| v.get_mut(prefix))
+                // lint-allow(panic-freedom): entry made resident earlier in this locked section
                 .expect("resident entry present");
             apply_write_to_entry(executor, view_def, entry, write)?;
             touched_totals = (entry.rows.len() as u64, entry.bytes());
@@ -279,7 +281,7 @@ impl ViewResidency {
     /// placeholder is removed and its deferred deltas are dropped as
     /// annihilated (their key ends up non-resident).
     pub fn abort_fill(&self, view_table: &str, prefix: &str) {
-        let mut state = self.state.lock().expect("residency lock");
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(entry) = state.views.get_mut(view_table).and_then(|v| v.remove(prefix)) {
             let dropped = entry.filling.map(|d| d.len() as u64).unwrap_or(0);
             self.annihilated.fetch_add(dropped, Ordering::Relaxed);
@@ -289,7 +291,7 @@ impl ViewResidency {
     /// Releases one reader pin taken by a [`Lookup::Hit`] probe or a
     /// completed fill.
     pub fn unpin(&self, view_table: &str, prefix: &str) {
-        let mut state = self.state.lock().expect("residency lock");
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(entry) = state.views.get_mut(view_table).and_then(|v| v.get_mut(prefix)) {
             entry.pins = entry.pins.saturating_sub(1);
         }
@@ -307,7 +309,7 @@ impl ViewResidency {
         let prefix = match &write {
             ViewWrite::Upsert(row) | ViewWrite::Remove(row) => Self::prefix_of(view_def, row),
         };
-        let mut state = self.state.lock().expect("residency lock");
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         let Some(entry) = state.views.get_mut(view_table).and_then(|v| v.get_mut(&prefix))
         else {
             self.annihilated.fetch_add(1, Ordering::Relaxed);
@@ -334,7 +336,7 @@ impl ViewResidency {
     /// remnant row outside residency accounting.
     pub fn is_resident_for_row(&self, view_def: &TableDef, row: &Row) -> bool {
         let prefix = Self::prefix_of(view_def, row);
-        let state = self.state.lock().expect("residency lock");
+        let state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         state
             .views
             .get(view_def.name.as_str())
@@ -351,13 +353,13 @@ impl ViewResidency {
     /// Drops all residency state (recovery: the store-side view rows are
     /// wiped separately, so the cache restarts cold).  Counters persist.
     pub fn clear(&self) {
-        let mut state = self.state.lock().expect("residency lock");
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         *state = ResidencyState::default();
     }
 
     /// Current totals and counters.
     pub fn snapshot(&self) -> ResidencySnapshot {
-        let state = self.state.lock().expect("residency lock");
+        let state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         ResidencySnapshot {
             resident_bytes: state.total_bytes,
             resident_rows: state.total_rows,
@@ -420,6 +422,7 @@ impl ViewResidency {
             for key_attrs in &victims {
                 executor.delete_row_by_key(&view_table, key_attrs)?;
             }
+            // lint-allow(panic-freedom): victim keys come from iterating this same map
             state.views.get_mut(&view_table).expect("view map").remove(&prefix);
             state.total_rows -= rows;
             state.total_bytes -= bytes;

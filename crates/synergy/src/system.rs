@@ -22,7 +22,7 @@ use query::{
 };
 use relational::{Row, Schema, Value};
 use sql::Statement;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap}; // lint-allow(determinism): HashMap only for the probe-only FK table below
 use std::sync::Arc;
 
 /// Configuration for building a [`SynergySystem`].
@@ -851,7 +851,7 @@ impl SynergySystem {
         // region-parallel scan (serial when the executor runs 1 thread) with
         // the decode fanned out over the same worker count.
         let threads = self.executor.threads();
-        let mut relation_rows: HashMap<String, Vec<Row>> = HashMap::new();
+        let mut relation_rows: BTreeMap<String, Vec<Row>> = BTreeMap::new();
         for relation in &view.relations {
             let def = self
                 .executor
@@ -869,8 +869,9 @@ impl SynergySystem {
         let mut combined: Vec<Row> = relation_rows[&view.relations[0]].clone();
         for edge in &view.edges {
             let children = &relation_rows[&edge.to];
-            // Hash children by their FK tuple.
-            let mut by_fk: HashMap<Vec<Value>, Vec<&Row>> = HashMap::new();
+            // Hash children by their FK tuple.  (`Value` has no `Ord`, and
+            // the table is probe-only: output order follows `combined`.)
+            let mut by_fk: HashMap<Vec<Value>, Vec<&Row>> = HashMap::new(); // lint-allow(determinism): probe-only
             for child in children {
                 let fk: Option<Vec<Value>> =
                     edge.fk.iter().map(|a| child.get(a).cloned()).collect();
@@ -971,6 +972,7 @@ fn view_index_table_def(
 ) -> TableDef {
     let view = selection
         .view_by_table_name(&index.view)
+        // lint-allow(panic-freedom): selection validated to cover every view index it emits
         .expect("view-index references a selected view");
     let mut columns: Vec<(String, ColumnType)> = Vec::new();
     for attribute in view.attributes(schema) {

@@ -11,7 +11,7 @@ use relational::{encode_key, Row, Schema, Value};
 use sql::Statement;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, PoisonError};
 
 /// Errors raised by the transaction layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -148,12 +148,12 @@ impl TransactionLayer {
     /// Used by the crash-recovery tests and the fault benchmarks; the hook
     /// disarms after firing once.
     pub fn inject_interrupt_after_step(&self, step: u8) {
-        *self.interrupt_after.lock().expect("interrupt hook lock") = Some(step);
+        *self.interrupt_after.lock().unwrap_or_else(PoisonError::into_inner) = Some(step);
     }
 
     /// Fires (and disarms) the injected interrupt if it is armed for `step`.
     fn maybe_interrupt(&self, step: u8) -> Result<(), TxnError> {
-        let mut armed = self.interrupt_after.lock().expect("interrupt hook lock");
+        let mut armed = self.interrupt_after.lock().unwrap_or_else(PoisonError::into_inner);
         if *armed == Some(step) {
             *armed = None;
             return Err(TxnError::Interrupted { step });

@@ -139,11 +139,13 @@ impl ViewDefinition {
 
     /// The last relation of the path (whose key becomes the view key).
     pub fn last_relation(&self) -> &str {
+        // lint-allow(panic-freedom): JoinPath::new rejects empty relation lists
         self.relations.last().expect("non-empty path")
     }
 
     /// The first relation of the path.
     pub fn first_relation(&self) -> &str {
+        // lint-allow(panic-freedom): JoinPath::new rejects empty relation lists
         self.relations.first().expect("non-empty path")
     }
 
@@ -328,6 +330,7 @@ pub fn generate_candidate_views(
     // Step 2: topological order of the DAG.
     let topo = dag
         .topological_order()
+        // lint-allow(panic-freedom): schema validation rejects cyclic FK graphs at load
         .expect("schema graph free of circular references");
 
     // Step 3: assign non-root relations to roots in topological order.
@@ -403,6 +406,7 @@ pub fn generate_candidate_views(
         let rooted_graph = SchemaGraph::from_parts(nodes.clone(), edges.clone());
         let topo_non_roots: Vec<String> = rooted_graph
             .topological_order()
+            // lint-allow(panic-freedom): subgraph of the validated acyclic schema graph
             .expect("rooted graph is a sub-DAG")
             .into_iter()
             .filter(|n| n != root)

@@ -275,14 +275,14 @@ impl MicroBench {
         let clock = self.system.cluster().clock().clone();
 
         // View scan: the rewritten query is a single-table scan of the view.
-        let wall_start = std::time::Instant::now();
+        let wall_start = std::time::Instant::now(); // lint-allow(determinism): wall-clock companion measurement; figures use SimClock
         let (view_result, view_scan): (Result<QueryResult, TxnError>, SimDuration) =
             clock.measure(|| self.system.execute(statement, &[]));
         let view_scan_wall = wall_start.elapsed();
         let view_result = view_result?;
 
         // Join algorithm: the original query against base tables only.
-        let wall_start = std::time::Instant::now();
+        let wall_start = std::time::Instant::now(); // lint-allow(determinism): wall-clock companion measurement; figures use SimClock
         let (join_result, join_algorithm): (Result<QueryResult, _>, SimDuration) =
             clock.measure(|| self.system.executor().execute(statement, &[]));
         let join_wall = wall_start.elapsed();
@@ -347,13 +347,13 @@ impl MicroBench {
             "prepared and one-shot execution must agree"
         );
 
-        let start = Instant::now();
+        let start = Instant::now(); // lint-allow(determinism): wall-clock companion measurement; figures use SimClock
         for i in 0..executions {
             session.prepare_uncached(TEXT)?.execute(&params(i))?;
         }
         let oneshot_wall = start.elapsed();
 
-        let start = Instant::now();
+        let start = Instant::now(); // lint-allow(determinism): wall-clock companion measurement; figures use SimClock
         for i in 0..executions {
             prepared.execute(&params(i))?;
         }
@@ -382,7 +382,7 @@ impl MicroBench {
         .expect("limit query parses");
         let clock = self.system.cluster().clock().clone();
         let before = self.system.cluster().metrics().ops;
-        let wall_start = std::time::Instant::now();
+        let wall_start = std::time::Instant::now(); // lint-allow(determinism): wall-clock companion measurement; figures use SimClock
         let (result, view_scan): (Result<QueryResult, TxnError>, SimDuration) =
             clock.measure(|| self.system.execute(&statement, &[]));
         let view_scan_wall = wall_start.elapsed();
